@@ -1,0 +1,85 @@
+// Command qserv-czar runs the Qserv master frontend against a set of
+// qserv-worker processes, exposing SQL over TCP through the proxy:
+//
+//	qserv-czar -workers w0=127.0.0.1:7001,w1=127.0.0.1:7002 \
+//	           -peers w0,w1 -listen 127.0.0.1:7000 -seed 1
+//
+// The catalog/layout flags must match the workers' exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/czar"
+	"repro/internal/deploy"
+	"repro/internal/proxy"
+	"repro/internal/xrd"
+)
+
+var (
+	workersFlag = flag.String("workers", "w0=127.0.0.1:7001", "name=addr list of workers")
+	peersFlag   = flag.String("peers", "", "comma-separated worker names (default: from -workers)")
+	listenFlag  = flag.String("listen", "127.0.0.1:7000", "proxy listen address")
+	seedFlag    = flag.Int64("seed", 1, "catalog seed")
+	objectsFlag = flag.Int("objects", 400, "objects per patch")
+	sourcesFlag = flag.Float64("sources", 3, "mean sources per object")
+	bandsFlag   = flag.Int("bands", 2, "declination bands to duplicate")
+	copiesFlag  = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("qserv-czar: ")
+
+	names, addrs, err := deploy.ParseWorkerList(*workersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peerNames := names
+	if *peersFlag != "" {
+		peerNames = strings.Split(*peersFlag, ",")
+	}
+
+	spec := deploy.CatalogSpec{
+		Seed: *seedFlag, Objects: *objectsFlag, Sources: *sourcesFlag,
+		Bands: *bandsFlag, Copies: *copiesFlag,
+	}
+	cat, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := deploy.ComputeLayout(cat, peerNames)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	red := xrd.NewRedirector()
+	for name, addr := range addrs {
+		ep := xrd.NewTCPEndpoint(name, addr)
+		exports := []string{"/result"}
+		for _, c := range layout.Placement.ChunksOn(name) {
+			exports = append(exports, xrd.QueryPath(int(c)))
+		}
+		red.Register(ep, exports...)
+	}
+
+	cz := czar.New(czar.DefaultConfig("czar-0"), layout.Registry, layout.Index, layout.Placement, red)
+	srv, err := proxy.Serve(*listenFlag, cz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("czar ready: %d workers, %d chunks; SQL proxy on %s\n",
+		len(addrs), len(layout.Placement.Chunks()), srv.Addr())
+	fmt.Printf("connect with: qserv-sql -addr %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+}

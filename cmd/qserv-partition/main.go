@@ -1,0 +1,157 @@
+// Command qserv-partition is the spatial partitioner: it reads a
+// catalog CSV (as written by qserv-datagen), assigns every row its
+// chunkId and subChunkId under the two-level partitioning, and writes
+// one CSV per chunk plus one overlap CSV per chunk — the loader-side
+// data preparation of paper section 5.2.
+//
+//	qserv-partition -in /tmp/catalog/object.csv -ra ra_PS -decl decl_PS \
+//	                -stripes 85 -substripes 12 -overlap 0.01667 -out /tmp/chunks
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/partition"
+	"repro/internal/sphgeom"
+)
+
+var (
+	inFlag      = flag.String("in", "", "input CSV (with header)")
+	outFlag     = flag.String("out", "chunks", "output directory")
+	raFlag      = flag.String("ra", "ra_PS", "RA column name")
+	declFlag    = flag.String("decl", "decl_PS", "declination column name")
+	stripesFlag = flag.Int("stripes", 85, "declination stripes (paper: 85)")
+	subFlag     = flag.Int("substripes", 12, "sub-stripes per stripe (paper: 12)")
+	overlapFlag = flag.Float64("overlap", 0.01667, "overlap margin, degrees (paper: 1 arcmin)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("qserv-partition: ")
+	if *inFlag == "" {
+		log.Fatal("-in is required")
+	}
+	chunker, err := partition.NewChunker(partition.Config{
+		NumStripes:             *stripesFlag,
+		NumSubStripesPerStripe: *subFlag,
+		Overlap:                *overlapFlag,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := os.Open(*inFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	r := csv.NewReader(in)
+	header, err := r.Read()
+	if err != nil {
+		log.Fatalf("read header: %v", err)
+	}
+	raCol, declCol := -1, -1
+	for i, h := range header {
+		switch h {
+		case *raFlag:
+			raCol = i
+		case *declFlag:
+			declCol = i
+		}
+	}
+	if raCol < 0 || declCol < 0 {
+		log.Fatalf("columns %q/%q not in header %v", *raFlag, *declFlag, header)
+	}
+
+	writers := map[string]*csv.Writer{}
+	files := []*os.File{}
+	get := func(name string) (*csv.Writer, error) {
+		if w, ok := writers[name]; ok {
+			return w, nil
+		}
+		f, err := os.Create(filepath.Join(*outFlag, name))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		w := csv.NewWriter(f)
+		out := append(append([]string{}, header...), "chunkId", "subChunkId")
+		if err := w.Write(out); err != nil {
+			return nil, err
+		}
+		writers[name] = w
+		return w, nil
+	}
+
+	rows, overlaps := 0, 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		ra, err := strconv.ParseFloat(rec[raCol], 64)
+		if err != nil {
+			log.Fatalf("bad RA %q: %v", rec[raCol], err)
+		}
+		decl, err := strconv.ParseFloat(rec[declCol], 64)
+		if err != nil {
+			log.Fatalf("bad decl %q: %v", rec[declCol], err)
+		}
+		p := sphgeom.NewPoint(ra, decl)
+		chunk, sub := chunker.Locate(p)
+		out := append(append([]string{}, rec...),
+			strconv.Itoa(int(chunk)), strconv.Itoa(int(sub)))
+		w, err := get(fmt.Sprintf("chunk_%d.csv", chunk))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Write(out); err != nil {
+			log.Fatal(err)
+		}
+		rows++
+		// Overlap membership for neighboring chunks.
+		margin := chunker.Config().Overlap
+		probe := sphgeom.NewBox(ra-margin*3, ra+margin*3, decl-margin*3, decl+margin*3)
+		for _, c := range chunker.ChunksIn(probe) {
+			if c == chunk {
+				continue
+			}
+			in, err := chunker.InOverlap(c, p)
+			if err != nil || !in {
+				continue
+			}
+			w, err := get(fmt.Sprintf("overlap_%d.csv", c))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := w.Write(out); err != nil {
+				log.Fatal(err)
+			}
+			overlaps++
+		}
+	}
+	for _, w := range writers {
+		w.Flush()
+		if err := w.Error(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, f := range files {
+		f.Close()
+	}
+	fmt.Printf("partitioned %d rows into %d files (%d overlap copies) under %s\n",
+		rows, len(writers), overlaps, *outFlag)
+}

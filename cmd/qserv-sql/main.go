@@ -1,0 +1,109 @@
+// Command qserv-sql is the interactive SQL client for a qserv-czar
+// proxy (the role any MySQL-compatible client plays in the paper):
+//
+//	qserv-sql -addr 127.0.0.1:7000                      # REPL
+//	qserv-sql -addr 127.0.0.1:7000 -e "SELECT COUNT(*) FROM Object"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/proxy"
+	"repro/internal/sqlengine"
+)
+
+var (
+	addrFlag  = flag.String("addr", "127.0.0.1:7000", "proxy address")
+	queryFlag = flag.String("e", "", "execute one statement and exit")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("qserv-sql: ")
+	client, err := proxy.Dial(*addrFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if *queryFlag != "" {
+		run(client, *queryFlag)
+		return
+	}
+
+	fmt.Println("qserv-sql — type SQL statements terminated by ';', or 'quit'")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("qserv> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "quit" || trimmed == "exit" || trimmed == `\q`) {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+			buf.Reset()
+			if sql != "" {
+				run(client, sql)
+			}
+			fmt.Print("qserv> ")
+			continue
+		}
+		fmt.Print("    -> ")
+	}
+}
+
+func run(client *proxy.Client, sql string) {
+	start := time.Now()
+	res, err := client.Query(sql)
+	if err != nil {
+		fmt.Printf("ERROR: %v\n", err)
+		return
+	}
+	elapsed := time.Since(start)
+	widths := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		widths[i] = len(c)
+	}
+	text := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		text[r] = make([]string, len(row))
+		for i, v := range row {
+			s := sqlengine.FormatValue(v)
+			text[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	sep := "+"
+	for _, w := range widths {
+		sep += strings.Repeat("-", w+2) + "+"
+	}
+	fmt.Println(sep)
+	fmt.Print("|")
+	for i, c := range res.Cols {
+		fmt.Printf(" %-*s |", widths[i], c)
+	}
+	fmt.Println()
+	fmt.Println(sep)
+	for _, row := range text {
+		fmt.Print("|")
+		for i, s := range row {
+			fmt.Printf(" %-*s |", widths[i], s)
+		}
+		fmt.Println()
+	}
+	fmt.Println(sep)
+	fmt.Printf("%d row(s) in %v\n", len(res.Rows), elapsed.Round(time.Millisecond))
+}

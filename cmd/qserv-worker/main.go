@@ -1,0 +1,92 @@
+// Command qserv-worker runs one Qserv worker as a network data server:
+// it deterministically synthesizes the shared catalog, loads the chunks
+// the cluster layout assigns to it (plus overlap and replicated
+// tables), and serves the two xrd file transactions over TCP.
+//
+//	qserv-worker -name w0 -addr 127.0.0.1:7001 -peers w0,w1,w2 -seed 1
+//
+// Every worker and the czar must use identical -seed/-objects/-bands/
+// -copies/-peers values so their layouts agree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/deploy"
+	"repro/internal/worker"
+	"repro/internal/xrd"
+)
+
+var (
+	nameFlag    = flag.String("name", "w0", "this worker's cluster name")
+	addrFlag    = flag.String("addr", "127.0.0.1:7001", "listen address")
+	peersFlag   = flag.String("peers", "w0", "comma-separated names of ALL workers (order-insensitive)")
+	seedFlag    = flag.Int64("seed", 1, "catalog seed")
+	objectsFlag = flag.Int("objects", 400, "objects per patch")
+	sourcesFlag = flag.Float64("sources", 3, "mean sources per object")
+	bandsFlag   = flag.Int("bands", 2, "declination bands to duplicate")
+	copiesFlag  = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
+	slotsFlag   = flag.Int("slots", 4, "parallel chunk queries (paper: 4)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("qserv-worker: ")
+
+	spec := deploy.CatalogSpec{
+		Seed: *seedFlag, Objects: *objectsFlag, Sources: *sourcesFlag,
+		Bands: *bandsFlag, Copies: *copiesFlag,
+	}
+	cat, err := spec.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := strings.Split(*peersFlag, ",")
+	layout, err := deploy.ComputeLayout(cat, names)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wcfg := worker.DefaultConfig(*nameFlag)
+	wcfg.Slots = *slotsFlag
+	w := worker.New(wcfg, layout.Registry)
+	defer w.Close()
+
+	objInfo, err := layout.Registry.Table("Object")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srcInfo, err := layout.Registry.Table("Source")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mine := layout.Placement.ChunksOn(*nameFlag)
+	if len(mine) == 0 {
+		log.Fatalf("no chunks assigned to %q; is -name in -peers?", *nameFlag)
+	}
+	for _, c := range mine {
+		if err := w.LoadChunk(objInfo, c, layout.ObjRows[c], layout.ObjOverlap[c]); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.LoadChunk(srcInfo, c, layout.SrcRows[c], layout.SrcOverlap[c]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := xrd.Serve(*addrFlag, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("worker %s serving %d chunks on %s\n", *nameFlag, len(mine), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nshutting down")
+}

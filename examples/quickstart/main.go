@@ -1,0 +1,74 @@
+// Quickstart: build an 8-worker in-process Qserv cluster, load a
+// synthetic partial-sky catalog, and run the paper's basic query shapes
+// through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/datagen"
+	"repro/internal/sqlengine"
+)
+
+func main() {
+	// Synthesize a PT1.1-style patch and duplicate it over a band of
+	// sky (paper section 6.1.2).
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: 1, ObjectsPerPatch: 500, MeanSourcesPerObject: 3},
+		datagen.DuplicateConfig{DeclBands: 3, SourceDeclLimit: 54, MaxCopies: 40},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog: %d objects, %d sources\n", len(cat.Objects), len(cat.Sources))
+
+	cluster, err := qserv.NewCluster(qserv.DefaultClusterConfig(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Load(cat); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d workers, %d chunks placed\n\n",
+		len(cluster.Workers), len(cluster.Placement.Chunks()))
+
+	queries := []string{
+		// Point retrieval through the objectId secondary index (LV1).
+		"SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = 42",
+		// Full-sky count: one chunk query per partition (HV1).
+		"SELECT COUNT(*) FROM Object",
+		// The paper's section 5.3 rewriting example.
+		"SELECT AVG(uFlux_SG) FROM Object WHERE qserv_areaspec_box(0.0, 0.0, 10.0, 10.0) AND uRadius_PS > 0.04",
+		// Per-chunk density (HV3).
+		"SELECT count(*) AS n, AVG(ra_PS), AVG(decl_PS), chunkId FROM Object GROUP BY chunkId ORDER BY n DESC LIMIT 5",
+	}
+	for _, sql := range queries {
+		res, err := cluster.Query(sql)
+		if err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+		fmt.Printf("> %s\n", sql)
+		fmt.Printf("  %d chunk queries, %d bytes of results collected, %v elapsed\n",
+			res.ChunksDispatched, res.ResultBytes, res.Elapsed)
+		printRows(res.Cols, res.Rows, 5)
+		fmt.Println()
+	}
+}
+
+func printRows(cols []string, rows []sqlengine.Row, limit int) {
+	fmt.Printf("  %v\n", cols)
+	for i, r := range rows {
+		if i >= limit {
+			fmt.Printf("  ... (%d more rows)\n", len(rows)-limit)
+			return
+		}
+		vals := make([]string, len(r))
+		for j, v := range r {
+			vals[j] = sqlengine.FormatValue(v)
+		}
+		fmt.Printf("  %v\n", vals)
+	}
+}

@@ -1,0 +1,56 @@
+// Scaling: regenerates the paper's weak-scaling experiment (section
+// 6.3, Figures 8-11) on the virtual-time simulation: the 150-node
+// cluster's frontend is configured to dispatch only to the chunks of
+// the first 40/100/150 nodes, holding data per node constant — exactly
+// the paper's methodology. Low-volume queries stay flat; HV1 grows with
+// chunk count (master dispatch overhead); HV2 stays flat (near-perfect
+// weak scaling).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/simcluster"
+)
+
+func main() {
+	fmt.Println("building the 150-node paper-geometry cluster...")
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: 1, ObjectsPerPatch: 60, MeanSourcesPerObject: 2},
+		datagen.DefaultDuplicateConfig(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := simcluster.New(simcluster.PaperConfig(), cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	fmt.Printf("loaded %d chunks over 150 simulated nodes\n\n", len(cl.PlacedChunks()))
+
+	nodes := []int{40, 100, 150}
+	fmt.Printf("%-6s", "class")
+	for _, n := range nodes {
+		fmt.Printf(" %9d", n)
+	}
+	fmt.Println(" | paper shape")
+	shapes := map[string]string{
+		"LV1": "flat ~4 s (Figure 8)",
+		"HV1": "linear in chunks (Figure 11)",
+		"HV2": "flat — perfect weak scaling (Figure 11)",
+	}
+	for _, class := range []string{"LV1", "HV1", "HV2"} {
+		fmt.Printf("%-6s", class)
+		for _, n := range nodes {
+			v, err := cl.WeakScalingPoint(class, n, 1, 9)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.1fs", v)
+		}
+		fmt.Printf(" | %s\n", shapes[class])
+	}
+}

@@ -1,0 +1,210 @@
+// Package baseline implements the comparison systems the paper argues
+// against (sections 3 and 4.4), so those arguments become measurable:
+//
+//   - SingleNode: an unpartitioned mainstream-RDBMS stand-in (one engine,
+//     whole tables) — correct but unable to parallelize.
+//   - ScanOnly: a Hive-like executor with no indexing, where every
+//     selection is a full table scan and join build sides are rescanned.
+//   - HashPartition: shared-nothing sharding by a hash of the primary
+//     key, which destroys spatial locality: a near-neighbor join must
+//     consider pairs across every pair of shards.
+//   - NaiveJoin: the O(n^2) all-pairs near-neighbor join, versus Qserv's
+//     O(kn) subchunked join.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/sphgeom"
+	"repro/internal/sqlengine"
+)
+
+// PointRow is the minimal spatial row used by join baselines.
+type PointRow struct {
+	ID       int64
+	RA, Decl float64
+}
+
+// NaiveNearNeighborCount counts ordered pairs within radius by testing
+// every pair — the O(n^2) algorithm the paper's two-level partitioning
+// avoids. It returns the pair count and the number of pair evaluations.
+func NaiveNearNeighborCount(rows []PointRow, radius float64) (pairs, evaluated int64) {
+	for i := range rows {
+		for j := range rows {
+			evaluated++
+			if sphgeom.AngSepDeg(rows[i].RA, rows[i].Decl, rows[j].RA, rows[j].Decl) < radius {
+				pairs++
+			}
+		}
+	}
+	return pairs, evaluated
+}
+
+// GridNearNeighborCount is the subchunk-style algorithm: rows are
+// bucketed into cells of `cell` degrees, and each row is paired only
+// against rows in its cell and the neighboring cells (the overlap).
+// Semantics match NaiveNearNeighborCount; the evaluation count is the
+// O(kn) claim.
+func GridNearNeighborCount(rows []PointRow, radius, cell float64) (pairs, evaluated int64, err error) {
+	if cell <= 0 {
+		return 0, 0, fmt.Errorf("baseline: cell must be positive")
+	}
+	if radius > cell {
+		return 0, 0, fmt.Errorf("baseline: radius %g exceeds cell %g (overlap too small)", radius, cell)
+	}
+	type key struct{ x, y int }
+	grid := map[key][]PointRow{}
+	keyOf := func(r PointRow) key {
+		return key{int(r.RA / cell), int((r.Decl + 90) / cell)}
+	}
+	for _, r := range rows {
+		grid[keyOf(r)] = append(grid[keyOf(r)], r)
+	}
+	for _, r := range rows {
+		k := keyOf(r)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, o := range grid[key{k.x + dx, k.y + dy}] {
+					evaluated++
+					if sphgeom.AngSepDeg(r.RA, r.Decl, o.RA, o.Decl) < radius {
+						pairs++
+					}
+				}
+			}
+		}
+	}
+	return pairs, evaluated, nil
+}
+
+// HashShards splits rows over n shards by id hash — the partitioning the
+// paper rejects for spatial data (section 4.4: "this approach is
+// unusable for LSST data since it eliminates optimizations based on
+// celestial objects' spatial nature").
+func HashShards(rows []PointRow, n int) [][]PointRow {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]PointRow, n)
+	for _, r := range rows {
+		h := uint64(r.ID) * 0x9e3779b97f4a7c15
+		s := int(h % uint64(n))
+		shards[s] = append(shards[s], r)
+	}
+	return shards
+}
+
+// SpatialShards splits rows into n RA slices — a crude spatial
+// partitioning preserving locality (each shard holds one sky region).
+func SpatialShards(rows []PointRow, n int) [][]PointRow {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]PointRow, n)
+	width := 360.0 / float64(n)
+	for _, r := range rows {
+		s := int(sphgeom.WrapRA(r.RA) / width)
+		if s >= n {
+			s = n - 1
+		}
+		shards[s] = append(shards[s], r)
+	}
+	return shards
+}
+
+// ShardedJoinCost reports the pair evaluations a near-neighbor join
+// needs under a sharding. With hash sharding every shard pair can hold
+// near neighbors, so each node must join against data from every other
+// node (cross-shard pairs). With spatial sharding only neighboring
+// shards share borders. The returned numbers are pair-evaluation counts
+// assuming the within-shard joins use the grid algorithm and cross-shard
+// joins must be evaluated naively (no locality to exploit).
+func ShardedJoinCost(shards [][]PointRow, radius, cell float64, spatial bool) (evaluated int64, err error) {
+	n := len(shards)
+	for i := 0; i < n; i++ {
+		// Within-shard: grid join.
+		_, ev, err := GridNearNeighborCount(shards[i], radius, cell)
+		if err != nil {
+			return 0, err
+		}
+		evaluated += ev
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if spatial {
+				// Spatial shards: only adjacent RA slices can pair, and
+				// only within the border strip of width `cell`.
+				if j != (i+1)%n && j != (i-1+n)%n {
+					continue
+				}
+				bi := borderRows(shards[i], cell, n)
+				bj := borderRows(shards[j], cell, n)
+				evaluated += int64(len(bi)) * int64(len(bj))
+			} else {
+				// Hash shards: any pair of shards may hold neighbors;
+				// all-pairs across the shard pair.
+				evaluated += int64(len(shards[i])) * int64(len(shards[j]))
+			}
+		}
+	}
+	return evaluated, nil
+}
+
+// borderRows returns rows within `cell` degrees of the shard's RA
+// borders (for n RA slices of the sky).
+func borderRows(rows []PointRow, cell float64, n int) []PointRow {
+	width := 360.0 / float64(n)
+	var out []PointRow
+	for _, r := range rows {
+		off := sphgeom.WrapRA(r.RA)
+		rel := off - float64(int(off/width))*width
+		if rel < cell || width-rel < cell {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ScanOnlyEngine wraps an engine but forbids index creation, emulating
+// Hive's "lack of indexing meant that selections on tables were
+// executed as full table scans" (section 3).
+type ScanOnlyEngine struct {
+	*sqlengine.Engine
+}
+
+// NewScanOnly builds a scan-only engine.
+func NewScanOnly(defaultDB string) *ScanOnlyEngine {
+	return &ScanOnlyEngine{Engine: sqlengine.New(defaultDB)}
+}
+
+// Execute rejects CREATE INDEX and otherwise defers to the engine.
+func (s *ScanOnlyEngine) Execute(sql string) (*sqlengine.Result, error) {
+	if containsFold(sql, "CREATE INDEX") {
+		return nil, fmt.Errorf("baseline: scan-only engine has no indexing")
+	}
+	return s.Engine.Execute(sql)
+}
+
+func containsFold(s, sub string) bool {
+	n := len(sub)
+	for i := 0; i+n <= len(s); i++ {
+		match := true
+		for j := 0; j < n; j++ {
+			a, b := s[i+j], sub[j]
+			if a >= 'a' && a <= 'z' {
+				a -= 'a' - 'A'
+			}
+			if b >= 'a' && b <= 'z' {
+				b -= 'a' - 'A'
+			}
+			if a != b {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

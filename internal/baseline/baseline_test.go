@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sphgeom"
+)
+
+func randomRows(n int, seed int64) []PointRow {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]PointRow, n)
+	for i := range rows {
+		rows[i] = PointRow{
+			ID:   int64(i + 1),
+			RA:   rng.Float64() * 360,
+			Decl: rng.Float64()*120 - 60,
+		}
+	}
+	return rows
+}
+
+func TestNaiveVsGridSameAnswer(t *testing.T) {
+	rows := randomRows(400, 1)
+	radius := 0.5
+	wantPairs, wantEval := NaiveNearNeighborCount(rows, radius)
+	gotPairs, gotEval, err := GridNearNeighborCount(rows, radius, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPairs != wantPairs {
+		t.Fatalf("grid pairs = %d, naive = %d", gotPairs, wantPairs)
+	}
+	if wantEval != int64(400*400) {
+		t.Errorf("naive evaluations = %d", wantEval)
+	}
+	// The O(kn) claim: grid evaluates far fewer pairs.
+	if gotEval >= wantEval/10 {
+		t.Errorf("grid evaluated %d pairs vs naive %d; expected >10x reduction", gotEval, wantEval)
+	}
+}
+
+func TestGridDenseClusterStillCorrect(t *testing.T) {
+	// Points clustered tightly around one spot, plus a pair straddling
+	// a cell border (the overlap argument).
+	rows := []PointRow{
+		{1, 10.0, 5.0}, {2, 10.01, 5.0}, {3, 10.0, 5.01},
+		{4, 11.999, 5.0}, {5, 12.001, 5.0}, // straddle the 12-degree cell line
+	}
+	wantPairs, _ := NaiveNearNeighborCount(rows, 0.1)
+	gotPairs, _, err := GridNearNeighborCount(rows, 0.1, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPairs != wantPairs {
+		t.Fatalf("border pair lost: grid %d vs naive %d", gotPairs, wantPairs)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	rows := randomRows(10, 2)
+	if _, _, err := GridNearNeighborCount(rows, 1, 0); err == nil {
+		t.Error("zero cell should fail")
+	}
+	if _, _, err := GridNearNeighborCount(rows, 3, 2); err == nil {
+		t.Error("radius > cell should fail (overlap insufficient)")
+	}
+}
+
+func TestHashShardsSpreadAndCover(t *testing.T) {
+	rows := randomRows(1000, 3)
+	shards := HashShards(rows, 8)
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+		// Roughly even.
+		if len(s) < 60 || len(s) > 200 {
+			t.Errorf("shard size %d unbalanced", len(s))
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("rows lost: %d", total)
+	}
+}
+
+func TestHashShardingDestroysLocality(t *testing.T) {
+	// The section 4.4 claim: near neighbors end up on arbitrary shards
+	// under hash partitioning, on the same shard under spatial.
+	rows := randomRows(500, 4)
+	// Add explicit close pairs.
+	for i := 0; i < 50; i++ {
+		base := rows[i]
+		rows = append(rows, PointRow{ID: int64(10000 + i), RA: base.RA + 0.01, Decl: base.Decl})
+	}
+	hash := HashShards(rows, 10)
+	spatial := SpatialShards(rows, 10)
+
+	sameShard := func(shards [][]PointRow) int {
+		loc := map[int64]int{}
+		for si, s := range shards {
+			for _, r := range s {
+				loc[r.ID] = si
+			}
+		}
+		same := 0
+		for i := 0; i < 50; i++ {
+			if loc[rows[i].ID] == loc[int64(10000+i)] {
+				same++
+			}
+		}
+		return same
+	}
+	if h := sameShard(hash); h > 20 {
+		t.Errorf("hash sharding kept %d/50 close pairs together; expected ~5", h)
+	}
+	if s := sameShard(spatial); s < 45 {
+		t.Errorf("spatial sharding split %d/50 close pairs; expected nearly none", 50-s)
+	}
+}
+
+func TestShardedJoinCost(t *testing.T) {
+	rows := randomRows(2000, 5)
+	const n = 10
+	hashCost, err := ShardedJoinCost(HashShards(rows, n), 0.5, 2.0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spatialCost, err := ShardedJoinCost(SpatialShards(rows, n), 0.5, 2.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline ablation: spatial partitioning makes the distributed
+	// near-neighbor join drastically cheaper.
+	if spatialCost*5 > hashCost {
+		t.Errorf("spatial cost %d not clearly below hash cost %d", spatialCost, hashCost)
+	}
+}
+
+func TestScanOnlyEngineRejectsIndexes(t *testing.T) {
+	e := NewScanOnly("LSST")
+	if _, err := e.Execute("CREATE TABLE t (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("create index i on t (a)"); err == nil {
+		t.Error("scan-only engine accepted an index")
+	}
+	res, err := e.Execute("SELECT * FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SeqBytes == 0 {
+		t.Error("selection did not scan")
+	}
+}
+
+func TestBorderRows(t *testing.T) {
+	rows := []PointRow{
+		{1, 0.1, 0}, {2, 18.0, 0}, {3, 35.9, 0}, {4, 36.1, 0},
+	}
+	// 10 shards of 36 degrees; cell 1 degree.
+	b := borderRows(rows, 1.0, 10)
+	// 0.1 (near 0 border), 35.9 (near 36), 36.1 (near 36) are border
+	// rows; 18.0 is interior.
+	if len(b) != 3 {
+		t.Errorf("border rows = %d (%v), want 3", len(b), b)
+	}
+}
+
+func TestAngSepConsistency(t *testing.T) {
+	// The baselines must use the same geometry as the engine UDF.
+	if sphgeom.AngSepDeg(10, 0, 10.5, 0) >= 0.51 {
+		t.Error("geometry sanity check failed")
+	}
+}
+
+func BenchmarkNaiveJoin500(b *testing.B) {
+	rows := randomRows(500, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveNearNeighborCount(rows, 0.5)
+	}
+}
+
+func BenchmarkGridJoin500(b *testing.B) {
+	rows := randomRows(500, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GridNearNeighborCount(rows, 0.5, 2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package core implements Qserv's primary contribution: the frontend
+// query processing of paper section 5.3. A user SELECT is analyzed to
+// detect spatial restrictions (qserv_areaspec_*), secondary-index
+// opportunities (objectId predicates), partitioned table references,
+// aliases and joins, and aggregations; it is then rewritten into
+// per-chunk "chunk queries" (Object -> LSST.Object_CC, areaspec ->
+// qserv_ptInSphericalBox, AVG -> SUM/COUNT) plus a master-side merge
+// query that combines and re-aggregates worker results.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/meta"
+	"repro/internal/sphgeom"
+	"repro/internal/sqlparse"
+)
+
+// areaspec pseudo-function names accepted in WHERE clauses.
+const (
+	areaspecBox    = "qserv_areaspec_box"
+	areaspecCircle = "qserv_areaspec_circle"
+	angSepFunc     = "qserv_angSep"
+)
+
+// PartRef is a FROM-clause reference to a partitioned table.
+type PartRef struct {
+	Ref  sqlparse.TableRef
+	Info *meta.TableInfo
+}
+
+// NearNeighbor describes a detected spatial self-join: two references to
+// the same partitioned table constrained by qserv_angSep(...) < radius.
+type NearNeighbor struct {
+	// First and Second are the alias names of the two sides.
+	First, Second string
+	// Radius is the angular threshold in degrees.
+	Radius float64
+}
+
+// Analysis is everything the planner extracts from a user query.
+type Analysis struct {
+	// Stmt is the user's statement with the areaspec pseudo-function
+	// rewritten into a worker-executable qserv_ptInSphericalBox /
+	// qserv_ptInSphericalCircle predicate (paper section 5.3 example).
+	Stmt *sqlparse.Select
+	// Region is the spatial restriction, nil when the query is full-sky.
+	Region sphgeom.Region
+	// ObjectIDs are director-key equality restrictions usable with the
+	// secondary index; empty when none apply.
+	ObjectIDs []int64
+	// PartRefs are references to partitioned tables, in FROM order.
+	PartRefs []PartRef
+	// NonPartRefs are references to unpartitioned (replicated) tables.
+	NonPartRefs []sqlparse.TableRef
+	// NearNeighbor is non-nil for spatial self-joins needing subchunks.
+	NearNeighbor *NearNeighbor
+	// HasAggregates reports aggregate functions in the select list or
+	// ORDER BY.
+	HasAggregates bool
+
+	// coords accumulates RA/decl BETWEEN bounds during analysis.
+	coords *coordRange
+}
+
+// Analyze inspects a user SELECT against the registry.
+func Analyze(sel *sqlparse.Select, reg *meta.Registry) (*Analysis, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("core: query has no FROM clause")
+	}
+	a := &Analysis{Stmt: sel.Clone()}
+
+	// Classify table references (paper: "detect database and table
+	// references"). The user addresses logical tables; an explicit
+	// database qualifier must match the catalog.
+	for _, ref := range a.Stmt.From {
+		if ref.DB != "" && !strings.EqualFold(ref.DB, reg.DB) {
+			return nil, fmt.Errorf("core: unknown database %q (catalog is %s)", ref.DB, reg.DB)
+		}
+		info, err := reg.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		if info.Partitioned {
+			a.PartRefs = append(a.PartRefs, PartRef{Ref: ref, Info: info})
+		} else {
+			a.NonPartRefs = append(a.NonPartRefs, ref)
+		}
+	}
+
+	// Detect and strip spatial restrictions; detect objectId predicates
+	// and the near-neighbor pattern — all from top-level conjuncts.
+	if err := a.analyzeWhere(reg); err != nil {
+		return nil, err
+	}
+
+	// Detect aggregations (paper: "other preparation for results
+	// merging and aggregation").
+	seen := false
+	check := func(e sqlparse.Expr) {
+		sqlparse.WalkExpr(e, func(n sqlparse.Expr) bool {
+			if fc, ok := n.(*sqlparse.FuncCall); ok && fc.IsAggregate() {
+				seen = true
+			}
+			return true
+		})
+	}
+	for _, it := range a.Stmt.Items {
+		check(it.Expr)
+	}
+	for _, o := range a.Stmt.OrderBy {
+		check(o.Expr)
+	}
+	a.HasAggregates = seen || len(a.Stmt.GroupBy) > 0
+
+	return a, nil
+}
+
+// analyzeWhere scans the top-level conjunction for areaspec calls,
+// director-key restrictions, and the near-neighbor join predicate. The
+// areaspec call is replaced in the statement by a point-in-region UDF
+// predicate on the first partitioned table's position columns.
+func (a *Analysis) analyzeWhere(reg *meta.Registry) error {
+	conjuncts := flattenAnd(a.Stmt.Where)
+	var kept []sqlparse.Expr
+
+	for _, c := range conjuncts {
+		// qserv_areaspec_box(raMin, declMin, raMax, declMax) used as a
+		// bare predicate conjunct.
+		if fc, ok := c.(*sqlparse.FuncCall); ok {
+			switch {
+			case strings.EqualFold(fc.Name, areaspecBox):
+				if a.Region != nil {
+					return fmt.Errorf("core: multiple areaspec restrictions")
+				}
+				args, err := literalFloats(fc.Args, 4, areaspecBox)
+				if err != nil {
+					return err
+				}
+				a.Region = sphgeom.NewBox(args[0], args[2], args[1], args[3])
+				pred, err := a.regionPredicate(fc)
+				if err != nil {
+					return err
+				}
+				kept = append(kept, pred)
+				continue
+			case strings.EqualFold(fc.Name, areaspecCircle):
+				if a.Region != nil {
+					return fmt.Errorf("core: multiple areaspec restrictions")
+				}
+				args, err := literalFloats(fc.Args, 3, areaspecCircle)
+				if err != nil {
+					return err
+				}
+				a.Region = sphgeom.NewCircle(sphgeom.NewPoint(args[0], args[1]), args[2])
+				pred, err := a.regionPredicate(fc)
+				if err != nil {
+					return err
+				}
+				kept = append(kept, pred)
+				continue
+			}
+		}
+
+		// Director-key restriction: objectId = N or objectId IN (...)
+		// on a partitioned table (paper: "detect index opportunities").
+		if ids, ok := a.directorIDs(c); ok {
+			a.ObjectIDs = append(a.ObjectIDs, ids...)
+		}
+
+		// Coordinate-range restriction: ra BETWEEN a AND b / decl
+		// BETWEEN c AND d on the director table's position columns
+		// also restrict the chunk set (the paper's LV3 uses exactly
+		// this form). The predicate stays in WHERE — workers still
+		// need it to filter rows.
+		a.noteCoordRange(c)
+
+		// Near-neighbor predicate: qserv_angSep(x1, y1, x2, y2) < r
+		// across two references to the same partitioned table.
+		if nn := a.nearNeighborOf(c); nn != nil {
+			if a.NearNeighbor == nil {
+				a.NearNeighbor = nn
+			}
+		}
+
+		kept = append(kept, c)
+	}
+
+	a.Stmt.Where = rebuildAnd(kept)
+	a.finishCoordRange()
+	return nil
+}
+
+// coordRange accumulates BETWEEN bounds on the first partitioned
+// table's RA/decl columns during WHERE analysis.
+type coordRange struct {
+	raLo, raHi     float64
+	declLo, declHi float64
+	hasRA, hasDecl bool
+}
+
+// noteCoordRange records `<col> BETWEEN <lo> AND <hi>` when col is the
+// first partitioned reference's RA or declination column.
+func (a *Analysis) noteCoordRange(c sqlparse.Expr) {
+	if len(a.PartRefs) == 0 {
+		return
+	}
+	be, ok := c.(*sqlparse.BetweenExpr)
+	if ok && !be.Not {
+		cr, ok := be.X.(*sqlparse.ColumnRef)
+		if !ok {
+			return
+		}
+		pr := a.PartRefs[0]
+		if cr.Table != "" && !strings.EqualFold(cr.Table, pr.Ref.Name()) {
+			return
+		}
+		lo, okLo := numericLiteral(be.Lo)
+		hi, okHi := numericLiteral(be.Hi)
+		if !okLo || !okHi {
+			return
+		}
+		if a.coords == nil {
+			a.coords = &coordRange{}
+		}
+		switch {
+		case strings.EqualFold(cr.Column, pr.Info.RAColumn):
+			a.coords.raLo, a.coords.raHi, a.coords.hasRA = lo, hi, true
+		case strings.EqualFold(cr.Column, pr.Info.DeclColumn):
+			a.coords.declLo, a.coords.declHi, a.coords.hasDecl = lo, hi, true
+		}
+	}
+}
+
+// finishCoordRange converts accumulated coordinate bounds into a Region
+// when no explicit areaspec already set one.
+func (a *Analysis) finishCoordRange() {
+	if a.Region != nil || a.coords == nil {
+		return
+	}
+	cr := a.coords
+	if !cr.hasRA && !cr.hasDecl {
+		return
+	}
+	raLo, raHi := 0.0, 360.0
+	if cr.hasRA {
+		raLo, raHi = cr.raLo, cr.raHi
+	}
+	declLo, declHi := -90.0, 90.0
+	if cr.hasDecl {
+		declLo, declHi = cr.declLo, cr.declHi
+	}
+	a.Region = sphgeom.NewBox(raLo, raHi, declLo, declHi)
+}
+
+func numericLiteral(e sqlparse.Expr) (float64, bool) {
+	lit, ok := e.(*sqlparse.Literal)
+	if !ok {
+		return 0, false
+	}
+	switch v := lit.Val.(type) {
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
+	}
+	return 0, false
+}
+
+// regionPredicate builds the worker-executable replacement for an
+// areaspec call: qserv_ptInSphericalBox(raCol, declCol, args...) = 1 on
+// the first partitioned table (the paper's rewriting example). Queries
+// over only unpartitioned tables reject areaspec.
+func (a *Analysis) regionPredicate(fc *sqlparse.FuncCall) (sqlparse.Expr, error) {
+	if len(a.PartRefs) == 0 {
+		return nil, fmt.Errorf("core: %s requires a partitioned table", fc.Name)
+	}
+	pr := a.PartRefs[0]
+	qualifier := ""
+	if len(a.Stmt.From) > 1 {
+		qualifier = pr.Ref.Name()
+	}
+	udf := "qserv_ptInSphericalBox"
+	if strings.EqualFold(fc.Name, areaspecCircle) {
+		udf = "qserv_ptInSphericalCircle"
+	}
+	args := []sqlparse.Expr{
+		&sqlparse.ColumnRef{Table: qualifier, Column: pr.Info.RAColumn},
+		&sqlparse.ColumnRef{Table: qualifier, Column: pr.Info.DeclColumn},
+	}
+	// Reorder box args: areaspec_box(raMin, declMin, raMax, declMax) ->
+	// ptInSphericalBox(ra, decl, raMin, declMin, raMax, declMax): same
+	// order, appended.
+	for _, arg := range fc.Args {
+		args = append(args, sqlparse.CloneExpr(arg))
+	}
+	return &sqlparse.BinaryExpr{
+		Op: "=",
+		L:  &sqlparse.FuncCall{Name: udf, Args: args},
+		R:  &sqlparse.Literal{Val: int64(1)},
+	}, nil
+}
+
+// directorIDs recognizes director-key point restrictions on a top-level
+// conjunct: <key> = <int literal> or <key> IN (<int literals>), where
+// <key> names the director key of some partitioned table reference.
+func (a *Analysis) directorIDs(c sqlparse.Expr) ([]int64, bool) {
+	isDirectorCol := func(e sqlparse.Expr) bool {
+		cr, ok := e.(*sqlparse.ColumnRef)
+		if !ok {
+			return false
+		}
+		for _, pr := range a.PartRefs {
+			if pr.Info.DirectorKey == "" {
+				continue
+			}
+			if !strings.EqualFold(cr.Column, pr.Info.DirectorKey) {
+				continue
+			}
+			if cr.Table == "" || strings.EqualFold(cr.Table, pr.Ref.Name()) {
+				return true
+			}
+		}
+		return false
+	}
+	intLit := func(e sqlparse.Expr) (int64, bool) {
+		lit, ok := e.(*sqlparse.Literal)
+		if !ok {
+			return 0, false
+		}
+		switch v := lit.Val.(type) {
+		case int64:
+			return v, true
+		case float64:
+			if v == float64(int64(v)) {
+				return int64(v), true
+			}
+		}
+		return 0, false
+	}
+	switch v := c.(type) {
+	case *sqlparse.BinaryExpr:
+		if v.Op != "=" {
+			return nil, false
+		}
+		if isDirectorCol(v.L) {
+			if n, ok := intLit(v.R); ok {
+				return []int64{n}, true
+			}
+		}
+		if isDirectorCol(v.R) {
+			if n, ok := intLit(v.L); ok {
+				return []int64{n}, true
+			}
+		}
+	case *sqlparse.InExpr:
+		if v.Not || !isDirectorCol(v.X) {
+			return nil, false
+		}
+		var out []int64
+		for _, item := range v.List {
+			n, ok := intLit(item)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, n)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// nearNeighborOf recognizes qserv_angSep(a.x, a.y, b.x, b.y) < r between
+// two references to the same partitioned table.
+func (a *Analysis) nearNeighborOf(c sqlparse.Expr) *NearNeighbor {
+	be, ok := c.(*sqlparse.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	var call *sqlparse.FuncCall
+	var radiusExpr sqlparse.Expr
+	switch {
+	case be.Op == "<" || be.Op == "<=":
+		if fc, ok := be.L.(*sqlparse.FuncCall); ok && strings.EqualFold(fc.Name, angSepFunc) {
+			call, radiusExpr = fc, be.R
+		}
+	case be.Op == ">" || be.Op == ">=":
+		if fc, ok := be.R.(*sqlparse.FuncCall); ok && strings.EqualFold(fc.Name, angSepFunc) {
+			call, radiusExpr = fc, be.L
+		}
+	}
+	if call == nil || len(call.Args) != 4 {
+		return nil
+	}
+	lit, ok := radiusExpr.(*sqlparse.Literal)
+	if !ok {
+		return nil
+	}
+	var radius float64
+	switch v := lit.Val.(type) {
+	case int64:
+		radius = float64(v)
+	case float64:
+		radius = v
+	default:
+		return nil
+	}
+
+	// The four args must reference exactly two distinct partitioned
+	// refs of the same table: (t1, t1, t2, t2).
+	tableOf := func(e sqlparse.Expr) string {
+		if cr, ok := e.(*sqlparse.ColumnRef); ok {
+			return cr.Table
+		}
+		return ""
+	}
+	t1, t2 := tableOf(call.Args[0]), tableOf(call.Args[2])
+	if t1 == "" || t2 == "" || strings.EqualFold(t1, t2) {
+		return nil
+	}
+	if !strings.EqualFold(tableOf(call.Args[1]), t1) || !strings.EqualFold(tableOf(call.Args[3]), t2) {
+		return nil
+	}
+	var p1, p2 *PartRef
+	for i := range a.PartRefs {
+		pr := &a.PartRefs[i]
+		if strings.EqualFold(pr.Ref.Name(), t1) {
+			p1 = pr
+		}
+		if strings.EqualFold(pr.Ref.Name(), t2) {
+			p2 = pr
+		}
+	}
+	if p1 == nil || p2 == nil {
+		return nil
+	}
+	if !strings.EqualFold(p1.Info.Name, p2.Info.Name) {
+		return nil // Object x Source joins do not need subchunks
+	}
+	return &NearNeighbor{First: p1.Ref.Name(), Second: p2.Ref.Name(), Radius: radius}
+}
+
+// flattenAnd splits a conjunction tree into its conjuncts.
+func flattenAnd(e sqlparse.Expr) []sqlparse.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// rebuildAnd reassembles conjuncts into a right-leaning AND tree.
+func rebuildAnd(conjuncts []sqlparse.Expr) sqlparse.Expr {
+	var out sqlparse.Expr
+	for i := len(conjuncts) - 1; i >= 0; i-- {
+		if out == nil {
+			out = conjuncts[i]
+		} else {
+			out = &sqlparse.BinaryExpr{Op: "AND", L: conjuncts[i], R: out}
+		}
+	}
+	return out
+}
+
+// literalFloats extracts n numeric literal arguments.
+func literalFloats(args []sqlparse.Expr, n int, fn string) ([]float64, error) {
+	if len(args) != n {
+		return nil, fmt.Errorf("core: %s takes %d arguments, got %d", fn, n, len(args))
+	}
+	out := make([]float64, n)
+	for i, a := range args {
+		lit, ok := a.(*sqlparse.Literal)
+		if !ok {
+			return nil, fmt.Errorf("core: %s arguments must be numeric literals", fn)
+		}
+		switch v := lit.Val.(type) {
+		case int64:
+			out[i] = float64(v)
+		case float64:
+			out[i] = v
+		default:
+			return nil, fmt.Errorf("core: %s arguments must be numeric literals", fn)
+		}
+	}
+	return out, nil
+}

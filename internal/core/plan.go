@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlparse"
+)
+
+// ErrNoPartitionedTable marks queries that touch only unpartitioned
+// tables; the czar runs those directly on its local engine instead of
+// dispatching chunk queries.
+var ErrNoPartitionedTable = errors.New("core: query references no partitioned table")
+
+// Planner turns analyzed user queries into executable plans. It needs
+// the catalog registry for table metadata and, optionally, the objectId
+// secondary index for point-query chunk elimination.
+type Planner struct {
+	Registry *meta.Registry
+	Index    *meta.ObjectIndex // may be nil
+}
+
+// Plan is everything the czar needs to execute one user query: the
+// chunk set, a per-chunk SQL generator, and the merge query that
+// combines worker results (paper sections 5.3-5.4).
+type Plan struct {
+	Analysis *Analysis
+	// Chunks to dispatch to, ascending.
+	Chunks []partition.ChunkID
+	// SubChunksByChunk lists the subchunks each chunk query must cover;
+	// nil when the plan does not use subchunks.
+	SubChunksByChunk map[partition.ChunkID][]partition.SubChunkID
+	// workerSel is the worker-side statement template. Partitioned
+	// table names carry placeholders substituted per chunk/subchunk.
+	workerSel *sqlparse.Select
+	// Merge is the master-side statement run over the collected result
+	// table; its FROM references the placeholder table name
+	// MergeTablePlaceholder.
+	Merge *sqlparse.Select
+	// ResultColumns are the output column names, used to synthesize an
+	// empty result when no chunk is dispatched.
+	ResultColumns []string
+
+	registry *meta.Registry
+}
+
+// Placeholders substituted during per-chunk SQL generation.
+const (
+	chunkPlaceholder    = "%CC%"
+	subChunkPlaceholder = "%SS%"
+	// MergeTablePlaceholder is the FROM table of the merge statement,
+	// replaced by the czar with its session result table.
+	MergeTablePlaceholder = "QSERV_RESULT"
+)
+
+// ChunkQuery is the payload dispatched to a worker for one chunk: the
+// paper's chunk-query format (section 5.4) — an optional SUBCHUNKS
+// header line followed by SQL statements.
+type ChunkQuery struct {
+	Chunk      partition.ChunkID
+	SubChunks  []partition.SubChunkID
+	Statements []string
+}
+
+// Payload renders the chunk query in the wire format:
+//
+//	-- SUBCHUNKS: <id0>[, <id1>...]
+//	<SQL statement 1>;
+//	...
+func (cq ChunkQuery) Payload() []byte {
+	var sb strings.Builder
+	if len(cq.SubChunks) > 0 {
+		sb.WriteString("-- SUBCHUNKS:")
+		for i, s := range cq.SubChunks {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, " %d", s)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, st := range cq.Statements {
+		sb.WriteString(st)
+		sb.WriteString(";\n")
+	}
+	return []byte(sb.String())
+}
+
+// ParseSubChunksHeader extracts the subchunk list from a chunk-query
+// payload; ok is false when the payload has no header.
+func ParseSubChunksHeader(payload []byte) ([]partition.SubChunkID, bool) {
+	s := string(payload)
+	line, _, _ := strings.Cut(s, "\n")
+	const prefix = "-- SUBCHUNKS:"
+	if !strings.HasPrefix(line, prefix) {
+		return nil, false
+	}
+	var out []partition.SubChunkID
+	for _, part := range strings.Split(line[len(prefix):], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(part, "%d", &id); err != nil {
+			return nil, false
+		}
+		out = append(out, partition.SubChunkID(id))
+	}
+	return out, true
+}
+
+// NewPlanner builds a planner.
+func NewPlanner(reg *meta.Registry, index *meta.ObjectIndex) *Planner {
+	return &Planner{Registry: reg, Index: index}
+}
+
+// Plan analyzes and plans a user SELECT against the given set of placed
+// chunks (the chunks that actually hold data; a full-sky query visits
+// all of them).
+func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan, error) {
+	a, err := Analyze(sel, pl.Registry)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.PartRefs) == 0 {
+		return nil, fmt.Errorf("%w", ErrNoPartitionedTable)
+	}
+
+	p := &Plan{Analysis: a, registry: pl.Registry}
+
+	// Chunk set selection (paper section 5.5): secondary index for
+	// director-key restrictions, spatial cover for region restrictions,
+	// all placed chunks otherwise.
+	switch {
+	case len(a.ObjectIDs) > 0 && pl.Index != nil:
+		seen := map[partition.ChunkID]bool{}
+		for _, id := range a.ObjectIDs {
+			if loc, ok := pl.Index.Lookup(id); ok && !seen[loc.Chunk] {
+				seen[loc.Chunk] = true
+				p.Chunks = append(p.Chunks, loc.Chunk)
+			}
+		}
+		sortChunks(p.Chunks)
+	case a.Region != nil:
+		cover := pl.Registry.Chunker.ChunksIn(a.Region)
+		p.Chunks = intersectChunks(cover, placed)
+	default:
+		p.Chunks = append(p.Chunks, placed...)
+		sortChunks(p.Chunks)
+	}
+
+	// Near-neighbor plans need subchunk lists and an overlap-margin
+	// check (joins are only correct within the stored overlap).
+	if a.NearNeighbor != nil {
+		overlap := pl.Registry.Chunker.Config().Overlap
+		if a.NearNeighbor.Radius > overlap {
+			return nil, fmt.Errorf(
+				"core: near-neighbor radius %g deg exceeds the partition overlap %g deg",
+				a.NearNeighbor.Radius, overlap)
+		}
+		p.SubChunksByChunk = map[partition.ChunkID][]partition.SubChunkID{}
+		for _, c := range p.Chunks {
+			var subs []partition.SubChunkID
+			var err error
+			if a.Region != nil {
+				subs, err = pl.Registry.Chunker.SubChunksIn(c, a.Region)
+			} else {
+				subs, err = pl.Registry.Chunker.AllSubChunks(c)
+			}
+			if err != nil {
+				return nil, err
+			}
+			p.SubChunksByChunk[c] = subs
+		}
+	}
+
+	if err := p.buildTemplates(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func sortChunks(cs []partition.ChunkID) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func intersectChunks(a, b []partition.ChunkID) []partition.ChunkID {
+	inB := make(map[partition.ChunkID]bool, len(b))
+	for _, c := range b {
+		inB[c] = true
+	}
+	var out []partition.ChunkID
+	for _, c := range a {
+		if inB[c] {
+			out = append(out, c)
+		}
+	}
+	sortChunks(out)
+	return out
+}
+
+// QueryFor renders the chunk query for one chunk.
+func (p *Plan) QueryFor(chunk partition.ChunkID) ChunkQuery {
+	cq := ChunkQuery{Chunk: chunk}
+	cc := fmt.Sprintf("%d", chunk)
+
+	if p.SubChunksByChunk == nil {
+		sql := strings.ReplaceAll(p.workerSel.SQL(), chunkPlaceholder, cc)
+		cq.Statements = []string{sql}
+		return cq
+	}
+
+	// Near-neighbor: one pair of statements per subchunk — the self
+	// pairs (o2 from the subchunk) and the overlap pairs (o2 from the
+	// subchunk's overlap table). Their pair sets are disjoint, so
+	// results concatenate (and aggregate) correctly.
+	subs := p.SubChunksByChunk[chunk]
+	cq.SubChunks = subs
+	base := p.workerSel.SQL()
+	for _, ss := range subs {
+		s := strings.ReplaceAll(base, chunkPlaceholder, cc)
+		selfSQL := strings.ReplaceAll(s, subChunkPlaceholder, fmt.Sprintf("%d", ss))
+		cq.Statements = append(cq.Statements, selfSQL)
+		// Swap the o2 subchunk table for its overlap companion.
+		nn := p.Analysis.NearNeighbor
+		tbl := p.Analysis.PartRefs[0].Info.Name
+		subName := meta.SubChunkTableName(tbl, chunk, ss)
+		ovName := meta.SubChunkOverlapTableName(tbl, chunk, ss)
+		// Only the second alias's table flips to the overlap table.
+		overlapSQL := replaceAliasedTable(selfSQL, subName, ovName, nn.Second)
+		cq.Statements = append(cq.Statements, overlapSQL)
+	}
+	return cq
+}
+
+// replaceAliasedTable rewrites `<from> AS <alias>` to `<to> AS <alias>`
+// in rendered SQL. Operating on the rendered text is safe because the
+// deparser always emits the canonical `db.table AS alias` form. The
+// table may appear backquoted (the template's placeholder forces
+// quoting), so both spellings are tried.
+func replaceAliasedTable(sql, from, to, alias string) string {
+	quoted := fmt.Sprintf("`%s` AS %s", from, alias)
+	if strings.Contains(sql, quoted) {
+		return strings.Replace(sql, quoted, fmt.Sprintf("`%s` AS %s", to, alias), 1)
+	}
+	needle := fmt.Sprintf("%s AS %s", from, alias)
+	repl := fmt.Sprintf("%s AS %s", to, alias)
+	return strings.Replace(sql, needle, repl, 1)
+}
+
+// MergeSQL renders the merge statement against the czar's result table.
+func (p *Plan) MergeSQL(resultTable string) string {
+	sql := p.Merge.SQL()
+	return strings.ReplaceAll(sql, MergeTablePlaceholder, resultTable)
+}

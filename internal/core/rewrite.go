@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// buildTemplates constructs the worker-side statement template and the
+// master-side merge statement from the analysis. This is the rewriting
+// machinery of paper section 5.3: table-name substitution, the
+// AVG -> SUM/COUNT style aggregate split, and alias management.
+func (p *Plan) buildTemplates() error {
+	a := p.Analysis
+	worker := a.Stmt.Clone()
+
+	// --- FROM rewrite: logical tables -> physical chunk tables -------
+	nnAliases := map[string]bool{}
+	if a.NearNeighbor != nil {
+		nnAliases[strings.ToLower(a.NearNeighbor.First)] = true
+		nnAliases[strings.ToLower(a.NearNeighbor.Second)] = true
+	}
+	for i := range worker.From {
+		ref := &worker.From[i]
+		info := p.partInfoFor(ref.Table)
+		alias := ref.Name()
+		if info == nil {
+			// Unpartitioned tables are replicated to every worker and
+			// keep their name, gaining the database qualifier.
+			ref.DB = p.registry.DB
+			ref.Alias = alias
+			continue
+		}
+		physical := info.Name + "_" + chunkPlaceholder
+		if a.NearNeighbor != nil && nnAliases[strings.ToLower(alias)] {
+			physical = info.Name + "_" + chunkPlaceholder + "_" + subChunkPlaceholder
+		}
+		ref.DB = p.registry.DB
+		ref.Table = physical
+		ref.Alias = alias
+	}
+
+	// --- select-list split -------------------------------------------
+	if a.HasAggregates {
+		return p.buildAggregateTemplates(worker)
+	}
+	return p.buildPassThroughTemplates(worker)
+}
+
+// partInfoFor returns table metadata for partitioned references.
+func (p *Plan) partInfoFor(table string) *metaInfo {
+	for _, pr := range p.Analysis.PartRefs {
+		if strings.EqualFold(pr.Ref.Table, table) {
+			return &metaInfo{Name: pr.Info.Name}
+		}
+	}
+	return nil
+}
+
+// metaInfo is the slice of meta.TableInfo the rewriter needs; declared
+// locally to keep the rewrite layer independent of storage details.
+type metaInfo struct {
+	Name string
+}
+
+// splitter allocates worker-side output columns with stable qserv_N
+// aliases, deduplicating by expression text.
+type splitter struct {
+	workerItems []sqlparse.SelectItem
+	byText      map[string]string
+	n           int
+}
+
+func newSplitter() *splitter { return &splitter{byText: map[string]string{}} }
+
+// workerCol ensures expr is computed by the worker under a generated
+// alias and returns a reference to that output column.
+func (s *splitter) workerCol(expr sqlparse.Expr) *sqlparse.ColumnRef {
+	key := expr.SQL()
+	if alias, ok := s.byText[key]; ok {
+		return &sqlparse.ColumnRef{Column: alias}
+	}
+	alias := fmt.Sprintf("qserv_c%d", s.n)
+	s.n++
+	s.byText[key] = alias
+	s.workerItems = append(s.workerItems, sqlparse.SelectItem{Expr: sqlparse.CloneExpr(expr), Alias: alias})
+	return &sqlparse.ColumnRef{Column: alias}
+}
+
+// splitExpr rewrites an expression for the merge side: aggregate calls
+// become merge aggregates over worker partials (the paper's
+// AVG(x) -> SUM(SUM(x))/SUM(COUNT(x)) example), and bare columns become
+// references to worker output columns.
+func (s *splitter) splitExpr(e sqlparse.Expr) (sqlparse.Expr, error) {
+	switch v := e.(type) {
+	case *sqlparse.Literal:
+		return sqlparse.CloneExpr(v), nil
+
+	case *sqlparse.ColumnRef:
+		return s.workerCol(v), nil
+
+	case *sqlparse.Star:
+		return nil, fmt.Errorf("core: bare '*' cannot appear in an aggregate select list")
+
+	case *sqlparse.FuncCall:
+		if !v.IsAggregate() {
+			// Scalar function over (possibly) aggregates: split args.
+			args := make([]sqlparse.Expr, len(v.Args))
+			for i, arg := range v.Args {
+				sub, err := s.splitExpr(arg)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = sub
+			}
+			return &sqlparse.FuncCall{Name: v.Name, Args: args}, nil
+		}
+		if v.Distinct {
+			return nil, fmt.Errorf("core: %s(DISTINCT ...) is not supported in distributed queries", v.Name)
+		}
+		fn := strings.ToUpper(v.Name)
+		switch fn {
+		case "COUNT":
+			// COUNT merges as the sum of partial counts; over zero
+			// chunks that sum is empty, and COUNT must yield 0, not
+			// NULL.
+			partial := s.workerCol(&sqlparse.FuncCall{Name: "COUNT", Args: cloneExprs(v.Args)})
+			sum := &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{partial}}
+			return &sqlparse.FuncCall{
+				Name: "IFNULL",
+				Args: []sqlparse.Expr{sum, &sqlparse.Literal{Val: int64(0)}},
+			}, nil
+		case "SUM":
+			partial := s.workerCol(&sqlparse.FuncCall{Name: "SUM", Args: cloneExprs(v.Args)})
+			return &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{partial}}, nil
+		case "MIN", "MAX":
+			partial := s.workerCol(&sqlparse.FuncCall{Name: fn, Args: cloneExprs(v.Args)})
+			return &sqlparse.FuncCall{Name: fn, Args: []sqlparse.Expr{partial}}, nil
+		case "AVG":
+			// The paper's example: AVG(x) becomes worker SUM(x) and
+			// COUNT(x), merged as SUM(SUM(x)) / SUM(COUNT(x)).
+			sums := s.workerCol(&sqlparse.FuncCall{Name: "SUM", Args: cloneExprs(v.Args)})
+			counts := s.workerCol(&sqlparse.FuncCall{Name: "COUNT", Args: cloneExprs(v.Args)})
+			return &sqlparse.BinaryExpr{
+				Op: "/",
+				L:  &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{sums}},
+				R:  &sqlparse.FuncCall{Name: "SUM", Args: []sqlparse.Expr{counts}},
+			}, nil
+		default:
+			return nil, fmt.Errorf("core: aggregate %s cannot be distributed", fn)
+		}
+
+	case *sqlparse.BinaryExpr:
+		l, err := s.splitExpr(v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.splitExpr(v.R)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.BinaryExpr{Op: v.Op, L: l, R: r}, nil
+
+	case *sqlparse.UnaryExpr:
+		x, err := s.splitExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.UnaryExpr{Op: v.Op, X: x}, nil
+
+	case *sqlparse.BetweenExpr:
+		x, err := s.splitExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := s.splitExpr(v.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := s.splitExpr(v.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.BetweenExpr{X: x, Lo: lo, Hi: hi, Not: v.Not}, nil
+
+	case *sqlparse.InExpr:
+		x, err := s.splitExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]sqlparse.Expr, len(v.List))
+		for i, item := range v.List {
+			y, err := s.splitExpr(item)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = y
+		}
+		return &sqlparse.InExpr{X: x, List: list, Not: v.Not}, nil
+
+	case *sqlparse.IsNullExpr:
+		x, err := s.splitExpr(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparse.IsNullExpr{X: x, Not: v.Not}, nil
+
+	default:
+		return nil, fmt.Errorf("core: cannot split %T", e)
+	}
+}
+
+func cloneExprs(in []sqlparse.Expr) []sqlparse.Expr {
+	out := make([]sqlparse.Expr, len(in))
+	for i, e := range in {
+		out[i] = sqlparse.CloneExpr(e)
+	}
+	return out
+}
+
+// buildAggregateTemplates constructs worker and merge statements for
+// queries with aggregates or GROUP BY.
+func (p *Plan) buildAggregateTemplates(worker *sqlparse.Select) error {
+	user := p.Analysis.Stmt
+	s := newSplitter()
+	merge := &sqlparse.Select{Limit: user.Limit, Distinct: user.Distinct,
+		From: []sqlparse.TableRef{{Table: MergeTablePlaceholder}}}
+
+	for _, it := range user.Items {
+		mexpr, err := s.splitExpr(it.Expr)
+		if err != nil {
+			return err
+		}
+		alias := it.Alias
+		if alias == "" {
+			alias = outputName(it.Expr)
+		}
+		merge.Items = append(merge.Items, sqlparse.SelectItem{Expr: mexpr, Alias: alias})
+	}
+
+	// Group keys: workers group by the original expressions, the merge
+	// re-groups by the corresponding worker output columns.
+	var workerGroup []sqlparse.Expr
+	for _, g := range user.GroupBy {
+		g = resolveItemAlias(g, user)
+		workerGroup = append(workerGroup, sqlparse.CloneExpr(g))
+		merge.GroupBy = append(merge.GroupBy, s.workerCol(g))
+	}
+
+	// ORDER BY applies only at the merge; expressions referencing item
+	// aliases resolve against the merge output, everything else splits.
+	for _, o := range user.OrderBy {
+		if cr, ok := o.Expr.(*sqlparse.ColumnRef); ok && cr.Table == "" && aliasDefined(user, cr.Column) {
+			merge.OrderBy = append(merge.OrderBy, sqlparse.OrderItem{Expr: sqlparse.CloneExpr(o.Expr), Desc: o.Desc})
+			continue
+		}
+		mexpr, err := s.splitExpr(resolveItemAlias(o.Expr, user))
+		if err != nil {
+			return err
+		}
+		merge.OrderBy = append(merge.OrderBy, sqlparse.OrderItem{Expr: mexpr, Desc: o.Desc})
+	}
+
+	worker.Items = s.workerItems
+	worker.GroupBy = workerGroup
+	worker.OrderBy = nil
+	worker.Limit = -1
+	worker.Distinct = false
+
+	p.workerSel = worker
+	p.Merge = merge
+	for _, it := range s.workerItems {
+		p.ResultColumns = append(p.ResultColumns, it.Alias)
+	}
+	return nil
+}
+
+// buildPassThroughTemplates handles non-aggregate queries: workers run
+// the projection as-is and the merge concatenates (SELECT *), applying
+// DISTINCT, ORDER BY and LIMIT.
+func (p *Plan) buildPassThroughTemplates(worker *sqlparse.Select) error {
+	user := p.Analysis.Stmt
+	merge := &sqlparse.Select{
+		Items:    []sqlparse.SelectItem{{Expr: &sqlparse.Star{}}},
+		From:     []sqlparse.TableRef{{Table: MergeTablePlaceholder}},
+		Limit:    user.Limit,
+		Distinct: user.Distinct,
+	}
+
+	hasStar := false
+	outNames := map[string]bool{}
+	for _, it := range user.Items {
+		if _, ok := it.Expr.(*sqlparse.Star); ok {
+			hasStar = true
+			continue
+		}
+		outNames[strings.ToLower(outputNameOf(it))] = true
+	}
+
+	// Map ORDER BY onto result-table columns; order keys that are not
+	// in the output become hidden worker columns.
+	hiddenN := 0
+	for _, o := range user.OrderBy {
+		name := outputName(o.Expr)
+		if outNames[strings.ToLower(name)] {
+			merge.OrderBy = append(merge.OrderBy,
+				sqlparse.OrderItem{Expr: &sqlparse.ColumnRef{Column: name}, Desc: o.Desc})
+			continue
+		}
+		if cr, ok := o.Expr.(*sqlparse.ColumnRef); ok && hasStar && cr.Table == "" {
+			// A star projection carries every base column through.
+			merge.OrderBy = append(merge.OrderBy,
+				sqlparse.OrderItem{Expr: &sqlparse.ColumnRef{Column: cr.Column}, Desc: o.Desc})
+			continue
+		}
+		if hasStar {
+			return fmt.Errorf("core: ORDER BY %s cannot combine with '*' projection", o.Expr.SQL())
+		}
+		alias := fmt.Sprintf("qserv_ord%d", hiddenN)
+		hiddenN++
+		worker.Items = append(worker.Items, sqlparse.SelectItem{Expr: sqlparse.CloneExpr(o.Expr), Alias: alias})
+		merge.OrderBy = append(merge.OrderBy,
+			sqlparse.OrderItem{Expr: &sqlparse.ColumnRef{Column: alias}, Desc: o.Desc})
+	}
+
+	// Hidden order columns must not leak into the final output.
+	if hiddenN > 0 {
+		merge.Items = nil
+		for _, it := range user.Items {
+			name := outputNameOf(it)
+			merge.Items = append(merge.Items,
+				sqlparse.SelectItem{Expr: &sqlparse.ColumnRef{Column: name}, Alias: name})
+		}
+	}
+
+	worker.OrderBy = nil
+	// LIMIT pushdown is sound only without ordering: any N rows do.
+	if len(user.OrderBy) > 0 || user.Distinct {
+		worker.Limit = -1
+	}
+
+	p.workerSel = worker
+	p.Merge = merge
+	for _, it := range worker.Items {
+		if st, ok := it.Expr.(*sqlparse.Star); ok {
+			cols, err := p.expandStarColumns(st)
+			if err != nil {
+				return err
+			}
+			p.ResultColumns = append(p.ResultColumns, cols...)
+			continue
+		}
+		p.ResultColumns = append(p.ResultColumns, outputNameOf(it))
+	}
+	return nil
+}
+
+// expandStarColumns resolves a star projection to concrete column names
+// using catalog schemas (needed to synthesize empty results).
+func (p *Plan) expandStarColumns(st *sqlparse.Star) ([]string, error) {
+	var out []string
+	matched := false
+	for _, ref := range p.Analysis.Stmt.From {
+		if st.Table != "" && !strings.EqualFold(ref.Name(), st.Table) {
+			continue
+		}
+		matched = true
+		info, err := p.registry.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info.Schema.Names()...)
+	}
+	if !matched {
+		return nil, fmt.Errorf("core: unknown table %q in star projection", st.Table)
+	}
+	return out, nil
+}
+
+// outputNameOf returns the result-column name of a select item.
+func outputNameOf(it sqlparse.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	return outputName(it.Expr)
+}
+
+// outputName mirrors the engine's display naming: bare columns keep
+// their name, other expressions use their SQL text.
+func outputName(e sqlparse.Expr) string {
+	if cr, ok := e.(*sqlparse.ColumnRef); ok {
+		return cr.Column
+	}
+	return e.SQL()
+}
+
+// aliasDefined reports whether name is a select-item alias of the query.
+func aliasDefined(sel *sqlparse.Select, name string) bool {
+	for _, it := range sel.Items {
+		if strings.EqualFold(it.Alias, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveItemAlias replaces a bare reference to a select-item alias with
+// that item's expression (used by GROUP BY n/alias forms).
+func resolveItemAlias(e sqlparse.Expr, sel *sqlparse.Select) sqlparse.Expr {
+	cr, ok := e.(*sqlparse.ColumnRef)
+	if !ok || cr.Table != "" {
+		return e
+	}
+	for _, it := range sel.Items {
+		if strings.EqualFold(it.Alias, cr.Column) {
+			return it.Expr
+		}
+	}
+	return e
+}

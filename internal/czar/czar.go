@@ -1,0 +1,264 @@
+// Package czar implements the Qserv master frontend (the "qserv-master"
+// of Figure 1): it parses user SQL, plans chunk queries via the core
+// rewriter, dispatches them through the xrd fabric's two file
+// transactions, collects the mysqldump-style results byte-for-byte into
+// its local engine, merges them into a session result table, and runs
+// the merge/aggregation query to produce the final answer (paper
+// sections 5.3-5.5).
+package czar
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+	"repro/internal/xrd"
+)
+
+// Config controls a czar.
+type Config struct {
+	// Name identifies this master (multiple czars can share a cluster;
+	// see the paper's section 7.6 discussion).
+	Name string
+	// MaxParallelDispatch bounds in-flight chunk queries per user query.
+	MaxParallelDispatch int
+	// MaxRetriesPerChunk bounds replica failover attempts per chunk.
+	MaxRetriesPerChunk int
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig(name string) Config {
+	return Config{Name: name, MaxParallelDispatch: 64, MaxRetriesPerChunk: 3}
+}
+
+// Czar is one master frontend.
+type Czar struct {
+	cfg       Config
+	registry  *meta.Registry
+	planner   *core.Planner
+	placement *meta.Placement
+	client    *xrd.Client
+
+	// engine holds the metadata database, replicated small tables, and
+	// per-query result tables.
+	engine *sqlengine.Engine
+	// loadMu serializes dump-stream loading across concurrent user
+	// queries: result tables are content-addressed, so two identical
+	// in-flight queries would otherwise race on the same staging table.
+	loadMu sync.Mutex
+
+	seq atomic.Int64
+}
+
+// resultDB is the czar-local database holding merged result tables.
+const resultDB = "qservResult"
+
+// New builds a czar over a cluster.
+func New(cfg Config, registry *meta.Registry, index *meta.ObjectIndex,
+	placement *meta.Placement, red *xrd.Redirector) *Czar {
+	if cfg.MaxParallelDispatch <= 0 {
+		cfg.MaxParallelDispatch = 64
+	}
+	if cfg.MaxRetriesPerChunk <= 0 {
+		cfg.MaxRetriesPerChunk = 3
+	}
+	e := sqlengine.New(registry.DB)
+	e.CreateDatabase(resultDB)
+	return &Czar{
+		cfg:       cfg,
+		registry:  registry,
+		planner:   core.NewPlanner(registry, index),
+		placement: placement,
+		client:    xrd.NewClient(red),
+		engine:    e,
+	}
+}
+
+// Engine exposes the czar-local engine (for loading replicated tables).
+func (c *Czar) Engine() *sqlengine.Engine { return c.engine }
+
+// QueryResult is a final answer plus execution accounting.
+type QueryResult struct {
+	*sqlengine.Result
+	// ChunksDispatched counts chunk queries sent.
+	ChunksDispatched int
+	// ResultBytes counts dump-stream bytes collected from workers.
+	ResultBytes int64
+	// Elapsed is the wall-clock time of the whole query.
+	Elapsed time.Duration
+	// Retries counts replica failovers that occurred.
+	Retries int
+}
+
+// Query runs one user SQL statement to completion.
+func (c *Czar) Query(sql string) (*QueryResult, error) {
+	start := time.Now()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+
+	plan, err := c.planner.Plan(sel, c.placement.Chunks())
+	if errors.Is(err, core.ErrNoPartitionedTable) {
+		// Unpartitioned tables are replicated; answer locally.
+		res, lerr := c.engine.ExecuteStmt(sel)
+		if lerr != nil {
+			return nil, lerr
+		}
+		return &QueryResult{Result: res, Elapsed: time.Since(start)}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	qr, err := c.execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	qr.Elapsed = time.Since(start)
+	return qr, nil
+}
+
+// execute dispatches the plan's chunk queries, collects and merges the
+// results, and runs the final merge statement.
+func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
+	qr := &QueryResult{ChunksDispatched: len(plan.Chunks)}
+	resultTable := fmt.Sprintf("result_%d", c.seq.Add(1))
+	qualified := resultDB + "." + resultTable
+	defer func() {
+		if db, err := c.engine.Database(resultDB); err == nil {
+			_ = db.Drop(resultTable, true)
+		}
+	}()
+
+	type chunkResult struct {
+		chunk   partition.ChunkID
+		data    []byte
+		retries int
+		err     error
+	}
+	results := make(chan chunkResult, len(plan.Chunks))
+	sem := make(chan struct{}, c.cfg.MaxParallelDispatch)
+	var wg sync.WaitGroup
+	for _, chunk := range plan.Chunks {
+		wg.Add(1)
+		go func(chunk partition.ChunkID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, retries, err := c.runChunk(plan, chunk)
+			results <- chunkResult{chunk: chunk, data: data, retries: retries, err: err}
+		}(chunk)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collection and merging are serialized at the master — the
+	// bottleneck the paper discusses in section 7.6.
+	var merged *sqlengine.Table
+	resDB, err := c.engine.Database(resultDB)
+	if err != nil {
+		return nil, err
+	}
+	for cr := range results {
+		if cr.err != nil {
+			return nil, fmt.Errorf("czar %s: chunk %d: %w", c.cfg.Name, cr.chunk, cr.err)
+		}
+		qr.Retries += cr.retries
+		qr.ResultBytes += int64(len(cr.data))
+		// Execute the dump stream byte-for-byte (section 5.4), then
+		// fold the loaded table into the session result table.
+		if err := func() error {
+			c.loadMu.Lock()
+			defer c.loadMu.Unlock()
+			name, _, err := dump.Load(c.engine, string(cr.data))
+			if err != nil {
+				return fmt.Errorf("load chunk %d result: %w", cr.chunk, err)
+			}
+			defDB, err := c.engine.Database(c.engine.DefaultDB())
+			if err != nil {
+				return err
+			}
+			loaded, err := defDB.Table(name)
+			if err != nil {
+				return err
+			}
+			if merged == nil {
+				merged = sqlengine.NewTable(resultTable, loaded.Schema)
+				resDB.Put(merged)
+			}
+			if err := c.appendRows(merged, loaded); err != nil {
+				return err
+			}
+			return defDB.Drop(name, true)
+		}(); err != nil {
+			return nil, fmt.Errorf("czar %s: %w", c.cfg.Name, err)
+		}
+	}
+
+	// No chunks (e.g. objectId not in the index): synthesize an empty
+	// result table so the merge still produces a well-formed answer.
+	if merged == nil {
+		schema := make(sqlengine.Schema, len(plan.ResultColumns))
+		for i, col := range plan.ResultColumns {
+			schema[i] = sqlengine.Column{Name: col, Type: sqlparse.TypeFloat}
+		}
+		merged = sqlengine.NewTable(resultTable, schema)
+		resDB.Put(merged)
+	}
+
+	final, err := c.engine.Query(plan.MergeSQL(qualified))
+	if err != nil {
+		return nil, fmt.Errorf("czar %s: merge: %w", c.cfg.Name, err)
+	}
+	qr.Result = final
+	return qr, nil
+}
+
+// appendRows merges a loaded per-chunk result table into the session
+// result table, tolerating column order by position (chunk results all
+// come from the same worker template).
+func (c *Czar) appendRows(dst, src *sqlengine.Table) error {
+	if len(src.Schema) != len(dst.Schema) {
+		return fmt.Errorf("czar %s: result arity mismatch: %d vs %d",
+			c.cfg.Name, len(src.Schema), len(dst.Schema))
+	}
+	return dst.Insert(src.Rows...)
+}
+
+// runChunk performs the two file transactions for one chunk, failing
+// over to replicas when a worker dies between accepting the query and
+// serving the result.
+func (c *Czar) runChunk(plan *core.Plan, chunk partition.ChunkID) ([]byte, int, error) {
+	payload := plan.QueryFor(chunk).Payload()
+	queryPath := xrd.QueryPath(int(chunk))
+	resultPath := xrd.ResultPath(payload)
+
+	avoid := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxRetriesPerChunk; attempt++ {
+		endpoint, err := c.client.WriteAvoiding(queryPath, payload, avoid)
+		if err != nil {
+			return nil, attempt, err
+		}
+		data, err := c.client.ReadFrom(endpoint, resultPath)
+		if err == nil {
+			return data, attempt, nil
+		}
+		lastErr = err
+		avoid[endpoint] = true
+	}
+	return nil, c.cfg.MaxRetriesPerChunk, fmt.Errorf(
+		"czar %s: chunk %d failed after %d attempts: %w",
+		c.cfg.Name, chunk, c.cfg.MaxRetriesPerChunk, lastErr)
+}

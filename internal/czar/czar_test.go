@@ -1,0 +1,206 @@
+package czar
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sphgeom"
+	"repro/internal/sqlengine"
+	"repro/internal/worker"
+	"repro/internal/xrd"
+)
+
+// miniCluster wires one czar to two real workers over the in-process
+// fabric, with a handful of Object rows split across two chunks.
+func miniCluster(t *testing.T) (*Czar, []*worker.Worker, *xrd.Redirector) {
+	t.Helper()
+	ch, err := partition.NewChunker(partition.Config{
+		NumStripes: 18, NumSubStripesPerStripe: 4, Overlap: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := meta.LSSTRegistry(ch)
+	info, err := reg.Table("Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := xrd.NewRedirector()
+	index := meta.NewObjectIndex()
+	placement := meta.NewPlacement()
+
+	points := []struct {
+		id       int64
+		ra, decl float64
+	}{
+		{1, 30, 0}, {2, 30.2, 0.1}, {3, 210, 40}, {4, 210.3, 40.2},
+	}
+	// Group points by chunk.
+	byChunk := map[partition.ChunkID][]sqlengine.Row{}
+	for _, p := range points {
+		c, s := ch.Locate(sphgeom.NewPoint(p.ra, p.decl))
+		index.Put(p.id, meta.ChunkSub{Chunk: c, Sub: s})
+		byChunk[c] = append(byChunk[c], sqlengine.Row{
+			p.id, p.ra, p.decl, 1e-28, 1e-28, 1e-28, 1e-28, 1e-28, 1e-28,
+			2e-28, 0.05, int64(c), int64(s)})
+	}
+
+	var workers []*worker.Worker
+	i := 0
+	for c, rows := range byChunk {
+		w := worker.New(worker.DefaultConfig("w"+string(rune('0'+i))), reg)
+		t.Cleanup(w.Close)
+		if err := w.LoadChunk(info, c, rows, nil); err != nil {
+			t.Fatal(err)
+		}
+		srcInfo, _ := reg.Table("Source")
+		if err := w.LoadChunk(srcInfo, c, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		ep := xrd.NewLocalEndpoint(w.Name(), w)
+		red.Register(ep, xrd.QueryPath(int(c)), "/result")
+		placement.Assign(c, w.Name())
+		workers = append(workers, w)
+		i++
+	}
+	cz := New(DefaultConfig("czar-test"), reg, index, placement, red)
+	return cz, workers, red
+}
+
+func TestQueryCount(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	res, err := cz.Query("SELECT COUNT(*) FROM Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 4 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if res.ChunksDispatched != 2 {
+		t.Errorf("chunks = %d, want 2", res.ChunksDispatched)
+	}
+	if res.ResultBytes == 0 {
+		t.Error("no result bytes accounted")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestQueryPointViaIndex(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	res, err := cz.Query("SELECT objectId, ra_PS FROM Object WHERE objectId = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if res.ChunksDispatched != 1 {
+		t.Errorf("point query dispatched %d chunks", res.ChunksDispatched)
+	}
+}
+
+func TestQuerySpatialRestriction(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	res, err := cz.Query("SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(29, -1, 31, 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("box count = %v", res.Rows[0][0])
+	}
+	if res.ChunksDispatched != 1 {
+		t.Errorf("spatial query dispatched %d chunks, want 1", res.ChunksDispatched)
+	}
+}
+
+func TestQueryAggregateMerge(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	res, err := cz.Query("SELECT AVG(ra_PS) FROM Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (30 + 30.2 + 210 + 210.3) / 4.0
+	got := res.Rows[0][0].(float64)
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("avg = %v, want %v", got, want)
+	}
+}
+
+func TestQueryEmptyIndexMiss(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	res, err := cz.Query("SELECT COUNT(*), SUM(ra_PS) FROM Object WHERE objectId = 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunksDispatched != 0 {
+		t.Errorf("dispatched %d chunks for a missing id", res.ChunksDispatched)
+	}
+	if res.Rows[0][0].(int64) != 0 || !sqlengine.IsNull(res.Rows[0][1]) {
+		t.Errorf("empty aggregate: %v", res.Rows[0])
+	}
+}
+
+func TestReadFailureFailsOver(t *testing.T) {
+	cz, workers, red := miniCluster(t)
+	// Register a second replica for every chunk of worker 0 by loading
+	// the same chunks into a fresh worker.
+	reg := workers[0]
+	chunks := reg.Chunks()
+	if len(chunks) == 0 {
+		t.Fatal("worker 0 has no chunks")
+	}
+	// Kill worker 0 at the endpoint level: with no replica the query
+	// must fail with a chunk error.
+	for _, name := range red.EndpointNames() {
+		if name == workers[0].Name() {
+			red.SetDown(name, true)
+		}
+	}
+	_, err := cz.Query("SELECT COUNT(*) FROM Object")
+	if err == nil {
+		t.Fatal("query should fail with a dead unreplicated worker")
+	}
+	if !strings.Contains(err.Error(), "chunk") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestBadSQLRejected(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	if _, err := cz.Query("DELETE FROM Object"); err == nil {
+		t.Error("non-SELECT should be rejected")
+	}
+	if _, err := cz.Query("SELECT * FROM"); err == nil {
+		t.Error("malformed SQL should be rejected")
+	}
+}
+
+func TestResultTableCleanup(t *testing.T) {
+	cz, _, _ := miniCluster(t)
+	for i := 0; i < 5; i++ {
+		if _, err := cz.Query("SELECT COUNT(*) FROM Object"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := cz.Engine().Database("qservResult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(db.TableNames()); n != 0 {
+		t.Errorf("%d result tables leaked: %v", n, db.TableNames())
+	}
+	// Staging tables in the default db are cleaned too.
+	def, err := cz.Engine().Database(cz.Engine().DefaultDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range def.TableNames() {
+		if strings.HasPrefix(name, "r_") {
+			t.Errorf("staging table leaked: %s", name)
+		}
+	}
+}

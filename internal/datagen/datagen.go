@@ -1,0 +1,294 @@
+// Package datagen synthesizes the catalog the paper tests with (section
+// 6.1.2): a PT1.1-like patch of Objects and Sources covering right
+// ascension 358..5 degrees and declination -7..+7 degrees, replicated
+// over the whole sky by the "duplicator" — a transformation of duplicate
+// rows' RA and declination that maintains spatial distance and density
+// via a non-linear stretch of right ascension as a function of
+// declination.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sphgeom"
+)
+
+// PatchBox is the PT1.1 footprint: RA 358 to 365 (i.e. wrapping to 5),
+// declination -7 to +7.
+func PatchBox() sphgeom.Box { return sphgeom.NewBox(358, 365, -7, 7) }
+
+// patchRAWidth and patchDeclHeight are the patch extents in degrees.
+const (
+	patchRAWidth    = 7.0
+	patchDeclHeight = 14.0
+	patchRAMin      = 358.0
+	patchDeclMin    = -7.0
+)
+
+// Object is one synthesized catalog object (a star or galaxy).
+type Object struct {
+	ObjectID int64
+	RA, Decl float64
+	// Fluxes in the six LSST bands (u g r i z y), linear flux units.
+	UFlux, GFlux, RFlux, IFlux, ZFlux, YFlux float64
+	// UFluxSG is the small-galaxy model flux used by the paper's
+	// aggregation example (AVG(uFlux_SG), section 5.3).
+	UFluxSG float64
+	// URadiusPS is the PSF radius used in the same example's predicate.
+	URadiusPS float64
+}
+
+// Point returns the object's sky position.
+func (o Object) Point() sphgeom.Point { return sphgeom.NewPoint(o.RA, o.Decl) }
+
+// Source is one detection of an object at one epoch.
+type Source struct {
+	SourceID    int64
+	ObjectID    int64
+	TaiMidPoint float64 // observation time, MJD TAI
+	RA, Decl    float64
+	PsfFlux     float64
+	PsfFluxErr  float64
+	FilterID    int64
+}
+
+// Point returns the source's sky position.
+func (s Source) Point() sphgeom.Point { return sphgeom.NewPoint(s.RA, s.Decl) }
+
+// Config controls patch synthesis.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// ObjectsPerPatch is the number of objects synthesized in the PT1.1
+	// footprint before duplication.
+	ObjectsPerPatch int
+	// MeanSourcesPerObject is the average number of detections per
+	// object; the paper's dataset averages k ~= 41, scaled down here.
+	MeanSourcesPerObject float64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{Seed: 1, ObjectsPerPatch: 2000, MeanSourcesPerObject: 5}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ObjectsPerPatch < 0 {
+		return fmt.Errorf("datagen: ObjectsPerPatch must be >= 0")
+	}
+	if c.MeanSourcesPerObject < 0 {
+		return fmt.Errorf("datagen: MeanSourcesPerObject must be >= 0")
+	}
+	return nil
+}
+
+// Catalog is a generated Object/Source set.
+type Catalog struct {
+	Objects []Object
+	Sources []Source
+}
+
+// GeneratePatch synthesizes the PT1.1 patch.
+func GeneratePatch(cfg Config) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := &Catalog{}
+	var nextSourceID int64 = 1
+	for i := 0; i < cfg.ObjectsPerPatch; i++ {
+		o := synthObject(rng, int64(i)+1)
+		cat.Objects = append(cat.Objects, o)
+		n := poissonish(rng, cfg.MeanSourcesPerObject)
+		for k := 0; k < n; k++ {
+			cat.Sources = append(cat.Sources, synthSource(rng, o, nextSourceID))
+			nextSourceID++
+		}
+	}
+	return cat, nil
+}
+
+// synthObject draws one object uniformly over the patch area with
+// log-uniform fluxes spanning the survey's dynamic range.
+func synthObject(rng *rand.Rand, id int64) Object {
+	// Uniform over area: RA uniform, sin(decl) uniform in the band.
+	ra := sphgeom.WrapRA(patchRAMin + rng.Float64()*patchRAWidth)
+	sinLo := math.Sin(sphgeom.RadOf(patchDeclMin))
+	sinHi := math.Sin(sphgeom.RadOf(patchDeclMin + patchDeclHeight))
+	decl := sphgeom.DegOf(math.Asin(sinLo + rng.Float64()*(sinHi-sinLo)))
+	flux := func() float64 {
+		// AB magnitudes ~ uniform 16..27 -> flux = 10^(-(m+48.6)/2.5).
+		m := 16 + rng.Float64()*11
+		return math.Pow(10, -(m+48.6)/2.5)
+	}
+	return Object{
+		ObjectID: id,
+		RA:       ra,
+		Decl:     decl,
+		UFlux:    flux(), GFlux: flux(), RFlux: flux(),
+		IFlux: flux(), ZFlux: flux(), YFlux: flux(),
+		UFluxSG:   flux(),
+		URadiusPS: 0.01 + rng.Float64()*0.1,
+	}
+}
+
+// synthSource draws one detection of an object: position jittered by a
+// sub-arcsecond astrometric error, flux jittered around the object flux.
+func synthSource(rng *rand.Rand, o Object, id int64) Source {
+	const jitter = 0.1 / 3600 // 0.1 arcsecond
+	return Source{
+		SourceID:    id,
+		ObjectID:    o.ObjectID,
+		TaiMidPoint: 54000 + rng.Float64()*3650, // a 10-year survey window
+		RA:          sphgeom.WrapRA(o.RA + rng.NormFloat64()*jitter/math.Cos(sphgeom.RadOf(o.Decl))),
+		Decl:        sphgeom.ClampDecl(o.Decl + rng.NormFloat64()*jitter),
+		PsfFlux:     o.RFlux * (1 + 0.05*rng.NormFloat64()),
+		PsfFluxErr:  o.RFlux * 0.01,
+		FilterID:    int64(rng.Intn(6)),
+	}
+}
+
+// poissonish draws a small Poisson-distributed count (Knuth's method;
+// fine for the small means used here).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // pathological mean; bound the loop
+		}
+	}
+}
+
+// DuplicateConfig controls sky replication.
+type DuplicateConfig struct {
+	// DeclBands is the number of declination bands to fill; the full
+	// sky needs ceil(180/14) = 13. Fewer bands produce a partial sky
+	// around the equator (bands fill outward from the equator).
+	DeclBands int
+	// SourceDeclLimit clips Source rows to |decl| <= limit, as the
+	// paper did (+-54 degrees) for disk-space reasons; 0 means no clip.
+	SourceDeclLimit float64
+	// MaxCopies optionally caps total patch copies (0 = unlimited),
+	// useful for small tests.
+	MaxCopies int
+}
+
+// DefaultDuplicateConfig reproduces the paper's full-sky duplication
+// with the Source table clipped to +-54 degrees declination.
+func DefaultDuplicateConfig() DuplicateConfig {
+	return DuplicateConfig{DeclBands: 13, SourceDeclLimit: 54}
+}
+
+// bandCenters returns the declination centers of the requested number of
+// bands, filling outward from the equator: 0, +14, -14, +28, -28, ...
+func bandCenters(n int) []float64 {
+	var out []float64
+	for i := 0; len(out) < n; i++ {
+		if i == 0 {
+			out = append(out, 0)
+			continue
+		}
+		c := float64(i) * patchDeclHeight
+		if c-patchDeclHeight/2 >= 90 {
+			break
+		}
+		out = append(out, c)
+		if len(out) < n {
+			out = append(out, -c)
+		}
+	}
+	return out
+}
+
+// Duplicate replicates the patch catalog over the sky. For each
+// declination band the patch is copied around the full RA circle with
+// the patch's internal RA offsets stretched by the band's 1/cos(decl)
+// factor (the paper's non-linear transformation), preserving both
+// angular distances and object density. Object and source identities are
+// remapped so every copy is unique.
+func Duplicate(patch *Catalog, cfg DuplicateConfig) *Catalog {
+	if cfg.DeclBands <= 0 {
+		cfg.DeclBands = 1
+	}
+	out := &Catalog{}
+	// Stride for remapping ids: one block per copy.
+	var maxObj, maxSrc int64
+	for _, o := range patch.Objects {
+		if o.ObjectID > maxObj {
+			maxObj = o.ObjectID
+		}
+	}
+	for _, s := range patch.Sources {
+		if s.SourceID > maxSrc {
+			maxSrc = s.SourceID
+		}
+	}
+	objStride := maxObj + 1
+	srcStride := maxSrc + 1
+
+	copyNum := int64(0)
+	for _, declC := range bandCenters(cfg.DeclBands) {
+		cosC := math.Cos(sphgeom.RadOf(declC))
+		// Copies needed to tile the band: each stretched copy spans
+		// patchRAWidth/cos degrees of RA.
+		n := int(math.Floor(360 * cosC / patchRAWidth))
+		if n < 1 {
+			n = 1
+		}
+		// Exact tiling: stretch so n copies cover 360 degrees.
+		span := 360.0 / float64(n)
+		stretch := span / patchRAWidth
+		for i := 0; i < n; i++ {
+			if cfg.MaxCopies > 0 && int(copyNum) >= cfg.MaxCopies {
+				return out
+			}
+			raBase := float64(i) * span
+			transform := func(ra, decl float64) (float64, float64) {
+				u := sphgeom.WrapRA(ra - patchRAMin) // patch-relative [0, 7)
+				return sphgeom.WrapRA(raBase + u*stretch), sphgeom.ClampDecl(decl + declC)
+			}
+			for _, o := range patch.Objects {
+				ra, decl := transform(o.RA, o.Decl)
+				dup := o
+				dup.ObjectID = copyNum*objStride + o.ObjectID
+				dup.RA, dup.Decl = ra, decl
+				out.Objects = append(out.Objects, dup)
+			}
+			for _, s := range patch.Sources {
+				ra, decl := transform(s.RA, s.Decl)
+				if cfg.SourceDeclLimit > 0 && math.Abs(decl) > cfg.SourceDeclLimit {
+					continue
+				}
+				dup := s
+				dup.SourceID = copyNum*srcStride + s.SourceID
+				dup.ObjectID = copyNum*objStride + s.ObjectID
+				dup.RA, dup.Decl = ra, decl
+				out.Sources = append(out.Sources, dup)
+			}
+			copyNum++
+		}
+	}
+	return out
+}
+
+// Generate builds a duplicated catalog in one call.
+func Generate(cfg Config, dup DuplicateConfig) (*Catalog, error) {
+	patch, err := GeneratePatch(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Duplicate(patch, dup), nil
+}

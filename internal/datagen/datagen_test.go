@@ -1,0 +1,268 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sphgeom"
+)
+
+func TestGeneratePatchDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, ObjectsPerPatch: 100, MeanSourcesPerObject: 3}
+	a, err := GeneratePatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GeneratePatch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Objects) != len(b.Objects) || len(a.Sources) != len(b.Sources) {
+		t.Fatal("non-deterministic sizes")
+	}
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			t.Fatalf("object %d differs between runs", i)
+		}
+	}
+}
+
+func TestPatchInsideFootprint(t *testing.T) {
+	cat, err := GeneratePatch(Config{Seed: 1, ObjectsPerPatch: 500, MeanSourcesPerObject: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := PatchBox()
+	for _, o := range cat.Objects {
+		if !box.Contains(o.Point()) {
+			t.Fatalf("object %d at (%g, %g) outside patch", o.ObjectID, o.RA, o.Decl)
+		}
+	}
+	for _, s := range cat.Sources {
+		// Sources are astrometrically jittered; allow a tiny margin.
+		if !box.Dilated(0.01).Contains(s.Point()) {
+			t.Fatalf("source %d at (%g, %g) outside dilated patch", s.SourceID, s.RA, s.Decl)
+		}
+	}
+}
+
+func TestPatchSourceCounts(t *testing.T) {
+	cat, err := GeneratePatch(Config{Seed: 3, ObjectsPerPatch: 1000, MeanSourcesPerObject: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perObject := float64(len(cat.Sources)) / float64(len(cat.Objects))
+	if perObject < 4 || perObject > 6 {
+		t.Errorf("sources per object = %g, want ~5", perObject)
+	}
+	// Every source references an existing object.
+	ids := map[int64]bool{}
+	for _, o := range cat.Objects {
+		ids[o.ObjectID] = true
+	}
+	for _, s := range cat.Sources {
+		if !ids[s.ObjectID] {
+			t.Fatalf("source %d references missing object %d", s.SourceID, s.ObjectID)
+		}
+	}
+}
+
+func TestPatchFluxesArephysical(t *testing.T) {
+	cat, err := GeneratePatch(Config{Seed: 5, ObjectsPerPatch: 300, MeanSourcesPerObject: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range cat.Objects {
+		for _, f := range []float64{o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux, o.UFluxSG} {
+			if f <= 0 || math.IsNaN(f) {
+				t.Fatalf("non-physical flux %g on object %d", f, o.ObjectID)
+			}
+			// AB magnitude within survey range 16..27.
+			m := -2.5*math.Log10(f) - 48.6
+			if m < 15.9 || m > 27.1 {
+				t.Fatalf("magnitude %g out of range", m)
+			}
+		}
+	}
+}
+
+func TestDuplicateUniqueIDs(t *testing.T) {
+	patch, err := GeneratePatch(Config{Seed: 2, ObjectsPerPatch: 50, MeanSourcesPerObject: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Duplicate(patch, DuplicateConfig{DeclBands: 3, MaxCopies: 40})
+	objIDs := map[int64]bool{}
+	for _, o := range full.Objects {
+		if objIDs[o.ObjectID] {
+			t.Fatalf("duplicate objectId %d", o.ObjectID)
+		}
+		objIDs[o.ObjectID] = true
+	}
+	srcIDs := map[int64]bool{}
+	for _, s := range full.Sources {
+		if srcIDs[s.SourceID] {
+			t.Fatalf("duplicate sourceId %d", s.SourceID)
+		}
+		srcIDs[s.SourceID] = true
+		if !objIDs[s.ObjectID] {
+			t.Fatalf("source %d references missing object %d", s.SourceID, s.ObjectID)
+		}
+	}
+}
+
+func TestDuplicatePreservesDensity(t *testing.T) {
+	// The non-linear RA stretch must keep object density roughly
+	// constant across declination bands (the paper's stated goal).
+	patch, err := GeneratePatch(Config{Seed: 9, ObjectsPerPatch: 2000, MeanSourcesPerObject: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Duplicate(patch, DuplicateConfig{DeclBands: 5})
+	density := func(box sphgeom.Box) float64 {
+		n := 0
+		for _, o := range full.Objects {
+			if box.Contains(o.Point()) {
+				n++
+			}
+		}
+		return float64(n) / box.Area()
+	}
+	equator := density(sphgeom.NewBox(30, 50, -5, 5))
+	high := density(sphgeom.NewBox(30, 50, 25, 33))
+	if equator == 0 || high == 0 {
+		t.Fatal("empty sample boxes")
+	}
+	ratio := equator / high
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("density ratio equator/high = %g, want ~1 (within 40%%)", ratio)
+	}
+}
+
+func TestDuplicatePreservesPairDistances(t *testing.T) {
+	// Angular separations between close pairs must survive duplication
+	// approximately (the transform is a stretch in RA exactly matched
+	// by the cos(decl) compression).
+	patch := &Catalog{Objects: []Object{
+		{ObjectID: 1, RA: 0.0, Decl: 0.0},
+		{ObjectID: 2, RA: 0.05, Decl: 0.02},
+	}}
+	full := Duplicate(patch, DuplicateConfig{DeclBands: 5})
+	orig := sphgeom.AngSepDeg(0.0, 0.0, 0.05, 0.02)
+	// Examine each copy: find consecutive pairs by id stride (stride=3).
+	byID := map[int64]Object{}
+	for _, o := range full.Objects {
+		byID[o.ObjectID] = o
+	}
+	checked := 0
+	for copyNum := int64(0); copyNum < 100; copyNum++ {
+		a, okA := byID[copyNum*3+1]
+		b, okB := byID[copyNum*3+2]
+		if !okA || !okB {
+			continue
+		}
+		got := sphgeom.AngSep(a.Point(), b.Point())
+		if math.Abs(got-orig)/orig > 0.15 {
+			t.Fatalf("copy %d distorted pair distance: %g vs %g (decl %g)",
+				copyNum, got, orig, a.Decl)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d copies checked", checked)
+	}
+}
+
+func TestDuplicateSourceDeclClip(t *testing.T) {
+	patch, err := GeneratePatch(Config{Seed: 4, ObjectsPerPatch: 100, MeanSourcesPerObject: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Duplicate(patch, DefaultDuplicateConfig())
+	for _, s := range full.Sources {
+		if math.Abs(s.Decl) > 54 {
+			t.Fatalf("source at decl %g violates +-54 clip", s.Decl)
+		}
+	}
+	// Objects are NOT clipped.
+	sawPolar := false
+	for _, o := range full.Objects {
+		if math.Abs(o.Decl) > 54 {
+			sawPolar = true
+			break
+		}
+	}
+	if !sawPolar {
+		t.Error("full-sky objects should extend past +-54 decl")
+	}
+}
+
+func TestDuplicateBandCount(t *testing.T) {
+	// 13 bands tile the full sky in declination.
+	centers := bandCenters(13)
+	if len(centers) != 13 {
+		t.Fatalf("bands = %d", len(centers))
+	}
+	lo, hi := 0.0, 0.0
+	for _, c := range centers {
+		lo = math.Min(lo, c-patchDeclHeight/2)
+		hi = math.Max(hi, c+patchDeclHeight/2)
+	}
+	if lo > -90 || hi < 90 {
+		t.Errorf("13 bands cover [%g, %g], want the full sky", lo, hi)
+	}
+}
+
+func TestDuplicateMaxCopies(t *testing.T) {
+	patch, _ := GeneratePatch(Config{Seed: 1, ObjectsPerPatch: 10, MeanSourcesPerObject: 0})
+	full := Duplicate(patch, DuplicateConfig{DeclBands: 13, MaxCopies: 7})
+	if got := len(full.Objects); got != 70 {
+		t.Errorf("objects = %d, want 70 (7 copies x 10)", got)
+	}
+}
+
+func TestGenerateFullPipeline(t *testing.T) {
+	cat, err := Generate(
+		Config{Seed: 1, ObjectsPerPatch: 50, MeanSourcesPerObject: 1},
+		DuplicateConfig{DeclBands: 2, SourceDeclLimit: 54},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Objects) == 0 || len(cat.Sources) == 0 {
+		t.Fatal("empty catalog")
+	}
+	// Paper ratio check at tiny scale: duplication multiplies both
+	// tables by the same copy count (before decl clipping).
+	if len(cat.Objects)%50 != 0 {
+		t.Errorf("objects %d not a multiple of the patch size", len(cat.Objects))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := GeneratePatch(Config{ObjectsPerPatch: -1}); err == nil {
+		t.Error("negative objects should fail")
+	}
+	if _, err := GeneratePatch(Config{MeanSourcesPerObject: -1}); err == nil {
+		t.Error("negative mean should fail")
+	}
+}
+
+func BenchmarkGeneratePatch(b *testing.B) {
+	cfg := Config{Seed: 1, ObjectsPerPatch: 1000, MeanSourcesPerObject: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GeneratePatch(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDuplicateFullSky(b *testing.B) {
+	patch, _ := GeneratePatch(Config{Seed: 1, ObjectsPerPatch: 200, MeanSourcesPerObject: 2})
+	cfg := DefaultDuplicateConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Duplicate(patch, cfg)
+	}
+}

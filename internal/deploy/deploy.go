@@ -1,0 +1,141 @@
+// Package deploy holds the logic shared by the qserv-czar and
+// qserv-worker commands for bringing up a real multi-process cluster:
+// deterministic catalog synthesis (every process generates the same
+// catalog from the same seed) and the partitioning/placement both sides
+// must agree on.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sphgeom"
+	"repro/internal/sqlengine"
+)
+
+// CatalogSpec makes data generation reproducible across processes.
+type CatalogSpec struct {
+	Seed    int64
+	Objects int // per patch
+	Sources float64
+	Bands   int
+	Copies  int
+}
+
+// DefaultPartition is the partitioning every deployed process uses.
+func DefaultPartition() partition.Config {
+	return partition.Config{NumStripes: 18, NumSubStripesPerStripe: 4, Overlap: 0.5}
+}
+
+// Build synthesizes the catalog deterministically.
+func (s CatalogSpec) Build() (*datagen.Catalog, error) {
+	return datagen.Generate(
+		datagen.Config{Seed: s.Seed, ObjectsPerPatch: s.Objects, MeanSourcesPerObject: s.Sources},
+		datagen.DuplicateConfig{DeclBands: s.Bands, SourceDeclLimit: 54, MaxCopies: s.Copies},
+	)
+}
+
+// Layout is the agreed data distribution.
+type Layout struct {
+	Chunker   *partition.Chunker
+	Registry  *meta.Registry
+	Placement *meta.Placement
+	Index     *meta.ObjectIndex
+	// ObjRows / ObjOverlap / SrcRows / SrcOverlap are per-chunk rows.
+	ObjRows, ObjOverlap map[partition.ChunkID][]sqlengine.Row
+	SrcRows, SrcOverlap map[partition.ChunkID][]sqlengine.Row
+}
+
+// ComputeLayout partitions the catalog and assigns chunks round-robin
+// over the sorted worker names (deterministic on every process).
+func ComputeLayout(cat *datagen.Catalog, workerNames []string) (*Layout, error) {
+	chunker, err := partition.NewChunker(DefaultPartition())
+	if err != nil {
+		return nil, err
+	}
+	reg := meta.LSSTRegistry(chunker)
+	l := &Layout{
+		Chunker:    chunker,
+		Registry:   reg,
+		Index:      meta.NewObjectIndex(),
+		ObjRows:    map[partition.ChunkID][]sqlengine.Row{},
+		ObjOverlap: map[partition.ChunkID][]sqlengine.Row{},
+		SrcRows:    map[partition.ChunkID][]sqlengine.Row{},
+		SrcOverlap: map[partition.ChunkID][]sqlengine.Row{},
+	}
+	margin := chunker.Config().Overlap
+	place := func(ra, decl float64, row sqlengine.Row,
+		rows, over map[partition.ChunkID][]sqlengine.Row) partition.ChunkID {
+		p := sphgeom.NewPoint(ra, decl)
+		own, _ := chunker.Locate(p)
+		rows[own] = append(rows[own], row)
+		probe := sphgeom.NewBox(ra-margin*3, ra+margin*3, decl-margin*3, decl+margin*3)
+		for _, c := range chunker.ChunksIn(probe) {
+			if c == own {
+				continue
+			}
+			if in, err := chunker.InOverlap(c, p); err == nil && in {
+				over[c] = append(over[c], row)
+			}
+		}
+		return own
+	}
+	for _, o := range cat.Objects {
+		c, s := chunker.Locate(o.Point())
+		l.Index.Put(o.ObjectID, meta.ChunkSub{Chunk: c, Sub: s})
+		row := sqlengine.Row{o.ObjectID, o.RA, o.Decl,
+			o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux,
+			o.UFluxSG, o.URadiusPS, int64(c), int64(s)}
+		place(o.RA, o.Decl, row, l.ObjRows, l.ObjOverlap)
+	}
+	for _, s := range cat.Sources {
+		c, sc := chunker.Locate(s.Point())
+		row := sqlengine.Row{s.SourceID, s.ObjectID, s.TaiMidPoint,
+			s.RA, s.Decl, s.PsfFlux, s.PsfFluxErr, s.FilterID, int64(c), int64(sc)}
+		place(s.RA, s.Decl, row, l.SrcRows, l.SrcOverlap)
+	}
+	placedSet := map[partition.ChunkID]bool{}
+	for c := range l.ObjRows {
+		placedSet[c] = true
+	}
+	for c := range l.SrcRows {
+		placedSet[c] = true
+	}
+	placed := make([]partition.ChunkID, 0, len(placedSet))
+	for c := range placedSet {
+		placed = append(placed, c)
+	}
+	sort.Slice(placed, func(i, j int) bool { return placed[i] < placed[j] })
+
+	names := append([]string(nil), workerNames...)
+	sort.Strings(names)
+	l.Placement, err = meta.RoundRobin(placed, names, 1)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ParseWorkerList parses "name=addr,name=addr" into an ordered map.
+func ParseWorkerList(s string) (names []string, addrs map[string]string, err error) {
+	addrs = map[string]string{}
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, fmt.Errorf("deploy: empty worker list")
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, nil, fmt.Errorf("deploy: bad worker entry %q (want name=addr)", part)
+		}
+		if _, dup := addrs[name]; dup {
+			return nil, nil, fmt.Errorf("deploy: duplicate worker %q", name)
+		}
+		names = append(names, name)
+		addrs[name] = addr
+	}
+	return names, addrs, nil
+}

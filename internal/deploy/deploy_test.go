@@ -1,0 +1,91 @@
+package deploy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func spec() CatalogSpec {
+	return CatalogSpec{Seed: 3, Objects: 100, Sources: 1, Bands: 1, Copies: 6}
+}
+
+func TestLayoutDeterministic(t *testing.T) {
+	// Czar and workers build their layouts independently; they must
+	// agree exactly.
+	cat1, err := spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"w1", "w0", "w2"} // order must not matter
+	l1, err := ComputeLayout(cat1, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ComputeLayout(cat2, []string{"w0", "w2", "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l1.Placement.Chunks(), l2.Placement.Chunks()) {
+		t.Fatal("placed chunk sets differ")
+	}
+	for _, c := range l1.Placement.Chunks() {
+		if !reflect.DeepEqual(l1.Placement.Workers(c), l2.Placement.Workers(c)) {
+			t.Fatalf("chunk %d assigned differently: %v vs %v",
+				c, l1.Placement.Workers(c), l2.Placement.Workers(c))
+		}
+	}
+}
+
+func TestLayoutPartitionsAllRows(t *testing.T) {
+	cat, err := spec().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ComputeLayout(cat, []string{"w0", "w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objTotal := 0
+	for _, rows := range l.ObjRows {
+		objTotal += len(rows)
+	}
+	if objTotal != len(cat.Objects) {
+		t.Errorf("object rows: %d placed, %d generated", objTotal, len(cat.Objects))
+	}
+	srcTotal := 0
+	for _, rows := range l.SrcRows {
+		srcTotal += len(rows)
+	}
+	if srcTotal != len(cat.Sources) {
+		t.Errorf("source rows: %d placed, %d generated", srcTotal, len(cat.Sources))
+	}
+	if l.Index.Len() != len(cat.Objects) {
+		t.Errorf("index entries: %d, want %d", l.Index.Len(), len(cat.Objects))
+	}
+	// Every placed chunk is owned by exactly one of the two workers.
+	for _, c := range l.Placement.Chunks() {
+		ws := l.Placement.Workers(c)
+		if len(ws) != 1 || (ws[0] != "w0" && ws[0] != "w1") {
+			t.Errorf("chunk %d owners: %v", c, ws)
+		}
+	}
+}
+
+func TestParseWorkerList(t *testing.T) {
+	names, addrs, err := ParseWorkerList("w0=1.2.3.4:7001, w1=1.2.3.4:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || addrs["w1"] != "1.2.3.4:7002" {
+		t.Errorf("parsed: %v %v", names, addrs)
+	}
+	for _, bad := range []string{"", "w0", "w0=", "=addr", "w0=a,w0=b"} {
+		if _, _, err := ParseWorkerList(bad); err == nil {
+			t.Errorf("ParseWorkerList(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package dump implements the paper's result-transfer mechanism (section
+// 5.4): a worker's result table is serialized to a byte stream of SQL
+// statements — as mysqldump does — which the master reads byte-for-byte
+// and re-executes against its local engine to load the rows.
+//
+// The paper calls out the overhead of this path ("its costs in speed,
+// disk, network, and database transactions are strong motivations to
+// explore a more efficient method", section 7.1); the serializer
+// therefore reports the exact byte count shipped so the cost model can
+// charge for it.
+package dump
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+// maxRowsPerInsert bounds the rows batched into one INSERT statement,
+// matching mysqldump's extended-insert batching behavior.
+const maxRowsPerInsert = 500
+
+// Dump serializes a query result as a SQL script that recreates it as
+// table `name`: DROP TABLE IF EXISTS, CREATE TABLE, then batched INSERTs.
+func Dump(name string, res *sqlengine.Result) string {
+	var sb strings.Builder
+	writeHeader(&sb, name, res.Cols, res.Types)
+	writeRows(&sb, name, res.Rows)
+	return sb.String()
+}
+
+// DumpTable serializes a stored table under a new name.
+func DumpTable(name string, t *sqlengine.Table) string {
+	var sb strings.Builder
+	cols := t.Schema.Names()
+	types := make([]sqlparse.ColType, len(t.Schema))
+	for i, c := range t.Schema {
+		types[i] = c.Type
+	}
+	writeHeader(&sb, name, cols, types)
+	writeRows(&sb, name, t.Rows)
+	return sb.String()
+}
+
+func writeHeader(sb *strings.Builder, name string, cols []string, types []sqlparse.ColType) {
+	sb.WriteString("-- qserv result dump\n")
+	fmt.Fprintf(sb, "DROP TABLE IF EXISTS %s;\n", quoteIdent(name))
+	fmt.Fprintf(sb, "CREATE TABLE %s (", quoteIdent(name))
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		typ := sqlparse.TypeFloat
+		if i < len(types) {
+			typ = types[i]
+		}
+		sb.WriteString(quoteIdent(c))
+		sb.WriteByte(' ')
+		sb.WriteString(typ.String())
+	}
+	sb.WriteString(");\n")
+}
+
+func writeRows(sb *strings.Builder, name string, rows []sqlengine.Row) {
+	for start := 0; start < len(rows); start += maxRowsPerInsert {
+		end := start + maxRowsPerInsert
+		if end > len(rows) {
+			end = len(rows)
+		}
+		fmt.Fprintf(sb, "INSERT INTO %s VALUES ", quoteIdent(name))
+		for i, row := range rows[start:end] {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('(')
+			for j, v := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(literalSQL(v))
+			}
+			sb.WriteByte(')')
+		}
+		sb.WriteString(";\n")
+	}
+}
+
+// literalSQL renders one value as a SQL literal.
+func literalSQL(v sqlengine.Value) string {
+	lit := &sqlparse.Literal{Val: v}
+	return lit.SQL()
+}
+
+// quoteIdent renders a (possibly qualified) table name. Column and table
+// names pass through sqlparse quoting rules.
+func quoteIdent(name string) string {
+	// Qualified names (db.table) quote each part separately.
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return quotePart(name[:i]) + "." + quotePart(name[i+1:])
+	}
+	return quotePart(name)
+}
+
+func quotePart(s string) string {
+	ref := sqlparse.TableRef{Table: s}
+	return ref.SQL()
+}
+
+// Load executes a dump script against an engine, materializing the table
+// it describes. It returns the created table's name and the number of
+// rows loaded. This is the master-side "read byte-for-byte and execute"
+// step of section 5.4.
+func Load(e *sqlengine.Engine, script string) (string, int, error) {
+	stmts, err := sqlparse.ParseScript(script)
+	if err != nil {
+		return "", 0, fmt.Errorf("dump: parse: %w", err)
+	}
+	name := ""
+	rows := 0
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *sqlparse.CreateTable:
+			name = s.Name
+			if s.DB != "" {
+				name = s.DB + "." + s.Name
+			}
+		case *sqlparse.Insert:
+			rows += len(s.Rows)
+		case *sqlparse.DropTable:
+			// allowed
+		case *sqlparse.Select:
+			return "", 0, fmt.Errorf("dump: unexpected SELECT in dump stream")
+		}
+		if _, err := e.ExecuteStmt(st); err != nil {
+			return "", 0, fmt.Errorf("dump: execute: %w", err)
+		}
+	}
+	if name == "" {
+		return "", 0, fmt.Errorf("dump: stream contains no CREATE TABLE")
+	}
+	return name, rows, nil
+}

@@ -1,0 +1,264 @@
+package dump
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sqlengine"
+)
+
+func sourceEngine(t *testing.T) *sqlengine.Engine {
+	t.Helper()
+	e := sqlengine.New("LSST")
+	if _, err := e.Execute(`CREATE TABLE r (objectId BIGINT, ra DOUBLE, note VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(`INSERT INTO r VALUES
+		(1, 10.25, 'plain'),
+		(2, -0.5, 'it''s quoted'),
+		(3, 1e-30, NULL),
+		(4, NULL, 'null ra')`); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRoundTripTable(t *testing.T) {
+	src := sourceEngine(t)
+	db, _ := src.Database("LSST")
+	tbl, _ := db.Table("r")
+
+	script := DumpTable("result_abc", tbl)
+	dst := sqlengine.New("LSST")
+	name, n, err := Load(dst, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "result_abc" || n != 4 {
+		t.Fatalf("name=%q n=%d", name, n)
+	}
+	res, err := dst.Query("SELECT objectId, ra, note FROM result_abc ORDER BY objectId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].(float64) != 10.25 {
+		t.Errorf("ra[0] = %v", res.Rows[0][1])
+	}
+	if res.Rows[1][2].(string) != "it's quoted" {
+		t.Errorf("quoted string lost: %q", res.Rows[1][2])
+	}
+	if got := res.Rows[2][1].(float64); math.Abs(got-1e-30)/1e-30 > 1e-12 {
+		t.Errorf("tiny float lost precision: %v", got)
+	}
+	if !sqlengine.IsNull(res.Rows[2][2]) || !sqlengine.IsNull(res.Rows[3][1]) {
+		t.Error("NULLs not preserved")
+	}
+}
+
+func TestRoundTripQueryResult(t *testing.T) {
+	src := sourceEngine(t)
+	res, err := src.Query("SELECT objectId, ra * 2 AS ra2 FROM r WHERE objectId <= 2 ORDER BY objectId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := Dump("res_1", res)
+	dst := sqlengine.New("LSST")
+	if _, _, err := Load(dst, script); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dst.Query("SELECT ra2 FROM res_1 ORDER BY objectId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].(float64) != 20.5 || out.Rows[1][0].(float64) != -1.0 {
+		t.Errorf("values: %v", out.Rows)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	src := sourceEngine(t)
+	res, err := src.Query("SELECT objectId FROM r WHERE objectId = 999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := Dump("empty_r", res)
+	dst := sqlengine.New("LSST")
+	name, n, err := Load(dst, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "empty_r" || n != 0 {
+		t.Errorf("name=%q n=%d", name, n)
+	}
+	out, err := dst.Query("SELECT COUNT(*) FROM empty_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].(int64) != 0 {
+		t.Error("empty table should load as empty")
+	}
+}
+
+func TestDumpOverwritesExisting(t *testing.T) {
+	// The DROP TABLE IF EXISTS header must let a reload replace a stale
+	// result table.
+	src := sourceEngine(t)
+	db, _ := src.Database("LSST")
+	tbl, _ := db.Table("r")
+	script := DumpTable("res", tbl)
+	dst := sqlengine.New("LSST")
+	if _, _, err := Load(dst, script); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(dst, script); err != nil {
+		t.Fatalf("second load failed: %v", err)
+	}
+	out, err := dst.Query("SELECT COUNT(*) FROM res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].(int64) != 4 {
+		t.Errorf("rows after reload = %v", out.Rows[0][0])
+	}
+}
+
+func TestBatchedInserts(t *testing.T) {
+	e := sqlengine.New("LSST")
+	if _, err := e.Execute("CREATE TABLE big (i BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < 1200; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("(")
+		sb.WriteString(sqlengine.FormatValue(int64(i)))
+		sb.WriteString(")")
+	}
+	if _, err := e.Execute(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := e.Database("LSST")
+	tbl, _ := db.Table("big")
+	script := DumpTable("big2", tbl)
+	// 1200 rows with 500-row batching = 3 INSERT statements.
+	if got := strings.Count(script, "INSERT INTO"); got != 3 {
+		t.Errorf("INSERT statements = %d, want 3", got)
+	}
+	dst := sqlengine.New("LSST")
+	_, n, err := Load(dst, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1200 {
+		t.Errorf("loaded %d rows", n)
+	}
+}
+
+func TestQualifiedTargetName(t *testing.T) {
+	src := sourceEngine(t)
+	db, _ := src.Database("LSST")
+	tbl, _ := db.Table("r")
+	script := DumpTable("resultdb.res_77", tbl)
+	dst := sqlengine.New("main")
+	dst.CreateDatabase("resultdb")
+	name, _, err := Load(dst, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "resultdb.res_77" {
+		t.Errorf("name = %q", name)
+	}
+	if _, err := dst.Query("SELECT * FROM resultdb.res_77"); err != nil {
+		t.Errorf("qualified table not queryable: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dst := sqlengine.New("LSST")
+	if _, _, err := Load(dst, "this is not SQL"); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, _, err := Load(dst, "INSERT INTO nowhere VALUES (1);"); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if _, _, err := Load(dst, "DROP TABLE IF EXISTS x;"); err == nil {
+		t.Error("stream without CREATE should fail")
+	}
+	if _, _, err := Load(dst, "SELECT 1;"); err == nil {
+		t.Error("SELECT in dump stream should fail")
+	}
+}
+
+func TestDumpByteSizeMatchesOverheadClaim(t *testing.T) {
+	// The dump stream is strictly larger than the raw row data — the
+	// overhead the paper complains about in section 7.1.
+	src := sourceEngine(t)
+	db, _ := src.Database("LSST")
+	tbl, _ := db.Table("r")
+	script := DumpTable("res", tbl)
+	if int64(len(script)) <= tbl.ByteSize()/2 {
+		t.Errorf("dump suspiciously small: %d bytes vs table %d", len(script), tbl.ByteSize())
+	}
+	if !strings.Contains(script, "CREATE TABLE") || !strings.Contains(script, "INSERT INTO") {
+		t.Error("dump missing structural statements")
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	e := sqlengine.New("LSST")
+	if _, err := e.Execute("CREATE TABLE f (x DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("INSERT INTO f VALUES (0.1), (1234567890.12345), (-1e300)"); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := e.Database("LSST")
+	tbl, _ := db.Table("f")
+	dst := sqlengine.New("LSST")
+	if _, _, err := Load(dst, DumpTable("f2", tbl)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dst.Query("SELECT x FROM f2 ORDER BY x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1e300, 0.1, 1234567890.12345}
+	for i, w := range want {
+		if got := out.Rows[i][0].(float64); got != w {
+			t.Errorf("row %d: %v != %v", i, got, w)
+		}
+	}
+}
+
+func BenchmarkDumpLoad1kRows(b *testing.B) {
+	e := sqlengine.New("LSST")
+	e.MustExecute("CREATE TABLE big (i BIGINT, x DOUBLE)")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("(")
+		sb.WriteString(sqlengine.FormatValue(int64(i)))
+		sb.WriteString(", 0.5)")
+	}
+	e.MustExecute(sb.String())
+	db, _ := e.Database("LSST")
+	tbl, _ := db.Table("big")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		script := DumpTable("copy", tbl)
+		dst := sqlengine.New("LSST")
+		if _, _, err := Load(dst, script); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Package htm implements the Hierarchical Triangular Mesh of Szalay et
+// al., the alternate partitioning and spatial indexing scheme the paper
+// discusses in section 7.5 as a fix for the severe polar distortion of
+// rectangular RA/decl chunking.
+//
+// The sphere is seeded with 8 spherical triangles (trixels): four in the
+// southern hemisphere (S0..S3, ids 8..11) and four in the northern
+// (N0..N3, ids 12..15). Each trixel subdivides into 4 children by joining
+// the midpoints of its edges; a child of trixel t has id t*4+k, k=0..3.
+// A trixel id at level L therefore occupies 2*L+4 bits, and ids encode
+// the full ancestry: the parent of id is id>>2.
+package htm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sphgeom"
+)
+
+// MaxLevel is the deepest subdivision supported. Level 20 trixels are
+// ~0.3 arcsecond across, far below any catalog partitioning need.
+const MaxLevel = 20
+
+// ID is a trixel identifier. The root trixels are 8..15; level-L ids lie
+// in [8<<(2L), 16<<(2L)).
+type ID uint64
+
+// Level returns the subdivision level encoded by the id (0 for roots).
+func (id ID) Level() (int, error) {
+	if id < 8 {
+		return 0, fmt.Errorf("htm: invalid id %d", id)
+	}
+	bits := 64 - leadingZeros(uint64(id))
+	if bits%2 != 0 {
+		return 0, fmt.Errorf("htm: invalid id %d (odd bit length)", id)
+	}
+	lvl := (bits - 4) / 2
+	if lvl > MaxLevel {
+		return 0, fmt.Errorf("htm: id %d deeper than MaxLevel", id)
+	}
+	return lvl, nil
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if x&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Parent returns the id of the trixel's parent.
+func (id ID) Parent() (ID, error) {
+	lvl, err := id.Level()
+	if err != nil {
+		return 0, err
+	}
+	if lvl == 0 {
+		return 0, fmt.Errorf("htm: root trixel %d has no parent", id)
+	}
+	return id >> 2, nil
+}
+
+// AncestorAt returns the id's ancestor at the given (shallower) level.
+func (id ID) AncestorAt(level int) (ID, error) {
+	lvl, err := id.Level()
+	if err != nil {
+		return 0, err
+	}
+	if level < 0 || level > lvl {
+		return 0, fmt.Errorf("htm: level %d not an ancestor level of %d (level %d)", level, id, lvl)
+	}
+	return id >> uint(2*(lvl-level)), nil
+}
+
+// trixel is a spherical triangle with counterclockwise vertices.
+type trixel struct {
+	id         ID
+	v0, v1, v2 sphgeom.Vector3
+}
+
+var rootTrixels = makeRoots()
+
+func makeRoots() []trixel {
+	v := []sphgeom.Vector3{
+		{X: 0, Y: 0, Z: 1},  // v0: north pole
+		{X: 1, Y: 0, Z: 0},  // v1
+		{X: 0, Y: 1, Z: 0},  // v2
+		{X: -1, Y: 0, Z: 0}, // v3
+		{X: 0, Y: -1, Z: 0}, // v4
+		{X: 0, Y: 0, Z: -1}, // v5: south pole
+	}
+	return []trixel{
+		{id: 8, v0: v[1], v1: v[5], v2: v[2]},  // S0
+		{id: 9, v0: v[2], v1: v[5], v2: v[3]},  // S1
+		{id: 10, v0: v[3], v1: v[5], v2: v[4]}, // S2
+		{id: 11, v0: v[4], v1: v[5], v2: v[1]}, // S3
+		{id: 12, v0: v[1], v1: v[0], v2: v[4]}, // N0
+		{id: 13, v0: v[4], v1: v[0], v2: v[3]}, // N1
+		{id: 14, v0: v[3], v1: v[0], v2: v[2]}, // N2
+		{id: 15, v0: v[2], v1: v[0], v2: v[1]}, // N3
+	}
+}
+
+// contains reports whether unit vector p is inside the trixel.
+// A point is inside when it is on the non-negative side of each edge
+// plane (edges ordered counterclockwise seen from outside the sphere).
+func (t trixel) contains(p sphgeom.Vector3) bool {
+	const eps = -1e-12 // admit boundary points despite rounding
+	if t.v0.Cross(t.v1).Dot(p) < eps {
+		return false
+	}
+	if t.v1.Cross(t.v2).Dot(p) < eps {
+		return false
+	}
+	return t.v2.Cross(t.v0).Dot(p) >= eps
+}
+
+func midpoint(a, b sphgeom.Vector3) sphgeom.Vector3 {
+	m := sphgeom.Vector3{X: a.X + b.X, Y: a.Y + b.Y, Z: a.Z + b.Z}
+	n := m.Norm()
+	return sphgeom.Vector3{X: m.X / n, Y: m.Y / n, Z: m.Z / n}
+}
+
+// children returns the four child trixels in id order.
+func (t trixel) children() [4]trixel {
+	w0 := midpoint(t.v1, t.v2)
+	w1 := midpoint(t.v0, t.v2)
+	w2 := midpoint(t.v0, t.v1)
+	return [4]trixel{
+		{id: t.id*4 + 0, v0: t.v0, v1: w2, v2: w1},
+		{id: t.id*4 + 1, v0: t.v1, v1: w0, v2: w2},
+		{id: t.id*4 + 2, v0: t.v2, v1: w1, v2: w0},
+		{id: t.id*4 + 3, v0: w0, v1: w1, v2: w2},
+	}
+}
+
+// IDOf returns the trixel containing the point at the given level.
+func IDOf(p sphgeom.Point, level int) (ID, error) {
+	if level < 0 || level > MaxLevel {
+		return 0, fmt.Errorf("htm: level %d out of range [0, %d]", level, MaxLevel)
+	}
+	v := p.Vector()
+	var cur trixel
+	found := false
+	for _, t := range rootTrixels {
+		if t.contains(v) {
+			cur = t
+			found = true
+			break
+		}
+	}
+	if !found {
+		// Numerically impossible, but fail loudly rather than misindex.
+		return 0, fmt.Errorf("htm: no root trixel contains %v", p)
+	}
+	for l := 0; l < level; l++ {
+		kids := cur.children()
+		found = false
+		for _, k := range kids {
+			if k.contains(v) {
+				cur = k
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Boundary rounding: pick the child whose center is nearest.
+			best, bestDot := kids[0], math.Inf(-1)
+			for _, k := range kids {
+				c := center(k)
+				if d := c.Dot(v); d > bestDot {
+					best, bestDot = k, d
+				}
+			}
+			cur = best
+		}
+	}
+	return cur.id, nil
+}
+
+func center(t trixel) sphgeom.Vector3 {
+	c := sphgeom.Vector3{
+		X: t.v0.X + t.v1.X + t.v2.X,
+		Y: t.v0.Y + t.v1.Y + t.v2.Y,
+		Z: t.v0.Z + t.v1.Z + t.v2.Z,
+	}
+	n := c.Norm()
+	return sphgeom.Vector3{X: c.X / n, Y: c.Y / n, Z: c.Z / n}
+}
+
+// Vertices returns the trixel's corner points.
+func Vertices(id ID) ([3]sphgeom.Point, error) {
+	t, err := resolve(id)
+	if err != nil {
+		return [3]sphgeom.Point{}, err
+	}
+	return [3]sphgeom.Point{
+		sphgeom.PointFromVector(t.v0),
+		sphgeom.PointFromVector(t.v1),
+		sphgeom.PointFromVector(t.v2),
+	}, nil
+}
+
+// resolve walks from the root to materialize a trixel from its id.
+func resolve(id ID) (trixel, error) {
+	lvl, err := id.Level()
+	if err != nil {
+		return trixel{}, err
+	}
+	rootID := id >> uint(2*lvl)
+	var cur trixel
+	found := false
+	for _, t := range rootTrixels {
+		if t.id == rootID {
+			cur = t
+			found = true
+			break
+		}
+	}
+	if !found {
+		return trixel{}, fmt.Errorf("htm: bad root in id %d", id)
+	}
+	for l := lvl - 1; l >= 0; l-- {
+		k := (id >> uint(2*l)) & 3
+		cur = cur.children()[k]
+	}
+	return cur, nil
+}
+
+// Area returns the solid angle of a trixel in square degrees.
+func Area(id ID) (float64, error) {
+	t, err := resolve(id)
+	if err != nil {
+		return 0, err
+	}
+	return solidAngle(t.v0, t.v1, t.v2), nil
+}
+
+// solidAngle computes the spherical triangle's solid angle (Van Oosterom
+// & Strackee), converted to square degrees.
+func solidAngle(a, b, c sphgeom.Vector3) float64 {
+	num := a.Dot(b.Cross(c))
+	den := 1 + a.Dot(b) + b.Dot(c) + c.Dot(a)
+	omega := 2 * math.Abs(math.Atan2(num, den))
+	const degPerRad = 180 / math.Pi
+	return omega * degPerRad * degPerRad
+}
+
+// bound returns a conservative RA/decl bounding box for the trixel.
+func (t trixel) bound() sphgeom.Box {
+	pts := []sphgeom.Point{
+		sphgeom.PointFromVector(t.v0),
+		sphgeom.PointFromVector(t.v1),
+		sphgeom.PointFromVector(t.v2),
+	}
+	declMin, declMax := 91.0, -91.0
+	for _, p := range pts {
+		declMin = math.Min(declMin, p.Decl)
+		declMax = math.Max(declMax, p.Decl)
+	}
+	// If the trixel contains a pole, it spans all RA.
+	north := sphgeom.Vector3{X: 0, Y: 0, Z: 1}
+	south := sphgeom.Vector3{X: 0, Y: 0, Z: -1}
+	if t.contains(north) {
+		declMax = 90
+		return sphgeom.Box{RAMin: 0, RAMax: 360, DeclMin: declMin, DeclMax: declMax}
+	}
+	if t.contains(south) {
+		declMin = -90
+		return sphgeom.Box{RAMin: 0, RAMax: 360, DeclMin: declMin, DeclMax: declMax}
+	}
+	// Edges are great-circle arcs and can bulge past vertex declinations
+	// by at most the edge's chord height; a trixel at level L has edges
+	// <= 90/2^L degrees, so dilating by half the edge length is safe.
+	lvl, _ := t.id.Level()
+	edge := 90.0 / math.Pow(2, float64(lvl))
+	raMin, raMax, wraps := raHull(pts)
+	box := sphgeom.Box{RAMin: raMin, RAMax: raMax, DeclMin: declMin, DeclMax: declMax}
+	if wraps {
+		box = sphgeom.Box{RAMin: raMin, RAMax: raMax, DeclMin: declMin, DeclMax: declMax}
+	}
+	return box.Dilated(edge / 2)
+}
+
+// raHull returns the smallest RA interval containing all points,
+// accounting for wraparound; wraps reports RAMin > RAMax.
+func raHull(pts []sphgeom.Point) (raMin, raMax float64, wraps bool) {
+	// Try all rotations of sorted RAs; pick the arrangement whose span
+	// is smallest.
+	ras := make([]float64, len(pts))
+	for i, p := range pts {
+		ras[i] = p.RA
+	}
+	sortFloats(ras)
+	bestSpan := 361.0
+	bestStart := 0
+	n := len(ras)
+	for i := 0; i < n; i++ {
+		// Interval starting at ras[i], covering all others going east.
+		span := 0.0
+		for j := 0; j < n; j++ {
+			d := ras[(i+j)%n] - ras[i]
+			if d < 0 {
+				d += 360
+			}
+			if d > span {
+				span = d
+			}
+		}
+		if span < bestSpan {
+			bestSpan = span
+			bestStart = i
+		}
+	}
+	raMin = ras[bestStart]
+	raMax = raMin + bestSpan
+	if raMax >= 360 {
+		raMax -= 360
+		return raMin, raMax, true
+	}
+	return raMin, raMax, false
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// Cover returns a complete set of level-`level` trixel ids whose union
+// contains the region: any point of the region is in some returned
+// trixel. The cover is conservative (it may include trixels that only
+// graze the region's bounding box).
+func Cover(r sphgeom.Region, level int) ([]ID, error) {
+	if level < 0 || level > MaxLevel {
+		return nil, fmt.Errorf("htm: level %d out of range [0, %d]", level, MaxLevel)
+	}
+	bound := r.Bound()
+	var out []ID
+	var walk func(t trixel, lvl int)
+	walk = func(t trixel, lvl int) {
+		if !t.bound().Intersects(bound) {
+			return
+		}
+		if lvl == level {
+			out = append(out, t.id)
+			return
+		}
+		for _, k := range t.children() {
+			walk(k, lvl+1)
+		}
+	}
+	for _, t := range rootTrixels {
+		walk(t, 0)
+	}
+	return out, nil
+}
+
+// NumTrixels returns the number of trixels at a level (8 * 4^level).
+func NumTrixels(level int) int {
+	return 8 << uint(2*level)
+}

@@ -1,0 +1,263 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sphgeom"
+)
+
+func TestLevelEncoding(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want int
+	}{
+		{8, 0}, {15, 0}, {32, 1}, {63, 1}, {128, 2}, {255, 2},
+	}
+	for _, c := range cases {
+		got, err := c.id.Level()
+		if err != nil || got != c.want {
+			t.Errorf("Level(%d) = %d, %v; want %d", c.id, got, err, c.want)
+		}
+	}
+	for _, bad := range []ID{0, 1, 7, 16, 31} {
+		if _, err := bad.Level(); err == nil {
+			t.Errorf("Level(%d) should fail", bad)
+		}
+	}
+}
+
+func TestParentChild(t *testing.T) {
+	id, err := IDOf(sphgeom.NewPoint(45, 45), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := id.Parent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != id>>2 {
+		t.Errorf("parent = %d, want %d", p, id>>2)
+	}
+	anc, err := id.AncestorAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anc < 8 || anc > 15 {
+		t.Errorf("level-0 ancestor = %d, want a root", anc)
+	}
+	if _, err := ID(8).Parent(); err == nil {
+		t.Error("root parent should fail")
+	}
+}
+
+func TestIDOfLevelsNest(t *testing.T) {
+	// The id at level L must be the ancestor of the id at level L+1.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		p := sphgeom.NewPoint(rng.Float64()*360, rng.Float64()*180-90)
+		prev := ID(0)
+		for lvl := 0; lvl <= 8; lvl++ {
+			id, err := IDOf(p, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lvl > 0 {
+				par, err := id.Parent()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par != prev {
+					t.Fatalf("point %v: level %d id %d has parent %d, expected %d", p, lvl, id, par, prev)
+				}
+			}
+			prev = id
+		}
+	}
+}
+
+func TestIDRangePerLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for lvl := 0; lvl <= 6; lvl++ {
+		lo := ID(8) << uint(2*lvl)
+		hi := ID(16) << uint(2*lvl)
+		for i := 0; i < 50; i++ {
+			p := sphgeom.NewPoint(rng.Float64()*360, rng.Float64()*180-90)
+			id, err := IDOf(p, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id < lo || id >= hi {
+				t.Fatalf("level %d id %d outside [%d, %d)", lvl, id, lo, hi)
+			}
+		}
+	}
+}
+
+func TestResolveContainsPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		p := sphgeom.NewPoint(rng.Float64()*360, rng.Float64()*180-90)
+		id, err := IDOf(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tri, err := resolve(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tri.contains(p.Vector()) {
+			t.Fatalf("resolved trixel %d does not contain its point %v", id, p)
+		}
+	}
+}
+
+func TestAreasSumToSphere(t *testing.T) {
+	const sphere = 4 * math.Pi * (180 / math.Pi) * (180 / math.Pi)
+	for lvl := 0; lvl <= 3; lvl++ {
+		total := 0.0
+		lo := ID(8) << uint(2*lvl)
+		hi := ID(16) << uint(2*lvl)
+		for id := lo; id < hi; id++ {
+			a, err := Area(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += a
+		}
+		if math.Abs(total-sphere)/sphere > 1e-9 {
+			t.Errorf("level %d areas sum to %g, want %g", lvl, total, sphere)
+		}
+	}
+}
+
+func TestAreaVariationBeatsBoxes(t *testing.T) {
+	// Section 7.5's motivation: HTM trixel areas vary far less than
+	// rectangular RA/decl chunk areas, which collapse near the poles.
+	lvl := 4
+	minA, maxA := math.Inf(1), math.Inf(-1)
+	lo := ID(8) << uint(2*lvl)
+	hi := ID(16) << uint(2*lvl)
+	for id := lo; id < hi; id++ {
+		a, err := Area(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	ratio := maxA / minA
+	if ratio > 3 {
+		t.Errorf("trixel area ratio %g too large; HTM should be within ~2x", ratio)
+	}
+}
+
+func TestCoverContainsRegionPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		ra := rng.Float64() * 360
+		decl := rng.Float64()*140 - 70
+		box := sphgeom.NewBox(ra, ra+2+rng.Float64()*5, decl, decl+2+rng.Float64()*5)
+		lvl := 4
+		ids, err := Cover(box, lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inCover := make(map[ID]bool, len(ids))
+		for _, id := range ids {
+			inCover[id] = true
+		}
+		for k := 0; k < 20; k++ {
+			p := sphgeom.NewPoint(
+				box.RAMin+rng.Float64()*box.RAExtent(),
+				box.DeclMin+rng.Float64()*(box.DeclMax-box.DeclMin),
+			)
+			if !box.Contains(p) {
+				continue
+			}
+			id, err := IDOf(p, lvl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inCover[id] {
+				t.Fatalf("cover of %v (%d trixels) missing trixel %d of point %v", box, len(ids), id, p)
+			}
+		}
+	}
+}
+
+func TestCoverPolarRegion(t *testing.T) {
+	box := sphgeom.NewBox(0, 360, 85, 90)
+	ids, err := Cover(box, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("polar cover empty")
+	}
+	p := sphgeom.NewPoint(123, 89)
+	id, _ := IDOf(p, 3)
+	found := false
+	for _, x := range ids {
+		if x == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("polar cover missing trixel containing (123, 89)")
+	}
+}
+
+func TestCoverSmallRegionIsSmall(t *testing.T) {
+	// Interactive queries with tiny extents must map to few trixels
+	// (the section 7.5 argument for HTM indexing).
+	box := sphgeom.NewBox(10, 10.1, 10, 10.1)
+	ids, err := Cover(box, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("empty cover")
+	}
+	if len(ids) > 64 {
+		t.Errorf("0.1-degree box covered by %d level-8 trixels; expected a small set", len(ids))
+	}
+}
+
+func TestNumTrixels(t *testing.T) {
+	if NumTrixels(0) != 8 || NumTrixels(1) != 32 || NumTrixels(3) != 512 {
+		t.Error("NumTrixels wrong")
+	}
+}
+
+func TestVertices(t *testing.T) {
+	vs, err := Vertices(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S0 root has vertices at (ra 0, decl 0), south pole, (ra 90, decl 0).
+	if math.Abs(vs[0].Decl) > 1e-9 || math.Abs(vs[1].Decl+90) > 1e-9 {
+		t.Errorf("unexpected S0 vertices: %v", vs)
+	}
+}
+
+func BenchmarkIDOfLevel10(b *testing.B) {
+	p := sphgeom.NewPoint(211.7, -12.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IDOf(p, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoverLevel6(b *testing.B) {
+	box := sphgeom.NewBox(0, 10, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cover(box, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

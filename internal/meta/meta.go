@@ -1,0 +1,369 @@
+// Package meta holds Qserv's frontend metadata: which tables exist and
+// how they are partitioned, where each chunk lives (placement with
+// replication), and the objectId secondary index that maps each object
+// to its (chunkId, subChunkId) — the "three-column table in the
+// frontend's metadata database" of paper section 5.5.
+package meta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+// TableInfo describes one catalog table.
+type TableInfo struct {
+	Name   string
+	Schema sqlengine.Schema
+	// Partitioned marks spatially sharded tables (Object, Source).
+	Partitioned bool
+	// RAColumn / DeclColumn are the position columns partitioning uses
+	// (ra_PS/decl_PS for Object, ra/decl for Source).
+	RAColumn, DeclColumn string
+	// DirectorKey is the column covered by the secondary index
+	// (objectId). Empty when the table has no director key.
+	DirectorKey string
+	// PaperRows and PaperRowBytes record the paper's Table 1 estimates
+	// for the final LSST data release (the Table 1 experiment).
+	PaperRows     int64
+	PaperRowBytes int64
+	// EvalRows and EvalBytes record the paper's 150-node evaluation
+	// dataset (section 6.1.2: Object 1.7e9 rows / ~1.824e12 bytes MYD,
+	// Source 55e9 rows / 30 TB). The cost model scales to these.
+	EvalRows  int64
+	EvalBytes int64
+}
+
+// FootprintBytes returns the estimated raw storage of the paper-scale
+// table (rows x row size), the quantity Table 1 reports.
+func (t *TableInfo) FootprintBytes() int64 { return t.PaperRows * t.PaperRowBytes }
+
+// ChunkTableName returns the worker-side table name for a chunk
+// (Object_CC, section 5.2).
+func ChunkTableName(table string, chunk partition.ChunkID) string {
+	return fmt.Sprintf("%s_%d", table, chunk)
+}
+
+// SubChunkTableName returns the worker-side on-the-fly subchunk table
+// name (Object_CC_SS).
+func SubChunkTableName(table string, chunk partition.ChunkID, sub partition.SubChunkID) string {
+	return fmt.Sprintf("%s_%d_%d", table, chunk, sub)
+}
+
+// OverlapTableName returns the worker-side overlap companion of a chunk
+// table (ObjectFullOverlap_CC): rows within the overlap margin outside
+// the chunk.
+func OverlapTableName(table string, chunk partition.ChunkID) string {
+	return fmt.Sprintf("%sFullOverlap_%d", table, chunk)
+}
+
+// SubChunkOverlapTableName returns the on-the-fly overlap subchunk table
+// name (ObjectFullOverlap_CC_SS): rows within the margin of a subchunk,
+// outside it.
+func SubChunkOverlapTableName(table string, chunk partition.ChunkID, sub partition.SubChunkID) string {
+	return fmt.Sprintf("%sFullOverlap_%d_%d", table, chunk, sub)
+}
+
+// Registry is the frontend's view of one sharded database.
+type Registry struct {
+	// DB is the catalog database name ("LSST").
+	DB string
+	// Chunker defines the partitioning geometry.
+	Chunker *partition.Chunker
+
+	mu     sync.RWMutex
+	tables map[string]*TableInfo
+}
+
+// NewRegistry creates a registry for a database partitioned by chunker.
+func NewRegistry(db string, chunker *partition.Chunker) *Registry {
+	return &Registry{DB: db, Chunker: chunker, tables: map[string]*TableInfo{}}
+}
+
+// AddTable registers a table.
+func (r *Registry) AddTable(info *TableInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tables[strings.ToLower(info.Name)] = info
+}
+
+// Table looks up a table by case-insensitive name.
+func (r *Registry) Table(name string) (*TableInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("meta: unknown table %q in %s", name, r.DB)
+	}
+	return info, nil
+}
+
+// TableNames returns the registered table names, sorted.
+func (r *Registry) TableNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tables))
+	for _, t := range r.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LSSTRegistry builds the paper's catalog: the Object and Source tables
+// (the two used in the evaluation, section 6.1.2) plus ForcedSource
+// (Table 1), partitioned with the given chunker.
+func LSSTRegistry(chunker *partition.Chunker) *Registry {
+	r := NewRegistry("LSST", chunker)
+	r.AddTable(&TableInfo{
+		Name:          "Object",
+		Schema:        ObjectSchema(),
+		Partitioned:   true,
+		RAColumn:      "ra_PS",
+		DeclColumn:    "decl_PS",
+		DirectorKey:   "objectId",
+		PaperRows:     26e9,
+		PaperRowBytes: 2048,
+		EvalRows:      1.7e9,
+		EvalBytes:     1.824e12,
+	})
+	r.AddTable(&TableInfo{
+		Name:          "Source",
+		Schema:        SourceSchema(),
+		Partitioned:   true,
+		RAColumn:      "ra",
+		DeclColumn:    "decl",
+		DirectorKey:   "objectId",
+		PaperRows:     1.8e12,
+		PaperRowBytes: 650,
+		EvalRows:      55e9,
+		EvalBytes:     30e12,
+	})
+	r.AddTable(&TableInfo{
+		Name:          "ForcedSource",
+		Schema:        ForcedSourceSchema(),
+		Partitioned:   true,
+		RAColumn:      "ra",
+		DeclColumn:    "decl",
+		DirectorKey:   "objectId",
+		PaperRows:     21e12,
+		PaperRowBytes: 30,
+	})
+	r.AddTable(&TableInfo{
+		Name:   "Filter",
+		Schema: FilterSchema(),
+	})
+	return r
+}
+
+// ObjectSchema returns the PT1.1-style Object columns used by the
+// paper's queries.
+func ObjectSchema() sqlengine.Schema {
+	return sqlengine.Schema{
+		{Name: "objectId", Type: sqlparse.TypeInt},
+		{Name: "ra_PS", Type: sqlparse.TypeFloat},
+		{Name: "decl_PS", Type: sqlparse.TypeFloat},
+		{Name: "uFlux_PS", Type: sqlparse.TypeFloat},
+		{Name: "gFlux_PS", Type: sqlparse.TypeFloat},
+		{Name: "rFlux_PS", Type: sqlparse.TypeFloat},
+		{Name: "iFlux_PS", Type: sqlparse.TypeFloat},
+		{Name: "zFlux_PS", Type: sqlparse.TypeFloat},
+		{Name: "yFlux_PS", Type: sqlparse.TypeFloat},
+		{Name: "uFlux_SG", Type: sqlparse.TypeFloat},
+		{Name: "uRadius_PS", Type: sqlparse.TypeFloat},
+		{Name: "chunkId", Type: sqlparse.TypeInt},
+		{Name: "subChunkId", Type: sqlparse.TypeInt},
+	}
+}
+
+// SourceSchema returns the PT1.1-style Source columns used by the
+// paper's queries (time-series detections).
+func SourceSchema() sqlengine.Schema {
+	return sqlengine.Schema{
+		{Name: "sourceId", Type: sqlparse.TypeInt},
+		{Name: "objectId", Type: sqlparse.TypeInt},
+		{Name: "taiMidPoint", Type: sqlparse.TypeFloat},
+		{Name: "ra", Type: sqlparse.TypeFloat},
+		{Name: "decl", Type: sqlparse.TypeFloat},
+		{Name: "psfFlux", Type: sqlparse.TypeFloat},
+		{Name: "psfFluxErr", Type: sqlparse.TypeFloat},
+		{Name: "filterId", Type: sqlparse.TypeInt},
+		{Name: "chunkId", Type: sqlparse.TypeInt},
+		{Name: "subChunkId", Type: sqlparse.TypeInt},
+	}
+}
+
+// ForcedSourceSchema returns the minimal ForcedSource columns (Table 1's
+// third table; 30-byte rows in the paper).
+func ForcedSourceSchema() sqlengine.Schema {
+	return sqlengine.Schema{
+		{Name: "objectId", Type: sqlparse.TypeInt},
+		{Name: "exposureId", Type: sqlparse.TypeInt},
+		{Name: "psfFlux", Type: sqlparse.TypeFloat},
+		{Name: "chunkId", Type: sqlparse.TypeInt},
+		{Name: "subChunkId", Type: sqlparse.TypeInt},
+	}
+}
+
+// FilterSchema returns a small unpartitioned dimension table.
+func FilterSchema() sqlengine.Schema {
+	return sqlengine.Schema{
+		{Name: "filterId", Type: sqlparse.TypeInt},
+		{Name: "filterName", Type: sqlparse.TypeString},
+	}
+}
+
+// Placement maps chunks to the workers storing them (with replication).
+type Placement struct {
+	mu     sync.RWMutex
+	assign map[partition.ChunkID][]string
+}
+
+// NewPlacement creates an empty placement.
+func NewPlacement() *Placement {
+	return &Placement{assign: map[partition.ChunkID][]string{}}
+}
+
+// RoundRobin distributes chunks over workers with the given replication
+// factor. Consecutive chunks land on different workers, which spreads
+// density-induced skew across nodes (paper section 4.4).
+func RoundRobin(chunks []partition.ChunkID, workers []string, replication int) (*Placement, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("meta: no workers")
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > len(workers) {
+		return nil, fmt.Errorf("meta: replication %d exceeds %d workers", replication, len(workers))
+	}
+	p := NewPlacement()
+	for i, c := range chunks {
+		var reps []string
+		for r := 0; r < replication; r++ {
+			reps = append(reps, workers[(i+r)%len(workers)])
+		}
+		p.assign[c] = reps
+	}
+	return p, nil
+}
+
+// Workers returns the workers holding a chunk (primary first).
+func (p *Placement) Workers(c partition.ChunkID) []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]string(nil), p.assign[c]...)
+}
+
+// Assign sets the workers for a chunk.
+func (p *Placement) Assign(c partition.ChunkID, workers ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.assign[c] = append([]string(nil), workers...)
+}
+
+// Chunks returns all placed chunks in increasing order.
+func (p *Placement) Chunks() []partition.ChunkID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]partition.ChunkID, 0, len(p.assign))
+	for c := range p.assign {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChunksOn returns the chunks assigned to a worker, in increasing order.
+func (p *Placement) ChunksOn(worker string) []partition.ChunkID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []partition.ChunkID
+	for c, ws := range p.assign {
+		for _, w := range ws {
+			if w == worker {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChunkSub is one secondary-index entry value.
+type ChunkSub struct {
+	Chunk partition.ChunkID
+	Sub   partition.SubChunkID
+}
+
+// ObjectIndex is the objectId secondary index: the frontend's
+// three-column table mapping objectId to (chunkId, subChunkId).
+type ObjectIndex struct {
+	mu sync.RWMutex
+	m  map[int64]ChunkSub
+}
+
+// NewObjectIndex creates an empty index.
+func NewObjectIndex() *ObjectIndex {
+	return &ObjectIndex{m: map[int64]ChunkSub{}}
+}
+
+// Put records an object's location.
+func (ix *ObjectIndex) Put(objectID int64, loc ChunkSub) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.m[objectID] = loc
+}
+
+// Lookup returns the location of an object.
+func (ix *ObjectIndex) Lookup(objectID int64) (ChunkSub, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	loc, ok := ix.m[objectID]
+	return loc, ok
+}
+
+// Len returns the number of indexed objects.
+func (ix *ObjectIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.m)
+}
+
+// MetaTableName is the name of the materialized secondary-index table.
+const MetaTableName = "ObjectChunkIndex"
+
+// Materialize writes the index into an engine as the paper's
+// three-column metadata table and hash-indexes it by objectId, so index
+// lookups are themselves SQL queries against the frontend database.
+func (ix *ObjectIndex) Materialize(e *sqlengine.Engine, db string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, err := e.Database(db)
+	if err != nil {
+		return err
+	}
+	t := sqlengine.NewTable(MetaTableName, sqlengine.Schema{
+		{Name: "objectId", Type: sqlparse.TypeInt},
+		{Name: "chunkId", Type: sqlparse.TypeInt},
+		{Name: "subChunkId", Type: sqlparse.TypeInt},
+	})
+	rows := make([]sqlengine.Row, 0, len(ix.m))
+	for id, loc := range ix.m {
+		rows = append(rows, sqlengine.Row{id, int64(loc.Chunk), int64(loc.Sub)})
+	}
+	if err := t.Insert(rows...); err != nil {
+		return err
+	}
+	if err := t.CreateIndex("objectId"); err != nil {
+		return err
+	}
+	d.Put(t)
+	return nil
+}

@@ -1,0 +1,220 @@
+package meta
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+)
+
+func testChunker(t testing.TB) *partition.Chunker {
+	t.Helper()
+	ch, err := partition.NewChunker(partition.Config{
+		NumStripes: 12, NumSubStripesPerStripe: 4, Overlap: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestTableNames(t *testing.T) {
+	if got := ChunkTableName("Object", 1234); got != "Object_1234" {
+		t.Errorf("chunk name = %q", got)
+	}
+	if got := SubChunkTableName("Object", 1234, 7); got != "Object_1234_7" {
+		t.Errorf("subchunk name = %q", got)
+	}
+	if got := OverlapTableName("Object", 9); got != "ObjectFullOverlap_9" {
+		t.Errorf("overlap name = %q", got)
+	}
+	if got := SubChunkOverlapTableName("Object", 9, 3); got != "ObjectFullOverlap_9_3" {
+		t.Errorf("subchunk overlap name = %q", got)
+	}
+}
+
+func TestLSSTRegistry(t *testing.T) {
+	r := LSSTRegistry(testChunker(t))
+	obj, err := r.Table("object") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obj.Partitioned || obj.RAColumn != "ra_PS" || obj.DirectorKey != "objectId" {
+		t.Errorf("Object info: %+v", obj)
+	}
+	src, err := r.Table("Source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.RAColumn != "ra" || src.DeclColumn != "decl" {
+		t.Errorf("Source info: %+v", src)
+	}
+	if _, err := r.Table("NoSuch"); err == nil {
+		t.Error("unknown table should fail")
+	}
+	names := r.TableNames()
+	if len(names) != 4 {
+		t.Errorf("tables: %v", names)
+	}
+	filter, _ := r.Table("Filter")
+	if filter.Partitioned {
+		t.Error("Filter must be unpartitioned")
+	}
+}
+
+func TestTable1Footprints(t *testing.T) {
+	// The paper's Table 1: Object 48 TB, Source 1.3 PB (actually
+	// 1.17 PB raw), ForcedSource 620 TB (630 TB raw); check order of
+	// magnitude from rows x row bytes.
+	r := LSSTRegistry(testChunker(t))
+	obj, _ := r.Table("Object")
+	if fp := obj.FootprintBytes(); fp < 45e12 || fp > 60e12 {
+		t.Errorf("Object footprint = %g TB, want ~48-53 TB", float64(fp)/1e12)
+	}
+	src, _ := r.Table("Source")
+	if fp := src.FootprintBytes(); fp < 1.0e15 || fp > 1.4e15 {
+		t.Errorf("Source footprint = %g PB, want ~1.2-1.3 PB", float64(fp)/1e15)
+	}
+	fs, _ := r.Table("ForcedSource")
+	if fp := fs.FootprintBytes(); fp < 5.5e14 || fp > 7e14 {
+		t.Errorf("ForcedSource footprint = %g TB, want ~620-630 TB", float64(fp)/1e12)
+	}
+}
+
+func TestSchemasHavePartitionColumns(t *testing.T) {
+	for _, s := range []sqlengine.Schema{ObjectSchema(), SourceSchema(), ForcedSourceSchema()} {
+		if s.ColIndex("chunkId") < 0 || s.ColIndex("subChunkId") < 0 {
+			t.Errorf("schema missing partition columns: %v", s.Names())
+		}
+		if s.ColIndex("objectId") < 0 {
+			t.Errorf("schema missing objectId: %v", s.Names())
+		}
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	chunks := []partition.ChunkID{0, 1, 2, 3, 4, 5}
+	workers := []string{"w0", "w1", "w2"}
+	p, err := RoundRobin(chunks, workers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive chunks land on different workers.
+	if p.Workers(0)[0] == p.Workers(1)[0] {
+		t.Error("consecutive chunks on the same worker")
+	}
+	// Each worker gets 2 of 6 chunks.
+	for _, w := range workers {
+		if got := len(p.ChunksOn(w)); got != 2 {
+			t.Errorf("worker %s has %d chunks, want 2", w, got)
+		}
+	}
+	if got := len(p.Chunks()); got != 6 {
+		t.Errorf("placed chunks = %d", got)
+	}
+}
+
+func TestPlacementReplication(t *testing.T) {
+	chunks := []partition.ChunkID{0, 1, 2, 3}
+	workers := []string{"w0", "w1", "w2"}
+	p, err := RoundRobin(chunks, workers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		reps := p.Workers(c)
+		if len(reps) != 2 {
+			t.Fatalf("chunk %d has %d replicas", c, len(reps))
+		}
+		if reps[0] == reps[1] {
+			t.Errorf("chunk %d replicas on the same worker", c)
+		}
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	if _, err := RoundRobin([]partition.ChunkID{0}, nil, 1); err == nil {
+		t.Error("no workers should fail")
+	}
+	if _, err := RoundRobin([]partition.ChunkID{0}, []string{"w"}, 2); err == nil {
+		t.Error("replication > workers should fail")
+	}
+}
+
+func TestPlacementAssign(t *testing.T) {
+	p := NewPlacement()
+	p.Assign(7, "wx", "wy")
+	if got := p.Workers(7); len(got) != 2 || got[0] != "wx" {
+		t.Errorf("assign: %v", got)
+	}
+	if got := p.Workers(99); len(got) != 0 {
+		t.Errorf("unplaced chunk workers: %v", got)
+	}
+}
+
+func TestObjectIndex(t *testing.T) {
+	ix := NewObjectIndex()
+	ix.Put(42, ChunkSub{Chunk: 7, Sub: 3})
+	ix.Put(43, ChunkSub{Chunk: 8, Sub: 0})
+	loc, ok := ix.Lookup(42)
+	if !ok || loc.Chunk != 7 || loc.Sub != 3 {
+		t.Errorf("lookup: %v %v", loc, ok)
+	}
+	if _, ok := ix.Lookup(999); ok {
+		t.Error("missing id should not be found")
+	}
+	if ix.Len() != 2 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}
+
+func TestObjectIndexMaterialize(t *testing.T) {
+	// The secondary index lives as a real SQL table in the frontend's
+	// metadata database and answers point queries via its hash index.
+	ix := NewObjectIndex()
+	for i := int64(0); i < 100; i++ {
+		ix.Put(i, ChunkSub{Chunk: partition.ChunkID(i % 10), Sub: partition.SubChunkID(i % 4)})
+	}
+	e := sqlengine.New("qservMeta")
+	if err := ix.Materialize(e, "qservMeta"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("SELECT chunkId, subChunkId FROM ObjectChunkIndex WHERE objectId = 57")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 7 || res.Rows[0][1].(int64) != 1 {
+		t.Errorf("index query: %v", res.Rows)
+	}
+	// The lookup must be indexed (a random read, not a scan).
+	if res.Stats.RandReads == 0 || res.Stats.SeqBytes != 0 {
+		t.Errorf("index table not actually indexed: %+v", res.Stats)
+	}
+}
+
+func TestConcurrentIndexAccess(t *testing.T) {
+	ix := NewObjectIndex()
+	done := make(chan bool, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := int64(0); i < 500; i++ {
+				ix.Put(int64(g)*1000+i, ChunkSub{Chunk: partition.ChunkID(i)})
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := int64(0); i < 500; i++ {
+				ix.Lookup(i)
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if ix.Len() != 2000 {
+		t.Errorf("len = %d, want 2000", ix.Len())
+	}
+}

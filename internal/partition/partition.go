@@ -1,0 +1,375 @@
+// Package partition implements Qserv's two-level spherical partitioning
+// (paper sections 4.4 and 5.2).
+//
+// The sphere is divided into NumStripes equal-height declination stripes.
+// Each stripe is divided into chunks whose RA width is chosen so chunk
+// area is roughly constant across stripes (fewer chunks per stripe near
+// the poles). Each stripe is further divided into NumSubStripesPerStripe
+// sub-stripes, and each chunk into subchunks, again with roughly equal
+// area. A row is assigned a chunkId and a subChunkId from its (ra, decl).
+//
+// The paper's test configuration — 85 stripes of 12 sub-stripes, giving a
+// stripe height of ~2.11 degrees, chunk area ~4.5 deg^2, subchunk area
+// ~0.031 deg^2, and 8983 chunks with Source clipped to |decl| <= 54 — is
+// available as PaperConfig.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sphgeom"
+)
+
+// Config describes a two-level partitioning of the sphere.
+type Config struct {
+	// NumStripes is the number of equal-height declination stripes.
+	NumStripes int
+	// NumSubStripesPerStripe is the number of sub-stripes per stripe.
+	NumSubStripesPerStripe int
+	// Overlap is the margin, in degrees, stored with each partition so
+	// spatial joins within Overlap of a border need no remote data.
+	Overlap float64
+}
+
+// PaperConfig returns the configuration used in the paper's 150-node test:
+// 85 stripes, 12 sub-stripes per stripe, 1 arc-minute overlap.
+func PaperConfig() Config {
+	return Config{NumStripes: 85, NumSubStripesPerStripe: 12, Overlap: 0.01667}
+}
+
+// Validate checks the configuration for usability.
+func (c Config) Validate() error {
+	if c.NumStripes < 1 {
+		return fmt.Errorf("partition: NumStripes must be >= 1, got %d", c.NumStripes)
+	}
+	if c.NumSubStripesPerStripe < 1 {
+		return fmt.Errorf("partition: NumSubStripesPerStripe must be >= 1, got %d", c.NumSubStripesPerStripe)
+	}
+	if c.Overlap < 0 {
+		return fmt.Errorf("partition: Overlap must be >= 0, got %g", c.Overlap)
+	}
+	if c.Overlap > 10 {
+		return fmt.Errorf("partition: Overlap %g deg is unreasonably large", c.Overlap)
+	}
+	return nil
+}
+
+// StripeHeight returns the declination height of one stripe in degrees.
+func (c Config) StripeHeight() float64 { return 180.0 / float64(c.NumStripes) }
+
+// SubStripeHeight returns the declination height of one sub-stripe.
+func (c Config) SubStripeHeight() float64 {
+	return c.StripeHeight() / float64(c.NumSubStripesPerStripe)
+}
+
+// Chunker assigns chunk and subchunk IDs and enumerates partitions.
+// It is immutable after construction and safe for concurrent use.
+type Chunker struct {
+	cfg Config
+	// numChunksPerStripe[s] is the number of chunks in stripe s.
+	numChunksPerStripe []int
+	// numSubChunksPerChunk[s] is the number of subchunks along RA within
+	// one chunk of stripe s (per sub-stripe row).
+	numSubChunksPerChunk []int
+}
+
+// NewChunker builds a Chunker for the configuration.
+func NewChunker(cfg Config) (*Chunker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Chunker{
+		cfg:                  cfg,
+		numChunksPerStripe:   make([]int, cfg.NumStripes),
+		numSubChunksPerChunk: make([]int, cfg.NumStripes),
+	}
+	h := cfg.StripeHeight()
+	for s := 0; s < cfg.NumStripes; s++ {
+		// Declination of the stripe edge closest to the equator decides
+		// the RA compression factor, so chunks are at least as wide as
+		// they would be at the equator.
+		declMin := -90 + float64(s)*h
+		declMax := declMin + h
+		cosMax := minAbsCos(declMin, declMax)
+		// Number of chunks so that chunk RA width * cos(decl) ~ stripe
+		// height: roughly square, roughly equal-area chunks.
+		n := int(math.Floor(2 * math.Pi * cosMax / sphgeom.RadOf(h)))
+		if n < 1 {
+			n = 1
+		}
+		ch.numChunksPerStripe[s] = n
+		// Subchunks along RA inside one chunk, so subchunks are roughly
+		// square relative to the sub-stripe height.
+		chunkWidth := 360.0 / float64(n)
+		subH := cfg.SubStripeHeight()
+		m := int(math.Floor(chunkWidth * cosMax / subH))
+		if m < 1 {
+			m = 1
+		}
+		ch.numSubChunksPerChunk[s] = m
+	}
+	return ch, nil
+}
+
+// minAbsCos returns cos at the declination of smallest |decl| in the band,
+// i.e. the widest point of the stripe.
+func minAbsCos(declMin, declMax float64) float64 {
+	if declMin <= 0 && declMax >= 0 {
+		return 1
+	}
+	a := math.Min(math.Abs(declMin), math.Abs(declMax))
+	return math.Cos(sphgeom.RadOf(a))
+}
+
+// Config returns the chunker's configuration.
+func (ch *Chunker) Config() Config { return ch.cfg }
+
+// NumStripes returns the number of declination stripes.
+func (ch *Chunker) NumStripes() int { return ch.cfg.NumStripes }
+
+// ChunksInStripe returns the number of chunks in the given stripe.
+func (ch *Chunker) ChunksInStripe(stripe int) int {
+	return ch.numChunksPerStripe[stripe]
+}
+
+// TotalChunks returns the number of chunks covering the whole sphere.
+func (ch *Chunker) TotalChunks() int {
+	total := 0
+	for _, n := range ch.numChunksPerStripe {
+		total += n
+	}
+	return total
+}
+
+// SubChunksPerChunk returns how many subchunks one chunk of the given
+// stripe contains (sub-stripe rows x subchunks per row).
+func (ch *Chunker) SubChunksPerChunk(stripe int) int {
+	return ch.cfg.NumSubStripesPerStripe * ch.numSubChunksPerChunk[stripe]
+}
+
+// stripeOf returns the stripe index of a declination.
+func (ch *Chunker) stripeOf(decl float64) int {
+	s := int(math.Floor((decl + 90) / ch.cfg.StripeHeight()))
+	if s < 0 {
+		s = 0
+	}
+	if s >= ch.cfg.NumStripes {
+		s = ch.cfg.NumStripes - 1
+	}
+	return s
+}
+
+// chunkIDFor composes the external chunkId from (stripe, chunk-in-stripe).
+// IDs are dense per stripe: stripe s starts at offset(s).
+func (ch *Chunker) chunkIDFor(stripe, chunkInStripe int) ChunkID {
+	return ChunkID(ch.stripeOffset(stripe) + chunkInStripe)
+}
+
+func (ch *Chunker) stripeOffset(stripe int) int {
+	off := 0
+	for s := 0; s < stripe; s++ {
+		off += ch.numChunksPerStripe[s]
+	}
+	return off
+}
+
+// ChunkID identifies a first-level partition (the CC in Object_CC).
+type ChunkID int
+
+// SubChunkID identifies a second-level partition within a chunk
+// (the SS in Object_CC_SS).
+type SubChunkID int
+
+// Locate returns the chunk and subchunk containing a point.
+func (ch *Chunker) Locate(p sphgeom.Point) (ChunkID, SubChunkID) {
+	stripe := ch.stripeOf(p.Decl)
+	nChunks := ch.numChunksPerStripe[stripe]
+	c := int(math.Floor(sphgeom.WrapRA(p.RA) / 360.0 * float64(nChunks)))
+	if c >= nChunks {
+		c = nChunks - 1
+	}
+	chunkID := ch.chunkIDFor(stripe, c)
+
+	// Sub-stripe row within the stripe.
+	h := ch.cfg.StripeHeight()
+	subH := ch.cfg.SubStripeHeight()
+	declInStripe := p.Decl - (-90 + float64(stripe)*h)
+	row := int(math.Floor(declInStripe / subH))
+	if row < 0 {
+		row = 0
+	}
+	if row >= ch.cfg.NumSubStripesPerStripe {
+		row = ch.cfg.NumSubStripesPerStripe - 1
+	}
+	// Subchunk column within the chunk.
+	m := ch.numSubChunksPerChunk[stripe]
+	chunkWidth := 360.0 / float64(nChunks)
+	raInChunk := sphgeom.WrapRA(p.RA) - float64(c)*chunkWidth
+	col := int(math.Floor(raInChunk / chunkWidth * float64(m)))
+	if col < 0 {
+		col = 0
+	}
+	if col >= m {
+		col = m - 1
+	}
+	return chunkID, SubChunkID(row*m + col)
+}
+
+// decompose splits a ChunkID back into (stripe, chunk-in-stripe).
+func (ch *Chunker) decompose(id ChunkID) (stripe, chunkInStripe int, err error) {
+	n := int(id)
+	if n < 0 {
+		return 0, 0, fmt.Errorf("partition: negative chunk id %d", id)
+	}
+	for s := 0; s < ch.cfg.NumStripes; s++ {
+		if n < ch.numChunksPerStripe[s] {
+			return s, n, nil
+		}
+		n -= ch.numChunksPerStripe[s]
+	}
+	return 0, 0, fmt.Errorf("partition: chunk id %d out of range (%d chunks)", id, ch.TotalChunks())
+}
+
+// ChunkBounds returns the RA/decl box of a chunk.
+func (ch *Chunker) ChunkBounds(id ChunkID) (sphgeom.Box, error) {
+	stripe, c, err := ch.decompose(id)
+	if err != nil {
+		return sphgeom.Box{}, err
+	}
+	h := ch.cfg.StripeHeight()
+	declMin := -90 + float64(stripe)*h
+	declMax := declMin + h
+	if stripe == ch.cfg.NumStripes-1 {
+		declMax = 90 // snap: avoid float rounding below the pole
+	}
+	width := 360.0 / float64(ch.numChunksPerStripe[stripe])
+	raMin := float64(c) * width
+	return sphgeom.NewBox(raMin, raMin+width, declMin, declMax), nil
+}
+
+// SubChunkBounds returns the RA/decl box of a subchunk within a chunk.
+func (ch *Chunker) SubChunkBounds(id ChunkID, sub SubChunkID) (sphgeom.Box, error) {
+	stripe, c, err := ch.decompose(id)
+	if err != nil {
+		return sphgeom.Box{}, err
+	}
+	m := ch.numSubChunksPerChunk[stripe]
+	if int(sub) < 0 || int(sub) >= ch.SubChunksPerChunk(stripe) {
+		return sphgeom.Box{}, fmt.Errorf("partition: subchunk id %d out of range for chunk %d", sub, id)
+	}
+	row := int(sub) / m
+	col := int(sub) % m
+	h := ch.cfg.StripeHeight()
+	subH := ch.cfg.SubStripeHeight()
+	declMin := -90 + float64(stripe)*h + float64(row)*subH
+	declMax := declMin + subH
+	if stripe == ch.cfg.NumStripes-1 && row == ch.cfg.NumSubStripesPerStripe-1 {
+		declMax = 90 // snap: avoid float rounding below the pole
+	}
+	width := 360.0 / float64(ch.numChunksPerStripe[stripe])
+	subW := width / float64(m)
+	raMin := float64(c)*width + float64(col)*subW
+	return sphgeom.NewBox(raMin, raMin+subW, declMin, declMax), nil
+}
+
+// AllChunks returns every chunk ID on the sphere, in increasing order.
+func (ch *Chunker) AllChunks() []ChunkID {
+	ids := make([]ChunkID, 0, ch.TotalChunks())
+	for i := 0; i < ch.TotalChunks(); i++ {
+		ids = append(ids, ChunkID(i))
+	}
+	return ids
+}
+
+// ChunksIn returns the IDs of all chunks whose bounds intersect the
+// region's bounding box. It never returns an empty slice for a valid
+// region; a full-sky region returns every chunk. This is the coarse
+// spatial index used to restrict query dispatch (paper section 5.5).
+func (ch *Chunker) ChunksIn(r sphgeom.Region) []ChunkID {
+	bound := r.Bound()
+	var ids []ChunkID
+	h := ch.cfg.StripeHeight()
+	sMin := ch.stripeOf(bound.DeclMin)
+	sMax := ch.stripeOf(bound.DeclMax)
+	for s := sMin; s <= sMax; s++ {
+		n := ch.numChunksPerStripe[s]
+		width := 360.0 / float64(n)
+		declMin := -90 + float64(s)*h
+		stripeBox := sphgeom.Box{RAMin: 0, RAMax: 360, DeclMin: declMin, DeclMax: declMin + h}
+		if !stripeBox.Intersects(bound) {
+			continue
+		}
+		for c := 0; c < n; c++ {
+			raMin := float64(c) * width
+			cb := sphgeom.NewBox(raMin, raMin+width, declMin, declMin+h)
+			if cb.Intersects(bound) {
+				ids = append(ids, ch.chunkIDFor(s, c))
+			}
+		}
+	}
+	return ids
+}
+
+// SubChunksIn returns the subchunks of the given chunk whose bounds
+// intersect the region's bounding box.
+func (ch *Chunker) SubChunksIn(id ChunkID, r sphgeom.Region) ([]SubChunkID, error) {
+	stripe, _, err := ch.decompose(id)
+	if err != nil {
+		return nil, err
+	}
+	bound := r.Bound()
+	var subs []SubChunkID
+	for i := 0; i < ch.SubChunksPerChunk(stripe); i++ {
+		sb, err := ch.SubChunkBounds(id, SubChunkID(i))
+		if err != nil {
+			return nil, err
+		}
+		if sb.Intersects(bound) {
+			subs = append(subs, SubChunkID(i))
+		}
+	}
+	return subs, nil
+}
+
+// AllSubChunks returns every subchunk ID of a chunk.
+func (ch *Chunker) AllSubChunks(id ChunkID) ([]SubChunkID, error) {
+	stripe, _, err := ch.decompose(id)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]SubChunkID, ch.SubChunksPerChunk(stripe))
+	for i := range subs {
+		subs[i] = SubChunkID(i)
+	}
+	return subs, nil
+}
+
+// InOverlap reports whether a point belongs to the overlap region of the
+// given chunk: outside the chunk proper but within the configured overlap
+// margin of its border. Rows in the overlap are stored with the chunk so
+// near-neighbor joins need no cross-node data exchange (section 4.4).
+func (ch *Chunker) InOverlap(id ChunkID, p sphgeom.Point) (bool, error) {
+	bounds, err := ch.ChunkBounds(id)
+	if err != nil {
+		return false, err
+	}
+	if bounds.Contains(p) {
+		return false, nil
+	}
+	return bounds.Dilated(ch.cfg.Overlap).Contains(p), nil
+}
+
+// InSubChunkOverlap reports whether a point is in the overlap region of a
+// subchunk (outside it, within the margin). Used to build the on-the-fly
+// "full overlap" subchunk tables for spatial self-joins.
+func (ch *Chunker) InSubChunkOverlap(id ChunkID, sub SubChunkID, p sphgeom.Point) (bool, error) {
+	bounds, err := ch.SubChunkBounds(id, sub)
+	if err != nil {
+		return false, err
+	}
+	if bounds.Contains(p) {
+		return false, nil
+	}
+	return bounds.Dilated(ch.cfg.Overlap).Contains(p), nil
+}

@@ -1,0 +1,282 @@
+// Package proxy stands in for the MySQL Proxy frontend of paper section
+// 5.4: it lets any client submit SQL text to a czar over TCP and get a
+// tabular result back. The wire protocol is a simple framed protocol
+// rather than the MySQL protocol (the proxy's role in the paper is only
+// client compatibility, which a plain protocol preserves). It also
+// supports load-balancing across multiple czars — the first of the two
+// distributed-management strategies discussed in section 7.6.
+//
+// Protocol: the client sends one query as a length-prefixed UTF-8
+// string; the server replies with a header frame "OK <ncols> <nrows>"
+// or "ERR <message>", then ncols column-name frames, then ncols x nrows
+// value frames (NULL encoded as a one-byte 0x00 frame).
+package proxy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/czar"
+	"repro/internal/sqlengine"
+)
+
+// maxFrame bounds one frame (64 MiB).
+const maxFrame = 64 << 20
+
+// Backend answers SQL queries; *czar.Czar implements it.
+type Backend interface {
+	Query(sql string) (*czar.QueryResult, error)
+}
+
+// Server serves SQL over TCP, round-robining across backends.
+type Server struct {
+	backends []Backend
+	next     atomic.Int64
+	ln       net.Listener
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+}
+
+// Serve starts a proxy on addr over one or more backends.
+func Serve(addr string, backends ...Backend) (*Server, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("proxy: no backends")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: listen: %w", err)
+	}
+	s := &Server{backends: backends, ln: ln, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		sqlBytes, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		// Round-robin across czars (section 7.6's multi-master
+		// load-balancing).
+		idx := int(s.next.Add(1)-1) % len(s.backends)
+		res, qerr := s.backends[idx].Query(string(sqlBytes))
+		if qerr != nil {
+			writeFrame(w, []byte("ERR "+qerr.Error()))
+			w.Flush()
+			continue
+		}
+		header := fmt.Sprintf("OK %d %d", len(res.Cols), len(res.Rows))
+		if err := writeFrame(w, []byte(header)); err != nil {
+			return
+		}
+		for _, c := range res.Cols {
+			if err := writeFrame(w, []byte(c)); err != nil {
+				return
+			}
+		}
+		for _, row := range res.Rows {
+			for _, v := range row {
+				if err := writeFrame(w, encodeValue(v)); err != nil {
+					return
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func encodeValue(v sqlengine.Value) []byte {
+	if sqlengine.IsNull(v) {
+		return []byte{0}
+	}
+	switch x := v.(type) {
+	case int64:
+		return []byte("i" + strconv.FormatInt(x, 10))
+	case float64:
+		return []byte("f" + strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		return []byte("s" + x)
+	default:
+		return []byte("s" + sqlengine.FormatValue(v))
+	}
+}
+
+func decodeValue(b []byte) (sqlengine.Value, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return nil, nil
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("proxy: empty value frame")
+	}
+	body := string(b[1:])
+	switch b[0] {
+	case 'i':
+		return strconv.ParseInt(body, 10, 64)
+	case 'f':
+		return strconv.ParseFloat(body, 64)
+	case 's':
+		return body, nil
+	default:
+		return nil, fmt.Errorf("proxy: bad value tag %q", b[0])
+	}
+}
+
+func writeFrame(w *bufio.Writer, data []byte) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(data))); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("proxy: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Client is a proxy client ("any MySQL-compatible client" in the
+// paper's architecture).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a proxy.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Result is a client-side query result.
+type Result struct {
+	Cols []string
+	Rows [][]sqlengine.Value
+}
+
+// Query runs one SQL statement through the proxy.
+func (c *Client) Query(sql string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, []byte(sql)); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	header, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	h := string(header)
+	if strings.HasPrefix(h, "ERR ") {
+		return nil, fmt.Errorf("proxy: server error: %s", h[4:])
+	}
+	var ncols, nrows int
+	if _, err := fmt.Sscanf(h, "OK %d %d", &ncols, &nrows); err != nil {
+		return nil, fmt.Errorf("proxy: bad header %q", h)
+	}
+	res := &Result{}
+	for i := 0; i < ncols; i++ {
+		col, err := readFrame(c.r)
+		if err != nil {
+			return nil, err
+		}
+		res.Cols = append(res.Cols, string(col))
+	}
+	for i := 0; i < nrows; i++ {
+		row := make([]sqlengine.Value, ncols)
+		for j := 0; j < ncols; j++ {
+			frame, err := readFrame(c.r)
+			if err != nil {
+				return nil, err
+			}
+			v, err := decodeValue(frame)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package proxy
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/czar"
+	"repro/internal/sqlengine"
+)
+
+// fakeBackend answers from a local engine, recording call counts.
+type fakeBackend struct {
+	engine *sqlengine.Engine
+	calls  atomic.Int64
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	e := sqlengine.New("LSST")
+	if _, err := e.Execute(`CREATE TABLE Object (objectId BIGINT, ra_PS DOUBLE, note VARCHAR)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(`INSERT INTO Object VALUES (1, 10.5, 'a'), (2, 20.25, NULL), (3, 30.0, 'c')`); err != nil {
+		t.Fatal(err)
+	}
+	return &fakeBackend{engine: e}
+}
+
+func (f *fakeBackend) Query(sql string) (*czar.QueryResult, error) {
+	f.calls.Add(1)
+	res, err := f.engine.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &czar.QueryResult{Result: res}, nil
+}
+
+func startProxy(t *testing.T, backends ...Backend) (*Server, *Client) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", backends...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	_, c := startProxy(t, newFakeBackend(t))
+	res, err := c.Query("SELECT objectId, ra_PS, note FROM Object ORDER BY objectId")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 3 || res.Cols[0] != "objectId" {
+		t.Fatalf("cols: %v", res.Cols)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	if res.Rows[0][0].(int64) != 1 || res.Rows[0][1].(float64) != 10.5 || res.Rows[0][2].(string) != "a" {
+		t.Errorf("row 0: %v", res.Rows[0])
+	}
+	if res.Rows[1][2] != nil {
+		t.Errorf("NULL not preserved: %v", res.Rows[1][2])
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	_, c := startProxy(t, newFakeBackend(t))
+	_, err := c.Query("SELECT * FROM NoSuch")
+	if err == nil || !strings.Contains(err.Error(), "NoSuch") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Connection survives an error.
+	res, err := c.Query("SELECT COUNT(*) FROM Object")
+	if err != nil || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("connection dead after error: %v %v", res, err)
+	}
+}
+
+func TestMultipleQueriesSameConnection(t *testing.T) {
+	_, c := startProxy(t, newFakeBackend(t))
+	for i := 0; i < 20; i++ {
+		res, err := c.Query(fmt.Sprintf("SELECT COUNT(*) FROM Object WHERE objectId <= %d", i%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(i % 4)
+		if want > 3 {
+			want = 3
+		}
+		if res.Rows[0][0].(int64) != want {
+			t.Fatalf("i=%d: %v", i, res.Rows[0][0])
+		}
+	}
+}
+
+func TestLoadBalancingAcrossCzars(t *testing.T) {
+	// Section 7.6: "launch multiple master instances ... some logic in
+	// the MySQL proxy to load-balance between different Qserv masters."
+	b1, b2 := newFakeBackend(t), newFakeBackend(t)
+	_, c := startProxy(t, b1, b2)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Query("SELECT COUNT(*) FROM Object"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b1.calls.Load() == 0 || b2.calls.Load() == 0 {
+		t.Errorf("load not balanced: %d vs %d", b1.calls.Load(), b2.calls.Load())
+	}
+	if b1.calls.Load()+b2.calls.Load() != 10 {
+		t.Errorf("total calls = %d", b1.calls.Load()+b2.calls.Load())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startProxy(t, newFakeBackend(t))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				res, err := c.Query("SELECT SUM(objectId) FROM Object")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rows[0][0].(int64) != 6 {
+					errs <- fmt.Errorf("sum = %v", res.Rows[0][0])
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestValueCodec(t *testing.T) {
+	vals := []sqlengine.Value{nil, int64(-5), float64(2.5e-28), "hello", ""}
+	for _, v := range vals {
+		enc := encodeValue(v)
+		dec, err := decodeValue(enc)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", v, err)
+		}
+		if v == nil {
+			if dec != nil {
+				t.Errorf("nil round trip: %v", dec)
+			}
+			continue
+		}
+		if dec != v {
+			t.Errorf("round trip %v -> %v", v, dec)
+		}
+	}
+	if _, err := decodeValue([]byte{}); err == nil {
+		t.Error("empty frame should fail")
+	}
+	if _, err := decodeValue([]byte("x?")); err == nil {
+		t.Error("bad tag should fail")
+	}
+}
+
+func TestServeRequiresBackend(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil...); err == nil {
+		t.Error("no backends should fail")
+	}
+}

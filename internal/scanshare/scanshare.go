@@ -1,0 +1,198 @@
+// Package scanshare implements shared scanning (convoy scheduling,
+// paper section 4.3): when tables are too large to cache, multiple
+// concurrent full-scan queries share a single sequential read of the
+// table instead of each issuing its own, seek-inducing scan. The table
+// is read in pieces; every query attached to the convoy processes each
+// piece while it is in memory. A query may join mid-scan: it processes
+// pieces from its join point, wraps around, and completes after seeing
+// every piece exactly once.
+//
+// The paper had not yet implemented this ("Shared scanning is planned
+// for implementation later this year", section 5) but designed Qserv
+// around it; this package provides it plus the instrumentation the
+// ablation benchmarks use (bytes read from "disk" with and without
+// sharing).
+package scanshare
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sqlengine"
+)
+
+// Scanner runs convoys over one table. It is safe for concurrent use.
+type Scanner struct {
+	table     *sqlengine.Table
+	pieceRows int
+
+	mu        sync.Mutex
+	consumers map[*Ticket]bool
+	running   bool
+	pos       int // next piece index
+
+	bytesRead  int64
+	piecesRead int64
+	scansSaved int64
+}
+
+// NewScanner creates a convoy scanner over a table. pieceRows is the
+// number of rows per in-memory piece; it must be positive.
+func NewScanner(table *sqlengine.Table, pieceRows int) (*Scanner, error) {
+	if table == nil {
+		return nil, fmt.Errorf("scanshare: nil table")
+	}
+	if pieceRows <= 0 {
+		return nil, fmt.Errorf("scanshare: pieceRows must be positive, got %d", pieceRows)
+	}
+	return &Scanner{
+		table:     table,
+		pieceRows: pieceRows,
+		consumers: map[*Ticket]bool{},
+	}, nil
+}
+
+// pieces returns the number of pieces in the table.
+func (s *Scanner) pieces() int {
+	n := len(s.table.Rows)
+	if n == 0 {
+		return 0
+	}
+	return (n + s.pieceRows - 1) / s.pieceRows
+}
+
+// Ticket tracks one query's membership in the convoy.
+type Ticket struct {
+	s         *Scanner
+	process   func([]sqlengine.Row)
+	remaining int
+	done      chan struct{}
+}
+
+// Wait blocks until the query has seen the whole table.
+func (t *Ticket) Wait() { <-t.done }
+
+// Attach joins the convoy: process is invoked once for every piece of
+// the table (in convoy order, starting wherever the scan currently is),
+// from the scanner's goroutine. The returned ticket's Wait unblocks
+// after the query has seen every piece exactly once.
+func (s *Scanner) Attach(process func([]sqlengine.Row)) *Ticket {
+	t := &Ticket{s: s, process: process, done: make(chan struct{})}
+	s.mu.Lock()
+	t.remaining = s.pieces()
+	if t.remaining == 0 {
+		s.mu.Unlock()
+		close(t.done)
+		return t
+	}
+	if len(s.consumers) > 0 {
+		// Joining a convoy in flight: the piece reads from here to this
+		// query's completion are shared with the running scan.
+		s.scansSaved++
+	}
+	s.consumers[t] = true
+	if !s.running {
+		s.running = true
+		go s.run()
+	}
+	s.mu.Unlock()
+	return t
+}
+
+// run is the convoy loop: read the next piece once, hand it to every
+// attached query, advance circularly; stop when nobody is attached.
+func (s *Scanner) run() {
+	rowWidth := int64(s.table.Schema.RowWidth())
+	for {
+		s.mu.Lock()
+		if len(s.consumers) == 0 {
+			s.running = false
+			s.mu.Unlock()
+			return
+		}
+		np := s.pieces()
+		if s.pos >= np {
+			s.pos = 0
+		}
+		start := s.pos * s.pieceRows
+		end := start + s.pieceRows
+		if end > len(s.table.Rows) {
+			end = len(s.table.Rows)
+		}
+		piece := s.table.Rows[start:end]
+		s.pos++
+		// One physical read, shared by every consumer.
+		s.bytesRead += int64(len(piece)) * rowWidth
+		s.piecesRead++
+		members := make([]*Ticket, 0, len(s.consumers))
+		for t := range s.consumers {
+			members = append(members, t)
+		}
+		s.mu.Unlock()
+
+		var finished []*Ticket
+		for _, t := range members {
+			t.process(piece)
+			if t.remaining--; t.remaining == 0 {
+				finished = append(finished, t)
+			}
+		}
+		if len(finished) > 0 {
+			s.mu.Lock()
+			for _, t := range finished {
+				delete(s.consumers, t)
+				close(t.done)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// BytesRead returns the total bytes physically read so far.
+func (s *Scanner) BytesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytesRead
+}
+
+// PiecesRead returns the number of piece reads performed.
+func (s *Scanner) PiecesRead() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.piecesRead
+}
+
+// ScansSaved counts queries that shared an in-flight scan rather than
+// starting their own.
+func (s *Scanner) ScansSaved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scansSaved
+}
+
+// CountWhere attaches a counting query to the convoy: it counts rows
+// satisfying pred and returns the count after the full pass.
+func (s *Scanner) CountWhere(pred func(sqlengine.Row) bool) int64 {
+	var mu sync.Mutex
+	var n int64
+	t := s.Attach(func(piece []sqlengine.Row) {
+		local := int64(0)
+		for _, r := range piece {
+			if pred(r) {
+				local++
+			}
+		}
+		mu.Lock()
+		n += local
+		mu.Unlock()
+	})
+	t.Wait()
+	return n
+}
+
+// IndependentScanBytes returns the bytes N independent (unshared) scans
+// of the table would read — the baseline the paper's design argues
+// against.
+func IndependentScanBytes(table *sqlengine.Table, n int) int64 {
+	return int64(n) * table.ByteSize()
+}

@@ -1,0 +1,235 @@
+package scanshare
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+func bigTable(t testing.TB, rows int) *sqlengine.Table {
+	t.Helper()
+	tbl := sqlengine.NewTable("T", sqlengine.Schema{
+		{Name: "id", Type: sqlparse.TypeInt},
+		{Name: "x", Type: sqlparse.TypeFloat},
+	})
+	batch := make([]sqlengine.Row, rows)
+	for i := 0; i < rows; i++ {
+		batch[i] = sqlengine.Row{int64(i), float64(i) * 0.5}
+	}
+	if err := tbl.Insert(batch...); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSingleQuerySeesAllRows(t *testing.T) {
+	tbl := bigTable(t, 1000)
+	s, err := NewScanner(tbl, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.CountWhere(func(r sqlengine.Row) bool { return true })
+	if n != 1000 {
+		t.Fatalf("saw %d rows, want 1000", n)
+	}
+	if s.BytesRead() != tbl.ByteSize() {
+		t.Errorf("bytes read = %d, want %d (exactly one pass)", s.BytesRead(), tbl.ByteSize())
+	}
+}
+
+func TestEachConsumerSeesEachRowOnce(t *testing.T) {
+	tbl := bigTable(t, 500)
+	s, err := NewScanner(tbl, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const consumers = 8
+	var wg sync.WaitGroup
+	counts := make([]int64, consumers)
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seen := map[int64]int{}
+			var mu sync.Mutex
+			tk := s.Attach(func(piece []sqlengine.Row) {
+				mu.Lock()
+				for _, r := range piece {
+					seen[r[0].(int64)]++
+				}
+				mu.Unlock()
+			})
+			tk.Wait()
+			mu.Lock()
+			defer mu.Unlock()
+			for id, c := range seen {
+				if c != 1 {
+					t.Errorf("consumer %d saw row %d %d times", i, id, c)
+				}
+			}
+			atomic.StoreInt64(&counts[i], int64(len(seen)))
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != 500 {
+			t.Errorf("consumer %d saw %d distinct rows", i, c)
+		}
+	}
+}
+
+func TestSharingReducesIO(t *testing.T) {
+	// The core claim of section 4.3: k concurrent scans cost about one
+	// scan of I/O, not k scans.
+	tbl := bigTable(t, 2000)
+	s, err := NewScanner(tbl, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	// Attach all k queries before waiting so they join one convoy
+	// (Attach is non-blocking; a goroutine race would let early
+	// finishers complete before later queries join).
+	var tickets []*Ticket
+	var mu sync.Mutex
+	counts := make([]int64, k)
+	for i := 0; i < k; i++ {
+		i := i
+		tickets = append(tickets, s.Attach(func(piece []sqlengine.Row) {
+			mu.Lock()
+			for _, r := range piece {
+				if r[1].(float64) > 100 {
+					counts[i]++
+				}
+			}
+			mu.Unlock()
+		}))
+	}
+	for _, tk := range tickets {
+		tk.Wait()
+	}
+	shared := s.BytesRead()
+	independent := IndependentScanBytes(tbl, k)
+	// All k queries race to attach; in the worst case stragglers add a
+	// wrap-around pass each, but total I/O must stay well under k
+	// separate scans.
+	if shared >= independent/2 {
+		t.Errorf("shared I/O %d not much better than independent %d", shared, independent)
+	}
+	if s.BytesRead() < tbl.ByteSize() {
+		t.Errorf("less than one full scan performed: %d", s.BytesRead())
+	}
+}
+
+func TestMidScanJoinWrapsAround(t *testing.T) {
+	tbl := bigTable(t, 1000)
+	s, err := NewScanner(tbl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start a slow consumer to keep the convoy rolling.
+	var slowStarted sync.WaitGroup
+	slowStarted.Add(1)
+	first := true
+	tkSlow := s.Attach(func(piece []sqlengine.Row) {
+		if first {
+			first = false
+			slowStarted.Done()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	slowStarted.Wait()
+	// Join mid-scan; must still see all 1000 rows exactly once.
+	var n int64
+	tk := s.Attach(func(piece []sqlengine.Row) {
+		atomic.AddInt64(&n, int64(len(piece)))
+	})
+	tk.Wait()
+	if got := atomic.LoadInt64(&n); got != 1000 {
+		t.Errorf("mid-scan joiner saw %d rows", got)
+	}
+	tkSlow.Wait()
+	if s.ScansSaved() == 0 {
+		t.Error("mid-scan join not counted as a saved scan")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := sqlengine.NewTable("E", sqlengine.Schema{{Name: "a", Type: sqlparse.TypeInt}})
+	s, err := NewScanner(tbl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.CountWhere(func(sqlengine.Row) bool { return true })
+	if n != 0 || s.BytesRead() != 0 {
+		t.Errorf("empty table: n=%d bytes=%d", n, s.BytesRead())
+	}
+}
+
+func TestScannerStopsWhenIdle(t *testing.T) {
+	tbl := bigTable(t, 100)
+	s, err := NewScanner(tbl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CountWhere(func(sqlengine.Row) bool { return true })
+	before := s.PiecesRead()
+	time.Sleep(20 * time.Millisecond)
+	if s.PiecesRead() != before {
+		t.Error("scanner kept reading with no consumers")
+	}
+	// A new consumer restarts it.
+	n := s.CountWhere(func(sqlengine.Row) bool { return true })
+	if n != 100 {
+		t.Errorf("restart: n=%d", n)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewScanner(nil, 10); err == nil {
+		t.Error("nil table should fail")
+	}
+	tbl := bigTable(t, 10)
+	if _, err := NewScanner(tbl, 0); err == nil {
+		t.Error("zero piece size should fail")
+	}
+}
+
+func BenchmarkSharedScan8Queries(b *testing.B) {
+	tbl := bigTable(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := NewScanner(tbl, 256)
+		var wg sync.WaitGroup
+		for k := 0; k < 8; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.CountWhere(func(r sqlengine.Row) bool { return r[1].(float64) > 500 })
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkIndependentScan8Queries(b *testing.B) {
+	tbl := bigTable(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for k := 0; k < 8; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Each query runs its own private scan.
+				s, _ := NewScanner(tbl, 256)
+				s.CountWhere(func(r sqlengine.Row) bool { return r[1].(float64) > 500 })
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,317 @@
+package sphgeom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWrapRA(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {361, 1}, {-1, 359}, {720, 0}, {-360, 0}, {359.5, 359.5}, {-0.5, 359.5},
+	}
+	for _, c := range cases {
+		if got := WrapRA(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("WrapRA(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWrapRAProperty(t *testing.T) {
+	f := func(ra float64) bool {
+		if math.IsNaN(ra) || math.IsInf(ra, 0) || math.Abs(ra) > 1e9 {
+			return true
+		}
+		w := WrapRA(ra)
+		return w >= 0 && w < 360
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampDecl(t *testing.T) {
+	if ClampDecl(-100) != -90 || ClampDecl(100) != 90 || ClampDecl(45) != 45 {
+		t.Error("ClampDecl bounds wrong")
+	}
+}
+
+func TestAngSepZero(t *testing.T) {
+	if d := AngSepDeg(10, 20, 10, 20); d != 0 {
+		t.Errorf("self separation = %g, want 0", d)
+	}
+}
+
+func TestAngSepKnown(t *testing.T) {
+	cases := []struct {
+		ra1, d1, ra2, d2, want float64
+	}{
+		{0, 0, 90, 0, 90},
+		{0, 0, 180, 0, 180},
+		{0, -90, 0, 90, 180},
+		{0, 0, 0, 45, 45},
+		{10, 0, 11, 0, 1},
+		{0, 89, 180, 89, 2}, // across the pole
+	}
+	for _, c := range cases {
+		if got := AngSepDeg(c.ra1, c.d1, c.ra2, c.d2); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("AngSep(%v) = %g, want %g", c, got, c.want)
+		}
+	}
+}
+
+func TestAngSepSmallAngleStability(t *testing.T) {
+	// 1 milli-arcsecond separations should not collapse to zero.
+	d := 1e-3 / 3600.0
+	got := AngSepDeg(100, 30, 100+d/math.Cos(RadOf(30)), 30)
+	if !almostEq(got, d, d*1e-6) {
+		t.Errorf("small separation = %g, want %g", got, d)
+	}
+}
+
+func TestAngSepMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randPoint := func() Point {
+		return NewPoint(rng.Float64()*360, rng.Float64()*180-90)
+	}
+	for i := 0; i < 500; i++ {
+		p, q, r := randPoint(), randPoint(), randPoint()
+		dpq, dqp := AngSep(p, q), AngSep(q, p)
+		if !almostEq(dpq, dqp, 1e-12) {
+			t.Fatalf("not symmetric: %g vs %g", dpq, dqp)
+		}
+		if dpq < 0 || dpq > 180 {
+			t.Fatalf("out of range: %g", dpq)
+		}
+		// Triangle inequality with tolerance for rounding.
+		if AngSep(p, r) > dpq+AngSep(q, r)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", p, q, r)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := NewPoint(rng.Float64()*360, rng.Float64()*178-89)
+		q := PointFromVector(p.Vector())
+		if AngSep(p, q) > 1e-10 {
+			t.Fatalf("round trip moved point %v -> %v", p, q)
+		}
+	}
+}
+
+func TestVectorUnitNorm(t *testing.T) {
+	f := func(ra, decl float64) bool {
+		if math.IsNaN(ra) || math.IsInf(ra, 0) || math.IsNaN(decl) || math.IsInf(decl, 0) {
+			return true
+		}
+		v := NewPoint(WrapRA(ra), ClampDecl(decl)).Vector()
+		return almostEq(v.Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxContainsBasic(t *testing.T) {
+	b := NewBox(10, 20, -5, 5)
+	if !b.Contains(NewPoint(15, 0)) {
+		t.Error("center should be inside")
+	}
+	if !b.Contains(NewPoint(10, -5)) || !b.Contains(NewPoint(20, 5)) {
+		t.Error("boundary should be inside")
+	}
+	if b.Contains(NewPoint(25, 0)) || b.Contains(NewPoint(15, 6)) {
+		t.Error("outside points reported inside")
+	}
+}
+
+func TestBoxWrap(t *testing.T) {
+	// The PT1.1 patch: RA from 358 to 5 (wrapping), decl -7..7.
+	b := NewBox(358, 365, -7, 7)
+	if !b.Wraps() {
+		t.Fatalf("box %v should wrap", b)
+	}
+	for _, ra := range []float64{358, 359.9, 0, 2.5, 5} {
+		if !b.Contains(NewPoint(ra, 0)) {
+			t.Errorf("ra=%g should be inside wrapping box", ra)
+		}
+	}
+	for _, ra := range []float64{5.1, 180, 357.9} {
+		if b.Contains(NewPoint(ra, 0)) {
+			t.Errorf("ra=%g should be outside wrapping box", ra)
+		}
+	}
+	if !almostEq(b.RAExtent(), 7, 1e-12) {
+		t.Errorf("extent = %g, want 7", b.RAExtent())
+	}
+}
+
+func TestBoxFullCircle(t *testing.T) {
+	b := NewBox(0, 360, -90, 90)
+	if !b.IsFullCircle() {
+		t.Fatal("expected full circle")
+	}
+	if !b.Contains(NewPoint(123.4, 56.7)) {
+		t.Error("full sky must contain everything")
+	}
+	if !almostEq(b.Area(), 4*math.Pi*degPerRad*degPerRad, 1e-6) {
+		t.Errorf("full sky area = %g", b.Area())
+	}
+}
+
+func TestBoxOver360Extent(t *testing.T) {
+	b := NewBox(-10, 400, 0, 10)
+	if !b.IsFullCircle() {
+		t.Error("extent >= 360 should be full circle")
+	}
+}
+
+func TestBoxDilated(t *testing.T) {
+	b := NewBox(10, 20, 0, 10)
+	d := b.Dilated(1)
+	if d.DeclMin != -1 || d.DeclMax != 11 {
+		t.Errorf("decl dilation wrong: %v", d)
+	}
+	if d.RAExtent() <= b.RAExtent()+2-1e-9 {
+		t.Errorf("RA dilation too small: extent %g", d.RAExtent())
+	}
+	// Every point of b must be in d, with margin room.
+	for _, p := range []Point{{10, 0}, {20, 10}, {15, 5}} {
+		if !d.Contains(p) {
+			t.Errorf("dilated box lost point %v", p)
+		}
+	}
+	// Dilating into a pole goes full-circle.
+	polar := NewBox(10, 20, 85, 89).Dilated(2)
+	if !polar.IsFullCircle() {
+		t.Errorf("polar dilation should be full circle: %v", polar)
+	}
+}
+
+func TestBoxDilatedCoversMargin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		b := NewBox(rng.Float64()*360, rng.Float64()*360, rng.Float64()*120-60, rng.Float64()*120-60)
+		margin := rng.Float64() * 2
+		d := b.Dilated(margin)
+		// A point at distance < margin from a point inside b must be in d.
+		inside := NewPoint(b.RAMin+b.RAExtent()/2, (b.DeclMin+b.DeclMax)/2)
+		theta := rng.Float64() * 2 * math.Pi
+		near := NewPoint(
+			inside.RA+margin*0.99*math.Cos(theta)/math.Cos(RadOf(inside.Decl)),
+			inside.Decl+margin*0.99*math.Sin(theta),
+		)
+		if AngSep(inside, near) < margin && !d.Contains(near) {
+			t.Fatalf("dilated %v (margin %g) missing %v near %v", d, margin, near, inside)
+		}
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := NewBox(10, 20, 0, 10)
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{NewBox(15, 25, 5, 15), true},
+		{NewBox(20, 30, 10, 20), true}, // touch at corner
+		{NewBox(21, 30, 0, 10), false},
+		{NewBox(10, 20, 11, 20), false},
+		{NewBox(350, 15, 0, 10), true}, // wrapping partner
+		{NewBox(350, 5, 0, 10), false},
+		{FullSky(), true},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("%v.Intersects(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("intersects not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestBoxAreaEquator(t *testing.T) {
+	// 1-degree box at the equator is very nearly 1 square degree.
+	b := NewBox(0, 1, -0.5, 0.5)
+	if !almostEq(b.Area(), 1, 1e-4) {
+		t.Errorf("equator box area = %g, want ~1", b.Area())
+	}
+	// The same RA extent near the pole covers far less area.
+	p := NewBox(0, 1, 88.5, 89.5)
+	if p.Area() > 0.1 {
+		t.Errorf("polar box area = %g, should be tiny", p.Area())
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := NewCircle(NewPoint(100, 45), 1)
+	if !c.Contains(NewPoint(100, 45.999)) {
+		t.Error("point inside radius rejected")
+	}
+	if c.Contains(NewPoint(100, 46.5)) {
+		t.Error("point outside radius accepted")
+	}
+}
+
+func TestCircleBoundContainsCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		c := NewCircle(NewPoint(rng.Float64()*360, rng.Float64()*170-85), rng.Float64()*5)
+		b := c.Bound()
+		// Sample points on the circle's rim; all must be inside the bound.
+		for k := 0; k < 16; k++ {
+			theta := float64(k) / 16 * 2 * math.Pi
+			p := NewPoint(
+				c.Center.RA+c.Radius*math.Cos(theta)/math.Cos(RadOf(c.Center.Decl)),
+				c.Center.Decl+c.Radius*math.Sin(theta),
+			)
+			if AngSep(c.Center, p) <= c.Radius && !b.Contains(p) {
+				t.Fatalf("bound %v of %v missing rim point %v", b, c, p)
+			}
+		}
+	}
+}
+
+func TestCirclePolarBound(t *testing.T) {
+	c := NewCircle(NewPoint(10, 89), 2)
+	if !c.Bound().IsFullCircle() {
+		t.Errorf("polar cap bound should be full circle: %v", c.Bound())
+	}
+}
+
+func TestCircleArea(t *testing.T) {
+	// Whole sphere: radius 180.
+	c := NewCircle(NewPoint(0, 0), 180)
+	if !almostEq(c.Area(), 4*math.Pi*degPerRad*degPerRad, 1e-6) {
+		t.Errorf("sphere area = %g", c.Area())
+	}
+	// Small-cap approximation: pi r^2.
+	s := NewCircle(NewPoint(0, 0), 0.1)
+	if !almostEq(s.Area(), math.Pi*0.01, 1e-5) {
+		t.Errorf("small cap area = %g, want %g", s.Area(), math.Pi*0.01)
+	}
+}
+
+func TestRegionInterface(t *testing.T) {
+	var regions = []Region{NewBox(0, 10, 0, 10), NewCircle(NewPoint(5, 5), 2)}
+	for _, r := range regions {
+		if !r.Contains(NewPoint(5, 5)) {
+			t.Errorf("%s should contain (5,5)", r)
+		}
+		if !r.Bound().Contains(NewPoint(5, 5)) {
+			t.Errorf("%s bound should contain (5,5)", r)
+		}
+	}
+}
+
+func BenchmarkAngSep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		AngSepDeg(10, 20, 10.01, 20.01)
+	}
+}

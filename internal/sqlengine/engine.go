@@ -1,0 +1,316 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sqlparse"
+)
+
+// Engine is an embedded SQL engine holding named databases. It is safe
+// for concurrent use: reads (SELECT) run concurrently, writes (DDL/DML)
+// exclusively — mirroring MyISAM's table-level locking discipline.
+type Engine struct {
+	mu        sync.RWMutex
+	dbs       map[string]*Database
+	defaultDB string
+	funcs     map[string]Func
+}
+
+// New creates an engine with one (default) database and the built-in
+// function set (fluxToAbMag, qserv_angSep, qserv_ptInSphericalBox, math
+// helpers) registered.
+func New(defaultDB string) *Engine {
+	e := &Engine{
+		dbs:       map[string]*Database{},
+		defaultDB: strings.ToLower(defaultDB),
+		funcs:     map[string]Func{},
+	}
+	e.dbs[e.defaultDB] = NewDatabase(defaultDB)
+	registerBuiltins(e)
+	return e
+}
+
+// DefaultDB returns the default database name.
+func (e *Engine) DefaultDB() string { return e.defaultDB }
+
+// RegisterFunc installs a scalar function under a case-insensitive name,
+// the stand-in for installing a UDF on a worker's database instance
+// (paper section 5.3).
+func (e *Engine) RegisterFunc(name string, fn Func) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.funcs[strings.ToLower(name)] = fn
+}
+
+// HasFunc reports whether a function is registered.
+func (e *Engine) HasFunc(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.funcs[strings.ToLower(name)]
+	return ok
+}
+
+// CreateDatabase adds a database if absent and returns it.
+func (e *Engine) CreateDatabase(name string) *Database {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if db, ok := e.dbs[key]; ok {
+		return db
+	}
+	db := NewDatabase(name)
+	e.dbs[key] = db
+	return db
+}
+
+// Database returns a database by case-insensitive name.
+func (e *Engine) Database(name string) (*Database, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	db, ok := e.dbs[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: no database %q", name)
+	}
+	return db, nil
+}
+
+// DatabaseNames lists databases in sorted order.
+func (e *Engine) DatabaseNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []string
+	for _, db := range e.dbs {
+		out = append(out, db.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupTable resolves a possibly database-qualified table name. The
+// caller must hold e.mu (either mode): it reads the database map without
+// locking so it can be used from both read and write paths.
+func (e *Engine) lookupTable(db, table string) (*Table, error) {
+	d, err := e.resolveDB(db)
+	if err != nil {
+		return nil, err
+	}
+	return d.Table(table)
+}
+
+// Execute parses and runs a script of one or more statements and returns
+// the result of the last statement that produced one (SELECTs do; DDL
+// returns an empty result).
+func (e *Engine) Execute(sql string) (*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("sqlengine: empty statement")
+	}
+	res := &Result{}
+	var agg ExecStats
+	for _, st := range stmts {
+		r, err := e.ExecuteStmt(st)
+		if err != nil {
+			return nil, err
+		}
+		agg.Add(r.Stats)
+		if len(r.Cols) > 0 || len(r.Rows) > 0 {
+			res = r
+		}
+	}
+	res.Stats = agg
+	return res, nil
+}
+
+// Query runs a single SELECT statement.
+func (e *Engine) Query(sql string) (*Result, error) {
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(sel)
+}
+
+// ExecuteStmt runs one parsed statement.
+func (e *Engine) ExecuteStmt(st sqlparse.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sqlparse.Select:
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.execSelect(s)
+
+	case *sqlparse.CreateTable:
+		return e.execCreateTable(s)
+
+	case *sqlparse.DropTable:
+		e.mu.RLock()
+		db, err := e.resolveDB(s.DB)
+		e.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Drop(s.Name, s.IfExists); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sqlparse.Insert:
+		return e.execInsert(s)
+
+	case *sqlparse.CreateIndex:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		t, err := e.lookupTable(s.DB, s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex(s.Col); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	default:
+		return nil, fmt.Errorf("sqlengine: unsupported statement %T", st)
+	}
+}
+
+func (e *Engine) resolveDB(name string) (*Database, error) {
+	if name == "" {
+		name = e.defaultDB
+	}
+	db, ok := e.dbs[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: no database %q", name)
+	}
+	return db, nil
+}
+
+func (e *Engine) execCreateTable(ct *sqlparse.CreateTable) (*Result, error) {
+	// CREATE TABLE ... AS SELECT must run the select under a read lock
+	// first, then install the table under the write lock.
+	var newTable *Table
+	if ct.AsSelect != nil {
+		e.mu.RLock()
+		res, err := e.execSelect(ct.AsSelect)
+		e.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		newTable = NewTable(ct.Name, res.Schema())
+		if err := newTable.Insert(res.Rows...); err != nil {
+			return nil, err
+		}
+		out := &Result{Stats: res.Stats}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		db, err := e.resolveDB(ct.DB)
+		if err != nil {
+			return nil, err
+		}
+		if db.HasTable(ct.Name) && ct.IfNotExists {
+			return out, nil
+		}
+		db.Put(newTable)
+		return out, nil
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	db, err := e.resolveDB(ct.DB)
+	if err != nil {
+		return nil, err
+	}
+	if db.HasTable(ct.Name) {
+		if ct.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqlengine: table %q already exists in %s", ct.Name, db.Name)
+	}
+	schema := make(Schema, len(ct.Cols))
+	for i, c := range ct.Cols {
+		schema[i] = Column{Name: c.Name, Type: c.Type}
+	}
+	db.Put(NewTable(ct.Name, schema))
+	return &Result{}, nil
+}
+
+func (e *Engine) execInsert(ins *sqlparse.Insert) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, err := e.lookupTable(ins.DB, ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the insert column order onto schema positions.
+	positions := make([]int, 0, len(t.Schema))
+	if len(ins.Cols) == 0 {
+		for i := range t.Schema {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, c := range ins.Cols {
+			ci := t.Schema.ColIndex(c)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlengine: table %s has no column %q", t.Name, c)
+			}
+			positions = append(positions, ci)
+		}
+	}
+	env := newEvalEnv(nil, e.funcs)
+	rows := make([]Row, 0, len(ins.Rows))
+	for _, exprRow := range ins.Rows {
+		if len(exprRow) != len(positions) {
+			return nil, fmt.Errorf("sqlengine: INSERT row has %d values, expected %d",
+				len(exprRow), len(positions))
+		}
+		row := make(Row, len(t.Schema))
+		for i, ex := range exprRow {
+			v, err := env.Eval(ex)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = coerceToColumn(v, t.Schema[positions[i]].Type)
+		}
+		rows = append(rows, row)
+	}
+	if err := t.Insert(rows...); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// coerceToColumn converts an inserted value to the column's storage type
+// so indexes and comparisons behave consistently.
+func coerceToColumn(v Value, t sqlparse.ColType) Value {
+	if IsNull(v) {
+		return nil
+	}
+	switch t {
+	case sqlparse.TypeInt:
+		if n, err := AsInt(v); err == nil {
+			return n
+		}
+	case sqlparse.TypeFloat:
+		if f, err := AsFloat(v); err == nil {
+			return f
+		}
+	case sqlparse.TypeString:
+		return toString(v)
+	}
+	return v
+}
+
+// MustExecute runs a script and panics on error; intended for tests and
+// examples where the SQL is a constant.
+func (e *Engine) MustExecute(sql string) *Result {
+	res, err := e.Execute(sql)
+	if err != nil {
+		panic(fmt.Sprintf("sqlengine: MustExecute(%q): %v", sql, err))
+	}
+	return res
+}

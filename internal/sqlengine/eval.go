@@ -1,0 +1,396 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// Func is a scalar SQL function (UDF or builtin).
+type Func func(args []Value) (Value, error)
+
+// binding associates a FROM-clause name (alias or table name) with a
+// schema and, during iteration, the current row.
+type binding struct {
+	name   string
+	schema Schema
+	row    Row
+}
+
+// evalEnv is the evaluation context for one joined row.
+type evalEnv struct {
+	bindings []*binding
+	funcs    map[string]Func
+	// resolved caches column-reference resolution: expression node ->
+	// (binding index, column index). Populated lazily; expression trees
+	// are not shared across concurrent queries.
+	resolved map[*sqlparse.ColumnRef][2]int
+}
+
+func newEvalEnv(bindings []*binding, funcs map[string]Func) *evalEnv {
+	return &evalEnv{
+		bindings: bindings,
+		funcs:    funcs,
+		resolved: map[*sqlparse.ColumnRef][2]int{},
+	}
+}
+
+// resolveColumn finds the binding and column for a reference.
+func (env *evalEnv) resolveColumn(cr *sqlparse.ColumnRef) (int, int, error) {
+	if pos, ok := env.resolved[cr]; ok {
+		return pos[0], pos[1], nil
+	}
+	bi, ci := -1, -1
+	if cr.Table != "" {
+		for i, b := range env.bindings {
+			if strings.EqualFold(b.name, cr.Table) {
+				ci = b.schema.ColIndex(cr.Column)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("sqlengine: table %s has no column %q", cr.Table, cr.Column)
+				}
+				bi = i
+				break
+			}
+		}
+		if bi < 0 {
+			return 0, 0, fmt.Errorf("sqlengine: unknown table %q in column reference", cr.Table)
+		}
+	} else {
+		for i, b := range env.bindings {
+			if c := b.schema.ColIndex(cr.Column); c >= 0 {
+				if bi >= 0 {
+					return 0, 0, fmt.Errorf("sqlengine: ambiguous column %q", cr.Column)
+				}
+				bi, ci = i, c
+			}
+		}
+		if bi < 0 {
+			return 0, 0, fmt.Errorf("sqlengine: unknown column %q", cr.Column)
+		}
+	}
+	env.resolved[cr] = [2]int{bi, ci}
+	return bi, ci, nil
+}
+
+// Eval evaluates an expression against the current rows of the bindings.
+// Aggregate calls must have been replaced before evaluation.
+func (env *evalEnv) Eval(e sqlparse.Expr) (Value, error) {
+	switch v := e.(type) {
+	case *sqlparse.Literal:
+		switch lit := v.Val.(type) {
+		case bool:
+			return boolToInt(lit), nil
+		default:
+			return lit, nil
+		}
+
+	case *sqlparse.ColumnRef:
+		bi, ci, err := env.resolveColumn(v)
+		if err != nil {
+			return nil, err
+		}
+		row := env.bindings[bi].row
+		if row == nil {
+			return nil, fmt.Errorf("sqlengine: no current row for table %s", env.bindings[bi].name)
+		}
+		return row[ci], nil
+
+	case *sqlparse.Star:
+		return nil, fmt.Errorf("sqlengine: '*' is not a scalar expression")
+
+	case *sqlparse.FuncCall:
+		if v.IsAggregate() {
+			return nil, fmt.Errorf("sqlengine: aggregate %s in scalar context", v.Name)
+		}
+		fn, ok := env.funcs[strings.ToLower(v.Name)]
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: unknown function %q", v.Name)
+		}
+		args := make([]Value, len(v.Args))
+		for i, a := range v.Args {
+			x, err := env.Eval(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return fn(args)
+
+	case *sqlparse.BinaryExpr:
+		return env.evalBinary(v)
+
+	case *sqlparse.UnaryExpr:
+		x, err := env.Eval(v.X)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "-":
+			switch n := x.(type) {
+			case nil:
+				return nil, nil
+			case int64:
+				return -n, nil
+			default:
+				f, err := AsFloat(x)
+				if err != nil {
+					return nil, err
+				}
+				return -f, nil
+			}
+		case "NOT":
+			if IsNull(x) {
+				return nil, nil
+			}
+			return boolToInt(!AsBool(x)), nil
+		default:
+			return nil, fmt.Errorf("sqlengine: unknown unary operator %q", v.Op)
+		}
+
+	case *sqlparse.BetweenExpr:
+		x, err := env.Eval(v.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := env.Eval(v.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := env.Eval(v.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if IsNull(x) || IsNull(lo) || IsNull(hi) {
+			return nil, nil
+		}
+		cLo, err := Compare(x, lo)
+		if err != nil {
+			return nil, err
+		}
+		cHi, err := Compare(x, hi)
+		if err != nil {
+			return nil, err
+		}
+		in := cLo >= 0 && cHi <= 0
+		if v.Not {
+			in = !in
+		}
+		return boolToInt(in), nil
+
+	case *sqlparse.InExpr:
+		x, err := env.Eval(v.X)
+		if err != nil {
+			return nil, err
+		}
+		if IsNull(x) {
+			return nil, nil
+		}
+		found := false
+		for _, item := range v.List {
+			y, err := env.Eval(item)
+			if err != nil {
+				return nil, err
+			}
+			if Equal(x, y) {
+				found = true
+				break
+			}
+		}
+		if v.Not {
+			found = !found
+		}
+		return boolToInt(found), nil
+
+	case *sqlparse.IsNullExpr:
+		x, err := env.Eval(v.X)
+		if err != nil {
+			return nil, err
+		}
+		res := IsNull(x)
+		if v.Not {
+			res = !res
+		}
+		return boolToInt(res), nil
+
+	default:
+		return nil, fmt.Errorf("sqlengine: cannot evaluate %T", e)
+	}
+}
+
+func (env *evalEnv) evalBinary(b *sqlparse.BinaryExpr) (Value, error) {
+	// AND/OR short-circuit with SQL three-valued logic collapsed to
+	// NULL-is-false, which is what filtering needs.
+	switch b.Op {
+	case "AND":
+		l, err := env.Eval(b.L)
+		if err != nil {
+			return nil, err
+		}
+		if !AsBool(l) {
+			return boolToInt(false), nil
+		}
+		r, err := env.Eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return boolToInt(AsBool(r)), nil
+	case "OR":
+		l, err := env.Eval(b.L)
+		if err != nil {
+			return nil, err
+		}
+		if AsBool(l) {
+			return boolToInt(true), nil
+		}
+		r, err := env.Eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return boolToInt(AsBool(r)), nil
+	}
+
+	l, err := env.Eval(b.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := env.Eval(b.R)
+	if err != nil {
+		return nil, err
+	}
+
+	switch b.Op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(b.Op, l, r)
+	case "=", "!=", "<", "<=", ">", ">=":
+		if IsNull(l) || IsNull(r) {
+			return nil, nil
+		}
+		c, err := Compare(l, r)
+		if err != nil {
+			return nil, err
+		}
+		var res bool
+		switch b.Op {
+		case "=":
+			res = c == 0
+		case "!=":
+			res = c != 0
+		case "<":
+			res = c < 0
+		case "<=":
+			res = c <= 0
+		case ">":
+			res = c > 0
+		case ">=":
+			res = c >= 0
+		}
+		return boolToInt(res), nil
+	case "LIKE":
+		if IsNull(l) || IsNull(r) {
+			return nil, nil
+		}
+		ls, rs := toString(l), toString(r)
+		return boolToInt(likeMatch(ls, rs)), nil
+	default:
+		return nil, fmt.Errorf("sqlengine: unknown operator %q", b.Op)
+	}
+}
+
+// evalArith performs numeric arithmetic with int/float promotion.
+func evalArith(op string, l, r Value) (Value, error) {
+	if IsNull(l) || IsNull(r) {
+		return nil, nil
+	}
+	li, lIsInt := l.(int64)
+	ri, rIsInt := r.(int64)
+	if lIsInt && rIsInt && op != "/" {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, nil // SQL: division by zero yields NULL
+			}
+			return li % ri, nil
+		}
+	}
+	lf, err := AsFloat(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := AsFloat(r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, nil
+		}
+		return lf / rf, nil
+	case "%":
+		if rf == 0 {
+			return nil, nil
+		}
+		return float64(int64(lf) % int64(rf)), nil
+	}
+	return nil, fmt.Errorf("sqlengine: unknown arithmetic operator %q", op)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || !equalFoldByte(s[0], p[0]) {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func equalFoldByte(a, b byte) bool {
+	if a >= 'A' && a <= 'Z' {
+		a += 'a' - 'A'
+	}
+	if b >= 'A' && b <= 'Z' {
+		b += 'a' - 'A'
+	}
+	return a == b
+}

@@ -1,0 +1,1088 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlparse"
+)
+
+// tuple is one joined row: one Row per FROM binding, in binding order.
+type tuple []Row
+
+// selectExec executes one SELECT statement.
+type selectExec struct {
+	eng      *Engine
+	sel      *sqlparse.Select
+	bindings []*binding
+	tables   []*Table
+	env      *evalEnv
+	stats    ExecStats
+}
+
+func (e *Engine) execSelect(sel *sqlparse.Select) (*Result, error) {
+	if len(sel.From) == 0 {
+		return e.execSelectNoFrom(sel)
+	}
+	if res, ok, err := e.tryCountStar(sel); ok || err != nil {
+		return res, err
+	}
+	ex := &selectExec{eng: e, sel: sel}
+	for _, ref := range sel.From {
+		t, err := e.lookupTable(ref.DB, ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		ex.tables = append(ex.tables, t)
+		ex.bindings = append(ex.bindings, &binding{name: ref.Name(), schema: t.Schema})
+	}
+	// Duplicate FROM names are ambiguous (self-join requires aliases).
+	seen := map[string]bool{}
+	for _, b := range ex.bindings {
+		key := strings.ToLower(b.name)
+		if seen[key] {
+			return nil, fmt.Errorf("sqlengine: duplicate table name/alias %q in FROM; use aliases", b.name)
+		}
+		seen[key] = true
+	}
+	ex.env = newEvalEnv(ex.bindings, e.funcs)
+	tuples, err := ex.join()
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.project(tuples)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = ex.stats
+	return res, nil
+}
+
+// tryCountStar answers `SELECT COUNT(*) [AS alias] FROM t` without
+// scanning, as MyISAM does from its stored row count. The paper relies
+// on this: High Volume 1 (a full-sky COUNT(*)) measures dispatch
+// overhead, not I/O, because each worker answers its chunk count from
+// table metadata.
+func (e *Engine) tryCountStar(sel *sqlparse.Select) (*Result, bool, error) {
+	if len(sel.From) != 1 || sel.Where != nil || len(sel.GroupBy) != 0 ||
+		len(sel.OrderBy) != 0 || sel.Distinct || len(sel.Items) != 1 {
+		return nil, false, nil
+	}
+	fc, ok := sel.Items[0].Expr.(*sqlparse.FuncCall)
+	if !ok || strings.ToUpper(fc.Name) != "COUNT" || fc.Distinct || len(fc.Args) != 1 {
+		return nil, false, nil
+	}
+	if _, isStar := fc.Args[0].(*sqlparse.Star); !isStar {
+		return nil, false, nil
+	}
+	t, err := e.lookupTable(sel.From[0].DB, sel.From[0].Table)
+	if err != nil {
+		return nil, false, err
+	}
+	name := sel.Items[0].Alias
+	if name == "" {
+		name = displayName(sel.Items[0].Expr)
+	}
+	res := &Result{
+		Cols:  []string{name},
+		Types: []sqlparse.ColType{sqlparse.TypeInt},
+		Rows:  []Row{{int64(len(t.Rows))}},
+	}
+	res.Stats.RowsOut = 1
+	res.Stats.ResultBytes = 8
+	return res, true, nil
+}
+
+// execSelectNoFrom evaluates a FROM-less select (constants only).
+func (e *Engine) execSelectNoFrom(sel *sqlparse.Select) (*Result, error) {
+	env := newEvalEnv(nil, e.funcs)
+	if sel.Where != nil {
+		ok, err := env.Eval(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		if !AsBool(ok) {
+			return &Result{Cols: itemNames(sel.Items)}, nil
+		}
+	}
+	row := make(Row, len(sel.Items))
+	for i, it := range sel.Items {
+		v, err := env.Eval(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	res := &Result{Cols: itemNames(sel.Items), Rows: []Row{row}}
+	res.Types = inferTypes(res)
+	res.Stats.RowsOut = 1
+	return res, nil
+}
+
+func itemNames(items []sqlparse.SelectItem) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		if it.Alias != "" {
+			out[i] = it.Alias
+		} else {
+			out[i] = displayName(it.Expr)
+		}
+	}
+	return out
+}
+
+// displayName renders an expression as a result column heading the way
+// MySQL does: bare column names stay bare, everything else is the text.
+func displayName(e sqlparse.Expr) string {
+	switch v := e.(type) {
+	case *sqlparse.ColumnRef:
+		return v.Column
+	default:
+		return e.SQL()
+	}
+}
+
+// ---------- join pipeline ----------
+
+// conjunct is one ANDed predicate with the set of bindings it references.
+type conjunct struct {
+	expr     sqlparse.Expr
+	refs     map[int]bool // binding indices referenced
+	maxRef   int          // highest binding index, -1 for constants
+	consumed bool         // satisfied by an index or join strategy
+}
+
+func splitConjuncts(e sqlparse.Expr, out []sqlparse.Expr) []sqlparse.Expr {
+	if e == nil {
+		return out
+	}
+	if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
+// classify determines which bindings each conjunct references.
+func (ex *selectExec) classify(exprs []sqlparse.Expr) ([]*conjunct, error) {
+	var out []*conjunct
+	for _, e := range exprs {
+		c := &conjunct{expr: e, refs: map[int]bool{}, maxRef: -1}
+		var walkErr error
+		sqlparse.WalkExpr(e, func(node sqlparse.Expr) bool {
+			cr, ok := node.(*sqlparse.ColumnRef)
+			if !ok {
+				return true
+			}
+			bi, _, err := ex.env.resolveColumn(cr)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			c.refs[bi] = true
+			if bi > c.maxRef {
+				c.maxRef = bi
+			}
+			return true
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func (ex *selectExec) join() ([]tuple, error) {
+	conjuncts, err := ex.classify(splitConjuncts(ex.sel.Where, nil))
+	if err != nil {
+		return nil, err
+	}
+
+	// Constant conjuncts: evaluate once; a false one empties the result.
+	for _, c := range conjuncts {
+		if c.maxRef >= 0 {
+			continue
+		}
+		v, err := ex.env.Eval(c.expr)
+		if err != nil {
+			return nil, err
+		}
+		c.consumed = true
+		if !AsBool(v) {
+			return nil, nil
+		}
+	}
+
+	// Seed with table 0.
+	rows0, err := ex.scanBase(0, conjuncts)
+	if err != nil {
+		return nil, err
+	}
+	cur := make([]tuple, len(rows0))
+	for i, r := range rows0 {
+		cur[i] = tuple{r}
+	}
+
+	// Fold in each subsequent table.
+	for k := 1; k < len(ex.tables); k++ {
+		cur, err = ex.extend(cur, k, conjuncts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// scanBase produces the filtered rows of binding k considered alone,
+// using an index for equality predicates when possible.
+func (ex *selectExec) scanBase(k int, conjuncts []*conjunct) ([]Row, error) {
+	t := ex.tables[k]
+	width := int64(t.Schema.RowWidth())
+
+	// Predicates that involve only binding k.
+	var local []*conjunct
+	for _, c := range conjuncts {
+		if !c.consumed && c.maxRef == k && len(c.refs) == 1 && c.refs[k] {
+			local = append(local, c)
+		}
+	}
+
+	// Index opportunity: col = const or col IN (consts) on an indexed
+	// column (the worker-side objectId index of section 5.5).
+	var candidate []Row
+	usedIndex := false
+	for _, c := range local {
+		keys, col, ok := ex.indexableKeys(c.expr, k)
+		if !ok || !t.HasIndex(col) {
+			continue
+		}
+		idx := t.Index(col)
+		seenPos := map[int]bool{}
+		for _, key := range keys {
+			for _, pos := range idx.lookup(key) {
+				if !seenPos[pos] {
+					seenPos[pos] = true
+					candidate = append(candidate, t.Rows[pos])
+				}
+			}
+			ex.stats.RandReads++
+		}
+		ex.stats.RandBytes += int64(len(candidate)) * width
+		ex.stats.RowsScanned += int64(len(candidate))
+		c.consumed = true
+		usedIndex = true
+		break
+	}
+	if !usedIndex {
+		candidate = t.Rows
+		ex.stats.SeqBytes += t.ByteSize()
+		ex.stats.RowsScanned += int64(len(t.Rows))
+	}
+
+	// Apply remaining local predicates.
+	b := ex.bindings[k]
+	var out []Row
+	for _, r := range candidate {
+		b.row = r
+		keep := true
+		for _, c := range local {
+			if c.consumed {
+				continue
+			}
+			v, err := ex.env.Eval(c.expr)
+			if err != nil {
+				return nil, err
+			}
+			if !AsBool(v) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	b.row = nil
+	return out, nil
+}
+
+// indexableKeys recognizes `col = <const>` and `col IN (<consts>)` where
+// col belongs to binding k, returning the lookup keys.
+func (ex *selectExec) indexableKeys(e sqlparse.Expr, k int) ([]Value, string, bool) {
+	constEval := func(x sqlparse.Expr) (Value, bool) {
+		hasCol := false
+		sqlparse.WalkExpr(x, func(n sqlparse.Expr) bool {
+			if _, ok := n.(*sqlparse.ColumnRef); ok {
+				hasCol = true
+			}
+			return true
+		})
+		if hasCol {
+			return nil, false
+		}
+		v, err := ex.env.Eval(x)
+		if err != nil {
+			return nil, false
+		}
+		return v, true
+	}
+	colOf := func(x sqlparse.Expr) (string, bool) {
+		cr, ok := x.(*sqlparse.ColumnRef)
+		if !ok {
+			return "", false
+		}
+		bi, _, err := ex.env.resolveColumn(cr)
+		if err != nil || bi != k {
+			return "", false
+		}
+		return cr.Column, true
+	}
+	switch v := e.(type) {
+	case *sqlparse.BinaryExpr:
+		if v.Op != "=" {
+			return nil, "", false
+		}
+		if col, ok := colOf(v.L); ok {
+			if val, ok := constEval(v.R); ok {
+				return []Value{normalizeKey(val)}, col, true
+			}
+		}
+		if col, ok := colOf(v.R); ok {
+			if val, ok := constEval(v.L); ok {
+				return []Value{normalizeKey(val)}, col, true
+			}
+		}
+	case *sqlparse.InExpr:
+		if v.Not {
+			return nil, "", false
+		}
+		col, ok := colOf(v.X)
+		if !ok {
+			return nil, "", false
+		}
+		var keys []Value
+		for _, item := range v.List {
+			val, ok := constEval(item)
+			if !ok {
+				return nil, "", false
+			}
+			keys = append(keys, normalizeKey(val))
+		}
+		return keys, col, true
+	}
+	return nil, "", false
+}
+
+// normalizeKey converts float-valued integers to int64 so index lookups
+// match stored integer keys (GroupKey is type-sensitive).
+func normalizeKey(v Value) Value {
+	if f, ok := v.(float64); ok && f == float64(int64(f)) {
+		return int64(f)
+	}
+	return v
+}
+
+// extend joins binding k onto the accumulated tuples, preferring a hash
+// join on an equi-join conjunct, falling back to a nested loop.
+func (ex *selectExec) extend(cur []tuple, k int, conjuncts []*conjunct) ([]tuple, error) {
+	// Filter table k standalone first.
+	rows, err := ex.scanBase(k, conjuncts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Predicates that become decidable once binding k joins.
+	var pending []*conjunct
+	for _, c := range conjuncts {
+		if !c.consumed && c.maxRef == k && len(c.refs) > 1 {
+			pending = append(pending, c)
+		}
+	}
+
+	// Look for an equi-join: ColumnRef(k) = expr-over-earlier-bindings.
+	var probeExpr sqlparse.Expr // evaluated against earlier bindings
+	buildCol := -1
+	var equi *conjunct
+	for _, c := range pending {
+		be, ok := c.expr.(*sqlparse.BinaryExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		side := func(x, other sqlparse.Expr) bool {
+			cr, ok := x.(*sqlparse.ColumnRef)
+			if !ok {
+				return false
+			}
+			bi, ci, err := ex.env.resolveColumn(cr)
+			if err != nil || bi != k {
+				return false
+			}
+			// The other side must reference only earlier bindings.
+			onlyEarlier := true
+			sqlparse.WalkExpr(other, func(n sqlparse.Expr) bool {
+				if ocr, ok := n.(*sqlparse.ColumnRef); ok {
+					obi, _, err := ex.env.resolveColumn(ocr)
+					if err != nil || obi >= k {
+						onlyEarlier = false
+						return false
+					}
+				}
+				return true
+			})
+			if !onlyEarlier {
+				return false
+			}
+			buildCol = ci
+			probeExpr = other
+			return true
+		}
+		if side(be.L, be.R) || side(be.R, be.L) {
+			equi = c
+			break
+		}
+	}
+
+	var out []tuple
+	if equi != nil {
+		// Hash join: build on table k's filtered rows.
+		build := make(map[string][]Row, len(rows))
+		for _, r := range rows {
+			if IsNull(r[buildCol]) {
+				continue
+			}
+			key := GroupKey(r[buildCol : buildCol+1])
+			build[key] = append(build[key], r)
+		}
+		equi.consumed = true
+		bk := ex.bindings[k]
+		for _, tup := range cur {
+			ex.bindTuple(tup, k)
+			pv, err := ex.env.Eval(probeExpr)
+			if err != nil {
+				return nil, err
+			}
+			if IsNull(pv) {
+				continue
+			}
+			matches := build[GroupKey([]Value{normalizeKey(pv)})]
+			ex.stats.PairsConsidered += int64(len(matches))
+			for _, r := range matches {
+				bk.row = r
+				keep, err := ex.applyPending(pending)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					nt := make(tuple, k+1)
+					copy(nt, tup)
+					nt[k] = r
+					out = append(out, nt)
+				}
+			}
+		}
+		bk.row = nil
+	} else {
+		// Nested loop over the (memory-resident) filtered inner rows.
+		bk := ex.bindings[k]
+		for _, tup := range cur {
+			ex.bindTuple(tup, k)
+			for _, r := range rows {
+				ex.stats.PairsConsidered++
+				bk.row = r
+				keep, err := ex.applyPending(pending)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					nt := make(tuple, k+1)
+					copy(nt, tup)
+					nt[k] = r
+					out = append(out, nt)
+				}
+			}
+		}
+		bk.row = nil
+	}
+
+	for _, c := range pending {
+		c.consumed = true
+	}
+	ex.clearBindings()
+	return out, nil
+}
+
+// bindTuple sets binding rows 0..k-1 from the tuple.
+func (ex *selectExec) bindTuple(tup tuple, k int) {
+	for i := 0; i < k && i < len(tup); i++ {
+		ex.bindings[i].row = tup[i]
+	}
+}
+
+func (ex *selectExec) clearBindings() {
+	for _, b := range ex.bindings {
+		b.row = nil
+	}
+}
+
+// applyPending evaluates the not-yet-consumed pending conjuncts against
+// the currently bound rows.
+func (ex *selectExec) applyPending(pending []*conjunct) (bool, error) {
+	for _, c := range pending {
+		if c.consumed {
+			continue
+		}
+		v, err := ex.env.Eval(c.expr)
+		if err != nil {
+			return false, err
+		}
+		if !AsBool(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ---------- projection, aggregation, ordering ----------
+
+// aggAcc accumulates one aggregate function instance.
+type aggAcc struct {
+	fn       string // COUNT, SUM, AVG, MIN, MAX
+	distinct bool
+	count    int64
+	sumF     float64
+	sumI     int64
+	allInt   bool
+	min, max Value
+	seen     map[string]bool // for DISTINCT
+}
+
+func newAggAcc(fn string, distinct bool) *aggAcc {
+	a := &aggAcc{fn: fn, distinct: distinct, allInt: true}
+	if distinct {
+		a.seen = map[string]bool{}
+	}
+	return a
+}
+
+func (a *aggAcc) add(v Value) {
+	if IsNull(v) {
+		return
+	}
+	if a.distinct {
+		k := GroupKey([]Value{v})
+		if a.seen[k] {
+			return
+		}
+		a.seen[k] = true
+	}
+	a.count++
+	switch x := v.(type) {
+	case int64:
+		a.sumI += x
+		a.sumF += float64(x)
+	case float64:
+		a.allInt = false
+		a.sumF += x
+	case bool:
+		a.sumI += boolToInt(x)
+		a.sumF += float64(boolToInt(x))
+	default:
+		a.allInt = false
+	}
+	if a.min == nil {
+		a.min, a.max = v, v
+		return
+	}
+	if c, err := Compare(v, a.min); err == nil && c < 0 {
+		a.min = v
+	}
+	if c, err := Compare(v, a.max); err == nil && c > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggAcc) result() Value {
+	switch a.fn {
+	case "COUNT":
+		return a.count
+	case "SUM":
+		if a.count == 0 {
+			return nil
+		}
+		if a.allInt {
+			return a.sumI
+		}
+		return a.sumF
+	case "AVG":
+		if a.count == 0 {
+			return nil
+		}
+		return a.sumF / float64(a.count)
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return nil
+	}
+}
+
+// group is one GROUP BY bucket.
+type group struct {
+	first tuple
+	accs  []*aggAcc
+}
+
+func (ex *selectExec) project(tuples []tuple) (*Result, error) {
+	sel := ex.sel
+
+	// Expand stars in the select list.
+	items, err := ex.expandStars(sel.Items)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve select-list aliases in GROUP BY and ORDER BY.
+	aliasOf := map[string]sqlparse.Expr{}
+	for _, it := range items {
+		if it.Alias != "" {
+			aliasOf[strings.ToLower(it.Alias)] = it.Expr
+		}
+	}
+	substAlias := func(e sqlparse.Expr) sqlparse.Expr {
+		if cr, ok := e.(*sqlparse.ColumnRef); ok && cr.Table == "" {
+			if repl, ok := aliasOf[strings.ToLower(cr.Column)]; ok {
+				return repl
+			}
+		}
+		return e
+	}
+	groupBy := make([]sqlparse.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupBy[i] = substAlias(g)
+	}
+	orderBy := make([]sqlparse.OrderItem, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		orderBy[i] = sqlparse.OrderItem{Expr: substAlias(o.Expr), Desc: o.Desc}
+	}
+
+	// Gather aggregate call nodes (by identity) from items and order keys.
+	var aggNodes []*sqlparse.FuncCall
+	collect := func(e sqlparse.Expr) {
+		sqlparse.WalkExpr(e, func(n sqlparse.Expr) bool {
+			if fc, ok := n.(*sqlparse.FuncCall); ok && fc.IsAggregate() {
+				aggNodes = append(aggNodes, fc)
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		collect(it.Expr)
+	}
+	for _, o := range orderBy {
+		collect(o.Expr)
+	}
+
+	hasAgg := len(aggNodes) > 0 || len(groupBy) > 0
+
+	cols := make([]string, len(items))
+	for i, it := range items {
+		if it.Alias != "" {
+			cols[i] = it.Alias
+		} else {
+			cols[i] = displayName(it.Expr)
+		}
+	}
+
+	var outRows []Row
+	var sortKeys [][]Value
+
+	if hasAgg {
+		outRows, sortKeys, err = ex.aggregate(tuples, items, groupBy, orderBy, aggNodes)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, tup := range tuples {
+			ex.bindTuple(tup, len(ex.bindings))
+			row := make(Row, len(items))
+			for i, it := range items {
+				v, err := ex.env.Eval(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			if len(orderBy) > 0 {
+				key := make([]Value, len(orderBy))
+				for i, o := range orderBy {
+					v, err := ex.env.Eval(o.Expr)
+					if err != nil {
+						return nil, err
+					}
+					key[i] = v
+				}
+				sortKeys = append(sortKeys, key)
+			}
+			outRows = append(outRows, row)
+		}
+		ex.clearBindings()
+	}
+
+	// DISTINCT before ORDER BY, on projected values.
+	if sel.Distinct {
+		seen := map[string]bool{}
+		var dr []Row
+		var dk [][]Value
+		for i, r := range outRows {
+			k := GroupKey(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			dr = append(dr, r)
+			if sortKeys != nil {
+				dk = append(dk, sortKeys[i])
+			}
+		}
+		outRows, sortKeys = dr, dk
+	}
+
+	if len(orderBy) > 0 {
+		type pair struct {
+			row Row
+			key []Value
+		}
+		pairs := make([]pair, len(outRows))
+		for i := range outRows {
+			pairs[i] = pair{outRows[i], sortKeys[i]}
+		}
+		sort.SliceStable(pairs, func(i, j int) bool {
+			for k, o := range orderBy {
+				a, b := pairs[i].key[k], pairs[j].key[k]
+				c := compareForSort(a, b)
+				if c == 0 {
+					continue
+				}
+				if o.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		for i := range pairs {
+			outRows[i] = pairs[i].row
+		}
+	}
+
+	if sel.Limit >= 0 && int64(len(outRows)) > sel.Limit {
+		outRows = outRows[:sel.Limit]
+	}
+
+	res := &Result{Cols: cols, Rows: outRows}
+	res.Types = inferTypes(res)
+	ex.stats.RowsOut = int64(len(outRows))
+	for _, r := range outRows {
+		ex.stats.ResultBytes += rowBytes(r)
+	}
+	return res, nil
+}
+
+// compareForSort orders values with NULLs first (MySQL ASC semantics).
+func compareForSort(a, b Value) int {
+	an, bn := IsNull(a), IsNull(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+func rowBytes(r Row) int64 {
+	var n int64
+	for _, v := range r {
+		switch x := v.(type) {
+		case string:
+			n += int64(len(x))
+		default:
+			n += 8
+		}
+	}
+	return n
+}
+
+func (ex *selectExec) expandStars(items []sqlparse.SelectItem) ([]sqlparse.SelectItem, error) {
+	var out []sqlparse.SelectItem
+	for _, it := range items {
+		star, ok := it.Expr.(*sqlparse.Star)
+		if !ok {
+			out = append(out, it)
+			continue
+		}
+		expandOne := func(b *binding) {
+			qualify := len(ex.bindings) > 1
+			for _, c := range b.schema {
+				cr := &sqlparse.ColumnRef{Column: c.Name}
+				if qualify {
+					cr.Table = b.name
+				}
+				out = append(out, sqlparse.SelectItem{Expr: cr})
+			}
+		}
+		if star.Table == "" {
+			for _, b := range ex.bindings {
+				expandOne(b)
+			}
+			continue
+		}
+		found := false
+		for _, b := range ex.bindings {
+			if strings.EqualFold(b.name, star.Table) {
+				expandOne(b)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sqlengine: unknown table %q in %s", star.Table, star.SQL())
+		}
+	}
+	return out, nil
+}
+
+func (ex *selectExec) aggregate(
+	tuples []tuple,
+	items []sqlparse.SelectItem,
+	groupBy []sqlparse.Expr,
+	orderBy []sqlparse.OrderItem,
+	aggNodes []*sqlparse.FuncCall,
+) ([]Row, [][]Value, error) {
+	groups := map[string]*group{}
+	var order []string // deterministic group output order (first seen)
+
+	for _, tup := range tuples {
+		ex.bindTuple(tup, len(ex.bindings))
+		keyVals := make([]Value, len(groupBy))
+		for i, g := range groupBy {
+			v, err := ex.env.Eval(g)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+		}
+		key := GroupKey(keyVals)
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{first: tup}
+			for _, fc := range aggNodes {
+				grp.accs = append(grp.accs, newAggAcc(strings.ToUpper(fc.Name), fc.Distinct))
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, fc := range aggNodes {
+			switch {
+			case len(fc.Args) == 1:
+				if _, isStar := fc.Args[0].(*sqlparse.Star); isStar {
+					grp.accs[i].count++ // COUNT(*): every row counts
+					continue
+				}
+				v, err := ex.env.Eval(fc.Args[0])
+				if err != nil {
+					return nil, nil, err
+				}
+				grp.accs[i].add(v)
+			case len(fc.Args) == 0 && strings.ToUpper(fc.Name) == "COUNT":
+				grp.accs[i].count++
+			default:
+				return nil, nil, fmt.Errorf("sqlengine: aggregate %s takes one argument", fc.Name)
+			}
+		}
+	}
+	ex.clearBindings()
+
+	// A grand aggregate over empty input still yields one row.
+	if len(groups) == 0 && len(groupBy) == 0 {
+		grp := &group{first: ex.nullTuple()}
+		for _, fc := range aggNodes {
+			grp.accs = append(grp.accs, newAggAcc(strings.ToUpper(fc.Name), fc.Distinct))
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	var outRows []Row
+	var sortKeys [][]Value
+	for _, key := range order {
+		grp := groups[key]
+		// Map each aggregate node to its computed value for this group.
+		aggVal := map[*sqlparse.FuncCall]Value{}
+		for i, fc := range aggNodes {
+			aggVal[fc] = grp.accs[i].result()
+		}
+		ex.bindTuple(grp.first, len(ex.bindings))
+		row := make(Row, len(items))
+		for i, it := range items {
+			v, err := ex.evalWithAggs(it.Expr, aggVal)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		outRows = append(outRows, row)
+		if len(orderBy) > 0 {
+			keyRow := make([]Value, len(orderBy))
+			for i, o := range orderBy {
+				v, err := ex.evalWithAggs(o.Expr, aggVal)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyRow[i] = v
+			}
+			sortKeys = append(sortKeys, keyRow)
+		}
+	}
+	ex.clearBindings()
+	return outRows, sortKeys, nil
+}
+
+// nullTuple builds a tuple of all-NULL rows so non-aggregate expressions
+// evaluate to NULL for empty grand aggregates.
+func (ex *selectExec) nullTuple() tuple {
+	tup := make(tuple, len(ex.bindings))
+	for i, b := range ex.bindings {
+		tup[i] = make(Row, len(b.schema))
+	}
+	return tup
+}
+
+// evalWithAggs evaluates an expression, substituting precomputed values
+// for aggregate call nodes (matched by identity).
+func (ex *selectExec) evalWithAggs(e sqlparse.Expr, aggVal map[*sqlparse.FuncCall]Value) (Value, error) {
+	if fc, ok := e.(*sqlparse.FuncCall); ok {
+		if v, ok := aggVal[fc]; ok {
+			return v, nil
+		}
+	}
+	switch v := e.(type) {
+	case *sqlparse.Literal, *sqlparse.ColumnRef, *sqlparse.Star:
+		return ex.env.Eval(e)
+	case *sqlparse.FuncCall:
+		fn, ok := ex.eng.funcs[strings.ToLower(v.Name)]
+		if !ok {
+			return nil, fmt.Errorf("sqlengine: unknown function %q", v.Name)
+		}
+		args := make([]Value, len(v.Args))
+		for i, a := range v.Args {
+			x, err := ex.evalWithAggs(a, aggVal)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return fn(args)
+	case *sqlparse.BinaryExpr:
+		// Rebuild with aggregate substitution via literal wrapping.
+		l, err := ex.evalWithAggs(v.L, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.evalWithAggs(v.R, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		tmp := &sqlparse.BinaryExpr{Op: v.Op, L: &sqlparse.Literal{Val: l}, R: &sqlparse.Literal{Val: r}}
+		return ex.env.Eval(tmp)
+	case *sqlparse.UnaryExpr:
+		x, err := ex.evalWithAggs(v.X, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		return ex.env.Eval(&sqlparse.UnaryExpr{Op: v.Op, X: &sqlparse.Literal{Val: x}})
+	case *sqlparse.BetweenExpr:
+		x, err := ex.evalWithAggs(v.X, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := ex.evalWithAggs(v.Lo, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := ex.evalWithAggs(v.Hi, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		return ex.env.Eval(&sqlparse.BetweenExpr{
+			X: &sqlparse.Literal{Val: x}, Lo: &sqlparse.Literal{Val: lo}, Hi: &sqlparse.Literal{Val: hi}, Not: v.Not,
+		})
+	case *sqlparse.InExpr:
+		x, err := ex.evalWithAggs(v.X, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]sqlparse.Expr, len(v.List))
+		for i, it := range v.List {
+			y, err := ex.evalWithAggs(it, aggVal)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = &sqlparse.Literal{Val: y}
+		}
+		return ex.env.Eval(&sqlparse.InExpr{X: &sqlparse.Literal{Val: x}, List: list, Not: v.Not})
+	case *sqlparse.IsNullExpr:
+		x, err := ex.evalWithAggs(v.X, aggVal)
+		if err != nil {
+			return nil, err
+		}
+		return ex.env.Eval(&sqlparse.IsNullExpr{X: &sqlparse.Literal{Val: x}, Not: v.Not})
+	default:
+		return nil, fmt.Errorf("sqlengine: cannot evaluate %T", e)
+	}
+}
+
+// inferTypes derives result column types from the first rows that carry
+// non-NULL values.
+func inferTypes(r *Result) []sqlparse.ColType {
+	types := make([]sqlparse.ColType, len(r.Cols))
+	decided := make([]bool, len(r.Cols))
+	for i := range types {
+		types[i] = sqlparse.TypeFloat
+	}
+	for _, row := range r.Rows {
+		all := true
+		for i, v := range row {
+			if decided[i] {
+				continue
+			}
+			switch v.(type) {
+			case int64, bool:
+				types[i] = sqlparse.TypeInt
+				decided[i] = true
+			case float64:
+				types[i] = sqlparse.TypeFloat
+				decided[i] = true
+			case string:
+				types[i] = sqlparse.TypeString
+				decided[i] = true
+			default:
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+	}
+	return types
+}

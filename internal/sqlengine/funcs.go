@@ -1,0 +1,239 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sphgeom"
+)
+
+// registerBuiltins installs the function set every Qserv database
+// instance carries: the astronomy UDFs the paper's queries use (section
+// 5.3 and 6.2) plus ordinary math helpers.
+func registerBuiltins(e *Engine) {
+	// fluxToAbMag converts a calibrated flux (Jansky-scaled units in the
+	// PT1.1 schema) to an AB magnitude: m = -2.5 log10(f) - 48.6.
+	e.RegisterFunc("fluxToAbMag", func(args []Value) (Value, error) {
+		if err := arity("fluxToAbMag", args, 1); err != nil {
+			return nil, err
+		}
+		if IsNull(args[0]) {
+			return nil, nil
+		}
+		f, err := AsFloat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if f <= 0 {
+			return nil, nil // undefined magnitude, SQL NULL
+		}
+		return -2.5*math.Log10(f) - 48.6, nil
+	})
+
+	// qserv_angSep(ra1, decl1, ra2, decl2) returns the angular distance
+	// in degrees between two positions (the worker-side UDF behind
+	// near-neighbor predicates).
+	e.RegisterFunc("qserv_angSep", func(args []Value) (Value, error) {
+		if err := arity("qserv_angSep", args, 4); err != nil {
+			return nil, err
+		}
+		f := make([]float64, 4)
+		for i, a := range args {
+			if IsNull(a) {
+				return nil, nil
+			}
+			x, err := AsFloat(a)
+			if err != nil {
+				return nil, err
+			}
+			f[i] = x
+		}
+		return sphgeom.AngSepDeg(f[0], f[1], f[2], f[3]), nil
+	})
+	// scisql-compatible alias.
+	e.RegisterFunc("scisql_angSep", mustFunc(e, "qserv_angSep"))
+
+	// qserv_ptInSphericalBox(ra, decl, raMin, declMin, raMax, declMax)
+	// returns 1 when the point lies in the (RA-wrap aware) box. This is
+	// what qserv_areaspec_box rewrites into on workers (section 5.3).
+	e.RegisterFunc("qserv_ptInSphericalBox", func(args []Value) (Value, error) {
+		if err := arity("qserv_ptInSphericalBox", args, 6); err != nil {
+			return nil, err
+		}
+		f := make([]float64, 6)
+		for i, a := range args {
+			if IsNull(a) {
+				return nil, nil
+			}
+			x, err := AsFloat(a)
+			if err != nil {
+				return nil, err
+			}
+			f[i] = x
+		}
+		box := sphgeom.NewBox(f[2], f[4], f[3], f[5])
+		return boolToInt(box.Contains(sphgeom.NewPoint(f[0], f[1]))), nil
+	})
+
+	// qserv_ptInSphericalCircle(ra, decl, raC, declC, radius).
+	e.RegisterFunc("qserv_ptInSphericalCircle", func(args []Value) (Value, error) {
+		if err := arity("qserv_ptInSphericalCircle", args, 5); err != nil {
+			return nil, err
+		}
+		f := make([]float64, 5)
+		for i, a := range args {
+			if IsNull(a) {
+				return nil, nil
+			}
+			x, err := AsFloat(a)
+			if err != nil {
+				return nil, err
+			}
+			f[i] = x
+		}
+		c := sphgeom.NewCircle(sphgeom.NewPoint(f[2], f[3]), f[4])
+		return boolToInt(c.Contains(sphgeom.NewPoint(f[0], f[1]))), nil
+	})
+
+	// Math helpers.
+	e.RegisterFunc("ABS", unaryMath("ABS", math.Abs))
+	e.RegisterFunc("SQRT", unaryMath("SQRT", func(x float64) float64 {
+		if x < 0 {
+			return math.NaN()
+		}
+		return math.Sqrt(x)
+	}))
+	e.RegisterFunc("FLOOR", unaryMath("FLOOR", math.Floor))
+	e.RegisterFunc("CEIL", unaryMath("CEIL", math.Ceil))
+	e.RegisterFunc("LOG10", unaryMath("LOG10", math.Log10))
+	e.RegisterFunc("LN", unaryMath("LN", math.Log))
+	e.RegisterFunc("SIN", unaryMath("SIN", math.Sin))
+	e.RegisterFunc("COS", unaryMath("COS", math.Cos))
+	e.RegisterFunc("RADIANS", unaryMath("RADIANS", sphgeom.RadOf))
+	e.RegisterFunc("DEGREES", unaryMath("DEGREES", sphgeom.DegOf))
+	e.RegisterFunc("POW", func(args []Value) (Value, error) {
+		if err := arity("POW", args, 2); err != nil {
+			return nil, err
+		}
+		if IsNull(args[0]) || IsNull(args[1]) {
+			return nil, nil
+		}
+		a, err := AsFloat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := AsFloat(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return math.Pow(a, b), nil
+	})
+	e.RegisterFunc("ROUND", func(args []Value) (Value, error) {
+		if len(args) != 1 && len(args) != 2 {
+			return nil, fmt.Errorf("sqlengine: ROUND takes 1 or 2 arguments, got %d", len(args))
+		}
+		if IsNull(args[0]) {
+			return nil, nil
+		}
+		x, err := AsFloat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			if IsNull(args[1]) {
+				return nil, nil
+			}
+			digits, err = AsInt(args[1])
+			if err != nil {
+				return nil, err
+			}
+		}
+		scale := math.Pow(10, float64(digits))
+		return math.Round(x*scale) / scale, nil
+	})
+	e.RegisterFunc("GREATEST", variadicExtreme("GREATEST", 1))
+	e.RegisterFunc("LEAST", variadicExtreme("LEAST", -1))
+	e.RegisterFunc("IFNULL", func(args []Value) (Value, error) {
+		if err := arity("IFNULL", args, 2); err != nil {
+			return nil, err
+		}
+		if IsNull(args[0]) {
+			return args[1], nil
+		}
+		return args[0], nil
+	})
+	e.RegisterFunc("MOD", func(args []Value) (Value, error) {
+		if err := arity("MOD", args, 2); err != nil {
+			return nil, err
+		}
+		return evalArith("%", args[0], args[1])
+	})
+}
+
+func mustFunc(e *Engine, name string) Func {
+	fn, ok := e.funcs[lower(name)]
+	if !ok {
+		panic("sqlengine: missing builtin " + name)
+	}
+	return fn
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func arity(name string, args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("sqlengine: %s takes %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func unaryMath(name string, fn func(float64) float64) Func {
+	return func(args []Value) (Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return nil, err
+		}
+		if IsNull(args[0]) {
+			return nil, nil
+		}
+		x, err := AsFloat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		y := fn(x)
+		if math.IsNaN(y) {
+			return nil, nil
+		}
+		return y, nil
+	}
+}
+
+func variadicExtreme(name string, dir int) Func {
+	return func(args []Value) (Value, error) {
+		if len(args) == 0 {
+			return nil, fmt.Errorf("sqlengine: %s needs at least one argument", name)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			if IsNull(a) || IsNull(best) {
+				return nil, nil
+			}
+			c, err := Compare(a, best)
+			if err != nil {
+				return nil, err
+			}
+			if c*dir > 0 {
+				best = a
+			}
+		}
+		return best, nil
+	}
+}

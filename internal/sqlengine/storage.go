@@ -1,0 +1,265 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sqlparse"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type sqlparse.ColType
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of a column by case-insensitive name,
+// or -1 when absent.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// RowWidth estimates the storage bytes of one row, mirroring the paper's
+// raw-bytes accounting (Table 1): 8 bytes per numeric column plus the
+// declared or average width of string columns.
+func (s Schema) RowWidth() int {
+	w := 0
+	for _, c := range s {
+		switch c.Type {
+		case sqlparse.TypeString:
+			w += 16
+		default:
+			w += 8
+		}
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// Row is one stored tuple, in schema order.
+type Row []Value
+
+// Table is a heap of rows with optional hash indexes, the stand-in for a
+// MyISAM table. Tables are guarded by the owning Database's lock.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Rows    []Row
+	indexes map[string]*hashIndex // lower-cased column name -> index
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: map[string]*hashIndex{}}
+}
+
+// hashIndex maps a column value's group key to row positions. It models
+// the per-chunk objectId index the paper builds on workers (section 5.5).
+type hashIndex struct {
+	col     int
+	buckets map[string][]int
+}
+
+func buildHashIndex(t *Table, col int) *hashIndex {
+	idx := &hashIndex{col: col, buckets: make(map[string][]int, len(t.Rows))}
+	for i, r := range t.Rows {
+		k := GroupKey(r[col : col+1])
+		idx.buckets[k] = append(idx.buckets[k], i)
+	}
+	return idx
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column.
+func (t *Table) CreateIndex(col string) error {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("sqlengine: table %s has no column %q", t.Name, col)
+	}
+	t.indexes[strings.ToLower(col)] = buildHashIndex(t, ci)
+	return nil
+}
+
+// Index returns the hash index on the column, or nil.
+func (t *Table) Index(col string) *hashIndex {
+	return t.indexes[strings.ToLower(col)]
+}
+
+// HasIndex reports whether the column is indexed.
+func (t *Table) HasIndex(col string) bool { return t.Index(col) != nil }
+
+// lookup returns the row positions whose indexed column equals v.
+func (ix *hashIndex) lookup(v Value) []int {
+	return ix.buckets[GroupKey([]Value{v})]
+}
+
+// Insert appends rows, maintaining indexes. Rows must match the schema
+// arity; values are stored as given.
+func (t *Table) Insert(rows ...Row) error {
+	for _, r := range rows {
+		if len(r) != len(t.Schema) {
+			return fmt.Errorf("sqlengine: row arity %d != schema arity %d for table %s",
+				len(r), len(t.Schema), t.Name)
+		}
+	}
+	base := len(t.Rows)
+	t.Rows = append(t.Rows, rows...)
+	for _, ix := range t.indexes {
+		for i, r := range rows {
+			k := GroupKey(r[ix.col : ix.col+1])
+			ix.buckets[k] = append(ix.buckets[k], base+i)
+		}
+	}
+	return nil
+}
+
+// ByteSize returns the estimated on-disk footprint of the table, the
+// quantity the paper uses to compute effective scan bandwidth (section
+// 6.2, High Volume 2).
+func (t *Table) ByteSize() int64 {
+	return int64(len(t.Rows)) * int64(t.Schema.RowWidth())
+}
+
+// Database is a named collection of tables (e.g. "LSST" on workers).
+type Database struct {
+	Name   string
+	mu     sync.RWMutex
+	tables map[string]*Table // lower-cased name -> table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: map[string]*Table{}}
+}
+
+// Table returns the named table (case-insensitive) or an error.
+func (d *Database) Table(name string) (*Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: no table %q in database %s", name, d.Name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (d *Database) HasTable(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Put registers a table, replacing any previous table of the same name.
+func (d *Database) Put(t *Table) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tables[strings.ToLower(t.Name)] = t
+}
+
+// Drop removes the named table; with ifExists, missing tables are not an
+// error.
+func (d *Database) Drop(name string, ifExists bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := d.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sqlengine: no table %q in database %s", name, d.Name)
+	}
+	delete(d.tables, key)
+	return nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for _, t := range d.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExecStats meters the I/O performed by one query execution. The
+// simulation layer converts these into virtual time at paper scale.
+type ExecStats struct {
+	// SeqBytes is the number of bytes read by sequential scans.
+	SeqBytes int64
+	// RandReads is the number of random-access reads (index lookups),
+	// each of which costs a disk seek in the cost model.
+	RandReads int64
+	// RandBytes is the number of bytes fetched by those random reads.
+	RandBytes int64
+	// RowsScanned counts tuples examined across all scans.
+	RowsScanned int64
+	// RowsOut counts tuples in the final result.
+	RowsOut int64
+	// ResultBytes estimates the size of the result (what must be shipped
+	// back through the fabric via the mysqldump path).
+	ResultBytes int64
+	// PairsConsidered counts join pair evaluations, the quantity the
+	// paper's O(n^2)-vs-O(kn) argument is about (section 4.4).
+	PairsConsidered int64
+}
+
+// Add accumulates another stats record into s.
+func (s *ExecStats) Add(o ExecStats) {
+	s.SeqBytes += o.SeqBytes
+	s.RandReads += o.RandReads
+	s.RandBytes += o.RandBytes
+	s.RowsScanned += o.RowsScanned
+	s.RowsOut += o.RowsOut
+	s.ResultBytes += o.ResultBytes
+	s.PairsConsidered += o.PairsConsidered
+}
+
+// TotalBytes returns all bytes touched.
+func (s ExecStats) TotalBytes() int64 { return s.SeqBytes + s.RandBytes }
+
+// Result is the output of a query: column names and rows, plus the
+// execution's I/O metering.
+type Result struct {
+	Cols  []string
+	Types []sqlparse.ColType
+	Rows  []Row
+	Stats ExecStats
+}
+
+// Schema derives a Schema from the result's columns.
+func (r *Result) Schema() Schema {
+	s := make(Schema, len(r.Cols))
+	for i := range r.Cols {
+		typ := sqlparse.TypeFloat
+		if i < len(r.Types) {
+			typ = r.Types[i]
+		}
+		s[i] = Column{Name: r.Cols[i], Type: typ}
+	}
+	return s
+}

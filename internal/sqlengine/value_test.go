@@ -1,0 +1,175 @@
+package sqlengine
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareIntFloat(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{int64(1), int64(2), -1},
+		{int64(2), int64(2), 0},
+		{int64(3), float64(2.5), 1},
+		{float64(2.5), int64(3), -1},
+		{float64(-0.0), float64(0.0), 0},
+		{"abc", "abd", -1},
+		{"10", int64(10), 0}, // numeric-parseable string vs number
+		{"x", "x", 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Compare(nil, int64(1)); err == nil {
+		t.Error("NULL comparison must error")
+	}
+}
+
+func TestCompareAntisymmetryQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, err1 := Compare(a, b)
+		y, err2 := Compare(b, a)
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x, err1 := Compare(a, b)
+		y, err2 := Compare(b, a)
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	randVal := func() Value {
+		switch rng.Intn(3) {
+		case 0:
+			return int64(rng.Intn(100) - 50)
+		case 1:
+			return float64(rng.Intn(100)) / 4
+		default:
+			return float64(rng.Intn(100) - 50)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		a, b, c := randVal(), randVal(), randVal()
+		ab, _ := Compare(a, b)
+		bc, _ := Compare(b, c)
+		ac, _ := Compare(a, c)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			t.Fatalf("transitivity violated: %v <= %v <= %v but Compare(%v,%v)=%d", a, b, c, a, c, ac)
+		}
+	}
+}
+
+func TestEqualNullNeverEqual(t *testing.T) {
+	if Equal(nil, nil) || Equal(nil, int64(0)) || Equal("", nil) {
+		t.Error("NULL must not equal anything")
+	}
+	if !Equal(int64(5), float64(5)) {
+		t.Error("5 must equal 5.0")
+	}
+}
+
+func TestAsBoolSemantics(t *testing.T) {
+	cases := map[bool][]Value{
+		true:  {int64(1), int64(-1), float64(0.5), "x", true},
+		false: {nil, int64(0), float64(0), "", false},
+	}
+	for want, vals := range cases {
+		for _, v := range vals {
+			if AsBool(v) != want {
+				t.Errorf("AsBool(%v) != %v", v, want)
+			}
+		}
+	}
+}
+
+func TestCoercionErrors(t *testing.T) {
+	if _, err := AsFloat(nil); err == nil {
+		t.Error("AsFloat(NULL) must error")
+	}
+	if _, err := AsInt("not a number"); err == nil {
+		t.Error("AsInt(garbage) must error")
+	}
+	if n, err := AsInt(float64(3.9)); err != nil || n != 3 {
+		t.Errorf("AsInt(3.9) = %d, %v (truncation expected)", n, err)
+	}
+	if f, err := AsFloat("2.5"); err != nil || f != 2.5 {
+		t.Errorf("AsFloat(\"2.5\") = %v, %v", f, err)
+	}
+}
+
+func TestGroupKeyQuickInjectiveOnInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := GroupKey([]Value{a})
+		kb := GroupKey([]Value{b})
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupKeyQuickInjectiveOnStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := GroupKey([]Value{a})
+		kb := GroupKey([]Value{b})
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Pairs of strings must not collide across the boundary.
+	g := func(a, b, c string) bool {
+		k1 := GroupKey([]Value{a, b + c})
+		k2 := GroupKey([]Value{a + b, c})
+		same := a == a+b && b+c == c // only when b is empty
+		return same == (k1 == k2)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatValueRoundTripFloats(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := FormatValue(x)
+		var y float64
+		if _, err := sscanFloat(s, &y); err != nil {
+			return false
+		}
+		return y == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sscanFloat(s string, out *float64) (int, error) {
+	y, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*out = y
+	return 1, nil
+}

@@ -1,0 +1,445 @@
+// Package worker implements a Qserv worker node: an Xrootd data server
+// (via the xrd.Handler "ofs plugin" interface) wrapping a local SQL
+// engine that stores chunk tables (paper sections 5.1.2 and 5.4).
+//
+// A worker accepts chunk queries written to /query2/CC paths, queues
+// them FIFO, executes them on up to Slots engine sessions in parallel
+// (the paper's evaluation used 4 per node), and publishes each result as
+// a mysqldump-style SQL stream readable at /result/H, where H is the MD5
+// hash of the chunk query payload. Spatial self-join queries carry a
+// "-- SUBCHUNKS:" header; the worker materializes the listed subchunk
+// and overlap-subchunk tables on the fly before executing, and drops
+// them afterwards unless caching is enabled (section 5.4 notes workers
+// are "free to cache subchunk tables").
+package worker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+	"repro/internal/xrd"
+)
+
+// Config controls a worker.
+type Config struct {
+	// Name is the worker's cluster identity.
+	Name string
+	// Slots is the number of chunk queries executed in parallel
+	// (paper: 4). Queued queries beyond that wait FIFO.
+	Slots int
+	// QueueDepth bounds the FIFO queue; writes beyond it fail, which
+	// the czar surfaces as dispatch errors.
+	QueueDepth int
+	// CacheSubChunks keeps generated subchunk tables for reuse instead
+	// of dropping them after each query.
+	CacheSubChunks bool
+	// ResultTimeout bounds how long a result read blocks waiting for
+	// execution to finish.
+	ResultTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's worker configuration.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:          name,
+		Slots:         4,
+		QueueDepth:    4096,
+		ResultTimeout: 5 * time.Minute,
+	}
+}
+
+// JobReport records one executed chunk query for experiments (queue
+// behavior drives the paper's Figure 14 analysis).
+type JobReport struct {
+	Chunk      partition.ChunkID
+	Hash       string
+	QueuedAt   time.Time
+	StartedAt  time.Time
+	FinishedAt time.Time
+	Stats      sqlengine.ExecStats
+	ResultLen  int
+	Err        error
+}
+
+// QueueWait returns how long the job sat in the FIFO queue.
+func (r JobReport) QueueWait() time.Duration { return r.StartedAt.Sub(r.QueuedAt) }
+
+// ExecTime returns the job's execution time.
+func (r JobReport) ExecTime() time.Duration { return r.FinishedAt.Sub(r.StartedAt) }
+
+// Worker is one Qserv worker node.
+type Worker struct {
+	cfg      Config
+	engine   *sqlengine.Engine
+	registry *meta.Registry
+
+	jobs chan *job
+	wg   sync.WaitGroup
+	stop chan struct{}
+
+	mu      sync.Mutex
+	results map[string]*resultEntry
+	reports []JobReport
+	chunks  map[partition.ChunkID]bool
+
+	subs *subchunkManager
+}
+
+type job struct {
+	chunk    partition.ChunkID
+	payload  []byte
+	hash     string
+	queuedAt time.Time
+}
+
+type resultEntry struct {
+	ready chan struct{}
+	data  []byte
+	err   error
+}
+
+// New creates and starts a worker. The engine's default database is the
+// catalog database (registry.DB); chunk tables live there.
+func New(cfg Config, registry *meta.Registry) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.ResultTimeout <= 0 {
+		cfg.ResultTimeout = 5 * time.Minute
+	}
+	w := &Worker{
+		cfg:      cfg,
+		engine:   sqlengine.New(registry.DB),
+		registry: registry,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		results:  map[string]*resultEntry{},
+		chunks:   map[partition.ChunkID]bool{},
+	}
+	w.subs = newSubchunkManager(w)
+	for i := 0; i < cfg.Slots; i++ {
+		w.wg.Add(1)
+		go w.executor()
+	}
+	return w
+}
+
+// Name returns the worker's cluster identity.
+func (w *Worker) Name() string { return w.cfg.Name }
+
+// Engine exposes the local engine (loading, tests).
+func (w *Worker) Engine() *sqlengine.Engine { return w.engine }
+
+// Close stops the executors; queued jobs are abandoned.
+func (w *Worker) Close() {
+	close(w.stop)
+	w.wg.Wait()
+}
+
+// Chunks returns the chunk IDs this worker stores.
+func (w *Worker) Chunks() []partition.ChunkID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]partition.ChunkID, 0, len(w.chunks))
+	for c := range w.chunks {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Reports returns the execution reports accumulated so far.
+func (w *Worker) Reports() []JobReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]JobReport(nil), w.reports...)
+}
+
+// QueueLen returns the number of queued (not yet started) chunk queries.
+func (w *Worker) QueueLen() int { return len(w.jobs) }
+
+// ---------- data loading ----------
+
+// LoadChunk installs a chunk table and its overlap companion, indexing
+// the director key. rows and overlapRows must match the table schema.
+func (w *Worker) LoadChunk(info *meta.TableInfo, chunk partition.ChunkID,
+	rows, overlapRows []sqlengine.Row) error {
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return err
+	}
+	t := sqlengine.NewTable(meta.ChunkTableName(info.Name, chunk), info.Schema)
+	if err := t.Insert(rows...); err != nil {
+		return err
+	}
+	if info.DirectorKey != "" {
+		if err := t.CreateIndex(info.DirectorKey); err != nil {
+			return err
+		}
+	}
+	db.Put(t)
+
+	ov := sqlengine.NewTable(meta.OverlapTableName(info.Name, chunk), info.Schema)
+	if err := ov.Insert(overlapRows...); err != nil {
+		return err
+	}
+	db.Put(ov)
+
+	w.mu.Lock()
+	w.chunks[chunk] = true
+	w.mu.Unlock()
+	return nil
+}
+
+// LoadShared installs an unpartitioned (replicated) table.
+func (w *Worker) LoadShared(name string, schema sqlengine.Schema, rows []sqlengine.Row) error {
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return err
+	}
+	t := sqlengine.NewTable(name, schema)
+	if err := t.Insert(rows...); err != nil {
+		return err
+	}
+	db.Put(t)
+	return nil
+}
+
+// ---------- xrd.Handler ----------
+
+// HandleWrite accepts a chunk query written to /query2/CC: it registers
+// a pending result under the payload's hash and enqueues the job FIFO.
+func (w *Worker) HandleWrite(path string, data []byte) error {
+	chunk, err := parseQueryPath(path)
+	if err != nil {
+		return err
+	}
+	hash := strings.TrimPrefix(xrd.ResultPath(data), "/result/")
+	j := &job{
+		chunk:    chunk,
+		payload:  append([]byte(nil), data...),
+		hash:     hash,
+		queuedAt: time.Now(),
+	}
+	w.mu.Lock()
+	if _, exists := w.results[hash]; exists {
+		// Identical payload already queued or executed; the existing
+		// result serves both (content-addressed results deduplicate).
+		w.mu.Unlock()
+		return nil
+	}
+	w.results[hash] = &resultEntry{ready: make(chan struct{})}
+	w.mu.Unlock()
+
+	select {
+	case w.jobs <- j:
+		return nil
+	default:
+		w.mu.Lock()
+		entry := w.results[hash]
+		delete(w.results, hash)
+		w.mu.Unlock()
+		if entry != nil {
+			entry.err = fmt.Errorf("worker %s: queue full", w.cfg.Name)
+			close(entry.ready)
+		}
+		return fmt.Errorf("worker %s: queue full (%d)", w.cfg.Name, w.cfg.QueueDepth)
+	}
+}
+
+// HandleRead serves /result/H, blocking until the chunk query hashing to
+// H finishes (or the configured timeout passes).
+func (w *Worker) HandleRead(path string) ([]byte, error) {
+	hash, err := parseResultPath(path)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	entry, ok := w.results[hash]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("worker %s: no such result %s", w.cfg.Name, hash)
+	}
+	select {
+	case <-entry.ready:
+	case <-time.After(w.cfg.ResultTimeout):
+		return nil, fmt.Errorf("worker %s: result %s timed out after %v", w.cfg.Name, hash, w.cfg.ResultTimeout)
+	}
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	return entry.data, nil
+}
+
+func parseQueryPath(path string) (partition.ChunkID, error) {
+	var id int
+	if _, err := fmt.Sscanf(path, "/query2/%d", &id); err != nil {
+		return 0, fmt.Errorf("worker: bad query path %q", path)
+	}
+	return partition.ChunkID(id), nil
+}
+
+func parseResultPath(path string) (string, error) {
+	const prefix = "/result/"
+	if !strings.HasPrefix(path, prefix) {
+		return "", fmt.Errorf("worker: bad result path %q", path)
+	}
+	hash := path[len(prefix):]
+	if len(hash) != 32 {
+		return "", fmt.Errorf("worker: bad result hash %q", hash)
+	}
+	return hash, nil
+}
+
+// ---------- execution ----------
+
+func (w *Worker) executor() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case j := <-w.jobs:
+			w.execute(j)
+		}
+	}
+}
+
+func (w *Worker) execute(j *job) {
+	started := time.Now()
+	data, stats, err := w.runChunkQuery(j)
+	finished := time.Now()
+
+	w.mu.Lock()
+	entry := w.results[j.hash]
+	w.reports = append(w.reports, JobReport{
+		Chunk:      j.chunk,
+		Hash:       j.hash,
+		QueuedAt:   j.queuedAt,
+		StartedAt:  started,
+		FinishedAt: finished,
+		Stats:      stats,
+		ResultLen:  len(data),
+		Err:        err,
+	})
+	w.mu.Unlock()
+
+	if entry != nil {
+		entry.data = data
+		entry.err = err
+		close(entry.ready)
+	}
+}
+
+// runChunkQuery executes the statements of one chunk query, generating
+// any subchunk tables its SUBCHUNKS header demands, and returns the
+// result serialized as a dump stream.
+func (w *Worker) runChunkQuery(j *job) ([]byte, sqlengine.ExecStats, error) {
+	var agg sqlengine.ExecStats
+
+	subIDs, hasSubs := core.ParseSubChunksHeader(j.payload)
+	stmts, err := sqlparse.ParseScript(string(j.payload))
+	if err != nil {
+		return nil, agg, fmt.Errorf("worker %s: parse chunk query: %w", w.cfg.Name, err)
+	}
+	if len(stmts) == 0 {
+		return nil, agg, fmt.Errorf("worker %s: empty chunk query", w.cfg.Name)
+	}
+
+	// Materialize subchunk tables named by the statements.
+	if hasSubs {
+		tables := subchunkTablesOf(stmts)
+		release, genStats, err := w.subs.acquire(j.chunk, subIDs, tables)
+		agg.Add(genStats)
+		if err != nil {
+			return nil, agg, err
+		}
+		defer release()
+	}
+
+	// Execute each statement, accumulating SELECT results.
+	var accum *sqlengine.Result
+	for _, st := range stmts {
+		res, err := w.engine.ExecuteStmt(st)
+		if err != nil {
+			return nil, agg, fmt.Errorf("worker %s chunk %d: %w", w.cfg.Name, j.chunk, err)
+		}
+		agg.Add(res.Stats)
+		if _, isSel := st.(*sqlparse.Select); !isSel {
+			continue
+		}
+		if accum == nil {
+			accum = res
+			continue
+		}
+		if len(res.Cols) != len(accum.Cols) {
+			return nil, agg, fmt.Errorf("worker %s: statement results have mismatched arity", w.cfg.Name)
+		}
+		accum.Rows = append(accum.Rows, res.Rows...)
+	}
+	if accum == nil {
+		return nil, agg, fmt.Errorf("worker %s: chunk query produced no result", w.cfg.Name)
+	}
+
+	// Serialize as the mysqldump-style stream (section 5.4). The table
+	// name encodes the hash so the master can load results from many
+	// chunks without collisions.
+	data := dump.Dump("r_"+j.hash[:16], accum)
+	return []byte(data), agg, nil
+}
+
+// subchunkTablesOf extracts base-table names that need subchunk
+// materialization from the statements' FROM clauses: references of the
+// form <Base>_<CC>_<SS> or <Base>FullOverlap_<CC>_<SS>.
+func subchunkTablesOf(stmts []sqlparse.Statement) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range stmts {
+		sel, ok := st.(*sqlparse.Select)
+		if !ok {
+			continue
+		}
+		for _, ref := range sel.From {
+			if base, ok := subchunkBase(ref.Table); ok {
+				out[base] = true
+			}
+		}
+	}
+	return out
+}
+
+// subchunkBase strips the _CC_SS suffix, returning the base table name
+// (including a FullOverlap suffix collapse: ObjectFullOverlap -> Object).
+func subchunkBase(table string) (string, bool) {
+	parts := strings.Split(table, "_")
+	if len(parts) < 3 {
+		return "", false
+	}
+	if !isDigits(parts[len(parts)-1]) || !isDigits(parts[len(parts)-2]) {
+		return "", false
+	}
+	base := strings.Join(parts[:len(parts)-2], "_")
+	base = strings.TrimSuffix(base, "FullOverlap")
+	return base, true
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,418 @@
+package worker
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dump"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sphgeom"
+	"repro/internal/sqlengine"
+	"repro/internal/xrd"
+)
+
+// testWorker builds a worker with one Object chunk containing a few
+// hand-placed rows (including overlap rows from a neighboring chunk).
+func testWorker(t testing.TB, cfg Config) (*Worker, partition.ChunkID) {
+	t.Helper()
+	ch, err := partition.NewChunker(partition.Config{
+		NumStripes: 18, NumSubStripesPerStripe: 4, Overlap: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := meta.LSSTRegistry(ch)
+	w := New(cfg, reg)
+	t.Cleanup(w.Close)
+
+	info, err := reg.Table("Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the chunk containing (100, 0).
+	chunk, _ := ch.Locate(sphgeom.NewPoint(100, 0))
+	bounds, err := ch.ChunkBounds(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkRow := func(id int64, ra, decl, zflux float64) sqlengine.Row {
+		c, s := ch.Locate(sphgeom.NewPoint(ra, decl))
+		return sqlengine.Row{id, ra, decl, 1e-28, 1e-28, 1e-28, 1e-28, zflux, 1e-28,
+			2e-28, 0.05, int64(c), int64(s)}
+	}
+	center := sphgeom.NewPoint(bounds.RAMin+bounds.RAExtent()/2, (bounds.DeclMin+bounds.DeclMax)/2)
+	rows := []sqlengine.Row{
+		mkRow(1, center.RA, center.Decl, 3e-28),
+		mkRow(2, center.RA+0.05, center.Decl+0.03, 5e-28), // near object 1
+		mkRow(3, bounds.RAMin+0.1, center.Decl, 1e-29),
+	}
+	// One overlap row just past the chunk's RA max edge.
+	overlapPt := sphgeom.NewPoint(bounds.RAMax+0.1, center.Decl)
+	overlap := []sqlengine.Row{mkRow(4, overlapPt.RA, overlapPt.Decl, 2e-29)}
+
+	if err := w.LoadChunk(info, chunk, rows, overlap); err != nil {
+		t.Fatal(err)
+	}
+	return w, chunk
+}
+
+// submit writes a chunk query and reads its result dump.
+func submit(t testing.TB, w *Worker, chunk partition.ChunkID, payload string) string {
+	t.Helper()
+	data := []byte(payload)
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), data); err != nil {
+		t.Fatalf("HandleWrite: %v", err)
+	}
+	out, err := w.HandleRead(xrd.ResultPath(data))
+	if err != nil {
+		t.Fatalf("HandleRead: %v", err)
+	}
+	return string(out)
+}
+
+// loadResult loads a dump stream into a scratch engine and queries it.
+func loadResult(t testing.TB, stream string) (*sqlengine.Engine, string) {
+	t.Helper()
+	e := sqlengine.New("LSST")
+	name, _, err := dump.Load(e, stream)
+	if err != nil {
+		t.Fatalf("load result: %v", err)
+	}
+	return e, name
+}
+
+func TestSimpleChunkQuery(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	stream := submit(t, w, chunk, fmt.Sprintf(
+		"SELECT objectId FROM LSST.Object_%d WHERE zFlux_PS > 1e-28;", chunk))
+	e, name := loadResult(t, stream)
+	res, err := e.Query("SELECT COUNT(*) FROM " + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Errorf("rows = %v, want 2", res.Rows[0][0])
+	}
+}
+
+func TestChunkQueryUsesObjectIdIndex(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	stream := submit(t, w, chunk, fmt.Sprintf(
+		"SELECT * FROM LSST.Object_%d WHERE objectId = 2;", chunk))
+	e, name := loadResult(t, stream)
+	res, err := e.Query("SELECT objectId FROM " + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("point lookup: %v", res.Rows)
+	}
+	// The worker-side execution must have used the index (a random
+	// read, no full scan).
+	reports := w.Reports()
+	last := reports[len(reports)-1]
+	if last.Stats.RandReads == 0 {
+		t.Errorf("chunk objectId index unused: %+v", last.Stats)
+	}
+}
+
+func TestMultiStatementAccumulation(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	payload := fmt.Sprintf(
+		"SELECT objectId FROM LSST.Object_%d WHERE objectId = 1;\nSELECT objectId FROM LSST.Object_%d WHERE objectId = 3;",
+		chunk, chunk)
+	stream := submit(t, w, chunk, payload)
+	e, name := loadResult(t, stream)
+	res, err := e.Query("SELECT COUNT(*) FROM " + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Errorf("accumulated rows = %v, want 2 (one per statement)", res.Rows[0][0])
+	}
+}
+
+func TestSubchunkGenerationAndJoin(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	// Objects 1 and 2 are ~0.06 deg apart; count ordered near pairs
+	// within 0.5 deg across all subchunks of the chunk.
+	reg := w.registry
+	subs, err := reg.Chunker.AllSubChunks(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var header strings.Builder
+	header.WriteString("-- SUBCHUNKS:")
+	for i, s := range subs {
+		if i > 0 {
+			header.WriteString(",")
+		}
+		fmt.Fprintf(&header, " %d", s)
+	}
+	var stmts strings.Builder
+	for _, s := range subs {
+		fmt.Fprintf(&stmts,
+			"SELECT COUNT(*) AS qserv_c0 FROM LSST.Object_%d_%d AS o1, LSST.Object_%d_%d AS o2 WHERE (qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.4);\n",
+			chunk, s, chunk, s)
+		fmt.Fprintf(&stmts,
+			"SELECT COUNT(*) AS qserv_c0 FROM LSST.Object_%d_%d AS o1, LSST.ObjectFullOverlap_%d_%d AS o2 WHERE (qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.4);\n",
+			chunk, s, chunk, s)
+	}
+	payload := header.String() + "\n" + stmts.String()
+	stream := submit(t, w, chunk, payload)
+	e, name := loadResult(t, stream)
+	res, err := e.Query("SELECT SUM(qserv_c0) FROM " + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs within 0.4 deg: self pairs (1,1),(2,2),(3,3) + (1,2),(2,1).
+	// Object 3 is ~0.9 deg from 1 and 2. Object 4 (overlap) is beyond
+	// 0.4 of everything in-chunk (the chunk spans ~2 deg RA).
+	if got := res.Rows[0][0].(int64); got != 5 {
+		t.Errorf("near pairs = %d, want 5", got)
+	}
+	// Subchunk tables were dropped after execution (no caching).
+	if n := w.CachedSubchunkCount(); n != 0 {
+		t.Errorf("leaked %d subchunk materializations", n)
+	}
+}
+
+func TestSubchunkOverlapCrossBorderPair(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	// Object 4 lives in the NEXT chunk but is 0.1 deg past the border;
+	// a 0.5-deg near-neighbor search from object 3... object 3 is at
+	// RAMin+0.1, far from RAMax. Query pairs within 0.5 deg of the
+	// overlap row instead: place a probe subquery over all subchunks
+	// and count pairs with o2 in overlap.
+	reg := w.registry
+	bounds, _ := reg.Chunker.ChunkBounds(chunk)
+	// Add an in-chunk object 0.2 deg inside the RA max edge: within
+	// 0.35 deg of overlap object 4.
+	info, _ := reg.Table("Object")
+	db, _ := w.Engine().Database("LSST")
+	tbl, _ := db.Table(meta.ChunkTableName("Object", chunk))
+	p := sphgeom.NewPoint(bounds.RAMax-0.2, (bounds.DeclMin+bounds.DeclMax)/2)
+	c, s := reg.Chunker.Locate(p)
+	if c != chunk {
+		t.Fatalf("probe point not in chunk: %d vs %d", c, chunk)
+	}
+	if err := tbl.Insert(sqlengine.Row{int64(9), p.RA, p.Decl, 1e-28, 1e-28, 1e-28, 1e-28,
+		1e-28, 1e-28, 1e-28, 0.05, int64(c), int64(s)}); err != nil {
+		t.Fatal(err)
+	}
+	_ = info
+
+	payload := fmt.Sprintf("-- SUBCHUNKS: %d\n"+
+		"SELECT o2.objectId AS qserv_c0 FROM LSST.Object_%d_%d AS o1, LSST.ObjectFullOverlap_%d_%d AS o2 WHERE (qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.4);",
+		s, chunk, s, chunk, s)
+	stream := submit(t, w, chunk, payload)
+	e, name := loadResult(t, stream)
+	res, err := e.Query("SELECT COUNT(*) FROM " + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) < 1 {
+		t.Error("cross-border pair not found via overlap table")
+	}
+}
+
+func TestSubchunkCaching(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.CacheSubChunks = true
+	w, chunk := testWorker(t, cfg)
+	_, s := w.registry.Chunker.Locate(sphgeom.NewPoint(100, 0))
+	payload := fmt.Sprintf("-- SUBCHUNKS: %d\n"+
+		"SELECT COUNT(*) AS n FROM LSST.Object_%d_%d AS o1, LSST.Object_%d_%d AS o2 WHERE (o1.objectId != o2.objectId);",
+		s, chunk, s, chunk, s)
+	submit(t, w, chunk, payload)
+	if n := w.CachedSubchunkCount(); n == 0 {
+		t.Error("caching enabled but nothing cached")
+	}
+	// Re-submission (different SQL so a fresh hash) reuses the cache.
+	payload2 := payload + "\n-- again"
+	submit(t, w, chunk, payload2)
+}
+
+func TestDuplicatePayloadDeduplicated(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	payload := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d;", chunk))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	// Second identical write is accepted and serves the same result.
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	out, err := w.HandleRead(xrd.ResultPath(payload))
+	if err != nil || len(out) == 0 {
+		t.Fatalf("read: %v", err)
+	}
+}
+
+func TestBadPayloads(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	// Malformed SQL: write succeeds (queued), read reports the error.
+	payload := []byte("THIS IS NOT SQL")
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(payload)); err == nil {
+		t.Error("malformed SQL should surface on result read")
+	}
+	// Query against a chunk table the worker does not have.
+	payload2 := []byte("SELECT COUNT(*) FROM LSST.Object_999999;")
+	if err := w.HandleWrite(xrd.QueryPath(999999), payload2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(payload2)); err == nil {
+		t.Error("missing chunk table should surface on result read")
+	}
+	// Bad paths.
+	if err := w.HandleWrite("/nonsense", []byte("x")); err == nil {
+		t.Error("bad write path accepted")
+	}
+	if _, err := w.HandleRead("/result/short"); err == nil {
+		t.Error("bad result hash accepted")
+	}
+	if _, err := w.HandleRead(xrd.ResultPath([]byte("never written"))); err == nil {
+		t.Error("unknown result hash should fail")
+	}
+}
+
+func TestFIFOQueueOrder(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.Slots = 1 // strict FIFO
+	w, chunk := testWorker(t, cfg)
+	var payloads [][]byte
+	for i := 0; i < 5; i++ {
+		p := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d WHERE objectId != %d;", chunk, i))
+		payloads = append(payloads, p)
+		if err := w.HandleWrite(xrd.QueryPath(int(chunk)), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		if _, err := w.HandleRead(xrd.ResultPath(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports := w.Reports()
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].StartedAt.Before(reports[i-1].StartedAt) {
+			t.Errorf("FIFO violated: job %d started before job %d", i, i-1)
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.Slots = 1
+	cfg.QueueDepth = 1
+	w, chunk := testWorker(t, cfg)
+	// Saturate: 1 executing + 1 queued, then overflow.
+	accepted := 0
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d WHERE objectId > %d;", chunk, i))
+		if err := w.HandleWrite(xrd.QueryPath(int(chunk)), p); err == nil {
+			accepted++
+		}
+	}
+	if accepted == 20 {
+		t.Error("queue never filled; depth limit not enforced")
+	}
+	if accepted == 0 {
+		t.Error("nothing accepted")
+	}
+}
+
+func TestResultTimeout(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.Slots = 1
+	cfg.ResultTimeout = 50 * time.Millisecond
+	w, chunk := testWorker(t, cfg)
+	// Occupy the only slot with a long self-join, then ask for a queued
+	// result with a tiny timeout.
+	subs, _ := w.registry.Chunker.AllSubChunks(chunk)
+	var sb strings.Builder
+	sb.WriteString("-- SUBCHUNKS:")
+	for i, s := range subs {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, " %d", s)
+	}
+	sb.WriteString("\n")
+	for _, s := range subs {
+		fmt.Fprintf(&sb, "SELECT COUNT(*) AS n FROM LSST.Object_%d_%d AS o1, LSST.Object_%d_%d AS o2 WHERE (o1.objectId != o2.objectId);\n", chunk, s, chunk, s)
+	}
+	slow := []byte(sb.String())
+	fast := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d;", chunk))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), fast); err != nil {
+		t.Fatal(err)
+	}
+	// Depending on scheduling the fast result may or may not finish in
+	// 50ms; what must NOT happen is an indefinite block.
+	done := make(chan struct{})
+	go func() {
+		_, _ = w.HandleRead(xrd.ResultPath(fast))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("result read blocked past its timeout")
+	}
+}
+
+func TestConcurrentChunkQueries(t *testing.T) {
+	w, chunk := testWorker(t, DefaultConfig("w0"))
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			p := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d WHERE objectId >= %d;", chunk, i%4))
+			if err := w.HandleWrite(xrd.QueryPath(int(chunk)), p); err != nil {
+				errs <- err
+				return
+			}
+			_, err := w.HandleRead(xrd.ResultPath(p))
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSubchunkBaseParsing(t *testing.T) {
+	cases := []struct {
+		in   string
+		base string
+		ok   bool
+	}{
+		{"Object_123_4", "Object", true},
+		{"ObjectFullOverlap_123_4", "Object", true},
+		{"Source_9_0", "Source", true},
+		{"Object_123", "", false},
+		{"Object", "", false},
+		{"Forced_Source_1_2", "Forced_Source", true},
+		{"Object_x_4", "", false},
+	}
+	for _, c := range cases {
+		base, ok := subchunkBase(c.in)
+		if ok != c.ok || base != c.base {
+			t.Errorf("subchunkBase(%q) = %q, %v; want %q, %v", c.in, base, ok, c.base, c.ok)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package xrd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The TCP transport carries the two file transactions over a simple
+// length-prefixed binary protocol, standing in for the xrootd wire
+// protocol:
+//
+//	request:  op byte ('W' or 'R'), u32 path length, path bytes,
+//	          u64 payload length, payload bytes (writes only)
+//	response: status byte (0 = ok), u64 payload length, payload bytes
+//	          (file data for reads, error text on failure)
+
+const (
+	opWrite = 'W'
+	opRead  = 'R'
+)
+
+// maxPathLen bounds request paths to keep a malformed peer from forcing
+// a huge allocation.
+const maxPathLen = 4096
+
+// maxPayload bounds a single file transaction (1 GiB).
+const maxPayload = 1 << 30
+
+// Server exposes a Handler over TCP.
+type Server struct {
+	handler  Handler
+	ln       net.Listener
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+	ErrorLog func(format string, args ...interface{}) // optional
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and begins
+// accepting connections in a background goroutine.
+func Serve(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("xrd: listen %s: %w", addr, err)
+	}
+	s := &Server{handler: handler, ln: ln, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.ErrorLog != nil {
+		s.ErrorLog(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, path, payload, err := readRequest(r)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("xrd: bad request from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		var respData []byte
+		var respErr error
+		switch op {
+		case opWrite:
+			respErr = s.handler.HandleWrite(path, payload)
+		case opRead:
+			respData, respErr = s.handler.HandleRead(path)
+		default:
+			respErr = fmt.Errorf("xrd: unknown op %q", op)
+		}
+		if err := writeResponse(w, respData, respErr); err != nil {
+			s.logf("xrd: write response to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readRequest(r *bufio.Reader) (op byte, path string, payload []byte, err error) {
+	op, err = r.ReadByte()
+	if err != nil {
+		return 0, "", nil, err
+	}
+	var plen uint32
+	if err := binary.Read(r, binary.BigEndian, &plen); err != nil {
+		return 0, "", nil, err
+	}
+	if plen > maxPathLen {
+		return 0, "", nil, fmt.Errorf("xrd: path length %d exceeds limit", plen)
+	}
+	pbuf := make([]byte, plen)
+	if _, err := io.ReadFull(r, pbuf); err != nil {
+		return 0, "", nil, err
+	}
+	var dlen uint64
+	if err := binary.Read(r, binary.BigEndian, &dlen); err != nil {
+		return 0, "", nil, err
+	}
+	if dlen > maxPayload {
+		return 0, "", nil, fmt.Errorf("xrd: payload length %d exceeds limit", dlen)
+	}
+	data := make([]byte, dlen)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return 0, "", nil, err
+	}
+	return op, string(pbuf), data, nil
+}
+
+func writeRequest(w *bufio.Writer, op byte, path string, payload []byte) error {
+	if err := w.WriteByte(op); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(path))); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(path); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func writeResponse(w *bufio.Writer, data []byte, respErr error) error {
+	status := byte(0)
+	if respErr != nil {
+		status = 1
+		data = []byte(respErr.Error())
+	}
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint64(len(data))); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readResponse(r *bufio.Reader) ([]byte, error) {
+	status, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var dlen uint64
+	if err := binary.Read(r, binary.BigEndian, &dlen); err != nil {
+		return nil, err
+	}
+	if dlen > maxPayload {
+		return nil, fmt.Errorf("xrd: response length %d exceeds limit", dlen)
+	}
+	data := make([]byte, dlen)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		return nil, remoteError{msg: "xrd: remote error: " + string(data)}
+	}
+	return data, nil
+}
+
+// TCPEndpoint is an Endpoint that performs transactions against a remote
+// Server, dialing one persistent connection per endpoint (re-dialed on
+// failure).
+type TCPEndpoint struct {
+	name string
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// NewTCPEndpoint creates an endpoint for a remote server. The name is
+// the endpoint's cluster identity; addr its host:port.
+func NewTCPEndpoint(name, addr string) *TCPEndpoint {
+	return &TCPEndpoint{name: name, addr: addr}
+}
+
+// Name implements Endpoint.
+func (t *TCPEndpoint) Name() string { return t.name }
+
+// Close drops the cached connection.
+func (t *TCPEndpoint) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil {
+		err := t.conn.Close()
+		t.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (t *TCPEndpoint) ensureConn() error {
+	if t.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return fmt.Errorf("xrd: dial %s: %w", t.addr, err)
+	}
+	t.conn = conn
+	t.r = bufio.NewReader(conn)
+	t.w = bufio.NewWriter(conn)
+	return nil
+}
+
+func (t *TCPEndpoint) roundTrip(op byte, path string, payload []byte) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// One reconnect attempt on a stale cached connection.
+	for attempt := 0; ; attempt++ {
+		if err := t.ensureConn(); err != nil {
+			return nil, err
+		}
+		if err := writeRequest(t.w, op, path, payload); err == nil {
+			data, err := readResponse(t.r)
+			if err == nil {
+				return data, nil
+			}
+			if _, remote := err.(remoteError); remote {
+				return nil, err
+			}
+			// transport error: drop and maybe retry
+			t.conn.Close()
+			t.conn = nil
+			if attempt > 0 {
+				return nil, err
+			}
+			continue
+		}
+		t.conn.Close()
+		t.conn = nil
+		if attempt > 0 {
+			return nil, fmt.Errorf("xrd: send to %s failed", t.addr)
+		}
+	}
+}
+
+// remoteError distinguishes application-level failures (which should not
+// trigger reconnects) from transport failures.
+type remoteError struct{ msg string }
+
+func (e remoteError) Error() string { return e.msg }
+
+// HandleWrite implements Handler by forwarding over TCP.
+func (t *TCPEndpoint) HandleWrite(path string, data []byte) error {
+	_, err := t.roundTrip(opWrite, path, data)
+	return err
+}
+
+// HandleRead implements Handler by forwarding over TCP.
+func (t *TCPEndpoint) HandleRead(path string) ([]byte, error) {
+	return t.roundTrip(opRead, path, nil)
+}

@@ -1,0 +1,337 @@
+// Package xrd reproduces the role Scalla/Xrootd plays in Qserv (paper
+// sections 5.1.2 and 5.4): a distributed, data-addressed, replicated,
+// fault-tolerant communication facility exposed through file-like
+// transactions.
+//
+// Qserv uses exactly two transactions:
+//
+//  1. dispatch — open xrootd://<manager>/query2/CC for writing, write the
+//     chunk query, close;
+//  2. results — open xrootd://<worker>/result/H for reading (H = the MD5
+//     hash of the chunk query, 32 hex digits), read to EOF, close.
+//
+// A cluster is a set of data servers (Qserv workers act as one by
+// plugging in a custom "ofs" file-system handler) plus a redirector: a
+// caching namespace lookup service that points clients at data servers
+// holding the requested path. Replicated chunks appear as multiple
+// servers exporting the same path; the client fails over between them.
+package xrd
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrOffline marks an endpoint that is administratively or abruptly down.
+// Failure-injection tests use it to verify client failover.
+var ErrOffline = errors.New("xrd: endpoint offline")
+
+// ErrNoServer is returned when no live endpoint exports a path.
+var ErrNoServer = errors.New("xrd: no server exports path")
+
+// Handler is the "ofs plugin" interface a data server implements: it
+// receives complete write transactions and serves complete reads.
+type Handler interface {
+	// HandleWrite processes a full write transaction (open-write-close).
+	HandleWrite(path string, data []byte) error
+	// HandleRead serves a full read transaction (open-read-close).
+	HandleRead(path string) ([]byte, error)
+}
+
+// Endpoint is a reachable data server: a Handler plus liveness.
+type Endpoint interface {
+	Handler
+	// Name identifies the endpoint (worker id or host:port).
+	Name() string
+}
+
+// QueryPath builds the dispatch path for a chunk (query2/CC).
+func QueryPath(chunkID int) string { return fmt.Sprintf("/query2/%d", chunkID) }
+
+// ResultPath builds the hash-addressed result path for a chunk query
+// payload: /result/H where H is the payload's MD5 in 32 hex digits.
+func ResultPath(chunkQuery []byte) string {
+	sum := md5.Sum(chunkQuery)
+	return "/result/" + hex.EncodeToString(sum[:])
+}
+
+// ExportKey derives the namespace key used for redirector lookups. Query
+// dispatch paths are data-addressed by chunk, so the whole path is the
+// key; other paths are keyed by their first segment.
+func ExportKey(path string) string {
+	p := strings.TrimPrefix(path, "/")
+	if strings.HasPrefix(p, "query2/") {
+		return "/" + p
+	}
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return "/" + p[:i]
+	}
+	return "/" + p
+}
+
+// Redirector is the caching namespace lookup service. Data servers
+// register the paths they export; clients ask which servers can satisfy
+// a path. Lookups are cheap (a map read) and results are stable until
+// registrations change, mirroring the xrootd redirector's role.
+type Redirector struct {
+	mu        sync.RWMutex
+	exports   map[string][]string // export key -> endpoint names (replicas)
+	endpoints map[string]Endpoint
+	down      map[string]bool
+}
+
+// NewRedirector creates an empty redirector.
+func NewRedirector() *Redirector {
+	return &Redirector{
+		exports:   map[string][]string{},
+		endpoints: map[string]Endpoint{},
+		down:      map[string]bool{},
+	}
+}
+
+// Register adds a data server and the export keys it serves. Repeated
+// registration extends the export set (chunks can be added).
+func (r *Redirector) Register(ep Endpoint, exportKeys ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.endpoints[ep.Name()] = ep
+	for _, key := range exportKeys {
+		names := r.exports[key]
+		found := false
+		for _, n := range names {
+			if n == ep.Name() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.exports[key] = append(names, ep.Name())
+		}
+	}
+}
+
+// SetDown marks an endpoint's liveness; a down endpoint is skipped by
+// Lookup so clients fail over to replicas.
+func (r *Redirector) SetDown(name string, down bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down[name] = down
+}
+
+// IsDown reports the administrative liveness flag of an endpoint.
+func (r *Redirector) IsDown(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.down[name]
+}
+
+// Lookup returns the live endpoints exporting the path, in registration
+// order. It implements the redirector's caching namespace lookup.
+func (r *Redirector) Lookup(path string) ([]Endpoint, error) {
+	key := ExportKey(path)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := r.exports[key]
+	var out []Endpoint
+	for _, n := range names {
+		if r.down[n] {
+			continue
+		}
+		if ep, ok := r.endpoints[n]; ok {
+			out = append(out, ep)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoServer, path)
+	}
+	return out, nil
+}
+
+// Endpoint returns a registered endpoint by name.
+func (r *Redirector) Endpoint(name string) (Endpoint, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ep, ok := r.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("xrd: unknown endpoint %q", name)
+	}
+	if r.down[name] {
+		return nil, fmt.Errorf("%w: %s", ErrOffline, name)
+	}
+	return ep, nil
+}
+
+// EndpointNames lists registered endpoints in sorted order.
+func (r *Redirector) EndpointNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.endpoints))
+	for n := range r.endpoints {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exports returns the endpoint names registered for an export key.
+func (r *Redirector) Exports(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.exports[key]...)
+}
+
+// Client performs the two Qserv file transactions against a cluster,
+// with redirector lookup and replica failover.
+type Client struct {
+	red *Redirector
+}
+
+// NewClient creates a client bound to a redirector.
+func NewClient(red *Redirector) *Client { return &Client{red: red} }
+
+// Write performs transaction 1: it looks up the path, opens it for
+// writing at the first live server (failing over through replicas),
+// writes data, and closes. It returns the name of the endpoint that
+// accepted the write — results must later be read from that same server
+// (the paper's result URL names the worker, not the manager).
+func (c *Client) Write(path string, data []byte) (string, error) {
+	return c.WriteAvoiding(path, data, nil)
+}
+
+// WriteAvoiding is Write that skips the named endpoints; the czar uses
+// it to retry a chunk on a replica after the primary died mid-query.
+func (c *Client) WriteAvoiding(path string, data []byte, avoid map[string]bool) (string, error) {
+	eps, err := c.red.Lookup(path)
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	tried := 0
+	for _, ep := range eps {
+		if avoid[ep.Name()] {
+			continue
+		}
+		tried++
+		if err := ep.HandleWrite(path, data); err != nil {
+			lastErr = err
+			continue
+		}
+		return ep.Name(), nil
+	}
+	if tried == 0 {
+		return "", fmt.Errorf("%w: %s (all replicas excluded)", ErrNoServer, path)
+	}
+	return "", fmt.Errorf("xrd: write %s failed on all %d replicas: %w", path, tried, lastErr)
+}
+
+// ReadFrom performs transaction 2 against a specific endpoint: open the
+// (hash-addressed) path for reading, read until EOF, close.
+func (c *Client) ReadFrom(endpointName, path string) ([]byte, error) {
+	ep, err := c.red.Endpoint(endpointName)
+	if err != nil {
+		return nil, err
+	}
+	return ep.HandleRead(path)
+}
+
+// Read performs transaction 2 via redirector lookup with failover, for
+// paths that are replicated rather than worker-pinned.
+func (c *Client) Read(path string) ([]byte, error) {
+	eps, err := c.red.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, ep := range eps {
+		data, err := ep.HandleRead(path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return data, nil
+	}
+	return nil, fmt.Errorf("xrd: read %s failed on all %d replicas: %w", path, len(eps), lastErr)
+}
+
+// LocalEndpoint wraps a Handler as an in-process endpoint. It supports
+// fault injection: a downed endpoint fails every transaction with
+// ErrOffline, emulating an abrupt worker death.
+type LocalEndpoint struct {
+	name    string
+	handler Handler
+	mu      sync.RWMutex
+	down    bool
+}
+
+// NewLocalEndpoint wraps handler under the given name.
+func NewLocalEndpoint(name string, handler Handler) *LocalEndpoint {
+	return &LocalEndpoint{name: name, handler: handler}
+}
+
+// Name implements Endpoint.
+func (l *LocalEndpoint) Name() string { return l.name }
+
+// SetDown toggles abrupt-failure injection at the endpoint itself
+// (distinct from the redirector's administrative flag: the redirector
+// may still believe the endpoint is alive).
+func (l *LocalEndpoint) SetDown(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = down
+}
+
+// HandleWrite implements Handler with fault injection.
+func (l *LocalEndpoint) HandleWrite(path string, data []byte) error {
+	l.mu.RLock()
+	down := l.down
+	l.mu.RUnlock()
+	if down {
+		return fmt.Errorf("%w: %s", ErrOffline, l.name)
+	}
+	return l.handler.HandleWrite(path, data)
+}
+
+// HandleRead implements Handler with fault injection.
+func (l *LocalEndpoint) HandleRead(path string) ([]byte, error) {
+	l.mu.RLock()
+	down := l.down
+	l.mu.RUnlock()
+	if down {
+		return nil, fmt.Errorf("%w: %s", ErrOffline, l.name)
+	}
+	return l.handler.HandleRead(path)
+}
+
+// FileStore is a trivial in-memory Handler storing whole files by path;
+// useful as a plain xrootd data server (and in tests).
+type FileStore struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewFileStore creates an empty store.
+func NewFileStore() *FileStore { return &FileStore{files: map[string][]byte{}} }
+
+// HandleWrite stores the file.
+func (fs *FileStore) HandleWrite(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// HandleRead returns the file or an error when absent.
+func (fs *FileStore) HandleRead(path string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	data, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("xrd: no such file %q", path)
+	}
+	return append([]byte(nil), data...), nil
+}

@@ -1,0 +1,396 @@
+package xrd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestQueryAndResultPaths(t *testing.T) {
+	if got := QueryPath(1234); got != "/query2/1234" {
+		t.Errorf("QueryPath = %q", got)
+	}
+	p := ResultPath([]byte("SELECT 1"))
+	if !strings.HasPrefix(p, "/result/") {
+		t.Fatalf("ResultPath = %q", p)
+	}
+	hash := strings.TrimPrefix(p, "/result/")
+	if len(hash) != 32 {
+		t.Errorf("hash length = %d, want 32 hex digits", len(hash))
+	}
+	// Deterministic and content-addressed.
+	if ResultPath([]byte("SELECT 1")) != p {
+		t.Error("ResultPath not deterministic")
+	}
+	if ResultPath([]byte("SELECT 2")) == p {
+		t.Error("different payloads must hash differently")
+	}
+}
+
+func TestExportKey(t *testing.T) {
+	cases := map[string]string{
+		"/query2/55":     "/query2/55",
+		"query2/55":      "/query2/55",
+		"/result/abc123": "/result",
+		"/meta":          "/meta",
+	}
+	for in, want := range cases {
+		if got := ExportKey(in); got != want {
+			t.Errorf("ExportKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRedirectorLookup(t *testing.T) {
+	red := NewRedirector()
+	a := NewLocalEndpoint("worker-a", NewFileStore())
+	b := NewLocalEndpoint("worker-b", NewFileStore())
+	red.Register(a, "/query2/1", "/query2/2")
+	red.Register(b, "/query2/2", "/query2/3")
+
+	eps, err := red.Lookup("/query2/1")
+	if err != nil || len(eps) != 1 || eps[0].Name() != "worker-a" {
+		t.Fatalf("lookup 1: %v %v", eps, err)
+	}
+	eps, err = red.Lookup("/query2/2")
+	if err != nil || len(eps) != 2 {
+		t.Fatalf("lookup replicated: %v %v", eps, err)
+	}
+	if _, err := red.Lookup("/query2/99"); !errors.Is(err, ErrNoServer) {
+		t.Errorf("missing chunk should be ErrNoServer, got %v", err)
+	}
+}
+
+func TestRedirectorDuplicateRegistration(t *testing.T) {
+	red := NewRedirector()
+	a := NewLocalEndpoint("w", NewFileStore())
+	red.Register(a, "/query2/1")
+	red.Register(a, "/query2/1") // idempotent
+	if got := red.Exports("/query2/1"); len(got) != 1 {
+		t.Errorf("duplicate registration: %v", got)
+	}
+}
+
+func TestClientWriteReadRoundTrip(t *testing.T) {
+	red := NewRedirector()
+	store := NewFileStore()
+	ep := NewLocalEndpoint("w1", store)
+	red.Register(ep, "/query2/42", "/result")
+	c := NewClient(red)
+
+	payload := []byte("-- SUBCHUNKS: 0\nSELECT 1;")
+	name, err := c.Write(QueryPath(42), payload)
+	if err != nil || name != "w1" {
+		t.Fatalf("write: %q %v", name, err)
+	}
+	// The store holds the exact bytes.
+	got, err := c.ReadFrom("w1", QueryPath(42))
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("read back: %q %v", got, err)
+	}
+}
+
+func TestClientFailover(t *testing.T) {
+	red := NewRedirector()
+	bad := NewLocalEndpoint("bad", NewFileStore())
+	good := NewLocalEndpoint("good", NewFileStore())
+	bad.SetDown(true) // abrupt failure: redirector still lists it
+	red.Register(bad, "/query2/7")
+	red.Register(good, "/query2/7")
+	c := NewClient(red)
+
+	name, err := c.Write(QueryPath(7), []byte("x"))
+	if err != nil {
+		t.Fatalf("failover write failed: %v", err)
+	}
+	if name != "good" {
+		t.Errorf("wrote to %q, want failover to good", name)
+	}
+}
+
+func TestClientAdministrativeDown(t *testing.T) {
+	red := NewRedirector()
+	a := NewLocalEndpoint("a", NewFileStore())
+	b := NewLocalEndpoint("b", NewFileStore())
+	red.Register(a, "/query2/9")
+	red.Register(b, "/query2/9")
+	red.SetDown("a", true)
+	c := NewClient(red)
+	name, err := c.Write(QueryPath(9), []byte("x"))
+	if err != nil || name != "b" {
+		t.Fatalf("administrative down not skipped: %q %v", name, err)
+	}
+	// Reading from a downed endpoint fails.
+	if _, err := c.ReadFrom("a", "/anything"); !errors.Is(err, ErrOffline) {
+		t.Errorf("read from down endpoint: %v", err)
+	}
+	red.SetDown("a", false)
+	if name, _ := c.Write(QueryPath(9), []byte("y")); name != "a" {
+		t.Errorf("endpoint not restored: wrote to %q", name)
+	}
+}
+
+func TestClientAllReplicasDown(t *testing.T) {
+	red := NewRedirector()
+	a := NewLocalEndpoint("a", NewFileStore())
+	a.SetDown(true)
+	red.Register(a, "/query2/5")
+	c := NewClient(red)
+	if _, err := c.Write(QueryPath(5), []byte("x")); err == nil {
+		t.Error("write with all replicas dead should fail")
+	}
+}
+
+func TestReadWithFailover(t *testing.T) {
+	red := NewRedirector()
+	a := NewLocalEndpoint("a", NewFileStore())
+	bstore := NewFileStore()
+	if err := bstore.HandleWrite("/meta/x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	b := NewLocalEndpoint("b", bstore)
+	a.SetDown(true)
+	red.Register(a, "/meta")
+	red.Register(b, "/meta")
+	c := NewClient(red)
+	got, err := c.Read("/meta/x")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("read failover: %q %v", got, err)
+	}
+}
+
+func TestFileStoreIsolation(t *testing.T) {
+	fs := NewFileStore()
+	data := []byte("abc")
+	if err := fs.HandleWrite("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // caller mutation must not affect the store
+	got, err := fs.HandleRead("/f")
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("store not isolated: %q %v", got, err)
+	}
+	got[0] = 'Y' // reader mutation must not affect the store
+	got2, _ := fs.HandleRead("/f")
+	if string(got2) != "abc" {
+		t.Error("read buffer not isolated")
+	}
+	if _, err := fs.HandleRead("/missing"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	store := NewFileStore()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ep := NewTCPEndpoint("w1", srv.Addr())
+	defer ep.Close()
+
+	payload := []byte("SELECT * FROM Object_55;")
+	if err := ep.HandleWrite("/query2/55", payload); err != nil {
+		t.Fatalf("tcp write: %v", err)
+	}
+	got, err := ep.HandleRead("/query2/55")
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("tcp read: %q %v", got, err)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	store := NewFileStore()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ep := NewTCPEndpoint("w1", srv.Addr())
+	defer ep.Close()
+	_, err = ep.HandleRead("/no/such/file")
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("remote error not propagated: %v", err)
+	}
+	// The connection survives an application error.
+	if err := ep.HandleWrite("/f", []byte("x")); err != nil {
+		t.Fatalf("connection died after remote error: %v", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	store := NewFileStore()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ep := NewTCPEndpoint("w1", srv.Addr())
+	defer ep.Close()
+	big := make([]byte, 4<<20) // 4 MiB, a realistic chunk result
+	for i := range big {
+		big[i] = byte(i % 251)
+	}
+	if err := ep.HandleWrite("/result/big", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ep.HandleRead("/result/big")
+	if err != nil || len(got) != len(big) {
+		t.Fatalf("large read: %d bytes, %v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestTCPReconnectAfterServerRestart(t *testing.T) {
+	store := NewFileStore()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ep := NewTCPEndpoint("w1", addr)
+	defer ep.Close()
+	if err := ep.HandleWrite("/f", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Restart on the same address.
+	srv2, err := Serve(addr, store)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if err := ep.HandleWrite("/f", []byte("2")); err != nil {
+		t.Fatalf("reconnect failed: %v", err)
+	}
+	got, err := ep.HandleRead("/f")
+	if err != nil || string(got) != "2" {
+		t.Fatalf("after reconnect: %q %v", got, err)
+	}
+}
+
+func TestTCPServerDownFails(t *testing.T) {
+	store := NewFileStore()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+	ep := NewTCPEndpoint("w1", addr)
+	defer ep.Close()
+	if err := ep.HandleWrite("/f", []byte("x")); err == nil {
+		t.Error("write to dead server should fail")
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	store := NewFileStore()
+	srv, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ep := NewTCPEndpoint(fmt.Sprintf("c%d", k), srv.Addr())
+			defer ep.Close()
+			path := fmt.Sprintf("/query2/%d", k)
+			payload := []byte(fmt.Sprintf("payload-%d", k))
+			for j := 0; j < 20; j++ {
+				if err := ep.HandleWrite(path, payload); err != nil {
+					errs <- err
+					return
+				}
+				got, err := ep.HandleRead(path)
+				if err != nil || string(got) != string(payload) {
+					errs <- fmt.Errorf("mismatch on %s: %q %v", path, got, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPEndpointThroughRedirector(t *testing.T) {
+	// Full fabric: TCP servers registered with a redirector, dispatched
+	// through the client exactly as the czar would.
+	store1, store2 := NewFileStore(), NewFileStore()
+	srv1, err := Serve("127.0.0.1:0", store1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+	srv2, err := Serve("127.0.0.1:0", store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	red := NewRedirector()
+	red.Register(NewTCPEndpoint("w1", srv1.Addr()), "/query2/1")
+	red.Register(NewTCPEndpoint("w2", srv2.Addr()), "/query2/2")
+	c := NewClient(red)
+
+	if name, err := c.Write(QueryPath(1), []byte("q1")); err != nil || name != "w1" {
+		t.Fatalf("dispatch 1: %q %v", name, err)
+	}
+	if name, err := c.Write(QueryPath(2), []byte("q2")); err != nil || name != "w2" {
+		t.Fatalf("dispatch 2: %q %v", name, err)
+	}
+	// Verify the data landed on the right servers.
+	if _, err := store1.HandleRead("/query2/1"); err != nil {
+		t.Error("w1 did not receive its chunk query")
+	}
+	if _, err := store2.HandleRead("/query2/1"); err == nil {
+		t.Error("w2 should not have chunk 1")
+	}
+}
+
+func BenchmarkLocalWriteRead(b *testing.B) {
+	red := NewRedirector()
+	red.Register(NewLocalEndpoint("w", NewFileStore()), "/query2/1")
+	c := NewClient(red)
+	payload := []byte(strings.Repeat("x", 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write("/query2/1", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPWriteRead(b *testing.B) {
+	srv, err := Serve("127.0.0.1:0", NewFileStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ep := NewTCPEndpoint("w", srv.Addr())
+	defer ep.Close()
+	payload := []byte(strings.Repeat("x", 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep.HandleWrite("/q", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+// Package qserv is the public API of this reproduction of "Qserv: a
+// distributed shared-nothing database for the LSST catalog" (Wang,
+// Monkewitz, Lim, Becla; SC'11).
+//
+// A Cluster assembles the full system of the paper's Figure 1: a czar
+// (master frontend with query rewriting, the objectId secondary index
+// and result merging), N workers (each an embedded SQL engine holding
+// spatially partitioned chunk tables plus overlap), and an xrd fabric
+// (redirector + data-addressed file transactions) connecting them.
+//
+// Quickstart:
+//
+//	cat, _ := datagen.Generate(datagen.DefaultConfig(), datagen.DefaultDuplicateConfig())
+//	cluster, _ := qserv.NewCluster(qserv.DefaultClusterConfig(8))
+//	defer cluster.Close()
+//	_ = cluster.Load(cat)
+//	res, _ := cluster.Query("SELECT COUNT(*) FROM Object")
+package qserv
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/czar"
+	"repro/internal/datagen"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sphgeom"
+	"repro/internal/sqlengine"
+	"repro/internal/worker"
+	"repro/internal/xrd"
+)
+
+// ClusterConfig sizes an in-process cluster.
+type ClusterConfig struct {
+	// Workers is the number of worker nodes.
+	Workers int
+	// Replication is the number of workers holding each chunk.
+	Replication int
+	// Partition is the two-level partitioning geometry.
+	Partition partition.Config
+	// WorkerSlots is the per-worker parallel query limit (paper: 4).
+	WorkerSlots int
+	// CacheSubChunks enables worker-side subchunk table caching.
+	CacheSubChunks bool
+	// ResultTimeout bounds a single chunk-result wait.
+	ResultTimeout time.Duration
+}
+
+// DefaultClusterConfig returns a laptop-scale configuration: a coarse
+// 18-stripe partitioning (instead of the paper's 85) so small synthetic
+// catalogs still put meaningful row counts in each chunk.
+func DefaultClusterConfig(workers int) ClusterConfig {
+	return ClusterConfig{
+		Workers:     workers,
+		Replication: 1,
+		Partition: partition.Config{
+			NumStripes:             18,
+			NumSubStripesPerStripe: 4,
+			Overlap:                0.5,
+		},
+		WorkerSlots:   4,
+		ResultTimeout: 2 * time.Minute,
+	}
+}
+
+// Validate checks the configuration.
+func (c ClusterConfig) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("qserv: Workers must be >= 1")
+	}
+	if c.Replication < 1 {
+		return fmt.Errorf("qserv: Replication must be >= 1")
+	}
+	if c.Replication > c.Workers {
+		return fmt.Errorf("qserv: Replication %d exceeds Workers %d", c.Replication, c.Workers)
+	}
+	return c.Partition.Validate()
+}
+
+// Cluster is a fully assembled in-process Qserv deployment.
+type Cluster struct {
+	Config     ClusterConfig
+	Chunker    *partition.Chunker
+	Registry   *meta.Registry
+	Redirector *xrd.Redirector
+	Placement  *meta.Placement
+	Index      *meta.ObjectIndex
+	Workers    []*worker.Worker
+	Czar       *czar.Czar
+
+	endpoints map[string]*xrd.LocalEndpoint
+}
+
+// NewCluster builds the cluster skeleton; call Load to install data.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	chunker, err := partition.NewChunker(cfg.Partition)
+	if err != nil {
+		return nil, err
+	}
+	registry := meta.LSSTRegistry(chunker)
+	cl := &Cluster{
+		Config:     cfg,
+		Chunker:    chunker,
+		Registry:   registry,
+		Redirector: xrd.NewRedirector(),
+		Placement:  meta.NewPlacement(),
+		Index:      meta.NewObjectIndex(),
+		endpoints:  map[string]*xrd.LocalEndpoint{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		wcfg := worker.DefaultConfig(fmt.Sprintf("worker-%03d", i))
+		wcfg.Slots = cfg.WorkerSlots
+		wcfg.CacheSubChunks = cfg.CacheSubChunks
+		if cfg.ResultTimeout > 0 {
+			wcfg.ResultTimeout = cfg.ResultTimeout
+		}
+		w := worker.New(wcfg, registry)
+		cl.Workers = append(cl.Workers, w)
+		ep := xrd.NewLocalEndpoint(w.Name(), w)
+		cl.endpoints[w.Name()] = ep
+		cl.Redirector.Register(ep, "/result")
+	}
+	cl.Czar = czar.New(czar.DefaultConfig("czar-0"), registry, cl.Index, cl.Placement, cl.Redirector)
+	return cl, nil
+}
+
+// Close stops all workers.
+func (cl *Cluster) Close() {
+	for _, w := range cl.Workers {
+		w.Close()
+	}
+}
+
+// Endpoint returns a worker's fabric endpoint (failure injection).
+func (cl *Cluster) Endpoint(name string) *xrd.LocalEndpoint { return cl.endpoints[name] }
+
+// WorkerByName returns a worker.
+func (cl *Cluster) WorkerByName(name string) *worker.Worker {
+	for _, w := range cl.Workers {
+		if w.Name() == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Load partitions the catalog, distributes chunk and overlap tables to
+// workers round-robin with the configured replication, builds the
+// objectId secondary index, registers chunk exports with the
+// redirector, and replicates small tables everywhere.
+func (cl *Cluster) Load(cat *datagen.Catalog) error {
+	objInfo, err := cl.Registry.Table("Object")
+	if err != nil {
+		return err
+	}
+	srcInfo, err := cl.Registry.Table("Source")
+	if err != nil {
+		return err
+	}
+
+	objRows, objOverlap, err := cl.partitionRows(len(cat.Objects), objInfo, func(i int) (sphgeom.Point, func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row) {
+		o := cat.Objects[i]
+		return o.Point(), func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
+			return objectRow(o, c, s)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	srcRows, srcOverlap, err := cl.partitionRows(len(cat.Sources), srcInfo, func(i int) (sphgeom.Point, func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row) {
+		s := cat.Sources[i]
+		return s.Point(), func(c partition.ChunkID, sc partition.SubChunkID) sqlengine.Row {
+			return sourceRow(s, c, sc)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	// The placed chunk set is every chunk holding any data.
+	placedSet := map[partition.ChunkID]bool{}
+	for c := range objRows {
+		placedSet[c] = true
+	}
+	for c := range srcRows {
+		placedSet[c] = true
+	}
+	placed := make([]partition.ChunkID, 0, len(placedSet))
+	for c := range placedSet {
+		placed = append(placed, c)
+	}
+	sortChunkIDs(placed)
+
+	workerNames := make([]string, len(cl.Workers))
+	for i, w := range cl.Workers {
+		workerNames[i] = w.Name()
+	}
+	placement, err := meta.RoundRobin(placed, workerNames, cl.Config.Replication)
+	if err != nil {
+		return err
+	}
+	// Install the assignment into the czar-visible placement.
+	for _, c := range placed {
+		cl.Placement.Assign(c, placement.Workers(c)...)
+	}
+
+	// Ship tables to workers and register fabric exports.
+	for _, c := range placed {
+		for _, name := range placement.Workers(c) {
+			w := cl.WorkerByName(name)
+			if w == nil {
+				return fmt.Errorf("qserv: unknown worker %q", name)
+			}
+			if err := w.LoadChunk(objInfo, c, objRows[c], objOverlap[c]); err != nil {
+				return err
+			}
+			if err := w.LoadChunk(srcInfo, c, srcRows[c], srcOverlap[c]); err != nil {
+				return err
+			}
+			cl.Redirector.Register(cl.endpoints[name], xrd.QueryPath(int(c)))
+		}
+	}
+
+	// Secondary index: objectId -> (chunk, subchunk), paper section 5.5.
+	for _, o := range cat.Objects {
+		c, s := cl.Chunker.Locate(o.Point())
+		cl.Index.Put(o.ObjectID, meta.ChunkSub{Chunk: c, Sub: s})
+	}
+
+	// Small unpartitioned tables are replicated to every worker and the
+	// czar (which answers them locally).
+	filterInfo, err := cl.Registry.Table("Filter")
+	if err != nil {
+		return err
+	}
+	filterRows := []sqlengine.Row{
+		{int64(0), "u"}, {int64(1), "g"}, {int64(2), "r"},
+		{int64(3), "i"}, {int64(4), "z"}, {int64(5), "y"},
+	}
+	for _, w := range cl.Workers {
+		if err := w.LoadShared("Filter", filterInfo.Schema, filterRows); err != nil {
+			return err
+		}
+	}
+	czarDB, err := cl.Czar.Engine().Database(cl.Registry.DB)
+	if err != nil {
+		return err
+	}
+	ft := sqlengine.NewTable("Filter", filterInfo.Schema)
+	if err := ft.Insert(filterRows...); err != nil {
+		return err
+	}
+	czarDB.Put(ft)
+	return nil
+}
+
+// partitionRows assigns n items to chunk tables and overlap tables.
+func (cl *Cluster) partitionRows(n int, info *meta.TableInfo,
+	item func(i int) (sphgeom.Point, func(partition.ChunkID, partition.SubChunkID) sqlengine.Row),
+) (map[partition.ChunkID][]sqlengine.Row, map[partition.ChunkID][]sqlengine.Row, error) {
+	rows := map[partition.ChunkID][]sqlengine.Row{}
+	overlap := map[partition.ChunkID][]sqlengine.Row{}
+	margin := cl.Chunker.Config().Overlap
+	for i := 0; i < n; i++ {
+		p, mk := item(i)
+		own, sub := cl.Chunker.Locate(p)
+		rows[own] = append(rows[own], mk(own, sub))
+		if margin <= 0 {
+			continue
+		}
+		// The row also lands in the overlap table of every nearby chunk
+		// whose dilated bounds contain it.
+		probe := sphgeom.NewBox(p.RA-margin*3, p.RA+margin*3, p.Decl-margin*3, p.Decl+margin*3)
+		for _, c := range cl.Chunker.ChunksIn(probe) {
+			if c == own {
+				continue
+			}
+			in, err := cl.Chunker.InOverlap(c, p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if in {
+				// Overlap rows keep their own chunk/subchunk ids.
+				overlap[c] = append(overlap[c], mk(own, sub))
+			}
+		}
+	}
+	_ = info
+	return rows, overlap, nil
+}
+
+func sortChunkIDs(cs []partition.ChunkID) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// objectRow converts an Object to the meta.ObjectSchema column order.
+func objectRow(o datagen.Object, c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
+	return sqlengine.Row{
+		o.ObjectID, o.RA, o.Decl,
+		o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux,
+		o.UFluxSG, o.URadiusPS,
+		int64(c), int64(s),
+	}
+}
+
+// sourceRow converts a Source to the meta.SourceSchema column order.
+func sourceRow(src datagen.Source, c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
+	return sqlengine.Row{
+		src.SourceID, src.ObjectID, src.TaiMidPoint,
+		src.RA, src.Decl, src.PsfFlux, src.PsfFluxErr, src.FilterID,
+		int64(c), int64(s),
+	}
+}
+
+// Query submits SQL to the czar.
+func (cl *Cluster) Query(sql string) (*czar.QueryResult, error) {
+	return cl.Czar.Query(sql)
+}
+
+// SingleNodeOracle loads the same catalog into one plain engine — the
+// correctness oracle distributed answers are compared against, and the
+// mainstream-RDBMS baseline of paper section 3.
+func SingleNodeOracle(cat *datagen.Catalog, chunker *partition.Chunker) (*sqlengine.Engine, error) {
+	e := sqlengine.New("LSST")
+	db, err := e.Database("LSST")
+	if err != nil {
+		return nil, err
+	}
+	obj := sqlengine.NewTable("Object", meta.ObjectSchema())
+	for _, o := range cat.Objects {
+		c, s := chunker.Locate(o.Point())
+		if err := obj.Insert(objectRow(o, c, s)); err != nil {
+			return nil, err
+		}
+	}
+	if err := obj.CreateIndex("objectId"); err != nil {
+		return nil, err
+	}
+	db.Put(obj)
+	src := sqlengine.NewTable("Source", meta.SourceSchema())
+	for _, s := range cat.Sources {
+		c, sc := chunker.Locate(s.Point())
+		if err := src.Insert(sourceRow(s, c, sc)); err != nil {
+			return nil, err
+		}
+	}
+	if err := src.CreateIndex("objectId"); err != nil {
+		return nil, err
+	}
+	db.Put(src)
+	return e, nil
+}
