@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The tier-1 gate, mechanically.
+verify: build vet race
+
+bench:
+	$(GO) run ./cmd/qserv-bench -exp all

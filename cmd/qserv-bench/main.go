@@ -18,11 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	qserv "repro"
 	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/htm"
 	"repro/internal/meta"
@@ -122,6 +125,7 @@ func experiments() []experiment {
 		{"ablate-subchunk", "A2: subchunked O(kn) vs naive O(n^2) join", runAblateSubchunk},
 		{"ablate-overlap", "A3: overlap completeness for cross-border pairs", runAblateOverlap},
 		{"ablate-scanshare", "A4: shared scanning vs independent scans", runAblateScanshare},
+		{"ablate-scanshare-live", "A4b: shared scans + two-class scheduler on the live worker path", runAblateScanshareLive},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -455,6 +459,118 @@ func runAblateScanshare(ctx *benchCtx) error {
 	fmt.Printf("  independent I/O: %d bytes\n", independent)
 	fmt.Printf("  shared I/O:      %d bytes  (%.1fx less)\n", shared, float64(independent)/float64(shared))
 	return nil
+}
+
+// runAblateScanshareLive drives shared scanning through the real
+// cluster path (czar -> xrd -> two-class worker scheduler), unlike A4's
+// standalone scanner demo: K concurrent full-scan queries convoy over
+// the same chunk tables while an interactive objectId stream rides the
+// dedicated interactive slots.
+func runAblateScanshareLive(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: 900, MeanSourcesPerObject: 0},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 20},
+	)
+	if err != nil {
+		return err
+	}
+	cfg := qserv.DefaultClusterConfig(2)
+	cfg.WorkerSlots = 2 // a scan-lane backlog makes gangs coalesce
+	cfg.ScanPieceRows = 128
+	cl, err := qserv.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Load(cat); err != nil {
+		return err
+	}
+
+	const scans = 6
+	var wg sync.WaitGroup
+	scanErrs := make([]error, scans)
+	for i := 0; i < scans; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct predicates per query: identical payloads would
+			// deduplicate at the worker instead of convoying.
+			sql := fmt.Sprintf("SELECT COUNT(*) AS n FROM Object WHERE uFlux_PS > %g", 1e-31*float64(i+1))
+			_, scanErrs[i] = cl.Query(sql)
+		}(i)
+	}
+	interactive := 0
+	for i := 0; i < 24; i++ {
+		id := int64(1 + i*13)
+		if _, err := cl.Query(fmt.Sprintf("SELECT * FROM Object WHERE objectId = %d", id)); err != nil {
+			return err
+		}
+		interactive++
+	}
+	wg.Wait()
+	for _, err := range scanErrs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var physical, logical, saved, pieces int64
+	convoys := 0
+	var intWaits, scanWaits []time.Duration
+	for _, w := range cl.Workers {
+		st := w.ScanStats()
+		physical += st.BytesRead
+		saved += st.ScansSaved
+		pieces += st.PiecesRead
+		convoys += st.Convoys
+		for _, r := range w.Reports() {
+			logical += r.Stats.SharedSeqBytes
+			switch r.Class {
+			case core.Interactive:
+				intWaits = append(intWaits, r.QueueWait())
+			case core.FullScan:
+				scanWaits = append(scanWaits, r.QueueWait())
+			}
+		}
+	}
+	fmt.Printf("claim (section 4.3): convoy scheduling on the live path shares scan I/O without starving interactive queries\n")
+	fmt.Printf("workload: %d concurrent full-scan queries + %d interactive dives on a %d-worker cluster\n",
+		scans, interactive, cfg.Workers)
+	fmt.Printf("  convoy tables: %d, piece reads: %d, scans saved: %d\n", convoys, pieces, saved)
+	fmt.Printf("  independent scans would read: %d bytes\n", logical)
+	if physical > 0 {
+		fmt.Printf("  shared scans physically read:  %d bytes  (%.2fx less)\n",
+			physical, float64(logical)/float64(physical))
+	} else {
+		fmt.Printf("  shared scans physically read:  %d bytes\n", physical)
+	}
+	p95Int := percentile(intWaits, 95)
+	p50Scan := percentile(scanWaits, 50)
+	fmt.Printf("  interactive queue wait p95: %v  (%d chunk queries)\n", p95Int, len(intWaits))
+	fmt.Printf("  scan queue wait        p50: %v  (%d chunk queries)\n", p50Scan, len(scanWaits))
+	switch {
+	case physical >= logical:
+		fmt.Printf("  RESULT: FAIL — sharing saved nothing\n")
+	case p95Int >= p50Scan:
+		fmt.Printf("  RESULT: FAIL — interactive queries waited like scans\n")
+	default:
+		fmt.Printf("  RESULT: ok — scans shared, interactive lane unblocked\n")
+	}
+	return nil
+}
+
+// percentile returns the pth nearest-rank percentile of ds.
+func percentile(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 func runAblateIndex(ctx *benchCtx) error {

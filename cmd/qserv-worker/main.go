@@ -23,15 +23,18 @@ import (
 )
 
 var (
-	nameFlag    = flag.String("name", "w0", "this worker's cluster name")
-	addrFlag    = flag.String("addr", "127.0.0.1:7001", "listen address")
-	peersFlag   = flag.String("peers", "w0", "comma-separated names of ALL workers (order-insensitive)")
-	seedFlag    = flag.Int64("seed", 1, "catalog seed")
-	objectsFlag = flag.Int("objects", 400, "objects per patch")
-	sourcesFlag = flag.Float64("sources", 3, "mean sources per object")
-	bandsFlag   = flag.Int("bands", 2, "declination bands to duplicate")
-	copiesFlag  = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
-	slotsFlag   = flag.Int("slots", 4, "parallel chunk queries (paper: 4)")
+	nameFlag        = flag.String("name", "w0", "this worker's cluster name")
+	addrFlag        = flag.String("addr", "127.0.0.1:7001", "listen address")
+	peersFlag       = flag.String("peers", "w0", "comma-separated names of ALL workers (order-insensitive)")
+	seedFlag        = flag.Int64("seed", 1, "catalog seed")
+	objectsFlag     = flag.Int("objects", 400, "objects per patch")
+	sourcesFlag     = flag.Float64("sources", 3, "mean sources per object")
+	bandsFlag       = flag.Int("bands", 2, "declination bands to duplicate")
+	copiesFlag      = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
+	slotsFlag       = flag.Int("slots", 4, "parallel scan-class chunk queries (paper: 4)")
+	interactiveFlag = flag.Int("interactive-slots", 2, "dedicated interactive-class slots")
+	sharedScansFlag = flag.Bool("shared-scans", true, "convoy concurrent full scans over one read")
+	pieceRowsFlag   = flag.Int("scan-piece-rows", 4096, "rows per shared-scan piece")
 )
 
 func main() {
@@ -54,6 +57,9 @@ func main() {
 
 	wcfg := worker.DefaultConfig(*nameFlag)
 	wcfg.Slots = *slotsFlag
+	wcfg.InteractiveSlots = *interactiveFlag
+	wcfg.SharedScans = *sharedScansFlag
+	wcfg.ScanPieceRows = *pieceRowsFlag
 	w := worker.New(wcfg, layout.Registry)
 	defer w.Close()
 

@@ -357,9 +357,10 @@ func TestChunkQueryNearNeighbor(t *testing.T) {
 	if len(cq.Statements) != 2*len(cq.SubChunks) {
 		t.Fatalf("statements = %d for %d subchunks", len(cq.Statements), len(cq.SubChunks))
 	}
-	// Payload has the paper's SUBCHUNKS header.
+	// Payload has the CLASS header followed by the paper's SUBCHUNKS
+	// header.
 	payload := string(cq.Payload())
-	if !strings.HasPrefix(payload, "-- SUBCHUNKS: ") {
+	if !strings.HasPrefix(payload, "-- CLASS: FULLSCAN\n-- SUBCHUNKS: ") {
 		t.Errorf("payload header: %q", payload[:40])
 	}
 	subs, ok := ParseSubChunksHeader(cq.Payload())
@@ -536,5 +537,61 @@ func TestPayloadHashStability(t *testing.T) {
 	}
 	if string(p1.QueryFor(5).Payload()) == string(p1.QueryFor(6).Payload()) {
 		t.Error("different chunks must produce different payloads")
+	}
+}
+
+func TestPlanClassification(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	cases := []struct {
+		sql   string
+		class QueryClass
+	}{
+		// Secondary-index dives are interactive.
+		{"SELECT * FROM Object WHERE objectId = 3", Interactive},
+		{"SELECT objectId FROM Object WHERE objectId IN (1, 2, 3)", Interactive},
+		// A tightly restricted region covering one chunk is a point query.
+		{"SELECT * FROM Object WHERE qserv_areaspec_box(100.1, 0.1, 100.2, 0.2)", Interactive},
+		// Full-sky filters and broad regions are scans.
+		{"SELECT COUNT(*) FROM Object WHERE zFlux_PS > 1e-30", FullScan},
+		{"SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0, 0, 60, 30)", FullScan},
+		// Near-neighbor joins are never interactive, even on one chunk.
+		{`SELECT COUNT(*) FROM Object o1, Object o2
+		  WHERE qserv_areaspec_box(100.1, 0.1, 100.2, 0.2)
+		  AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.1`, FullScan},
+	}
+	for _, c := range cases {
+		p := mustPlan(t, pl, placed, c.sql)
+		if p.Class != c.class {
+			t.Errorf("class(%q) = %v, want %v (chunks=%d)", c.sql, p.Class, c.class, len(p.Chunks))
+		}
+		cq := p.QueryFor(p.Chunks[0])
+		if got, ok := ParseClassHeader(cq.Payload()); !ok || got != c.class {
+			t.Errorf("payload class round-trip for %q = %v, %v", c.sql, got, ok)
+		}
+	}
+}
+
+func TestSingleChunkUnrestrictedScanStaysFullScan(t *testing.T) {
+	// An unrestricted filter over a catalog placed on ONE chunk is
+	// still a table scan: it must not ride the interactive lane.
+	_, pl, placed := testSetup(t)
+	p := mustPlan(t, pl, placed[:1], "SELECT COUNT(*) FROM Object WHERE zFlux_PS > 1e-30")
+	if len(p.Chunks) != 1 {
+		t.Fatalf("chunks = %d, want 1", len(p.Chunks))
+	}
+	if p.Class != FullScan {
+		t.Errorf("single-chunk unrestricted scan class = %v, want FullScan", p.Class)
+	}
+}
+
+func TestParseClassHeaderDefaults(t *testing.T) {
+	if c, ok := ParseClassHeader([]byte("SELECT 1;")); ok || c != FullScan {
+		t.Errorf("headerless payload = %v, %v; want FullScan, false", c, ok)
+	}
+	if c, ok := ParseClassHeader([]byte("-- CLASS: INTERACTIVE\nSELECT 1;")); !ok || c != Interactive {
+		t.Errorf("interactive header = %v, %v", c, ok)
+	}
+	if c, ok := ParseClassHeader([]byte("-- CLASS: garbage\nSELECT 1;")); ok || c != FullScan {
+		t.Errorf("garbage header = %v, %v; want FullScan, false", c, ok)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/meta"
@@ -14,6 +15,40 @@ import (
 // tables; the czar runs those directly on its local engine instead of
 // dispatching chunk queries.
 var ErrNoPartitionedTable = errors.New("core: query references no partitioned table")
+
+// QueryClass separates cheap interactive queries from expensive scans
+// for worker scheduling (paper section 4.3): interactive queries get
+// dedicated low-latency slots while full scans convoy over shared
+// sequential reads.
+type QueryClass int
+
+const (
+	// FullScan marks queries that must read whole chunk tables.
+	FullScan QueryClass = iota
+	// Interactive marks secondary-index dives and single-chunk point
+	// queries, which touch few rows and must not wait behind scans.
+	Interactive
+)
+
+// String renders the class in the chunk-query wire spelling.
+func (c QueryClass) String() string {
+	if c == Interactive {
+		return "INTERACTIVE"
+	}
+	return "FULLSCAN"
+}
+
+// ParseQueryClass parses the wire spelling; ok is false for anything
+// else.
+func ParseQueryClass(s string) (QueryClass, bool) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INTERACTIVE":
+		return Interactive, true
+	case "FULLSCAN":
+		return FullScan, true
+	}
+	return FullScan, false
+}
 
 // Planner turns analyzed user queries into executable plans. It needs
 // the catalog registry for table metadata and, optionally, the objectId
@@ -28,6 +63,9 @@ type Planner struct {
 // combines worker results (paper sections 5.3-5.4).
 type Plan struct {
 	Analysis *Analysis
+	// Class is the scheduling class carried to workers with every chunk
+	// query of this plan.
+	Class QueryClass
 	// Chunks to dispatch to, ascending.
 	Chunks []partition.ChunkID
 	// SubChunksByChunk lists the subchunks each chunk query must cover;
@@ -57,23 +95,26 @@ const (
 )
 
 // ChunkQuery is the payload dispatched to a worker for one chunk: the
-// paper's chunk-query format (section 5.4) — an optional SUBCHUNKS
-// header line followed by SQL statements.
+// paper's chunk-query format (section 5.4) — optional CLASS and
+// SUBCHUNKS header lines followed by SQL statements.
 type ChunkQuery struct {
 	Chunk      partition.ChunkID
+	Class      QueryClass
 	SubChunks  []partition.SubChunkID
 	Statements []string
 }
 
 // Payload renders the chunk query in the wire format:
 //
+//	-- CLASS: INTERACTIVE|FULLSCAN
 //	-- SUBCHUNKS: <id0>[, <id1>...]
 //	<SQL statement 1>;
 //	...
 func (cq ChunkQuery) Payload() []byte {
 	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s\n", classPrefix, cq.Class)
 	if len(cq.SubChunks) > 0 {
-		sb.WriteString("-- SUBCHUNKS:")
+		sb.WriteString(subChunksPrefix)
 		for i, s := range cq.SubChunks {
 			if i > 0 {
 				sb.WriteByte(',')
@@ -89,28 +130,62 @@ func (cq ChunkQuery) Payload() []byte {
 	return []byte(sb.String())
 }
 
+const (
+	classPrefix     = "-- CLASS:"
+	subChunksPrefix = "-- SUBCHUNKS:"
+)
+
+// headerLines yields the payload's leading comment lines — the header
+// block the class and subchunk annotations live in.
+func headerLines(payload []byte) []string {
+	var out []string
+	rest := string(payload)
+	for rest != "" {
+		line, tail, _ := strings.Cut(rest, "\n")
+		if !strings.HasPrefix(line, "--") {
+			break
+		}
+		out = append(out, line)
+		rest = tail
+	}
+	return out
+}
+
+// ParseClassHeader extracts the scheduling class from a chunk-query
+// payload; ok is false when no (valid) CLASS header is present, and
+// such payloads default to FullScan — the conservative lane.
+func ParseClassHeader(payload []byte) (QueryClass, bool) {
+	for _, line := range headerLines(payload) {
+		if !strings.HasPrefix(line, classPrefix) {
+			continue
+		}
+		return ParseQueryClass(line[len(classPrefix):])
+	}
+	return FullScan, false
+}
+
 // ParseSubChunksHeader extracts the subchunk list from a chunk-query
 // payload; ok is false when the payload has no header.
 func ParseSubChunksHeader(payload []byte) ([]partition.SubChunkID, bool) {
-	s := string(payload)
-	line, _, _ := strings.Cut(s, "\n")
-	const prefix = "-- SUBCHUNKS:"
-	if !strings.HasPrefix(line, prefix) {
-		return nil, false
-	}
-	var out []partition.SubChunkID
-	for _, part := range strings.Split(line[len(prefix):], ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
+	for _, line := range headerLines(payload) {
+		if !strings.HasPrefix(line, subChunksPrefix) {
 			continue
 		}
-		var id int
-		if _, err := fmt.Sscanf(part, "%d", &id); err != nil {
-			return nil, false
+		var out []partition.SubChunkID
+		for _, part := range strings.Split(line[len(subChunksPrefix):], ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			var id int
+			if _, err := fmt.Sscanf(part, "%d", &id); err != nil {
+				return nil, false
+			}
+			out = append(out, partition.SubChunkID(id))
 		}
-		out = append(out, partition.SubChunkID(id))
+		return out, true
 	}
-	return out, true
+	return nil, false
 }
 
 // NewPlanner builds a planner.
@@ -135,8 +210,10 @@ func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan
 	// Chunk set selection (paper section 5.5): secondary index for
 	// director-key restrictions, spatial cover for region restrictions,
 	// all placed chunks otherwise.
+	indexDive := false
 	switch {
 	case len(a.ObjectIDs) > 0 && pl.Index != nil:
+		indexDive = true
 		seen := map[partition.ChunkID]bool{}
 		for _, id := range a.ObjectIDs {
 			if loc, ok := pl.Index.Lookup(id); ok && !seen[loc.Chunk] {
@@ -151,6 +228,18 @@ func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan
 	default:
 		p.Chunks = append(p.Chunks, placed...)
 		sortChunks(p.Chunks)
+	}
+
+	// Scheduling class (paper section 4.3): secondary-index dives and
+	// spatially-restricted single-chunk point queries are interactive;
+	// everything else is a full scan. An unrestricted query is a table
+	// scan even when only one chunk is placed, and any near-neighbor
+	// join is expensive even on one chunk.
+	singleChunkPoint := a.Region != nil && len(p.Chunks) <= 1
+	if a.NearNeighbor == nil && (indexDive || singleChunkPoint) {
+		p.Class = Interactive
+	} else {
+		p.Class = FullScan
 	}
 
 	// Near-neighbor plans need subchunk lists and an overlap-margin
@@ -185,11 +274,7 @@ func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan
 }
 
 func sortChunks(cs []partition.ChunkID) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 }
 
 func intersectChunks(a, b []partition.ChunkID) []partition.ChunkID {
@@ -209,7 +294,7 @@ func intersectChunks(a, b []partition.ChunkID) []partition.ChunkID {
 
 // QueryFor renders the chunk query for one chunk.
 func (p *Plan) QueryFor(chunk partition.ChunkID) ChunkQuery {
-	cq := ChunkQuery{Chunk: chunk}
+	cq := ChunkQuery{Chunk: chunk, Class: p.Class}
 	cc := fmt.Sprintf("%d", chunk)
 
 	if p.SubChunksByChunk == nil {

@@ -88,6 +88,9 @@ func (c *Czar) Engine() *sqlengine.Engine { return c.engine }
 // QueryResult is a final answer plus execution accounting.
 type QueryResult struct {
 	*sqlengine.Result
+	// Class is the scheduling class the planner assigned; it rides
+	// every chunk-query payload so workers lane the job correctly.
+	Class core.QueryClass
 	// ChunksDispatched counts chunk queries sent.
 	ChunksDispatched int
 	// ResultBytes counts dump-stream bytes collected from workers.
@@ -130,7 +133,7 @@ func (c *Czar) Query(sql string) (*QueryResult, error) {
 // execute dispatches the plan's chunk queries, collects and merges the
 // results, and runs the final merge statement.
 func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
-	qr := &QueryResult{ChunksDispatched: len(plan.Chunks)}
+	qr := &QueryResult{Class: plan.Class, ChunksDispatched: len(plan.Chunks)}
 	resultTable := fmt.Sprintf("result_%d", c.seq.Add(1))
 	qualified := resultDB + "." + resultTable
 	defer func() {

@@ -61,6 +61,9 @@ func (s *Scanner) pieces() int {
 	return (n + s.pieceRows - 1) / s.pieceRows
 }
 
+// Table returns the table this scanner convoys over.
+func (s *Scanner) Table() *sqlengine.Table { return s.table }
+
 // Ticket tracks one query's membership in the convoy.
 type Ticket struct {
 	s         *Scanner
@@ -77,15 +80,23 @@ func (t *Ticket) Wait() { <-t.done }
 // from the scanner's goroutine. The returned ticket's Wait unblocks
 // after the query has seen every piece exactly once.
 func (s *Scanner) Attach(process func([]sqlengine.Row)) *Ticket {
+	t, _ := s.attach(process)
+	return t
+}
+
+// attach implements Attach; joined reports whether this consumer shared
+// a scan already in flight.
+func (s *Scanner) attach(process func([]sqlengine.Row)) (*Ticket, bool) {
 	t := &Ticket{s: s, process: process, done: make(chan struct{})}
 	s.mu.Lock()
 	t.remaining = s.pieces()
 	if t.remaining == 0 {
 		s.mu.Unlock()
 		close(t.done)
-		return t
+		return t, false
 	}
-	if len(s.consumers) > 0 {
+	joined := len(s.consumers) > 0
+	if joined {
 		// Joining a convoy in flight: the piece reads from here to this
 		// query's completion are shared with the running scan.
 		s.scansSaved++
@@ -96,7 +107,50 @@ func (s *Scanner) Attach(process func([]sqlengine.Row)) *Ticket {
 		go s.run()
 	}
 	s.mu.Unlock()
-	return t
+	return t, joined
+}
+
+// Source adapts convoy membership to the pull-based piece iterator the
+// SQL engine scans through (it implements sqlengine.ScanSource). The
+// convoy's push cadence and the engine's pull cadence meet over an
+// unbuffered channel, so the convoy advances at the pace of its
+// slowest attached consumer — the paper's shared-scan discipline.
+type Source struct {
+	ch     chan []sqlengine.Row
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NextPiece returns the next convoy piece; ok is false after the
+// consumer has seen every piece exactly once.
+func (src *Source) NextPiece() ([]sqlengine.Row, bool) {
+	piece, ok := <-src.ch
+	return piece, ok
+}
+
+// Close abandons the source: remaining pieces are discarded so the
+// convoy is never stalled by a consumer that stopped reading. Safe to
+// call more than once and after exhaustion.
+func (src *Source) Close() { src.once.Do(func() { close(src.closed) }) }
+
+// AttachSource joins the convoy as a piece iterator. joined reports
+// whether an in-flight scan was shared rather than a fresh one started.
+func (s *Scanner) AttachSource() (src *Source, joined bool) {
+	src = &Source{ch: make(chan []sqlengine.Row), closed: make(chan struct{})}
+	var t *Ticket
+	t, joined = s.attach(func(piece []sqlengine.Row) {
+		select {
+		case src.ch <- piece:
+		case <-src.closed:
+		}
+	})
+	go func() {
+		// The last process call returns before the ticket completes, so
+		// closing here can never race a send.
+		t.Wait()
+		close(src.ch)
+	}()
+	return src, joined
 }
 
 // run is the convoy loop: read the next piece once, hand it to every

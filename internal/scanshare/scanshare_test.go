@@ -233,3 +233,94 @@ func BenchmarkIndependentScan8Queries(b *testing.B) {
 		wg.Wait()
 	}
 }
+
+// drainSource pulls every piece from a source, returning the set of ids
+// seen and how many times each appeared.
+func drainSource(src *Source) map[int64]int {
+	seen := map[int64]int{}
+	for {
+		piece, ok := src.NextPiece()
+		if !ok {
+			return seen
+		}
+		for _, r := range piece {
+			seen[r[0].(int64)]++
+		}
+	}
+}
+
+func TestSourceMidScanJoinExactlyOnce(t *testing.T) {
+	const rows, piece = 1000, 64
+	tbl := bigTable(t, rows)
+	s, err := NewScanner(tbl, piece)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srcA, joinedA := s.AttachSource()
+	if joinedA {
+		t.Error("first source cannot share an in-flight scan")
+	}
+	// Consume a few pieces so the convoy position is mid-table, then
+	// join a second source: it must start at the current position, wrap
+	// around, and still see every row exactly once.
+	for i := 0; i < 3; i++ {
+		if _, ok := srcA.NextPiece(); !ok {
+			t.Fatal("source A exhausted too early")
+		}
+	}
+	srcB, joinedB := s.AttachSource()
+	if !joinedB {
+		t.Error("mid-scan attach must report a shared scan")
+	}
+
+	var wg sync.WaitGroup
+	var seenA, seenB map[int64]int
+	wg.Add(2)
+	go func() { defer wg.Done(); rest := drainSource(srcA); seenA = rest }()
+	go func() { defer wg.Done(); seenB = drainSource(srcB) }()
+	wg.Wait()
+
+	// A consumed 3 pieces before the goroutine drained the rest.
+	if got := len(seenA); got != rows-3*piece {
+		t.Errorf("source A remainder saw %d rows, want %d", got, rows-3*piece)
+	}
+	if got := len(seenB); got != rows {
+		t.Errorf("source B saw %d distinct rows, want %d", got, rows)
+	}
+	for id, n := range seenB {
+		if n != 1 {
+			t.Fatalf("source B saw row %d %d times", id, n)
+		}
+	}
+	if s.ScansSaved() != 1 {
+		t.Errorf("ScansSaved = %d, want 1", s.ScansSaved())
+	}
+}
+
+func TestSourceCloseMidScanDoesNotStallConvoy(t *testing.T) {
+	tbl := bigTable(t, 2000)
+	s, err := NewScanner(tbl, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quitter, _ := s.AttachSource()
+	if _, ok := quitter.NextPiece(); !ok {
+		t.Fatal("no first piece")
+	}
+	quitter.Close()
+	quitter.Close() // idempotent
+
+	// A well-behaved source attached afterwards must still complete.
+	src, _ := s.AttachSource()
+	done := make(chan map[int64]int, 1)
+	go func() { done <- drainSource(src) }()
+	select {
+	case seen := <-done:
+		if len(seen) != 2000 {
+			t.Errorf("saw %d rows, want 2000", len(seen))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("convoy stalled by an abandoned source")
+	}
+}

@@ -136,6 +136,19 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return e.ExecuteStmt(sel)
 }
 
+// ExecuteStmtScanned runs one parsed statement; full table scans inside
+// a SELECT are routed through prov when it yields a source (the shared
+// scanning integration point — see internal/scanshare). A nil prov is
+// identical to ExecuteStmt.
+func (e *Engine) ExecuteStmtScanned(st sqlparse.Statement, prov ScanProvider) (*Result, error) {
+	if sel, ok := st.(*sqlparse.Select); ok && prov != nil {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		return e.execSelectScanned(sel, prov)
+	}
+	return e.ExecuteStmt(st)
+}
+
 // ExecuteStmt runs one parsed statement.
 func (e *Engine) ExecuteStmt(st sqlparse.Statement) (*Result, error) {
 	switch s := st.(type) {

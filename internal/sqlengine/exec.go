@@ -11,6 +11,24 @@ import (
 // tuple is one joined row: one Row per FROM binding, in binding order.
 type tuple []Row
 
+// ScanSource supplies a table's rows piece-wise in place of a direct
+// heap scan — the seam shared scanning (internal/scanshare) plugs into
+// so convoy pieces flow through the engine's predicate evaluation.
+type ScanSource interface {
+	// NextPiece returns the next piece of rows; ok is false when the
+	// source is exhausted.
+	NextPiece() (piece []Row, ok bool)
+	// Close releases the source. It must be called even when the scan
+	// is abandoned early so a convoy is never stalled by a consumer
+	// that stopped reading; it is safe to call after exhaustion.
+	Close()
+}
+
+// ScanProvider returns a ScanSource standing in for a full sequential
+// scan of t, or nil to scan the table heap directly. It is consulted
+// only for scans an index cannot answer.
+type ScanProvider func(t *Table) ScanSource
+
 // selectExec executes one SELECT statement.
 type selectExec struct {
 	eng      *Engine
@@ -18,17 +36,22 @@ type selectExec struct {
 	bindings []*binding
 	tables   []*Table
 	env      *evalEnv
+	prov     ScanProvider
 	stats    ExecStats
 }
 
 func (e *Engine) execSelect(sel *sqlparse.Select) (*Result, error) {
+	return e.execSelectScanned(sel, nil)
+}
+
+func (e *Engine) execSelectScanned(sel *sqlparse.Select, prov ScanProvider) (*Result, error) {
 	if len(sel.From) == 0 {
 		return e.execSelectNoFrom(sel)
 	}
 	if res, ok, err := e.tryCountStar(sel); ok || err != nil {
 		return res, err
 	}
-	ex := &selectExec{eng: e, sel: sel}
+	ex := &selectExec{eng: e, sel: sel, prov: prov}
 	for _, ref := range sel.From {
 		t, err := e.lookupTable(ref.DB, ref.Table)
 		if err != nil {
@@ -276,6 +299,13 @@ func (ex *selectExec) scanBase(k int, conjuncts []*conjunct) ([]Row, error) {
 		break
 	}
 	if !usedIndex {
+		// Shared-scan seam: a provider can stand in for the heap scan,
+		// delivering the table piece-wise from a convoy.
+		if ex.prov != nil {
+			if src := ex.prov(t); src != nil {
+				return ex.scanViaSource(k, t, src, local)
+			}
+		}
 		candidate = t.Rows
 		ex.stats.SeqBytes += t.ByteSize()
 		ex.stats.RowsScanned += int64(len(t.Rows))
@@ -305,6 +335,48 @@ func (ex *selectExec) scanBase(k int, conjuncts []*conjunct) ([]Row, error) {
 		}
 	}
 	b.row = nil
+	return out, nil
+}
+
+// scanViaSource filters binding k's rows as they arrive piece-wise from
+// a shared-scan source. Pieces may be delivered in convoy order (the
+// scan position when this query attached), which is fine: every piece
+// arrives exactly once, and row order within a heap scan carries no
+// semantics.
+func (ex *selectExec) scanViaSource(k int, t *Table, src ScanSource, local []*conjunct) ([]Row, error) {
+	defer src.Close()
+	width := int64(t.Schema.RowWidth())
+	b := ex.bindings[k]
+	defer func() { b.row = nil }()
+	var out []Row
+	for {
+		piece, ok := src.NextPiece()
+		if !ok {
+			break
+		}
+		ex.stats.RowsScanned += int64(len(piece))
+		ex.stats.SharedSeqBytes += int64(len(piece)) * width
+		for _, r := range piece {
+			b.row = r
+			keep := true
+			for _, c := range local {
+				if c.consumed {
+					continue
+				}
+				v, err := ex.env.Eval(c.expr)
+				if err != nil {
+					return nil, err
+				}
+				if !AsBool(v) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, r)
+			}
+		}
+	}
 	return out, nil
 }
 

@@ -1,0 +1,185 @@
+package worker
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/scanshare"
+	"repro/internal/sqlengine"
+)
+
+// gangQueue is the scan lane of the two-class scheduler: queued
+// full-scan jobs are grouped by chunk, and an executor drains a whole
+// chunk's group ("gang") at once so its members attach to one shared
+// scan convoy instead of issuing independent scans (paper section 4.3).
+// Groups leave in FIFO order of their first job; jobs within a group
+// keep arrival order.
+type gangQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	order   []partition.ChunkID
+	byKey   map[partition.ChunkID][]*job
+	n       int
+	max     int
+	maxGang int
+	closed  bool
+}
+
+func newGangQueue(depth, maxGang int) *gangQueue {
+	q := &gangQueue{byKey: map[partition.ChunkID][]*job{}, max: depth, maxGang: maxGang}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job; false means the queue is full or closed.
+func (q *gangQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.n >= q.max {
+		return false
+	}
+	if len(q.byKey[j.chunk]) == 0 {
+		q.order = append(q.order, j.chunk)
+	}
+	q.byKey[j.chunk] = append(q.byKey[j.chunk], j)
+	q.n++
+	q.cond.Signal()
+	return true
+}
+
+// popGang blocks for the oldest chunk group and removes up to maxGang
+// of its jobs, so a same-chunk burst cannot turn one slot into
+// unbounded concurrency; the remainder stays queued under the same key
+// (and, popped later, joins the still-running convoy mid-scan). nil
+// means the queue was closed (remaining jobs are abandoned, like the
+// seed's FIFO on Close).
+func (q *gangQueue) popGang() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.order) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil
+	}
+	key := q.order[0]
+	q.order = q.order[1:]
+	gang := q.byKey[key]
+	if len(gang) > q.maxGang {
+		q.byKey[key] = gang[q.maxGang:]
+		gang = gang[:q.maxGang:q.maxGang]
+		q.order = append(q.order, key)
+	} else {
+		delete(q.byKey, key)
+	}
+	q.n -= len(gang)
+	return gang
+}
+
+func (q *gangQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *gangQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// ---------- per-table convoy scanners ----------
+
+// convoyTableChunk reports whether a table name is a stored chunk (or
+// chunk-overlap) table — `<Base>_<CC>` or `<Base>FullOverlap_<CC>` —
+// and returns the chunk. Subchunk tables (`<Base>_<CC>_<SS>`) are
+// excluded: they are materialized per query and dropped, so a cached
+// convoy scanner over one would go stale.
+func convoyTableChunk(table string) (partition.ChunkID, bool) {
+	parts := strings.Split(table, "_")
+	if len(parts) < 2 || !isDigits(parts[len(parts)-1]) {
+		return 0, false
+	}
+	if len(parts) >= 3 && isDigits(parts[len(parts)-2]) {
+		return 0, false // subchunk table
+	}
+	id, err := strconv.Atoi(parts[len(parts)-1])
+	if err != nil {
+		return 0, false
+	}
+	return partition.ChunkID(id), true
+}
+
+// scannerFor returns (creating if needed) the convoy scanner over a
+// stored chunk table, or nil when the table is not convoy-eligible.
+// A scanner is invalidated when the table object it wraps is replaced
+// (e.g. the chunk is reloaded).
+func (w *Worker) scannerFor(t *sqlengine.Table) *scanshare.Scanner {
+	chunk, ok := convoyTableChunk(t.Name)
+	if !ok {
+		return nil
+	}
+	w.mu.Lock()
+	held := w.chunks[chunk]
+	w.mu.Unlock()
+	if !held {
+		return nil
+	}
+	key := strings.ToLower(t.Name)
+	w.scanMu.Lock()
+	defer w.scanMu.Unlock()
+	if sc, ok := w.scanners[key]; ok && sc.Table() == t {
+		return sc
+	}
+	sc, err := scanshare.NewScanner(t, w.cfg.ScanPieceRows)
+	if err != nil {
+		return nil
+	}
+	w.scanners[key] = sc
+	return sc
+}
+
+// ConvoyScanner returns the live convoy scanner for a table name, or
+// nil when none has been created; exposed for tests and experiments.
+func (w *Worker) ConvoyScanner(table string) *scanshare.Scanner {
+	w.scanMu.Lock()
+	defer w.scanMu.Unlock()
+	return w.scanners[strings.ToLower(table)]
+}
+
+// ScanStats aggregates the worker's shared-scan activity across all
+// convoy scanners.
+type ScanStats struct {
+	// Convoys is the number of distinct chunk tables that have had a
+	// convoy scanner.
+	Convoys int
+	// BytesRead is the physical bytes read by shared scans; compare
+	// with the sum of JobReport.Stats.SharedSeqBytes (what independent
+	// scans would have read) for the savings.
+	BytesRead int64
+	// PiecesRead counts physical piece reads.
+	PiecesRead int64
+	// ScansSaved counts convoy attachments that shared an in-flight
+	// scan instead of starting their own.
+	ScansSaved int64
+}
+
+// ScanStats returns the worker's aggregate shared-scan counters.
+func (w *Worker) ScanStats() ScanStats {
+	w.scanMu.Lock()
+	scanners := make([]*scanshare.Scanner, 0, len(w.scanners))
+	for _, sc := range w.scanners {
+		scanners = append(scanners, sc)
+	}
+	w.scanMu.Unlock()
+	st := ScanStats{Convoys: len(scanners)}
+	for _, sc := range scanners {
+		st.BytesRead += sc.BytesRead()
+		st.PiecesRead += sc.PiecesRead()
+		st.ScansSaved += sc.ScansSaved()
+	}
+	return st
+}

@@ -2,15 +2,24 @@
 // (via the xrd.Handler "ofs plugin" interface) wrapping a local SQL
 // engine that stores chunk tables (paper sections 5.1.2 and 5.4).
 //
-// A worker accepts chunk queries written to /query2/CC paths, queues
-// them FIFO, executes them on up to Slots engine sessions in parallel
-// (the paper's evaluation used 4 per node), and publishes each result as
-// a mysqldump-style SQL stream readable at /result/H, where H is the MD5
-// hash of the chunk query payload. Spatial self-join queries carry a
-// "-- SUBCHUNKS:" header; the worker materializes the listed subchunk
-// and overlap-subchunk tables on the fly before executing, and drops
-// them afterwards unless caching is enabled (section 5.4 notes workers
-// are "free to cache subchunk tables").
+// A worker accepts chunk queries written to /query2/CC paths and
+// publishes each result as a mysqldump-style SQL stream readable at
+// /result/H, where H is the MD5 hash of the chunk query payload.
+//
+// Scheduling is two-class (paper section 4.3): interactive chunk
+// queries (secondary-index dives, marked by the czar with a "-- CLASS:
+// INTERACTIVE" header) run FIFO on dedicated InteractiveSlots so they
+// never wait behind table scans, while full-scan chunk queries are
+// grouped by chunk into gangs that drain into Slots scan lanes. With
+// SharedScans enabled, gang members attach to a per-table
+// scanshare.Scanner convoy: concurrent scans of one chunk table share
+// a single sequential read instead of each issuing its own.
+//
+// Spatial self-join queries carry a "-- SUBCHUNKS:" header; the worker
+// materializes the listed subchunk and overlap-subchunk tables on the
+// fly before executing, and drops them afterwards unless caching is
+// enabled (section 5.4 notes workers are "free to cache subchunk
+// tables").
 package worker
 
 import (
@@ -23,6 +32,7 @@ import (
 	"repro/internal/dump"
 	"repro/internal/meta"
 	"repro/internal/partition"
+	"repro/internal/scanshare"
 	"repro/internal/sqlengine"
 	"repro/internal/sqlparse"
 	"repro/internal/xrd"
@@ -32,12 +42,27 @@ import (
 type Config struct {
 	// Name is the worker's cluster identity.
 	Name string
-	// Slots is the number of chunk queries executed in parallel
-	// (paper: 4). Queued queries beyond that wait FIFO.
+	// Slots is the number of scan-class chunk-query gangs executed in
+	// parallel (paper: 4 queries per node). Queued gangs beyond that
+	// wait FIFO.
 	Slots int
-	// QueueDepth bounds the FIFO queue; writes beyond it fail, which
-	// the czar surfaces as dispatch errors.
+	// InteractiveSlots is the number of dedicated executors for
+	// interactive-class chunk queries; interactive queue wait is
+	// bounded by other interactive jobs only, never by scans.
+	InteractiveSlots int
+	// QueueDepth bounds each lane's queue; writes beyond it fail,
+	// which the czar surfaces as dispatch errors.
 	QueueDepth int
+	// MaxGangSize caps how many same-chunk scan jobs one slot starts
+	// together; the surplus stays queued and joins the convoy mid-scan
+	// on a later pop, bounding per-slot concurrency under bursts.
+	MaxGangSize int
+	// SharedScans routes full-scan chunk queries through per-table
+	// convoy scanners (internal/scanshare) so concurrent scans of the
+	// same chunk table share one sequential read.
+	SharedScans bool
+	// ScanPieceRows is the rows per shared-scan piece.
+	ScanPieceRows int
 	// CacheSubChunks keeps generated subchunk tables for reuse instead
 	// of dropping them after each query.
 	CacheSubChunks bool
@@ -46,13 +71,18 @@ type Config struct {
 	ResultTimeout time.Duration
 }
 
-// DefaultConfig mirrors the paper's worker configuration.
+// DefaultConfig mirrors the paper's worker configuration. Shared scans
+// are off by default (the paper's own implementation state); the
+// cluster assembly in package qserv turns them on.
 func DefaultConfig(name string) Config {
 	return Config{
-		Name:          name,
-		Slots:         4,
-		QueueDepth:    4096,
-		ResultTimeout: 5 * time.Minute,
+		Name:             name,
+		Slots:            4,
+		InteractiveSlots: 2,
+		QueueDepth:       4096,
+		MaxGangSize:      16,
+		ScanPieceRows:    4096,
+		ResultTimeout:    5 * time.Minute,
 	}
 }
 
@@ -60,13 +90,19 @@ func DefaultConfig(name string) Config {
 // behavior drives the paper's Figure 14 analysis).
 type JobReport struct {
 	Chunk      partition.ChunkID
+	Class      core.QueryClass
 	Hash       string
 	QueuedAt   time.Time
 	StartedAt  time.Time
 	FinishedAt time.Time
 	Stats      sqlengine.ExecStats
-	ResultLen  int
-	Err        error
+	// ConvoyJoins counts shared-scan convoy attachments this job made;
+	// ScansShared counts those that piggybacked on an in-flight scan
+	// rather than starting a fresh one.
+	ConvoyJoins int
+	ScansShared int
+	ResultLen   int
+	Err         error
 }
 
 // QueueWait returns how long the job sat in the FIFO queue.
@@ -81,23 +117,33 @@ type Worker struct {
 	engine   *sqlengine.Engine
 	registry *meta.Registry
 
-	jobs chan *job
-	wg   sync.WaitGroup
-	stop chan struct{}
+	interactive chan *job
+	scanq       *gangQueue
+	wg          sync.WaitGroup
+	stop        chan struct{}
 
 	mu      sync.Mutex
 	results map[string]*resultEntry
 	reports []JobReport
 	chunks  map[partition.ChunkID]bool
 
+	scanMu   sync.Mutex
+	scanners map[string]*scanshare.Scanner
+
 	subs *subchunkManager
 }
 
 type job struct {
 	chunk    partition.ChunkID
+	class    core.QueryClass
 	payload  []byte
 	hash     string
 	queuedAt time.Time
+
+	// Convoy accounting, written by the scan provider from the single
+	// goroutine executing this job.
+	convoyJoins int
+	scansShared int
 }
 
 type resultEntry struct {
@@ -112,25 +158,40 @@ func New(cfg Config, registry *meta.Registry) *Worker {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 1
 	}
+	if cfg.InteractiveSlots <= 0 {
+		cfg.InteractiveSlots = 1
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
+	}
+	if cfg.MaxGangSize <= 0 {
+		cfg.MaxGangSize = 16
+	}
+	if cfg.ScanPieceRows <= 0 {
+		cfg.ScanPieceRows = 4096
 	}
 	if cfg.ResultTimeout <= 0 {
 		cfg.ResultTimeout = 5 * time.Minute
 	}
 	w := &Worker{
-		cfg:      cfg,
-		engine:   sqlengine.New(registry.DB),
-		registry: registry,
-		jobs:     make(chan *job, cfg.QueueDepth),
-		stop:     make(chan struct{}),
-		results:  map[string]*resultEntry{},
-		chunks:   map[partition.ChunkID]bool{},
+		cfg:         cfg,
+		engine:      sqlengine.New(registry.DB),
+		registry:    registry,
+		interactive: make(chan *job, cfg.QueueDepth),
+		scanq:       newGangQueue(cfg.QueueDepth, cfg.MaxGangSize),
+		stop:        make(chan struct{}),
+		results:     map[string]*resultEntry{},
+		chunks:      map[partition.ChunkID]bool{},
+		scanners:    map[string]*scanshare.Scanner{},
 	}
 	w.subs = newSubchunkManager(w)
+	for i := 0; i < cfg.InteractiveSlots; i++ {
+		w.wg.Add(1)
+		go w.interactiveExecutor()
+	}
 	for i := 0; i < cfg.Slots; i++ {
 		w.wg.Add(1)
-		go w.executor()
+		go w.scanExecutor()
 	}
 	return w
 }
@@ -144,6 +205,7 @@ func (w *Worker) Engine() *sqlengine.Engine { return w.engine }
 // Close stops the executors; queued jobs are abandoned.
 func (w *Worker) Close() {
 	close(w.stop)
+	w.scanq.close()
 	w.wg.Wait()
 }
 
@@ -165,8 +227,14 @@ func (w *Worker) Reports() []JobReport {
 	return append([]JobReport(nil), w.reports...)
 }
 
-// QueueLen returns the number of queued (not yet started) chunk queries.
-func (w *Worker) QueueLen() int { return len(w.jobs) }
+// QueueLen returns the number of queued (not yet started) chunk
+// queries across both lanes.
+func (w *Worker) QueueLen() int { return len(w.interactive) + w.scanq.len() }
+
+// QueueLens returns the per-lane queue depths.
+func (w *Worker) QueueLens() (interactive, scan int) {
+	return len(w.interactive), w.scanq.len()
+}
 
 // ---------- data loading ----------
 
@@ -218,15 +286,19 @@ func (w *Worker) LoadShared(name string, schema sqlengine.Schema, rows []sqlengi
 // ---------- xrd.Handler ----------
 
 // HandleWrite accepts a chunk query written to /query2/CC: it registers
-// a pending result under the payload's hash and enqueues the job FIFO.
+// a pending result under the payload's hash and enqueues the job on the
+// lane its CLASS header selects (headerless payloads default to the
+// scan lane — the conservative choice).
 func (w *Worker) HandleWrite(path string, data []byte) error {
 	chunk, err := parseQueryPath(path)
 	if err != nil {
 		return err
 	}
 	hash := strings.TrimPrefix(xrd.ResultPath(data), "/result/")
+	class, _ := core.ParseClassHeader(data)
 	j := &job{
 		chunk:    chunk,
+		class:    class,
 		payload:  append([]byte(nil), data...),
 		hash:     hash,
 		queuedAt: time.Now(),
@@ -241,20 +313,28 @@ func (w *Worker) HandleWrite(path string, data []byte) error {
 	w.results[hash] = &resultEntry{ready: make(chan struct{})}
 	w.mu.Unlock()
 
-	select {
-	case w.jobs <- j:
-		return nil
-	default:
-		w.mu.Lock()
-		entry := w.results[hash]
-		delete(w.results, hash)
-		w.mu.Unlock()
-		if entry != nil {
-			entry.err = fmt.Errorf("worker %s: queue full", w.cfg.Name)
-			close(entry.ready)
+	enqueued := false
+	if class == core.Interactive {
+		select {
+		case w.interactive <- j:
+			enqueued = true
+		default:
 		}
-		return fmt.Errorf("worker %s: queue full (%d)", w.cfg.Name, w.cfg.QueueDepth)
+	} else {
+		enqueued = w.scanq.push(j)
 	}
+	if enqueued {
+		return nil
+	}
+	w.mu.Lock()
+	entry := w.results[hash]
+	delete(w.results, hash)
+	w.mu.Unlock()
+	if entry != nil {
+		entry.err = fmt.Errorf("worker %s: %s queue full", w.cfg.Name, class)
+		close(entry.ready)
+	}
+	return fmt.Errorf("worker %s: %s queue full (%d)", w.cfg.Name, class, w.cfg.QueueDepth)
 }
 
 // HandleRead serves /result/H, blocking until the chunk query hashing to
@@ -303,34 +383,63 @@ func parseResultPath(path string) (string, error) {
 
 // ---------- execution ----------
 
-func (w *Worker) executor() {
+// interactiveExecutor drains the interactive lane FIFO; with
+// InteractiveSlots such executors, an interactive job's queue wait is
+// bounded by other interactive jobs only.
+func (w *Worker) interactiveExecutor() {
 	defer w.wg.Done()
 	for {
 		select {
 		case <-w.stop:
 			return
-		case j := <-w.jobs:
-			w.execute(j)
+		case j := <-w.interactive:
+			w.execute(j, time.Now())
 		}
 	}
 }
 
-func (w *Worker) execute(j *job) {
-	started := time.Now()
+// scanExecutor drains the scan lane gang by gang: every queued job on
+// the popped chunk starts together, so same-table scans attach to one
+// convoy. Start times are stamped in arrival order before the members
+// fan out.
+func (w *Worker) scanExecutor() {
+	defer w.wg.Done()
+	for {
+		gang := w.scanq.popGang()
+		if gang == nil {
+			return
+		}
+		var gw sync.WaitGroup
+		for _, j := range gang {
+			started := time.Now()
+			gw.Add(1)
+			go func(j *job) {
+				defer gw.Done()
+				w.execute(j, started)
+			}(j)
+		}
+		gw.Wait()
+	}
+}
+
+func (w *Worker) execute(j *job, started time.Time) {
 	data, stats, err := w.runChunkQuery(j)
 	finished := time.Now()
 
 	w.mu.Lock()
 	entry := w.results[j.hash]
 	w.reports = append(w.reports, JobReport{
-		Chunk:      j.chunk,
-		Hash:       j.hash,
-		QueuedAt:   j.queuedAt,
-		StartedAt:  started,
-		FinishedAt: finished,
-		Stats:      stats,
-		ResultLen:  len(data),
-		Err:        err,
+		Chunk:       j.chunk,
+		Class:       j.class,
+		Hash:        j.hash,
+		QueuedAt:    j.queuedAt,
+		StartedAt:   started,
+		FinishedAt:  finished,
+		Stats:       stats,
+		ConvoyJoins: j.convoyJoins,
+		ScansShared: j.scansShared,
+		ResultLen:   len(data),
+		Err:         err,
 	})
 	w.mu.Unlock()
 
@@ -367,10 +476,29 @@ func (w *Worker) runChunkQuery(j *job) ([]byte, sqlengine.ExecStats, error) {
 		defer release()
 	}
 
+	// Scan-class jobs route full table scans of stored chunk tables
+	// through shared-scan convoys; concurrent gang members then ride
+	// one sequential read (paper section 4.3).
+	var prov sqlengine.ScanProvider
+	if w.cfg.SharedScans && j.class == core.FullScan {
+		prov = func(t *sqlengine.Table) sqlengine.ScanSource {
+			sc := w.scannerFor(t)
+			if sc == nil {
+				return nil
+			}
+			src, joined := sc.AttachSource()
+			j.convoyJoins++
+			if joined {
+				j.scansShared++
+			}
+			return src
+		}
+	}
+
 	// Execute each statement, accumulating SELECT results.
 	var accum *sqlengine.Result
 	for _, st := range stmts {
-		res, err := w.engine.ExecuteStmt(st)
+		res, err := w.engine.ExecuteStmtScanned(st, prov)
 		if err != nil {
 			return nil, agg, fmt.Errorf("worker %s chunk %d: %w", w.cfg.Name, j.chunk, err)
 		}

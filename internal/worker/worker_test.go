@@ -2,10 +2,12 @@ package worker
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dump"
 	"repro/internal/meta"
 	"repro/internal/partition"
@@ -283,13 +285,13 @@ func TestBadPayloads(t *testing.T) {
 	}
 }
 
-func TestFIFOQueueOrder(t *testing.T) {
+func TestInteractiveLaneFIFO(t *testing.T) {
 	cfg := DefaultConfig("w0")
-	cfg.Slots = 1 // strict FIFO
+	cfg.InteractiveSlots = 1 // strict FIFO within the interactive lane
 	w, chunk := testWorker(t, cfg)
 	var payloads [][]byte
 	for i := 0; i < 5; i++ {
-		p := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d WHERE objectId != %d;", chunk, i))
+		p := []byte(fmt.Sprintf("-- CLASS: INTERACTIVE\nSELECT COUNT(*) FROM LSST.Object_%d WHERE objectId != %d;", chunk, i))
 		payloads = append(payloads, p)
 		if err := w.HandleWrite(xrd.QueryPath(int(chunk)), p); err != nil {
 			t.Fatal(err)
@@ -304,9 +306,50 @@ func TestFIFOQueueOrder(t *testing.T) {
 	if len(reports) != 5 {
 		t.Fatalf("reports = %d", len(reports))
 	}
-	for i := 1; i < len(reports); i++ {
-		if reports[i].StartedAt.Before(reports[i-1].StartedAt) {
+	for i, r := range reports {
+		if r.Class != core.Interactive {
+			t.Errorf("job %d class = %v, want Interactive", i, r.Class)
+		}
+		if i > 0 && reports[i].StartedAt.Before(reports[i-1].StartedAt) {
 			t.Errorf("FIFO violated: job %d started before job %d", i, i-1)
+		}
+	}
+}
+
+func TestScanLaneGangStartOrder(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.Slots = 1
+	w, chunk := testWorker(t, cfg)
+	var payloads [][]byte
+	for i := 0; i < 5; i++ {
+		// No CLASS header: defaults to the scan lane.
+		p := []byte(fmt.Sprintf("SELECT COUNT(*) FROM LSST.Object_%d WHERE objectId != %d;", chunk, i))
+		payloads = append(payloads, p)
+		if err := w.HandleWrite(xrd.QueryPath(int(chunk)), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range payloads {
+		if _, err := w.HandleRead(xrd.ResultPath(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gang members run concurrently (they share one convoy), so report
+	// order follows completion; but start times are stamped in arrival
+	// order. Sorting by start time must recover queue order.
+	reports := w.Reports()
+	if len(reports) != 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].StartedAt.Before(reports[j].StartedAt) })
+	for i := 1; i < len(reports); i++ {
+		if reports[i].QueuedAt.Before(reports[i-1].QueuedAt) {
+			t.Errorf("gang start order broke arrival order at job %d", i)
+		}
+	}
+	for i, r := range reports {
+		if r.Class != core.FullScan {
+			t.Errorf("job %d class = %v, want FullScan", i, r.Class)
 		}
 	}
 }

@@ -19,6 +19,7 @@ package qserv
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/czar"
@@ -39,8 +40,19 @@ type ClusterConfig struct {
 	Replication int
 	// Partition is the two-level partitioning geometry.
 	Partition partition.Config
-	// WorkerSlots is the per-worker parallel query limit (paper: 4).
+	// WorkerSlots is the per-worker parallel scan-query limit (paper: 4).
 	WorkerSlots int
+	// InteractiveSlots is the per-worker count of dedicated executors
+	// for interactive (index-dive) chunk queries, which never wait
+	// behind full scans.
+	InteractiveSlots int
+	// SharedScans routes full-scan chunk queries on each worker
+	// through per-table convoy scanners (paper section 4.3):
+	// concurrent scans of one chunk table share a single sequential
+	// read instead of each issuing its own.
+	SharedScans bool
+	// ScanPieceRows is the rows per shared-scan piece.
+	ScanPieceRows int
 	// CacheSubChunks enables worker-side subchunk table caching.
 	CacheSubChunks bool
 	// ResultTimeout bounds a single chunk-result wait.
@@ -59,8 +71,11 @@ func DefaultClusterConfig(workers int) ClusterConfig {
 			NumSubStripesPerStripe: 4,
 			Overlap:                0.5,
 		},
-		WorkerSlots:   4,
-		ResultTimeout: 2 * time.Minute,
+		WorkerSlots:      4,
+		InteractiveSlots: 2,
+		SharedScans:      true,
+		ScanPieceRows:    1024,
+		ResultTimeout:    2 * time.Minute,
 	}
 }
 
@@ -115,6 +130,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		wcfg := worker.DefaultConfig(fmt.Sprintf("worker-%03d", i))
 		wcfg.Slots = cfg.WorkerSlots
 		wcfg.CacheSubChunks = cfg.CacheSubChunks
+		wcfg.SharedScans = cfg.SharedScans
+		if cfg.InteractiveSlots > 0 {
+			wcfg.InteractiveSlots = cfg.InteractiveSlots
+		}
+		if cfg.ScanPieceRows > 0 {
+			wcfg.ScanPieceRows = cfg.ScanPieceRows
+		}
 		if cfg.ResultTimeout > 0 {
 			wcfg.ResultTimeout = cfg.ResultTimeout
 		}
@@ -294,11 +316,7 @@ func (cl *Cluster) partitionRows(n int, info *meta.TableInfo,
 }
 
 func sortChunkIDs(cs []partition.ChunkID) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j] < cs[j-1]; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
-	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 }
 
 // objectRow converts an Object to the meta.ObjectSchema column order.
