@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,8 @@ verify: build vet race
 
 bench:
 	$(GO) run ./cmd/qserv-bench -exp all
+
+# Tiny-size czar merge-pipeline benchmark: serialized vs pipelined
+# collection, oracle-checked. Fast enough to gate CI.
+bench-smoke:
+	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5

@@ -6,6 +6,14 @@
 // per-chunk "chunk queries" (Object -> LSST.Object_CC, areaspec ->
 // qserv_ptInSphericalBox, AVG -> SUM/COUNT) plus a master-side merge
 // query that combines and re-aggregates worker results.
+//
+// The planner also assigns each query its two-class scheduling label
+// (Interactive vs FullScan, paper section 4.3), carried to workers in
+// the chunk-query "-- CLASS:" header, and — with Planner.TopK — pushes
+// ORDER BY + LIMIT down into chunk statements so workers ship at most
+// K rows each, recording the merge ordering (TopKKeys/TopKLimit) and
+// per-column partial-combination operators (PartialOps) the czar's
+// streaming merge consumes (section 7.6).
 package core
 
 import (

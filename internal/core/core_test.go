@@ -415,6 +415,142 @@ func TestPassThroughOrderByLimit(t *testing.T) {
 	}
 }
 
+func TestTopKPushdown(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	pl.TopK = true
+	p := mustPlan(t, pl, placed,
+		"SELECT objectId, ra_PS FROM Object WHERE ra_PS > 1 ORDER BY ra_PS DESC, objectId LIMIT 5")
+	cq := p.QueryFor(3)
+	// With pushdown enabled, the chunk statement carries the full
+	// top-K: ORDER BY and LIMIT both ship to workers.
+	if !strings.Contains(cq.Statements[0], "ORDER BY ra_PS DESC, objectId") {
+		t.Errorf("worker statement missing pushed ORDER BY: %s", cq.Statements[0])
+	}
+	if !strings.Contains(cq.Statements[0], "LIMIT 5") {
+		t.Errorf("worker statement missing pushed LIMIT: %s", cq.Statements[0])
+	}
+	if _, err := sqlparse.ParseScript(string(cq.Payload())); err != nil {
+		t.Errorf("pushed-down chunk query unparseable: %v", err)
+	}
+	// The merge still re-sorts and re-limits the partials.
+	merge := p.MergeSQL("r")
+	if !strings.Contains(merge, "ORDER BY ra_PS DESC") || !strings.Contains(merge, "LIMIT 5") {
+		t.Errorf("merge lost ordering: %s", merge)
+	}
+	// The plan exposes the streaming-merge spec: keys resolved onto
+	// result columns, in order.
+	if !p.TopK || p.TopKLimit != 5 {
+		t.Fatalf("TopK=%v TopKLimit=%d", p.TopK, p.TopKLimit)
+	}
+	if len(p.TopKKeys) != 2 {
+		t.Fatalf("TopKKeys = %+v", p.TopKKeys)
+	}
+	if p.ResultColumns[p.TopKKeys[0].Col] != "ra_PS" || !p.TopKKeys[0].Desc {
+		t.Errorf("key 0 = %+v (cols %v)", p.TopKKeys[0], p.ResultColumns)
+	}
+	if p.ResultColumns[p.TopKKeys[1].Col] != "objectId" || p.TopKKeys[1].Desc {
+		t.Errorf("key 1 = %+v", p.TopKKeys[1])
+	}
+}
+
+func TestTopKPushdownHiddenOrderColumn(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	pl.TopK = true
+	p := mustPlan(t, pl, placed, "SELECT objectId FROM Object ORDER BY decl_PS LIMIT 3")
+	cq := p.QueryFor(3)
+	// The hidden key rides as qserv_ord0 and the worker sorts by it.
+	if !strings.Contains(cq.Statements[0], "qserv_ord0") ||
+		!strings.Contains(cq.Statements[0], "ORDER BY") ||
+		!strings.Contains(cq.Statements[0], "LIMIT 3") {
+		t.Errorf("worker statement: %s", cq.Statements[0])
+	}
+	if !p.TopK || len(p.TopKKeys) != 1 {
+		t.Fatalf("TopK=%v keys=%+v", p.TopK, p.TopKKeys)
+	}
+	if p.ResultColumns[p.TopKKeys[0].Col] != "qserv_ord0" {
+		t.Errorf("hidden key resolved to %q", p.ResultColumns[p.TopKKeys[0].Col])
+	}
+}
+
+func TestTopKPushdownGates(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	pl.TopK = true
+	cases := map[string]string{
+		// No LIMIT: nothing to bound, no pushdown.
+		"no limit": "SELECT objectId FROM Object ORDER BY ra_PS",
+		// DISTINCT: a worker limit before dedup is unsound.
+		"distinct": "SELECT DISTINCT objectId FROM Object ORDER BY objectId LIMIT 5",
+		// Aggregates: workers must see every row to compute partials.
+		"aggregate": "SELECT COUNT(*) FROM Object GROUP BY chunkId ORDER BY chunkId LIMIT 5",
+	}
+	for label, sql := range cases {
+		p := mustPlan(t, pl, placed, sql)
+		if p.TopK {
+			t.Errorf("%s: pushdown must not apply to %q", label, sql)
+		}
+		cq := p.QueryFor(p.Chunks[0])
+		if strings.Contains(cq.Statements[0], "ORDER BY") {
+			t.Errorf("%s: worker statement carries ORDER BY: %s", label, cq.Statements[0])
+		}
+	}
+	// Planner knob off: the ordered-limit query keeps the old shape.
+	pl.TopK = false
+	p := mustPlan(t, pl, placed, "SELECT objectId FROM Object ORDER BY ra_PS LIMIT 5")
+	if p.TopK || strings.Contains(p.QueryFor(3).Statements[0], "LIMIT") {
+		t.Errorf("pushdown applied with the knob off")
+	}
+}
+
+func TestPartialOpsClassification(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	p := mustPlan(t, pl, placed,
+		"SELECT COUNT(*) AS n, AVG(ra_PS), MIN(decl_PS), MAX(decl_PS), chunkId FROM Object GROUP BY chunkId")
+	if p.PartialOps == nil {
+		t.Fatal("aggregate plan has no PartialOps")
+	}
+	if len(p.PartialOps) != len(p.ResultColumns) {
+		t.Fatalf("ops %d vs cols %d", len(p.PartialOps), len(p.ResultColumns))
+	}
+	// Worker items: COUNT(*), SUM(ra_PS), COUNT(ra_PS), MIN, MAX, chunkId.
+	want := []PartialOp{PartialSum, PartialSum, PartialSum, PartialMin, PartialMax, PartialKey}
+	for i, op := range want {
+		if p.PartialOps[i] != op {
+			t.Errorf("op[%d] (%s) = %v, want %v", i, p.ResultColumns[i], p.PartialOps[i], op)
+		}
+	}
+	// Pass-through plans have none.
+	p2 := mustPlan(t, pl, placed, "SELECT objectId FROM Object")
+	if p2.PartialOps != nil {
+		t.Errorf("pass-through plan has PartialOps: %v", p2.PartialOps)
+	}
+}
+
+func TestResultTypesInferred(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	// Satellite fix: zero-chunk synthesized results must not type every
+	// column as DOUBLE.
+	p := mustPlan(t, pl, placed, "SELECT objectId, ra_PS FROM Object WHERE objectId = 99999")
+	if got := p.ResultType(0); got != sqlparse.TypeInt {
+		t.Errorf("objectId type = %v, want INT", got)
+	}
+	if got := p.ResultType(1); got != sqlparse.TypeFloat {
+		t.Errorf("ra_PS type = %v, want DOUBLE", got)
+	}
+	// Star expansion carries catalog types through.
+	p2 := mustPlan(t, pl, placed, "SELECT * FROM Object WHERE objectId = 99999")
+	if got := p2.ResultType(0); got != sqlparse.TypeInt {
+		t.Errorf("star objectId type = %v", got)
+	}
+	// Aggregate partials: COUNT is INT, SUM over a DOUBLE is DOUBLE.
+	p3 := mustPlan(t, pl, placed, "SELECT COUNT(*), AVG(ra_PS) FROM Object")
+	if got := p3.ResultType(0); got != sqlparse.TypeInt {
+		t.Errorf("COUNT partial type = %v", got)
+	}
+	if got := p3.ResultType(1); got != sqlparse.TypeFloat {
+		t.Errorf("SUM(ra_PS) partial type = %v", got)
+	}
+}
+
 func TestPassThroughLimitPushdown(t *testing.T) {
 	_, pl, placed := testSetup(t)
 	p := mustPlan(t, pl, placed, "SELECT objectId FROM Object LIMIT 7")

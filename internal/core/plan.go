@@ -56,6 +56,12 @@ func ParseQueryClass(s string) (QueryClass, bool) {
 type Planner struct {
 	Registry *meta.Registry
 	Index    *meta.ObjectIndex // may be nil
+	// TopK enables ORDER BY + LIMIT pushdown for pass-through queries:
+	// each chunk statement carries the full top-K (ORDER BY + LIMIT) so
+	// workers ship at most K rows per statement instead of every match,
+	// and the czar re-merges the sorted partials (the section 7.6
+	// result-collection bottleneck mitigation).
+	TopK bool
 }
 
 // Plan is everything the czar needs to execute one user query: the
@@ -81,9 +87,53 @@ type Plan struct {
 	// ResultColumns are the output column names, used to synthesize an
 	// empty result when no chunk is dispatched.
 	ResultColumns []string
+	// ResultTypes are the storage types of ResultColumns, derived from
+	// catalog schemas and expression shapes; the czar uses them to type
+	// the session result table (and zero-chunk synthesized results)
+	// instead of defaulting every column to DOUBLE.
+	ResultTypes []sqlparse.ColType
+	// TopK is true when the worker statements carry the user's ORDER BY
+	// + LIMIT (top-K pushdown); the czar then keeps only the best
+	// TopKLimit rows under TopKKeys while merging.
+	TopK bool
+	// TopKKeys are the merge ordering keys resolved onto ResultColumns.
+	TopKKeys []TopKKey
+	// TopKLimit is the user's LIMIT, valid when TopK is set.
+	TopKLimit int64
+	// PartialOps classify each result column of an aggregate plan for
+	// incremental partial combination at the czar (COUNT/SUM partials
+	// add, MIN/MAX partials fold, group keys identify the bucket); nil
+	// for pass-through plans.
+	PartialOps []PartialOp
 
 	registry *meta.Registry
+	topK     bool // planner's TopK knob, latched before buildTemplates
 }
+
+// TopKKey is one merge-side ORDER BY key resolved to a result column.
+type TopKKey struct {
+	// Col indexes into ResultColumns.
+	Col int
+	// Desc is true for descending order.
+	Desc bool
+}
+
+// PartialOp says how one worker result column combines across chunk
+// partials when the czar folds them incrementally (instead of
+// materializing every partial row before the merge query runs).
+type PartialOp int
+
+// Partial combination operators.
+const (
+	// PartialKey columns identify the aggregation bucket.
+	PartialKey PartialOp = iota
+	// PartialSum columns add (COUNT and SUM partials).
+	PartialSum
+	// PartialMin columns keep the minimum.
+	PartialMin
+	// PartialMax columns keep the maximum.
+	PartialMax
+)
 
 // Placeholders substituted during per-chunk SQL generation.
 const (
@@ -205,7 +255,7 @@ func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan
 		return nil, fmt.Errorf("%w", ErrNoPartitionedTable)
 	}
 
-	p := &Plan{Analysis: a, registry: pl.Registry}
+	p := &Plan{Analysis: a, registry: pl.Registry, topK: pl.TopK}
 
 	// Chunk set selection (paper section 5.5): secondary index for
 	// director-key restrictions, spatial cover for region restrictions,
@@ -290,6 +340,15 @@ func intersectChunks(a, b []partition.ChunkID) []partition.ChunkID {
 	}
 	sortChunks(out)
 	return out
+}
+
+// ResultType returns the storage type of result column i, defaulting
+// to DOUBLE when inference recorded nothing.
+func (p *Plan) ResultType(i int) sqlparse.ColType {
+	if i >= 0 && i < len(p.ResultTypes) {
+		return p.ResultTypes[i]
+	}
+	return sqlparse.TypeFloat
 }
 
 // QueryFor renders the chunk query for one chunk.

@@ -272,8 +272,31 @@ func (p *Plan) buildAggregateTemplates(worker *sqlparse.Select) error {
 	p.Merge = merge
 	for _, it := range s.workerItems {
 		p.ResultColumns = append(p.ResultColumns, it.Alias)
+		p.ResultTypes = append(p.ResultTypes, p.exprType(it.Expr))
+		p.PartialOps = append(p.PartialOps, classifyPartial(it.Expr))
 	}
 	return nil
+}
+
+// classifyPartial maps a worker output expression onto its incremental
+// combination operator. Worker items are built exclusively by the
+// splitter, so aggregate partials are always bare SUM/COUNT/MIN/MAX
+// calls; anything else is a grouping key.
+func classifyPartial(e sqlparse.Expr) PartialOp {
+	fc, ok := e.(*sqlparse.FuncCall)
+	if !ok {
+		return PartialKey
+	}
+	switch strings.ToUpper(fc.Name) {
+	case "SUM", "COUNT":
+		// COUNT partials merge as SUM-of-counts, so both add.
+		return PartialSum
+	case "MIN":
+		return PartialMin
+	case "MAX":
+		return PartialMax
+	}
+	return PartialKey
 }
 
 // buildPassThroughTemplates handles non-aggregate queries: workers run
@@ -335,31 +358,91 @@ func (p *Plan) buildPassThroughTemplates(worker *sqlparse.Select) error {
 	}
 
 	worker.OrderBy = nil
-	// LIMIT pushdown is sound only without ordering: any N rows do.
-	if len(user.OrderBy) > 0 || user.Distinct {
+	// LIMIT pushdown: without ordering any N rows do. With ordering a
+	// bare LIMIT is unsound, but the planner may push the full top-K —
+	// ORDER BY and LIMIT together — so each chunk statement ships at
+	// most K (sorted) rows instead of every matching row; the czar then
+	// re-merges the partials under the same keys. DISTINCT blocks both
+	// forms: a worker limit applied before deduplication can starve the
+	// final distinct set.
+	pushTopK := false
+	switch {
+	case user.Distinct:
 		worker.Limit = -1
+	case len(user.OrderBy) > 0:
+		worker.Limit = -1
+		if p.topK && user.Limit >= 0 {
+			pushTopK = true
+		}
 	}
 
 	p.workerSel = worker
 	p.Merge = merge
 	for _, it := range worker.Items {
 		if st, ok := it.Expr.(*sqlparse.Star); ok {
-			cols, err := p.expandStarColumns(st)
+			cols, types, err := p.expandStarColumns(st)
 			if err != nil {
 				return err
 			}
 			p.ResultColumns = append(p.ResultColumns, cols...)
+			p.ResultTypes = append(p.ResultTypes, types...)
 			continue
 		}
 		p.ResultColumns = append(p.ResultColumns, outputNameOf(it))
+		p.ResultTypes = append(p.ResultTypes, p.exprType(it.Expr))
+	}
+
+	if pushTopK {
+		if keys, ok := p.resolveTopKKeys(); ok {
+			worker.OrderBy = cloneOrderItems(user.OrderBy)
+			worker.Limit = user.Limit
+			p.TopK = true
+			p.TopKKeys = keys
+			p.TopKLimit = user.Limit
+		}
 	}
 	return nil
 }
 
+// resolveTopKKeys maps the merge statement's ORDER BY (always bare
+// column references into the result table, by construction of the
+// pass-through templates) onto ResultColumns positions. ok is false if
+// any key fails to resolve, in which case pushdown is abandoned.
+func (p *Plan) resolveTopKKeys() ([]TopKKey, bool) {
+	keys := make([]TopKKey, 0, len(p.Merge.OrderBy))
+	for _, o := range p.Merge.OrderBy {
+		cr, ok := o.Expr.(*sqlparse.ColumnRef)
+		if !ok || cr.Table != "" {
+			return nil, false
+		}
+		col := -1
+		for i, name := range p.ResultColumns {
+			if strings.EqualFold(name, cr.Column) {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return nil, false
+		}
+		keys = append(keys, TopKKey{Col: col, Desc: o.Desc})
+	}
+	return keys, true
+}
+
+func cloneOrderItems(in []sqlparse.OrderItem) []sqlparse.OrderItem {
+	out := make([]sqlparse.OrderItem, len(in))
+	for i, o := range in {
+		out[i] = sqlparse.OrderItem{Expr: sqlparse.CloneExpr(o.Expr), Desc: o.Desc}
+	}
+	return out
+}
+
 // expandStarColumns resolves a star projection to concrete column names
-// using catalog schemas (needed to synthesize empty results).
-func (p *Plan) expandStarColumns(st *sqlparse.Star) ([]string, error) {
-	var out []string
+// and types using catalog schemas (needed to synthesize empty results).
+func (p *Plan) expandStarColumns(st *sqlparse.Star) ([]string, []sqlparse.ColType, error) {
+	var names []string
+	var types []sqlparse.ColType
 	matched := false
 	for _, ref := range p.Analysis.Stmt.From {
 		if st.Table != "" && !strings.EqualFold(ref.Name(), st.Table) {
@@ -368,14 +451,85 @@ func (p *Plan) expandStarColumns(st *sqlparse.Star) ([]string, error) {
 		matched = true
 		info, err := p.registry.Table(ref.Table)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		out = append(out, info.Schema.Names()...)
+		for _, c := range info.Schema {
+			names = append(names, c.Name)
+			types = append(types, c.Type)
+		}
 	}
 	if !matched {
-		return nil, fmt.Errorf("core: unknown table %q in star projection", st.Table)
+		return nil, nil, fmt.Errorf("core: unknown table %q in star projection", st.Table)
 	}
-	return out, nil
+	return names, types, nil
+}
+
+// exprType infers the storage type a worker output expression produces,
+// from catalog schemas and expression shape. Best-effort: unknown
+// shapes default to DOUBLE, the engine's own fallback.
+func (p *Plan) exprType(e sqlparse.Expr) sqlparse.ColType {
+	switch v := e.(type) {
+	case *sqlparse.Literal:
+		switch v.Val.(type) {
+		case int64, bool:
+			return sqlparse.TypeInt
+		case string:
+			return sqlparse.TypeString
+		}
+		return sqlparse.TypeFloat
+	case *sqlparse.ColumnRef:
+		if t, ok := p.columnType(v); ok {
+			return t
+		}
+		return sqlparse.TypeFloat
+	case *sqlparse.FuncCall:
+		switch strings.ToUpper(v.Name) {
+		case "COUNT":
+			return sqlparse.TypeInt
+		case "SUM", "MIN", "MAX", "IFNULL":
+			if len(v.Args) >= 1 {
+				return p.exprType(v.Args[0])
+			}
+		}
+		return sqlparse.TypeFloat
+	case *sqlparse.UnaryExpr:
+		if strings.EqualFold(v.Op, "NOT") {
+			return sqlparse.TypeInt
+		}
+		return p.exprType(v.X)
+	case *sqlparse.BinaryExpr:
+		switch v.Op {
+		case "AND", "OR", "=", "!=", "<>", "<", "<=", ">", ">=":
+			return sqlparse.TypeInt
+		case "/":
+			return sqlparse.TypeFloat
+		}
+		if p.exprType(v.L) == sqlparse.TypeInt && p.exprType(v.R) == sqlparse.TypeInt {
+			return sqlparse.TypeInt
+		}
+		return sqlparse.TypeFloat
+	case *sqlparse.BetweenExpr, *sqlparse.InExpr, *sqlparse.IsNullExpr:
+		return sqlparse.TypeInt
+	}
+	return sqlparse.TypeFloat
+}
+
+// columnType resolves a column reference against the user query's FROM
+// tables via the catalog.
+func (p *Plan) columnType(cr *sqlparse.ColumnRef) (sqlparse.ColType, bool) {
+	for _, ref := range p.Analysis.Stmt.From {
+		if cr.Table != "" && !strings.EqualFold(ref.Name(), cr.Table) {
+			continue
+		}
+		info, err := p.registry.Table(ref.Table)
+		if err != nil {
+			continue
+		}
+		if i := info.Schema.ColIndex(cr.Column); i >= 0 {
+			return info.Schema[i].Type, true
+		}
+	}
+	return sqlparse.TypeFloat, false
 }
 
 // outputNameOf returns the result-column name of a select item.

@@ -1,21 +1,30 @@
 // Package czar implements the Qserv master frontend (the "qserv-master"
 // of Figure 1): it parses user SQL, plans chunk queries via the core
 // rewriter, dispatches them through the xrd fabric's two file
-// transactions, collects the mysqldump-style results byte-for-byte into
-// its local engine, merges them into a session result table, and runs
-// the merge/aggregation query to produce the final answer (paper
-// sections 5.3-5.5).
+// transactions, collects the mysqldump-style results, merges them into
+// a session result table, and runs the merge/aggregation query to
+// produce the final answer (paper sections 5.3-5.5).
+//
+// Result collection is the scalability bottleneck the paper identifies
+// at the master (section 7.6); this czar therefore merges with a
+// streaming, parallel pipeline instead of the paper's serialized
+// load-then-copy: dispatch goroutines decode dump streams concurrently
+// (dump.Decode, no engine involvement) and fold rows into a striped
+// appender (mergeSession), gated czar-wide by MergeParallelism so
+// merging overlaps with in-flight chunk fetches and concurrent user
+// queries never serialize on a shared lock. Plans with ORDER BY + LIMIT
+// pushed down (core.Planner.TopK) keep only the best K rows while
+// streaming; aggregate plans combine partial aggregates incrementally
+// as chunk results arrive.
 package czar
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dump"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sqlengine"
@@ -32,11 +41,27 @@ type Config struct {
 	MaxParallelDispatch int
 	// MaxRetriesPerChunk bounds replica failover attempts per chunk.
 	MaxRetriesPerChunk int
+	// MergeParallelism bounds concurrent dump-stream decode+fold
+	// operations czar-wide, across all in-flight user queries. 1
+	// reproduces the paper's serialized result collection (section
+	// 7.6); larger values let merging overlap chunk fetches and let
+	// concurrent queries merge independently.
+	MergeParallelism int
+	// TopKPushdown ships ORDER BY + LIMIT to workers for pass-through
+	// queries, so each chunk returns at most K rows and the czar keeps
+	// a streaming top-K instead of materializing every match.
+	TopKPushdown bool
 }
 
 // DefaultConfig returns sensible defaults.
 func DefaultConfig(name string) Config {
-	return Config{Name: name, MaxParallelDispatch: 64, MaxRetriesPerChunk: 3}
+	return Config{
+		Name:                name,
+		MaxParallelDispatch: 64,
+		MaxRetriesPerChunk:  3,
+		MergeParallelism:    8,
+		TopKPushdown:        true,
+	}
 }
 
 // Czar is one master frontend.
@@ -50,10 +75,8 @@ type Czar struct {
 	// engine holds the metadata database, replicated small tables, and
 	// per-query result tables.
 	engine *sqlengine.Engine
-	// loadMu serializes dump-stream loading across concurrent user
-	// queries: result tables are content-addressed, so two identical
-	// in-flight queries would otherwise race on the same staging table.
-	loadMu sync.Mutex
+	// mergeSem gates concurrent decode+fold work at MergeParallelism.
+	mergeSem chan struct{}
 
 	seq atomic.Int64
 }
@@ -70,15 +93,21 @@ func New(cfg Config, registry *meta.Registry, index *meta.ObjectIndex,
 	if cfg.MaxRetriesPerChunk <= 0 {
 		cfg.MaxRetriesPerChunk = 3
 	}
+	if cfg.MergeParallelism <= 0 {
+		cfg.MergeParallelism = 8
+	}
 	e := sqlengine.New(registry.DB)
 	e.CreateDatabase(resultDB)
+	planner := core.NewPlanner(registry, index)
+	planner.TopK = cfg.TopKPushdown
 	return &Czar{
 		cfg:       cfg,
 		registry:  registry,
-		planner:   core.NewPlanner(registry, index),
+		planner:   planner,
 		placement: placement,
 		client:    xrd.NewClient(red),
 		engine:    e,
+		mergeSem:  make(chan struct{}, cfg.MergeParallelism),
 	}
 }
 
@@ -130,8 +159,8 @@ func (c *Czar) Query(sql string) (*QueryResult, error) {
 	return qr, nil
 }
 
-// execute dispatches the plan's chunk queries, collects and merges the
-// results, and runs the final merge statement.
+// execute dispatches the plan's chunk queries, streams the results
+// through the merge pipeline, and runs the final merge statement.
 func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
 	qr := &QueryResult{Class: plan.Class, ChunksDispatched: len(plan.Chunks)}
 	resultTable := fmt.Sprintf("result_%d", c.seq.Add(1))
@@ -141,85 +170,52 @@ func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
 			_ = db.Drop(resultTable, true)
 		}
 	}()
-
-	type chunkResult struct {
-		chunk   partition.ChunkID
-		data    []byte
-		retries int
-		err     error
-	}
-	results := make(chan chunkResult, len(plan.Chunks))
-	sem := make(chan struct{}, c.cfg.MaxParallelDispatch)
-	var wg sync.WaitGroup
-	for _, chunk := range plan.Chunks {
-		wg.Add(1)
-		go func(chunk partition.ChunkID) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			data, retries, err := c.runChunk(plan, chunk)
-			results <- chunkResult{chunk: chunk, data: data, retries: retries, err: err}
-		}(chunk)
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	// Collection and merging are serialized at the master — the
-	// bottleneck the paper discusses in section 7.6.
-	var merged *sqlengine.Table
 	resDB, err := c.engine.Database(resultDB)
 	if err != nil {
 		return nil, err
 	}
-	for cr := range results {
-		if cr.err != nil {
-			return nil, fmt.Errorf("czar %s: chunk %d: %w", c.cfg.Name, cr.chunk, cr.err)
+
+	// Each dispatch goroutine fetches its chunk's dump stream and then
+	// decodes + folds it right there, so merging overlaps with the
+	// fetches still in flight. The merge gate (MergeParallelism) is
+	// czar-wide: it bounds decode CPU across all concurrent user
+	// queries without ever serializing them on shared state — each
+	// query folds into its own session, and stripes keep even
+	// same-session folds mostly uncontended.
+	session := newMergeSession(plan, mergeStripes(c.cfg.MergeParallelism))
+	type chunkOutcome struct {
+		chunk   partition.ChunkID
+		bytes   int64
+		retries int
+		err     error
+	}
+	results := make(chan chunkOutcome, len(plan.Chunks))
+	sem := make(chan struct{}, c.cfg.MaxParallelDispatch)
+	for _, chunk := range plan.Chunks {
+		go func(chunk partition.ChunkID) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			data, retries, err := c.runChunk(plan, chunk)
+			if err == nil {
+				c.mergeSem <- struct{}{}
+				err = session.absorb(data)
+				<-c.mergeSem
+			}
+			results <- chunkOutcome{chunk: chunk, bytes: int64(len(data)), retries: retries, err: err}
+		}(chunk)
+	}
+	for range plan.Chunks {
+		co := <-results
+		if co.err != nil {
+			return nil, fmt.Errorf("czar %s: chunk %d: %w", c.cfg.Name, co.chunk, co.err)
 		}
-		qr.Retries += cr.retries
-		qr.ResultBytes += int64(len(cr.data))
-		// Execute the dump stream byte-for-byte (section 5.4), then
-		// fold the loaded table into the session result table.
-		if err := func() error {
-			c.loadMu.Lock()
-			defer c.loadMu.Unlock()
-			name, _, err := dump.Load(c.engine, string(cr.data))
-			if err != nil {
-				return fmt.Errorf("load chunk %d result: %w", cr.chunk, err)
-			}
-			defDB, err := c.engine.Database(c.engine.DefaultDB())
-			if err != nil {
-				return err
-			}
-			loaded, err := defDB.Table(name)
-			if err != nil {
-				return err
-			}
-			if merged == nil {
-				merged = sqlengine.NewTable(resultTable, loaded.Schema)
-				resDB.Put(merged)
-			}
-			if err := c.appendRows(merged, loaded); err != nil {
-				return err
-			}
-			return defDB.Drop(name, true)
-		}(); err != nil {
-			return nil, fmt.Errorf("czar %s: %w", c.cfg.Name, err)
-		}
+		qr.Retries += co.retries
+		qr.ResultBytes += co.bytes
 	}
 
-	// No chunks (e.g. objectId not in the index): synthesize an empty
-	// result table so the merge still produces a well-formed answer.
-	if merged == nil {
-		schema := make(sqlengine.Schema, len(plan.ResultColumns))
-		for i, col := range plan.ResultColumns {
-			schema[i] = sqlengine.Column{Name: col, Type: sqlparse.TypeFloat}
-		}
-		merged = sqlengine.NewTable(resultTable, schema)
-		resDB.Put(merged)
-	}
-
+	// Install the session result table (typed from the plan when no
+	// chunk was dispatched) and run the merge statement over it.
+	resDB.Put(session.finish(resultTable))
 	final, err := c.engine.Query(plan.MergeSQL(qualified))
 	if err != nil {
 		return nil, fmt.Errorf("czar %s: merge: %w", c.cfg.Name, err)
@@ -228,15 +224,18 @@ func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
 	return qr, nil
 }
 
-// appendRows merges a loaded per-chunk result table into the session
-// result table, tolerating column order by position (chunk results all
-// come from the same worker template).
-func (c *Czar) appendRows(dst, src *sqlengine.Table) error {
-	if len(src.Schema) != len(dst.Schema) {
-		return fmt.Errorf("czar %s: result arity mismatch: %d vs %d",
-			c.cfg.Name, len(src.Schema), len(dst.Schema))
+// mergeStripes sizes a session's stripe set from the merge gate width:
+// as many independently locked shards as there can be concurrent
+// folders, capped to keep finish()'s cross-stripe combine cheap.
+func mergeStripes(parallelism int) int {
+	const maxStripes = 16
+	if parallelism > maxStripes {
+		return maxStripes
 	}
-	return dst.Insert(src.Rows...)
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
 }
 
 // runChunk performs the two file transactions for one chunk, failing

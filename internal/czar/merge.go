@@ -1,0 +1,333 @@
+package czar
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/internal/sqlengine"
+)
+
+// mergeSession accumulates one user query's chunk results into the
+// session result table — the streaming replacement for the paper's
+// serialized load-then-copy collection step (section 7.6). Dispatch
+// goroutines decode dump streams concurrently (no engine, no locks) and
+// fold the rows into one of several stripes, each guarded by its own
+// mutex, so merging overlaps with in-flight chunk fetches and scales
+// with the czar's MergeParallelism. Three folders exist:
+//
+//   - append: pass-through rows are appended as they arrive;
+//   - topK: for plans with ORDER BY + LIMIT pushed down, each stripe
+//     keeps only its best K rows via a streaming sorted merge, so the
+//     session table never holds more than stripes x K rows;
+//   - aggregate: partial-aggregate rows combine incrementally by group
+//     key (COUNT/SUM partials add, MIN/MAX fold) instead of
+//     materializing every partial row before the merge query runs.
+//
+// finish() then combines the stripes (concatenate / k-way merge /
+// group-map union) into the typed session table the merge SQL reads.
+type mergeSession struct {
+	plan    *core.Plan
+	stripes []*mergeStripe
+	next    atomic.Int64
+
+	mu     sync.Mutex
+	schema sqlengine.Schema // set by the first arriving chunk result
+}
+
+// mergeStripe is one independently locked shard of the session state.
+type mergeStripe struct {
+	mu sync.Mutex
+	f  partialFolder
+}
+
+// partialFolder folds batches of decoded partial rows; rows() yields
+// the folded state. Implementations are not goroutine-safe — the
+// owning stripe's mutex serializes access.
+type partialFolder interface {
+	fold(rows []sqlengine.Row)
+	rows() []sqlengine.Row
+}
+
+// newMergeSession sizes the stripe set and picks the folder the plan
+// calls for.
+func newMergeSession(plan *core.Plan, stripes int) *mergeSession {
+	if stripes < 1 {
+		stripes = 1
+	}
+	s := &mergeSession{plan: plan}
+	for i := 0; i < stripes; i++ {
+		s.stripes = append(s.stripes, &mergeStripe{f: newFolder(plan)})
+	}
+	return s
+}
+
+func newFolder(plan *core.Plan) partialFolder {
+	switch {
+	case plan.TopK && len(plan.TopKKeys) > 0:
+		return &topKFolder{keys: plan.TopKKeys, k: plan.TopKLimit}
+	case plan.PartialOps != nil:
+		return newAggFolder(plan.PartialOps)
+	default:
+		return &appendFolder{}
+	}
+}
+
+// absorb decodes one chunk's dump stream and folds its rows into a
+// stripe. It is safe to call from many dispatch goroutines at once.
+func (s *mergeSession) absorb(data []byte) error {
+	dec, err := dump.Decode(string(data))
+	if err != nil {
+		return err
+	}
+	if err := s.admit(dec); err != nil {
+		return err
+	}
+	if len(dec.Rows) == 0 {
+		return nil
+	}
+	st := s.stripes[int(s.next.Add(1)-1)%len(s.stripes)]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.f.fold(dec.Rows)
+	return nil
+}
+
+// admit validates the stream's schema against the session: the first
+// arrival fixes it, later arrivals must agree in arity (chunk results
+// all come from the same worker statement template).
+func (s *mergeSession) admit(dec *dump.Decoded) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.schema == nil {
+		if len(s.plan.ResultColumns) > 0 && len(dec.Schema) != len(s.plan.ResultColumns) {
+			return fmt.Errorf("result arity %d does not match plan arity %d",
+				len(dec.Schema), len(s.plan.ResultColumns))
+		}
+		s.schema = dec.Schema
+		return nil
+	}
+	if len(dec.Schema) != len(s.schema) {
+		return fmt.Errorf("result arity mismatch: %d vs %d", len(dec.Schema), len(s.schema))
+	}
+	return nil
+}
+
+// finish combines the stripes into the session result table. With no
+// chunk results at all it synthesizes an empty table typed from the
+// plan's result columns, so zero-chunk string/int queries still merge
+// correctly.
+func (s *mergeSession) finish(name string) *sqlengine.Table {
+	s.mu.Lock()
+	schema := s.schema
+	s.mu.Unlock()
+	if schema == nil {
+		schema = make(sqlengine.Schema, len(s.plan.ResultColumns))
+		for i, col := range s.plan.ResultColumns {
+			schema[i] = sqlengine.Column{Name: col, Type: s.plan.ResultType(i)}
+		}
+		return sqlengine.NewTable(name, schema)
+	}
+
+	folders := make([]partialFolder, len(s.stripes))
+	for i, st := range s.stripes {
+		st.mu.Lock()
+		folders[i] = st.f
+		st.mu.Unlock()
+	}
+	// Cross-stripe combination reuses the fold operation itself: fold
+	// every other stripe's state into the first (for top-K that is the
+	// final leg of the k-way merge; for aggregates, the group-map
+	// union; for append, concatenation).
+	first := folders[0]
+	for _, f := range folders[1:] {
+		first.fold(f.rows())
+	}
+	t := sqlengine.NewTable(name, schema)
+	// Folded rows are fresh per-session slices; Insert may retain them.
+	_ = t.Insert(first.rows()...)
+	return t
+}
+
+// ---------- append ----------
+
+type appendFolder struct{ acc []sqlengine.Row }
+
+func (f *appendFolder) fold(rows []sqlengine.Row) { f.acc = append(f.acc, rows...) }
+func (f *appendFolder) rows() []sqlengine.Row     { return f.acc }
+
+// ---------- top-K ----------
+
+// topKFolder keeps the best k rows under the plan's merge ordering.
+// Incoming batches are sorted (workers ship them ordered already for
+// single-statement chunk queries; multi-statement results are
+// concatenations of sorted runs) and then merged with the accumulated
+// sorted run, truncating at k — a streaming k-way merge two runs at a
+// time.
+type topKFolder struct {
+	keys []core.TopKKey
+	k    int64
+	acc  []sqlengine.Row
+}
+
+func (f *topKFolder) less(a, b sqlengine.Row) bool {
+	for _, key := range f.keys {
+		c := sqlengine.CompareNullsFirst(a[key.Col], b[key.Col])
+		if c == 0 {
+			continue
+		}
+		if key.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+func (f *topKFolder) fold(rows []sqlengine.Row) {
+	batch := append([]sqlengine.Row(nil), rows...)
+	sort.SliceStable(batch, func(i, j int) bool { return f.less(batch[i], batch[j]) })
+	f.acc = f.mergeTrunc(f.acc, batch)
+}
+
+// mergeTrunc merges two sorted runs, keeping at most k rows. Ties
+// prefer run a (the earlier-arrived rows), mirroring the engine's
+// stable sort.
+func (f *topKFolder) mergeTrunc(a, b []sqlengine.Row) []sqlengine.Row {
+	limit := int(f.k)
+	out := make([]sqlengine.Row, 0, min(limit, len(a)+len(b)))
+	i, j := 0, 0
+	for len(out) < limit && (i < len(a) || j < len(b)) {
+		switch {
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case f.less(b[j], a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+		}
+	}
+	return out
+}
+
+func (f *topKFolder) rows() []sqlengine.Row { return f.acc }
+
+// ---------- incremental aggregate combine ----------
+
+// aggFolder combines partial-aggregate rows by group key as they
+// arrive. The merge SQL's re-aggregation (SUM over partial counts and
+// sums, MIN/MAX over partial extrema) is associative, so folding
+// chunk partials pairwise leaves the final answer unchanged while the
+// session table holds one row per group instead of chunks x groups.
+type aggFolder struct {
+	ops    []core.PartialOp
+	keyIdx []int
+	groups map[string]sqlengine.Row
+	order  []string // first-seen group order, for deterministic output
+}
+
+func newAggFolder(ops []core.PartialOp) *aggFolder {
+	f := &aggFolder{ops: ops, groups: map[string]sqlengine.Row{}}
+	for i, op := range ops {
+		if op == core.PartialKey {
+			f.keyIdx = append(f.keyIdx, i)
+		}
+	}
+	return f
+}
+
+func (f *aggFolder) fold(rows []sqlengine.Row) {
+	keyVals := make([]sqlengine.Value, len(f.keyIdx))
+	for _, r := range rows {
+		if len(r) != len(f.ops) {
+			continue // admit() already rejected mismatched streams
+		}
+		for i, ki := range f.keyIdx {
+			keyVals[i] = r[ki]
+		}
+		key := sqlengine.GroupKey(keyVals)
+		acc, ok := f.groups[key]
+		if !ok {
+			f.groups[key] = append(sqlengine.Row(nil), r...)
+			f.order = append(f.order, key)
+			continue
+		}
+		for i, op := range f.ops {
+			acc[i] = combinePartial(op, acc[i], r[i])
+		}
+	}
+}
+
+func (f *aggFolder) rows() []sqlengine.Row {
+	out := make([]sqlengine.Row, 0, len(f.order))
+	for _, key := range f.order {
+		out = append(out, f.groups[key])
+	}
+	return out
+}
+
+// combinePartial folds one partial-aggregate cell into the
+// accumulator, mirroring the merge aggregates' NULL handling: SQL
+// aggregates skip NULLs, so NULL combines as the identity.
+func combinePartial(op core.PartialOp, acc, v sqlengine.Value) sqlengine.Value {
+	switch op {
+	case core.PartialSum:
+		return addPartial(acc, v)
+	case core.PartialMin:
+		return extremum(acc, v, -1)
+	case core.PartialMax:
+		return extremum(acc, v, +1)
+	default: // PartialKey: identical within a group by construction
+		return acc
+	}
+}
+
+// addPartial adds two partial sums, preserving the engine's SUM typing
+// (all-int input stays int64, anything else is float64).
+func addPartial(a, b sqlengine.Value) sqlengine.Value {
+	if sqlengine.IsNull(a) {
+		return b
+	}
+	if sqlengine.IsNull(b) {
+		return a
+	}
+	ai, aok := a.(int64)
+	bi, bok := b.(int64)
+	if aok && bok {
+		return ai + bi
+	}
+	af, aerr := sqlengine.AsFloat(a)
+	bf, berr := sqlengine.AsFloat(b)
+	if aerr != nil || berr != nil {
+		return a
+	}
+	return af + bf
+}
+
+// extremum keeps the smaller (dir < 0) or larger (dir > 0) of two
+// partial extrema; NULL is the identity.
+func extremum(a, b sqlengine.Value, dir int) sqlengine.Value {
+	if sqlengine.IsNull(a) {
+		return b
+	}
+	if sqlengine.IsNull(b) {
+		return a
+	}
+	c, err := sqlengine.Compare(a, b)
+	if err != nil {
+		return a
+	}
+	if (dir < 0 && c <= 0) || (dir > 0 && c >= 0) {
+		return a
+	}
+	return b
+}

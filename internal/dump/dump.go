@@ -8,6 +8,13 @@
 // explore a more efficient method", section 7.1); the serializer
 // therefore reports the exact byte count shipped so the cost model can
 // charge for it.
+//
+// The master side offers three loaders: Load (execute into the default
+// database), LoadInto (execute into a caller-chosen per-query namespace,
+// so concurrent user queries whose content-addressed streams collide on
+// table names never contend), and Decode (engine-free: parse the stream
+// straight into schema + rows, the form the czar's streaming merge
+// pipeline consumes from its dispatch goroutines).
 package dump
 
 import (
@@ -108,37 +115,182 @@ func quotePart(s string) string {
 	return ref.SQL()
 }
 
-// Load executes a dump script against an engine, materializing the table
-// it describes. It returns the created table's name and the number of
-// rows loaded. This is the master-side "read byte-for-byte and execute"
-// step of section 5.4.
+// Load materializes a dump stream's table into the database the stream
+// names (the engine's default database when unqualified). It returns
+// the created table's name — qualified as the stream spelled it — and
+// the number of rows loaded. This is the master-side "read
+// byte-for-byte and execute" step of section 5.4.
 func Load(e *sqlengine.Engine, script string) (string, int, error) {
+	dec, err := Decode(script)
+	if err != nil {
+		return "", 0, err
+	}
+	db, name := dec.DB, dec.Name
+	if db == "" {
+		db = e.DefaultDB()
+	} else {
+		name = db + "." + dec.Name
+	}
+	if err := install(e, db, dec); err != nil {
+		return "", 0, err
+	}
+	return name, len(dec.Rows), nil
+}
+
+// LoadInto materializes a dump stream's table into the named database —
+// a caller-chosen namespace, created if absent. Worker result tables
+// are content-addressed (r_<hash>), so two identical in-flight user
+// queries produce identical table names; loading each query's streams
+// into its own namespace lets concurrent merges proceed without any
+// cross-query serialization. A database qualifier inside the stream is
+// overridden by db.
+func LoadInto(e *sqlengine.Engine, db, script string) (string, int, error) {
+	dec, err := Decode(script)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := install(e, db, dec); err != nil {
+		return "", 0, err
+	}
+	return dec.Name, len(dec.Rows), nil
+}
+
+func install(e *sqlengine.Engine, db string, dec *Decoded) error {
+	t := sqlengine.NewTable(dec.Name, dec.Schema)
+	if err := t.Insert(dec.Rows...); err != nil {
+		return fmt.Errorf("dump: load: %w", err)
+	}
+	e.CreateDatabase(db).Put(t)
+	return nil
+}
+
+// Decoded is the in-memory form of one dump stream: the table it would
+// create and the rows it would insert, with values coerced to the
+// declared column types.
+type Decoded struct {
+	// DB is the database qualifier the stream carries, usually empty.
+	DB     string
+	Name   string
+	Schema sqlengine.Schema
+	Rows   []sqlengine.Row
+}
+
+// Decode parses a dump stream without touching any engine: it reads the
+// CREATE TABLE schema and evaluates the INSERT literals into rows. This
+// is the lock-free half of the czar's streaming merge — dispatch
+// goroutines decode concurrently and only the final row append
+// synchronizes.
+func Decode(script string) (*Decoded, error) {
 	stmts, err := sqlparse.ParseScript(script)
 	if err != nil {
-		return "", 0, fmt.Errorf("dump: parse: %w", err)
+		return nil, fmt.Errorf("dump: parse: %w", err)
 	}
-	name := ""
-	rows := 0
+	dec := &Decoded{}
 	for _, st := range stmts {
 		switch s := st.(type) {
+		case *sqlparse.DropTable:
+			// Preamble; nothing to do.
 		case *sqlparse.CreateTable:
-			name = s.Name
-			if s.DB != "" {
-				name = s.DB + "." + s.Name
+			if dec.Name != "" {
+				return nil, fmt.Errorf("dump: stream creates more than one table")
+			}
+			dec.DB = s.DB
+			dec.Name = s.Name
+			dec.Schema = make(sqlengine.Schema, len(s.Cols))
+			for i, c := range s.Cols {
+				dec.Schema[i] = sqlengine.Column{Name: c.Name, Type: c.Type}
 			}
 		case *sqlparse.Insert:
-			rows += len(s.Rows)
-		case *sqlparse.DropTable:
-			// allowed
-		case *sqlparse.Select:
-			return "", 0, fmt.Errorf("dump: unexpected SELECT in dump stream")
-		}
-		if _, err := e.ExecuteStmt(st); err != nil {
-			return "", 0, fmt.Errorf("dump: execute: %w", err)
+			if dec.Name == "" {
+				return nil, fmt.Errorf("dump: INSERT before CREATE TABLE")
+			}
+			if !nameMatches(s.Table, dec.Name) {
+				return nil, fmt.Errorf("dump: INSERT into %q, stream table is %q", s.Table, dec.Name)
+			}
+			for _, exprRow := range s.Rows {
+				if len(exprRow) != len(dec.Schema) {
+					return nil, fmt.Errorf("dump: row arity %d != schema arity %d",
+						len(exprRow), len(dec.Schema))
+				}
+				row := make(sqlengine.Row, len(exprRow))
+				for i, ex := range exprRow {
+					v, err := literalValue(ex)
+					if err != nil {
+						return nil, err
+					}
+					row[i] = coerceValue(v, dec.Schema[i].Type)
+				}
+				dec.Rows = append(dec.Rows, row)
+			}
+		default:
+			return nil, fmt.Errorf("dump: unexpected %T in dump stream", st)
 		}
 	}
-	if name == "" {
-		return "", 0, fmt.Errorf("dump: stream contains no CREATE TABLE")
+	if dec.Name == "" {
+		return nil, fmt.Errorf("dump: stream contains no CREATE TABLE")
 	}
-	return name, rows, nil
+	return dec, nil
+}
+
+func nameMatches(a, b string) bool { return strings.EqualFold(a, b) }
+
+// literalValue evaluates the constant expressions the serializer emits:
+// literals and sign-prefixed numeric literals.
+func literalValue(e sqlparse.Expr) (sqlengine.Value, error) {
+	switch v := e.(type) {
+	case *sqlparse.Literal:
+		switch x := v.Val.(type) {
+		case nil, int64, float64, string:
+			return x, nil
+		case bool:
+			if x {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		default:
+			return nil, fmt.Errorf("dump: unsupported literal %T", x)
+		}
+	case *sqlparse.UnaryExpr:
+		x, err := literalValue(v.X)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case "-":
+			switch n := x.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("dump: cannot negate %T", x)
+		case "+":
+			return x, nil
+		}
+		return nil, fmt.Errorf("dump: unsupported operator %q in dump stream", v.Op)
+	default:
+		return nil, fmt.Errorf("dump: non-literal expression %T in dump stream", e)
+	}
+}
+
+// coerceValue converts a decoded value to the column's storage type,
+// mirroring the engine's INSERT coercion so a decoded table is
+// indistinguishable from an executed one.
+func coerceValue(v sqlengine.Value, t sqlparse.ColType) sqlengine.Value {
+	if sqlengine.IsNull(v) {
+		return nil
+	}
+	switch t {
+	case sqlparse.TypeInt:
+		if n, err := sqlengine.AsInt(v); err == nil {
+			return n
+		}
+	case sqlparse.TypeFloat:
+		if f, err := sqlengine.AsFloat(v); err == nil {
+			return f
+		}
+	case sqlparse.TypeString:
+		return sqlengine.FormatValue(v)
+	}
+	return v
 }

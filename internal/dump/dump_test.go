@@ -180,6 +180,85 @@ func TestQualifiedTargetName(t *testing.T) {
 	}
 }
 
+func TestDecode(t *testing.T) {
+	src := sourceEngine(t)
+	db, _ := src.Database("LSST")
+	tbl, _ := db.Table("r")
+	dec, err := Decode(DumpTable("res_1", tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != "res_1" || len(dec.Rows) != 4 || len(dec.Schema) != 3 {
+		t.Fatalf("dec = %+v", dec)
+	}
+	// Types survive: BIGINT column decodes to int64, DOUBLE to float64,
+	// VARCHAR to string, NULL to nil — including the negative float.
+	if dec.Schema[0].Type.String() != "BIGINT" {
+		t.Errorf("schema: %+v", dec.Schema)
+	}
+	if _, ok := dec.Rows[0][0].(int64); !ok {
+		t.Errorf("objectId decoded as %T", dec.Rows[0][0])
+	}
+	if got := dec.Rows[1][1].(float64); got != -0.5 {
+		t.Errorf("negative float decoded as %v", dec.Rows[1][1])
+	}
+	if got := dec.Rows[1][2].(string); got != "it's quoted" {
+		t.Errorf("string decoded as %q", got)
+	}
+	if !sqlengine.IsNull(dec.Rows[2][2]) {
+		t.Error("NULL lost in decode")
+	}
+}
+
+func TestDecodeRejectsNonDumpStatements(t *testing.T) {
+	for _, script := range []string{
+		"SELECT 1;",
+		"CREATE TABLE a (x BIGINT); CREATE TABLE b (y BIGINT);",
+		"INSERT INTO a VALUES (1);",
+		"CREATE TABLE a (x BIGINT); INSERT INTO other VALUES (1);",
+		"DROP TABLE IF EXISTS a;",
+	} {
+		if _, err := Decode(script); err == nil {
+			t.Errorf("Decode(%q) should fail", script)
+		}
+	}
+}
+
+func TestLoadIntoNamespaces(t *testing.T) {
+	// Two "concurrent user queries" load identical content-addressed
+	// streams; per-query namespaces keep them from colliding without
+	// any cross-query lock.
+	src := sourceEngine(t)
+	db, _ := src.Database("LSST")
+	tbl, _ := db.Table("r")
+	script := DumpTable("r_abc123", tbl)
+
+	e := sqlengine.New("LSST")
+	for _, ns := range []string{"q1", "q2"} {
+		name, n, err := LoadInto(e, ns, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "r_abc123" || n != 4 {
+			t.Fatalf("ns %s: name=%q n=%d", ns, name, n)
+		}
+	}
+	for _, ns := range []string{"q1", "q2"} {
+		out, err := e.Query("SELECT COUNT(*) FROM " + ns + ".r_abc123")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Rows[0][0].(int64) != 4 {
+			t.Errorf("ns %s: count = %v", ns, out.Rows[0][0])
+		}
+	}
+	// The default database never saw a staging table.
+	def, _ := e.Database("LSST")
+	if n := len(def.TableNames()); n != 0 {
+		t.Errorf("default db polluted: %v", def.TableNames())
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	dst := sqlengine.New("LSST")
 	if _, _, err := Load(dst, "this is not SQL"); err == nil {

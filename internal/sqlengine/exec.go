@@ -865,22 +865,7 @@ func (ex *selectExec) project(tuples []tuple) (*Result, error) {
 }
 
 // compareForSort orders values with NULLs first (MySQL ASC semantics).
-func compareForSort(a, b Value) int {
-	an, bn := IsNull(a), IsNull(b)
-	switch {
-	case an && bn:
-		return 0
-	case an:
-		return -1
-	case bn:
-		return 1
-	}
-	c, err := Compare(a, b)
-	if err != nil {
-		return 0
-	}
-	return c
-}
+func compareForSort(a, b Value) int { return CompareNullsFirst(a, b) }
 
 func rowBytes(r Row) int64 {
 	var n int64

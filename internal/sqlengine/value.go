@@ -190,6 +190,27 @@ func boolToInt(b bool) int64 {
 	return 0
 }
 
+// CompareNullsFirst orders two values with MySQL's ORDER BY ASC
+// semantics: NULLs sort before every non-NULL value, everything else
+// follows Compare. It is the total order the engine's ORDER BY uses and
+// the one the czar's streaming top-K merge must reproduce exactly.
+func CompareNullsFirst(a, b Value) int {
+	an, bn := IsNull(a), IsNull(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
 // Equal reports whether two values are equal under Compare semantics;
 // NULL never equals anything (including NULL).
 func Equal(a, b Value) bool {

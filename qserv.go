@@ -57,6 +57,15 @@ type ClusterConfig struct {
 	CacheSubChunks bool
 	// ResultTimeout bounds a single chunk-result wait.
 	ResultTimeout time.Duration
+	// MergeParallelism bounds concurrent dump-stream decode+fold work
+	// at the czar, across all in-flight user queries. 1 reproduces the
+	// paper's serialized result collection (the section 7.6
+	// bottleneck); higher values pipeline merging with chunk fetches.
+	MergeParallelism int
+	// TopKPushdown ships ORDER BY + LIMIT to workers so each chunk
+	// returns at most K rows and the czar merges streaming top-K
+	// buffers instead of every matching row.
+	TopKPushdown bool
 }
 
 // DefaultClusterConfig returns a laptop-scale configuration: a coarse
@@ -76,6 +85,8 @@ func DefaultClusterConfig(workers int) ClusterConfig {
 		SharedScans:      true,
 		ScanPieceRows:    1024,
 		ResultTimeout:    2 * time.Minute,
+		MergeParallelism: 8,
+		TopKPushdown:     true,
 	}
 }
 
@@ -146,7 +157,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.endpoints[w.Name()] = ep
 		cl.Redirector.Register(ep, "/result")
 	}
-	cl.Czar = czar.New(czar.DefaultConfig("czar-0"), registry, cl.Index, cl.Placement, cl.Redirector)
+	ccfg := czar.DefaultConfig("czar-0")
+	ccfg.MergeParallelism = cfg.MergeParallelism
+	ccfg.TopKPushdown = cfg.TopKPushdown
+	cl.Czar = czar.New(ccfg, registry, cl.Index, cl.Placement, cl.Redirector)
 	return cl, nil
 }
 

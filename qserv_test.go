@@ -518,6 +518,123 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 }
 
+// TestMergePipelineEquivalence drives the same catalog through a
+// serialized (MergeParallelism=1, no top-K) and a pipelined cluster
+// and checks both against the oracle: the merge pipeline must be a
+// pure performance change.
+func TestMergePipelineEquivalence(t *testing.T) {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: 11, ObjectsPerPatch: 300, MeanSourcesPerObject: 1},
+		datagen.DuplicateConfig{DeclBands: 2, MaxCopies: 12},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := DefaultClusterConfig(4)
+	serial.MergeParallelism = 1
+	serial.TopKPushdown = false
+	pipelined := DefaultClusterConfig(4)
+
+	var clusters []*Cluster
+	for _, cfg := range []ClusterConfig{serial, pipelined} {
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.Load(cat); err != nil {
+			t.Fatal(err)
+		}
+		clusters = append(clusters, cl)
+	}
+	oracle, err := SingleNodeOracle(cat, clusters[0].Chunker)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		// ORDER BY + LIMIT: deterministic total order (objectId breaks ties).
+		"SELECT objectId, ra_PS FROM Object ORDER BY ra_PS DESC, objectId LIMIT 7",
+		"SELECT objectId FROM Object WHERE decl_PS > 0 ORDER BY decl_PS, objectId LIMIT 12",
+		// GROUP BY through the incremental partial combine.
+		"SELECT chunkId, COUNT(*) AS n, AVG(ra_PS), MIN(decl_PS), MAX(decl_PS) FROM Object GROUP BY chunkId",
+		"SELECT COUNT(*), SUM(zFlux_PS), MIN(ra_PS), MAX(ra_PS) FROM Object",
+	}
+	for _, sql := range queries {
+		want, err := oracle.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, cl := range clusters {
+			got, err := cl.Query(sql)
+			if err != nil {
+				t.Fatalf("cluster %d: %q: %v", ci, sql, err)
+			}
+			if strings.Contains(sql, "ORDER BY") && !strings.Contains(sql, "GROUP BY") {
+				// Ordered results compare positionally.
+				if len(got.Rows) != len(want.Rows) {
+					t.Fatalf("cluster %d: %q: %d rows vs %d", ci, sql, len(got.Rows), len(want.Rows))
+				}
+				for i := range got.Rows {
+					if got.Rows[i][0].(int64) != want.Rows[i][0].(int64) {
+						t.Fatalf("cluster %d: %q row %d: %v vs %v", ci, sql, i, got.Rows[i], want.Rows[i])
+					}
+				}
+				continue
+			}
+			sameAnswer(t, got.Result, want, fmt.Sprintf("cluster %d: %s", ci, sql))
+		}
+	}
+}
+
+// TestTopKPushdownReducesResultBytes checks the acceptance criterion:
+// for an ORDER BY + LIMIT query, pushdown must ship fewer dump-stream
+// bytes to the czar without changing the answer.
+func TestTopKPushdownReducesResultBytes(t *testing.T) {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: 5, ObjectsPerPatch: 400, MeanSourcesPerObject: 0},
+		datagen.DuplicateConfig{DeclBands: 2, MaxCopies: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := DefaultClusterConfig(4)
+	off := DefaultClusterConfig(4)
+	off.TopKPushdown = false
+
+	sql := "SELECT objectId, ra_PS FROM Object ORDER BY ra_PS, objectId LIMIT 5"
+	var bytes [2]int64
+	var rows [2][]sqlengine.Row
+	for i, cfg := range []ClusterConfig{off, on} {
+		cl, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Load(cat); err != nil {
+			cl.Close()
+			t.Fatal(err)
+		}
+		res, err := cl.Query(sql)
+		cl.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytes[i] = res.ResultBytes
+		rows[i] = res.Rows
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Fatalf("row counts differ: %d vs %d", len(rows[0]), len(rows[1]))
+	}
+	for i := range rows[0] {
+		if rows[0][i][0].(int64) != rows[1][i][0].(int64) {
+			t.Fatalf("row %d differs: %v vs %v", i, rows[0][i], rows[1][i])
+		}
+	}
+	if bytes[1] >= bytes[0] {
+		t.Errorf("top-K pushdown did not reduce result bytes: %d (on) vs %d (off)", bytes[1], bytes[0])
+	}
+}
+
 func TestQueryErrors(t *testing.T) {
 	cl, _ := shared(t)
 	for _, sql := range []string{
