@@ -20,7 +20,9 @@ verify: build vet race
 bench:
 	$(GO) run ./cmd/qserv-bench -exp all
 
-# Tiny-size czar merge-pipeline benchmark: serialized vs pipelined
-# collection, oracle-checked. Fast enough to gate CI.
+# Tiny-size benchmarks fast enough to gate CI: the czar merge pipeline
+# (serialized vs pipelined collection, oracle-checked) and the
+# query-kill path (Cancel() -> worker-slot reclamation within a piece).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
+	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5

@@ -69,6 +69,9 @@ func main() {
 	}
 
 	cz := czar.New(czar.DefaultConfig("czar-0"), layout.Registry, layout.Index, layout.Placement, red)
+	// Close cancels and drains in-flight queries, so workers' scan
+	// slots are released before the proxy stops answering.
+	defer cz.Close()
 	srv, err := proxy.Serve(*listenFlag, cz)
 	if err != nil {
 		log.Fatal(err)
@@ -77,6 +80,7 @@ func main() {
 	fmt.Printf("czar ready: %d workers, %d chunks; SQL proxy on %s\n",
 		len(addrs), len(layout.Placement.Chunks()), srv.Addr())
 	fmt.Printf("connect with: qserv-sql -addr %s\n", srv.Addr())
+	fmt.Printf("manage queries with: SHOW PROCESSLIST; KILL <id>;\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -3,6 +3,11 @@
 //
 //	qserv-sql -addr 127.0.0.1:7000                      # REPL
 //	qserv-sql -addr 127.0.0.1:7000 -e "SELECT COUNT(*) FROM Object"
+//
+// Besides SQL, the proxy answers the query-management commands of the
+// paper's section 5: `SHOW PROCESSLIST;` lists in-flight queries (id,
+// czar, scheduling class, age, chunk progress) and `KILL <id>;` cancels
+// one — the kill propagates down to the workers' scan lanes.
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 	}
 
 	fmt.Println("qserv-sql — type SQL statements terminated by ';', or 'quit'")
+	fmt.Println("           (SHOW PROCESSLIST; lists running queries, KILL <id>; cancels one)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

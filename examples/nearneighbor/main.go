@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/datagen"
@@ -35,15 +37,22 @@ func main() {
 
 	// Count ordered pairs within 0.2 degrees inside a 10x10 degree box
 	// (the paper's SHV1 shape; radius must be <= the 0.5 degree overlap
-	// this cluster is partitioned with).
+	// this cluster is partitioned with). Near-neighbor joins are the
+	// system's most expensive class — submit as a session with a
+	// deadline, watching progress while the join runs.
 	sql := `SELECT count(*) FROM Object o1, Object o2
 		WHERE qserv_areaspec_box(2, -5, 12, 5)
 		AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.2`
-	res, err := cluster.Query(sql)
+	q, err := cluster.Submit(context.Background(), sql, qserv.WithDeadline(5*time.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("> %s\n", sql)
+	res, err := q.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := q.Progress()
+	fmt.Printf("> %s  (session %d, %d/%d chunks)\n", sql, q.ID(), p.ChunksCompleted, p.ChunksTotal)
 	fmt.Printf("pairs (including self-pairs): %v\n", res.Rows[0][0])
 	fmt.Printf("chunk queries dispatched: %d (each ran one join per subchunk,\n", res.ChunksDispatched)
 	fmt.Println("plus one against the subchunk's overlap table for border pairs)")

@@ -1,9 +1,12 @@
 // Quickstart: build an 8-worker in-process Qserv cluster, load a
 // synthetic partial-sky catalog, and run the paper's basic query shapes
-// through the public API.
+// through the public API — the synchronous Query convenience and the
+// asynchronous session form (Submit / Progress / Rows / Wait) the czar
+// manages multi-hour scans with.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,9 +59,34 @@ func main() {
 		printRows(res.Cols, res.Rows, 5)
 		fmt.Println()
 	}
+
+	// The session form: submit, stream rows as chunk results merge,
+	// then collect the accounting. A long scan streams its first rows
+	// hours before it finishes; here it just finishes fast.
+	sql := "SELECT objectId, ra_PS, decl_PS FROM Object WHERE uFlux_PS > 2.5e-31"
+	q, err := cluster.Submit(context.Background(), sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("> %s  (session %d)\n", sql, q.ID())
+	streamed := 0
+	it := q.Rows()
+	for _, ok := it.Next(); ok; _, ok = it.Next() {
+		streamed++
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := q.Progress()
+	fmt.Printf("  streamed %d rows while %d/%d chunks merged; final result %d rows\n",
+		streamed, p.ChunksCompleted, p.ChunksTotal, len(res.Rows))
 }
 
-func printRows(cols []string, rows []sqlengine.Row, limit int) {
+func printRows(cols []string, rows []qserv.Row, limit int) {
 	fmt.Printf("  %v\n", cols)
 	for i, r := range rows {
 		if i >= limit {

@@ -67,6 +67,14 @@ func main() {
 			results[i].count += n
 		})
 	}
+	// A ninth query joins the convoy and is killed mid-scan: it is
+	// dropped at the next piece boundary — the convoy's pace and the
+	// other members' results are unaffected, and the table is not read
+	// to completion on the dead query's behalf.
+	killed := scanner.Attach(func([]sqlengine.Row) {})
+	killed.Abandon()
+	killed.Wait() // returns once the convoy drops the ticket
+
 	for _, tk := range tickets {
 		tk.Wait()
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,4 +70,23 @@ func main() {
 	}
 	fmt.Printf("\ndetections: %s; chunk queries dispatched: %d (index hit exactly one chunk)\n",
 		sqlengine.FormatValue(direct.Rows[0][0]), direct.ChunksDispatched)
+
+	// Query management over the same wire (paper section 5): a detached
+	// scan session shows up in SHOW PROCESSLIST and dies to KILL.
+	scan, err := cluster.Submit(context.Background(),
+		"SELECT COUNT(*) AS n FROM Source WHERE psfFlux > 1e-31")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := client.Query("SHOW PROCESSLIST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSHOW PROCESSLIST: %d in-flight (cols %v)\n", len(pl.Rows), pl.Cols)
+	if _, err := client.Query(fmt.Sprintf("KILL %d", scan.ID())); err != nil {
+		// The scan may have finished first at this toy scale.
+		fmt.Printf("KILL %d: %v\n", scan.ID(), err)
+	} else if _, werr := scan.Wait(context.Background()); werr != nil {
+		fmt.Printf("KILL %d: session ended with %v\n", scan.ID(), werr)
+	}
 }

@@ -405,3 +405,24 @@ func (p *Plan) MergeSQL(resultTable string) string {
 	sql := p.Merge.SQL()
 	return strings.ReplaceAll(sql, MergeTablePlaceholder, resultTable)
 }
+
+// Streamable reports whether chunk results pass through the merge
+// statement unchanged (modulo concatenation order): no aggregation, no
+// top-K, and a bare `SELECT * FROM <result>` merge. The czar streams
+// such results to the caller row-by-row as chunks arrive instead of
+// holding them for the final merge.
+func (p *Plan) Streamable() bool {
+	if p.PartialOps != nil || p.TopK {
+		return false
+	}
+	m := p.Merge
+	if m == nil || m.Distinct || m.Where != nil ||
+		len(m.GroupBy) > 0 || len(m.OrderBy) > 0 || m.Limit >= 0 {
+		return false
+	}
+	if len(m.Items) != 1 {
+		return false
+	}
+	_, star := m.Items[0].Expr.(*sqlparse.Star)
+	return star
+}

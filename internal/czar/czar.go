@@ -19,8 +19,9 @@
 package czar
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,7 +29,6 @@ import (
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sqlengine"
-	"repro/internal/sqlparse"
 	"repro/internal/xrd"
 )
 
@@ -79,6 +79,13 @@ type Czar struct {
 	mergeSem chan struct{}
 
 	seq atomic.Int64
+
+	// The in-flight query registry (see session.go).
+	qmu     sync.Mutex
+	queries map[int64]*Query
+	qseq    int64
+	qclosed bool
+	qwg     sync.WaitGroup
 }
 
 // resultDB is the czar-local database holding merged result tables.
@@ -108,6 +115,7 @@ func New(cfg Config, registry *meta.Registry, index *meta.ObjectIndex,
 		client:    xrd.NewClient(red),
 		engine:    e,
 		mergeSem:  make(chan struct{}, cfg.MergeParallelism),
+		queries:   map[int64]*Query{},
 	}
 }
 
@@ -117,6 +125,8 @@ func (c *Czar) Engine() *sqlengine.Engine { return c.engine }
 // QueryResult is a final answer plus execution accounting.
 type QueryResult struct {
 	*sqlengine.Result
+	// ID is the czar-assigned query id (the KILL handle).
+	ID int64
 	// Class is the scheduling class the planner assigned; it rides
 	// every chunk-query payload so workers lane the job correctly.
 	Class core.QueryClass
@@ -130,38 +140,22 @@ type QueryResult struct {
 	Retries int
 }
 
-// Query runs one user SQL statement to completion.
+// Query runs one user SQL statement to completion: the synchronous
+// convenience form of Submit + Wait.
 func (c *Czar) Query(sql string) (*QueryResult, error) {
-	start := time.Now()
-	sel, err := sqlparse.ParseSelect(sql)
+	q, err := c.Submit(context.Background(), sql, Options{})
 	if err != nil {
 		return nil, err
 	}
-
-	plan, err := c.planner.Plan(sel, c.placement.Chunks())
-	if errors.Is(err, core.ErrNoPartitionedTable) {
-		// Unpartitioned tables are replicated; answer locally.
-		res, lerr := c.engine.ExecuteStmt(sel)
-		if lerr != nil {
-			return nil, lerr
-		}
-		return &QueryResult{Result: res, Elapsed: time.Since(start)}, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	qr, err := c.execute(plan)
-	if err != nil {
-		return nil, err
-	}
-	qr.Elapsed = time.Since(start)
-	return qr, nil
+	return q.Wait(context.Background())
 }
 
 // execute dispatches the plan's chunk queries, streams the results
-// through the merge pipeline, and runs the final merge statement.
-func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
+// through the merge pipeline, and runs the final merge statement. It
+// runs inside q's session goroutine; q carries the context that kills
+// it and the progress counters observers read.
+func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, error) {
+	ctx := q.ctx
 	qr := &QueryResult{Class: plan.Class, ChunksDispatched: len(plan.Chunks)}
 	resultTable := fmt.Sprintf("result_%d", c.seq.Add(1))
 	qualified := resultDB + "." + resultTable
@@ -181,8 +175,16 @@ func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
 	// czar-wide: it bounds decode CPU across all concurrent user
 	// queries without ever serializing them on shared state — each
 	// query folds into its own session, and stripes keep even
-	// same-session folds mostly uncontended.
-	session := newMergeSession(plan, mergeStripes(c.cfg.MergeParallelism))
+	// same-session folds mostly uncontended. A per-query
+	// MergeParallelism option swaps in a private gate.
+	mergeSem := c.mergeSem
+	stripes := mergeStripes(c.cfg.MergeParallelism)
+	if opts.MergeParallelism > 0 {
+		mergeSem = make(chan struct{}, opts.MergeParallelism)
+		stripes = mergeStripes(opts.MergeParallelism)
+	}
+	session := newMergeSession(plan, stripes)
+	streamable := plan.Streamable()
 	type chunkOutcome struct {
 		chunk   partition.ChunkID
 		bytes   int64
@@ -193,24 +195,52 @@ func (c *Czar) execute(plan *core.Plan) (*QueryResult, error) {
 	sem := make(chan struct{}, c.cfg.MaxParallelDispatch)
 	for _, chunk := range plan.Chunks {
 		go func(chunk partition.ChunkID) {
-			sem <- struct{}{}
+			// A canceled query's queued dispatches never start: they
+			// drain immediately instead of burning the dispatch window.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results <- chunkOutcome{chunk: chunk, err: context.Cause(ctx)}
+				return
+			}
 			defer func() { <-sem }()
-			data, retries, err := c.runChunk(plan, chunk)
+			q.dispatched.Add(1)
+			data, retries, err := c.runChunk(ctx, q, plan, chunk)
 			if err == nil {
-				c.mergeSem <- struct{}{}
-				err = session.absorb(data)
-				<-c.mergeSem
+				mergeSem <- struct{}{}
+				var rows []sqlengine.Row
+				rows, err = session.absorb(data)
+				<-mergeSem
+				if err == nil {
+					q.rowsMerged.Add(int64(len(rows)))
+					if streamable {
+						q.stream.push(rows)
+					}
+				}
 			}
 			results <- chunkOutcome{chunk: chunk, bytes: int64(len(data)), retries: retries, err: err}
 		}(chunk)
 	}
+	// Drain every outcome even after a failure — the error path cancels
+	// the query context, so stragglers return promptly and no goroutine
+	// outlives the query.
+	var firstErr error
 	for range plan.Chunks {
 		co := <-results
 		if co.err != nil {
-			return nil, fmt.Errorf("czar %s: chunk %d: %w", c.cfg.Name, co.chunk, co.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("czar %s: chunk %d: %w", c.cfg.Name, co.chunk, co.err)
+				q.cancel(firstErr)
+			}
+			continue
 		}
 		qr.Retries += co.retries
 		qr.ResultBytes += co.bytes
+		q.completed.Add(1)
+		q.bytesRead.Add(co.bytes)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	// Install the session result table (typed from the plan when no
@@ -238,24 +268,66 @@ func mergeStripes(parallelism int) int {
 	return parallelism
 }
 
+// cancelTxTimeout bounds the best-effort worker-side cancel
+// transactions: the kill path exists to reclaim resources promptly, so
+// it must never become the one unbounded transaction in the system (a
+// blackholed worker would otherwise hang the dispatch goroutine — and
+// with it Wait and Close — forever).
+const cancelTxTimeout = 2 * time.Second
+
 // runChunk performs the two file transactions for one chunk, failing
 // over to replicas when a worker dies between accepting the query and
-// serving the result.
-func (c *Czar) runChunk(plan *core.Plan, chunk partition.ChunkID) ([]byte, int, error) {
+// serving the result. A canceled context aborts the transactions in
+// flight and fires a best-effort cancel transaction at the worker that
+// accepted the dispatch, so its queued or running chunk query is
+// dequeued or aborted and the scan slot reclaimed. Both dispatch and
+// cancel carry the query's out-of-band identity (xrd.WithQID) so a
+// cancel can only detach the interest this query registered.
+func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk partition.ChunkID) ([]byte, int, error) {
 	payload := plan.QueryFor(chunk).Payload()
+	qid := c.qidOf(q)
 	queryPath := xrd.QueryPath(int(chunk))
+	writePath := xrd.WithQID(queryPath, qid)
 	resultPath := xrd.ResultPath(payload)
+	cancelPath := xrd.WithQID(xrd.CancelPath(xrd.ResultHash(payload)), qid)
 
 	avoid := map[string]bool{}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxRetriesPerChunk; attempt++ {
-		endpoint, err := c.client.WriteAvoiding(queryPath, payload, avoid)
+		if err := ctx.Err(); err != nil {
+			return nil, attempt, context.Cause(ctx)
+		}
+		endpoint, err := c.client.WriteAvoiding(ctx, writePath, payload, avoid)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The kill aborted the write mid-transaction: the chunk
+				// query may have reached a worker anyway (the abort can
+				// land after the request bytes were delivered), and
+				// which one accepted it is unknown. Broadcast the
+				// cancel to every replica; the qid makes it a no-op
+				// wherever this query's write never landed, so an
+				// innocent query sharing the identical payload is
+				// never detached.
+				cctx, done := context.WithTimeout(context.Background(), cancelTxTimeout)
+				c.client.WriteEverywhere(cctx, queryPath, cancelPath, nil)
+				done()
+				return nil, attempt, context.Cause(ctx)
+			}
 			return nil, attempt, err
 		}
-		data, err := c.client.ReadFrom(endpoint, resultPath)
+		data, err := c.client.ReadFrom(ctx, endpoint, resultPath)
 		if err == nil {
 			return data, attempt, nil
+		}
+		if ctx.Err() != nil {
+			// The query was killed while the worker held (or ran) the
+			// chunk query; tell it to stop. The kill rides a fresh,
+			// bounded context — the canceled one would refuse the
+			// transaction.
+			cctx, done := context.WithTimeout(context.Background(), cancelTxTimeout)
+			_ = c.client.WriteTo(cctx, endpoint, cancelPath, nil)
+			done()
+			return nil, attempt, context.Cause(ctx)
 		}
 		lastErr = err
 		avoid[endpoint] = true
@@ -263,4 +335,9 @@ func (c *Czar) runChunk(plan *core.Plan, chunk partition.ChunkID) ([]byte, int, 
 	return nil, c.cfg.MaxRetriesPerChunk, fmt.Errorf(
 		"czar %s: chunk %d failed after %d attempts: %w",
 		c.cfg.Name, chunk, c.cfg.MaxRetriesPerChunk, lastErr)
+}
+
+// qidOf renders a query's fabric-wide identity: czar name + query id.
+func (c *Czar) qidOf(q *Query) string {
+	return fmt.Sprintf("%s-%d", c.cfg.Name, q.id)
 }

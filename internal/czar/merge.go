@@ -77,23 +77,26 @@ func newFolder(plan *core.Plan) partialFolder {
 }
 
 // absorb decodes one chunk's dump stream and folds its rows into a
-// stripe. It is safe to call from many dispatch goroutines at once.
-func (s *mergeSession) absorb(data []byte) error {
+// stripe, returning the decoded rows (the streaming-row feed for
+// pass-through plans; callers must treat them as read-only — the
+// folders retain the slices). It is safe to call from many dispatch
+// goroutines at once.
+func (s *mergeSession) absorb(data []byte) ([]sqlengine.Row, error) {
 	dec, err := dump.Decode(string(data))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := s.admit(dec); err != nil {
-		return err
+		return nil, err
 	}
 	if len(dec.Rows) == 0 {
-		return nil
+		return nil, nil
 	}
 	st := s.stripes[int(s.next.Add(1)-1)%len(s.stripes)]
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.f.fold(dec.Rows)
-	return nil
+	return dec.Rows, nil
 }
 
 // admit validates the stream's schema against the session: the first

@@ -129,7 +129,7 @@ func TestMergeSessionStripedFoldAndFinish(t *testing.T) {
 			defer wg.Done()
 			stream := fmt.Sprintf(
 				"CREATE TABLE r_x (objectId BIGINT);\nINSERT INTO r_x VALUES (%d);\n", i)
-			if err := s.absorb([]byte(stream)); err != nil {
+			if _, err := s.absorb([]byte(stream)); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -152,14 +152,14 @@ func TestMergeSessionRejectsArityMismatch(t *testing.T) {
 	p := planFor(t, "SELECT objectId FROM Object", false)
 	s := newMergeSession(p, 1)
 	bad := "CREATE TABLE r_x (a BIGINT, b BIGINT);\nINSERT INTO r_x VALUES (1, 2);\n"
-	if err := s.absorb([]byte(bad)); err == nil {
+	if _, err := s.absorb([]byte(bad)); err == nil {
 		t.Error("arity mismatch vs plan must be rejected")
 	}
 	ok := "CREATE TABLE r_x (objectId BIGINT);\nINSERT INTO r_x VALUES (1);\n"
-	if err := s.absorb([]byte(ok)); err != nil {
+	if _, err := s.absorb([]byte(ok)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.absorb([]byte(bad)); err == nil {
+	if _, err := s.absorb([]byte(bad)); err == nil {
 		t.Error("arity mismatch vs session schema must be rejected")
 	}
 }

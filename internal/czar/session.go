@@ -1,0 +1,439 @@
+package czar
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+// This file is the czar's query-management layer (paper section 5: the
+// master "manages" multi-hour queries — tracks them, reports progress,
+// kills them). A user query is an asynchronous session: Submit returns
+// a Query handle immediately, dispatch and merging run in a background
+// goroutine, and the handle exposes Wait, Progress, a streaming row
+// iterator, and Cancel. Every in-flight query is registered so
+// operators can list (SHOW PROCESSLIST) and kill (KILL <id>) them; a
+// kill propagates through the query's context into the dispatch
+// goroutines, the xrd transactions, and — via cancel transactions — the
+// workers' scan lanes, so the resources a dead query held actually
+// free.
+
+// ErrClosed rejects submissions to (and fails queries drained by) a
+// closed czar.
+var ErrClosed = errors.New("czar: closed")
+
+// Options are per-query overrides of czar-wide defaults.
+type Options struct {
+	// Deadline bounds the whole query; past it the query fails with
+	// context.DeadlineExceeded and its workers are told to abort. Zero
+	// means no deadline.
+	Deadline time.Duration
+	// TopKPushdown overrides the czar's ORDER BY + LIMIT pushdown
+	// setting for this query; nil inherits.
+	TopKPushdown *bool
+	// MergeParallelism overrides the merge gate for this query with a
+	// private gate of the given width; 0 inherits the czar-wide gate.
+	MergeParallelism int
+	// Class forces the scheduling class carried to workers, overriding
+	// the planner's classification; nil inherits. (An operator can pin
+	// a known-cheap scan to the interactive lane, or demote a pricey
+	// "interactive" query to the scan convoys.)
+	Class *core.QueryClass
+}
+
+// Progress is a point-in-time snapshot of a query's execution.
+type Progress struct {
+	// ChunksTotal is the planned chunk-query count.
+	ChunksTotal int
+	// ChunksDispatched counts chunk queries whose dispatch transaction
+	// has begun.
+	ChunksDispatched int
+	// ChunksCompleted counts chunk results fetched and merged.
+	ChunksCompleted int
+	// RowsMerged counts rows folded into the session result so far.
+	RowsMerged int64
+	// BytesFetched counts dump-stream bytes collected from workers.
+	BytesFetched int64
+	// Done is true once Wait would not block.
+	Done bool
+}
+
+// QueryInfo describes one registered in-flight query.
+type QueryInfo struct {
+	ID      int64
+	SQL     string
+	Class   core.QueryClass
+	Started time.Time
+	Progress
+}
+
+// Query is the handle of one submitted user query.
+type Query struct {
+	id      int64
+	sql     string
+	class   core.QueryClass
+	started time.Time
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	chunksTotal int
+	dispatched  atomic.Int64
+	completed   atomic.Int64
+	rowsMerged  atomic.Int64
+	bytesRead   atomic.Int64
+
+	stream *rowStream
+
+	done chan struct{}
+	res  *QueryResult
+	err  error
+}
+
+// ID returns the czar-assigned query id (the KILL handle).
+func (q *Query) ID() int64 { return q.id }
+
+// SQL returns the submitted statement text.
+func (q *Query) SQL() string { return q.sql }
+
+// Class returns the scheduling class the planner (or a class-hint
+// option) assigned.
+func (q *Query) Class() core.QueryClass { return q.class }
+
+// Started returns the submission time.
+func (q *Query) Started() time.Time { return q.started }
+
+// Wait blocks until the query finishes, the query is canceled, or the
+// passed context is done — whichever is first. The passed context only
+// bounds the wait: abandoning a Wait does not kill the query.
+func (q *Query) Wait(ctx context.Context) (*QueryResult, error) {
+	select {
+	case <-q.done:
+		return q.res, q.err
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// Cancel kills the query: dispatch stops, in-flight fabric transactions
+// abort, workers are told to dequeue or abort its chunk queries, and
+// Wait returns context.Canceled.
+func (q *Query) Cancel() { q.cancel(context.Canceled) }
+
+// Progress returns a snapshot of the query's execution counters.
+func (q *Query) Progress() Progress {
+	p := Progress{
+		ChunksTotal:      q.chunksTotal,
+		ChunksDispatched: int(q.dispatched.Load()),
+		ChunksCompleted:  int(q.completed.Load()),
+		RowsMerged:       q.rowsMerged.Load(),
+		BytesFetched:     q.bytesRead.Load(),
+	}
+	select {
+	case <-q.done:
+		p.Done = true
+	default:
+	}
+	return p
+}
+
+// Rows returns a streaming iterator over the query's result rows, fed
+// by the merge pipeline: for pass-through plans rows are delivered as
+// chunk results arrive (hours before a long scan finishes), for
+// aggregate and top-K plans the final merged rows are delivered when
+// the query completes. Iterators are independent; each sees every row.
+func (q *Query) Rows() *RowIter { return &RowIter{q: q} }
+
+// finish publishes the terminal state and releases waiters. Order
+// matters: rows are pushed before done closes (a returned Wait sees
+// the full stream), and done closes before the stream does — RowIter
+// observes the stream's end only after Err is already answerable, so
+// drain-then-check-Err can never read a failed query as a clean empty
+// one.
+func (q *Query) finish(res *QueryResult, err error) {
+	q.res, q.err = res, err
+	if err == nil && !q.stream.streamed() {
+		q.stream.push(res.Rows)
+	}
+	close(q.done)
+	q.stream.close()
+}
+
+// ---------- streaming rows ----------
+
+// rowStream is the pipe between the merge pipeline and RowIters: an
+// appendable row log plus a completion flag. Producers never block —
+// a slow (or absent) iterator must not stall chunk dispatch — and
+// every iterator replays the log from its own position.
+type rowStream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rows   []sqlengine.Row
+	pushed bool
+	done   bool
+}
+
+func newRowStream() *rowStream {
+	s := &rowStream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *rowStream) push(rows []sqlengine.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pushed = true
+	s.rows = append(s.rows, rows...)
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *rowStream) streamed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushed
+}
+
+func (s *rowStream) close() {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// next blocks until a row is available at pos or the stream closed.
+func (s *rowStream) next(pos int) (sqlengine.Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for pos >= len(s.rows) && !s.done {
+		s.cond.Wait()
+	}
+	if pos < len(s.rows) {
+		return s.rows[pos], true
+	}
+	return nil, false
+}
+
+// RowIter iterates a query's streamed result rows.
+type RowIter struct {
+	q   *Query
+	pos int
+}
+
+// Next returns the next result row, blocking until one arrives; ok is
+// false once the query finished (or failed) and every streamed row has
+// been consumed. Check Err after the final Next.
+func (it *RowIter) Next() (sqlengine.Row, bool) {
+	row, ok := it.q.stream.next(it.pos)
+	if ok {
+		it.pos++
+	}
+	return row, ok
+}
+
+// Err returns the query's terminal error once it finished; nil while
+// the query is still running or when it succeeded.
+func (it *RowIter) Err() error {
+	select {
+	case <-it.q.done:
+		return it.q.err
+	default:
+		return nil
+	}
+}
+
+// ---------- submission and the registry ----------
+
+// Submit parses and plans sql, registers the query, and starts its
+// dispatch/merge pipeline in the background, returning the session
+// handle immediately. Parse and plan errors surface here; execution
+// errors surface from Wait. The context governs the whole query (not
+// just the submission): canceling it is equivalent to Cancel.
+func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+
+	// Plan synchronously so the registry always knows the class and
+	// chunk fan-out of everything it lists.
+	planner := c.planner
+	if opts.TopKPushdown != nil && *opts.TopKPushdown != planner.TopK {
+		pl := *planner
+		pl.TopK = *opts.TopKPushdown
+		planner = &pl
+	}
+	local := false
+	plan, err := planner.Plan(sel, c.placement.Chunks())
+	switch {
+	case errors.Is(err, core.ErrNoPartitionedTable):
+		// Unpartitioned tables are replicated; answer locally (still as
+		// a session, so even metadata queries are managed uniformly).
+		local = true
+	case err != nil:
+		return nil, err
+	default:
+		if opts.Class != nil {
+			plan.Class = *opts.Class
+		}
+	}
+
+	qctx := ctx
+	var stopTimer context.CancelFunc
+	if opts.Deadline > 0 {
+		qctx, stopTimer = context.WithTimeout(qctx, opts.Deadline)
+	}
+	qctx, cancel := context.WithCancelCause(qctx)
+
+	q := &Query{
+		sql:     sql,
+		started: time.Now(),
+		ctx:     qctx,
+		cancel:  cancel,
+		stream:  newRowStream(),
+		done:    make(chan struct{}),
+	}
+	if !local {
+		q.class = plan.Class
+		q.chunksTotal = len(plan.Chunks)
+	}
+
+	c.qmu.Lock()
+	if c.qclosed {
+		c.qmu.Unlock()
+		cancel(ErrClosed)
+		if stopTimer != nil {
+			stopTimer()
+		}
+		return nil, ErrClosed
+	}
+	c.qseq++
+	q.id = c.qseq
+	c.queries[q.id] = q
+	c.qwg.Add(1)
+	c.qmu.Unlock()
+
+	go func() {
+		defer func() {
+			cancel(nil)
+			if stopTimer != nil {
+				stopTimer()
+			}
+			c.qmu.Lock()
+			delete(c.queries, q.id)
+			c.qmu.Unlock()
+			c.qwg.Done()
+		}()
+		var res *QueryResult
+		var err error
+		if local {
+			res, err = c.runLocal(q, sel)
+		} else {
+			res, err = c.execute(q, plan, opts)
+		}
+		if q.ctx.Err() != nil {
+			// The query was killed (Cancel, KILL, deadline, Close, or a
+			// failed sibling chunk): report the cause, not whichever
+			// transaction happened to notice first — and even when
+			// execution won the race and completed, a canceled query
+			// never hands out its result (the documented Wait
+			// contract).
+			err = context.Cause(q.ctx)
+		}
+		if err != nil {
+			res = nil
+		} else {
+			res.ID = q.id
+			res.Elapsed = time.Since(q.started)
+		}
+		q.finish(res, err)
+	}()
+	return q, nil
+}
+
+// runLocal answers an unpartitioned-table query on the czar's engine.
+// Even local execution honors the kill: the query context feeds the
+// engine's interrupt seam, and a cancel that races completion still
+// reports context.Canceled rather than handing a killed query its
+// result.
+func (c *Czar) runLocal(q *Query, sel *sqlparse.Select) (*QueryResult, error) {
+	if err := q.ctx.Err(); err != nil {
+		return nil, context.Cause(q.ctx)
+	}
+	res, err := c.engine.ExecuteStmtOpts(sel, sqlengine.ExecOptions{Interrupt: q.ctx.Done()})
+	if err != nil {
+		return nil, err
+	}
+	if q.ctx.Err() != nil {
+		return nil, context.Cause(q.ctx)
+	}
+	return &QueryResult{Result: res}, nil
+}
+
+// Running lists the registered in-flight queries, oldest first.
+func (c *Czar) Running() []QueryInfo {
+	c.qmu.Lock()
+	qs := make([]*Query, 0, len(c.queries))
+	for _, q := range c.queries {
+		qs = append(qs, q)
+	}
+	c.qmu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].id < qs[j].id })
+	out := make([]QueryInfo, len(qs))
+	for i, q := range qs {
+		out[i] = QueryInfo{
+			ID:       q.id,
+			SQL:      q.sql,
+			Class:    q.class,
+			Started:  q.started,
+			Progress: q.Progress(),
+		}
+	}
+	return out
+}
+
+// Kill cancels the in-flight query with the given id; false means no
+// such query is registered (finished queries unregister themselves).
+func (c *Czar) Kill(id int64) bool {
+	c.qmu.Lock()
+	q := c.queries[id]
+	c.qmu.Unlock()
+	if q == nil {
+		return false
+	}
+	q.Cancel()
+	return true
+}
+
+// Close shuts the czar down: new submissions are rejected, every
+// in-flight query is canceled with ErrClosed, and Close blocks until
+// they have drained (their worker-side chunk queries dequeued or
+// aborted). Close is idempotent.
+func (c *Czar) Close() {
+	c.qmu.Lock()
+	already := c.qclosed
+	c.qclosed = true
+	qs := make([]*Query, 0, len(c.queries))
+	for _, q := range c.queries {
+		qs = append(qs, q)
+	}
+	c.qmu.Unlock()
+	if !already {
+		for _, q := range qs {
+			q.cancel(ErrClosed)
+		}
+	}
+	c.qwg.Wait()
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/czar"
 	"repro/internal/sqlengine"
@@ -30,9 +31,14 @@ import (
 // maxFrame bounds one frame (64 MiB).
 const maxFrame = 64 << 20
 
-// Backend answers SQL queries; *czar.Czar implements it.
+// Backend answers SQL queries and exposes the czar's query-management
+// interface (paper section 5); *czar.Czar implements it.
 type Backend interface {
 	Query(sql string) (*czar.QueryResult, error)
+	// Running lists the backend's in-flight queries.
+	Running() []czar.QueryInfo
+	// Kill cancels an in-flight query by id.
+	Kill(id int64) bool
 }
 
 // Server serves SQL over TCP, round-robining across backends.
@@ -116,25 +122,41 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		// Round-robin across czars (section 7.6's multi-master
-		// load-balancing).
-		idx := int(s.next.Add(1)-1) % len(s.backends)
-		res, qerr := s.backends[idx].Query(string(sqlBytes))
+		sql := string(sqlBytes)
+		var cols []string
+		var rows [][]sqlengine.Value
+		var qerr error
+		if acols, arows, handled, aerr := s.admin(sql); handled {
+			cols, rows, qerr = acols, arows, aerr
+		} else {
+			// Round-robin across czars (section 7.6's multi-master
+			// load-balancing).
+			idx := int(s.next.Add(1)-1) % len(s.backends)
+			var res *czar.QueryResult
+			res, qerr = s.backends[idx].Query(sql)
+			if qerr == nil {
+				cols = res.Cols
+				rows = make([][]sqlengine.Value, len(res.Rows))
+				for i, row := range res.Rows {
+					rows[i] = row
+				}
+			}
+		}
 		if qerr != nil {
 			writeFrame(w, []byte("ERR "+qerr.Error()))
 			w.Flush()
 			continue
 		}
-		header := fmt.Sprintf("OK %d %d", len(res.Cols), len(res.Rows))
+		header := fmt.Sprintf("OK %d %d", len(cols), len(rows))
 		if err := writeFrame(w, []byte(header)); err != nil {
 			return
 		}
-		for _, c := range res.Cols {
+		for _, c := range cols {
 			if err := writeFrame(w, []byte(c)); err != nil {
 				return
 			}
 		}
-		for _, row := range res.Rows {
+		for _, row := range rows {
 			for _, v := range row {
 				if err := writeFrame(w, encodeValue(v)); err != nil {
 					return
@@ -145,6 +167,74 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// admin intercepts the query-management commands — `SHOW PROCESSLIST`
+// and `KILL <id>` — before backend dispatch, since both address every
+// czar behind the proxy, not whichever the round-robin lands on.
+// handled is false for ordinary SQL.
+func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, handled bool, err error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	switch {
+	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "PROCESSLIST"):
+		cols = []string{"Id", "Czar", "Class", "Time", "Chunks", "Rows", "Info"}
+		for bi, b := range s.backends {
+			for _, qi := range b.Running() {
+				rows = append(rows, []sqlengine.Value{
+					qi.ID,
+					int64(bi),
+					qi.Class.String(),
+					time.Since(qi.Started).Round(time.Millisecond).String(),
+					fmt.Sprintf("%d/%d", qi.ChunksCompleted, qi.ChunksTotal),
+					qi.RowsMerged,
+					qi.SQL,
+				})
+			}
+		}
+		return cols, rows, true, nil
+	case len(fields) == 2 && strings.EqualFold(fields[0], "KILL"):
+		// Czar-local query ids can collide across backends; an
+		// explicit `KILL <czar>:<id>` targets one backend, and a bare
+		// id is honored only when exactly one backend runs it.
+		if czarStr, idStr, qualified := strings.Cut(fields[1], ":"); qualified {
+			bi, berr := strconv.Atoi(czarStr)
+			id, perr := strconv.ParseInt(idStr, 10, 64)
+			if berr != nil || perr != nil || bi < 0 || bi >= len(s.backends) {
+				return nil, nil, true, fmt.Errorf("proxy: bad KILL target %q", fields[1])
+			}
+			if !s.backends[bi].Kill(id) {
+				return nil, nil, true, fmt.Errorf("proxy: no query %d on czar %d", id, bi)
+			}
+			return []string{"killed"}, [][]sqlengine.Value{{id}}, true, nil
+		}
+		id, perr := strconv.ParseInt(fields[1], 10, 64)
+		if perr != nil {
+			return nil, nil, true, fmt.Errorf("proxy: bad KILL id %q", fields[1])
+		}
+		var owners []int
+		for bi, b := range s.backends {
+			for _, qi := range b.Running() {
+				if qi.ID == id {
+					owners = append(owners, bi)
+					break
+				}
+			}
+		}
+		switch len(owners) {
+		case 0:
+			return nil, nil, true, fmt.Errorf("proxy: no such query %d", id)
+		case 1:
+			if !s.backends[owners[0]].Kill(id) {
+				return nil, nil, true, fmt.Errorf("proxy: no such query %d", id)
+			}
+			return []string{"killed"}, [][]sqlengine.Value{{id}}, true, nil
+		default:
+			return nil, nil, true, fmt.Errorf(
+				"proxy: query id %d is running on %d czars; use KILL <czar>:%d (czar column of SHOW PROCESSLIST)",
+				id, len(owners), id)
+		}
+	}
+	return nil, nil, false, nil
 }
 
 func encodeValue(v sqlengine.Value) []byte {

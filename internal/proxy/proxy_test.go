@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/czar"
 	"repro/internal/sqlengine"
@@ -13,8 +14,10 @@ import (
 
 // fakeBackend answers from a local engine, recording call counts.
 type fakeBackend struct {
-	engine *sqlengine.Engine
-	calls  atomic.Int64
+	engine  *sqlengine.Engine
+	calls   atomic.Int64
+	killed  atomic.Int64
+	running []czar.QueryInfo
 }
 
 func newFakeBackend(t *testing.T) *fakeBackend {
@@ -36,6 +39,18 @@ func (f *fakeBackend) Query(sql string) (*czar.QueryResult, error) {
 		return nil, err
 	}
 	return &czar.QueryResult{Result: res}, nil
+}
+
+func (f *fakeBackend) Running() []czar.QueryInfo { return f.running }
+
+func (f *fakeBackend) Kill(id int64) bool {
+	for _, qi := range f.running {
+		if qi.ID == id {
+			f.killed.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 func startProxy(t *testing.T, backends ...Backend) (*Server, *Client) {
@@ -187,5 +202,83 @@ func TestValueCodec(t *testing.T) {
 func TestServeRequiresBackend(t *testing.T) {
 	if _, err := Serve("127.0.0.1:0", nil...); err == nil {
 		t.Error("no backends should fail")
+	}
+}
+
+// TestShowProcesslistAndKill drives the query-management commands over
+// the wire: PROCESSLIST unions every backend, KILL finds the owning
+// backend, unknown ids error.
+func TestShowProcesslistAndKill(t *testing.T) {
+	b1, b2 := newFakeBackend(t), newFakeBackend(t)
+	b1.running = []czar.QueryInfo{{ID: 3, SQL: "SELECT 1 FROM Object", Started: time.Now()}}
+	b2.running = []czar.QueryInfo{{ID: 8, SQL: "SELECT 2 FROM Object", Started: time.Now()}}
+	_, c := startProxy(t, b1, b2)
+
+	res, err := c.Query("SHOW PROCESSLIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("processlist rows = %d, want 2", len(res.Rows))
+	}
+	if res.Cols[0] != "Id" || res.Rows[0][0].(int64) != 3 || res.Rows[1][0].(int64) != 8 {
+		t.Errorf("processlist content: %v %v", res.Cols, res.Rows)
+	}
+	// The czar column distinguishes the backends.
+	if res.Rows[0][1].(int64) == res.Rows[1][1].(int64) {
+		t.Errorf("both queries attributed to one czar: %v", res.Rows)
+	}
+
+	// Case-insensitive, trailing semicolon tolerated.
+	if res, err = c.Query("show processlist;"); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("lowercase processlist: %v %v", res, err)
+	}
+
+	if res, err = c.Query("KILL 8"); err != nil {
+		t.Fatal(err)
+	} else if res.Rows[0][0].(int64) != 8 {
+		t.Errorf("kill result: %v", res.Rows)
+	}
+	if b2.killed.Load() != 1 || b1.killed.Load() != 0 {
+		t.Errorf("kill routed wrong: b1=%d b2=%d", b1.killed.Load(), b2.killed.Load())
+	}
+	if _, err := c.Query("KILL 99"); err == nil {
+		t.Error("killing an unknown id should error")
+	}
+	if _, err := c.Query("KILL abc"); err == nil {
+		t.Error("non-numeric KILL id should error")
+	}
+	// Plain SQL still flows after admin commands on the same conn.
+	if res, err := c.Query("SELECT COUNT(*) FROM Object"); err != nil || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("SQL after admin: %v %v", res, err)
+	}
+}
+
+// TestKillAmbiguousAcrossCzars: colliding czar-local ids force the
+// qualified KILL <czar>:<id> form.
+func TestKillAmbiguousAcrossCzars(t *testing.T) {
+	b1, b2 := newFakeBackend(t), newFakeBackend(t)
+	b1.running = []czar.QueryInfo{{ID: 4, SQL: "SELECT a", Started: time.Now()}}
+	b2.running = []czar.QueryInfo{{ID: 4, SQL: "SELECT b", Started: time.Now()}}
+	_, c := startProxy(t, b1, b2)
+
+	if _, err := c.Query("KILL 4"); err == nil || !strings.Contains(err.Error(), "KILL <czar>:4") {
+		t.Fatalf("ambiguous bare KILL should instruct qualification, got %v", err)
+	}
+	if b1.killed.Load()+b2.killed.Load() != 0 {
+		t.Fatal("ambiguous KILL killed something")
+	}
+	res, err := c.Query("KILL 1:4")
+	if err != nil || res.Rows[0][0].(int64) != 4 {
+		t.Fatalf("qualified KILL: %v %v", res, err)
+	}
+	if b1.killed.Load() != 0 || b2.killed.Load() != 1 {
+		t.Errorf("qualified KILL routed wrong: b1=%d b2=%d", b1.killed.Load(), b2.killed.Load())
+	}
+	if _, err := c.Query("KILL 9:4"); err == nil {
+		t.Error("out-of-range czar index should error")
+	}
+	if _, err := c.Query("KILL 0:99"); err == nil {
+		t.Error("unknown id on named czar should error")
 	}
 }

@@ -17,6 +17,7 @@ package scanshare
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqlengine"
 )
@@ -70,10 +71,40 @@ type Ticket struct {
 	process   func([]sqlengine.Row)
 	remaining int
 	done      chan struct{}
+	completed bool        // done closed; guarded by s.mu
+	abandoned atomic.Bool // query canceled; drop at the next piece boundary
 }
 
-// Wait blocks until the query has seen the whole table.
+// Wait blocks until the query has seen the whole table (or the ticket
+// was abandoned).
 func (t *Ticket) Wait() { <-t.done }
+
+// Abandon marks the ticket so the convoy drops it at the next piece
+// boundary without delivering further pieces — the query-cancellation
+// path: the convoy (and the slots of its other members) is never
+// stalled by a killed query, and a sole remaining consumer's abandon
+// stops the scan after at most one more physical piece read. Wait
+// unblocks once the convoy has dropped the ticket. Safe to call more
+// than once and after completion.
+func (t *Ticket) Abandon() {
+	t.abandoned.Store(true)
+	// A convoy that already delivered every piece (or an empty table's
+	// pre-completed ticket) will never pass another piece boundary; the
+	// completed flag makes the drop here idempotent with run()'s.
+	t.s.mu.Lock()
+	if _, live := t.s.consumers[t]; !live {
+		t.complete()
+	}
+	t.s.mu.Unlock()
+}
+
+// complete closes done exactly once. Callers hold s.mu.
+func (t *Ticket) complete() {
+	if !t.completed {
+		t.completed = true
+		close(t.done)
+	}
+}
 
 // Attach joins the convoy: process is invoked once for every piece of
 // the table (in convoy order, starting wherever the scan currently is),
@@ -91,8 +122,8 @@ func (s *Scanner) attach(process func([]sqlengine.Row)) (*Ticket, bool) {
 	s.mu.Lock()
 	t.remaining = s.pieces()
 	if t.remaining == 0 {
+		t.complete()
 		s.mu.Unlock()
-		close(t.done)
 		return t, false
 	}
 	joined := len(s.consumers) > 0
@@ -119,6 +150,7 @@ type Source struct {
 	ch     chan []sqlengine.Row
 	closed chan struct{}
 	once   sync.Once
+	ticket *Ticket
 }
 
 // NextPiece returns the next convoy piece; ok is false after the
@@ -133,6 +165,17 @@ func (src *Source) NextPiece() ([]sqlengine.Row, bool) {
 // call more than once and after exhaustion.
 func (src *Source) Close() { src.once.Do(func() { close(src.closed) }) }
 
+// Detach is the cancellation form of Close: it unblocks any in-flight
+// delivery and tells the convoy to drop this membership at the next
+// piece boundary, so a killed query neither paces the convoy nor keeps
+// it reading on its behalf. The Close ordering matters: a delivery
+// blocked on src.ch must be released before the convoy can reach the
+// boundary where the abandoned ticket is dropped.
+func (src *Source) Detach() {
+	src.Close()
+	src.ticket.Abandon()
+}
+
 // AttachSource joins the convoy as a piece iterator. joined reports
 // whether an in-flight scan was shared rather than a fresh one started.
 func (s *Scanner) AttachSource() (src *Source, joined bool) {
@@ -144,9 +187,11 @@ func (s *Scanner) AttachSource() (src *Source, joined bool) {
 		case <-src.closed:
 		}
 	})
+	src.ticket = t
 	go func() {
-		// The last process call returns before the ticket completes, so
-		// closing here can never race a send.
+		// The last process call returns before the ticket completes
+		// (and an abandoned ticket receives no further process calls),
+		// so closing here can never race a send.
 		t.Wait()
 		close(src.ch)
 	}()
@@ -186,6 +231,12 @@ func (s *Scanner) run() {
 
 		var finished []*Ticket
 		for _, t := range members {
+			if t.abandoned.Load() {
+				// Dropped at the piece boundary: no delivery, and the
+				// consumer stops counting toward the convoy's pace.
+				finished = append(finished, t)
+				continue
+			}
 			t.process(piece)
 			if t.remaining--; t.remaining == 0 {
 				finished = append(finished, t)
@@ -195,7 +246,7 @@ func (s *Scanner) run() {
 			s.mu.Lock()
 			for _, t := range finished {
 				delete(s.consumers, t)
-				close(t.done)
+				t.complete()
 			}
 			s.mu.Unlock()
 		}

@@ -324,3 +324,112 @@ func TestSourceCloseMidScanDoesNotStallConvoy(t *testing.T) {
 		t.Fatal("convoy stalled by an abandoned source")
 	}
 }
+
+// TestAbandonDropsTicketAtPieceBoundary kills one convoy member
+// mid-scan: the abandoned ticket's Wait unblocks promptly, the other
+// member still sees every row exactly once, and the convoy does not
+// keep reading for the dead query once it is the last consumer.
+func TestAbandonDropsTicketAtPieceBoundary(t *testing.T) {
+	tbl := bigTable(t, 2000)
+	s, err := NewScanner(tbl, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Throttled survivor paces the convoy so the abandon lands mid-scan.
+	var survivorRows atomic.Int64
+	survivor := s.Attach(func(piece []sqlengine.Row) {
+		survivorRows.Add(int64(len(piece)))
+		time.Sleep(100 * time.Microsecond)
+	})
+
+	var victimRows atomic.Int64
+	victim := s.Attach(func(piece []sqlengine.Row) { victimRows.Add(int64(len(piece))) })
+	for victimRows.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	victim.Abandon()
+	done := make(chan struct{})
+	go func() { victim.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned ticket's Wait never unblocked")
+	}
+	droppedAt := victimRows.Load()
+	if droppedAt >= 2000 {
+		t.Errorf("victim saw the whole table (%d rows) despite the abandon", droppedAt)
+	}
+
+	survivor.Wait()
+	if survivorRows.Load() != 2000 {
+		t.Errorf("survivor saw %d rows, want 2000", survivorRows.Load())
+	}
+	// No further delivery after the drop boundary: at most one piece
+	// could have been in flight when Abandon was called.
+	if victimRows.Load() > droppedAt {
+		t.Errorf("victim kept receiving pieces after the drop: %d -> %d", droppedAt, victimRows.Load())
+	}
+}
+
+// TestAbandonLastConsumerStopsScan abandons the only consumer: the
+// convoy must stop reading instead of finishing the pass for a dead
+// query.
+func TestAbandonLastConsumerStopsScan(t *testing.T) {
+	tbl := bigTable(t, 4000)
+	s, err := NewScanner(tbl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows atomic.Int64
+	tk := s.Attach(func(piece []sqlengine.Row) {
+		rows.Add(int64(len(piece)))
+		time.Sleep(100 * time.Microsecond)
+	})
+	for rows.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	tk.Abandon()
+	tk.Wait()
+	if s.BytesRead() >= tbl.ByteSize() {
+		t.Errorf("convoy read %d bytes of a %d-byte table for a dead query", s.BytesRead(), tbl.ByteSize())
+	}
+	// Abandon after completion is a no-op.
+	tk.Abandon()
+
+	// The scanner is reusable afterwards.
+	if n := s.CountWhere(func(sqlengine.Row) bool { return true }); n != 4000 {
+		t.Errorf("post-abandon scan saw %d rows", n)
+	}
+}
+
+// TestSourceDetachUnblocksBlockedDelivery kills a source whose engine
+// side stopped pulling while the convoy is mid-delivery: Detach must
+// release the blocked process call and drop the membership.
+func TestSourceDetachUnblocksBlockedDelivery(t *testing.T) {
+	tbl := bigTable(t, 1000)
+	s, err := NewScanner(tbl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := s.AttachSource()
+	if _, ok := src.NextPiece(); !ok {
+		t.Fatal("no first piece")
+	}
+	// Stop pulling; the convoy will block delivering the next piece.
+	time.Sleep(5 * time.Millisecond)
+	src.Detach()
+
+	// A fresh consumer must still complete: the convoy was not wedged.
+	done := make(chan map[int64]int, 1)
+	fresh, _ := s.AttachSource()
+	go func() { done <- drainSource(fresh) }()
+	select {
+	case seen := <-done:
+		if len(seen) != 1000 {
+			t.Errorf("saw %d rows, want 1000", len(seen))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("convoy wedged by a detached source")
+	}
+}

@@ -136,15 +136,34 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	return e.ExecuteStmt(sel)
 }
 
+// ExecOptions are per-statement execution hooks.
+type ExecOptions struct {
+	// Scan routes full table scans inside a SELECT through a provider
+	// when it yields a source (the shared scanning integration point —
+	// see internal/scanshare). nil scans the heap directly.
+	Scan ScanProvider
+	// Interrupt aborts the statement between rows once the channel is
+	// closed; execution then fails with ErrInterrupted. nil disables
+	// interruption. This is the seam query cancellation reaches the
+	// engine through: a killed chunk query stops consuming its executor
+	// slot without waiting for the scan to finish.
+	Interrupt <-chan struct{}
+}
+
 // ExecuteStmtScanned runs one parsed statement; full table scans inside
-// a SELECT are routed through prov when it yields a source (the shared
-// scanning integration point — see internal/scanshare). A nil prov is
-// identical to ExecuteStmt.
+// a SELECT are routed through prov when it yields a source. A nil prov
+// is identical to ExecuteStmt.
 func (e *Engine) ExecuteStmtScanned(st sqlparse.Statement, prov ScanProvider) (*Result, error) {
-	if sel, ok := st.(*sqlparse.Select); ok && prov != nil {
+	return e.ExecuteStmtOpts(st, ExecOptions{Scan: prov})
+}
+
+// ExecuteStmtOpts runs one parsed statement under the given execution
+// hooks. Zero-value options are identical to ExecuteStmt.
+func (e *Engine) ExecuteStmtOpts(st sqlparse.Statement, opts ExecOptions) (*Result, error) {
+	if sel, ok := st.(*sqlparse.Select); ok && (opts.Scan != nil || opts.Interrupt != nil) {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
-		return e.execSelectScanned(sel, prov)
+		return e.execSelectOpts(sel, opts)
 	}
 	return e.ExecuteStmt(st)
 }

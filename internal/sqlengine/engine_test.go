@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -668,3 +669,65 @@ func TestCountStarFastPath(t *testing.T) {
 		t.Errorf("alias: %v", res.Cols)
 	}
 }
+
+// TestInterruptAbortsStatement checks the cancellation seam: a closed
+// interrupt channel makes execution fail with ErrInterrupted instead of
+// returning rows, for heap scans and joins alike.
+func TestInterruptAbortsStatement(t *testing.T) {
+	e := newTestEngine(t)
+	closed := make(chan struct{})
+	close(closed)
+	for _, sql := range []string{
+		"SELECT * FROM Object WHERE ra_PS > 0",
+		"SELECT o1.objectId FROM Object AS o1, Object AS o2 WHERE o1.chunkId = o2.chunkId",
+	} {
+		sel, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.ExecuteStmtOpts(sel, ExecOptions{Interrupt: closed}); !errors.Is(err, ErrInterrupted) {
+			t.Errorf("%s: err = %v, want ErrInterrupted", sql, err)
+		}
+		// A nil interrupt leaves the statement untouched.
+		if _, err := e.ExecuteStmtOpts(sel, ExecOptions{}); err != nil {
+			t.Errorf("%s without interrupt: %v", sql, err)
+		}
+	}
+}
+
+// TestInterruptMidScanViaSource aborts a statement whose scan source
+// drained early (the detached-convoy case): partial rows must never
+// pass as a complete result.
+func TestInterruptMidScanViaSource(t *testing.T) {
+	e := newTestEngine(t)
+	sel, err := sqlparse.ParseSelect("SELECT objectId FROM Object WHERE ra_PS > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	interrupt := make(chan struct{})
+	prov := func(tbl *Table) ScanSource {
+		return &stubSource{rows: tbl.Rows[:2], interrupt: interrupt}
+	}
+	if _, err := e.ExecuteStmtOpts(sel, ExecOptions{Scan: prov, Interrupt: interrupt}); !errors.Is(err, ErrInterrupted) {
+		t.Errorf("err = %v, want ErrInterrupted (partial scan passed as result)", err)
+	}
+}
+
+// stubSource yields one piece, then fires the interrupt and drains —
+// the observable behavior of a convoy source detached by a kill.
+type stubSource struct {
+	rows      []Row
+	interrupt chan struct{}
+	served    bool
+}
+
+func (s *stubSource) NextPiece() ([]Row, bool) {
+	if s.served {
+		close(s.interrupt)
+		return nil, false
+	}
+	s.served = true
+	return s.rows, true
+}
+
+func (s *stubSource) Close() {}

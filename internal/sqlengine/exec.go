@@ -1,6 +1,7 @@
 package sqlengine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,29 +30,53 @@ type ScanSource interface {
 // only for scans an index cannot answer.
 type ScanProvider func(t *Table) ScanSource
 
+// ErrInterrupted marks a statement aborted through ExecOptions.Interrupt
+// (query cancellation): the partial state is discarded and the executor
+// returns between rows.
+var ErrInterrupted = errors.New("sqlengine: statement interrupted")
+
+// interruptCheckRows is how many rows a scan or join processes between
+// interrupt checks — small enough that cancellation lands "between
+// rows", large enough that the check never shows up in profiles.
+const interruptCheckRows = 512
+
 // selectExec executes one SELECT statement.
 type selectExec struct {
-	eng      *Engine
-	sel      *sqlparse.Select
-	bindings []*binding
-	tables   []*Table
-	env      *evalEnv
-	prov     ScanProvider
-	stats    ExecStats
+	eng       *Engine
+	sel       *sqlparse.Select
+	bindings  []*binding
+	tables    []*Table
+	env       *evalEnv
+	prov      ScanProvider
+	interrupt <-chan struct{}
+	stats     ExecStats
+}
+
+// interrupted reports ErrInterrupted once the interrupt channel closed.
+func (ex *selectExec) interrupted() error {
+	if ex.interrupt == nil {
+		return nil
+	}
+	select {
+	case <-ex.interrupt:
+		return ErrInterrupted
+	default:
+		return nil
+	}
 }
 
 func (e *Engine) execSelect(sel *sqlparse.Select) (*Result, error) {
-	return e.execSelectScanned(sel, nil)
+	return e.execSelectOpts(sel, ExecOptions{})
 }
 
-func (e *Engine) execSelectScanned(sel *sqlparse.Select, prov ScanProvider) (*Result, error) {
+func (e *Engine) execSelectOpts(sel *sqlparse.Select, opts ExecOptions) (*Result, error) {
 	if len(sel.From) == 0 {
 		return e.execSelectNoFrom(sel)
 	}
 	if res, ok, err := e.tryCountStar(sel); ok || err != nil {
 		return res, err
 	}
-	ex := &selectExec{eng: e, sel: sel, prov: prov}
+	ex := &selectExec{eng: e, sel: sel, prov: opts.Scan, interrupt: opts.Interrupt}
 	for _, ref := range sel.From {
 		t, err := e.lookupTable(ref.DB, ref.Table)
 		if err != nil {
@@ -314,7 +339,13 @@ func (ex *selectExec) scanBase(k int, conjuncts []*conjunct) ([]Row, error) {
 	// Apply remaining local predicates.
 	b := ex.bindings[k]
 	var out []Row
-	for _, r := range candidate {
+	for i, r := range candidate {
+		if i%interruptCheckRows == 0 {
+			if err := ex.interrupted(); err != nil {
+				b.row = nil
+				return nil, err
+			}
+		}
 		b.row = r
 		keep := true
 		for _, c := range local {
@@ -350,8 +381,15 @@ func (ex *selectExec) scanViaSource(k int, t *Table, src ScanSource, local []*co
 	defer func() { b.row = nil }()
 	var out []Row
 	for {
+		// Cancellation lands at piece boundaries: the next NextPiece is
+		// never issued, so the convoy source can be detached promptly.
+		if err := ex.interrupted(); err != nil {
+			return nil, err
+		}
 		piece, ok := src.NextPiece()
 		if !ok {
+			// A detached (killed) source drains early; the final check
+			// below keeps its partial scan from passing as a result.
 			break
 		}
 		ex.stats.RowsScanned += int64(len(piece))
@@ -376,6 +414,9 @@ func (ex *selectExec) scanViaSource(k int, t *Table, src ScanSource, local []*co
 				out = append(out, r)
 			}
 		}
+	}
+	if err := ex.interrupted(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -529,7 +570,13 @@ func (ex *selectExec) extend(cur []tuple, k int, conjuncts []*conjunct) ([]tuple
 		}
 		equi.consumed = true
 		bk := ex.bindings[k]
-		for _, tup := range cur {
+		for ti, tup := range cur {
+			if ti%interruptCheckRows == 0 {
+				if err := ex.interrupted(); err != nil {
+					bk.row = nil
+					return nil, err
+				}
+			}
 			ex.bindTuple(tup, k)
 			pv, err := ex.env.Eval(probeExpr)
 			if err != nil {
@@ -558,7 +605,13 @@ func (ex *selectExec) extend(cur []tuple, k int, conjuncts []*conjunct) ([]tuple
 	} else {
 		// Nested loop over the (memory-resident) filtered inner rows.
 		bk := ex.bindings[k]
-		for _, tup := range cur {
+		for ti, tup := range cur {
+			if ti%interruptCheckRows == 0 {
+				if err := ex.interrupted(); err != nil {
+					ex.clearBindings()
+					return nil, err
+				}
+			}
 			ex.bindTuple(tup, k)
 			for _, r := range rows {
 				ex.stats.PairsConsidered++

@@ -19,7 +19,9 @@ import (
 
 // Value is one cell: nil (NULL), int64, float64, or string. bool appears
 // transiently during predicate evaluation and is stored as int64 0/1.
-type Value interface{}
+// It is an alias (not a defined type) so Row converts to the public
+// API's []any without copying.
+type Value = interface{}
 
 // Kind classifies a value for coercion decisions.
 type Kind int

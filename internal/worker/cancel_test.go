@@ -1,0 +1,386 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/sqlengine"
+	"repro/internal/xrd"
+)
+
+// TestCancelQueuedScanJobDequeued kills a job while it waits on the
+// scan lane behind a slow convoy: the job must leave the queue without
+// ever executing, its result read must fail with context.Canceled, and
+// the blocking job must be unaffected.
+func TestCancelQueuedScanJobDequeued(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.SharedScans = true
+	cfg.ScanPieceRows = 8
+	cfg.Slots = 1
+	const rows = 4000
+	w, chunks := loadBigChunks(t, cfg, 2, rows)
+	table := meta.ChunkTableName("Object", chunks[0])
+
+	// Occupy the only scan slot: a query on chunk 0 whose convoy is
+	// throttled so it reliably outlives the cancel below.
+	blocker := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 0;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunks[0])), blocker); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.ConvoyScanner(table) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	throttle := w.ConvoyScanner(table).Attach(func([]sqlengine.Row) { time.Sleep(200 * time.Microsecond) })
+
+	// The victim queues on the other chunk behind the blocker's gang.
+	victim := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 5e-29;",
+		meta.ChunkTableName("Object", chunks[1])))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunks[1])), victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, scan := w.QueueLens(); scan != 1 {
+		t.Fatalf("scan queue len = %d, want 1", scan)
+	}
+	// A collector blocked on the result (the czar's read transaction)
+	// must be released by the cancel with context.Canceled.
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := w.HandleRead(xrd.ResultPath(victim))
+		readErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read block on the entry
+	hash := xrd.ResultHash(victim)
+	if !w.Cancel(hash) {
+		t.Fatal("Cancel found no job")
+	}
+	if _, scan := w.QueueLens(); scan != 0 {
+		t.Errorf("canceled job still queued (len %d)", scan)
+	}
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("blocked result read error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked result read never released by the cancel")
+	}
+	// A fresh read finds nothing: canceled outcomes are evicted so a
+	// re-submitted identical payload re-executes instead of inheriting
+	// the dead query's error.
+	if _, err := w.HandleRead(xrd.ResultPath(victim)); err == nil {
+		t.Error("evicted result still readable")
+	}
+	throttle.Wait()
+	if _, err := w.HandleRead(xrd.ResultPath(blocker)); err != nil {
+		t.Errorf("blocker failed: %v", err)
+	}
+	// The victim never consumed a slot: no report exists for it.
+	for _, r := range w.Reports() {
+		if r.Hash == hash {
+			t.Errorf("dequeued job still executed (report %+v)", r)
+		}
+	}
+}
+
+// TestCancelRunningScanDetachesConvoy kills one member of a two-member
+// convoy mid-scan: the victim's result fails with context.Canceled and
+// its slot frees within roughly a piece, while the surviving member
+// still sees every piece exactly once (exact filter count) — the
+// acceptance criterion's "other convoy members unaffected".
+func TestCancelRunningScanDetachesConvoy(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.SharedScans = true
+	cfg.ScanPieceRows = 8
+	cfg.Slots = 2
+	const rows = 4000
+	w, chunks := loadBigChunks(t, cfg, 1, rows)
+	chunk := chunks[0]
+	table := meta.ChunkTableName("Object", chunk)
+
+	// Throttle via a pre-warmed convoy so both queries run long enough
+	// to be mid-scan when the kill lands (~500 pieces x 200us).
+	warm := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 0;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(warm)); err != nil {
+		t.Fatal(err)
+	}
+	sc := w.ConvoyScanner(table)
+	if sc == nil {
+		t.Fatal("no convoy scanner")
+	}
+	throttle := sc.Attach(func([]sqlengine.Row) { time.Sleep(200 * time.Microsecond) })
+
+	survivor := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 5e-29;", table))
+	victim := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 8e-29;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), survivor); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until both are genuinely executing.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.ActiveJobs() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never started (active=%d)", w.ActiveJobs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t0 := time.Now()
+	if !w.Cancel(xrd.ResultHash(victim)) {
+		t.Fatal("Cancel found no running job")
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(victim)); !errors.Is(err, context.Canceled) {
+		t.Errorf("victim result error = %v, want context.Canceled", err)
+	}
+	// The slot frees long before the throttled convoy finishes
+	// (~100ms): that is the reclaimed-within-a-piece guarantee.
+	for w.ActiveJobs() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim slot never reclaimed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	reclaim := time.Since(t0)
+
+	stream, err := w.HandleRead(xrd.ResultPath(survivor))
+	if err != nil {
+		t.Fatalf("survivor failed: %v", err)
+	}
+	throttle.Wait()
+	if got := countResult(t, string(stream)); got != rows/2 {
+		t.Errorf("survivor count = %d, want %d (convoy corrupted by the kill)", got, rows/2)
+	}
+	var victimReport *JobReport
+	for _, r := range w.Reports() {
+		if r.Hash == xrd.ResultHash(victim) {
+			r := r
+			victimReport = &r
+		}
+	}
+	if victimReport == nil || victimReport.Err == nil {
+		t.Fatalf("victim report missing or errless: %+v", victimReport)
+	}
+	if !errors.Is(victimReport.Err, context.Canceled) {
+		t.Errorf("victim report err = %v", victimReport.Err)
+	}
+	// Sanity: the abort really was early — well under the throttled
+	// convoy's full duration.
+	if reclaim > 2*time.Second {
+		t.Errorf("slot reclaim took %v", reclaim)
+	}
+}
+
+// TestCancelQueuedInteractiveSkipped kills an interactive job while it
+// waits behind another interactive job: the lane's channel cannot be
+// drained surgically, so the executor must skip it when popped.
+func TestCancelQueuedInteractiveSkipped(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.InteractiveSlots = 1
+	cfg.SharedScans = false
+	w, chunks := loadBigChunks(t, cfg, 1, 2000)
+	chunk := chunks[0]
+	table := meta.ChunkTableName("Object", chunk)
+
+	// Two interactive jobs; with one slot they serialize. Cancel the
+	// second before the first finishes — a race the state machine must
+	// win regardless of which side gets there first.
+	first := []byte(fmt.Sprintf("-- CLASS: INTERACTIVE\nSELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 1e-29;", table))
+	second := []byte(fmt.Sprintf("-- CLASS: INTERACTIVE\nSELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 2e-29;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), first); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), second); err != nil {
+		t.Fatal(err)
+	}
+	w.Cancel(xrd.ResultHash(second))
+	if _, err := w.HandleRead(xrd.ResultPath(first)); err != nil {
+		t.Errorf("first interactive job failed: %v", err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(second)); err == nil {
+		t.Error("canceled interactive job delivered a result")
+	}
+}
+
+// TestCancelUnknownHash is the idempotence contract: canceling a
+// finished or never-seen query reports false and breaks nothing.
+func TestCancelUnknownHash(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	w, chunks := loadBigChunks(t, cfg, 1, 100)
+	payload := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s;",
+		meta.ChunkTableName("Object", chunks[0])))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunks[0])), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Cancel(xrd.ResultHash(payload)) {
+		t.Error("finished job reported cancelable")
+	}
+	if w.Cancel("0123456789abcdef0123456789abcdef") {
+		t.Error("unknown hash reported cancelable")
+	}
+	// The cancel fabric transaction is a no-op for unknown hashes too.
+	if err := w.HandleWrite("/cancel/0123456789abcdef0123456789abcdef", nil); err != nil {
+		t.Errorf("cancel transaction errored: %v", err)
+	}
+}
+
+// TestCancelSharedPayloadDetachesOneInterest: two queries dedup onto
+// one content-addressed job; killing one must not fail the other, and
+// killing both aborts the job.
+func TestCancelSharedPayloadDetachesOneInterest(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.SharedScans = true
+	cfg.ScanPieceRows = 8
+	w, chunks := loadBigChunks(t, cfg, 1, 4000)
+	chunk := chunks[0]
+	table := meta.ChunkTableName("Object", chunk)
+
+	payload := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 5e-29;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	// Second identical dispatch: dedups onto the live job.
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	hash := xrd.ResultHash(payload)
+	if !w.Cancel(hash) {
+		t.Fatal("first cancel found no job")
+	}
+	// One interest remains: the job must complete and serve its result.
+	stream, err := w.HandleRead(xrd.ResultPath(payload))
+	if err != nil {
+		t.Fatalf("surviving sharer's result failed: %v", err)
+	}
+	if got := countResult(t, string(stream)); got != 2000 {
+		t.Errorf("shared result count = %d, want 2000", got)
+	}
+
+	// Fresh job, both interests canceled: the job aborts.
+	fresh := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 6e-29;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), fresh); err != nil {
+		t.Fatal(err)
+	}
+	fh := xrd.ResultHash(fresh)
+	if !w.Cancel(fh) || !w.Cancel(fh) {
+		// The job may already be running (not queued) — both cancels
+		// must still each detach an interest.
+		t.Fatal("cancels found no job")
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(fresh)); err == nil {
+		t.Error("fully-canceled shared job still served a result")
+	}
+}
+
+// TestCancelUnregisteredQIDRefused: a qid-carrying cancel whose
+// dispatch write never landed here must not detach another query's
+// interest — the broadcast-kill safety property.
+func TestCancelUnregisteredQIDRefused(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.SharedScans = true
+	cfg.ScanPieceRows = 8
+	w, chunks := loadBigChunks(t, cfg, 1, 4000)
+	chunk := chunks[0]
+	table := meta.ChunkTableName("Object", chunk)
+
+	payload := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 5e-29;", table))
+	// Query B registers its interest under its own qid.
+	if err := w.HandleWrite(xrd.WithQID(xrd.QueryPath(int(chunk)), "czar-0-7"), payload); err != nil {
+		t.Fatal(err)
+	}
+	hash := xrd.ResultHash(payload)
+	// Query A's broadcast cancel arrives, but A never wrote here.
+	if err := w.HandleWrite(xrd.WithQID("/cancel/"+hash, "czar-0-4"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// B's job is unharmed and serves the correct result.
+	stream, err := w.HandleRead(xrd.ResultPath(payload))
+	if err != nil {
+		t.Fatalf("innocent sharer's job was aborted: %v", err)
+	}
+	if got := countResult(t, string(stream)); got != 2000 {
+		t.Errorf("count = %d, want 2000", got)
+	}
+
+	// The registered qid's cancel does abort (fresh payload).
+	fresh := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 6e-29;", table))
+	if err := w.HandleWrite(xrd.WithQID(xrd.QueryPath(int(chunk)), "czar-0-9"), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.HandleWrite(xrd.WithQID("/cancel/"+xrd.ResultHash(fresh), "czar-0-9"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(fresh)); err == nil {
+		t.Error("owner's cancel did not abort the job")
+	}
+}
+
+// TestDedupOntoKilledRunningJobReexecutes: a fresh identical payload
+// arriving while a killed job is still unwinding must not inherit its
+// cancellation — the dying job is displaced and the new one executes.
+func TestDedupOntoKilledRunningJobReexecutes(t *testing.T) {
+	cfg := DefaultConfig("w0")
+	cfg.SharedScans = true
+	cfg.ScanPieceRows = 8
+	cfg.Slots = 2
+	const rows = 4000
+	w, chunks := loadBigChunks(t, cfg, 1, rows)
+	chunk := chunks[0]
+	table := meta.ChunkTableName("Object", chunk)
+
+	// Warm + throttle the convoy so the victim runs long enough.
+	warm := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 0;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.HandleRead(xrd.ResultPath(warm)); err != nil {
+		t.Fatal(err)
+	}
+	throttle := w.ConvoyScanner(table).Attach(func([]sqlengine.Row) { time.Sleep(200 * time.Microsecond) })
+
+	payload := []byte(fmt.Sprintf("SELECT COUNT(*) AS n FROM LSST.%s WHERE zFlux_PS > 5e-29;", table))
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.ActiveJobs() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hash := xrd.ResultHash(payload)
+	if !w.Cancel(hash) {
+		t.Fatal("Cancel found no job")
+	}
+	// While the killed job unwinds, an identical payload arrives from a
+	// different (un-killed) query.
+	if err := w.HandleWrite(xrd.QueryPath(int(chunk)), payload); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := w.HandleRead(xrd.ResultPath(payload))
+	if err != nil {
+		t.Fatalf("re-submitted query inherited the kill: %v", err)
+	}
+	if got := countResult(t, string(stream)); got != rows/2 {
+		t.Errorf("count = %d, want %d", got, rows/2)
+	}
+	throttle.Wait()
+}

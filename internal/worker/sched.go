@@ -58,24 +58,55 @@ func (q *gangQueue) push(j *job) bool {
 func (q *gangQueue) popGang() []*job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for !q.closed && len(q.order) == 0 {
-		q.cond.Wait()
+	for {
+		for !q.closed && len(q.order) == 0 {
+			q.cond.Wait()
+		}
+		if q.closed {
+			return nil
+		}
+		key := q.order[0]
+		q.order = q.order[1:]
+		gang := q.byKey[key]
+		if len(gang) == 0 {
+			// The group was emptied by cancellation; its order slot is
+			// stale.
+			continue
+		}
+		if len(gang) > q.maxGang {
+			q.byKey[key] = gang[q.maxGang:]
+			gang = gang[:q.maxGang:q.maxGang]
+			q.order = append(q.order, key)
+		} else {
+			delete(q.byKey, key)
+		}
+		q.n -= len(gang)
+		return gang
 	}
-	if q.closed {
-		return nil
+}
+
+// remove dequeues a canceled job before any executor pops it; false
+// means the job already left the queue (it is running, finished, or was
+// popped concurrently — the state machine handles those). An emptied
+// chunk group keeps its place in order; popGang skips empty groups.
+func (q *gangQueue) remove(target *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jobs := q.byKey[target.chunk]
+	for i, j := range jobs {
+		if j != target {
+			continue
+		}
+		jobs = append(jobs[:i:i], jobs[i+1:]...)
+		if len(jobs) == 0 {
+			delete(q.byKey, target.chunk)
+		} else {
+			q.byKey[target.chunk] = jobs
+		}
+		q.n--
+		return true
 	}
-	key := q.order[0]
-	q.order = q.order[1:]
-	gang := q.byKey[key]
-	if len(gang) > q.maxGang {
-		q.byKey[key] = gang[q.maxGang:]
-		gang = gang[:q.maxGang:q.maxGang]
-		q.order = append(q.order, key)
-	} else {
-		delete(q.byKey, key)
-	}
-	q.n -= len(gang)
-	return gang
+	return false
 }
 
 func (q *gangQueue) close() {

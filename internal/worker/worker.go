@@ -23,6 +23,7 @@
 package worker
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -126,6 +127,8 @@ type Worker struct {
 	results map[string]*resultEntry
 	reports []JobReport
 	chunks  map[partition.ChunkID]bool
+	jobs    map[string]*job // queued + running, by result hash
+	active  int             // jobs currently executing
 
 	scanMu   sync.Mutex
 	scanners map[string]*scanshare.Scanner
@@ -133,17 +136,81 @@ type Worker struct {
 	subs *subchunkManager
 }
 
+// job states, guarded by Worker.mu.
+const (
+	jobQueued = iota
+	jobRunning
+	jobCanceled // canceled while queued; executors skip it
+)
+
 type job struct {
 	chunk    partition.ChunkID
 	class    core.QueryClass
 	payload  []byte
 	hash     string
 	queuedAt time.Time
+	state    int          // guarded by Worker.mu
+	entry    *resultEntry // this job's pending result; completed exactly once
+	// refs counts the queries interested in this job's result: 1 at
+	// enqueue, +1 per content-addressed dedup hit while live. A cancel
+	// only aborts the job when the last interested query detaches —
+	// killing one user's query must not fail another's that happened to
+	// share the identical chunk payload. owners tracks the interests by
+	// the dispatching query's out-of-band identity (xrd.WithQID), so a
+	// cancel carrying a qid that never registered here (a broadcast for
+	// a dispatch write that never landed) is a no-op instead of
+	// detaching an innocent sharer. Both guarded by Worker.mu.
+	refs   int
+	owners map[string]int
+
+	// cancel is closed exactly once when the job is killed; the engine's
+	// interrupt seam and the convoy sources watch it.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+
+	// srcMu guards sources, the job's live convoy memberships.
+	srcMu   sync.Mutex
+	sources []*scanshare.Source
 
 	// Convoy accounting, written by the scan provider from the single
 	// goroutine executing this job.
 	convoyJoins int
 	scansShared int
+}
+
+// canceled reports whether the job's kill signal fired.
+func (j *job) canceled() bool {
+	select {
+	case <-j.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// signalCancel fires the kill signal and detaches every convoy
+// membership the job holds, so shared-scan slots are reclaimed at the
+// next piece boundary instead of when the scan would have finished.
+func (j *job) signalCancel() {
+	j.cancelOnce.Do(func() { close(j.cancel) })
+	j.srcMu.Lock()
+	srcs := j.sources
+	j.sources = nil
+	j.srcMu.Unlock()
+	for _, src := range srcs {
+		src.Detach()
+	}
+}
+
+// registerSource records a convoy membership; a job killed concurrently
+// detaches it immediately.
+func (j *job) registerSource(src *scanshare.Source) {
+	j.srcMu.Lock()
+	j.sources = append(j.sources, src)
+	j.srcMu.Unlock()
+	if j.canceled() {
+		src.Detach()
+	}
 }
 
 type resultEntry struct {
@@ -182,6 +249,7 @@ func New(cfg Config, registry *meta.Registry) *Worker {
 		stop:        make(chan struct{}),
 		results:     map[string]*resultEntry{},
 		chunks:      map[partition.ChunkID]bool{},
+		jobs:        map[string]*job{},
 		scanners:    map[string]*scanshare.Scanner{},
 	}
 	w.subs = newSubchunkManager(w)
@@ -236,6 +304,86 @@ func (w *Worker) QueueLens() (interactive, scan int) {
 	return len(w.interactive), w.scanq.len()
 }
 
+// ActiveJobs returns the number of chunk queries currently occupying an
+// executor slot — the quantity the kill path exists to reclaim.
+func (w *Worker) ActiveJobs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.active
+}
+
+// evict removes a job's registry and result-cache entries, but only if
+// they are still this job's — a re-submitted identical payload may
+// already have replaced them. Callers hold w.mu.
+func (w *Worker) evict(j *job) {
+	if w.jobs[j.hash] == j {
+		delete(w.jobs, j.hash)
+	}
+	if w.results[j.hash] == j.entry {
+		delete(w.results, j.hash)
+	}
+}
+
+// Cancel kills the chunk query whose result is addressed by hash. A
+// queued job is dequeued — its lane slot is never consumed — and its
+// pending result completes with context.Canceled; a running job aborts
+// between rows (interactive lane) or detaches from its shared-scan
+// convoy at the next piece boundary (scan lane), failing its result.
+// Either way the canceled entry leaves the content-addressed result
+// cache, so re-submitting the same payload later re-executes it.
+// When other queries deduplicated onto the same payload, Cancel only
+// detaches one interest; the job aborts when the last detaches.
+// Cancel reports whether it found a live job; finished queries are not
+// cancelable (their results are already published).
+func (w *Worker) Cancel(hash string) bool { return w.cancelOwner(hash, "") }
+
+// cancelOwner is Cancel carrying the dispatching query's out-of-band
+// identity: a qid that never registered interest in this job is
+// refused, so a broadcast kill for a dispatch write that never landed
+// here cannot detach an innocent sharer's interest. An empty qid is
+// the operator form — it unconditionally detaches one interest.
+func (w *Worker) cancelOwner(hash, qid string) bool {
+	w.mu.Lock()
+	j, ok := w.jobs[hash]
+	if !ok {
+		w.mu.Unlock()
+		return false
+	}
+	if qid != "" && j.owners[qid] == 0 {
+		w.mu.Unlock()
+		return false
+	}
+	if j.owners[qid] > 0 {
+		j.owners[qid]--
+	}
+	if j.refs--; j.refs > 0 {
+		// Other queries deduplicated onto this job still want its
+		// result; the caller's interest detaches, the job lives on.
+		w.mu.Unlock()
+		return true
+	}
+	switch j.state {
+	case jobQueued:
+		j.state = jobCanceled
+		w.evict(j)
+		w.mu.Unlock()
+		// Scan-lane jobs leave the queue eagerly; interactive jobs are
+		// marked and skipped when their channel slot drains.
+		w.scanq.remove(j)
+		j.signalCancel()
+		j.entry.err = fmt.Errorf("worker %s: chunk query %s: %w", w.cfg.Name, hash, context.Canceled)
+		close(j.entry.ready)
+		return true
+	case jobRunning:
+		w.mu.Unlock()
+		j.signalCancel()
+		return true
+	default:
+		w.mu.Unlock()
+		return false
+	}
+}
+
 // ---------- data loading ----------
 
 // LoadChunk installs a chunk table and its overlap companion, indexing
@@ -285,16 +433,36 @@ func (w *Worker) LoadShared(name string, schema sqlengine.Schema, rows []sqlengi
 
 // ---------- xrd.Handler ----------
 
-// HandleWrite accepts a chunk query written to /query2/CC: it registers
+// HandleWrite accepts a chunk query written to /query2/CC — it registers
 // a pending result under the payload's hash and enqueues the job on the
 // lane its CLASS header selects (headerless payloads default to the
-// scan lane — the conservative choice).
+// scan lane — the conservative choice) — or a kill written to
+// /cancel/H, which dequeues or aborts the query hashing to H.
 func (w *Worker) HandleWrite(path string, data []byte) error {
+	return w.HandleWriteContext(context.Background(), path, data)
+}
+
+// HandleWriteContext implements xrd.ContextHandler; enqueueing never
+// blocks, so only the entry check consults the context.
+func (w *Worker) HandleWriteContext(ctx context.Context, path string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	path, qid := xrd.SplitQID(path)
+	if hash, ok := strings.CutPrefix(path, "/cancel/"); ok {
+		// Kill transactions are idempotent: canceling a finished or
+		// unknown query — or one whose qid never registered interest
+		// here — is a no-op, not an error (the czar fires them
+		// best-effort on every dispatched chunk, and broadcasts to
+		// every replica when a dispatch write was torn mid-kill).
+		w.cancelOwner(hash, qid)
+		return nil
+	}
 	chunk, err := parseQueryPath(path)
 	if err != nil {
 		return err
 	}
-	hash := strings.TrimPrefix(xrd.ResultPath(data), "/result/")
+	hash := xrd.ResultHash(data)
 	class, _ := core.ParseClassHeader(data)
 	j := &job{
 		chunk:    chunk,
@@ -302,15 +470,34 @@ func (w *Worker) HandleWrite(path string, data []byte) error {
 		payload:  append([]byte(nil), data...),
 		hash:     hash,
 		queuedAt: time.Now(),
+		cancel:   make(chan struct{}),
 	}
 	w.mu.Lock()
 	if _, exists := w.results[hash]; exists {
-		// Identical payload already queued or executed; the existing
-		// result serves both (content-addressed results deduplicate).
-		w.mu.Unlock()
-		return nil
+		live := w.jobs[hash]
+		if live == nil || !live.canceled() {
+			// Identical payload already queued, running, or executed;
+			// the existing result serves both (content-addressed
+			// results deduplicate). A live job gains a reference so one
+			// sharer's kill cannot fail the others.
+			if live != nil {
+				live.refs++
+				live.owners[qid]++
+			}
+			w.mu.Unlock()
+			return nil
+		}
+		// The live job was killed and is still unwinding: its entry
+		// will publish context.Canceled, which this new (un-killed)
+		// query must not inherit. Displace it and register fresh; the
+		// dying job completes against its own entry pointer.
+		w.evict(live)
 	}
-	w.results[hash] = &resultEntry{ready: make(chan struct{})}
+	j.entry = &resultEntry{ready: make(chan struct{})}
+	j.refs = 1
+	j.owners = map[string]int{qid: 1}
+	w.results[hash] = j.entry
+	w.jobs[hash] = j
 	w.mu.Unlock()
 
 	enqueued := false
@@ -326,13 +513,20 @@ func (w *Worker) HandleWrite(path string, data []byte) error {
 	if enqueued {
 		return nil
 	}
+	// A cancel can land in the window between registration above and
+	// this failure path; its jobQueued branch already failed the entry.
+	// Only the side that wins the state transition may complete it —
+	// entry.ready closes exactly once.
 	w.mu.Lock()
-	entry := w.results[hash]
-	delete(w.results, hash)
+	stillQueued := j.state == jobQueued
+	if stillQueued {
+		j.state = jobCanceled
+		w.evict(j)
+	}
 	w.mu.Unlock()
-	if entry != nil {
-		entry.err = fmt.Errorf("worker %s: %s queue full", w.cfg.Name, class)
-		close(entry.ready)
+	if stillQueued {
+		j.entry.err = fmt.Errorf("worker %s: %s queue full", w.cfg.Name, class)
+		close(j.entry.ready)
 	}
 	return fmt.Errorf("worker %s: %s queue full (%d)", w.cfg.Name, class, w.cfg.QueueDepth)
 }
@@ -340,6 +534,13 @@ func (w *Worker) HandleWrite(path string, data []byte) error {
 // HandleRead serves /result/H, blocking until the chunk query hashing to
 // H finishes (or the configured timeout passes).
 func (w *Worker) HandleRead(path string) ([]byte, error) {
+	return w.HandleReadContext(context.Background(), path)
+}
+
+// HandleReadContext implements xrd.ContextHandler: a canceled context
+// unblocks the (execution-length) result wait immediately, which is how
+// a killed user query's collector goroutines return promptly.
+func (w *Worker) HandleReadContext(ctx context.Context, path string) ([]byte, error) {
 	hash, err := parseResultPath(path)
 	if err != nil {
 		return nil, err
@@ -352,6 +553,8 @@ func (w *Worker) HandleRead(path string) ([]byte, error) {
 	}
 	select {
 	case <-entry.ready:
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
 	case <-time.After(w.cfg.ResultTimeout):
 		return nil, fmt.Errorf("worker %s: result %s timed out after %v", w.cfg.Name, hash, w.cfg.ResultTimeout)
 	}
@@ -398,6 +601,20 @@ func (w *Worker) interactiveExecutor() {
 	}
 }
 
+// begin transitions a popped job to running; false means the job was
+// canceled while queued (its result entry is already failed) and must
+// not consume the slot.
+func (w *Worker) begin(j *job) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if j.state != jobQueued {
+		return false
+	}
+	j.state = jobRunning
+	w.active++
+	return true
+}
+
 // scanExecutor drains the scan lane gang by gang: every queued job on
 // the popped chunk starts together, so same-table scans attach to one
 // convoy. Start times are stamped in arrival order before the members
@@ -423,11 +640,27 @@ func (w *Worker) scanExecutor() {
 }
 
 func (w *Worker) execute(j *job, started time.Time) {
+	if !w.begin(j) {
+		return
+	}
 	data, stats, err := w.runChunkQuery(j)
+	if err != nil && j.canceled() {
+		// An interrupted or torn execution of a killed job reports the
+		// cancellation, not its mechanism.
+		err = fmt.Errorf("worker %s: chunk query %s: %w", w.cfg.Name, j.hash, context.Canceled)
+		data = nil
+	}
 	finished := time.Now()
 
 	w.mu.Lock()
-	entry := w.results[j.hash]
+	if err != nil && j.canceled() {
+		// Same eviction as Cancel's queued path: canceled outcomes are
+		// not cacheable results; a re-submitted payload re-executes.
+		w.evict(j)
+	} else if w.jobs[j.hash] == j {
+		delete(w.jobs, j.hash)
+	}
+	w.active--
 	w.reports = append(w.reports, JobReport{
 		Chunk:       j.chunk,
 		Class:       j.class,
@@ -443,11 +676,9 @@ func (w *Worker) execute(j *job, started time.Time) {
 	})
 	w.mu.Unlock()
 
-	if entry != nil {
-		entry.data = data
-		entry.err = err
-		close(entry.ready)
-	}
+	j.entry.data = data
+	j.entry.err = err
+	close(j.entry.ready)
 }
 
 // runChunkQuery executes the statements of one chunk query, generating
@@ -478,7 +709,9 @@ func (w *Worker) runChunkQuery(j *job) ([]byte, sqlengine.ExecStats, error) {
 
 	// Scan-class jobs route full table scans of stored chunk tables
 	// through shared-scan convoys; concurrent gang members then ride
-	// one sequential read (paper section 4.3).
+	// one sequential read (paper section 4.3). Each membership is
+	// registered on the job so a kill detaches it at the next piece
+	// boundary.
 	var prov sqlengine.ScanProvider
 	if w.cfg.SharedScans && j.class == core.FullScan {
 		prov = func(t *sqlengine.Table) sqlengine.ScanSource {
@@ -487,6 +720,7 @@ func (w *Worker) runChunkQuery(j *job) ([]byte, sqlengine.ExecStats, error) {
 				return nil
 			}
 			src, joined := sc.AttachSource()
+			j.registerSource(src)
 			j.convoyJoins++
 			if joined {
 				j.scansShared++
@@ -495,10 +729,14 @@ func (w *Worker) runChunkQuery(j *job) ([]byte, sqlengine.ExecStats, error) {
 		}
 	}
 
-	// Execute each statement, accumulating SELECT results.
+	// Execute each statement, accumulating SELECT results. The job's
+	// kill signal interrupts execution between rows.
 	var accum *sqlengine.Result
 	for _, st := range stmts {
-		res, err := w.engine.ExecuteStmtScanned(st, prov)
+		if j.canceled() {
+			return nil, agg, fmt.Errorf("worker %s chunk %d: %w", w.cfg.Name, j.chunk, sqlengine.ErrInterrupted)
+		}
+		res, err := w.engine.ExecuteStmtOpts(st, sqlengine.ExecOptions{Scan: prov, Interrupt: j.cancel})
 		if err != nil {
 			return nil, agg, fmt.Errorf("worker %s chunk %d: %w", w.cfg.Name, j.chunk, err)
 		}

@@ -2,11 +2,14 @@ package xrd
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
+	"time"
 )
 
 // The TCP transport carries the two file transactions over a simple
@@ -225,11 +228,21 @@ func readResponse(r *bufio.Reader) ([]byte, error) {
 	return data, nil
 }
 
-// TCPEndpoint is an Endpoint that performs transactions against a remote
-// Server, dialing one persistent connection per endpoint (re-dialed on
-// failure).
+// TCPEndpoint is an Endpoint that performs transactions against a
+// remote Server over two persistent connections (re-dialed on failure):
+// a data lane for dispatch writes and result reads, and a control lane
+// for kill transactions. The split matters because result reads block
+// for execution lengths while holding their lane: a cancel — whose
+// whole purpose is prompt resource reclamation — must not queue behind
+// another query's minutes-long read on a shared connection.
 type TCPEndpoint struct {
 	name string
+	data connLane
+	ctrl connLane
+}
+
+// connLane is one serialized connection to the server.
+type connLane struct {
 	addr string
 	mu   sync.Mutex
 	conn net.Conn
@@ -240,68 +253,113 @@ type TCPEndpoint struct {
 // NewTCPEndpoint creates an endpoint for a remote server. The name is
 // the endpoint's cluster identity; addr its host:port.
 func NewTCPEndpoint(name, addr string) *TCPEndpoint {
-	return &TCPEndpoint{name: name, addr: addr}
+	return &TCPEndpoint{name: name, data: connLane{addr: addr}, ctrl: connLane{addr: addr}}
 }
 
 // Name implements Endpoint.
 func (t *TCPEndpoint) Name() string { return t.name }
 
-// Close drops the cached connection.
+// Close drops the cached connections.
 func (t *TCPEndpoint) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.conn != nil {
-		err := t.conn.Close()
-		t.conn = nil
+	err := t.data.close()
+	if cerr := t.ctrl.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// laneFor routes control-plane transactions (kills) onto the control
+// lane and everything else onto the data lane.
+func (t *TCPEndpoint) laneFor(path string) *connLane {
+	if strings.HasPrefix(path, "/cancel/") {
+		return &t.ctrl
+	}
+	return &t.data
+}
+
+func (l *connLane) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		err := l.conn.Close()
+		l.conn = nil
 		return err
 	}
 	return nil
 }
 
-func (t *TCPEndpoint) ensureConn() error {
-	if t.conn != nil {
+func (l *connLane) ensureConn() error {
+	if l.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", t.addr)
+	conn, err := net.Dial("tcp", l.addr)
 	if err != nil {
-		return fmt.Errorf("xrd: dial %s: %w", t.addr, err)
+		return fmt.Errorf("xrd: dial %s: %w", l.addr, err)
 	}
-	t.conn = conn
-	t.r = bufio.NewReader(conn)
-	t.w = bufio.NewWriter(conn)
+	l.conn = conn
+	l.r = bufio.NewReader(conn)
+	l.w = bufio.NewWriter(conn)
 	return nil
 }
 
-func (t *TCPEndpoint) roundTrip(op byte, path string, payload []byte) ([]byte, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (l *connLane) roundTrip(ctx context.Context, op byte, path string, payload []byte) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	// One reconnect attempt on a stale cached connection.
 	for attempt := 0; ; attempt++ {
-		if err := t.ensureConn(); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		if err := l.ensureConn(); err != nil {
 			return nil, err
 		}
-		if err := writeRequest(t.w, op, path, payload); err == nil {
-			data, err := readResponse(t.r)
-			if err == nil {
-				return data, nil
-			}
-			if _, remote := err.(remoteError); remote {
-				return nil, err
-			}
-			// transport error: drop and maybe retry
-			t.conn.Close()
-			t.conn = nil
-			if attempt > 0 {
-				return nil, err
-			}
-			continue
+		data, err := l.transact(ctx, op, path, payload)
+		if err == nil {
+			return data, nil
 		}
-		t.conn.Close()
-		t.conn = nil
+		if _, remote := err.(remoteError); remote {
+			return nil, err
+		}
+		// Transport error: drop the connection. A canceled context is
+		// surfaced as such (the watcher kills the conn mid-read, so the
+		// transport error is just the cancellation's shadow).
+		l.conn.Close()
+		l.conn = nil
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, context.Cause(ctx)
+		}
 		if attempt > 0 {
-			return nil, fmt.Errorf("xrd: send to %s failed", t.addr)
+			return nil, err
 		}
 	}
+}
+
+// transact performs one request/response exchange, honoring the
+// context: its deadline bounds the conn I/O, and cancellation closes
+// the conn out from under a blocked read (the xrootd wire protocol has
+// no cancel frame; killing the stream is how a client abandons a
+// transaction).
+func (l *connLane) transact(ctx context.Context, op byte, path string, payload []byte) ([]byte, error) {
+	conn := l.conn
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+		defer conn.SetDeadline(time.Time{})
+	}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.Close()
+			case <-stop:
+			}
+		}()
+	}
+	if err := writeRequest(l.w, op, path, payload); err != nil {
+		return nil, err
+	}
+	return readResponse(l.r)
 }
 
 // remoteError distinguishes application-level failures (which should not
@@ -312,11 +370,22 @@ func (e remoteError) Error() string { return e.msg }
 
 // HandleWrite implements Handler by forwarding over TCP.
 func (t *TCPEndpoint) HandleWrite(path string, data []byte) error {
-	_, err := t.roundTrip(opWrite, path, data)
+	_, err := t.laneFor(path).roundTrip(context.Background(), opWrite, path, data)
 	return err
 }
 
 // HandleRead implements Handler by forwarding over TCP.
 func (t *TCPEndpoint) HandleRead(path string) ([]byte, error) {
-	return t.roundTrip(opRead, path, nil)
+	return t.laneFor(path).roundTrip(context.Background(), opRead, path, nil)
+}
+
+// HandleWriteContext implements ContextHandler over TCP.
+func (t *TCPEndpoint) HandleWriteContext(ctx context.Context, path string, data []byte) error {
+	_, err := t.laneFor(path).roundTrip(ctx, opWrite, path, data)
+	return err
+}
+
+// HandleReadContext implements ContextHandler over TCP.
+func (t *TCPEndpoint) HandleReadContext(ctx context.Context, path string) ([]byte, error) {
+	return t.laneFor(path).roundTrip(ctx, opRead, path, nil)
 }

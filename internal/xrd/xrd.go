@@ -18,6 +18,7 @@
 package xrd
 
 import (
+	"context"
 	"crypto/md5"
 	"encoding/hex"
 	"errors"
@@ -43,6 +44,40 @@ type Handler interface {
 	HandleRead(path string) ([]byte, error)
 }
 
+// ContextHandler is the context-aware refinement of Handler: a handler
+// implementing it has its blocking transactions (above all the result
+// read, which waits for chunk-query execution) canceled when the
+// caller's context is. Handlers that do not implement it are driven
+// through the plain methods with a context check before the call.
+type ContextHandler interface {
+	HandleWriteContext(ctx context.Context, path string, data []byte) error
+	HandleReadContext(ctx context.Context, path string) ([]byte, error)
+}
+
+// writeContext drives a write through the handler's context-aware form
+// when it has one.
+func writeContext(h Handler, ctx context.Context, path string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	if ch, ok := h.(ContextHandler); ok {
+		return ch.HandleWriteContext(ctx, path, data)
+	}
+	return h.HandleWrite(path, data)
+}
+
+// readContext drives a read through the handler's context-aware form
+// when it has one.
+func readContext(h Handler, ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	if ch, ok := h.(ContextHandler); ok {
+		return ch.HandleReadContext(ctx, path)
+	}
+	return h.HandleRead(path)
+}
+
 // Endpoint is a reachable data server: a Handler plus liveness.
 type Endpoint interface {
 	Handler
@@ -60,10 +95,54 @@ func ResultPath(chunkQuery []byte) string {
 	return "/result/" + hex.EncodeToString(sum[:])
 }
 
+// ResultHash returns the 32-hex-digit hash a chunk query's result is
+// addressed by.
+func ResultHash(chunkQuery []byte) string {
+	sum := md5.Sum(chunkQuery)
+	return hex.EncodeToString(sum[:])
+}
+
+// CancelPath builds the kill-transaction path for a chunk query's
+// result hash: a write to /cancel/H tells the worker holding the query
+// hashing to H to dequeue or abort it. This is the third (and only
+// non-paper) file transaction; the paper's czar manages long-running
+// queries the same way, through its query-management interface
+// (section 5).
+func CancelPath(hash string) string { return "/cancel/" + hash }
+
+// WithQID appends an out-of-band query identity to a transaction path.
+// The identity rides the path — never the payload — so it cannot
+// perturb the content-addressed result hash: identical chunk queries
+// from different user queries still deduplicate, while a cancel can
+// only detach an interest the same query actually registered (a kill
+// broadcast to replicas whose dispatch write never landed is a no-op
+// there instead of aborting an innocent sharer's job).
+func WithQID(path, qid string) string {
+	if qid == "" {
+		return path
+	}
+	return path + "?qid=" + qid
+}
+
+// SplitQID separates a transaction path from its optional query
+// identity.
+func SplitQID(path string) (string, string) {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		qid := strings.TrimPrefix(path[i+1:], "qid=")
+		return path[:i], qid
+	}
+	return path, ""
+}
+
 // ExportKey derives the namespace key used for redirector lookups. Query
 // dispatch paths are data-addressed by chunk, so the whole path is the
-// key; other paths are keyed by their first segment.
+// key; other paths are keyed by their first segment. A query-parameter
+// suffix (`?qid=...`, the out-of-band query identity the kill protocol
+// rides on) never participates in the key.
 func ExportKey(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
 	p := strings.TrimPrefix(path, "/")
 	if strings.HasPrefix(p, "query2/") {
 		return "/" + p
@@ -198,14 +277,16 @@ func NewClient(red *Redirector) *Client { return &Client{red: red} }
 // writing at the first live server (failing over through replicas),
 // writes data, and closes. It returns the name of the endpoint that
 // accepted the write — results must later be read from that same server
-// (the paper's result URL names the worker, not the manager).
-func (c *Client) Write(path string, data []byte) (string, error) {
-	return c.WriteAvoiding(path, data, nil)
+// (the paper's result URL names the worker, not the manager). The
+// context bounds the whole transaction; canceling it aborts the
+// attempt in flight.
+func (c *Client) Write(ctx context.Context, path string, data []byte) (string, error) {
+	return c.WriteAvoiding(ctx, path, data, nil)
 }
 
 // WriteAvoiding is Write that skips the named endpoints; the czar uses
 // it to retry a chunk on a replica after the primary died mid-query.
-func (c *Client) WriteAvoiding(path string, data []byte, avoid map[string]bool) (string, error) {
+func (c *Client) WriteAvoiding(ctx context.Context, path string, data []byte, avoid map[string]bool) (string, error) {
 	eps, err := c.red.Lookup(path)
 	if err != nil {
 		return "", err
@@ -216,8 +297,11 @@ func (c *Client) WriteAvoiding(path string, data []byte, avoid map[string]bool) 
 		if avoid[ep.Name()] {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return "", context.Cause(ctx)
+		}
 		tried++
-		if err := ep.HandleWrite(path, data); err != nil {
+		if err := writeContext(ep, ctx, path, data); err != nil {
 			lastErr = err
 			continue
 		}
@@ -229,26 +313,56 @@ func (c *Client) WriteAvoiding(path string, data []byte, avoid map[string]bool) 
 	return "", fmt.Errorf("xrd: write %s failed on all %d replicas: %w", path, tried, lastErr)
 }
 
+// WriteTo performs a write transaction against one specific endpoint,
+// bypassing the namespace lookup. The czar's kill path uses it: a
+// cancel transaction must reach exactly the worker that accepted the
+// chunk query, replicas holding the same chunk have nothing to abort.
+func (c *Client) WriteTo(ctx context.Context, endpointName, path string, data []byte) error {
+	ep, err := c.red.Endpoint(endpointName)
+	if err != nil {
+		return err
+	}
+	return writeContext(ep, ctx, path, data)
+}
+
+// WriteEverywhere performs a best-effort write of path/data to every
+// live endpoint exporting lookupPath, ignoring individual failures.
+// The czar's kill path uses it when a dispatch write was aborted
+// mid-transaction: the chunk query may or may not have reached a
+// worker — and which one is unknown — so the (idempotent) cancel goes
+// to every replica that could be holding it.
+func (c *Client) WriteEverywhere(ctx context.Context, lookupPath, path string, data []byte) {
+	eps, err := c.red.Lookup(lookupPath)
+	if err != nil {
+		return
+	}
+	for _, ep := range eps {
+		_ = writeContext(ep, ctx, path, data)
+	}
+}
+
 // ReadFrom performs transaction 2 against a specific endpoint: open the
-// (hash-addressed) path for reading, read until EOF, close.
-func (c *Client) ReadFrom(endpointName, path string) ([]byte, error) {
+// (hash-addressed) path for reading, read until EOF, close. Result
+// reads block until the chunk query finishes, so cancellation here is
+// what unblocks a killed query's collector promptly.
+func (c *Client) ReadFrom(ctx context.Context, endpointName, path string) ([]byte, error) {
 	ep, err := c.red.Endpoint(endpointName)
 	if err != nil {
 		return nil, err
 	}
-	return ep.HandleRead(path)
+	return readContext(ep, ctx, path)
 }
 
 // Read performs transaction 2 via redirector lookup with failover, for
 // paths that are replicated rather than worker-pinned.
-func (c *Client) Read(path string) ([]byte, error) {
+func (c *Client) Read(ctx context.Context, path string) ([]byte, error) {
 	eps, err := c.red.Lookup(path)
 	if err != nil {
 		return nil, err
 	}
 	var lastErr error
 	for _, ep := range eps {
-		data, err := ep.HandleRead(path)
+		data, err := readContext(ep, ctx, path)
 		if err != nil {
 			lastErr = err
 			continue
@@ -287,24 +401,36 @@ func (l *LocalEndpoint) SetDown(down bool) {
 
 // HandleWrite implements Handler with fault injection.
 func (l *LocalEndpoint) HandleWrite(path string, data []byte) error {
+	return l.HandleWriteContext(context.Background(), path, data)
+}
+
+// HandleRead implements Handler with fault injection.
+func (l *LocalEndpoint) HandleRead(path string) ([]byte, error) {
+	return l.HandleReadContext(context.Background(), path)
+}
+
+// HandleWriteContext implements ContextHandler, forwarding the context
+// to the wrapped handler when it is context-aware.
+func (l *LocalEndpoint) HandleWriteContext(ctx context.Context, path string, data []byte) error {
 	l.mu.RLock()
 	down := l.down
 	l.mu.RUnlock()
 	if down {
 		return fmt.Errorf("%w: %s", ErrOffline, l.name)
 	}
-	return l.handler.HandleWrite(path, data)
+	return writeContext(l.handler, ctx, path, data)
 }
 
-// HandleRead implements Handler with fault injection.
-func (l *LocalEndpoint) HandleRead(path string) ([]byte, error) {
+// HandleReadContext implements ContextHandler, forwarding the context
+// to the wrapped handler when it is context-aware.
+func (l *LocalEndpoint) HandleReadContext(ctx context.Context, path string) ([]byte, error) {
 	l.mu.RLock()
 	down := l.down
 	l.mu.RUnlock()
 	if down {
 		return nil, fmt.Errorf("%w: %s", ErrOffline, l.name)
 	}
-	return l.handler.HandleRead(path)
+	return readContext(l.handler, ctx, path)
 }
 
 // FileStore is a trivial in-memory Handler storing whole files by path;

@@ -1,6 +1,7 @@
 package xrd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -81,12 +82,12 @@ func TestClientWriteReadRoundTrip(t *testing.T) {
 	c := NewClient(red)
 
 	payload := []byte("-- SUBCHUNKS: 0\nSELECT 1;")
-	name, err := c.Write(QueryPath(42), payload)
+	name, err := c.Write(context.Background(), QueryPath(42), payload)
 	if err != nil || name != "w1" {
 		t.Fatalf("write: %q %v", name, err)
 	}
 	// The store holds the exact bytes.
-	got, err := c.ReadFrom("w1", QueryPath(42))
+	got, err := c.ReadFrom(context.Background(), "w1", QueryPath(42))
 	if err != nil || string(got) != string(payload) {
 		t.Fatalf("read back: %q %v", got, err)
 	}
@@ -101,7 +102,7 @@ func TestClientFailover(t *testing.T) {
 	red.Register(good, "/query2/7")
 	c := NewClient(red)
 
-	name, err := c.Write(QueryPath(7), []byte("x"))
+	name, err := c.Write(context.Background(), QueryPath(7), []byte("x"))
 	if err != nil {
 		t.Fatalf("failover write failed: %v", err)
 	}
@@ -118,16 +119,16 @@ func TestClientAdministrativeDown(t *testing.T) {
 	red.Register(b, "/query2/9")
 	red.SetDown("a", true)
 	c := NewClient(red)
-	name, err := c.Write(QueryPath(9), []byte("x"))
+	name, err := c.Write(context.Background(), QueryPath(9), []byte("x"))
 	if err != nil || name != "b" {
 		t.Fatalf("administrative down not skipped: %q %v", name, err)
 	}
 	// Reading from a downed endpoint fails.
-	if _, err := c.ReadFrom("a", "/anything"); !errors.Is(err, ErrOffline) {
+	if _, err := c.ReadFrom(context.Background(), "a", "/anything"); !errors.Is(err, ErrOffline) {
 		t.Errorf("read from down endpoint: %v", err)
 	}
 	red.SetDown("a", false)
-	if name, _ := c.Write(QueryPath(9), []byte("y")); name != "a" {
+	if name, _ := c.Write(context.Background(), QueryPath(9), []byte("y")); name != "a" {
 		t.Errorf("endpoint not restored: wrote to %q", name)
 	}
 }
@@ -138,7 +139,7 @@ func TestClientAllReplicasDown(t *testing.T) {
 	a.SetDown(true)
 	red.Register(a, "/query2/5")
 	c := NewClient(red)
-	if _, err := c.Write(QueryPath(5), []byte("x")); err == nil {
+	if _, err := c.Write(context.Background(), QueryPath(5), []byte("x")); err == nil {
 		t.Error("write with all replicas dead should fail")
 	}
 }
@@ -155,7 +156,7 @@ func TestReadWithFailover(t *testing.T) {
 	red.Register(a, "/meta")
 	red.Register(b, "/meta")
 	c := NewClient(red)
-	got, err := c.Read("/meta/x")
+	got, err := c.Read(context.Background(), "/meta/x")
 	if err != nil || string(got) != "data" {
 		t.Fatalf("read failover: %q %v", got, err)
 	}
@@ -350,10 +351,10 @@ func TestTCPEndpointThroughRedirector(t *testing.T) {
 	red.Register(NewTCPEndpoint("w2", srv2.Addr()), "/query2/2")
 	c := NewClient(red)
 
-	if name, err := c.Write(QueryPath(1), []byte("q1")); err != nil || name != "w1" {
+	if name, err := c.Write(context.Background(), QueryPath(1), []byte("q1")); err != nil || name != "w1" {
 		t.Fatalf("dispatch 1: %q %v", name, err)
 	}
-	if name, err := c.Write(QueryPath(2), []byte("q2")); err != nil || name != "w2" {
+	if name, err := c.Write(context.Background(), QueryPath(2), []byte("q2")); err != nil || name != "w2" {
 		t.Fatalf("dispatch 2: %q %v", name, err)
 	}
 	// Verify the data landed on the right servers.
@@ -372,7 +373,7 @@ func BenchmarkLocalWriteRead(b *testing.B) {
 	payload := []byte(strings.Repeat("x", 1024))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Write("/query2/1", payload); err != nil {
+		if _, err := c.Write(context.Background(), "/query2/1", payload); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -392,5 +393,27 @@ func BenchmarkTCPWriteRead(b *testing.B) {
 		if err := ep.HandleWrite("/q", payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestQIDPathIdentity(t *testing.T) {
+	p := WithQID(QueryPath(42), "czar-0-7")
+	if p != "/query2/42?qid=czar-0-7" {
+		t.Fatalf("WithQID = %q", p)
+	}
+	// The identity never perturbs the namespace key: replicas exporting
+	// the bare chunk path still serve the qid-carrying write.
+	if ExportKey(p) != ExportKey(QueryPath(42)) {
+		t.Errorf("ExportKey(%q) = %q", p, ExportKey(p))
+	}
+	base, qid := SplitQID(p)
+	if base != "/query2/42" || qid != "czar-0-7" {
+		t.Errorf("SplitQID = %q %q", base, qid)
+	}
+	if base, qid := SplitQID("/cancel/abc"); base != "/cancel/abc" || qid != "" {
+		t.Errorf("bare SplitQID = %q %q", base, qid)
+	}
+	if WithQID("/x", "") != "/x" {
+		t.Error("empty qid must be a no-op")
 	}
 }

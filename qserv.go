@@ -15,11 +15,18 @@
 //	defer cluster.Close()
 //	_ = cluster.Load(cat)
 //	res, _ := cluster.Query("SELECT COUNT(*) FROM Object")
+//
+// Queries are asynchronous sessions underneath (see Submit): the
+// multi-hour shared scans the system is designed around are submitted,
+// observed through Progress and streaming Rows, listed (Running), and
+// killed (Cancel, Kill) — with cancellation propagated down to the
+// workers' scan lanes so a dead query's slots actually free.
 package qserv
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/czar"
@@ -116,6 +123,7 @@ type Cluster struct {
 	Czar       *czar.Czar
 
 	endpoints map[string]*xrd.LocalEndpoint
+	closeOnce sync.Once
 }
 
 // NewCluster builds the cluster skeleton; call Load to install data.
@@ -164,11 +172,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
-// Close stops all workers.
+// Close shuts the cluster down: the czar first — rejecting new
+// submissions, canceling every in-flight query, and draining them (so
+// worker slots are released, not abandoned) — then the workers. Close
+// is idempotent; concurrent and repeated calls are safe.
 func (cl *Cluster) Close() {
-	for _, w := range cl.Workers {
-		w.Close()
-	}
+	cl.closeOnce.Do(func() {
+		if cl.Czar != nil {
+			cl.Czar.Close()
+		}
+		for _, w := range cl.Workers {
+			w.Close()
+		}
+	})
 }
 
 // Endpoint returns a worker's fabric endpoint (failure injection).
@@ -198,7 +214,7 @@ func (cl *Cluster) Load(cat *datagen.Catalog) error {
 		return err
 	}
 
-	objRows, objOverlap, err := cl.partitionRows(len(cat.Objects), objInfo, func(i int) (sphgeom.Point, func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row) {
+	objRows, objOverlap, err := cl.partitionRows(len(cat.Objects), func(i int) (sphgeom.Point, rowMaker) {
 		o := cat.Objects[i]
 		return o.Point(), func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
 			return objectRow(o, c, s)
@@ -207,7 +223,7 @@ func (cl *Cluster) Load(cat *datagen.Catalog) error {
 	if err != nil {
 		return err
 	}
-	srcRows, srcOverlap, err := cl.partitionRows(len(cat.Sources), srcInfo, func(i int) (sphgeom.Point, func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row) {
+	srcRows, srcOverlap, err := cl.partitionRows(len(cat.Sources), func(i int) (sphgeom.Point, rowMaker) {
 		s := cat.Sources[i]
 		return s.Point(), func(c partition.ChunkID, sc partition.SubChunkID) sqlengine.Row {
 			return sourceRow(s, c, sc)
@@ -294,9 +310,13 @@ func (cl *Cluster) Load(cat *datagen.Catalog) error {
 	return nil
 }
 
+// rowMaker renders one catalog item as a table row for the chunk (and
+// subchunk) it lands in.
+type rowMaker func(partition.ChunkID, partition.SubChunkID) sqlengine.Row
+
 // partitionRows assigns n items to chunk tables and overlap tables.
-func (cl *Cluster) partitionRows(n int, info *meta.TableInfo,
-	item func(i int) (sphgeom.Point, func(partition.ChunkID, partition.SubChunkID) sqlengine.Row),
+func (cl *Cluster) partitionRows(n int,
+	item func(i int) (sphgeom.Point, rowMaker),
 ) (map[partition.ChunkID][]sqlengine.Row, map[partition.ChunkID][]sqlengine.Row, error) {
 	rows := map[partition.ChunkID][]sqlengine.Row{}
 	overlap := map[partition.ChunkID][]sqlengine.Row{}
@@ -325,7 +345,6 @@ func (cl *Cluster) partitionRows(n int, info *meta.TableInfo,
 			}
 		}
 	}
-	_ = info
 	return rows, overlap, nil
 }
 
@@ -350,11 +369,6 @@ func sourceRow(src datagen.Source, c partition.ChunkID, s partition.SubChunkID) 
 		src.RA, src.Decl, src.PsfFlux, src.PsfFluxErr, src.FilterID,
 		int64(c), int64(s),
 	}
-}
-
-// Query submits SQL to the czar.
-func (cl *Cluster) Query(sql string) (*czar.QueryResult, error) {
-	return cl.Czar.Query(sql)
 }
 
 // SingleNodeOracle loads the same catalog into one plain engine — the

@@ -19,14 +19,14 @@ func TestQueryClassification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Class != core.Interactive {
+	if got.Class != ClassInteractive {
 		t.Errorf("objectId dive class = %v, want Interactive", got.Class)
 	}
 	got, err = cl.Query("SELECT COUNT(*) AS n FROM Object WHERE zFlux_PS > 1e-30")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Class != core.FullScan {
+	if got.Class != ClassFullScan {
 		t.Errorf("full-sky filter class = %v, want FullScan", got.Class)
 	}
 }
@@ -56,7 +56,7 @@ func TestSharedScanClusterEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameAnswer(t, got.Result, want, "shared "+sql)
+		sameAnswer(t, got, want, "shared "+sql)
 	}
 	// The full scans above must actually have used convoys.
 	var bytesRead, scansLogical int64
@@ -97,7 +97,7 @@ func TestSharedScanClusterEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameAnswer(t, got.Result, want, "plain "+sql)
+		sameAnswer(t, got, want, "plain "+sql)
 	}
 }
 

@@ -73,12 +73,12 @@ func shared(t testing.TB) (*Cluster, *sqlengine.Engine) {
 
 // sameAnswer compares a distributed answer to the oracle's, order
 // insensitive, with float tolerance.
-func sameAnswer(t *testing.T, got, want *sqlengine.Result, label string) {
+func sameAnswer(t *testing.T, got *Result, want *sqlengine.Result, label string) {
 	t.Helper()
 	if len(got.Rows) != len(want.Rows) {
 		t.Fatalf("%s: %d rows, oracle has %d", label, len(got.Rows), len(want.Rows))
 	}
-	key := func(r sqlengine.Row) string {
+	key := func(r []any) string {
 		parts := make([]string, len(r))
 		for i, v := range r {
 			if f, ok := v.(float64); ok {
@@ -132,7 +132,7 @@ func TestLV1ObjectRetrieval(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameAnswer(t, got.Result, want, sql)
+		sameAnswer(t, got, want, sql)
 		// Point queries must touch exactly one chunk.
 		if got.ChunksDispatched > 1 {
 			t.Errorf("LV1(%d) dispatched %d chunks, want <= 1", id, got.ChunksDispatched)
@@ -162,7 +162,7 @@ func TestLV2TimeSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameAnswer(t, got.Result, want, "LV2")
+	sameAnswer(t, got, want, "LV2")
 	if len(got.Rows) == 0 {
 		t.Fatal("LV2 found no sources; pick a different objectId")
 	}
@@ -187,7 +187,7 @@ func TestLV3SpatialFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameAnswer(t, got.Result, want, "LV3")
+	sameAnswer(t, got, want, "LV3")
 	if want.Rows[0][0].(int64) == 0 {
 		t.Fatal("LV3 counted nothing; box misses the data")
 	}
@@ -208,7 +208,7 @@ func TestHV1Count(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameAnswer(t, got.Result, want, "HV1")
+	sameAnswer(t, got, want, "HV1")
 	if got.ChunksDispatched != len(cl.Placement.Chunks()) {
 		t.Errorf("HV1 dispatched %d of %d chunks", got.ChunksDispatched, len(cl.Placement.Chunks()))
 	}
@@ -230,7 +230,7 @@ func TestHV2FullSkyFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameAnswer(t, got.Result, want, "HV2")
+	sameAnswer(t, got, want, "HV2")
 	if len(want.Rows) == 0 {
 		t.Fatal("HV2 matched nothing; loosen the color cut")
 	}
@@ -250,7 +250,7 @@ func TestHV3Density(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameAnswer(t, got.Result, want, "HV3")
+	sameAnswer(t, got, want, "HV3")
 	if len(got.Rows) < 2 {
 		t.Fatalf("HV3 groups = %d; data not spread over chunks", len(got.Rows))
 	}
@@ -306,7 +306,7 @@ func TestSHV2SourcesNearObjects(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sameAnswer(t, got.Result, want, "SHV2")
+	sameAnswer(t, got, want, "SHV2")
 	if len(want.Rows) == 0 {
 		t.Fatal("SHV2 matched nothing")
 	}
@@ -582,7 +582,7 @@ func TestMergePipelineEquivalence(t *testing.T) {
 				}
 				continue
 			}
-			sameAnswer(t, got.Result, want, fmt.Sprintf("cluster %d: %s", ci, sql))
+			sameAnswer(t, got, want, fmt.Sprintf("cluster %d: %s", ci, sql))
 		}
 	}
 }
@@ -604,7 +604,7 @@ func TestTopKPushdownReducesResultBytes(t *testing.T) {
 
 	sql := "SELECT objectId, ra_PS FROM Object ORDER BY ra_PS, objectId LIMIT 5"
 	var bytes [2]int64
-	var rows [2][]sqlengine.Row
+	var rows [2][]Row
 	for i, cfg := range []ClusterConfig{off, on} {
 		cl, err := NewCluster(cfg)
 		if err != nil {

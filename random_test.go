@@ -58,7 +58,7 @@ func TestRandomizedFiltersMatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("oracle %q: %v", sql, err)
 		}
-		sameAnswer(t, got.Result, want, sql)
+		sameAnswer(t, got, want, sql)
 	}
 }
 
@@ -79,7 +79,7 @@ func TestRandomizedGroupBysMatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("oracle %q: %v", sql, err)
 		}
-		sameAnswer(t, got.Result, want, sql)
+		sameAnswer(t, got, want, sql)
 	}
 }
 
@@ -109,7 +109,7 @@ func TestRandomizedProjectionsMatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("oracle %q: %v", sql, err)
 		}
-		sameAnswer(t, got.Result, want, sql)
+		sameAnswer(t, got, want, sql)
 	}
 }
 
@@ -127,7 +127,7 @@ func TestRandomizedPointQueriesMatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameAnswer(t, got.Result, want, sql)
+		sameAnswer(t, got, want, sql)
 	}
 }
 
