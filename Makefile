@@ -21,8 +21,10 @@ bench:
 	$(GO) run ./cmd/qserv-bench -exp all
 
 # Tiny-size benchmarks fast enough to gate CI: the czar merge pipeline
-# (serialized vs pipelined collection, oracle-checked) and the
-# query-kill path (Cancel() -> worker-slot reclamation within a piece).
+# (serialized vs pipelined collection, oracle-checked), the query-kill
+# path (Cancel() -> worker-slot reclamation within a piece), and the
+# ingest path (serialized vs parallel fabric shipping, oracle-checked).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
 	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
+	$(GO) run ./cmd/qserv-bench -exp ingest -objects 5

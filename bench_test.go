@@ -15,7 +15,6 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/datagen"
-	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/scanshare"
 	"repro/internal/sqlengine"
@@ -67,7 +66,7 @@ func BenchmarkTable1Catalog(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	reg := meta.LSSTRegistry(ch)
+	reg := datagen.LSSTRegistry(ch)
 	var footprint int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,7 +31,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/htm"
-	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/scanshare"
 	"repro/internal/simcluster"
@@ -130,6 +130,7 @@ func experiments() []experiment {
 		{"ablate-scanshare-live", "A4b: shared scans + two-class scheduler on the live worker path", runAblateScanshareLive},
 		{"merge-pipeline", "A6: streaming parallel merge + top-K pushdown at the czar", runMergePipeline},
 		{"kill-latency", "A8: Cancel() to worker-slot reclamation on the live path", runKillLatency},
+		{"ingest", "A9: parallel fabric-routed ingest vs serialized shipping", runIngestBench},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -140,7 +141,7 @@ func runTable1(ctx *benchCtx) error {
 	if err != nil {
 		return err
 	}
-	reg := meta.LSSTRegistry(chunker)
+	reg := datagen.LSSTRegistry(chunker)
 	fmt.Printf("%-14s %14s %10s %12s %12s\n", "table", "# rows", "row size", "footprint", "paper")
 	paper := map[string]string{"Object": "48TB", "Source": "1.3PB", "ForcedSource": "620TB"}
 	for _, name := range []string{"Object", "Source", "ForcedSource"} {
@@ -610,8 +611,12 @@ func runMergePipeline(ctx *benchCtx) error {
 		}
 		if chunker == nil {
 			chunker = cl.Chunker
-			oracle, err := qserv.SingleNodeOracle(cat, chunker)
+			oracle, err := qserv.NewOracle(cfg)
 			if err != nil {
+				cl.Close()
+				return err
+			}
+			if err := oracle.Load(cat); err != nil {
 				cl.Close()
 				return err
 			}
@@ -737,8 +742,11 @@ func runKillLatency(ctx *benchCtx) error {
 	if err := cl.Load(cat); err != nil {
 		return err
 	}
-	oracle, err := qserv.SingleNodeOracle(cat, cl.Chunker)
+	oracle, err := qserv.NewOracle(cfg)
 	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
 		return err
 	}
 
@@ -833,6 +841,120 @@ func runKillLatency(ctx *benchCtx) error {
 		return fmt.Errorf("kill-latency: reclaim took %v", reclaim)
 	default:
 		fmt.Printf("  RESULT: ok — kill propagated to the scan lanes within one piece\n")
+	}
+	return nil
+}
+
+// runIngestBench measures the write half of the system: the same
+// synthetic catalog ingested through CreateTables + Ingest twice, once
+// with shipping serialized to one in-flight batch (the legacy
+// Cluster.Load behavior: every chunk table loaded in sequence) and
+// once with the default per-worker shipping lanes, all batches riding
+// the xrd fabric's /load transaction. Both clusters then answer a
+// query battery checked against the single-node oracle, so the speedup
+// is only reported for identical results.
+func runIngestBench(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: *objectsFlag * 20, MeanSourcesPerObject: 2},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 30},
+	)
+	if err != nil {
+		return err
+	}
+	const workers = 8
+	serial := qserv.DefaultClusterConfig(workers)
+	serial.IngestParallelism = 1
+	parallel := qserv.DefaultClusterConfig(workers)
+
+	oracle, err := qserv.NewOracle(parallel)
+	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return err
+	}
+	battery := []string{
+		"SELECT COUNT(*) AS n FROM Object",
+		"SELECT COUNT(*) AS n FROM Source",
+		"SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId",
+		"SELECT objectId, ra_PS FROM Object ORDER BY ra_PS, objectId LIMIT 5",
+		fmt.Sprintf("SELECT COUNT(*) AS n FROM Source WHERE objectId = %d", cat.Objects[0].ObjectID),
+	}
+	oracleRows := map[string][]string{}
+	for _, sql := range battery {
+		res, err := oracle.Query(sql)
+		if err != nil {
+			return err
+		}
+		oracleRows[sql] = renderRows(res.Rows, strings.Contains(sql, "ORDER BY"))
+	}
+
+	totalRows := int64(len(cat.Objects) + len(cat.Sources))
+	ingestOnce := func(cfg qserv.ClusterConfig, check bool) (time.Duration, error) {
+		cl, err := qserv.NewCluster(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer cl.Close()
+		start := time.Now()
+		if err := cl.Load(cat); err != nil { // CreateTables(LSSTSpec()) + one Ingest per table
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if check {
+			for _, sql := range battery {
+				res, err := cl.Query(sql)
+				if err != nil {
+					return 0, fmt.Errorf("%q: %w", sql, err)
+				}
+				got := renderRows(res.Rows, strings.Contains(sql, "ORDER BY"))
+				if !sameRendered(got, oracleRows[sql]) {
+					return 0, fmt.Errorf("%q: answer differs from the oracle after ingest", sql)
+				}
+			}
+		}
+		return elapsed, nil
+	}
+
+	// Best of two rounds per mode (fresh clusters; wall times at laptop
+	// scale are scheduler-noise-prone), answers oracle-checked once.
+	times := map[string]time.Duration{}
+	for _, mode := range []struct {
+		name string
+		cfg  qserv.ClusterConfig
+	}{{"serialized", serial}, {"parallel", parallel}} {
+		for round := 0; round < 2; round++ {
+			d, err := ingestOnce(mode.cfg, round == 0)
+			if err != nil {
+				return err
+			}
+			if cur, ok := times[mode.name]; !ok || d < cur {
+				times[mode.name] = d
+			}
+		}
+	}
+
+	rate := func(d time.Duration) float64 { return float64(totalRows) / d.Seconds() }
+	speedup := float64(times["serialized"]) / float64(times["parallel"])
+	fmt.Printf("claim: fabric-routed per-worker shipping lanes parallelize ingest across the cluster\n")
+	fmt.Printf("workload: %d objects + %d sources onto %d workers over %d CPUs, oracle-checked\n",
+		len(cat.Objects), len(cat.Sources), workers, runtime.NumCPU())
+	fmt.Printf("  %-36s %10s %14s\n", "config", "wall", "rows/s")
+	fmt.Printf("  %-36s %10v %14.0f\n", "serialized shipping (legacy Load)", times["serialized"].Round(time.Millisecond), rate(times["serialized"]))
+	fmt.Printf("  %-36s %10v %14.0f\n", "parallel lanes (one per worker)", times["parallel"].Round(time.Millisecond), rate(times["parallel"]))
+	fmt.Printf("  ingest speedup: %.2fx\n", speedup)
+	switch {
+	case runtime.NumCPU() == 1:
+		// Lane parallelism is real concurrency, not a simulation: with
+		// one CPU there is nothing to overlap onto, so wall-clock
+		// speedup cannot exist on this host. The oracle check above is
+		// the hard gate; the 2x target applies to multi-core hosts.
+		fmt.Printf("  RESULT: skip — single-CPU host cannot exhibit parallel speedup (answers oracle-identical)\n")
+	case speedup < 2:
+		// Timing-dependent: report, but don't flake CI over scheduler noise.
+		fmt.Printf("  RESULT: WARN — speedup below the 2x target on this run\n")
+	default:
+		fmt.Printf("  RESULT: ok — answers oracle-identical, ingest >= 2x faster in parallel\n")
 	}
 	return nil
 }

@@ -3,11 +3,14 @@
 //
 //	qserv-datagen -objects 2000 -bands 13 -out /tmp/catalog
 //
-// produces object.csv and source.csv under -out.
+// produces object.csv and source.csv under -out. With -spec it instead
+// prints the generated catalog's declarative qserv.CatalogSpec as JSON
+// (the document Cluster.CreateTables accepts) and exits.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -15,6 +18,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	qserv "repro"
 	"repro/internal/datagen"
 )
 
@@ -26,11 +30,20 @@ var (
 	bandsFlag   = flag.Int("bands", 13, "declination bands (13 = full sky)")
 	copiesFlag  = flag.Int("copies", 0, "max patch copies (0 = unlimited)")
 	clipFlag    = flag.Float64("clip", 54, "Source |decl| clip in degrees (paper: 54)")
+	specFlag    = flag.Bool("spec", false, "print the catalog's CatalogSpec as JSON and exit")
 )
 
 func main() {
 	flag.Parse()
 	log.SetPrefix("qserv-datagen: ")
+	if *specFlag {
+		out, err := json.MarshalIndent(qserv.LSSTSpec(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
 	cat, err := datagen.Generate(
 		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: *objectsFlag, MeanSourcesPerObject: *sourcesFlag},
 		datagen.DuplicateConfig{DeclBands: *bandsFlag, SourceDeclLimit: *clipFlag, MaxCopies: *copiesFlag},

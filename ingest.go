@@ -1,0 +1,632 @@
+package qserv
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sphgeom"
+	"repro/internal/sqlengine"
+	"repro/internal/xrd"
+)
+
+// This file is the write half of the public API: streaming,
+// fabric-routed parallel ingest. CreateTables installs a declarative
+// CatalogSpec (registry-side and, via the fabric's /load/spec
+// transaction, on every worker); Ingest streams rows from a RowSource,
+// partitions them — chunk, subchunk, and overlap membership — in one
+// pass that also feeds the director-key secondary index, and ships
+// encoded batches to all replica workers concurrently, one shipping
+// lane per worker, over the xrd fabric's /load transaction. Workers
+// apply batches incrementally (chunk tables, overlap companions, and
+// director-key indexes grow with each batch), so ingest needs no
+// second indexing or Locate sweep.
+
+// RowSource streams rows into Ingest. Implementations need not be
+// safe for concurrent use; Ingest consumes them from one goroutine.
+type RowSource interface {
+	// Next returns the next row; ok is false when the stream ends.
+	// Rows must match the table's user columns (everything except the
+	// system-computed chunkId/subChunkId pair).
+	Next() (Row, bool)
+	// Err reports a source failure after Next returned ok=false; a
+	// clean end of stream returns nil.
+	Err() error
+}
+
+// sliceSource adapts an in-memory row slice to RowSource.
+type sliceSource struct {
+	rows []Row
+	pos  int
+}
+
+// RowsOf returns a RowSource over an in-memory slice.
+func RowsOf(rows []Row) RowSource { return &sliceSource{rows: rows} }
+
+func (s *sliceSource) Next() (Row, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *sliceSource) Err() error { return nil }
+
+// IngestStats summarizes one Ingest call.
+type IngestStats struct {
+	// Rows is the number of rows ingested.
+	Rows int64
+	// OverlapRows counts overlap-table copies shipped (a row lands once
+	// in its own chunk and possibly in several overlap companions).
+	OverlapRows int64
+	// Chunks is the number of distinct chunks the rows landed in.
+	Chunks int
+	// Batches counts fabric /load shipments (per replica).
+	Batches int
+	// Elapsed is the wall-clock ingest time.
+	Elapsed time.Duration
+}
+
+// CreateTables validates a catalog spec and installs it: table metadata
+// enters the frontend registry the planner consults, and the spec is
+// broadcast to every worker over the fabric (/load/spec) so
+// out-of-process workers build the same catalog. Call it once before
+// ingesting; a later call may add further tables.
+func (cl *Cluster) CreateTables(spec CatalogSpec) error {
+	mspec, err := spec.toMeta()
+	if err != nil {
+		return err
+	}
+	if mspec.Database == "" {
+		mspec.Database = cl.Registry.DB
+	}
+	if err := cl.Registry.ApplySpec(mspec); err != nil {
+		return err
+	}
+	payload, err := ingest.EncodeSpec(mspec)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, w := range cl.Workers {
+		if err := cl.client.WriteTo(ctx, w.Name(), xrd.LoadSpecPath, payload); err != nil {
+			return fmt.Errorf("qserv: create tables on worker %s: %w", w.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Ingest streams rows into a created table; see IngestContext.
+func (cl *Cluster) Ingest(table string, src RowSource) (IngestStats, error) {
+	return cl.IngestContext(context.Background(), table, src)
+}
+
+// IngestContext streams rows from src into table, which must have been
+// declared with CreateTables. Rows carry the table's user columns;
+// chunkId/subChunkId are computed here. Director rows are placed by
+// their position and feed the secondary index as they stream; child
+// rows follow their director key (ingest the director table first);
+// replicated rows go to every worker and the czar. Batches ship to all
+// replica workers concurrently, one lane per worker, over the xrd
+// fabric. A table ingests exactly once: re-ingest is rejected (it
+// would duplicate rows on the workers).
+func (cl *Cluster) IngestContext(ctx context.Context, table string, src RowSource) (IngestStats, error) {
+	start := time.Now()
+	var stats IngestStats
+	info, err := cl.Registry.Table(table)
+	if err != nil {
+		return stats, err
+	}
+
+	key := strings.ToLower(info.Name)
+	cl.ingestMu.Lock()
+	if cl.ingesting[key] {
+		cl.ingestMu.Unlock()
+		return stats, fmt.Errorf("qserv: table %s has an ingest in flight", info.Name)
+	}
+	if cl.ingested[key] {
+		cl.ingestMu.Unlock()
+		return stats, fmt.Errorf("qserv: table %s is already ingested; re-ingest would duplicate rows (build a fresh cluster or declare a new table)", info.Name)
+	}
+	// A child needs its director COMPLETED, not merely started: child
+	// rows are placed by director-key lookups that a still-streaming
+	// director has not fed yet.
+	if info.Kind == meta.KindChild && !cl.ingested[strings.ToLower(info.Director)] {
+		cl.ingestMu.Unlock()
+		return stats, fmt.Errorf("qserv: ingest director table %s before child table %s: child rows are placed by their director key", info.Director, info.Name)
+	}
+	cl.ingesting[key] = true
+	cl.ingestMu.Unlock()
+	// While the ingest runs, the czar rejects queries referencing the
+	// table — worker chunk tables grow batch by batch and must not be
+	// read mid-stream.
+	cl.Registry.SetIngesting(info.Name, true)
+
+	if info.Partitioned {
+		err = cl.ingestPartitioned(ctx, info, src, &stats)
+	} else {
+		err = cl.ingestReplicated(ctx, info, src, &stats)
+	}
+
+	cl.Registry.SetIngesting(info.Name, false)
+	cl.ingestMu.Lock()
+	delete(cl.ingesting, key)
+	if err == nil || stats.Batches > 0 {
+		// Success — or a failure after shipping began: workers hold
+		// partial rows, so the table is sealed (a retry would
+		// duplicate them). A failure before the first shipment leaves
+		// the table pristine and retryable.
+		cl.ingested[key] = true
+	}
+	cl.ingestMu.Unlock()
+	stats.Elapsed = time.Since(start)
+	return stats, err
+}
+
+// pendingChunk buffers one chunk's not-yet-shipped rows.
+type pendingChunk struct {
+	rows, overlap []sqlengine.Row
+}
+
+func (p *pendingChunk) size() int { return len(p.rows) + len(p.overlap) }
+
+// ingestPartitioned runs the single partition pass and ships per-chunk
+// batches through the shipper's per-worker lanes.
+//
+// Placement invariants: a chunk is placed exactly when the director
+// table has rows in it — the director's own rows drive placement as
+// they stream, children always land on already-placed chunks (their
+// director row got there first), and overlap copies never place a
+// chunk. An overlap copy aimed at a chunk that is not placed yet is
+// deferred: if the chunk gains own rows later in the stream it ships
+// at the end, otherwise it is dropped (a chunk without data
+// contributes no join pairs, so its overlap is never read). Finally,
+// every placed chunk ends up with this table's chunk table even when
+// no row landed there — the czar dispatches every placed chunk, so the
+// table must exist (if empty) everywhere.
+func (cl *Cluster) ingestPartitioned(ctx context.Context, info *meta.TableInfo, src RowSource, stats *IngestStats) error {
+	placer, err := newRowPlacer(info, cl.Chunker, cl.Index)
+	if err != nil {
+		return err
+	}
+	batchRows := cl.Config.IngestBatchRows
+	if batchRows <= 0 {
+		batchRows = 2048
+	}
+	sh := cl.newShipper(ctx, info.Name)
+	buf := map[partition.ChunkID]*pendingChunk{}
+	seen := map[partition.ChunkID]bool{}
+	deferred := map[partition.ChunkID][]sqlengine.Row{}
+	pend := func(c partition.ChunkID) *pendingChunk {
+		p := buf[c]
+		if p == nil {
+			p = &pendingChunk{}
+			buf[c] = p
+		}
+		return p
+	}
+	isPlaced := func(c partition.ChunkID) bool { return len(cl.Placement.Workers(c)) > 0 }
+	shipped := map[partition.ChunkID]bool{}
+	ship := func(c partition.ChunkID, b ingest.Batch) error {
+		shipped[c] = true
+		for _, name := range cl.ingestPlacement(c) {
+			stats.Batches++
+			if err := sh.send(name, shipment{
+				path:  xrd.LoadPath(info.Name, int(c)),
+				batch: b,
+				desc:  fmt.Sprintf("%s chunk %d", info.Name, c),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	flush := func(c partition.ChunkID, p *pendingChunk) error {
+		b := ingest.Batch{Rows: p.rows, Overlap: p.overlap}
+		p.rows, p.overlap = nil, nil
+		return ship(c, b)
+	}
+
+	for {
+		row, ok := src.Next()
+		if !ok {
+			break
+		}
+		full, c, pt, hasPt, err := placer.place(row)
+		if err != nil {
+			sh.abort(err)
+			break
+		}
+		if !seen[c] {
+			seen[c] = true
+			// A director row places its chunk the moment it appears;
+			// child rows only ever land on placed chunks.
+			cl.ingestPlacement(c)
+		}
+		p := pend(c)
+		p.rows = append(p.rows, full)
+		stats.Rows++
+		if info.Overlap && hasPt {
+			for _, oc := range cl.Chunker.OverlapChunks(pt) {
+				if !isPlaced(oc) {
+					// The chunk may still gain own rows; decide at the end.
+					deferred[oc] = append(deferred[oc], full)
+					continue
+				}
+				op := pend(oc)
+				op.overlap = append(op.overlap, full)
+				stats.OverlapRows++
+				if op.size() >= batchRows {
+					if err := flush(oc, op); err != nil {
+						sh.abort(err)
+						break
+					}
+				}
+			}
+		}
+		if p.size() >= batchRows {
+			if err := flush(c, p); err != nil {
+				sh.abort(err)
+				break
+			}
+		}
+		if sh.failed() {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		sh.abort(fmt.Errorf("qserv: ingest %s: row source: %w", info.Name, err))
+	}
+
+	if !sh.failed() {
+		// Overlap copies whose target chunk did become placed ship now;
+		// the rest are dropped (their chunks hold no data).
+		for oc, rows := range deferred {
+			if !isPlaced(oc) {
+				continue
+			}
+			p := pend(oc)
+			p.overlap = append(p.overlap, rows...)
+			stats.OverlapRows += int64(len(rows))
+		}
+		// Flush remainders — and create this table's (empty) chunk
+		// tables on every placed chunk it has no rows in — in chunk
+		// order, so shipping tails are deterministic.
+		for _, c := range cl.Placement.Chunks() {
+			p := buf[c]
+			if p == nil {
+				p = pend(c)
+			}
+			if p.size() == 0 && shipped[c] {
+				continue // table already exists there; nothing new to add
+			}
+			if err := flush(c, p); err != nil {
+				sh.abort(err)
+				break
+			}
+		}
+	}
+	stats.Chunks = len(seen)
+	return sh.close()
+}
+
+// ingestReplicated ships the full row set to every worker's lane and
+// installs the table on the czar, which answers unpartitioned queries
+// locally.
+func (cl *Cluster) ingestReplicated(ctx context.Context, info *meta.TableInfo, src RowSource, stats *IngestStats) error {
+	var rows []sqlengine.Row
+	n := int64(0)
+	for {
+		row, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+		if len(row) != len(info.Schema) {
+			return fmt.Errorf("qserv: ingest %s row %d: got %d columns, schema has %d",
+				info.Name, n, len(row), len(info.Schema))
+		}
+		rows = append(rows, sqlengine.Row(row))
+	}
+	if err := src.Err(); err != nil {
+		return fmt.Errorf("qserv: ingest %s: row source: %w", info.Name, err)
+	}
+	stats.Rows = int64(len(rows))
+
+	sh := cl.newShipper(ctx, info.Name)
+	for _, w := range cl.Workers {
+		stats.Batches++
+		if err := sh.send(w.Name(), shipment{
+			path:  xrd.LoadSharedPath(info.Name),
+			batch: ingest.Batch{Rows: rows},
+			desc:  fmt.Sprintf("replicated table %s", info.Name),
+		}); err != nil {
+			sh.abort(err)
+			break
+		}
+	}
+	if err := sh.close(); err != nil {
+		return err
+	}
+
+	czarDB, err := cl.Czar.Engine().Database(cl.Registry.DB)
+	if err != nil {
+		return err
+	}
+	t, err := info.NewIngestTable(info.Name)
+	if err != nil {
+		return err
+	}
+	if err := t.Insert(rows...); err != nil {
+		return err
+	}
+	czarDB.Put(t)
+	return nil
+}
+
+// ingestPlacement returns the workers holding a chunk, assigning
+// replicas deterministically (chunk id modulo the worker ring, so
+// consecutive chunks land on different nodes — the round-robin skew
+// spreading of paper section 4.4) and registering the chunk's fabric
+// export the first time the chunk appears.
+func (cl *Cluster) ingestPlacement(c partition.ChunkID) []string {
+	cl.placeMu.Lock()
+	defer cl.placeMu.Unlock()
+	if ws := cl.Placement.Workers(c); len(ws) > 0 {
+		return ws
+	}
+	n := len(cl.Workers)
+	reps := make([]string, 0, cl.Config.Replication)
+	for r := 0; r < cl.Config.Replication; r++ {
+		reps = append(reps, cl.Workers[(int(c)+r)%n].Name())
+	}
+	cl.Placement.Assign(c, reps...)
+	for _, name := range reps {
+		cl.Redirector.Register(cl.endpoints[name], xrd.QueryPath(int(c)))
+	}
+	return reps
+}
+
+// rowPlacer performs the per-row partition decisions of one ingest:
+// column validation, chunk/subchunk assignment (own position for a
+// director, secondary-index lookup for a child), and the director-key
+// index feed — all in the same pass.
+type rowPlacer struct {
+	info           *meta.TableInfo
+	chunker        *partition.Chunker
+	index          *meta.ObjectIndex
+	raIdx, declIdx int
+	keyIdx         int
+	n              int64
+}
+
+func newRowPlacer(info *meta.TableInfo, chunker *partition.Chunker, index *meta.ObjectIndex) (*rowPlacer, error) {
+	user := info.UserColumns()
+	p := &rowPlacer{info: info, chunker: chunker, index: index, raIdx: -1, declIdx: -1, keyIdx: -1}
+	if info.RAColumn != "" {
+		p.raIdx = user.ColIndex(info.RAColumn)
+		p.declIdx = user.ColIndex(info.DeclColumn)
+	}
+	if info.DirectorKey != "" {
+		p.keyIdx = user.ColIndex(info.DirectorKey)
+	}
+	if info.Kind == meta.KindDirector && (p.raIdx < 0 || p.declIdx < 0 || p.keyIdx < 0) {
+		return nil, fmt.Errorf("qserv: table %s: director metadata incomplete", info.Name)
+	}
+	if info.Kind == meta.KindChild && p.keyIdx < 0 {
+		return nil, fmt.Errorf("qserv: table %s: child has no director key column", info.Name)
+	}
+	return p, nil
+}
+
+// place validates one user row and returns the full storage row (with
+// chunkId/subChunkId appended), its chunk, and — when the table has
+// position columns — the row's sky position for overlap probing.
+func (p *rowPlacer) place(row Row) (full sqlengine.Row, c partition.ChunkID, pt sphgeom.Point, hasPt bool, err error) {
+	p.n++
+	user := p.info.UserColumns()
+	if len(row) != len(user) {
+		return nil, 0, pt, false, fmt.Errorf("qserv: ingest %s row %d: got %d columns, want %d (%s)",
+			p.info.Name, p.n, len(row), len(user), strings.Join(user.Names(), ", "))
+	}
+	if p.raIdx >= 0 {
+		ra, ok1 := asDegrees(row[p.raIdx])
+		decl, ok2 := asDegrees(row[p.declIdx])
+		if !ok1 || !ok2 {
+			return nil, 0, pt, false, fmt.Errorf("qserv: ingest %s row %d: position columns %s/%s must be numeric",
+				p.info.Name, p.n, p.info.RAColumn, p.info.DeclColumn)
+		}
+		pt = sphgeom.NewPoint(ra, decl)
+		hasPt = true
+	}
+
+	var sub partition.SubChunkID
+	switch p.info.Kind {
+	case meta.KindDirector:
+		key, ok := row[p.keyIdx].(int64)
+		if !ok {
+			return nil, 0, pt, false, fmt.Errorf("qserv: ingest %s row %d: director key %s must be an int64",
+				p.info.Name, p.n, p.info.DirectorKey)
+		}
+		c, sub = p.chunker.Locate(pt)
+		p.index.Put(key, meta.ChunkSub{Chunk: c, Sub: sub})
+	case meta.KindChild:
+		key, ok := row[p.keyIdx].(int64)
+		if !ok {
+			return nil, 0, pt, false, fmt.Errorf("qserv: ingest %s row %d: director key %s must be an int64",
+				p.info.Name, p.n, p.info.DirectorKey)
+		}
+		loc, found := p.index.Lookup(key)
+		if !found {
+			return nil, 0, pt, false, fmt.Errorf("qserv: ingest %s row %d: %s %d not found in director table %s",
+				p.info.Name, p.n, p.info.DirectorKey, key, p.info.Director)
+		}
+		c, sub = loc.Chunk, loc.Sub
+	default:
+		return nil, 0, pt, false, fmt.Errorf("qserv: table %s is not partitioned", p.info.Name)
+	}
+
+	full = make(sqlengine.Row, 0, len(row)+2)
+	full = append(full, row...)
+	full = append(full, int64(c), int64(sub))
+	return full, c, pt, hasPt, nil
+}
+
+// asDegrees coerces a position value.
+func asDegrees(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// ---------- per-worker shipping lanes ----------
+
+// shipment is one /load write bound for a specific worker. The batch
+// is encoded in the lane, not the producer, so serialization cost
+// parallelizes with the partition pass. Batch row slices are immutable
+// once handed over (the producer resets its buffers instead of
+// truncating them), so replica lanes may encode the same batch
+// concurrently.
+type shipment struct {
+	path  string
+	batch ingest.Batch
+	// desc names what is being shipped for error messages ("Object
+	// chunk 113", "replicated table Filter").
+	desc string
+}
+
+// shipper fans encoded batches out to the workers: one serialized lane
+// (goroutine + queue) per worker, so every worker loads concurrently
+// while each applies its own batches in order. IngestParallelism
+// bounds concurrent fabric writes across lanes (1 reproduces fully
+// serialized shipping — the legacy Load behavior — and is what
+// `qserv-bench -exp ingest` compares against).
+type shipper struct {
+	cl     *Cluster
+	table  string
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	lanes map[string]chan shipment
+	err   error
+}
+
+func (cl *Cluster) newShipper(ctx context.Context, table string) *shipper {
+	par := cl.Config.IngestParallelism
+	if par <= 0 {
+		par = len(cl.Workers)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	return &shipper{
+		cl:     cl,
+		table:  table,
+		ctx:    ctx,
+		cancel: cancel,
+		sem:    make(chan struct{}, par),
+		lanes:  map[string]chan shipment{},
+	}
+}
+
+// send enqueues a shipment on the worker's lane, starting the lane on
+// first use. It blocks when the lane queue is full (backpressure) and
+// returns the recorded failure, if any, so the producer stops early.
+func (s *shipper) send(worker string, sh shipment) error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	ch, ok := s.lanes[worker]
+	if !ok {
+		ch = make(chan shipment, 8)
+		s.lanes[worker] = ch
+		s.wg.Add(1)
+		go s.lane(worker, ch)
+	}
+	s.mu.Unlock()
+	select {
+	case ch <- sh:
+		return nil
+	case <-s.ctx.Done():
+		return s.failure(context.Cause(s.ctx))
+	}
+}
+
+// lane ships one worker's batches in order.
+func (s *shipper) lane(worker string, ch chan shipment) {
+	defer s.wg.Done()
+	for sh := range ch {
+		if s.failed() {
+			continue // drain
+		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.ctx.Done():
+			continue
+		}
+		payload, err := ingest.EncodeBatch(sh.batch)
+		if err == nil {
+			err = s.cl.client.WriteTo(s.ctx, worker, sh.path, payload)
+		}
+		<-s.sem
+		if err != nil {
+			s.abort(fmt.Errorf("qserv: ingest %s: worker %s rejected %s: %w", s.table, worker, sh.desc, err))
+		}
+	}
+}
+
+// abort records the first failure and stops in-flight shipping.
+func (s *shipper) abort(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+		s.cancel()
+	}
+	s.mu.Unlock()
+}
+
+func (s *shipper) failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+// failure returns the recorded error, falling back to the given cause.
+func (s *shipper) failure(cause error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return cause
+}
+
+// close drains the lanes and returns the first failure.
+func (s *shipper) close() error {
+	s.mu.Lock()
+	for _, ch := range s.lanes {
+		close(ch)
+	}
+	s.lanes = map[string]chan shipment{}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/datagen"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
@@ -18,7 +19,7 @@ func testSetup(t testing.TB) (*meta.Registry, *Planner, []partition.ChunkID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := meta.LSSTRegistry(ch)
+	reg := datagen.LSSTRegistry(ch)
 	ix := meta.NewObjectIndex()
 	// Objects 1..10 indexed across a few chunks.
 	for i := int64(1); i <= 10; i++ {

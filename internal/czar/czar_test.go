@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/datagen"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
@@ -22,7 +23,7 @@ func miniCluster(t *testing.T) (*Czar, []*worker.Worker, *xrd.Redirector) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := meta.LSSTRegistry(ch)
+	reg := datagen.LSSTRegistry(ch)
 	info, err := reg.Table("Object")
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sqlengine"
@@ -89,7 +90,7 @@ func planFor(t *testing.T, sql string, topK bool) *core.Plan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := meta.LSSTRegistry(ch)
+	reg := datagen.LSSTRegistry(ch)
 	pl := core.NewPlanner(reg, meta.NewObjectIndex())
 	pl.TopK = topK
 	sel, err := sqlparse.ParseSelect(sql)

@@ -3,6 +3,7 @@ package czar
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -285,6 +286,19 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 	case err != nil:
 		return nil, err
 	default:
+		// Tables with an ingest in flight are not queryable: their
+		// worker-side chunk tables are still growing batch by batch, so
+		// a chunk query would race the inserts and see partial rows.
+		for _, pr := range plan.Analysis.PartRefs {
+			if c.registry.Ingesting(pr.Info.Name) {
+				return nil, fmt.Errorf("czar %s: table %s is being ingested; retry when the ingest finishes", c.cfg.Name, pr.Info.Name)
+			}
+		}
+		for _, ref := range plan.Analysis.NonPartRefs {
+			if c.registry.Ingesting(ref.Table) {
+				return nil, fmt.Errorf("czar %s: table %s is being ingested; retry when the ingest finishes", c.cfg.Name, ref.Table)
+			}
+		}
 		if opts.Class != nil {
 			plan.Class = *opts.Class
 		}

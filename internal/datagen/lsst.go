@@ -1,0 +1,105 @@
+package datagen
+
+import (
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+)
+
+// This file makes datagen a spec + row-source producer for the paper's
+// catalog: the declarative LSST catalog definition (the spec the
+// frontend's registry is built from) and the per-row converters ingest
+// consumes. Sizes are the paper's Table 1 / section 6.1.2 estimates.
+
+// LSSTSpec returns the declarative definition of the paper's catalog:
+// Object is the director table (spatially partitioned by its own
+// position, owning the objectId key and the secondary index), Source
+// and ForcedSource are its children (partitioned by objectId, stored
+// with their director row), and Filter is a replicated dimension
+// table. Object and Source participate in overlap storage; ForcedSource
+// carries no position and does not.
+func LSSTSpec() meta.CatalogSpec {
+	return meta.CatalogSpec{
+		Database: "LSST",
+		Tables: []meta.TableSpec{
+			{
+				Name:          "Object",
+				Kind:          meta.KindDirector,
+				Columns:       meta.ObjectSchema(),
+				RAColumn:      "ra_PS",
+				DeclColumn:    "decl_PS",
+				DirectorKey:   "objectId",
+				Overlap:       true,
+				PaperRows:     26e9,
+				PaperRowBytes: 2048,
+				EvalRows:      1.7e9,
+				EvalBytes:     1.824e12,
+			},
+			{
+				Name:          "Source",
+				Kind:          meta.KindChild,
+				Director:      "Object",
+				Columns:       meta.SourceSchema(),
+				RAColumn:      "ra",
+				DeclColumn:    "decl",
+				DirectorKey:   "objectId",
+				Overlap:       true,
+				PaperRows:     1.8e12,
+				PaperRowBytes: 650,
+				EvalRows:      55e9,
+				EvalBytes:     30e12,
+			},
+			{
+				Name:          "ForcedSource",
+				Kind:          meta.KindChild,
+				Director:      "Object",
+				Columns:       meta.ForcedSourceSchema(),
+				DirectorKey:   "objectId",
+				PaperRows:     21e12,
+				PaperRowBytes: 30,
+			},
+			{
+				Name:    "Filter",
+				Kind:    meta.KindReplicated,
+				Columns: meta.FilterSchema(),
+			},
+		},
+	}
+}
+
+// LSSTRegistry builds the paper's catalog registry from LSSTSpec.
+func LSSTRegistry(chunker *partition.Chunker) *meta.Registry {
+	r, err := meta.NewRegistryFromSpec(LSSTSpec(), chunker)
+	if err != nil {
+		// The spec is a package constant; failing to build it is a bug.
+		panic(err)
+	}
+	return r
+}
+
+// ObjectUserRow renders an Object in meta.ObjectSchema order, without
+// the system-computed chunkId/subChunkId columns.
+func ObjectUserRow(o Object) sqlengine.Row {
+	return sqlengine.Row{
+		o.ObjectID, o.RA, o.Decl,
+		o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux,
+		o.UFluxSG, o.URadiusPS,
+	}
+}
+
+// SourceUserRow renders a Source in meta.SourceSchema order, without
+// the chunkId/subChunkId columns.
+func SourceUserRow(s Source) sqlengine.Row {
+	return sqlengine.Row{
+		s.SourceID, s.ObjectID, s.TaiMidPoint,
+		s.RA, s.Decl, s.PsfFlux, s.PsfFluxErr, s.FilterID,
+	}
+}
+
+// FilterRows returns the six-band LSST filter dimension table.
+func FilterRows() []sqlengine.Row {
+	return []sqlengine.Row{
+		{int64(0), "u"}, {int64(1), "g"}, {int64(2), "r"},
+		{int64(3), "i"}, {int64(4), "z"}, {int64(5), "y"},
+	}
+}

@@ -1,0 +1,65 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/meta"
+	"repro/internal/partition"
+)
+
+func TestLSSTSpecBuildsRegistry(t *testing.T) {
+	spec := LSSTSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := partition.NewChunker(partition.Config{NumStripes: 18, NumSubStripesPerStripe: 4, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := LSSTRegistry(ch)
+	obj, err := r.Table("object") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Kind != meta.KindDirector || !obj.Partitioned || obj.RAColumn != "ra_PS" ||
+		obj.DirectorKey != "objectId" || !obj.Overlap {
+		t.Errorf("Object info: %+v", obj)
+	}
+	src, err := r.Table("Source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Kind != meta.KindChild || src.Director != "Object" || src.RAColumn != "ra" {
+		t.Errorf("Source info: %+v", src)
+	}
+	filter, err := r.Table("Filter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filter.Kind != meta.KindReplicated || filter.Partitioned {
+		t.Errorf("Filter info: %+v", filter)
+	}
+	if got := len(r.TableNames()); got != 4 {
+		t.Errorf("tables: %v", r.TableNames())
+	}
+}
+
+func TestUserRowsMatchSchemas(t *testing.T) {
+	patch, err := GeneratePatch(Config{Seed: 1, ObjectsPerPatch: 3, MeanSourcesPerObject: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patch.Objects) == 0 || len(patch.Sources) == 0 {
+		t.Fatal("empty patch")
+	}
+	// User rows carry everything except the system chunkId/subChunkId.
+	if got, want := len(ObjectUserRow(patch.Objects[0])), len(meta.ObjectSchema())-2; got != want {
+		t.Errorf("object user row has %d values, want %d", got, want)
+	}
+	if got, want := len(SourceUserRow(patch.Sources[0])), len(meta.SourceSchema())-2; got != want {
+		t.Errorf("source user row has %d values, want %d", got, want)
+	}
+	if got, want := len(FilterRows()), 6; got != want {
+		t.Errorf("filter rows = %d, want %d", got, want)
+	}
+}

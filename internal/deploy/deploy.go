@@ -57,7 +57,7 @@ func ComputeLayout(cat *datagen.Catalog, workerNames []string) (*Layout, error) 
 	if err != nil {
 		return nil, err
 	}
-	reg := meta.LSSTRegistry(chunker)
+	reg := datagen.LSSTRegistry(chunker)
 	l := &Layout{
 		Chunker:    chunker,
 		Registry:   reg,
@@ -67,35 +67,25 @@ func ComputeLayout(cat *datagen.Catalog, workerNames []string) (*Layout, error) 
 		SrcRows:    map[partition.ChunkID][]sqlengine.Row{},
 		SrcOverlap: map[partition.ChunkID][]sqlengine.Row{},
 	}
-	margin := chunker.Config().Overlap
 	place := func(ra, decl float64, row sqlengine.Row,
 		rows, over map[partition.ChunkID][]sqlengine.Row) partition.ChunkID {
 		p := sphgeom.NewPoint(ra, decl)
 		own, _ := chunker.Locate(p)
 		rows[own] = append(rows[own], row)
-		probe := sphgeom.NewBox(ra-margin*3, ra+margin*3, decl-margin*3, decl+margin*3)
-		for _, c := range chunker.ChunksIn(probe) {
-			if c == own {
-				continue
-			}
-			if in, err := chunker.InOverlap(c, p); err == nil && in {
-				over[c] = append(over[c], row)
-			}
+		for _, c := range chunker.OverlapChunks(p) {
+			over[c] = append(over[c], row)
 		}
 		return own
 	}
 	for _, o := range cat.Objects {
 		c, s := chunker.Locate(o.Point())
 		l.Index.Put(o.ObjectID, meta.ChunkSub{Chunk: c, Sub: s})
-		row := sqlengine.Row{o.ObjectID, o.RA, o.Decl,
-			o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux,
-			o.UFluxSG, o.URadiusPS, int64(c), int64(s)}
+		row := append(datagen.ObjectUserRow(o), int64(c), int64(s))
 		place(o.RA, o.Decl, row, l.ObjRows, l.ObjOverlap)
 	}
 	for _, s := range cat.Sources {
 		c, sc := chunker.Locate(s.Point())
-		row := sqlengine.Row{s.SourceID, s.ObjectID, s.TaiMidPoint,
-			s.RA, s.Decl, s.PsfFlux, s.PsfFluxErr, s.FilterID, int64(c), int64(sc)}
+		row := append(datagen.SourceUserRow(s), int64(c), int64(sc))
 		place(s.RA, s.Decl, row, l.SrcRows, l.SrcOverlap)
 	}
 	placedSet := map[partition.ChunkID]bool{}

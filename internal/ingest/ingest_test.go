@@ -1,0 +1,190 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/meta"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := Batch{
+		Rows: []sqlengine.Row{
+			{int64(1), 3.5, "plain", nil},
+			{int64(-42), -0.0, "tabs\tand\nnewlines and ünïcode", int64(1 << 62)},
+			{math.Inf(1), math.SmallestNonzeroFloat64, "", int64(0)},
+		},
+		Overlap: []sqlengine.Row{
+			{int64(7), 1e-300, "overlap", nil},
+		},
+	}
+	data, err := EncodeBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, b.Rows) {
+		t.Errorf("rows:\n got %v\nwant %v", got.Rows, b.Rows)
+	}
+	if !reflect.DeepEqual(got.Overlap, b.Overlap) {
+		t.Errorf("overlap:\n got %v\nwant %v", got.Overlap, b.Overlap)
+	}
+}
+
+func TestBatchRoundTripEmpty(t *testing.T) {
+	data, err := EncodeBatch(Batch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 || len(got.Overlap) != 0 {
+		t.Errorf("empty batch decoded to %v", got)
+	}
+}
+
+func TestBatchFloatBitExact(t *testing.T) {
+	vals := []float64{math.Pi, 1e308, 5e-324, -0.0, math.NaN()}
+	rows := make([]sqlengine.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = sqlengine.Row{v}
+	}
+	data, err := EncodeBatch(Batch{Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		g := got.Rows[i][0].(float64)
+		if math.Float64bits(g) != math.Float64bits(v) {
+			t.Errorf("value %d: %x != %x", i, math.Float64bits(g), math.Float64bits(v))
+		}
+	}
+}
+
+func TestDecodeBatchErrors(t *testing.T) {
+	if _, err := DecodeBatch([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	data, err := EncodeBatch(Batch{Rows: []sqlengine.Row{{int64(1), "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBatch(data[:len(data)-2]); err == nil {
+		t.Error("truncated batch accepted")
+	}
+}
+
+// TestDecodeBatchHostileCounts: corrupt or hostile varint counts must
+// be rejected as errors, never trusted into allocations (a worker
+// receiving them over the fabric must not panic).
+func TestDecodeBatchHostileCounts(t *testing.T) {
+	appendUvarint := func(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+	// Row count far beyond the payload.
+	huge := append([]byte(nil), batchMagic...)
+	huge = appendUvarint(huge, 1<<62)
+	huge = appendUvarint(huge, 0)
+	if _, err := DecodeBatch(huge); err == nil {
+		t.Error("huge row count accepted")
+	}
+	// Counts whose sum overflows.
+	wrap := append([]byte(nil), batchMagic...)
+	wrap = appendUvarint(wrap, 1<<63)
+	wrap = appendUvarint(wrap, 1<<63)
+	if _, err := DecodeBatch(wrap); err == nil {
+		t.Error("overflowing counts accepted")
+	}
+	// One row claiming a huge column count.
+	cols := append([]byte(nil), batchMagic...)
+	cols = appendUvarint(cols, 1)
+	cols = appendUvarint(cols, 0)
+	cols = appendUvarint(cols, 1<<62)
+	if _, err := DecodeBatch(cols); err == nil {
+		t.Error("huge column count accepted")
+	}
+	// A string value claiming a huge length.
+	str := append([]byte(nil), batchMagic...)
+	str = appendUvarint(str, 1)
+	str = appendUvarint(str, 0)
+	str = appendUvarint(str, 1) // one column
+	str = append(str, tagString)
+	str = appendUvarint(str, 1<<62)
+	if _, err := DecodeBatch(str); err == nil {
+		t.Error("huge string length accepted")
+	}
+}
+
+func TestEncodeBatchRejectsBadValue(t *testing.T) {
+	if _, err := EncodeBatch(Batch{Rows: []sqlengine.Row{{complex(1, 2)}}}); err == nil {
+		t.Error("unsupported value type accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := meta.CatalogSpec{
+		Database: "sensors",
+		Tables: []meta.TableSpec{
+			{
+				Name: "Station", Kind: meta.KindDirector,
+				Columns: sqlengine.Schema{
+					{Name: "stationId", Type: sqlparse.TypeInt},
+					{Name: "lon", Type: sqlparse.TypeFloat},
+					{Name: "lat", Type: sqlparse.TypeFloat},
+					{Name: "label", Type: sqlparse.TypeString},
+				},
+				RAColumn: "lon", DeclColumn: "lat", DirectorKey: "stationId",
+				Overlap: true, IndexColumns: []string{"label"},
+				PaperRows: 123, PaperRowBytes: 10,
+			},
+			{
+				Name: "Reading", Kind: meta.KindChild, Director: "Station",
+				Columns: sqlengine.Schema{
+					{Name: "readingId", Type: sqlparse.TypeInt},
+					{Name: "stationId", Type: sqlparse.TypeInt},
+					{Name: "v", Type: sqlparse.TypeFloat},
+				},
+				DirectorKey: "stationId",
+			},
+			{
+				Name: "Kind", Kind: meta.KindReplicated,
+				Columns: sqlengine.Schema{{Name: "k", Type: sqlparse.TypeInt}},
+			},
+		},
+	}
+	data, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Errorf("spec round trip:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestDecodeSpecRejectsBadPayloads(t *testing.T) {
+	if _, err := DecodeSpec([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := DecodeSpec([]byte(`{"database":"d","tables":[{"name":"t","kind":"nope"}]}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := DecodeSpec([]byte(`{"database":"d","tables":[{"name":"t","kind":"replicated","columns":[{"name":"c","type":"GEOMETRY"}]}]}`)); err == nil {
+		t.Error("unknown column type accepted")
+	}
+}

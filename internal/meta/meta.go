@@ -20,7 +20,10 @@ import (
 type TableInfo struct {
 	Name   string
 	Schema sqlengine.Schema
-	// Partitioned marks spatially sharded tables (Object, Source).
+	// Kind is the spec classification (replicated / director / child).
+	Kind TableKind
+	// Partitioned marks spatially sharded tables (director and child
+	// kinds).
 	Partitioned bool
 	// RAColumn / DeclColumn are the position columns partitioning uses
 	// (ra_PS/decl_PS for Object, ra/decl for Source).
@@ -28,6 +31,14 @@ type TableInfo struct {
 	// DirectorKey is the column covered by the secondary index
 	// (objectId). Empty when the table has no director key.
 	DirectorKey string
+	// Director is the director table a child follows; empty otherwise.
+	Director string
+	// Overlap marks tables whose rows are also stored in nearby chunks'
+	// overlap companion tables.
+	Overlap bool
+	// IndexColumns are extra worker-side hash-index columns maintained
+	// during ingest, beyond the always-indexed director key.
+	IndexColumns []string
 	// PaperRows and PaperRowBytes record the paper's Table 1 estimates
 	// for the final LSST data release (the Table 1 experiment).
 	PaperRows     int64
@@ -76,13 +87,35 @@ type Registry struct {
 	// Chunker defines the partitioning geometry.
 	Chunker *partition.Chunker
 
-	mu     sync.RWMutex
-	tables map[string]*TableInfo
+	mu        sync.RWMutex
+	tables    map[string]*TableInfo
+	ingesting map[string]bool
 }
 
 // NewRegistry creates a registry for a database partitioned by chunker.
 func NewRegistry(db string, chunker *partition.Chunker) *Registry {
-	return &Registry{DB: db, Chunker: chunker, tables: map[string]*TableInfo{}}
+	return &Registry{DB: db, Chunker: chunker, tables: map[string]*TableInfo{}, ingesting: map[string]bool{}}
+}
+
+// SetIngesting marks a table as having an ingest in flight. While set,
+// the czar rejects queries referencing the table: worker-side chunk
+// tables grow batch by batch during ingest, so reading them
+// mid-stream would race with inserts and return partial rows.
+func (r *Registry) SetIngesting(name string, on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if on {
+		r.ingesting[strings.ToLower(name)] = true
+	} else {
+		delete(r.ingesting, strings.ToLower(name))
+	}
+}
+
+// Ingesting reports whether a table has an ingest in flight.
+func (r *Registry) Ingesting(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ingesting[strings.ToLower(name)]
 }
 
 // AddTable registers a table.
@@ -113,52 +146,6 @@ func (r *Registry) TableNames() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// LSSTRegistry builds the paper's catalog: the Object and Source tables
-// (the two used in the evaluation, section 6.1.2) plus ForcedSource
-// (Table 1), partitioned with the given chunker.
-func LSSTRegistry(chunker *partition.Chunker) *Registry {
-	r := NewRegistry("LSST", chunker)
-	r.AddTable(&TableInfo{
-		Name:          "Object",
-		Schema:        ObjectSchema(),
-		Partitioned:   true,
-		RAColumn:      "ra_PS",
-		DeclColumn:    "decl_PS",
-		DirectorKey:   "objectId",
-		PaperRows:     26e9,
-		PaperRowBytes: 2048,
-		EvalRows:      1.7e9,
-		EvalBytes:     1.824e12,
-	})
-	r.AddTable(&TableInfo{
-		Name:          "Source",
-		Schema:        SourceSchema(),
-		Partitioned:   true,
-		RAColumn:      "ra",
-		DeclColumn:    "decl",
-		DirectorKey:   "objectId",
-		PaperRows:     1.8e12,
-		PaperRowBytes: 650,
-		EvalRows:      55e9,
-		EvalBytes:     30e12,
-	})
-	r.AddTable(&TableInfo{
-		Name:          "ForcedSource",
-		Schema:        ForcedSourceSchema(),
-		Partitioned:   true,
-		RAColumn:      "ra",
-		DeclColumn:    "decl",
-		DirectorKey:   "objectId",
-		PaperRows:     21e12,
-		PaperRowBytes: 30,
-	})
-	r.AddTable(&TableInfo{
-		Name:   "Filter",
-		Schema: FilterSchema(),
-	})
-	return r
 }
 
 // ObjectSchema returns the PT1.1-style Object columns used by the

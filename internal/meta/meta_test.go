@@ -33,13 +33,48 @@ func TestTableNames(t *testing.T) {
 	}
 }
 
-func TestLSSTRegistry(t *testing.T) {
-	r := LSSTRegistry(testChunker(t))
+// lsstTestSpec mirrors datagen.LSSTSpec (which lives outside meta so
+// the registry stays catalog-agnostic) for spec-driven registry tests.
+func lsstTestSpec() CatalogSpec {
+	return CatalogSpec{
+		Database: "LSST",
+		Tables: []TableSpec{
+			{
+				Name: "Object", Kind: KindDirector, Columns: ObjectSchema(),
+				RAColumn: "ra_PS", DeclColumn: "decl_PS", DirectorKey: "objectId",
+				Overlap: true, PaperRows: 26e9, PaperRowBytes: 2048,
+			},
+			{
+				Name: "Source", Kind: KindChild, Director: "Object", Columns: SourceSchema(),
+				RAColumn: "ra", DeclColumn: "decl", DirectorKey: "objectId",
+				Overlap: true, PaperRows: 1.8e12, PaperRowBytes: 650,
+			},
+			{
+				Name: "ForcedSource", Kind: KindChild, Director: "Object",
+				Columns: ForcedSourceSchema(), DirectorKey: "objectId",
+				PaperRows: 21e12, PaperRowBytes: 30,
+			},
+			{Name: "Filter", Kind: KindReplicated, Columns: FilterSchema()},
+		},
+	}
+}
+
+func lsstTestRegistry(t testing.TB) *Registry {
+	t.Helper()
+	r, err := NewRegistryFromSpec(lsstTestSpec(), testChunker(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegistryFromSpec(t *testing.T) {
+	r := lsstTestRegistry(t)
 	obj, err := r.Table("object") // case-insensitive
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !obj.Partitioned || obj.RAColumn != "ra_PS" || obj.DirectorKey != "objectId" {
+	if !obj.Partitioned || obj.Kind != KindDirector || obj.RAColumn != "ra_PS" || obj.DirectorKey != "objectId" {
 		t.Errorf("Object info: %+v", obj)
 	}
 	src, err := r.Table("Source")
@@ -48,6 +83,12 @@ func TestLSSTRegistry(t *testing.T) {
 	}
 	if src.RAColumn != "ra" || src.DeclColumn != "decl" {
 		t.Errorf("Source info: %+v", src)
+	}
+	if src.Kind != KindChild || src.Director != "Object" {
+		t.Errorf("Source kind/director: %v/%q", src.Kind, src.Director)
+	}
+	if got := len(src.UserColumns()); got != len(SourceSchema())-2 {
+		t.Errorf("Source user columns = %d, want %d", got, len(SourceSchema())-2)
 	}
 	if _, err := r.Table("NoSuch"); err == nil {
 		t.Error("unknown table should fail")
@@ -66,7 +107,7 @@ func TestTable1Footprints(t *testing.T) {
 	// The paper's Table 1: Object 48 TB, Source 1.3 PB (actually
 	// 1.17 PB raw), ForcedSource 620 TB (630 TB raw); check order of
 	// magnitude from rows x row bytes.
-	r := LSSTRegistry(testChunker(t))
+	r := lsstTestRegistry(t)
 	obj, _ := r.Table("Object")
 	if fp := obj.FootprintBytes(); fp < 45e12 || fp > 60e12 {
 		t.Errorf("Object footprint = %g TB, want ~48-53 TB", float64(fp)/1e12)

@@ -1,0 +1,145 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sphgeom"
+)
+
+// bruteOverlapChunks is the ground truth for OverlapChunks: test every
+// chunk on the sphere with InOverlap.
+func bruteOverlapChunks(ch *Chunker, p sphgeom.Point) map[ChunkID]bool {
+	own, _ := ch.Locate(p)
+	out := map[ChunkID]bool{}
+	for _, c := range ch.AllChunks() {
+		if c == own {
+			continue
+		}
+		if in, err := ch.InOverlap(c, p); err == nil && in {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+// legacyProbeOverlapChunks reproduces the pre-derivation heuristic: a
+// fixed ±3*margin probe box filtered through InOverlap. Kept here only
+// to prove the regression test below would have caught it.
+func legacyProbeOverlapChunks(ch *Chunker, p sphgeom.Point) map[ChunkID]bool {
+	margin := ch.Config().Overlap
+	own, _ := ch.Locate(p)
+	probe := sphgeom.NewBox(p.RA-margin*3, p.RA+margin*3, p.Decl-margin*3, p.Decl+margin*3)
+	out := map[ChunkID]bool{}
+	for _, c := range ch.ChunksIn(probe) {
+		if c == own {
+			continue
+		}
+		if in, err := ch.InOverlap(c, p); err == nil && in {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+func overlapChunker(t *testing.T) *Chunker {
+	t.Helper()
+	ch, err := NewChunker(Config{NumStripes: 18, NumSubStripesPerStripe: 4, Overlap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// TestOverlapChunksMatchesBruteForce checks the derived probe against
+// the exhaustive InOverlap sweep at every declination regime,
+// including the poles where the dilated bounds go full-circle.
+func TestOverlapChunksMatchesBruteForce(t *testing.T) {
+	ch := overlapChunker(t)
+	rng := rand.New(rand.NewSource(11))
+	points := []sphgeom.Point{
+		sphgeom.NewPoint(0.01, 0.01),     // chunk corner near the equator
+		sphgeom.NewPoint(359.99, -0.3),   // wrap meridian
+		sphgeom.NewPoint(12, 89.7),       // polar cap
+		sphgeom.NewPoint(200, -89.9),     // south polar cap
+		sphgeom.NewPoint(45.0, 79.999),   // high-decl stripe boundary
+		sphgeom.NewPoint(180.0001, 70.0), // high-decl chunk boundary
+	}
+	for i := 0; i < 300; i++ {
+		points = append(points, sphgeom.NewPoint(rng.Float64()*360, -90+rng.Float64()*180))
+	}
+	for _, p := range points {
+		want := bruteOverlapChunks(ch, p)
+		got := ch.OverlapChunks(p)
+		if len(got) != len(want) {
+			t.Fatalf("point %v: got %d overlap chunks %v, want %d %v", p, len(got), got, len(want), keys(want))
+		}
+		for _, c := range got {
+			if !want[c] {
+				t.Fatalf("point %v: chunk %d reported but not in overlap", p, c)
+			}
+		}
+	}
+}
+
+func keys(m map[ChunkID]bool) []ChunkID {
+	out := make([]ChunkID, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	return out
+}
+
+// TestOverlapChunksMarginBoundary places a point just inside and just
+// outside the overlap margin of the chunk below it: the margin is an
+// exact declination distance, so the boundary is sharp.
+func TestOverlapChunksMarginBoundary(t *testing.T) {
+	ch := overlapChunker(t)
+	margin := ch.Config().Overlap
+	// Stripe bands are [-90+10k, -90+10k+10); decl 10 is a boundary.
+	const boundary = 10.0
+	below, _ := ch.Locate(sphgeom.NewPoint(33, boundary-0.01))
+
+	contains := func(cs []ChunkID, c ChunkID) bool {
+		for _, x := range cs {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	inside := sphgeom.NewPoint(33, boundary+margin-0.01)
+	if !contains(ch.OverlapChunks(inside), below) {
+		t.Errorf("point %g inside the margin of chunk %d not reported", inside.Decl, below)
+	}
+	outside := sphgeom.NewPoint(33, boundary+margin+0.01)
+	if contains(ch.OverlapChunks(outside), below) {
+		t.Errorf("point %g outside the margin of chunk %d reported", outside.Decl, below)
+	}
+}
+
+// TestOverlapProbeHighDeclinationRegression pins the bug the derived
+// probe fixes: near the poles the overlap margin in RA widens by
+// 1/cos(decl), which exceeds the old fixed 3x dilation beyond ~70.5
+// degrees — the old probe provably missed chunks whose overlap the
+// point is inside.
+func TestOverlapProbeHighDeclinationRegression(t *testing.T) {
+	ch := overlapChunker(t)
+	missed := 0
+	// Sweep points at high declination sitting 2-3 margins away (in
+	// RA) from a chunk boundary: inside the neighbor's dilated bounds
+	// (raMargin there is ~3+ margins), outside the old probe.
+	for ra := 0.25; ra < 360; ra += 7.3 {
+		p := sphgeom.NewPoint(ra, 78.5)
+		want := bruteOverlapChunks(ch, p)
+		old := legacyProbeOverlapChunks(ch, p)
+		got := ch.OverlapChunks(p)
+		if len(got) != len(want) {
+			t.Fatalf("point %v: derived probe found %v, brute force %v", p, got, keys(want))
+		}
+		missed += len(want) - len(old)
+	}
+	if missed <= 0 {
+		t.Fatalf("expected the legacy 3x-margin probe to miss high-declination overlap chunks; it missed %d", missed)
+	}
+}

@@ -345,6 +345,73 @@ func (ch *Chunker) AllSubChunks(id ChunkID) ([]SubChunkID, error) {
 	return subs, nil
 }
 
+// OverlapChunks returns every chunk (other than the one containing p)
+// whose overlap region contains p — the chunks that must store a copy
+// of p's row in their overlap companion tables (section 4.4).
+//
+// Candidates are preselected with a probe box derived from the chunker
+// geometry, then confirmed with InOverlap. The probe must contain the
+// bounds of every chunk C with p ∈ Dilated(C.bounds, margin):
+//
+//   - Declination: Dilated grows a chunk's band by exactly margin, so
+//     C.declMin-margin <= p.Decl <= C.declMax+margin — C's band
+//     intersects [p.Decl-margin, p.Decl+margin].
+//   - Right ascension: Dilated widens the RA margin to
+//     margin/cos(maxAbsDecl) at the extreme declination of the dilated
+//     band. By the declination constraint C's stripe lies within
+//     stripeHeight+margin of p.Decl, so that extreme declination is at
+//     most |p.Decl| + 2*margin + stripeHeight, bounding the RA margin
+//     of any qualifying chunk by margin/cos(that). When that bound
+//     reaches the pole a qualifying chunk's dilation can be
+//     full-circle in RA, so the probe must be too.
+//
+// The previous implementation probed a fixed ±3*margin box, which both
+// over-scanned in declination and — because it ignored the 1/cos(decl)
+// widening — missed qualifying chunks at high declination (a point up
+// to margin/cos(decl) away in RA is still inside a neighbor's dilated
+// bounds, and 1/cos exceeds 3 beyond ~70.5°).
+func (ch *Chunker) OverlapChunks(p sphgeom.Point) []ChunkID {
+	margin := ch.cfg.Overlap
+	if margin <= 0 {
+		return nil
+	}
+	limit := math.Abs(p.Decl) + 2*margin + ch.cfg.StripeHeight()
+	fullCircle := limit >= 90
+	var raMargin float64
+	if !fullCircle {
+		raMargin = margin / math.Cos(sphgeom.RadOf(limit))
+	}
+	own, _ := ch.Locate(p)
+	// Candidate stripes are the ones whose band intersects the
+	// declination probe; candidate chunks within a stripe are computed
+	// arithmetically from the RA probe (chunk widths are uniform per
+	// stripe), so the per-row cost is O(candidates), not O(chunks).
+	sLo := ch.stripeOf(p.Decl - margin)
+	sHi := ch.stripeOf(p.Decl + margin)
+	var out []ChunkID
+	for s := sLo; s <= sHi; s++ {
+		n := ch.numChunksPerStripe[s]
+		width := 360.0 / float64(n)
+		ra := sphgeom.WrapRA(p.RA)
+		kLo, kHi := 0, n-1
+		if !fullCircle && 2*raMargin < 360-width {
+			kLo = int(math.Floor((ra - raMargin) / width))
+			kHi = int(math.Floor((ra + raMargin) / width))
+		}
+		for k := kLo; k <= kHi; k++ {
+			c := ((k % n) + n) % n
+			id := ch.chunkIDFor(s, c)
+			if id == own {
+				continue
+			}
+			if in, _ := ch.InOverlap(id, p); in {
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
 // InOverlap reports whether a point belongs to the overlap region of the
 // given chunk: outside the chunk proper but within the configured overlap
 // margin of its border. Rows in the overlap are stored with the chunk so

@@ -168,7 +168,7 @@ func New(cfg Config, cat *datagen.Catalog) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	registry := meta.LSSTRegistry(chunker)
+	registry := datagen.LSSTRegistry(chunker)
 	cl := &Cluster{
 		Nodes:        cfg.Nodes,
 		Chunker:      chunker,
@@ -180,41 +180,29 @@ func New(cfg Config, cat *datagen.Catalog) (*Cluster, error) {
 		chunkObjRows: map[partition.ChunkID]int64{},
 	}
 
-	// Partition rows per chunk (no overlap margin scan for speed; the
-	// overlap margin at paper geometry is 1 arcminute, so we probe only
-	// immediately adjacent chunks via the dilated-bounds check).
+	// Partition rows per chunk; the geometry-derived overlap probe
+	// (Chunker.OverlapChunks) confirms candidates with the
+	// dilated-bounds check.
 	objInfo, _ := registry.Table("Object")
 	srcInfo, _ := registry.Table("Source")
 	objRows := map[partition.ChunkID][]sqlengine.Row{}
 	objOver := map[partition.ChunkID][]sqlengine.Row{}
 	srcRows := map[partition.ChunkID][]sqlengine.Row{}
 	srcOver := map[partition.ChunkID][]sqlengine.Row{}
-	margin := chunker.Config().Overlap
 
-	addWithOverlap := func(p datagen.Object, row sqlengine.Row, rows, over map[partition.ChunkID][]sqlengine.Row) {
-		own, _ := chunker.Locate(p.Point())
+	addWithOverlap := func(p sphgeom.Point, row sqlengine.Row, rows, over map[partition.ChunkID][]sqlengine.Row) {
+		own, _ := chunker.Locate(p)
 		rows[own] = append(rows[own], row)
-		if margin <= 0 {
-			return
-		}
-		probe := p.Point()
-		for _, c := range chunker.ChunksIn(boxAround(probe.RA, probe.Decl, margin*3)) {
-			if c == own {
-				continue
-			}
-			if in, err := chunker.InOverlap(c, probe); err == nil && in {
-				over[c] = append(over[c], row)
-			}
+		for _, c := range chunker.OverlapChunks(p) {
+			over[c] = append(over[c], row)
 		}
 	}
 	for i, o := range cat.Objects {
 		c, s := chunker.Locate(o.Point())
 		cl.Index.Put(o.ObjectID, meta.ChunkSub{Chunk: c, Sub: s})
 		cl.chunkObjRows[c]++
-		row := sqlengine.Row{o.ObjectID, o.RA, o.Decl,
-			o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux,
-			o.UFluxSG, o.URadiusPS, int64(c), int64(s)}
-		addWithOverlap(o, row, objRows, objOver)
+		row := append(datagen.ObjectUserRow(o), int64(c), int64(s))
+		addWithOverlap(o.Point(), row, objRows, objOver)
 		if i%97 == 0 {
 			cl.sampleIDs = append(cl.sampleIDs, o.ObjectID)
 		}
@@ -222,9 +210,8 @@ func New(cfg Config, cat *datagen.Catalog) (*Cluster, error) {
 	cl.rowCounts["Object"] = int64(len(cat.Objects))
 	for _, s := range cat.Sources {
 		c, sc := chunker.Locate(s.Point())
-		row := sqlengine.Row{s.SourceID, s.ObjectID, s.TaiMidPoint,
-			s.RA, s.Decl, s.PsfFlux, s.PsfFluxErr, s.FilterID, int64(c), int64(sc)}
-		addWithOverlap(datagen.Object{RA: s.RA, Decl: s.Decl}, row, srcRows, srcOver)
+		row := append(datagen.SourceUserRow(s), int64(c), int64(sc))
+		addWithOverlap(s.Point(), row, srcRows, srcOver)
 	}
 	cl.rowCounts["Source"] = int64(len(cat.Sources))
 
@@ -263,12 +250,6 @@ func New(cfg Config, cat *datagen.Catalog) (*Cluster, error) {
 	}
 	cl.planner = core.NewPlanner(registry, cl.Index)
 	return cl, nil
-}
-
-// boxAround is a conservative search box of half-width r degrees around
-// a point, used to find chunks whose overlap region may contain it.
-func boxAround(ra, decl, r float64) sphgeom.Box {
-	return sphgeom.NewBox(ra-r, ra+r, decl-r, decl+r)
 }
 
 // Close stops the underlying workers.

@@ -1,0 +1,115 @@
+package worker
+
+import (
+	"fmt"
+
+	"repro/internal/ingest"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/xrd"
+)
+
+// This file is the worker side of the fabric's /load transaction
+// family: /load/spec installs catalog metadata (so an out-of-process
+// worker learns the same declarative catalog the czar plans against),
+// and /load/t/<table>/<chunk|shared> applies one row batch. Chunk
+// tables, their overlap companions, and the director-key hash index
+// are built incrementally: the index is created with the (empty) table
+// and maintained by every insert, so no second indexing pass runs after
+// ingest finishes.
+
+// handleLoad processes one /load write transaction.
+func (w *Worker) handleLoad(path string, data []byte) error {
+	if path == xrd.LoadSpecPath {
+		spec, err := ingest.DecodeSpec(data)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", w.cfg.Name, err)
+		}
+		if err := w.registry.ApplySpec(spec); err != nil {
+			return fmt.Errorf("worker %s: %w", w.cfg.Name, err)
+		}
+		return nil
+	}
+	table, chunk, shared, err := xrd.ParseLoadPath(path)
+	if err != nil {
+		return fmt.Errorf("worker %s: %w", w.cfg.Name, err)
+	}
+	info, err := w.registry.Table(table)
+	if err != nil {
+		return fmt.Errorf("worker %s: load: %w", w.cfg.Name, err)
+	}
+	batch, err := ingest.DecodeBatch(data)
+	if err != nil {
+		return fmt.Errorf("worker %s: load %s: %w", w.cfg.Name, table, err)
+	}
+
+	// One batch applies at a time: lanes of concurrent ingests (and the
+	// shared- vs chunk-table paths) must not interleave table creation
+	// and inserts on the same engine structures.
+	w.loadMu.Lock()
+	defer w.loadMu.Unlock()
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return err
+	}
+
+	if shared {
+		if info.Partitioned {
+			return fmt.Errorf("worker %s: table %s is partitioned; load it by chunk", w.cfg.Name, info.Name)
+		}
+		t, err := w.ingestTable(db, info.Name, info)
+		if err != nil {
+			return err
+		}
+		return t.Insert(batch.Rows...)
+	}
+
+	if !info.Partitioned {
+		return fmt.Errorf("worker %s: table %s is not partitioned; use the shared load path", w.cfg.Name, info.Name)
+	}
+	cid := partition.ChunkID(chunk)
+	t, err := w.ingestTable(db, meta.ChunkTableName(info.Name, cid), info)
+	if err != nil {
+		return err
+	}
+	ov, err := w.ingestOverlapTable(db, meta.OverlapTableName(info.Name, cid), info)
+	if err != nil {
+		return err
+	}
+	if err := t.Insert(batch.Rows...); err != nil {
+		return fmt.Errorf("worker %s: load %s chunk %d: %w", w.cfg.Name, info.Name, chunk, err)
+	}
+	if err := ov.Insert(batch.Overlap...); err != nil {
+		return fmt.Errorf("worker %s: load %s chunk %d overlap: %w", w.cfg.Name, info.Name, chunk, err)
+	}
+	w.mu.Lock()
+	w.chunks[cid] = true
+	w.mu.Unlock()
+	return nil
+}
+
+// ingestTable returns the named table, creating it (with the director
+// key and any declared index columns hash-indexed) on first use.
+func (w *Worker) ingestTable(db *sqlengine.Database, name string, info *meta.TableInfo) (*sqlengine.Table, error) {
+	if t, err := db.Table(name); err == nil {
+		return t, nil
+	}
+	t, err := info.NewIngestTable(name)
+	if err != nil {
+		return nil, err
+	}
+	db.Put(t)
+	return t, nil
+}
+
+// ingestOverlapTable returns a chunk's overlap companion, creating it
+// unindexed on first use (overlap tables are scanned, not dived into).
+func (w *Worker) ingestOverlapTable(db *sqlengine.Database, name string, info *meta.TableInfo) (*sqlengine.Table, error) {
+	if t, err := db.Table(name); err == nil {
+		return t, nil
+	}
+	t := sqlengine.NewTable(name, info.Schema)
+	db.Put(t)
+	return t, nil
+}

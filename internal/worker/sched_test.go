@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
@@ -25,7 +26,7 @@ func loadBigChunks(t testing.TB, cfg Config, n, rowsPerChunk int) (*Worker, []pa
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := meta.LSSTRegistry(ch)
+	reg := datagen.LSSTRegistry(ch)
 	w := New(cfg, reg)
 	t.Cleanup(w.Close)
 	info, err := reg.Table("Object")

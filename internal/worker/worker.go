@@ -133,6 +133,9 @@ type Worker struct {
 	scanMu   sync.Mutex
 	scanners map[string]*scanshare.Scanner
 
+	// loadMu serializes /load batch application (see ingest.go).
+	loadMu sync.Mutex
+
 	subs *subchunkManager
 }
 
@@ -436,8 +439,10 @@ func (w *Worker) LoadShared(name string, schema sqlengine.Schema, rows []sqlengi
 // HandleWrite accepts a chunk query written to /query2/CC — it registers
 // a pending result under the payload's hash and enqueues the job on the
 // lane its CLASS header selects (headerless payloads default to the
-// scan lane — the conservative choice) — or a kill written to
-// /cancel/H, which dequeues or aborts the query hashing to H.
+// scan lane — the conservative choice) — a kill written to /cancel/H,
+// which dequeues or aborts the query hashing to H, or an ingest
+// transaction written to /load/... (catalog spec or row batch; see
+// ingest.go).
 func (w *Worker) HandleWrite(path string, data []byte) error {
 	return w.HandleWriteContext(context.Background(), path, data)
 }
@@ -449,6 +454,9 @@ func (w *Worker) HandleWriteContext(ctx context.Context, path string, data []byt
 		return context.Cause(ctx)
 	}
 	path, qid := xrd.SplitQID(path)
+	if xrd.IsLoadPath(path) {
+		return w.handleLoad(path, data)
+	}
 	if hash, ok := strings.CutPrefix(path, "/cancel/"); ok {
 		// Kill transactions are idempotent: canceling a finished or
 		// unknown query — or one whose qid never registered interest

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/dump"
 	"repro/internal/meta"
 	"repro/internal/partition"
@@ -26,7 +27,7 @@ func testWorker(t testing.TB, cfg Config) (*Worker, partition.ChunkID) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg := meta.LSSTRegistry(ch)
+	reg := datagen.LSSTRegistry(ch)
 	w := New(cfg, reg)
 	t.Cleanup(w.Close)
 

@@ -3,12 +3,16 @@
 // fault-tolerant communication facility exposed through file-like
 // transactions.
 //
-// Qserv uses exactly two transactions:
+// Qserv's read path uses exactly two transactions:
 //
 //  1. dispatch — open xrootd://<manager>/query2/CC for writing, write the
 //     chunk query, close;
 //  2. results — open xrootd://<worker>/result/H for reading (H = the MD5
 //     hash of the chunk query, 32 hex digits), read to EOF, close.
+//
+// Two non-paper transaction families ride the same fabric: /cancel/H
+// (query kill, see CancelPath) and /load/... (catalog DDL and row-batch
+// ingest, see LoadSpecPath/LoadPath).
 //
 // A cluster is a set of data servers (Qserv workers act as one by
 // plugging in a custom "ofs" file-system handler) plus a redirector: a
@@ -24,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -109,6 +114,50 @@ func ResultHash(chunkQuery []byte) string {
 // queries the same way, through its query-management interface
 // (section 5).
 func CancelPath(hash string) string { return "/cancel/" + hash }
+
+// LoadSpecPath is the fourth file transaction's DDL form: a write of a
+// JSON CatalogSpec that installs table metadata on the receiving
+// worker. (The paper loads data out of band, section 6.1.2; the /load
+// transaction family routes ingest through the same fabric queries
+// use, so a TCP deployment can load at all.)
+const LoadSpecPath = "/load/spec"
+
+// LoadPath builds the ingest-transaction path for one chunk of a
+// partitioned table: a write of an encoded row batch destined for the
+// chunk table (and overlap companion) of table on the receiving worker.
+func LoadPath(table string, chunkID int) string {
+	return fmt.Sprintf("/load/t/%s/%d", table, chunkID)
+}
+
+// LoadSharedPath builds the ingest path for a replicated table's rows.
+func LoadSharedPath(table string) string {
+	return fmt.Sprintf("/load/t/%s/shared", table)
+}
+
+// IsLoadPath reports whether the path belongs to the /load family.
+func IsLoadPath(path string) bool { return strings.HasPrefix(path, "/load/") }
+
+// ParseLoadPath splits a /load/t/... path into its table and target:
+// shared is true for a replicated-table shipment, otherwise chunk holds
+// the chunk id.
+func ParseLoadPath(path string) (table string, chunk int, shared bool, err error) {
+	rest, ok := strings.CutPrefix(path, "/load/t/")
+	if !ok {
+		return "", 0, false, fmt.Errorf("xrd: bad load path %q", path)
+	}
+	table, target, ok := strings.Cut(rest, "/")
+	if !ok || table == "" || target == "" || strings.Contains(target, "/") {
+		return "", 0, false, fmt.Errorf("xrd: bad load path %q", path)
+	}
+	if target == "shared" {
+		return table, 0, true, nil
+	}
+	chunk, cerr := strconv.Atoi(target)
+	if cerr != nil {
+		return "", 0, false, fmt.Errorf("xrd: bad load path %q: %v", path, cerr)
+	}
+	return table, chunk, false, nil
+}
 
 // WithQID appends an out-of-band query identity to a transaction path.
 // The identity rides the path — never the payload — so it cannot

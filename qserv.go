@@ -3,17 +3,22 @@
 // Monkewitz, Lim, Becla; SC'11).
 //
 // A Cluster assembles the full system of the paper's Figure 1: a czar
-// (master frontend with query rewriting, the objectId secondary index
-// and result merging), N workers (each an embedded SQL engine holding
-// spatially partitioned chunk tables plus overlap), and an xrd fabric
-// (redirector + data-addressed file transactions) connecting them.
+// (master frontend with query rewriting, the director-key secondary
+// index and result merging), N workers (each an embedded SQL engine
+// holding spatially partitioned chunk tables plus overlap), and an xrd
+// fabric (redirector + data-addressed file transactions) connecting
+// them.
 //
-// Quickstart:
+// Data definition is declarative and schema-agnostic: a CatalogSpec
+// describes tables by kind (director / child partitioned by the
+// director key / replicated), CreateTables installs it, and Ingest
+// streams rows through a single partition pass that ships batches to
+// all replica workers concurrently over the fabric. Quickstart:
 //
-//	cat, _ := datagen.Generate(datagen.DefaultConfig(), datagen.DefaultDuplicateConfig())
 //	cluster, _ := qserv.NewCluster(qserv.DefaultClusterConfig(8))
 //	defer cluster.Close()
-//	_ = cluster.Load(cat)
+//	_ = cluster.CreateTables(qserv.LSSTSpec())
+//	_, _ = cluster.Ingest("Object", objectRows)   // any RowSource
 //	res, _ := cluster.Query("SELECT COUNT(*) FROM Object")
 //
 // Queries are asynchronous sessions underneath (see Submit): the
@@ -25,7 +30,6 @@ package qserv
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -33,11 +37,13 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/meta"
 	"repro/internal/partition"
-	"repro/internal/sphgeom"
-	"repro/internal/sqlengine"
 	"repro/internal/worker"
 	"repro/internal/xrd"
 )
+
+// defaultDatabase names the catalog when ClusterConfig.Database is
+// empty — the paper's catalog name.
+const defaultDatabase = "LSST"
 
 // ClusterConfig sizes an in-process cluster.
 type ClusterConfig struct {
@@ -45,6 +51,8 @@ type ClusterConfig struct {
 	Workers int
 	// Replication is the number of workers holding each chunk.
 	Replication int
+	// Database is the catalog database name ("LSST" when empty).
+	Database string
 	// Partition is the two-level partitioning geometry.
 	Partition partition.Config
 	// WorkerSlots is the per-worker parallel scan-query limit (paper: 4).
@@ -73,6 +81,14 @@ type ClusterConfig struct {
 	// returns at most K rows and the czar merges streaming top-K
 	// buffers instead of every matching row.
 	TopKPushdown bool
+	// IngestBatchRows is the rows per fabric /load shipment (default
+	// 2048).
+	IngestBatchRows int
+	// IngestParallelism bounds concurrent /load writes across the
+	// per-worker shipping lanes. 0 means one in-flight batch per
+	// worker; 1 reproduces fully serialized shipping (the legacy Load
+	// behavior `qserv-bench -exp ingest` compares against).
+	IngestParallelism int
 }
 
 // DefaultClusterConfig returns a laptop-scale configuration: a coarse
@@ -82,6 +98,7 @@ func DefaultClusterConfig(workers int) ClusterConfig {
 	return ClusterConfig{
 		Workers:     workers,
 		Replication: 1,
+		Database:    defaultDatabase,
 		Partition: partition.Config{
 			NumStripes:             18,
 			NumSubStripesPerStripe: 4,
@@ -94,6 +111,7 @@ func DefaultClusterConfig(workers int) ClusterConfig {
 		ResultTimeout:    2 * time.Minute,
 		MergeParallelism: 8,
 		TopKPushdown:     true,
+		IngestBatchRows:  2048,
 	}
 }
 
@@ -123,10 +141,23 @@ type Cluster struct {
 	Czar       *czar.Czar
 
 	endpoints map[string]*xrd.LocalEndpoint
+	workers   map[string]*worker.Worker
+	client    *xrd.Client
 	closeOnce sync.Once
+
+	// ingestMu guards the ingest state machine: ingesting holds tables
+	// with an ingest in flight, ingested the tables already loaded (or
+	// sealed by a partial failure) — re-ingest would duplicate rows,
+	// so it is rejected. placeMu serializes chunk placement decisions.
+	ingestMu  sync.Mutex
+	ingested  map[string]bool
+	ingesting map[string]bool
+	placeMu   sync.Mutex
 }
 
-// NewCluster builds the cluster skeleton; call Load to install data.
+// NewCluster builds the cluster skeleton with an empty catalog; call
+// CreateTables and Ingest to install data (or the deprecated Load for
+// the synthetic LSST catalog).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -135,7 +166,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	registry := meta.LSSTRegistry(chunker)
+	if cfg.Database == "" {
+		cfg.Database = defaultDatabase
+	}
+	registry := meta.NewRegistry(cfg.Database, chunker)
 	cl := &Cluster{
 		Config:     cfg,
 		Chunker:    chunker,
@@ -144,7 +178,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Placement:  meta.NewPlacement(),
 		Index:      meta.NewObjectIndex(),
 		endpoints:  map[string]*xrd.LocalEndpoint{},
+		workers:    map[string]*worker.Worker{},
+		ingested:   map[string]bool{},
+		ingesting:  map[string]bool{},
 	}
+	cl.client = xrd.NewClient(cl.Redirector)
 	for i := 0; i < cfg.Workers; i++ {
 		wcfg := worker.DefaultConfig(fmt.Sprintf("worker-%03d", i))
 		wcfg.Slots = cfg.WorkerSlots
@@ -161,6 +199,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		w := worker.New(wcfg, registry)
 		cl.Workers = append(cl.Workers, w)
+		cl.workers[w.Name()] = w
 		ep := xrd.NewLocalEndpoint(w.Name(), w)
 		cl.endpoints[w.Name()] = ep
 		cl.Redirector.Register(ep, "/result")
@@ -190,217 +229,31 @@ func (cl *Cluster) Close() {
 // Endpoint returns a worker's fabric endpoint (failure injection).
 func (cl *Cluster) Endpoint(name string) *xrd.LocalEndpoint { return cl.endpoints[name] }
 
-// WorkerByName returns a worker.
-func (cl *Cluster) WorkerByName(name string) *worker.Worker {
-	for _, w := range cl.Workers {
-		if w.Name() == name {
-			return w
-		}
+// WorkerByName returns a worker by its cluster identity, or nil.
+func (cl *Cluster) WorkerByName(name string) *worker.Worker { return cl.workers[name] }
+
+// Catalog is a synthesized LSST Object/Source catalog, accepted by the
+// deprecated Load wrapper.
+type Catalog = datagen.Catalog
+
+// Load installs the synthetic LSST catalog.
+//
+// Deprecated: Load is a thin compatibility wrapper over the spec API —
+// CreateTables(LSSTSpec()) followed by one Ingest per table — and is
+// oracle-equivalent to calling those directly. New code (and any
+// non-LSST schema) should use CreateTables and Ingest.
+func (cl *Cluster) Load(cat *Catalog) error {
+	if err := cl.CreateTables(LSSTSpec()); err != nil {
+		return err
+	}
+	if _, err := cl.Ingest("Object", objectSource(cat)); err != nil {
+		return err
+	}
+	if _, err := cl.Ingest("Source", sourceSource(cat)); err != nil {
+		return err
+	}
+	if _, err := cl.Ingest("Filter", filterSource()); err != nil {
+		return err
 	}
 	return nil
-}
-
-// Load partitions the catalog, distributes chunk and overlap tables to
-// workers round-robin with the configured replication, builds the
-// objectId secondary index, registers chunk exports with the
-// redirector, and replicates small tables everywhere.
-func (cl *Cluster) Load(cat *datagen.Catalog) error {
-	objInfo, err := cl.Registry.Table("Object")
-	if err != nil {
-		return err
-	}
-	srcInfo, err := cl.Registry.Table("Source")
-	if err != nil {
-		return err
-	}
-
-	objRows, objOverlap, err := cl.partitionRows(len(cat.Objects), func(i int) (sphgeom.Point, rowMaker) {
-		o := cat.Objects[i]
-		return o.Point(), func(c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
-			return objectRow(o, c, s)
-		}
-	})
-	if err != nil {
-		return err
-	}
-	srcRows, srcOverlap, err := cl.partitionRows(len(cat.Sources), func(i int) (sphgeom.Point, rowMaker) {
-		s := cat.Sources[i]
-		return s.Point(), func(c partition.ChunkID, sc partition.SubChunkID) sqlengine.Row {
-			return sourceRow(s, c, sc)
-		}
-	})
-	if err != nil {
-		return err
-	}
-
-	// The placed chunk set is every chunk holding any data.
-	placedSet := map[partition.ChunkID]bool{}
-	for c := range objRows {
-		placedSet[c] = true
-	}
-	for c := range srcRows {
-		placedSet[c] = true
-	}
-	placed := make([]partition.ChunkID, 0, len(placedSet))
-	for c := range placedSet {
-		placed = append(placed, c)
-	}
-	sortChunkIDs(placed)
-
-	workerNames := make([]string, len(cl.Workers))
-	for i, w := range cl.Workers {
-		workerNames[i] = w.Name()
-	}
-	placement, err := meta.RoundRobin(placed, workerNames, cl.Config.Replication)
-	if err != nil {
-		return err
-	}
-	// Install the assignment into the czar-visible placement.
-	for _, c := range placed {
-		cl.Placement.Assign(c, placement.Workers(c)...)
-	}
-
-	// Ship tables to workers and register fabric exports.
-	for _, c := range placed {
-		for _, name := range placement.Workers(c) {
-			w := cl.WorkerByName(name)
-			if w == nil {
-				return fmt.Errorf("qserv: unknown worker %q", name)
-			}
-			if err := w.LoadChunk(objInfo, c, objRows[c], objOverlap[c]); err != nil {
-				return err
-			}
-			if err := w.LoadChunk(srcInfo, c, srcRows[c], srcOverlap[c]); err != nil {
-				return err
-			}
-			cl.Redirector.Register(cl.endpoints[name], xrd.QueryPath(int(c)))
-		}
-	}
-
-	// Secondary index: objectId -> (chunk, subchunk), paper section 5.5.
-	for _, o := range cat.Objects {
-		c, s := cl.Chunker.Locate(o.Point())
-		cl.Index.Put(o.ObjectID, meta.ChunkSub{Chunk: c, Sub: s})
-	}
-
-	// Small unpartitioned tables are replicated to every worker and the
-	// czar (which answers them locally).
-	filterInfo, err := cl.Registry.Table("Filter")
-	if err != nil {
-		return err
-	}
-	filterRows := []sqlengine.Row{
-		{int64(0), "u"}, {int64(1), "g"}, {int64(2), "r"},
-		{int64(3), "i"}, {int64(4), "z"}, {int64(5), "y"},
-	}
-	for _, w := range cl.Workers {
-		if err := w.LoadShared("Filter", filterInfo.Schema, filterRows); err != nil {
-			return err
-		}
-	}
-	czarDB, err := cl.Czar.Engine().Database(cl.Registry.DB)
-	if err != nil {
-		return err
-	}
-	ft := sqlengine.NewTable("Filter", filterInfo.Schema)
-	if err := ft.Insert(filterRows...); err != nil {
-		return err
-	}
-	czarDB.Put(ft)
-	return nil
-}
-
-// rowMaker renders one catalog item as a table row for the chunk (and
-// subchunk) it lands in.
-type rowMaker func(partition.ChunkID, partition.SubChunkID) sqlengine.Row
-
-// partitionRows assigns n items to chunk tables and overlap tables.
-func (cl *Cluster) partitionRows(n int,
-	item func(i int) (sphgeom.Point, rowMaker),
-) (map[partition.ChunkID][]sqlengine.Row, map[partition.ChunkID][]sqlengine.Row, error) {
-	rows := map[partition.ChunkID][]sqlengine.Row{}
-	overlap := map[partition.ChunkID][]sqlengine.Row{}
-	margin := cl.Chunker.Config().Overlap
-	for i := 0; i < n; i++ {
-		p, mk := item(i)
-		own, sub := cl.Chunker.Locate(p)
-		rows[own] = append(rows[own], mk(own, sub))
-		if margin <= 0 {
-			continue
-		}
-		// The row also lands in the overlap table of every nearby chunk
-		// whose dilated bounds contain it.
-		probe := sphgeom.NewBox(p.RA-margin*3, p.RA+margin*3, p.Decl-margin*3, p.Decl+margin*3)
-		for _, c := range cl.Chunker.ChunksIn(probe) {
-			if c == own {
-				continue
-			}
-			in, err := cl.Chunker.InOverlap(c, p)
-			if err != nil {
-				return nil, nil, err
-			}
-			if in {
-				// Overlap rows keep their own chunk/subchunk ids.
-				overlap[c] = append(overlap[c], mk(own, sub))
-			}
-		}
-	}
-	return rows, overlap, nil
-}
-
-func sortChunkIDs(cs []partition.ChunkID) {
-	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
-}
-
-// objectRow converts an Object to the meta.ObjectSchema column order.
-func objectRow(o datagen.Object, c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
-	return sqlengine.Row{
-		o.ObjectID, o.RA, o.Decl,
-		o.UFlux, o.GFlux, o.RFlux, o.IFlux, o.ZFlux, o.YFlux,
-		o.UFluxSG, o.URadiusPS,
-		int64(c), int64(s),
-	}
-}
-
-// sourceRow converts a Source to the meta.SourceSchema column order.
-func sourceRow(src datagen.Source, c partition.ChunkID, s partition.SubChunkID) sqlengine.Row {
-	return sqlengine.Row{
-		src.SourceID, src.ObjectID, src.TaiMidPoint,
-		src.RA, src.Decl, src.PsfFlux, src.PsfFluxErr, src.FilterID,
-		int64(c), int64(s),
-	}
-}
-
-// SingleNodeOracle loads the same catalog into one plain engine — the
-// correctness oracle distributed answers are compared against, and the
-// mainstream-RDBMS baseline of paper section 3.
-func SingleNodeOracle(cat *datagen.Catalog, chunker *partition.Chunker) (*sqlengine.Engine, error) {
-	e := sqlengine.New("LSST")
-	db, err := e.Database("LSST")
-	if err != nil {
-		return nil, err
-	}
-	obj := sqlengine.NewTable("Object", meta.ObjectSchema())
-	for _, o := range cat.Objects {
-		c, s := chunker.Locate(o.Point())
-		if err := obj.Insert(objectRow(o, c, s)); err != nil {
-			return nil, err
-		}
-	}
-	if err := obj.CreateIndex("objectId"); err != nil {
-		return nil, err
-	}
-	db.Put(obj)
-	src := sqlengine.NewTable("Source", meta.SourceSchema())
-	for _, s := range cat.Sources {
-		c, sc := chunker.Locate(s.Point())
-		if err := src.Insert(sourceRow(s, c, sc)); err != nil {
-			return nil, err
-		}
-	}
-	if err := src.CreateIndex("objectId"); err != nil {
-		return nil, err
-	}
-	db.Put(src)
-	return e, nil
 }

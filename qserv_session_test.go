@@ -121,7 +121,7 @@ func TestRowsStreamDeliversEveryRow(t *testing.T) {
 // query is unaffected.
 func TestCancelMidScanReclaimsSlots(t *testing.T) {
 	cl := scanCluster(t)
-	oracle, err := SingleNodeOracle(mustCatalog(t), cl.Chunker)
+	oracle, err := lsstOracle(mustCatalog(t))
 	if err != nil {
 		t.Fatal(err)
 	}

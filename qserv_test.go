@@ -12,9 +12,22 @@ import (
 	"repro/internal/sqlengine"
 )
 
+// lsstOracle builds the single-node oracle for a synthetic catalog
+// through the public spec-driven Oracle API.
+func lsstOracle(cat *Catalog) (*Oracle, error) {
+	oracle, err := NewOracle(DefaultClusterConfig(8))
+	if err != nil {
+		return nil, err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return nil, err
+	}
+	return oracle, nil
+}
+
 // testCluster builds an 8-worker cluster over a partial-sky synthetic
 // catalog and the matching single-node oracle.
-func testCluster(t testing.TB) (*Cluster, *sqlengine.Engine) {
+func testCluster(t testing.TB) (*Cluster, *Oracle) {
 	t.Helper()
 	cat, err := datagen.Generate(
 		datagen.Config{Seed: 42, ObjectsPerPatch: 600, MeanSourcesPerObject: 3},
@@ -31,7 +44,7 @@ func testCluster(t testing.TB) (*Cluster, *sqlengine.Engine) {
 	if err := cl.Load(cat); err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := SingleNodeOracle(cat, cl.Chunker)
+	oracle, err := lsstOracle(cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +54,11 @@ func testCluster(t testing.TB) (*Cluster, *sqlengine.Engine) {
 var (
 	sharedOnce    sync.Once
 	sharedCluster *Cluster
-	sharedOracle  *sqlengine.Engine
+	sharedOracle  *Oracle
 )
 
 // shared returns a lazily built cluster reused by read-only tests.
-func shared(t testing.TB) (*Cluster, *sqlengine.Engine) {
+func shared(t testing.TB) (*Cluster, *Oracle) {
 	t.Helper()
 	sharedOnce.Do(func() {
 		cat, err := datagen.Generate(
@@ -62,7 +75,7 @@ func shared(t testing.TB) (*Cluster, *sqlengine.Engine) {
 		if err := cl.Load(cat); err != nil {
 			panic(err)
 		}
-		oracle, err := SingleNodeOracle(cat, cl.Chunker)
+		oracle, err := lsstOracle(cat)
 		if err != nil {
 			panic(err)
 		}
@@ -73,7 +86,7 @@ func shared(t testing.TB) (*Cluster, *sqlengine.Engine) {
 
 // sameAnswer compares a distributed answer to the oracle's, order
 // insensitive, with float tolerance.
-func sameAnswer(t *testing.T, got *Result, want *sqlengine.Result, label string) {
+func sameAnswer(t *testing.T, got, want *Result, label string) {
 	t.Helper()
 	if len(got.Rows) != len(want.Rows) {
 		t.Fatalf("%s: %d rows, oracle has %d", label, len(got.Rows), len(want.Rows))
@@ -547,7 +560,7 @@ func TestMergePipelineEquivalence(t *testing.T) {
 		}
 		clusters = append(clusters, cl)
 	}
-	oracle, err := SingleNodeOracle(cat, clusters[0].Chunker)
+	oracle, err := lsstOracle(cat)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,160 @@
+package qserv
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/meta"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+// This file is the public data-definition language: a catalog is
+// declared as a CatalogSpec — tables classified by the paper's kinds
+// (director / child partitioned by the director key / replicated,
+// section 5) — and installed with Cluster.CreateTables. Every type here
+// is qserv-owned and JSON-serializable, so specs can live in config
+// files; no internal/* package leaks through these signatures.
+
+// TableKind classifies a table for partitioning and placement.
+type TableKind string
+
+const (
+	// Director tables are spatially partitioned by their own position
+	// columns and own the director key — the key the frontend's
+	// secondary index covers and every child row follows. A catalog has
+	// at most one director table.
+	Director TableKind = "director"
+	// Child tables are partitioned by the director key: each child row
+	// is stored in the chunk holding its director row, so director-key
+	// joins never cross nodes.
+	Child TableKind = "child"
+	// Replicated tables are small dimension tables copied to every
+	// worker and the czar.
+	Replicated TableKind = "replicated"
+)
+
+// ColumnType is a column's storage type.
+type ColumnType string
+
+// The storage types.
+const (
+	Integer ColumnType = "BIGINT"
+	Double  ColumnType = "DOUBLE"
+	Text    ColumnType = "VARCHAR"
+)
+
+// ColumnSpec declares one column.
+type ColumnSpec struct {
+	Name string     `json:"name"`
+	Type ColumnType `json:"type"`
+}
+
+// TableSpec declares one catalog table.
+type TableSpec struct {
+	// Name is the logical table name users query.
+	Name string `json:"name"`
+	// Kind selects partitioning and placement.
+	Kind TableKind `json:"kind"`
+	// Columns are the user columns in storage order. Partitioned tables
+	// automatically gain trailing chunkId/subChunkId columns, computed
+	// during ingest.
+	Columns []ColumnSpec `json:"columns"`
+	// RAColumn / DeclColumn name the spherical position columns (in
+	// degrees) partitioning and spatial predicates use. Required for
+	// director tables; on a child they enable overlap participation.
+	RAColumn   string `json:"raColumn,omitempty"`
+	DeclColumn string `json:"declColumn,omitempty"`
+	// DirectorKey is the integer key column: the indexed key a director
+	// owns, or the foreign-key column a child follows.
+	DirectorKey string `json:"directorKey,omitempty"`
+	// Director names the director table a child follows; it defaults to
+	// the catalog's single director table.
+	Director string `json:"director,omitempty"`
+	// Overlap marks the table as participating in overlap storage: each
+	// row is also copied into the overlap companion tables of nearby
+	// chunks whose margin contains it, so spatial joins near chunk
+	// borders need no remote data.
+	Overlap bool `json:"overlap,omitempty"`
+	// IndexColumns are extra worker-side hash-index columns, built
+	// incrementally during ingest (the director key is always indexed).
+	IndexColumns []string `json:"indexColumns,omitempty"`
+}
+
+// CatalogSpec declares one sharded catalog database.
+type CatalogSpec struct {
+	// Database is the catalog database name; it must match the
+	// cluster's configured Database (empty inherits it).
+	Database string `json:"database"`
+	// Tables are the catalog's tables.
+	Tables []TableSpec `json:"tables"`
+}
+
+// Validate checks the spec without installing it.
+func (s CatalogSpec) Validate() error {
+	spec, err := s.toMeta()
+	if err != nil {
+		return err
+	}
+	return spec.Validate()
+}
+
+// toMeta converts the public spec to the internal representation.
+func (s CatalogSpec) toMeta() (meta.CatalogSpec, error) {
+	out := meta.CatalogSpec{Database: s.Database}
+	for _, t := range s.Tables {
+		kind, err := meta.ParseTableKind(string(t.Kind))
+		if err != nil {
+			return meta.CatalogSpec{}, fmt.Errorf("qserv: table %s: unknown kind %q", t.Name, t.Kind)
+		}
+		mt := meta.TableSpec{
+			Name:         t.Name,
+			Kind:         kind,
+			RAColumn:     t.RAColumn,
+			DeclColumn:   t.DeclColumn,
+			DirectorKey:  t.DirectorKey,
+			Director:     t.Director,
+			Overlap:      t.Overlap,
+			IndexColumns: append([]string(nil), t.IndexColumns...),
+		}
+		for _, c := range t.Columns {
+			typ, err := sqlparse.ParseColType(string(c.Type))
+			if err != nil {
+				return meta.CatalogSpec{}, fmt.Errorf("qserv: table %s column %s: unknown type %q", t.Name, c.Name, c.Type)
+			}
+			mt.Columns = append(mt.Columns, sqlengine.Column{Name: c.Name, Type: typ})
+		}
+		out.Tables = append(out.Tables, mt)
+	}
+	return out, nil
+}
+
+// specFromMeta converts an internal spec to the public form.
+func specFromMeta(s meta.CatalogSpec) CatalogSpec {
+	out := CatalogSpec{Database: s.Database}
+	for _, t := range s.Tables {
+		pt := TableSpec{
+			Name:         t.Name,
+			Kind:         TableKind(t.Kind.String()),
+			RAColumn:     t.RAColumn,
+			DeclColumn:   t.DeclColumn,
+			DirectorKey:  t.DirectorKey,
+			Director:     t.Director,
+			Overlap:      t.Overlap,
+			IndexColumns: append([]string(nil), t.IndexColumns...),
+		}
+		for _, c := range t.Columns {
+			pt.Columns = append(pt.Columns, ColumnSpec{Name: c.Name, Type: ColumnType(c.Type.String())})
+		}
+		out.Tables = append(out.Tables, pt)
+	}
+	return out
+}
+
+// LSSTSpec returns the declarative definition of the paper's catalog —
+// the spec the deprecated Load wrapper installs: Object (director),
+// Source and ForcedSource (children partitioned by objectId), and the
+// replicated Filter dimension table.
+func LSSTSpec() CatalogSpec {
+	return specFromMeta(datagen.LSSTSpec())
+}
