@@ -22,9 +22,12 @@ bench:
 
 # Tiny-size benchmarks fast enough to gate CI: the czar merge pipeline
 # (serialized vs pipelined collection, oracle-checked), the query-kill
-# path (Cancel() -> worker-slot reclamation within a piece), and the
-# ingest path (serialized vs parallel fabric shipping, oracle-checked).
+# path (Cancel() -> worker-slot reclamation within a piece), the
+# ingest path (serialized vs parallel fabric shipping, oracle-checked),
+# and the failover path (worker death under load: detect, mask with
+# replicas, self-heal replication, oracle-checked).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
 	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
 	$(GO) run ./cmd/qserv-bench -exp ingest -objects 5
+	$(GO) run ./cmd/qserv-bench -exp failover -objects 5

@@ -1,0 +1,397 @@
+package qserv
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/member"
+	"repro/internal/partition"
+	"repro/internal/worker"
+	"repro/internal/xrd"
+)
+
+// This file is the public face of cluster availability: elastic
+// membership (AddWorker / RemoveWorker), the health and repair snapshot
+// (Status), and the cluster-side hooks the internal/member subsystem
+// drives — re-homing a chunk's fabric export after a verified repair
+// copy, naming the tables a repair must move, and filtering dead
+// workers out of ingest placement. Every type in the signatures is
+// qserv-owned; internal/member never leaks through.
+
+// WorkerState is a worker's health as the failure detector sees it.
+type WorkerState string
+
+// The worker health states.
+const (
+	// WorkerAlive: the last fabric /ping succeeded.
+	WorkerAlive WorkerState = "ALIVE"
+	// WorkerSuspect: some consecutive pings missed; dispatch still uses
+	// the worker.
+	WorkerSuspect WorkerState = "SUSPECT"
+	// WorkerDead: the miss threshold passed; dispatch skips the worker
+	// and (with SelfHeal) its chunks are re-replicated. Probing
+	// continues — the first successful ping revives it.
+	WorkerDead WorkerState = "DEAD"
+	// WorkerUnknown: the availability subsystem is disabled.
+	WorkerUnknown WorkerState = "UNKNOWN"
+)
+
+func stateFromMember(s member.State) WorkerState {
+	switch s {
+	case member.StateSuspect:
+		return WorkerSuspect
+	case member.StateDead:
+		return WorkerDead
+	default:
+		return WorkerAlive
+	}
+}
+
+// WorkerStatus is one worker's row in a ClusterStatus.
+type WorkerStatus struct {
+	// Name is the worker's cluster identity.
+	Name string
+	// State is the failure detector's classification.
+	State WorkerState
+	// Chunks is the number of chunks placement assigns the worker.
+	Chunks int
+	// Misses counts consecutive failed health probes.
+	Misses int
+	// LastSeen is the time of the last successful probe.
+	LastSeen time.Time
+	// LastError is the text of the last probe failure, empty when alive.
+	LastError string
+}
+
+// RepairProgress is the replication manager's cumulative accounting.
+type RepairProgress struct {
+	// ChunksRepaired counts verified chunk re-homes since the cluster
+	// started.
+	ChunksRepaired int
+	// ChunksPending counts chunks the last audit left under-replicated;
+	// they are retried on the next sweep (or when a worker is added).
+	ChunksPending int
+	// TablesCopied / BytesCopied meter the repair copy traffic.
+	TablesCopied int
+	BytesCopied  int64
+	// LastError is the most recent repair failure, empty when the last
+	// audit found nothing broken.
+	LastError string
+}
+
+// ClusterStatus is a point-in-time snapshot of cluster availability:
+// per-worker health and chunk counts, repair progress, and the
+// placement epoch (a counter bumped by every placement mutation).
+type ClusterStatus struct {
+	PlacementEpoch int64
+	Workers        []WorkerStatus
+	Repair         RepairProgress
+}
+
+// Status snapshots the cluster's availability. With DisableHealth set
+// it degrades to a placement-only view (every worker UNKNOWN).
+func (cl *Cluster) Status() ClusterStatus {
+	if cl.member != nil {
+		ms := cl.member.Status()
+		out := ClusterStatus{
+			PlacementEpoch: ms.Epoch,
+			Repair: RepairProgress{
+				ChunksRepaired: ms.Repair.ChunksRepaired,
+				ChunksPending:  ms.Repair.ChunksPending,
+				TablesCopied:   ms.Repair.TablesCopied,
+				BytesCopied:    ms.Repair.BytesCopied,
+				LastError:      ms.Repair.LastError,
+			},
+		}
+		for _, w := range ms.Workers {
+			out.Workers = append(out.Workers, WorkerStatus{
+				Name:      w.Name,
+				State:     stateFromMember(w.State),
+				Chunks:    w.Chunks,
+				Misses:    w.Misses,
+				LastSeen:  w.LastSeen,
+				LastError: w.LastErr,
+			})
+		}
+		return out
+	}
+	out := ClusterStatus{PlacementEpoch: cl.Placement.Epoch()}
+	for _, name := range cl.WorkerNames() {
+		out.Workers = append(out.Workers, WorkerStatus{
+			Name:   name,
+			State:  WorkerUnknown,
+			Chunks: len(cl.Placement.ChunksOn(name)),
+		})
+	}
+	return out
+}
+
+// addIngestWaitTimeout bounds how long AddWorker waits for in-flight
+// ingests to finish before giving up (the join must serialize with
+// them; see AddWorker).
+const addIngestWaitTimeout = 30 * time.Second
+
+// AddWorker grows the cluster by one empty worker. The worker is seeded
+// with every ingested replicated table (copied from a live peer over
+// the fabric's /repl transaction), registered with the redirector and
+// the failure detector, and immediately eligible as a repair target —
+// adding a worker retries any chunk whose re-replication previously
+// failed for want of a target. New director chunks from later ingests
+// land on it through the normal placement ring. Joins serialize with
+// ingests: a replicated ingest snapshots the membership when it starts
+// shipping and the seed below only copies completed tables, so a
+// worker joining mid-ingest would miss that table's rows from both
+// paths — AddWorker therefore waits (bounded) for in-flight ingests
+// and holds the ingest gate until the worker is a member.
+func (cl *Cluster) AddWorker(name string) error {
+	if name == "" {
+		return fmt.Errorf("qserv: AddWorker: empty worker name")
+	}
+	cl.memberMu.Lock()
+	_, dup := cl.workers[name]
+	dup = dup || cl.removing[name]
+	cl.memberMu.Unlock()
+	if dup {
+		return fmt.Errorf("qserv: AddWorker: worker %q already exists", name)
+	}
+
+	deadline := time.Now().Add(addIngestWaitTimeout)
+	for {
+		cl.ingestMu.Lock()
+		if len(cl.ingesting) == 0 {
+			break // gate held: no ingest can begin until the join completes
+		}
+		inflight := len(cl.ingesting)
+		cl.ingestMu.Unlock()
+		if time.Now().After(deadline) {
+			return fmt.Errorf("qserv: AddWorker %s: %d ingests in flight; retry when they finish", name, inflight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer cl.ingestMu.Unlock()
+	replicated := cl.ingestedTablesLocked(false)
+
+	w := worker.New(cl.workerConfig(name), cl.Registry)
+	// Seed replicated tables before the worker can serve or receive
+	// chunk queries: worker-side joins against dimension tables must
+	// find them.
+	if err := cl.seedReplicated(w, replicated); err != nil {
+		w.Close()
+		return err
+	}
+	ep := xrd.NewLocalEndpoint(name, w)
+	cl.memberMu.Lock()
+	if _, dup := cl.workers[name]; dup || cl.removing[name] {
+		cl.memberMu.Unlock()
+		w.Close()
+		return fmt.Errorf("qserv: AddWorker: worker %q already exists", name)
+	}
+	cl.workers[name] = w
+	cl.endpoints[name] = ep
+	cl.Workers = append(cl.Workers, w)
+	cl.memberMu.Unlock()
+	cl.Redirector.Register(ep, "/result")
+	if cl.member != nil {
+		cl.member.Watch(name)
+		cl.member.CheckNow()
+	}
+	return nil
+}
+
+// removeQuiesceTimeout bounds how long RemoveWorker waits for a drained
+// worker's in-flight chunk queries to finish before closing it anyway
+// (queries that lose the race fail over to the re-replicated copies).
+const removeQuiesceTimeout = 30 * time.Second
+
+// RemoveWorker gracefully decommissions a worker: every chunk it holds
+// is first re-replicated onto other live workers (verified copies,
+// placement re-homed chunk by chunk, so the replication factor never
+// drops), then the worker is detached from the fabric, drained of its
+// in-flight chunk queries, and closed. It fails — leaving the worker
+// serving — when removal would leave fewer workers than the
+// replication factor or a chunk cannot be moved. Removals serialize:
+// concurrent calls are safe, and the floor check holds for each.
+func (cl *Cluster) RemoveWorker(name string) error {
+	cl.removalMu.Lock()
+	defer cl.removalMu.Unlock()
+
+	// Mark the worker as leaving under the same lock that guards
+	// placement decisions: from here on ingest never homes a new chunk
+	// on it and repair never picks it as a copy target, so the drain
+	// below converges (removals serialize via removalMu, so the floor
+	// check cannot race another removal's mutation).
+	cl.memberMu.Lock()
+	w := cl.workers[name]
+	remaining := len(cl.Workers) - 1
+	if w != nil {
+		if remaining < cl.Config.Replication {
+			cl.memberMu.Unlock()
+			return fmt.Errorf("qserv: RemoveWorker %s: %d workers would remain, below replication %d",
+				name, remaining, cl.Config.Replication)
+		}
+		cl.removing[name] = true
+	}
+	cl.memberMu.Unlock()
+	if w == nil {
+		return fmt.Errorf("qserv: RemoveWorker: no worker %q", name)
+	}
+	unmark := func() {
+		cl.memberMu.Lock()
+		delete(cl.removing, name)
+		cl.memberMu.Unlock()
+	}
+
+	if cl.member == nil {
+		if n := len(cl.Placement.ChunksOn(name)); n > 0 {
+			unmark()
+			return fmt.Errorf("qserv: RemoveWorker %s: holds %d chunks and the availability subsystem is disabled (DisableHealth)", name, n)
+		}
+	} else {
+		// Graceful drain: the worker keeps serving its chunks while each
+		// is copied off and re-homed. Drain serializes with repair
+		// sweeps, so any chunk a pre-mark sweep placed here is seen and
+		// moved too; the post-drain check guards the invariant that a
+		// detached worker never lingers in placement.
+		if err := cl.member.Drain(context.Background(), name); err != nil {
+			unmark()
+			return fmt.Errorf("qserv: RemoveWorker %s: %w", name, err)
+		}
+		if n := len(cl.Placement.ChunksOn(name)); n > 0 {
+			unmark()
+			return fmt.Errorf("qserv: RemoveWorker %s: still placed on %d chunks after drain", name, n)
+		}
+		cl.member.Unwatch(name)
+	}
+	// No chunk export points at the worker anymore; wait for the chunk
+	// queries it already accepted to finish so their result reads are
+	// served rather than torn.
+	deadline := time.Now().Add(removeQuiesceTimeout)
+	for time.Now().Before(deadline) {
+		if w.QueueLen() == 0 && w.ActiveJobs() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cl.Redirector.Remove(name)
+	cl.memberMu.Lock()
+	delete(cl.workers, name)
+	delete(cl.endpoints, name)
+	delete(cl.removing, name)
+	kept := cl.Workers[:0]
+	for _, ww := range cl.Workers {
+		if ww != w {
+			kept = append(kept, ww)
+		}
+	}
+	cl.Workers = kept
+	cl.memberMu.Unlock()
+	w.Close()
+	return nil
+}
+
+// WorkerNames returns the current membership, in join order. Safe under
+// concurrent AddWorker / RemoveWorker.
+func (cl *Cluster) WorkerNames() []string {
+	cl.memberMu.Lock()
+	defer cl.memberMu.Unlock()
+	out := make([]string, len(cl.Workers))
+	for i, w := range cl.Workers {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// eligibleWorkerNames is WorkerNames minus workers being removed — the
+// set new chunk placements and repair copies may target.
+func (cl *Cluster) eligibleWorkerNames() []string {
+	cl.memberMu.Lock()
+	defer cl.memberMu.Unlock()
+	out := make([]string, 0, len(cl.Workers))
+	for _, w := range cl.Workers {
+		if !cl.removing[w.Name()] {
+			out = append(out, w.Name())
+		}
+	}
+	return out
+}
+
+// deadWorker reports whether the failure detector currently considers
+// the worker dead (false without the subsystem).
+func (cl *Cluster) deadWorker(name string) bool {
+	return cl.member != nil && cl.member.Dead(name)
+}
+
+// partitionedTables names the ingested partitioned tables — what a
+// chunk repair must copy.
+func (cl *Cluster) partitionedTables() []string {
+	return cl.ingestedTables(true)
+}
+
+func (cl *Cluster) ingestedTables(partitioned bool) []string {
+	cl.ingestMu.Lock()
+	defer cl.ingestMu.Unlock()
+	return cl.ingestedTablesLocked(partitioned)
+}
+
+// ingestedTablesLocked is ingestedTables for callers already holding
+// ingestMu (AddWorker holds it across its whole join).
+func (cl *Cluster) ingestedTablesLocked(partitioned bool) []string {
+	var out []string
+	for _, name := range cl.Registry.TableNames() {
+		info, err := cl.Registry.Table(name)
+		if err != nil || info.Partitioned != partitioned {
+			continue
+		}
+		if cl.ingested[strings.ToLower(info.Name)] {
+			out = append(out, info.Name)
+		}
+	}
+	return out
+}
+
+// rehome moves a chunk's fabric export after the replication manager
+// verified a copy and updated placement: the new holder is registered
+// before the old one is deregistered, so the chunk never loses its
+// last live export mid-repair.
+func (cl *Cluster) rehome(chunk partition.ChunkID, from, to string) {
+	cl.memberMu.Lock()
+	epTo := cl.endpoints[to]
+	cl.memberMu.Unlock()
+	if to != "" && epTo != nil {
+		cl.Redirector.Register(epTo, xrd.QueryPath(int(chunk)))
+	}
+	if from != "" {
+		cl.Redirector.Deregister(from, xrd.QueryPath(int(chunk)))
+	}
+}
+
+// seedReplicated copies the given replicated tables onto a fresh
+// worker from the first live peer that can serve each.
+func (cl *Cluster) seedReplicated(w *worker.Worker, tables []string) error {
+	for _, table := range tables {
+		var data []byte
+		var err error
+		copied := false
+		for _, src := range cl.WorkerNames() {
+			if cl.deadWorker(src) {
+				continue
+			}
+			ctx, done := context.WithTimeout(context.Background(), 30*time.Second)
+			data, err = cl.client.ReadFrom(ctx, src, xrd.ReplSharedPath(table))
+			done()
+			if err == nil {
+				copied = true
+				break
+			}
+		}
+		if !copied {
+			return fmt.Errorf("qserv: AddWorker: no live peer could export replicated table %s: %v", table, err)
+		}
+		if err := w.HandleWrite(xrd.ReplSharedPath(table), data); err != nil {
+			return fmt.Errorf("qserv: AddWorker: seed replicated table %s: %w", table, err)
+		}
+	}
+	return nil
+}

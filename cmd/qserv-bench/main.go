@@ -131,6 +131,7 @@ func experiments() []experiment {
 		{"merge-pipeline", "A6: streaming parallel merge + top-K pushdown at the czar", runMergePipeline},
 		{"kill-latency", "A8: Cancel() to worker-slot reclamation on the live path", runKillLatency},
 		{"ingest", "A9: parallel fabric-routed ingest vs serialized shipping", runIngestBench},
+		{"failover", "A10: worker death under load — detect, fail over, self-heal replication", runFailover},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -955,6 +956,180 @@ func runIngestBench(ctx *benchCtx) error {
 		fmt.Printf("  RESULT: WARN — speedup below the 2x target on this run\n")
 	default:
 		fmt.Printf("  RESULT: ok — answers oracle-identical, ingest >= 2x faster in parallel\n")
+	}
+	return nil
+}
+
+// runFailover measures the availability subsystem end to end: a
+// 4-worker cluster at Replication 2 serves a concurrent oracle-checked
+// scan workload while one worker is killed abruptly (its in-flight
+// fabric transactions sever, like a torn TCP peer). Reported:
+// time-to-detect (failure detector marks the worker dead),
+// time-to-repair (the replication manager restores every chunk to full
+// replication on the survivors), and the query success rate across the
+// whole run. Hard gates: every answer oracle-identical, no query lost
+// (replica failover must mask the death), and repair must complete.
+func runFailover(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: 100 + *objectsFlag*4, MeanSourcesPerObject: 0},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 20},
+	)
+	if err != nil {
+		return err
+	}
+	cfg := qserv.DefaultClusterConfig(4)
+	cfg.Replication = 2
+	cfg.HealthInterval = 20 * time.Millisecond
+	cfg.DeadMisses = 2
+	cfg.ScanPieceRows = 256
+	cl, err := qserv.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Load(cat); err != nil {
+		return err
+	}
+	oracle, err := qserv.NewOracle(cfg)
+	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return err
+	}
+
+	battery := []string{
+		"SELECT COUNT(*) AS n FROM Object",
+		"SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId",
+		"SELECT objectId, ra_PS FROM Object ORDER BY ra_PS, objectId LIMIT 10",
+		"SELECT COUNT(*) AS n FROM Object WHERE uFlux_PS > 1e-31",
+	}
+	oracleRows := map[string][]string{}
+	for _, sql := range battery {
+		res, err := oracle.Query(sql)
+		if err != nil {
+			return err
+		}
+		oracleRows[sql] = renderRows(res.Rows, strings.Contains(sql, "ORDER BY"))
+	}
+
+	// The concurrent workload: four streams looping the battery until
+	// told to stop, each answer checked against the oracle.
+	var total, failed, wrong, retries int64
+	var cmu sync.Mutex
+	var firstErr error
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := i; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sql := battery[n%len(battery)]
+				res, err := cl.Query(sql)
+				cmu.Lock()
+				total++
+				if err != nil {
+					failed++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%q: %w", sql, err)
+					}
+				} else {
+					retries += int64(res.Retries)
+					if !sameRendered(renderRows(res.Rows, strings.Contains(sql, "ORDER BY")), oracleRows[sql]) {
+						wrong++
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%q: answer differs from the oracle", sql)
+						}
+					}
+				}
+				cmu.Unlock()
+			}
+		}(i)
+	}
+
+	time.Sleep(100 * time.Millisecond) // warm the workload up
+	victim := cl.Workers[0].Name()
+	t0 := time.Now()
+	cl.Endpoint(victim).SetDown(true)
+
+	// Time to detect: the failure detector marks the victim dead.
+	var detect time.Duration
+	deadline := time.Now().Add(30 * time.Second)
+	for detect == 0 {
+		for _, w := range cl.Status().Workers {
+			if w.Name == victim && w.State == qserv.WorkerDead {
+				detect = time.Since(t0)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("failover: worker never detected dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Time to repair: every chunk back at full replication on survivors.
+	var repair time.Duration
+	for repair == 0 {
+		healed := true
+		for _, c := range cl.Placement.Chunks() {
+			ws := cl.Placement.Workers(c)
+			if len(ws) < cfg.Replication {
+				healed = false
+				break
+			}
+			for _, w := range ws {
+				if w == victim {
+					healed = false
+					break
+				}
+			}
+			if !healed {
+				break
+			}
+		}
+		if healed && cl.Status().Repair.ChunksPending == 0 {
+			repair = time.Since(t0)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("failover: replication not restored (repair %+v)", cl.Status().Repair)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	time.Sleep(100 * time.Millisecond) // post-repair traffic
+	close(stop)
+	wg.Wait()
+
+	st := cl.Status()
+	cmu.Lock()
+	defer cmu.Unlock()
+	okQ := total - failed - wrong
+	fmt.Printf("claim: the availability subsystem masks a worker death and restores the replication factor\n")
+	fmt.Printf("workload: 4 concurrent oracle-checked query streams, 4 workers x replication 2, 1 abrupt kill\n")
+	fmt.Printf("  time to detect (dead after %d missed %v probes): %v\n", cfg.DeadMisses, cfg.HealthInterval, detect.Round(time.Millisecond))
+	fmt.Printf("  time to restore full replication:                %v\n", repair.Round(time.Millisecond))
+	fmt.Printf("  chunks re-homed: %d, tables copied: %d, bytes copied: %d\n",
+		st.Repair.ChunksRepaired, st.Repair.TablesCopied, st.Repair.BytesCopied)
+	fmt.Printf("  queries: %d total, %d ok, %d failed, %d wrong (%.1f%% success), %d replica failovers\n",
+		total, okQ, failed, wrong, 100*float64(okQ)/float64(total), retries)
+	switch {
+	case wrong > 0:
+		fmt.Printf("  RESULT: FAIL — a query answered differently from the oracle\n")
+		return fmt.Errorf("failover: %d wrong answers; first: %v", wrong, firstErr)
+	case failed > 0:
+		fmt.Printf("  RESULT: FAIL — a query was lost despite replication\n")
+		return fmt.Errorf("failover: %d failed queries; first: %v", failed, firstErr)
+	case st.Repair.ChunksRepaired == 0:
+		fmt.Printf("  RESULT: FAIL — no chunk was re-homed\n")
+		return fmt.Errorf("failover: repair did nothing")
+	default:
+		fmt.Printf("  RESULT: ok — death masked, answers oracle-identical, replication restored\n")
 	}
 	return nil
 }

@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/czar"
 	"repro/internal/deploy"
+	"repro/internal/member"
+	"repro/internal/partition"
 	"repro/internal/proxy"
 	"repro/internal/xrd"
 )
@@ -72,6 +74,42 @@ func main() {
 	// Close cancels and drains in-flight queries, so workers' scan
 	// slots are released before the proxy stops answering.
 	defer cz.Close()
+
+	// The availability subsystem: the detector pings every worker over
+	// /ping (dispatch then skips dead ones; the TCP lanes' dial backoff
+	// keeps dead-peer probing cheap) and the replication manager
+	// re-homes chunks when replicas exist to copy from. The deploy
+	// layout is replication 1, so a death shows up as pending repairs
+	// in SHOW REPAIRS rather than silent timeouts.
+	var partitioned []string
+	for _, name := range layout.Registry.TableNames() {
+		if info, err := layout.Registry.Table(name); err == nil && info.Partitioned {
+			partitioned = append(partitioned, info.Name)
+		}
+	}
+	mgr := member.NewManager(member.Config{
+		Repair: member.RepairConfig{
+			Factor:     1,
+			Tables:     func() []string { return partitioned },
+			Candidates: func() []string { return names },
+			Rehome: func(chunk partition.ChunkID, from, to string) {
+				if to != "" {
+					if ep, err := red.Endpoint(to); err == nil {
+						red.Register(ep, xrd.QueryPath(int(chunk)))
+					}
+				}
+				if from != "" {
+					red.Deregister(from, xrd.QueryPath(int(chunk)))
+				}
+			},
+		},
+		SelfHeal: true,
+	}, xrd.NewClient(red), layout.Placement)
+	mgr.Watch(names...)
+	cz.SetMembership(mgr)
+	mgr.Start()
+	defer mgr.Close()
+
 	srv, err := proxy.Serve(*listenFlag, cz)
 	if err != nil {
 		log.Fatal(err)
@@ -81,6 +119,7 @@ func main() {
 		len(addrs), len(layout.Placement.Chunks()), srv.Addr())
 	fmt.Printf("connect with: qserv-sql -addr %s\n", srv.Addr())
 	fmt.Printf("manage queries with: SHOW PROCESSLIST; KILL <id>;\n")
+	fmt.Printf("watch the cluster with: SHOW WORKERS; SHOW REPAIRS;\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

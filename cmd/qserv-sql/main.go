@@ -7,7 +7,11 @@
 // Besides SQL, the proxy answers the query-management commands of the
 // paper's section 5: `SHOW PROCESSLIST;` lists in-flight queries (id,
 // czar, scheduling class, age, chunk progress) and `KILL <id>;` cancels
-// one — the kill propagates down to the workers' scan lanes.
+// one — the kill propagates down to the workers' scan lanes. The
+// availability subsystem is observable the same way: `SHOW WORKERS;`
+// lists per-worker health (alive / suspect / dead, consecutive misses,
+// chunk counts) and `SHOW REPAIRS;` the replication manager's progress
+// and the placement epoch.
 package main
 
 import (
@@ -43,7 +47,8 @@ func main() {
 	}
 
 	fmt.Println("qserv-sql — type SQL statements terminated by ';', or 'quit'")
-	fmt.Println("           (SHOW PROCESSLIST; lists running queries, KILL <id>; cancels one)")
+	fmt.Println("           (SHOW PROCESSLIST; lists running queries, KILL <id>; cancels one,")
+	fmt.Println("            SHOW WORKERS; lists worker health, SHOW REPAIRS; repair progress)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

@@ -12,6 +12,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
 	"repro/internal/sqlengine"
+	"repro/internal/worker"
 	"repro/internal/xrd"
 )
 
@@ -95,9 +96,9 @@ func (cl *Cluster) CreateTables(spec CatalogSpec) error {
 		return err
 	}
 	ctx := context.Background()
-	for _, w := range cl.Workers {
-		if err := cl.client.WriteTo(ctx, w.Name(), xrd.LoadSpecPath, payload); err != nil {
-			return fmt.Errorf("qserv: create tables on worker %s: %w", w.Name(), err)
+	for _, name := range cl.WorkerNames() {
+		if err := cl.client.WriteTo(ctx, name, xrd.LoadSpecPath, payload); err != nil {
+			return fmt.Errorf("qserv: create tables on worker %s: %w", name, err)
 		}
 	}
 	return nil
@@ -216,7 +217,11 @@ func (cl *Cluster) ingestPartitioned(ctx context.Context, info *meta.TableInfo, 
 	shipped := map[partition.ChunkID]bool{}
 	ship := func(c partition.ChunkID, b ingest.Batch) error {
 		shipped[c] = true
-		for _, name := range cl.ingestPlacement(c) {
+		names, err := cl.ingestPlacement(c)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
 			stats.Batches++
 			if err := sh.send(name, shipment{
 				path:  xrd.LoadPath(info.Name, int(c)),
@@ -248,7 +253,10 @@ func (cl *Cluster) ingestPartitioned(ctx context.Context, info *meta.TableInfo, 
 			seen[c] = true
 			// A director row places its chunk the moment it appears;
 			// child rows only ever land on placed chunks.
-			cl.ingestPlacement(c)
+			if _, err := cl.ingestPlacement(c); err != nil {
+				sh.abort(err)
+				break
+			}
 		}
 		p := pend(c)
 		p.rows = append(p.rows, full)
@@ -341,9 +349,9 @@ func (cl *Cluster) ingestReplicated(ctx context.Context, info *meta.TableInfo, s
 	stats.Rows = int64(len(rows))
 
 	sh := cl.newShipper(ctx, info.Name)
-	for _, w := range cl.Workers {
+	for _, name := range cl.WorkerNames() {
 		stats.Batches++
-		if err := sh.send(w.Name(), shipment{
+		if err := sh.send(name, shipment{
 			path:  xrd.LoadSharedPath(info.Name),
 			batch: ingest.Batch{Rows: rows},
 			desc:  fmt.Sprintf("replicated table %s", info.Name),
@@ -375,23 +383,36 @@ func (cl *Cluster) ingestReplicated(ctx context.Context, info *meta.TableInfo, s
 // replicas deterministically (chunk id modulo the worker ring, so
 // consecutive chunks land on different nodes — the round-robin skew
 // spreading of paper section 4.4) and registering the chunk's fabric
-// export the first time the chunk appears.
-func (cl *Cluster) ingestPlacement(c partition.ChunkID) []string {
-	cl.placeMu.Lock()
-	defer cl.placeMu.Unlock()
+// export the first time the chunk appears. Workers the failure
+// detector considers dead are skipped: a new chunk must not be homed
+// on a node that cannot accept its rows. Too few live workers for the
+// replication factor is an immediate, named error — not a lane
+// timeout per batch.
+func (cl *Cluster) ingestPlacement(c partition.ChunkID) ([]string, error) {
+	cl.memberMu.Lock()
+	defer cl.memberMu.Unlock()
 	if ws := cl.Placement.Workers(c); len(ws) > 0 {
-		return ws
+		return ws, nil
 	}
-	n := len(cl.Workers)
+	live := make([]*worker.Worker, 0, len(cl.Workers))
+	for _, w := range cl.Workers {
+		if !cl.deadWorker(w.Name()) && !cl.removing[w.Name()] {
+			live = append(live, w)
+		}
+	}
+	if len(live) < cl.Config.Replication {
+		return nil, fmt.Errorf("qserv: ingest: chunk %d needs %d replicas but only %d of %d workers are live",
+			c, cl.Config.Replication, len(live), len(cl.Workers))
+	}
 	reps := make([]string, 0, cl.Config.Replication)
 	for r := 0; r < cl.Config.Replication; r++ {
-		reps = append(reps, cl.Workers[(int(c)+r)%n].Name())
+		reps = append(reps, live[(int(c)+r)%len(live)].Name())
 	}
 	cl.Placement.Assign(c, reps...)
 	for _, name := range reps {
 		cl.Redirector.Register(cl.endpoints[name], xrd.QueryPath(int(c)))
 	}
-	return reps
+	return reps, nil
 }
 
 // rowPlacer performs the per-row partition decisions of one ingest:
@@ -528,7 +549,7 @@ type shipper struct {
 func (cl *Cluster) newShipper(ctx context.Context, table string) *shipper {
 	par := cl.Config.IngestParallelism
 	if par <= 0 {
-		par = len(cl.Workers)
+		par = len(cl.WorkerNames())
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	return &shipper{
@@ -567,12 +588,19 @@ func (s *shipper) send(worker string, sh shipment) error {
 	}
 }
 
-// lane ships one worker's batches in order.
+// lane ships one worker's batches in order. A worker the failure
+// detector declared dead fails the ingest immediately with an error
+// naming the worker and the shipment (table + chunk), instead of
+// timing the lane out batch by batch.
 func (s *shipper) lane(worker string, ch chan shipment) {
 	defer s.wg.Done()
 	for sh := range ch {
 		if s.failed() {
 			continue // drain
+		}
+		if s.cl.deadWorker(worker) {
+			s.abort(fmt.Errorf("qserv: ingest %s: worker %s is dead; %s not shipped", s.table, worker, sh.desc))
+			continue
 		}
 		select {
 		case s.sem <- struct{}{}:

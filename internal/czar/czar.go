@@ -20,12 +20,14 @@ package czar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/member"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sqlengine"
@@ -78,6 +80,12 @@ type Czar struct {
 	// mergeSem gates concurrent decode+fold work at MergeParallelism.
 	mergeSem chan struct{}
 
+	// membership, when installed, is the availability subsystem's view
+	// of the cluster: dispatch consults Dead to order replicas around
+	// known-dead workers, and the proxy's SHOW WORKERS reads Status.
+	// Without one (nil), dispatch behaves exactly as before.
+	membership Membership
+
 	seq atomic.Int64
 
 	// The in-flight query registry (see session.go).
@@ -121,6 +129,28 @@ func New(cfg Config, registry *meta.Registry, index *meta.ObjectIndex,
 
 // Engine exposes the czar-local engine (for loading replicated tables).
 func (c *Czar) Engine() *sqlengine.Engine { return c.engine }
+
+// Membership is the czar's window into the availability subsystem
+// (*member.Manager implements it): Dead drives health-aware replica
+// ordering in dispatch, Status feeds SHOW WORKERS.
+type Membership interface {
+	Dead(worker string) bool
+	Status() member.Status
+}
+
+// SetMembership installs the availability subsystem's view. Call it at
+// assembly time, before the czar serves queries; a nil membership (the
+// default) keeps the pre-availability dispatch behavior.
+func (c *Czar) SetMembership(m Membership) { c.membership = m }
+
+// ClusterStatus reports cluster availability when a membership is
+// installed; ok is false otherwise.
+func (c *Czar) ClusterStatus() (member.Status, bool) {
+	if c.membership == nil {
+		return member.Status{}, false
+	}
+	return c.membership.Status(), true
+}
 
 // QueryResult is a final answer plus execution accounting.
 type QueryResult struct {
@@ -291,7 +321,23 @@ func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk pa
 	resultPath := xrd.ResultPath(payload)
 	cancelPath := xrd.WithQID(xrd.CancelPath(xrd.ResultHash(payload)), qid)
 
+	// Health-aware replica ordering: replicas the failure detector
+	// knows are dead are excluded up front, so a dead worker costs the
+	// query one map entry instead of a full dispatch timeout per chunk.
+	// The skip is remembered separately from read-failure avoidance: if
+	// it excludes *every* replica the detector may be wrong (a
+	// recovering worker is probed back in asynchronously), and the
+	// skipped replicas get one fallback chance before the chunk fails.
 	avoid := map[string]bool{}
+	var skippedDead []string
+	if c.membership != nil {
+		for _, name := range c.client.Replicas(queryPath) {
+			if c.membership.Dead(name) {
+				avoid[name] = true
+				skippedDead = append(skippedDead, name)
+			}
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxRetriesPerChunk; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -299,6 +345,20 @@ func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk pa
 		}
 		endpoint, err := c.client.WriteAvoiding(ctx, writePath, payload, avoid)
 		if err != nil {
+			if len(skippedDead) > 0 && errors.Is(err, xrd.ErrNoServer) && ctx.Err() == nil {
+				for _, name := range skippedDead {
+					delete(avoid, name)
+				}
+				// Restoring the skipped replicas is bookkeeping, not a
+				// dispatch: it must not consume an attempt (else
+				// MaxRetriesPerChunk=1 would fail without ever
+				// dispatching). skippedDead is nil now, so this branch
+				// runs at most once.
+				skippedDead = nil
+				lastErr = err
+				attempt--
+				continue
+			}
 			if ctx.Err() != nil {
 				// The kill aborted the write mid-transaction: the chunk
 				// query may have reached a worker anyway (the abort can

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/member"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
@@ -203,5 +204,111 @@ func TestResultTableCleanup(t *testing.T) {
 		if strings.HasPrefix(name, "r_") {
 			t.Errorf("staging table leaked: %s", name)
 		}
+	}
+}
+
+// fakeMembership marks scripted workers dead.
+type fakeMembership struct{ dead map[string]bool }
+
+func (f fakeMembership) Dead(w string) bool    { return f.dead[w] }
+func (f fakeMembership) Status() member.Status { return member.Status{} }
+
+// replicatedMini wires one czar to two workers that BOTH hold the same
+// chunk (replication 2), registered with wA first so dispatch would
+// try it first.
+func replicatedMini(t *testing.T) (*Czar, *worker.Worker, *worker.Worker, partition.ChunkID) {
+	t.Helper()
+	ch, err := partition.NewChunker(partition.Config{
+		NumStripes: 18, NumSubStripesPerStripe: 4, Overlap: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := datagen.LSSTRegistry(ch)
+	info, err := reg.Table("Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := xrd.NewRedirector()
+	index := meta.NewObjectIndex()
+	placement := meta.NewPlacement()
+
+	c, s := ch.Locate(sphgeom.NewPoint(30, 0))
+	rows := []sqlengine.Row{
+		{int64(1), 30.0, 0.0, 1e-28, 1e-28, 1e-28, 1e-28, 1e-28, 1e-28, 2e-28, 0.05, int64(c), int64(s)},
+		{int64(2), 30.2, 0.1, 1e-28, 1e-28, 1e-28, 1e-28, 1e-28, 1e-28, 2e-28, 0.05, int64(c), int64(s)},
+	}
+	var ws []*worker.Worker
+	for _, name := range []string{"wA", "wB"} {
+		w := worker.New(worker.DefaultConfig(name), reg)
+		t.Cleanup(w.Close)
+		if err := w.LoadChunk(info, c, rows, nil); err != nil {
+			t.Fatal(err)
+		}
+		red.Register(xrd.NewLocalEndpoint(name, w), xrd.QueryPath(int(c)), "/result")
+		ws = append(ws, w)
+	}
+	placement.Assign(c, "wA", "wB")
+	cz := New(DefaultConfig("czar-health"), reg, index, placement, red)
+	return cz, ws[0], ws[1], c
+}
+
+// TestHealthAwareDispatchSkipsDead: with a membership installed, a
+// replica the detector knows is dead receives no dispatch at all — it
+// costs the chunk one avoid-map entry, not a timed-out transaction.
+func TestHealthAwareDispatchSkipsDead(t *testing.T) {
+	cz, wA, wB, _ := replicatedMini(t)
+	cz.SetMembership(fakeMembership{dead: map[string]bool{"wA": true}})
+	res, err := cz.Query("SELECT COUNT(*) FROM Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if n := len(wA.Reports()); n != 0 {
+		t.Fatalf("dead-marked replica executed %d chunk queries", n)
+	}
+	if n := len(wB.Reports()); n == 0 {
+		t.Fatal("surviving replica executed nothing")
+	}
+}
+
+// TestHealthFalsePositiveFallsBack: when the detector (wrongly) writes
+// off every replica of a chunk, dispatch gives the skipped replicas one
+// fallback chance instead of failing the query — the detector may lag
+// a recovery.
+func TestHealthFalsePositiveFallsBack(t *testing.T) {
+	cz, wA, wB, _ := replicatedMini(t)
+	cz.SetMembership(fakeMembership{dead: map[string]bool{"wA": true, "wB": true}})
+	res, err := cz.Query("SELECT COUNT(*) FROM Object")
+	if err != nil {
+		t.Fatalf("query should fall back to detector-dead replicas: %v", err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if len(wA.Reports())+len(wB.Reports()) == 0 {
+		t.Fatal("fallback executed nothing")
+	}
+}
+
+// TestNoMembershipKeepsLegacyDispatch: without a membership the avoid
+// set starts empty and the first registered replica serves, exactly as
+// before the availability subsystem existed.
+func TestNoMembershipKeepsLegacyDispatch(t *testing.T) {
+	cz, wA, _, _ := replicatedMini(t)
+	res, err := cz.Query("SELECT COUNT(*) FROM Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 2 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if len(wA.Reports()) == 0 {
+		t.Fatal("first replica should have served the chunk")
+	}
+	if _, ok := cz.ClusterStatus(); ok {
+		t.Fatal("ClusterStatus without membership should report ok=false")
 	}
 }

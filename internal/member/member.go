@@ -1,0 +1,163 @@
+// Package member is the cluster availability subsystem: membership,
+// health, and self-healing replication.
+//
+// The paper (section 5.1.2) leans on xrootd for fault tolerance — a
+// dead worker's chunks are answered by replicas — but replica failover
+// alone only masks a failure: every query still probes the dead worker,
+// and the replication factor stays degraded until an operator
+// intervenes. This package closes that loop with three cooperating
+// pieces:
+//
+//   - a Detector: a czar-side failure detector that polls every worker
+//     concurrently over the fabric's lightweight /ping transaction and
+//     maintains per-worker state (alive / suspect / dead, driven by
+//     consecutive-miss thresholds). Dispatch consults it so replica
+//     ordering skips known-dead workers instead of burning a timeout
+//     per chunk. Dead workers keep being probed — the quarantine
+//     expires at the first successful ping, so a recovered worker is
+//     routed to again without operator action.
+//
+//   - a Repairer: a replication manager that audits placement against
+//     health and, when a worker dies (or is drained for removal),
+//     copies each under-replicated chunk's tables — chunk table,
+//     overlap companion, director-key index rebuilt on arrival — from
+//     a surviving replica to a live target over the fabric's /repl
+//     transaction, verifies the copy by reading it back, and only then
+//     re-homes the chunk in meta.Placement (bumping the placement
+//     epoch) and moves the fabric export. Queries keep answering
+//     correctly mid-repair: a target starts serving a chunk only after
+//     its copy is verified.
+//
+//   - a Manager bundling the two: the single handle the cluster wires
+//     into the czar (health-aware dispatch, SHOW WORKERS) and the
+//     public Cluster.AddWorker / RemoveWorker / Status API.
+package member
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/meta"
+	"repro/internal/xrd"
+)
+
+// Config assembles a Manager.
+type Config struct {
+	// Detector configures the failure detector.
+	Detector DetectorConfig
+	// Repair configures the replication manager.
+	Repair RepairConfig
+	// SelfHeal enables the replication manager; without it the Manager
+	// only detects (dispatch still skips dead workers, but a lost
+	// worker permanently drops the replication factor).
+	SelfHeal bool
+}
+
+// Status is a point-in-time snapshot of cluster availability.
+type Status struct {
+	// Epoch is the placement epoch: a counter bumped by every placement
+	// mutation (ingest assignment, repair re-home, drain). Two Status
+	// snapshots with equal epochs saw identical chunk→worker maps.
+	Epoch int64
+	// Workers lists per-worker health, sorted by name.
+	Workers []WorkerStatus
+	// Repair is the replication manager's cumulative progress.
+	Repair RepairProgress
+}
+
+// Manager bundles the failure detector and the replication manager
+// behind one handle. The czar consults Dead for dispatch ordering and
+// Status for SHOW WORKERS; the cluster drives Watch/Unwatch/Drain from
+// its membership API.
+type Manager struct {
+	det       *Detector
+	rep       *Repairer
+	placement *meta.Placement
+}
+
+// NewManager wires a detector (and, with cfg.SelfHeal, a repairer)
+// over the given fabric client and placement. Call Start to begin
+// probing; Close to stop.
+func NewManager(cfg Config, client *xrd.Client, placement *meta.Placement) *Manager {
+	det := NewDetector(cfg.Detector, FabricPinger{Client: client})
+	m := &Manager{det: det, placement: placement}
+	if cfg.SelfHeal {
+		m.rep = NewRepairer(cfg.Repair, client, placement, det)
+		// Health transitions drive repair: a death kicks an immediate
+		// audit, and a recovery re-audits chunks whose repair failed for
+		// want of a source or target.
+		det.OnTransition(func(worker string, from, to State) {
+			if to == StateDead || from == StateDead {
+				m.rep.CheckNow()
+			}
+		})
+	}
+	return m
+}
+
+// Watch adds workers to the probed set (as alive).
+func (m *Manager) Watch(names ...string) { m.det.Watch(names...) }
+
+// Unwatch stops probing a worker (decommissioning).
+func (m *Manager) Unwatch(name string) { m.det.Unwatch(name) }
+
+// Start begins background probing and repair.
+func (m *Manager) Start() {
+	if m.rep != nil {
+		m.rep.Start()
+	}
+	m.det.Start()
+}
+
+// Close stops probing and repair, waiting for in-flight rounds.
+func (m *Manager) Close() {
+	m.det.Close()
+	if m.rep != nil {
+		m.rep.Close()
+	}
+}
+
+// Dead reports whether the failure detector currently considers the
+// worker dead. Unknown workers are not dead.
+func (m *Manager) Dead(name string) bool { return m.det.Dead(name) }
+
+// State returns the detector's state for a worker.
+func (m *Manager) State(name string) (State, bool) { return m.det.State(name) }
+
+// CheckNow kicks an immediate placement-vs-health audit (no-op without
+// self-healing). The cluster calls it after AddWorker so chunks whose
+// repair previously failed for want of a target are retried at once.
+func (m *Manager) CheckNow() {
+	if m.rep != nil {
+		m.rep.CheckNow()
+	}
+}
+
+// Drain gracefully decommissions a worker: every chunk it holds is
+// re-replicated onto other live workers (verified copies, placement
+// re-homed chunk by chunk) before the caller detaches it. A worker
+// holding no chunks drains trivially even without self-healing.
+func (m *Manager) Drain(ctx context.Context, worker string) error {
+	if m.rep == nil {
+		if len(m.placement.ChunksOn(worker)) == 0 {
+			return nil
+		}
+		return fmt.Errorf("member: cannot drain %s: self-healing is disabled and the worker still holds chunks", worker)
+	}
+	return m.rep.Drain(ctx, worker)
+}
+
+// Status snapshots per-worker health, chunk counts, repair progress,
+// and the placement epoch.
+func (m *Manager) Status() Status {
+	st := Status{Epoch: m.placement.Epoch()}
+	counts := m.placement.Counts()
+	for _, h := range m.det.Snapshot() {
+		h.Chunks = counts[h.Name]
+		st.Workers = append(st.Workers, h)
+	}
+	if m.rep != nil {
+		st.Repair = m.rep.Progress()
+	}
+	return st
+}

@@ -1,0 +1,313 @@
+package member
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/xrd"
+)
+
+// RepairConfig tunes the replication manager.
+type RepairConfig struct {
+	// Factor is the replication factor repair restores.
+	Factor int
+	// OpTimeout bounds each fabric transaction of a copy (default 30s).
+	OpTimeout time.Duration
+	// SweepInterval is the periodic placement-vs-health audit period
+	// (default 5s); health transitions and CheckNow kick an immediate
+	// sweep on top of it.
+	SweepInterval time.Duration
+	// Tables names the partitioned tables whose chunk tables a repair
+	// copies: the cluster supplies every ingested partitioned table.
+	Tables func() []string
+	// Candidates names the current cluster members eligible as repair
+	// targets (the repairer filters out dead ones and current holders).
+	Candidates func() []string
+	// Rehome is called after a verified copy moved a chunk replica and
+	// placement was updated: the hook moves the chunk's fabric export
+	// (register `to` first, deregister `from` last, so the chunk is
+	// never without a live export). from or to may be empty when a
+	// replica was only added or only dropped.
+	Rehome func(chunk partition.ChunkID, from, to string)
+}
+
+func (c RepairConfig) withDefaults() RepairConfig {
+	if c.Factor < 1 {
+		c.Factor = 1
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 30 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 5 * time.Second
+	}
+	return c
+}
+
+// RepairProgress is the replication manager's cumulative accounting.
+type RepairProgress struct {
+	// ChunksRepaired counts verified chunk re-homes since startup.
+	ChunksRepaired int
+	// ChunksPending counts chunks the last audit left under-replicated
+	// (no live source or target yet); they are retried on the next
+	// sweep.
+	ChunksPending int
+	// TablesCopied / BytesCopied meter the copy traffic.
+	TablesCopied int
+	BytesCopied  int64
+	// LastError is the most recent repair failure, empty when the last
+	// audit found nothing broken.
+	LastError string
+}
+
+// Repairer is the replication manager: it audits placement against the
+// failure detector and restores under-replicated chunks by copying
+// their tables over the fabric's /repl transaction.
+type Repairer struct {
+	cfg       RepairConfig
+	client    *xrd.Client
+	placement *meta.Placement
+	det       *Detector
+
+	// runMu serializes sweeps and drains: both walk and mutate
+	// placement chunk by chunk.
+	runMu sync.Mutex
+
+	mu   sync.Mutex
+	prog RepairProgress
+
+	kick     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRepairer creates a replication manager; Start launches its audit
+// loop (tests may call Sweep directly instead).
+func NewRepairer(cfg RepairConfig, client *xrd.Client, placement *meta.Placement, det *Detector) *Repairer {
+	return &Repairer{
+		cfg:       cfg.withDefaults(),
+		client:    client,
+		placement: placement,
+		det:       det,
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start launches the background audit loop.
+func (r *Repairer) Start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+// Close stops the audit loop, waiting for an in-flight sweep.
+func (r *Repairer) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// CheckNow kicks an immediate audit (coalesced if one is pending).
+func (r *Repairer) CheckNow() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Progress returns the cumulative repair accounting.
+func (r *Repairer) Progress() RepairProgress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prog
+}
+
+func (r *Repairer) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+		case <-t.C:
+		}
+		r.Sweep()
+	}
+}
+
+// Sweep audits every placed chunk once: chunks with fewer than Factor
+// live replicas are repaired (copy, verify, re-home). The loop calls it
+// on kicks and ticks; tests call it directly.
+func (r *Repairer) Sweep() {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	pending := 0
+	var lastErr string
+	for _, c := range r.placement.Chunks() {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		if err := r.repairChunk(c, ""); err != nil {
+			pending++
+			lastErr = err.Error()
+		}
+	}
+	r.mu.Lock()
+	r.prog.ChunksPending = pending
+	r.prog.LastError = lastErr
+	r.mu.Unlock()
+}
+
+// Drain re-replicates every chunk the worker holds onto other live
+// workers, removing the worker from placement chunk by chunk. It fails
+// on the first chunk that cannot be moved (leaving already-moved chunks
+// moved — the drain can be retried).
+func (r *Repairer) Drain(ctx context.Context, worker string) error {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	for _, c := range r.placement.ChunksOn(worker) {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
+		if err := r.repairChunk(c, worker); err != nil {
+			return fmt.Errorf("member: drain %s: %w", worker, err)
+		}
+	}
+	return nil
+}
+
+// repairChunk restores one chunk to Factor live replicas. drain names a
+// worker being decommissioned: it never counts toward the factor and is
+// never a target, but — being alive — it may serve as the copy source.
+func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
+	holders := r.placement.Workers(c)
+	var alive, victims []string
+	for _, h := range holders {
+		switch {
+		case h == drain:
+			victims = append(victims, h)
+		case r.det != nil && r.det.Dead(h):
+			victims = append(victims, h)
+		default:
+			alive = append(alive, h)
+		}
+	}
+	needed := r.cfg.Factor - len(alive)
+	if needed <= 0 {
+		if drain != "" {
+			// Enough live replicas without the drained worker: drop it.
+			for _, v := range victims {
+				r.placement.Remove(c, v)
+				r.rehome(c, v, "")
+			}
+		}
+		return nil
+	}
+	if len(alive) == 0 && drain == "" {
+		return fmt.Errorf("member: chunk %d: no surviving replica (holders %v)", c, holders)
+	}
+	for needed > 0 {
+		source := drain
+		if len(alive) > 0 {
+			source = alive[0]
+		}
+		target := r.pickTarget(holders)
+		if target == "" {
+			return fmt.Errorf("member: chunk %d: no live worker available as a repair target", c)
+		}
+		if err := r.copyChunk(source, target, c); err != nil {
+			return err
+		}
+		// The copy is verified: re-home the replica. Placement first
+		// (atomic per chunk, epoch bump), then the fabric export via the
+		// hook — surviving replicas keep serving throughout, so queries
+		// stay correct mid-repair.
+		victim := ""
+		if len(victims) > 0 {
+			victim, victims = victims[0], victims[1:]
+		}
+		r.placement.Replace(c, victim, target)
+		r.rehome(c, victim, target)
+		alive = append(alive, target)
+		holders = append(holders, target)
+		needed--
+		r.mu.Lock()
+		r.prog.ChunksRepaired++
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+func (r *Repairer) rehome(c partition.ChunkID, from, to string) {
+	if r.cfg.Rehome != nil {
+		r.cfg.Rehome(c, from, to)
+	}
+}
+
+// pickTarget chooses the live non-holder with the fewest chunks.
+func (r *Repairer) pickTarget(holders []string) string {
+	holding := map[string]bool{}
+	for _, h := range holders {
+		holding[h] = true
+	}
+	var candidates []string
+	if r.cfg.Candidates != nil {
+		candidates = r.cfg.Candidates()
+	}
+	counts := r.placement.Counts()
+	best, bestLoad := "", -1
+	for _, w := range candidates {
+		if holding[w] || (r.det != nil && r.det.Dead(w)) {
+			continue
+		}
+		if load := counts[w]; best == "" || load < bestLoad {
+			best, bestLoad = w, load
+		}
+	}
+	return best
+}
+
+// copyChunk copies every partitioned table's chunk data from source to
+// target over /repl and verifies each table by reading it back: the
+// target's re-export must be byte-identical (the codec is deterministic
+// and /repl installs preserve row order).
+func (r *Repairer) copyChunk(source, target string, c partition.ChunkID) error {
+	var tables []string
+	if r.cfg.Tables != nil {
+		tables = r.cfg.Tables()
+	}
+	for _, tbl := range tables {
+		path := xrd.ReplPath(tbl, int(c))
+		ctx, done := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+		data, err := r.client.ReadFrom(ctx, source, path)
+		if err == nil {
+			err = r.client.WriteTo(ctx, target, path, data)
+		}
+		var back []byte
+		if err == nil {
+			back, err = r.client.ReadFrom(ctx, target, path)
+		}
+		done()
+		if err != nil {
+			return fmt.Errorf("member: repair chunk %d table %s (%s -> %s): %w", c, tbl, source, target, err)
+		}
+		if !bytes.Equal(data, back) {
+			return fmt.Errorf("member: repair chunk %d table %s (%s -> %s): copy verification failed (%d bytes out, %d back)",
+				c, tbl, source, target, len(data), len(back))
+		}
+		r.mu.Lock()
+		r.prog.TablesCopied++
+		r.prog.BytesCopied += int64(len(data))
+		r.mu.Unlock()
+	}
+	return nil
+}

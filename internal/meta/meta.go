@@ -206,9 +206,13 @@ func FilterSchema() sqlengine.Schema {
 }
 
 // Placement maps chunks to the workers storing them (with replication).
+// Every mutation bumps the placement epoch, so observers (repair
+// verification, Cluster.Status) can tell whether the chunk→worker map
+// changed between two reads without diffing it.
 type Placement struct {
 	mu     sync.RWMutex
 	assign map[partition.ChunkID][]string
+	epoch  int64
 }
 
 // NewPlacement creates an empty placement.
@@ -252,6 +256,54 @@ func (p *Placement) Assign(c partition.ChunkID, workers ...string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.assign[c] = append([]string(nil), workers...)
+	p.epoch++
+}
+
+// Replace swaps old for new in a chunk's replica set, in place (the
+// replica keeps its failover rank). When old is absent — including
+// old == "" — new is appended instead, growing the set. The mutation
+// is atomic per chunk: readers see either the old or the new replica
+// set, never a partial one.
+func (p *Placement) Replace(c partition.ChunkID, old, new string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := p.assign[c]
+	replaced := false
+	for i, w := range ws {
+		if w == old {
+			ws[i] = new
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		p.assign[c] = append(ws, new)
+	}
+	p.epoch++
+}
+
+// Remove drops a worker from a chunk's replica set (graceful drain of
+// an over-covered chunk).
+func (p *Placement) Remove(c partition.ChunkID, worker string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := p.assign[c]
+	kept := ws[:0]
+	for _, w := range ws {
+		if w != worker {
+			kept = append(kept, w)
+		}
+	}
+	p.assign[c] = kept
+	p.epoch++
+}
+
+// Epoch returns the mutation counter: it advances on every Assign,
+// Replace, and Remove.
+func (p *Placement) Epoch() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.epoch
 }
 
 // Chunks returns all placed chunks in increasing order.
@@ -280,6 +332,21 @@ func (p *Placement) ChunksOn(worker string) []partition.ChunkID {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counts returns how many chunks each worker holds, in one pass over
+// the assignment map. Polled paths (Cluster.Status, repair target
+// selection) use it instead of one ChunksOn scan per worker.
+func (p *Placement) Counts() map[string]int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := map[string]int{}
+	for _, ws := range p.assign {
+		for _, w := range ws {
+			out[w]++
+		}
+	}
 	return out
 }
 

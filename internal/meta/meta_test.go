@@ -259,3 +259,38 @@ func TestConcurrentIndexAccess(t *testing.T) {
 		t.Errorf("len = %d, want 2000", ix.Len())
 	}
 }
+
+func TestPlacementMutation(t *testing.T) {
+	p := NewPlacement()
+	if p.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", p.Epoch())
+	}
+	p.Assign(5, "w0", "w1")
+	e1 := p.Epoch()
+	if e1 == 0 {
+		t.Fatal("Assign did not bump the epoch")
+	}
+
+	// Replace swaps in place, preserving failover rank.
+	p.Replace(5, "w0", "w2")
+	if got := p.Workers(5); len(got) != 2 || got[0] != "w2" || got[1] != "w1" {
+		t.Fatalf("after Replace: %v", got)
+	}
+	if p.Epoch() <= e1 {
+		t.Fatal("Replace did not bump the epoch")
+	}
+
+	// An absent old (including "") appends.
+	p.Replace(5, "", "w3")
+	if got := p.Workers(5); len(got) != 3 || got[2] != "w3" {
+		t.Fatalf("after append Replace: %v", got)
+	}
+
+	p.Remove(5, "w1")
+	if got := p.Workers(5); len(got) != 2 || got[0] != "w2" || got[1] != "w3" {
+		t.Fatalf("after Remove: %v", got)
+	}
+	if got := p.ChunksOn("w1"); len(got) != 0 {
+		t.Fatalf("ChunksOn removed worker: %v", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/czar"
+	"repro/internal/member"
 	"repro/internal/sqlengine"
 )
 
@@ -39,6 +40,10 @@ type Backend interface {
 	Running() []czar.QueryInfo
 	// Kill cancels an in-flight query by id.
 	Kill(id int64) bool
+	// ClusterStatus reports cluster availability (worker health, chunk
+	// counts, repair progress); ok is false when the backend has no
+	// membership subsystem wired.
+	ClusterStatus() (member.Status, bool)
 }
 
 // Server serves SQL over TCP, round-robining across backends.
@@ -169,13 +174,44 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// admin intercepts the query-management commands — `SHOW PROCESSLIST`
-// and `KILL <id>` — before backend dispatch, since both address every
-// czar behind the proxy, not whichever the round-robin lands on.
-// handled is false for ordinary SQL.
+// admin intercepts the query-management commands — `SHOW PROCESSLIST`,
+// `SHOW WORKERS`, `SHOW REPAIRS`, and `KILL <id>` — before backend
+// dispatch, since they address every czar behind the proxy, not
+// whichever the round-robin lands on. handled is false for ordinary
+// SQL.
 func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, handled bool, err error) {
 	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
 	switch {
+	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "WORKERS"):
+		// Worker health comes from whichever backend has the
+		// availability subsystem wired; backends share one cluster, so
+		// the first wired view is the view.
+		st, ok := s.clusterStatus()
+		if !ok {
+			return nil, nil, true, fmt.Errorf("proxy: no availability subsystem is wired (SHOW WORKERS needs a czar with membership)")
+		}
+		cols = []string{"Worker", "State", "Chunks", "Misses", "LastSeen", "LastError"}
+		for _, w := range st.Workers {
+			lastSeen := "never"
+			if !w.LastSeen.IsZero() {
+				lastSeen = time.Since(w.LastSeen).Round(time.Millisecond).String() + " ago"
+			}
+			rows = append(rows, []sqlengine.Value{
+				w.Name, w.State.String(), int64(w.Chunks), int64(w.Misses), lastSeen, w.LastErr,
+			})
+		}
+		return cols, rows, true, nil
+	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "REPAIRS"):
+		st, ok := s.clusterStatus()
+		if !ok {
+			return nil, nil, true, fmt.Errorf("proxy: no availability subsystem is wired (SHOW REPAIRS needs a czar with membership)")
+		}
+		cols = []string{"PlacementEpoch", "ChunksRepaired", "ChunksPending", "TablesCopied", "BytesCopied", "LastError"}
+		rows = append(rows, []sqlengine.Value{
+			st.Epoch, int64(st.Repair.ChunksRepaired), int64(st.Repair.ChunksPending),
+			int64(st.Repair.TablesCopied), st.Repair.BytesCopied, st.Repair.LastError,
+		})
+		return cols, rows, true, nil
 	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "PROCESSLIST"):
 		cols = []string{"Id", "Czar", "Class", "Time", "Chunks", "Rows", "Info"}
 		for bi, b := range s.backends {
@@ -235,6 +271,16 @@ func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, han
 		}
 	}
 	return nil, nil, false, nil
+}
+
+// clusterStatus returns the first backend's availability view.
+func (s *Server) clusterStatus() (member.Status, bool) {
+	for _, b := range s.backends {
+		if st, ok := b.ClusterStatus(); ok {
+			return st, true
+		}
+	}
+	return member.Status{}, false
 }
 
 func encodeValue(v sqlengine.Value) []byte {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/czar"
+	"repro/internal/member"
 	"repro/internal/sqlengine"
 )
 
@@ -18,6 +19,7 @@ type fakeBackend struct {
 	calls   atomic.Int64
 	killed  atomic.Int64
 	running []czar.QueryInfo
+	status  *member.Status
 }
 
 func newFakeBackend(t *testing.T) *fakeBackend {
@@ -42,6 +44,13 @@ func (f *fakeBackend) Query(sql string) (*czar.QueryResult, error) {
 }
 
 func (f *fakeBackend) Running() []czar.QueryInfo { return f.running }
+
+func (f *fakeBackend) ClusterStatus() (member.Status, bool) {
+	if f.status == nil {
+		return member.Status{}, false
+	}
+	return *f.status, true
+}
 
 func (f *fakeBackend) Kill(id int64) bool {
 	for _, qi := range f.running {
@@ -280,5 +289,52 @@ func TestKillAmbiguousAcrossCzars(t *testing.T) {
 	}
 	if _, err := c.Query("KILL 0:99"); err == nil {
 		t.Error("unknown id on named czar should error")
+	}
+}
+
+// TestShowWorkers: the availability snapshot renders one row per
+// worker, served from the first backend that has a membership wired.
+func TestShowWorkers(t *testing.T) {
+	noStatus := newFakeBackend(t)
+	withStatus := newFakeBackend(t)
+	withStatus.status = &member.Status{
+		Epoch: 7,
+		Workers: []member.WorkerStatus{
+			{Name: "worker-000", State: member.StateAlive, Chunks: 12, LastSeen: time.Now()},
+			{Name: "worker-001", State: member.StateDead, Chunks: 0, Misses: 5, LastErr: "offline"},
+		},
+		Repair: member.RepairProgress{ChunksRepaired: 3, TablesCopied: 6, BytesCopied: 4096},
+	}
+	_, c := startProxy(t, noStatus, withStatus)
+
+	res, err := c.Query("SHOW WORKERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("SHOW WORKERS rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][0] != "worker-000" || res.Rows[0][1] != "alive" || res.Rows[0][2].(int64) != 12 {
+		t.Errorf("row 0 = %v", res.Rows[0])
+	}
+	if res.Rows[1][1] != "dead" || res.Rows[1][3].(int64) != 5 || res.Rows[1][5] != "offline" {
+		t.Errorf("row 1 = %v", res.Rows[1])
+	}
+
+	rep, err := c.Query("SHOW REPAIRS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows[0][0].(int64) != 7 || rep.Rows[0][1].(int64) != 3 || rep.Rows[0][4].(int64) != 4096 {
+		t.Errorf("SHOW REPAIRS = %v", rep.Rows[0])
+	}
+}
+
+// TestShowWorkersWithoutMembership: a proxy over membership-less
+// backends reports a clear error rather than an empty table.
+func TestShowWorkersWithoutMembership(t *testing.T) {
+	_, c := startProxy(t, newFakeBackend(t))
+	if _, err := c.Query("SHOW WORKERS"); err == nil || !strings.Contains(err.Error(), "availability") {
+		t.Fatalf("SHOW WORKERS without membership: %v", err)
 	}
 }

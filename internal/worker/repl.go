@@ -1,0 +1,152 @@
+package worker
+
+import (
+	"fmt"
+
+	"repro/internal/ingest"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/xrd"
+)
+
+// This file is the worker side of the fabric's availability
+// transactions. /ping answers the czar-side failure detector with a
+// tiny status document, straight from the handler entry (deliberately
+// independent of the scan lanes: a worker drowning in queued scans is
+// busy, not dead). The /repl family moves chunk replicas between
+// workers for self-healing: a read exports a chunk's tables as one
+// encoded ingest batch, a write installs such a batch with replace
+// semantics — drop-and-recreate, director-key index rebuilt by the
+// same incremental path ingest uses — so a torn repair simply retries
+// without duplicating rows.
+
+// pingStatus renders the /ping response. The detector only needs the
+// read to succeed; the body is a small self-describing JSON document
+// for operators poking the fabric by hand.
+func (w *Worker) pingStatus() []byte {
+	w.mu.Lock()
+	active := w.active
+	chunks := len(w.chunks)
+	w.mu.Unlock()
+	iq, sq := w.QueueLens()
+	return []byte(fmt.Sprintf(`{"worker":%q,"active":%d,"queued":%d,"chunks":%d}`,
+		w.cfg.Name, active, iq+sq, chunks))
+}
+
+// exportRepl serves a /repl read: the chunk table's rows plus its
+// overlap companion's (or a replicated table's full row set), encoded
+// with the ingest batch codec. Exports are deterministic — rows ship
+// in insertion order and the codec is fixed-width — so the replication
+// manager verifies a copy by re-exporting from the target and
+// comparing bytes.
+func (w *Worker) exportRepl(path string) ([]byte, error) {
+	table, chunk, shared, err := xrd.ParseReplPath(path)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: %w", w.cfg.Name, err)
+	}
+	info, err := w.registry.Table(table)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: repl export: %w", w.cfg.Name, err)
+	}
+	if w.registry.Ingesting(info.Name) {
+		return nil, fmt.Errorf("worker %s: repl export: table %s has an ingest in flight", w.cfg.Name, info.Name)
+	}
+	// loadMu excludes concurrent /load and /repl writes, so the row
+	// slices are stable while the batch encodes.
+	w.loadMu.Lock()
+	defer w.loadMu.Unlock()
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return nil, err
+	}
+	var b ingest.Batch
+	if shared {
+		t, err := db.Table(info.Name)
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: repl export %s: %w", w.cfg.Name, info.Name, err)
+		}
+		b.Rows = t.Rows
+	} else {
+		cid := partition.ChunkID(chunk)
+		t, err := db.Table(meta.ChunkTableName(info.Name, cid))
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: repl export %s chunk %d: %w", w.cfg.Name, info.Name, chunk, err)
+		}
+		b.Rows = t.Rows
+		if ov, err := db.Table(meta.OverlapTableName(info.Name, cid)); err == nil {
+			b.Overlap = ov.Rows
+		}
+	}
+	data, err := ingest.EncodeBatch(b)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: repl export %s: %w", w.cfg.Name, info.Name, err)
+	}
+	return data, nil
+}
+
+// installRepl serves a /repl write: it replaces the chunk table and its
+// overlap companion (or a replicated table) with the batch's rows,
+// rebuilding the director-key and declared hash indexes through the
+// same incremental path ingest uses. Replacement makes the transaction
+// idempotent: a repair retried after a torn copy converges instead of
+// appending duplicates.
+func (w *Worker) installRepl(path string, data []byte) error {
+	table, chunk, shared, err := xrd.ParseReplPath(path)
+	if err != nil {
+		return fmt.Errorf("worker %s: %w", w.cfg.Name, err)
+	}
+	info, err := w.registry.Table(table)
+	if err != nil {
+		return fmt.Errorf("worker %s: repl install: %w", w.cfg.Name, err)
+	}
+	batch, err := ingest.DecodeBatch(data)
+	if err != nil {
+		return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, table, err)
+	}
+	w.loadMu.Lock()
+	defer w.loadMu.Unlock()
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return err
+	}
+
+	if shared {
+		if info.Partitioned {
+			return fmt.Errorf("worker %s: repl install: table %s is partitioned; install it by chunk", w.cfg.Name, info.Name)
+		}
+		t, err := info.NewIngestTable(info.Name)
+		if err != nil {
+			return err
+		}
+		if err := t.Insert(batch.Rows...); err != nil {
+			return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, info.Name, err)
+		}
+		db.Put(t)
+		return nil
+	}
+
+	if !info.Partitioned {
+		return fmt.Errorf("worker %s: repl install: table %s is not partitioned; use the shared path", w.cfg.Name, info.Name)
+	}
+	cid := partition.ChunkID(chunk)
+	t, err := info.NewIngestTable(meta.ChunkTableName(info.Name, cid))
+	if err != nil {
+		return err
+	}
+	if err := t.Insert(batch.Rows...); err != nil {
+		return fmt.Errorf("worker %s: repl install %s chunk %d: %w", w.cfg.Name, info.Name, chunk, err)
+	}
+	ov := sqlengine.NewTable(meta.OverlapTableName(info.Name, cid), info.Schema)
+	if err := ov.Insert(batch.Overlap...); err != nil {
+		return fmt.Errorf("worker %s: repl install %s chunk %d overlap: %w", w.cfg.Name, info.Name, chunk, err)
+	}
+	// Publish both tables only after both inserts succeeded, so a bad
+	// batch cannot leave a half-replaced chunk.
+	db.Put(t)
+	db.Put(ov)
+	w.mu.Lock()
+	w.chunks[cid] = true
+	w.mu.Unlock()
+	return nil
+}

@@ -457,6 +457,9 @@ func (w *Worker) HandleWriteContext(ctx context.Context, path string, data []byt
 	if xrd.IsLoadPath(path) {
 		return w.handleLoad(path, data)
 	}
+	if xrd.IsReplPath(path) {
+		return w.installRepl(path, data)
+	}
 	if hash, ok := strings.CutPrefix(path, "/cancel/"); ok {
 		// Kill transactions are idempotent: canceling a finished or
 		// unknown query — or one whose qid never registered interest
@@ -549,6 +552,14 @@ func (w *Worker) HandleRead(path string) ([]byte, error) {
 // unblocks the (execution-length) result wait immediately, which is how
 // a killed user query's collector goroutines return promptly.
 func (w *Worker) HandleReadContext(ctx context.Context, path string) ([]byte, error) {
+	if path == xrd.PingPath {
+		// The health probe answers from the handler entry, never a scan
+		// lane: a worker saturated with queued scans still reports alive.
+		return w.pingStatus(), nil
+	}
+	if xrd.IsReplPath(path) {
+		return w.exportRepl(path)
+	}
 	hash, err := parseResultPath(path)
 	if err != nil {
 		return nil, err

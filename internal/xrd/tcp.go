@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"strings"
 	"sync"
@@ -241,6 +243,22 @@ type TCPEndpoint struct {
 	ctrl connLane
 }
 
+// Re-dial backoff: a lane whose peer is unreachable must not hammer it
+// with a SYN per transaction (the czar-side failure detector alone
+// probes every interval, and every queued chunk query would add its
+// own). After a failed dial the lane refuses to re-dial until a capped,
+// jittered exponential backoff elapses, failing fast with ErrBackoff
+// instead. A successful dial resets it. Vars, not consts, so tests can
+// compress time.
+var (
+	dialBackoffBase = 50 * time.Millisecond
+	dialBackoffCap  = 5 * time.Second
+)
+
+// ErrBackoff marks a transaction refused because the lane's re-dial
+// backoff window has not elapsed; the peer was not contacted.
+var ErrBackoff = errors.New("xrd: dial suppressed by backoff")
+
 // connLane is one serialized connection to the server.
 type connLane struct {
 	addr string
@@ -248,6 +266,11 @@ type connLane struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	// Dial-failure backoff state, guarded by mu.
+	dialFails   int
+	nextDial    time.Time
+	lastDialErr error
 }
 
 // NewTCPEndpoint creates an endpoint for a remote server. The name is
@@ -292,14 +315,39 @@ func (l *connLane) ensureConn() error {
 	if l.conn != nil {
 		return nil
 	}
+	if l.dialFails > 0 {
+		if wait := time.Until(l.nextDial); wait > 0 {
+			return fmt.Errorf("%w: %s for %v after %d failed dials: %v",
+				ErrBackoff, l.addr, wait.Round(time.Millisecond), l.dialFails, l.lastDialErr)
+		}
+	}
 	conn, err := net.Dial("tcp", l.addr)
 	if err != nil {
+		l.dialFails++
+		l.lastDialErr = err
+		l.nextDial = time.Now().Add(dialBackoff(l.dialFails))
 		return fmt.Errorf("xrd: dial %s: %w", l.addr, err)
 	}
+	l.dialFails, l.lastDialErr, l.nextDial = 0, nil, time.Time{}
 	l.conn = conn
 	l.r = bufio.NewReader(conn)
 	l.w = bufio.NewWriter(conn)
 	return nil
+}
+
+// dialBackoff returns the wait before re-dial attempt fails+1: an
+// exponential of the base, capped, jittered into [1/2, 1] of nominal so
+// many lanes backing off the same dead peer do not re-dial in lockstep.
+func dialBackoff(fails int) time.Duration {
+	shift := fails - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := dialBackoffBase << shift
+	if d <= 0 || d > dialBackoffCap {
+		d = dialBackoffCap
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
 }
 
 func (l *connLane) roundTrip(ctx context.Context, op byte, path string, payload []byte) ([]byte, error) {

@@ -141,20 +141,55 @@ func IsLoadPath(path string) bool { return strings.HasPrefix(path, "/load/") }
 // shared is true for a replicated-table shipment, otherwise chunk holds
 // the chunk id.
 func ParseLoadPath(path string) (table string, chunk int, shared bool, err error) {
-	rest, ok := strings.CutPrefix(path, "/load/t/")
+	return parseTablePath("/load/t/", path)
+}
+
+// PingPath is the health-probe transaction: a read answered with a tiny
+// status document straight from the worker's handler entry, independent
+// of the scan lanes, so the czar-side failure detector can tell a dead
+// worker from a busy one.
+const PingPath = "/ping"
+
+// ReplPath builds the replication transaction path for one chunk of a
+// partitioned table. A read exports the chunk table and its overlap
+// companion as an encoded ingest batch; a write installs that batch
+// with replace semantics (drop-and-recreate, so a torn repair can
+// simply retry). The replication manager copies under-replicated
+// chunks replica-to-replica with exactly this pair.
+func ReplPath(table string, chunkID int) string {
+	return fmt.Sprintf("/repl/t/%s/%d", table, chunkID)
+}
+
+// ReplSharedPath builds the replication path for a replicated table's
+// full row set (seeding a freshly added worker).
+func ReplSharedPath(table string) string {
+	return fmt.Sprintf("/repl/t/%s/shared", table)
+}
+
+// IsReplPath reports whether the path belongs to the /repl family.
+func IsReplPath(path string) bool { return strings.HasPrefix(path, "/repl/") }
+
+// ParseReplPath splits a /repl/t/... path like ParseLoadPath.
+func ParseReplPath(path string) (table string, chunk int, shared bool, err error) {
+	return parseTablePath("/repl/t/", path)
+}
+
+// parseTablePath splits a <prefix><table>/<chunk|shared> path.
+func parseTablePath(prefix, path string) (table string, chunk int, shared bool, err error) {
+	rest, ok := strings.CutPrefix(path, prefix)
 	if !ok {
-		return "", 0, false, fmt.Errorf("xrd: bad load path %q", path)
+		return "", 0, false, fmt.Errorf("xrd: bad %s path %q", prefix, path)
 	}
 	table, target, ok := strings.Cut(rest, "/")
 	if !ok || table == "" || target == "" || strings.Contains(target, "/") {
-		return "", 0, false, fmt.Errorf("xrd: bad load path %q", path)
+		return "", 0, false, fmt.Errorf("xrd: bad %s path %q", prefix, path)
 	}
 	if target == "shared" {
 		return table, 0, true, nil
 	}
 	chunk, cerr := strconv.Atoi(target)
 	if cerr != nil {
-		return "", 0, false, fmt.Errorf("xrd: bad load path %q: %v", path, cerr)
+		return "", 0, false, fmt.Errorf("xrd: bad %s path %q: %v", prefix, path, cerr)
 	}
 	return table, chunk, false, nil
 }
@@ -243,6 +278,46 @@ func (r *Redirector) Register(ep Endpoint, exportKeys ...string) {
 	}
 }
 
+// dropFromExports removes an endpoint from one export key's replica
+// list, deleting the key when it empties. Callers hold r.mu.
+func (r *Redirector) dropFromExports(key, name string) {
+	names := r.exports[key]
+	kept := names[:0]
+	for _, n := range names {
+		if n != name {
+			kept = append(kept, n)
+		}
+	}
+	if len(kept) == 0 {
+		delete(r.exports, key)
+	} else {
+		r.exports[key] = kept
+	}
+}
+
+// Deregister removes an endpoint from the given export keys, leaving
+// the endpoint itself registered. The replication manager uses it to
+// move a chunk's export off a dead or drained replica.
+func (r *Redirector) Deregister(name string, exportKeys ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, key := range exportKeys {
+		r.dropFromExports(key, name)
+	}
+}
+
+// Remove drops an endpoint entirely: its registration and every export
+// it serves (worker decommissioning).
+func (r *Redirector) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.endpoints, name)
+	delete(r.down, name)
+	for key := range r.exports {
+		r.dropFromExports(key, name)
+	}
+}
+
 // SetDown marks an endpoint's liveness; a down endpoint is skipped by
 // Lookup so clients fail over to replicas.
 func (r *Redirector) SetDown(name string, down bool) {
@@ -321,6 +396,22 @@ type Client struct {
 
 // NewClient creates a client bound to a redirector.
 func NewClient(red *Redirector) *Client { return &Client{red: red} }
+
+// Replicas returns the names of the live endpoints exporting a path,
+// in registration (failover) order, without performing a transaction.
+// The czar's health-aware dispatch uses it to pre-skip replicas the
+// failure detector knows are dead.
+func (c *Client) Replicas(path string) []string {
+	eps, err := c.red.Lookup(path)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(eps))
+	for i, ep := range eps {
+		names[i] = ep.Name()
+	}
+	return names
+}
 
 // Write performs transaction 1: it looks up the path, opens it for
 // writing at the first live server (failing over through replicas),
@@ -423,17 +514,22 @@ func (c *Client) Read(ctx context.Context, path string) ([]byte, error) {
 
 // LocalEndpoint wraps a Handler as an in-process endpoint. It supports
 // fault injection: a downed endpoint fails every transaction with
-// ErrOffline, emulating an abrupt worker death.
+// ErrOffline — including the ones already in flight, which are severed
+// mid-call, emulating an abrupt worker death tearing its connections
+// (a czar blocked in a result read observes the failure immediately
+// and fails over, exactly as it would when a TCP peer vanishes).
 type LocalEndpoint struct {
-	name    string
-	handler Handler
-	mu      sync.RWMutex
-	down    bool
+	name     string
+	handler  Handler
+	mu       sync.Mutex
+	down     bool
+	nextCall int
+	inflight map[int]context.CancelCauseFunc
 }
 
 // NewLocalEndpoint wraps handler under the given name.
 func NewLocalEndpoint(name string, handler Handler) *LocalEndpoint {
-	return &LocalEndpoint{name: name, handler: handler}
+	return &LocalEndpoint{name: name, handler: handler, inflight: map[int]context.CancelCauseFunc{}}
 }
 
 // Name implements Endpoint.
@@ -441,11 +537,43 @@ func (l *LocalEndpoint) Name() string { return l.name }
 
 // SetDown toggles abrupt-failure injection at the endpoint itself
 // (distinct from the redirector's administrative flag: the redirector
-// may still believe the endpoint is alive).
+// may still believe the endpoint is alive). Bringing the endpoint down
+// severs every transaction in flight with ErrOffline.
 func (l *LocalEndpoint) SetDown(down bool) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.down = down
+	var severed []context.CancelCauseFunc
+	if down {
+		for _, cancel := range l.inflight {
+			severed = append(severed, cancel)
+		}
+	}
+	l.mu.Unlock()
+	cause := fmt.Errorf("%w: %s", ErrOffline, l.name)
+	for _, cancel := range severed {
+		cancel(cause)
+	}
+}
+
+// beginCall admits one transaction: it rejects a down endpoint and
+// registers a cancelable context so SetDown can sever the call.
+func (l *LocalEndpoint) beginCall(ctx context.Context) (context.Context, func(), error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return nil, nil, fmt.Errorf("%w: %s", ErrOffline, l.name)
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	id := l.nextCall
+	l.nextCall++
+	l.inflight[id] = cancel
+	end := func() {
+		l.mu.Lock()
+		delete(l.inflight, id)
+		l.mu.Unlock()
+		cancel(nil)
+	}
+	return cctx, end, nil
 }
 
 // HandleWrite implements Handler with fault injection.
@@ -461,25 +589,23 @@ func (l *LocalEndpoint) HandleRead(path string) ([]byte, error) {
 // HandleWriteContext implements ContextHandler, forwarding the context
 // to the wrapped handler when it is context-aware.
 func (l *LocalEndpoint) HandleWriteContext(ctx context.Context, path string, data []byte) error {
-	l.mu.RLock()
-	down := l.down
-	l.mu.RUnlock()
-	if down {
-		return fmt.Errorf("%w: %s", ErrOffline, l.name)
+	cctx, end, err := l.beginCall(ctx)
+	if err != nil {
+		return err
 	}
-	return writeContext(l.handler, ctx, path, data)
+	defer end()
+	return writeContext(l.handler, cctx, path, data)
 }
 
 // HandleReadContext implements ContextHandler, forwarding the context
 // to the wrapped handler when it is context-aware.
 func (l *LocalEndpoint) HandleReadContext(ctx context.Context, path string) ([]byte, error) {
-	l.mu.RLock()
-	down := l.down
-	l.mu.RUnlock()
-	if down {
-		return nil, fmt.Errorf("%w: %s", ErrOffline, l.name)
+	cctx, end, err := l.beginCall(ctx)
+	if err != nil {
+		return nil, err
 	}
-	return readContext(l.handler, ctx, path)
+	defer end()
+	return readContext(l.handler, cctx, path)
 }
 
 // FileStore is a trivial in-memory Handler storing whole files by path;

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/czar"
 	"repro/internal/datagen"
+	"repro/internal/member"
 	"repro/internal/meta"
 	"repro/internal/partition"
 	"repro/internal/worker"
@@ -89,6 +90,27 @@ type ClusterConfig struct {
 	// worker; 1 reproduces fully serialized shipping (the legacy Load
 	// behavior `qserv-bench -exp ingest` compares against).
 	IngestParallelism int
+	// HealthInterval is the failure detector's probe period (0 = 200ms):
+	// a czar-side detector pings every worker over the fabric's /ping
+	// transaction and maintains alive/suspect/dead state that dispatch,
+	// ingest placement, and Cluster.Status consult.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe round (0 = 2s).
+	HealthTimeout time.Duration
+	// SuspectMisses / DeadMisses are the consecutive-miss thresholds
+	// for the suspect and dead states (0 = 1 / 3).
+	SuspectMisses int
+	DeadMisses    int
+	// SelfHeal enables the replication manager: when a worker dies, the
+	// chunks it held are re-replicated from surviving replicas onto
+	// live workers (verified copy, then an atomic per-chunk placement
+	// update), restoring the replication factor without operator
+	// action. DefaultClusterConfig turns it on.
+	SelfHeal bool
+	// DisableHealth turns the availability subsystem off entirely (no
+	// detector, no self-healing, no Status detail): the pre-PR-5
+	// behavior, where a dead worker is rediscovered by every dispatch.
+	DisableHealth bool
 }
 
 // DefaultClusterConfig returns a laptop-scale configuration: a coarse
@@ -112,6 +134,8 @@ func DefaultClusterConfig(workers int) ClusterConfig {
 		MergeParallelism: 8,
 		TopKPushdown:     true,
 		IngestBatchRows:  2048,
+		HealthInterval:   200 * time.Millisecond,
+		SelfHeal:         true,
 	}
 }
 
@@ -137,22 +161,37 @@ type Cluster struct {
 	Redirector *xrd.Redirector
 	Placement  *meta.Placement
 	Index      *meta.ObjectIndex
-	Workers    []*worker.Worker
-	Czar       *czar.Czar
+	// Workers is the current worker set. It is mutated by AddWorker and
+	// RemoveWorker under memberMu; direct iteration is only safe while
+	// no membership change is concurrent (use WorkerNames otherwise).
+	Workers []*worker.Worker
+	Czar    *czar.Czar
 
 	endpoints map[string]*xrd.LocalEndpoint
 	workers   map[string]*worker.Worker
 	client    *xrd.Client
 	closeOnce sync.Once
 
+	// member is the availability subsystem: failure detector plus
+	// (with SelfHeal) the replication manager. Nil with DisableHealth.
+	member *member.Manager
+
 	// ingestMu guards the ingest state machine: ingesting holds tables
 	// with an ingest in flight, ingested the tables already loaded (or
 	// sealed by a partial failure) — re-ingest would duplicate rows,
-	// so it is rejected. placeMu serializes chunk placement decisions.
+	// so it is rejected. memberMu guards the membership maps (workers,
+	// endpoints, the Workers slice, removing) and serializes chunk
+	// placement decisions with membership changes. removing marks
+	// workers mid-RemoveWorker: they no longer receive new chunk
+	// placements or repair copies, so their drain converges. removalMu
+	// serializes whole removals, keeping the replication-floor check
+	// atomic with the membership mutation it guards.
 	ingestMu  sync.Mutex
 	ingested  map[string]bool
 	ingesting map[string]bool
-	placeMu   sync.Mutex
+	memberMu  sync.Mutex
+	removing  map[string]bool
+	removalMu sync.Mutex
 }
 
 // NewCluster builds the cluster skeleton with an empty catalog; call
@@ -181,23 +220,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		workers:    map[string]*worker.Worker{},
 		ingested:   map[string]bool{},
 		ingesting:  map[string]bool{},
+		removing:   map[string]bool{},
 	}
 	cl.client = xrd.NewClient(cl.Redirector)
 	for i := 0; i < cfg.Workers; i++ {
-		wcfg := worker.DefaultConfig(fmt.Sprintf("worker-%03d", i))
-		wcfg.Slots = cfg.WorkerSlots
-		wcfg.CacheSubChunks = cfg.CacheSubChunks
-		wcfg.SharedScans = cfg.SharedScans
-		if cfg.InteractiveSlots > 0 {
-			wcfg.InteractiveSlots = cfg.InteractiveSlots
-		}
-		if cfg.ScanPieceRows > 0 {
-			wcfg.ScanPieceRows = cfg.ScanPieceRows
-		}
-		if cfg.ResultTimeout > 0 {
-			wcfg.ResultTimeout = cfg.ResultTimeout
-		}
-		w := worker.New(wcfg, registry)
+		w := worker.New(cl.workerConfig(fmt.Sprintf("worker-%03d", i)), registry)
 		cl.Workers = append(cl.Workers, w)
 		cl.workers[w.Name()] = w
 		ep := xrd.NewLocalEndpoint(w.Name(), w)
@@ -208,29 +235,88 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	ccfg.MergeParallelism = cfg.MergeParallelism
 	ccfg.TopKPushdown = cfg.TopKPushdown
 	cl.Czar = czar.New(ccfg, registry, cl.Index, cl.Placement, cl.Redirector)
+
+	// The availability subsystem: a failure detector polling every
+	// worker over /ping, and (with SelfHeal) a replication manager that
+	// re-homes a dead worker's chunks onto survivors. The czar consults
+	// it for health-aware dispatch and SHOW WORKERS.
+	if !cfg.DisableHealth {
+		cl.member = member.NewManager(member.Config{
+			Detector: member.DetectorConfig{
+				Interval:     cfg.HealthInterval,
+				Timeout:      cfg.HealthTimeout,
+				SuspectAfter: cfg.SuspectMisses,
+				DeadAfter:    cfg.DeadMisses,
+			},
+			Repair: member.RepairConfig{
+				Factor:     cfg.Replication,
+				Tables:     cl.partitionedTables,
+				Candidates: cl.eligibleWorkerNames,
+				Rehome:     cl.rehome,
+			},
+			SelfHeal: cfg.SelfHeal,
+		}, cl.client, cl.Placement)
+		cl.member.Watch(cl.WorkerNames()...)
+		cl.Czar.SetMembership(cl.member)
+		cl.member.Start()
+	}
 	return cl, nil
 }
 
-// Close shuts the cluster down: the czar first — rejecting new
-// submissions, canceling every in-flight query, and draining them (so
-// worker slots are released, not abandoned) — then the workers. Close
-// is idempotent; concurrent and repeated calls are safe.
+// workerConfig derives one worker's configuration from the cluster's.
+func (cl *Cluster) workerConfig(name string) worker.Config {
+	cfg := cl.Config
+	wcfg := worker.DefaultConfig(name)
+	wcfg.Slots = cfg.WorkerSlots
+	wcfg.CacheSubChunks = cfg.CacheSubChunks
+	wcfg.SharedScans = cfg.SharedScans
+	if cfg.InteractiveSlots > 0 {
+		wcfg.InteractiveSlots = cfg.InteractiveSlots
+	}
+	if cfg.ScanPieceRows > 0 {
+		wcfg.ScanPieceRows = cfg.ScanPieceRows
+	}
+	if cfg.ResultTimeout > 0 {
+		wcfg.ResultTimeout = cfg.ResultTimeout
+	}
+	return wcfg
+}
+
+// Close shuts the cluster down: the availability subsystem first (no
+// more probes or repairs), then the czar — rejecting new submissions,
+// canceling every in-flight query, and draining them (so worker slots
+// are released, not abandoned) — then the workers. Close is
+// idempotent; concurrent and repeated calls are safe.
 func (cl *Cluster) Close() {
 	cl.closeOnce.Do(func() {
+		if cl.member != nil {
+			cl.member.Close()
+		}
 		if cl.Czar != nil {
 			cl.Czar.Close()
 		}
-		for _, w := range cl.Workers {
+		cl.memberMu.Lock()
+		workers := append([]*worker.Worker(nil), cl.Workers...)
+		cl.memberMu.Unlock()
+		for _, w := range workers {
 			w.Close()
 		}
 	})
 }
 
 // Endpoint returns a worker's fabric endpoint (failure injection).
-func (cl *Cluster) Endpoint(name string) *xrd.LocalEndpoint { return cl.endpoints[name] }
+func (cl *Cluster) Endpoint(name string) *xrd.LocalEndpoint {
+	cl.memberMu.Lock()
+	defer cl.memberMu.Unlock()
+	return cl.endpoints[name]
+}
 
 // WorkerByName returns a worker by its cluster identity, or nil.
-func (cl *Cluster) WorkerByName(name string) *worker.Worker { return cl.workers[name] }
+func (cl *Cluster) WorkerByName(name string) *worker.Worker {
+	cl.memberMu.Lock()
+	defer cl.memberMu.Unlock()
+	return cl.workers[name]
+}
 
 // Catalog is a synthesized LSST Object/Source catalog, accepted by the
 // deprecated Load wrapper.
