@@ -24,10 +24,13 @@ bench:
 # (serialized vs pipelined collection, oracle-checked), the query-kill
 # path (Cancel() -> worker-slot reclamation within a piece), the
 # ingest path (serialized vs parallel fabric shipping, oracle-checked),
-# and the failover path (worker death under load: detect, mask with
-# replicas, self-heal replication, oracle-checked).
+# the failover path (worker death under load: detect, mask with
+# replicas, self-heal replication, oracle-checked), and the restart
+# path (durable chunk store recovery vs re-replication, copy-free
+# restart hard-gated, oracle-checked).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
 	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
 	$(GO) run ./cmd/qserv-bench -exp ingest -objects 5
 	$(GO) run ./cmd/qserv-bench -exp failover -objects 5
+	$(GO) run ./cmd/qserv-bench -exp restart -objects 5

@@ -1,6 +1,7 @@
 package qserv
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"strings"
@@ -70,6 +71,11 @@ type RepairProgress struct {
 	// ChunksRepaired counts verified chunk re-homes since the cluster
 	// started.
 	ChunksRepaired int
+	// ChunksHealed counts in-place refills: a live worker that came back
+	// missing a chunk placement assigns it (a restart without durable
+	// data, or with segments that failed their checksums) had the chunk
+	// copied back without any placement change.
+	ChunksHealed int
 	// ChunksPending counts chunks the last audit left under-replicated;
 	// they are retried on the next sweep (or when a worker is added).
 	ChunksPending int
@@ -99,6 +105,7 @@ func (cl *Cluster) Status() ClusterStatus {
 			PlacementEpoch: ms.Epoch,
 			Repair: RepairProgress{
 				ChunksRepaired: ms.Repair.ChunksRepaired,
+				ChunksHealed:   ms.Repair.ChunksHealed,
 				ChunksPending:  ms.Repair.ChunksPending,
 				TablesCopied:   ms.Repair.TablesCopied,
 				BytesCopied:    ms.Repair.BytesCopied,
@@ -173,7 +180,10 @@ func (cl *Cluster) AddWorker(name string) error {
 	defer cl.ingestMu.Unlock()
 	replicated := cl.ingestedTablesLocked(false)
 
-	w := worker.New(cl.workerConfig(name), cl.Registry)
+	w, err := worker.New(cl.workerConfig(name), cl.Registry)
+	if err != nil {
+		return fmt.Errorf("qserv: AddWorker %s: %w", name, err)
+	}
 	// Seed replicated tables before the worker can serve or receive
 	// chunk queries: worker-side joins against dimension tables must
 	// find them.
@@ -392,6 +402,71 @@ func (cl *Cluster) seedReplicated(w *worker.Worker, tables []string) error {
 		if err := w.HandleWrite(xrd.ReplSharedPath(table), data); err != nil {
 			return fmt.Errorf("qserv: AddWorker: seed replicated table %s: %w", table, err)
 		}
+		// Verify like a chunk repair does: the new worker's re-export
+		// must be byte-identical to what was shipped (the codec and the
+		// segment framing are deterministic).
+		back, err := w.HandleRead(xrd.ReplSharedPath(table))
+		if err != nil {
+			return fmt.Errorf("qserv: AddWorker: verify replicated table %s: %w", table, err)
+		}
+		if !bytes.Equal(data, back) {
+			return fmt.Errorf("qserv: AddWorker: replicated table %s failed copy verification (%d bytes out, %d back)",
+				table, len(data), len(back))
+		}
+	}
+	return nil
+}
+
+// RestartWorker simulates a worker process crash and restart under the
+// same identity: every in-flight transaction is severed (exactly as an
+// abrupt process death tears its connections), the worker is closed,
+// and a fresh worker is started in its place behind the same fabric
+// endpoint — placement and exports are untouched, because the cluster
+// still expects this worker to hold its chunks. With a DataDir the new
+// worker recovers its chunk tables from the durable store before
+// serving, so it rejoins with data intact and repair has nothing to
+// copy; without one it comes back hollow and the replication manager
+// heals its chunks in place from surviving replicas.
+func (cl *Cluster) RestartWorker(name string) error {
+	cl.memberMu.Lock()
+	old := cl.workers[name]
+	ep := cl.endpoints[name]
+	leaving := cl.removing[name]
+	cl.memberMu.Unlock()
+	if old == nil || ep == nil {
+		return fmt.Errorf("qserv: RestartWorker: no worker %q", name)
+	}
+	if leaving {
+		return fmt.Errorf("qserv: RestartWorker %s: worker is being removed", name)
+	}
+	// Crash: sever in-flight transactions, then stop the old process
+	// (its store is released so the successor can reopen it).
+	ep.SetDown(true)
+	old.Close()
+	nw, err := worker.New(cl.workerConfig(name), cl.Registry)
+	if err != nil {
+		return fmt.Errorf("qserv: RestartWorker %s: %w", name, err)
+	}
+	cl.memberMu.Lock()
+	if cl.workers[name] != old {
+		cl.memberMu.Unlock()
+		nw.Close()
+		return fmt.Errorf("qserv: RestartWorker %s: membership changed during restart", name)
+	}
+	cl.workers[name] = nw
+	for i, w := range cl.Workers {
+		if w == old {
+			cl.Workers[i] = nw
+		}
+	}
+	cl.memberMu.Unlock()
+	// Revive the endpoint only once the new worker is ready to serve;
+	// the failure detector's next successful ping transitions it back to
+	// alive, which kicks an immediate placement-vs-inventory audit.
+	ep.SetHandler(nw)
+	ep.SetDown(false)
+	if cl.member != nil {
+		cl.member.CheckNow()
 	}
 	return nil
 }

@@ -132,6 +132,7 @@ func experiments() []experiment {
 		{"kill-latency", "A8: Cancel() to worker-slot reclamation on the live path", runKillLatency},
 		{"ingest", "A9: parallel fabric-routed ingest vs serialized shipping", runIngestBench},
 		{"failover", "A10: worker death under load — detect, fail over, self-heal replication", runFailover},
+		{"restart", "A11: durable chunk store — restart-to-serving vs re-replication", runRestart},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -1130,6 +1131,230 @@ func runFailover(ctx *benchCtx) error {
 		return fmt.Errorf("failover: repair did nothing")
 	default:
 		fmt.Printf("  RESULT: ok — death masked, answers oracle-identical, replication restored\n")
+	}
+	return nil
+}
+
+// runRestart measures what the durable chunk store buys on a worker
+// restart: a worker with a DataDir killed and restarted recovers its
+// chunk tables from its own disk and rejoins serving — zero chunks
+// re-homed, zero tables copied — versus the store-less baseline, where
+// the same death forces the replication manager to re-copy every one
+// of the victim's chunks onto survivors. Both phases run a concurrent
+// oracle-checked query stream. Hard gates: every answer
+// oracle-identical, no query lost, and the durable restart must move
+// zero chunks; the time comparison WARNs instead of failing when the
+// baseline is too fast to measure meaningfully.
+func runRestart(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: 100 + *objectsFlag*4, MeanSourcesPerObject: 0},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 20},
+	)
+	if err != nil {
+		return err
+	}
+	dataDir, err := os.MkdirTemp("", "qserv-bench-restart-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	baseCfg := qserv.DefaultClusterConfig(4)
+	baseCfg.Replication = 2
+	baseCfg.HealthInterval = 20 * time.Millisecond
+	baseCfg.DeadMisses = 2
+	baseCfg.ScanPieceRows = 256
+
+	oracle, err := qserv.NewOracle(baseCfg)
+	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return err
+	}
+	battery := []string{
+		"SELECT COUNT(*) AS n FROM Object",
+		"SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId",
+		"SELECT COUNT(*) AS n FROM Object WHERE uFlux_PS > 1e-31",
+	}
+	oracleRows := map[string][]string{}
+	for _, sql := range battery {
+		res, err := oracle.Query(sql)
+		if err != nil {
+			return err
+		}
+		oracleRows[sql] = renderRows(res.Rows, false)
+	}
+
+	// One phase: build a cluster, run the checked stream, invoke the
+	// outage, and time until the cluster is whole again.
+	type phaseResult struct {
+		recover              time.Duration
+		total, failed, wrong int64
+		repaired, copied     int
+		healed               int
+		firstErr             error
+	}
+	runPhase := func(cfg qserv.ClusterConfig, outage func(cl *qserv.Cluster, victim string) error,
+		whole func(cl *qserv.Cluster, victim string) bool) (*phaseResult, error) {
+		cl, err := qserv.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		if err := cl.Load(cat); err != nil {
+			return nil, err
+		}
+		pr := &phaseResult{}
+		var cmu sync.Mutex
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for n := i; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					sql := battery[n%len(battery)]
+					res, err := cl.Query(sql)
+					cmu.Lock()
+					pr.total++
+					if err != nil {
+						pr.failed++
+						if pr.firstErr == nil {
+							pr.firstErr = fmt.Errorf("%q: %w", sql, err)
+						}
+					} else if !sameRendered(renderRows(res.Rows, false), oracleRows[sql]) {
+						pr.wrong++
+						if pr.firstErr == nil {
+							pr.firstErr = fmt.Errorf("%q: answer differs from the oracle", sql)
+						}
+					}
+					cmu.Unlock()
+				}
+			}(i)
+		}
+
+		time.Sleep(100 * time.Millisecond) // warm the workload up
+		victim := cl.Workers[0].Name()
+		t0 := time.Now()
+		if err := outage(cl, victim); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if whole(cl, victim) && cl.Status().Repair.ChunksPending == 0 {
+				pr.recover = time.Since(t0)
+				break
+			}
+			if time.Now().After(deadline) {
+				close(stop)
+				wg.Wait()
+				return nil, fmt.Errorf("restart: cluster never whole again (repair %+v)", cl.Status().Repair)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(50 * time.Millisecond) // post-recovery traffic
+		close(stop)
+		wg.Wait()
+		st := cl.Status()
+		pr.repaired, pr.copied, pr.healed = st.Repair.ChunksRepaired, st.Repair.TablesCopied, st.Repair.ChunksHealed
+		return pr, nil
+	}
+
+	workerAlive := func(cl *qserv.Cluster, name string) bool {
+		for _, w := range cl.Status().Workers {
+			if w.Name == name {
+				return w.State == qserv.WorkerAlive
+			}
+		}
+		return false
+	}
+	fullyOffVictim := func(cl *qserv.Cluster, victim string) bool {
+		for _, c := range cl.Placement.Chunks() {
+			ws := cl.Placement.Workers(c)
+			if len(ws) < baseCfg.Replication {
+				return false
+			}
+			for _, w := range ws {
+				if w == victim {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Phase 1 — durable restart: the store makes the victim's data
+	// survive; the grace window keeps repair from re-homing meanwhile.
+	durCfg := baseCfg
+	durCfg.DataDir = dataDir
+	durCfg.RepairGrace = 60 * time.Second
+	durable, err := runPhase(durCfg,
+		func(cl *qserv.Cluster, victim string) error { return cl.RestartWorker(victim) },
+		workerAlive)
+	if err != nil {
+		return err
+	}
+
+	// Phase 2 — baseline (PR 5 behavior): no store, the victim stays
+	// dead, and the cluster is whole only after re-replicating every one
+	// of its chunks onto the survivors.
+	baseline, err := runPhase(baseCfg,
+		func(cl *qserv.Cluster, victim string) error {
+			cl.Endpoint(victim).SetDown(true)
+			return nil
+		},
+		fullyOffVictim)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("claim: a disk-backed chunk store turns a worker restart from a re-replication event into a local recovery\n")
+	fmt.Printf("workload: 4 workers x replication 2, concurrent oracle-checked streams, 1 worker killed\n")
+	fmt.Printf("  %-44s %12s %10s %8s %8s\n", "config", "recovered in", "re-homed", "copied", "healed")
+	fmt.Printf("  %-44s %12v %10d %8d %8d\n", "durable restart (DataDir recovery)",
+		durable.recover.Round(time.Millisecond), durable.repaired, durable.copied, durable.healed)
+	fmt.Printf("  %-44s %12v %10d %8d %8d\n", "baseline: death + re-replication (no store)",
+		baseline.recover.Round(time.Millisecond), baseline.repaired, baseline.copied, baseline.healed)
+	fmt.Printf("  queries: durable %d total (%d failed, %d wrong); baseline %d total (%d failed, %d wrong)\n",
+		durable.total, durable.failed, durable.wrong, baseline.total, baseline.failed, baseline.wrong)
+	for _, p := range []struct {
+		name string
+		pr   *phaseResult
+	}{{"durable", durable}, {"baseline", baseline}} {
+		switch {
+		case p.pr.wrong > 0:
+			fmt.Printf("  RESULT: FAIL — %s phase answered differently from the oracle\n", p.name)
+			return fmt.Errorf("restart: %s: %d wrong answers; first: %v", p.name, p.pr.wrong, p.pr.firstErr)
+		case p.pr.failed > 0:
+			fmt.Printf("  RESULT: FAIL — %s phase lost a query despite replication\n", p.name)
+			return fmt.Errorf("restart: %s: %d failed queries; first: %v", p.name, p.pr.failed, p.pr.firstErr)
+		}
+	}
+	switch {
+	case durable.repaired != 0 || durable.copied != 0 || durable.healed != 0:
+		fmt.Printf("  RESULT: FAIL — the durable restart moved data (%d re-homed, %d copied, %d healed)\n",
+			durable.repaired, durable.copied, durable.healed)
+		return fmt.Errorf("restart: durable restart was not copy-free")
+	case baseline.repaired == 0:
+		fmt.Printf("  RESULT: FAIL — the baseline death re-homed nothing; the comparison is vacuous\n")
+		return fmt.Errorf("restart: baseline repair did nothing")
+	case baseline.recover < 20*time.Millisecond:
+		fmt.Printf("  RESULT: WARN — baseline re-replication finished in %v; too fast to compare meaningfully at this scale\n",
+			baseline.recover.Round(time.Millisecond))
+	case durable.recover >= baseline.recover:
+		fmt.Printf("  RESULT: WARN — durable restart (%v) not faster than re-replication (%v) on this run\n",
+			durable.recover.Round(time.Millisecond), baseline.recover.Round(time.Millisecond))
+	default:
+		fmt.Printf("  RESULT: ok — copy-free durable restart, %.1fx faster than re-replication, answers oracle-identical\n",
+			float64(baseline.recover)/float64(durable.recover))
 	}
 	return nil
 }

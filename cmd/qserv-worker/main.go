@@ -35,6 +35,7 @@ var (
 	interactiveFlag = flag.Int("interactive-slots", 2, "dedicated interactive-class slots")
 	sharedScansFlag = flag.Bool("shared-scans", true, "convoy concurrent full scans over one read")
 	pieceRowsFlag   = flag.Int("scan-piece-rows", 4096, "rows per shared-scan piece")
+	dataDirFlag     = flag.String("data-dir", "", "durable chunk store directory (empty = in-memory only); a restart recovers chunk tables from it instead of re-synthesizing")
 )
 
 func main() {
@@ -60,7 +61,11 @@ func main() {
 	wcfg.InteractiveSlots = *interactiveFlag
 	wcfg.SharedScans = *sharedScansFlag
 	wcfg.ScanPieceRows = *pieceRowsFlag
-	w := worker.New(wcfg, layout.Registry)
+	wcfg.DataDir = *dataDirFlag
+	w, err := worker.New(wcfg, layout.Registry)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer w.Close()
 
 	objInfo, err := layout.Registry.Table("Object")
@@ -71,17 +76,31 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Chunks recovered from the durable store skip the synthesize-and-load
+	// pass: that is the restart speedup the store exists for.
+	recovered := map[int]bool{}
+	for _, c := range w.Chunks() {
+		recovered[int(c)] = true
+	}
 	mine := layout.Placement.ChunksOn(*nameFlag)
 	if len(mine) == 0 {
 		log.Fatalf("no chunks assigned to %q; is -name in -peers?", *nameFlag)
 	}
+	loaded := 0
 	for _, c := range mine {
+		if recovered[int(c)] {
+			continue
+		}
 		if err := w.LoadChunk(objInfo, c, layout.ObjRows[c], layout.ObjOverlap[c]); err != nil {
 			log.Fatal(err)
 		}
 		if err := w.LoadChunk(srcInfo, c, layout.SrcRows[c], layout.SrcOverlap[c]); err != nil {
 			log.Fatal(err)
 		}
+		loaded++
+	}
+	if n := len(mine) - loaded; n > 0 {
+		fmt.Printf("worker %s recovered %d chunks from %s\n", *nameFlag, n, *dataDirFlag)
 	}
 
 	srv, err := xrd.Serve(*addrFlag, w)

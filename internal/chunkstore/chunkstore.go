@@ -1,0 +1,671 @@
+// Package chunkstore is a worker's durable chunk storage engine: the
+// on-disk half of the paper's deployment, where chunk data lives in
+// files that survive process death (section 5 runs workers over xrootd
+// for exactly this reason). A Store keeps one directory per storage
+// unit — a (table, chunk) pair or a replicated table — holding
+// append-only segment files, where each segment is one encoded ingest
+// batch protected by a CRC32 checksum.
+//
+// Mutations are made atomic by a small write-ahead log: a record
+// carrying the full payload is appended and fsynced before the segment
+// files change, and the WAL is truncated only after the segment write
+// is durable. Recovery (Open) replays any WAL records whose segment
+// application was torn — replay is idempotent, so a crash at any point
+// converges — then verifies every segment file's checksum. A unit with
+// a segment that fails verification is quarantined (set aside on disk,
+// dropped from the recovered inventory) rather than served: the
+// cluster's repair subsystem re-ships exactly the quarantined chunks
+// from live replicas, which is the recovery-vs-repair split the
+// availability design relies on.
+//
+// Layout under the store root:
+//
+//	spec.json                     catalog spec (atomic replace)
+//	wal.log                       write-ahead log (usually empty)
+//	tables/<unit>/seg-<seq>.qseg  segment files, applied in seq order
+//
+// where <unit> is "<table>@<chunk>" or "<table>@shared".
+package chunkstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Unit identifies one storage unit: a partitioned table's chunk or a
+// replicated table's full row set.
+type Unit struct {
+	Table  string
+	Chunk  int
+	Shared bool
+}
+
+// String renders the unit's directory name.
+func (u Unit) String() string {
+	if u.Shared {
+		return u.Table + "@shared"
+	}
+	return u.Table + "@" + strconv.Itoa(u.Chunk)
+}
+
+// validUnit rejects table names that cannot be directory names.
+func validUnit(u Unit) error {
+	if u.Table == "" {
+		return fmt.Errorf("chunkstore: empty table name")
+	}
+	for _, r := range u.Table {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		default:
+			return fmt.Errorf("chunkstore: table name %q has non-identifier character %q", u.Table, r)
+		}
+	}
+	if !u.Shared && u.Chunk < 0 {
+		return fmt.Errorf("chunkstore: negative chunk id %d", u.Chunk)
+	}
+	return nil
+}
+
+// parseUnit inverts Unit.String.
+func parseUnit(name string) (Unit, error) {
+	table, target, ok := strings.Cut(name, "@")
+	if !ok || table == "" || target == "" {
+		return Unit{}, fmt.Errorf("chunkstore: bad unit directory %q", name)
+	}
+	u := Unit{Table: table}
+	if target == "shared" {
+		u.Shared = true
+	} else {
+		chunk, err := strconv.Atoi(target)
+		if err != nil || chunk < 0 {
+			return Unit{}, fmt.Errorf("chunkstore: bad unit directory %q", name)
+		}
+		u.Chunk = chunk
+	}
+	if err := validUnit(u); err != nil {
+		return Unit{}, err
+	}
+	return u, nil
+}
+
+// RecoveredUnit is one unit Open found intact: its segment payloads
+// (encoded ingest batches) in application order.
+type RecoveredUnit struct {
+	Unit     Unit
+	Segments [][]byte
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Units are the intact units, every segment checksum-verified.
+	Units []RecoveredUnit
+	// WALReplayed counts write-ahead-log records whose segment
+	// application had to be redone (a crash between the WAL fsync and
+	// the segment write).
+	WALReplayed int
+	// Quarantined lists units set aside for failing verification:
+	// corrupt or torn segments, unparseable directories. Their data is
+	// renamed out of the way, not deleted; the repair subsystem
+	// re-ships these chunks from live replicas.
+	Quarantined []Unit
+}
+
+// Store is one worker's durable chunk store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	wal    *os.File
+	seq    map[string]uint64 // unit name -> highest segment seq on disk
+	units  map[string]Unit   // units present
+	closed bool
+}
+
+const (
+	specFile   = "spec.json"
+	walFile    = "wal.log"
+	tablesDir  = "tables"
+	segPrefix  = "seg-"
+	segSuffix  = ".qseg"
+	quarantine = ".quarantined"
+)
+
+// Segment file format: magic, u32 CRC32-IEEE of the payload, u64
+// payload length, payload.
+var segMagic = []byte("QSEGF1")
+
+// WAL record ops.
+const (
+	walAppend  = 'A'
+	walReplace = 'R'
+)
+
+// Open opens (creating if needed) the store rooted at dir, replays the
+// write-ahead log, verifies every segment, and reports what survived.
+func Open(dir string) (*Store, *Recovery, error) {
+	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("chunkstore: %w", err)
+	}
+	s := &Store{dir: dir, seq: map[string]uint64{}, units: map[string]Unit{}}
+	rec := &Recovery{}
+
+	// Replay the WAL first: records whose segment application was torn
+	// by a crash are redone (idempotently), so the verification scan
+	// below sees the directory a clean shutdown would have left.
+	if err := s.replayWAL(rec); err != nil {
+		return nil, nil, err
+	}
+
+	// Open the WAL for appending, truncated: every surviving record was
+	// just re-applied durably.
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chunkstore: open wal: %w", err)
+	}
+	if err := wal.Truncate(0); err != nil {
+		wal.Close()
+		return nil, nil, fmt.Errorf("chunkstore: truncate wal: %w", err)
+	}
+	s.wal = wal
+
+	if err := s.scan(rec); err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	return s, rec, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the write-ahead log. Further mutations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+func (s *Store) walPath() string  { return filepath.Join(s.dir, walFile) }
+func (s *Store) specPath() string { return filepath.Join(s.dir, specFile) }
+func (s *Store) unitDir(u Unit) string {
+	return filepath.Join(s.dir, tablesDir, u.String())
+}
+
+func segName(seq uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)
+}
+
+// ---------- spec ----------
+
+// PutSpec durably stores the catalog spec document (atomic replace),
+// making recovery self-contained: a restarted worker can re-declare
+// its tables before rebuilding them from segments.
+func (s *Store) PutSpec(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("chunkstore: store closed")
+	}
+	return writeFileAtomic(s.specPath(), data)
+}
+
+// Spec returns the stored catalog spec document, if any.
+func (s *Store) Spec() ([]byte, bool) {
+	data, err := os.ReadFile(s.specPath())
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// ---------- mutations ----------
+
+// Append durably adds one segment (an encoded ingest batch) to a unit:
+// WAL record fsynced first, then the segment file, then the WAL
+// checkpoint. When Append returns nil the payload survives any crash.
+func (s *Store) Append(u Unit, payload []byte) error {
+	if err := validUnit(u); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("chunkstore: store closed")
+	}
+	seq := s.seq[u.String()] + 1
+	if err := s.logAndApply(walRecord{op: walAppend, unit: u, seq: seq, segs: [][]byte{payload}}); err != nil {
+		return err
+	}
+	s.seq[u.String()] = seq
+	s.units[u.String()] = u
+	return nil
+}
+
+// Replace durably replaces a unit's whole segment set (the /repl
+// install and direct-load semantics): older segments are removed once
+// the new set is applied. Idempotent under crash-and-replay.
+func (s *Store) Replace(u Unit, payloads [][]byte) error {
+	if err := validUnit(u); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("chunkstore: store closed")
+	}
+	start := s.seq[u.String()] + 1
+	if err := s.logAndApply(walRecord{op: walReplace, unit: u, seq: start, segs: payloads}); err != nil {
+		return err
+	}
+	s.seq[u.String()] = start + uint64(len(payloads)) - 1
+	s.units[u.String()] = u
+	return nil
+}
+
+// Segments returns a unit's segment payloads in application order,
+// verifying each checksum (the /repl export path ships these bytes
+// verbatim).
+func (s *Store) Segments(u Unit) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.units[u.String()]; !ok {
+		return nil, fmt.Errorf("chunkstore: no unit %s", u)
+	}
+	_, segs, err := readUnitDir(s.unitDir(u))
+	return segs, err
+}
+
+// Has reports whether the store holds the unit.
+func (s *Store) Has(u Unit) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.units[u.String()]
+	return ok
+}
+
+// Units lists the stored units, sorted by name.
+func (s *Store) Units() []Unit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.units))
+	for n := range s.units {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Unit, len(names))
+	for i, n := range names {
+		out[i] = s.units[n]
+	}
+	return out
+}
+
+// ---------- WAL ----------
+
+// walRecord is one logged mutation, payloads included: the log is the
+// atomicity device, so it must be able to redo the whole application.
+type walRecord struct {
+	op   byte
+	unit Unit
+	seq  uint64 // first segment sequence number
+	segs [][]byte
+}
+
+// encodeWALRecord renders: op, u32 name length, name, u64 seq, u32
+// segment count, {u64 length, payload}..., u32 CRC32 of all prior
+// bytes of the record.
+func encodeWALRecord(r walRecord) []byte {
+	name := r.unit.String()
+	size := 1 + 4 + len(name) + 8 + 4 + 4
+	for _, s := range r.segs {
+		size += 8 + len(s)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, r.op)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(name)))
+	out = append(out, name...)
+	out = binary.BigEndian.AppendUint64(out, r.seq)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(r.segs)))
+	for _, s := range r.segs {
+		out = binary.BigEndian.AppendUint64(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out
+}
+
+// decodeWALRecords parses as many intact records as the buffer holds.
+// A torn or corrupt tail — the expected shape of a crash mid-append —
+// ends the parse silently: that record was never acknowledged.
+func decodeWALRecords(data []byte) []walRecord {
+	var out []walRecord
+	pos := 0
+	for pos < len(data) {
+		start := pos
+		if len(data)-pos < 1+4 {
+			break
+		}
+		op := data[pos]
+		if op != walAppend && op != walReplace {
+			break
+		}
+		nameLen := int(binary.BigEndian.Uint32(data[pos+1 : pos+5]))
+		pos += 5
+		if nameLen <= 0 || nameLen > 4096 || pos+nameLen+8+4 > len(data) {
+			break
+		}
+		name := string(data[pos : pos+nameLen])
+		pos += nameLen
+		seq := binary.BigEndian.Uint64(data[pos : pos+8])
+		pos += 8
+		nseg := int(binary.BigEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+		if nseg < 0 || nseg > len(data) {
+			break
+		}
+		segs := make([][]byte, 0, nseg)
+		ok := true
+		for i := 0; i < nseg; i++ {
+			if pos+8 > len(data) {
+				ok = false
+				break
+			}
+			slen := binary.BigEndian.Uint64(data[pos : pos+8])
+			pos += 8
+			if slen > uint64(len(data)-pos) {
+				ok = false
+				break
+			}
+			segs = append(segs, data[pos:pos+int(slen)])
+			pos += int(slen)
+		}
+		if !ok || pos+4 > len(data) {
+			break
+		}
+		sum := binary.BigEndian.Uint32(data[pos : pos+4])
+		if crc32.ChecksumIEEE(data[start:pos]) != sum {
+			break
+		}
+		pos += 4
+		unit, err := parseUnit(name)
+		if err != nil {
+			break
+		}
+		out = append(out, walRecord{op: op, unit: unit, seq: seq, segs: segs})
+	}
+	return out
+}
+
+// logAndApply is the commit protocol: (1) append the record to the WAL
+// and fsync — from here the mutation survives a crash; (2) apply it to
+// the segment files durably; (3) checkpoint by truncating the WAL —
+// the segment files are now authoritative. Callers hold s.mu.
+func (s *Store) logAndApply(r walRecord) error {
+	rec := encodeWALRecord(r)
+	if _, err := s.wal.Write(rec); err != nil {
+		return fmt.Errorf("chunkstore: wal append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("chunkstore: wal sync: %w", err)
+	}
+	if err := s.applyRecord(r); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("chunkstore: wal checkpoint: %w", err)
+	}
+	return nil
+}
+
+// applyRecord materializes a record's segment files. Idempotent: a
+// segment already on disk and intact is kept, so recovery can replay a
+// record regardless of how far the first application got.
+func (s *Store) applyRecord(r walRecord) error {
+	dir := s.unitDir(r.unit)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	for i, payload := range r.segs {
+		path := filepath.Join(dir, segName(r.seq+uint64(i)))
+		if existing, err := readSegmentFile(path); err == nil && string(existing) == string(payload) {
+			continue
+		}
+		if err := writeFileAtomic(path, encodeSegment(payload)); err != nil {
+			return err
+		}
+	}
+	if r.op == walReplace {
+		// Drop every segment outside the new set's range; a replace is
+		// the unit's new complete content.
+		lo, hi := r.seq, r.seq+uint64(len(r.segs))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("chunkstore: %w", err)
+		}
+		for _, e := range entries {
+			seq, ok := parseSegName(e.Name())
+			if !ok {
+				continue
+			}
+			if seq < lo || seq >= hi {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+					return fmt.Errorf("chunkstore: %w", err)
+				}
+			}
+		}
+	}
+	return syncDir(dir)
+}
+
+// replayWAL redoes every intact WAL record (the crash window is
+// between a record's fsync and its segment application completing).
+func (s *Store) replayWAL(rec *Recovery) error {
+	data, err := os.ReadFile(s.walPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("chunkstore: read wal: %w", err)
+	}
+	for _, r := range decodeWALRecords(data) {
+		if err := s.applyRecord(r); err != nil {
+			return err
+		}
+		rec.WALReplayed++
+	}
+	return nil
+}
+
+// ---------- startup scan ----------
+
+// scan walks tables/, verifying every unit. Intact units populate the
+// in-memory index and the Recovery report; units failing verification
+// are renamed aside and reported quarantined.
+func (s *Store) scan(rec *Recovery) error {
+	root := filepath.Join(s.dir, tablesDir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasSuffix(e.Name(), quarantine) {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		u, perr := parseUnit(e.Name())
+		if perr != nil {
+			if err := quarantineDir(dir); err != nil {
+				return err
+			}
+			continue
+		}
+		maxSeq, segs, verr := readUnitDir(dir)
+		if verr != nil {
+			if err := quarantineDir(dir); err != nil {
+				return err
+			}
+			rec.Quarantined = append(rec.Quarantined, u)
+			continue
+		}
+		if len(segs) == 0 {
+			continue
+		}
+		s.seq[u.String()] = maxSeq
+		s.units[u.String()] = u
+		rec.Units = append(rec.Units, RecoveredUnit{Unit: u, Segments: segs})
+	}
+	sort.Slice(rec.Units, func(i, j int) bool {
+		return rec.Units[i].Unit.String() < rec.Units[j].Unit.String()
+	})
+	return nil
+}
+
+// quarantineDir renames a failed unit directory aside (never deletes:
+// an operator may still want the bytes) under a name the scan skips.
+func quarantineDir(dir string) error {
+	dst := dir + quarantine
+	for i := 1; ; i++ {
+		if _, err := os.Stat(dst); os.IsNotExist(err) {
+			break
+		}
+		dst = fmt.Sprintf("%s%s.%d", dir, quarantine, i)
+	}
+	if err := os.Rename(dir, dst); err != nil {
+		return fmt.Errorf("chunkstore: quarantine %s: %w", dir, err)
+	}
+	return nil
+}
+
+// readUnitDir reads and verifies a unit's segments in sequence order.
+func readUnitDir(dir string) (maxSeq uint64, segs [][]byte, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("chunkstore: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		seq, ok := parseSegName(e.Name())
+		if !ok {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				continue // torn atomic write; the rename never happened
+			}
+			return 0, nil, fmt.Errorf("chunkstore: stray file %s in %s", e.Name(), dir)
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		payload, err := readSegmentFile(filepath.Join(dir, segName(seq)))
+		if err != nil {
+			return 0, nil, err
+		}
+		segs = append(segs, payload)
+		maxSeq = seq
+	}
+	return maxSeq, segs, nil
+}
+
+func parseSegName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, segPrefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, segSuffix)
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// ---------- segment files ----------
+
+func encodeSegment(payload []byte) []byte {
+	out := make([]byte, 0, len(segMagic)+4+8+len(payload))
+	out = append(out, segMagic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	return append(out, payload...)
+}
+
+// readSegmentFile reads one segment file, verifying magic, length, and
+// checksum — a torn or bit-rotted segment is an error, never served.
+func readSegmentFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: %w", err)
+	}
+	head := len(segMagic) + 4 + 8
+	if len(data) < head || string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, fmt.Errorf("chunkstore: %s: bad segment header", path)
+	}
+	sum := binary.BigEndian.Uint32(data[len(segMagic) : len(segMagic)+4])
+	plen := binary.BigEndian.Uint64(data[len(segMagic)+4 : head])
+	if plen != uint64(len(data)-head) {
+		return nil, fmt.Errorf("chunkstore: %s: segment length %d does not match file (%d payload bytes)",
+			path, plen, len(data)-head)
+	}
+	payload := data[head:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("chunkstore: %s: segment fails its checksum", path)
+	}
+	return payload, nil
+}
+
+// ---------- fs helpers ----------
+
+// writeFileAtomic writes via temp-file, fsync, rename: readers see the
+// old content or the new, never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("chunkstore: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+// Filesystems that refuse directory fsync (some CI mounts) are
+// tolerated: the data files themselves are already synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

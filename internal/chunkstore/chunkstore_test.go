@@ -1,0 +1,238 @@
+package chunkstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Store, *Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, rec
+}
+
+// TestAppendReopen: appended segments and the spec survive a clean
+// close-and-reopen, in application order.
+func TestAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := mustOpen(t, dir)
+	if len(rec.Units) != 0 || rec.WALReplayed != 0 {
+		t.Fatalf("fresh store recovered %+v", rec)
+	}
+	obj := Unit{Table: "Object", Chunk: 5}
+	flt := Unit{Table: "Filter", Shared: true}
+	for _, p := range []string{"batch-1", "batch-2"} {
+		if err := s.Append(obj, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(flt, []byte("filters")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSpec([]byte(`{"Database":"LSST"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(obj) || !s.Has(flt) || s.Has(Unit{Table: "Object", Chunk: 6}) {
+		t.Fatal("Has disagrees with what was appended")
+	}
+	s.Close()
+
+	s2, rec2 := mustOpen(t, dir)
+	if rec2.WALReplayed != 0 || len(rec2.Quarantined) != 0 {
+		t.Fatalf("clean reopen: %+v", rec2)
+	}
+	if len(rec2.Units) != 2 {
+		t.Fatalf("recovered %d units, want 2", len(rec2.Units))
+	}
+	var got *RecoveredUnit
+	for i := range rec2.Units {
+		if rec2.Units[i].Unit == obj {
+			got = &rec2.Units[i]
+		}
+	}
+	if got == nil || len(got.Segments) != 2 ||
+		string(got.Segments[0]) != "batch-1" || string(got.Segments[1]) != "batch-2" {
+		t.Fatalf("Object@5 recovered %+v", got)
+	}
+	if spec, ok := s2.Spec(); !ok || !strings.Contains(string(spec), "LSST") {
+		t.Fatalf("spec not recovered: %q %v", spec, ok)
+	}
+	// Appends continue the sequence after recovery.
+	if err := s2.Append(obj, []byte("batch-3")); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := s2.Segments(obj)
+	if err != nil || len(segs) != 3 || string(segs[2]) != "batch-3" {
+		t.Fatalf("post-recovery append: %v %v", segs, err)
+	}
+}
+
+// TestReplaceDropsOldSegments: Replace installs a new complete segment
+// set and removes the unit's older segments, surviving reopen.
+func TestReplaceDropsOldSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	u := Unit{Table: "Object", Chunk: 9}
+	for _, p := range []string{"old-1", "old-2"} {
+		if err := s.Append(u, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Replace(u, [][]byte{[]byte("new-1"), []byte("new-2")}); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := s.Segments(u)
+	if err != nil || len(segs) != 2 || string(segs[0]) != "new-1" {
+		t.Fatalf("after replace: %v %v", segs, err)
+	}
+	s.Close()
+	_, rec := mustOpen(t, dir)
+	if len(rec.Units) != 1 || len(rec.Units[0].Segments) != 2 ||
+		string(rec.Units[0].Segments[0]) != "new-1" || string(rec.Units[0].Segments[1]) != "new-2" {
+		t.Fatalf("recovered %+v", rec.Units)
+	}
+}
+
+// TestWALReplay: a record fsynced to the WAL whose segment application
+// never happened (the crash window) is redone by Open.
+func TestWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	u := Unit{Table: "Object", Chunk: 3}
+	rec := encodeWALRecord(walRecord{op: walAppend, unit: u, seq: 1, segs: [][]byte{[]byte("payload")}})
+	if err := os.WriteFile(filepath.Join(dir, walFile), rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, r := mustOpen(t, dir)
+	if r.WALReplayed != 1 {
+		t.Fatalf("WALReplayed = %d, want 1", r.WALReplayed)
+	}
+	segs, err := s.Segments(u)
+	if err != nil || len(segs) != 1 || string(segs[0]) != "payload" {
+		t.Fatalf("replayed unit: %v %v", segs, err)
+	}
+	// The WAL is checkpointed after replay.
+	if st, err := os.Stat(filepath.Join(dir, walFile)); err != nil || st.Size() != 0 {
+		t.Fatalf("wal not truncated after replay: %v %v", st, err)
+	}
+}
+
+// TestTornWALTail: a torn tail (the expected shape of a crash mid
+// WAL append) silently ends replay — intact records before it apply,
+// the unacknowledged tail does not.
+func TestTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, tablesDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good := encodeWALRecord(walRecord{op: walAppend, unit: Unit{Table: "Object", Chunk: 1}, seq: 1,
+		segs: [][]byte{[]byte("good")}})
+	torn := encodeWALRecord(walRecord{op: walAppend, unit: Unit{Table: "Object", Chunk: 2}, seq: 1,
+		segs: [][]byte{[]byte("never-acked")}})
+	torn = torn[:len(torn)-3] // crash mid-write: the record's CRC never landed
+	if err := os.WriteFile(filepath.Join(dir, walFile), append(good, torn...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, r := mustOpen(t, dir)
+	if r.WALReplayed != 1 {
+		t.Fatalf("WALReplayed = %d, want 1", r.WALReplayed)
+	}
+	if !s.Has(Unit{Table: "Object", Chunk: 1}) || s.Has(Unit{Table: "Object", Chunk: 2}) {
+		t.Fatalf("units after torn-tail replay: %v", s.Units())
+	}
+}
+
+// TestChecksumQuarantine: a unit whose segment bytes rotted is
+// quarantined — renamed aside, excluded from the recovered inventory —
+// while intact units keep serving; the unit can then be refilled.
+func TestChecksumQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	bad := Unit{Table: "Object", Chunk: 4}
+	ok := Unit{Table: "Object", Chunk: 8}
+	if err := s.Append(bad, []byte("will-rot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(ok, []byte("stays-good")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip one payload byte under the checksum.
+	segPath := filepath.Join(dir, tablesDir, bad.String(), segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, dir)
+	if len(rec.Quarantined) != 1 || rec.Quarantined[0] != bad {
+		t.Fatalf("Quarantined = %+v, want [%v]", rec.Quarantined, bad)
+	}
+	if len(rec.Units) != 1 || rec.Units[0].Unit != ok {
+		t.Fatalf("Units = %+v, want just %v", rec.Units, ok)
+	}
+	if s2.Has(bad) || !s2.Has(ok) {
+		t.Fatal("Has disagrees with quarantine")
+	}
+	// The bytes were set aside, not deleted.
+	if _, err := os.Stat(filepath.Join(dir, tablesDir, bad.String()+quarantine)); err != nil {
+		t.Fatalf("quarantined directory missing: %v", err)
+	}
+	// Repair re-ships the chunk: a fresh Replace rebuilds the unit.
+	if err := s2.Replace(bad, [][]byte{[]byte("re-shipped")}); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := s2.Segments(bad)
+	if err != nil || len(segs) != 1 || !bytes.Equal(segs[0], []byte("re-shipped")) {
+		t.Fatalf("refilled unit: %v %v", segs, err)
+	}
+}
+
+// TestTornSegmentTmpTolerated: a leftover .tmp file (crash between
+// temp-write and rename) does not fail the unit.
+func TestTornSegmentTmpTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	u := Unit{Table: "Object", Chunk: 2}
+	if err := s.Append(u, []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	tmp := filepath.Join(dir, tablesDir, u.String(), segName(2)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-writ"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir)
+	if len(rec.Quarantined) != 0 || len(rec.Units) != 1 || len(rec.Units[0].Segments) != 1 {
+		t.Fatalf("recovery with stray tmp: %+v", rec)
+	}
+}
+
+// TestUnitValidation: names that cannot be directory names are refused.
+func TestUnitValidation(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir())
+	for _, u := range []Unit{
+		{Table: "", Chunk: 1},
+		{Table: "../evil", Chunk: 1},
+		{Table: "a b", Chunk: 1},
+		{Table: "Object", Chunk: -2},
+	} {
+		if err := s.Append(u, []byte("x")); err == nil {
+			t.Errorf("Append(%+v) accepted an invalid unit", u)
+		}
+	}
+}

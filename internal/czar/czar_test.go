@@ -52,7 +52,10 @@ func miniCluster(t *testing.T) (*Czar, []*worker.Worker, *xrd.Redirector) {
 	var workers []*worker.Worker
 	i := 0
 	for c, rows := range byChunk {
-		w := worker.New(worker.DefaultConfig("w"+string(rune('0'+i))), reg)
+		w, err := worker.New(worker.DefaultConfig("w"+string(rune('0'+i))), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Cleanup(w.Close)
 		if err := w.LoadChunk(info, c, rows, nil); err != nil {
 			t.Fatal(err)
@@ -240,7 +243,10 @@ func replicatedMini(t *testing.T) (*Czar, *worker.Worker, *worker.Worker, partit
 	}
 	var ws []*worker.Worker
 	for _, name := range []string{"wA", "wB"} {
-		w := worker.New(worker.DefaultConfig(name), reg)
+		w, err := worker.New(worker.DefaultConfig(name), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Cleanup(w.Close)
 		if err := w.LoadChunk(info, c, rows, nil); err != nil {
 			t.Fatal(err)

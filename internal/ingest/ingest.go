@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/meta"
@@ -193,6 +194,77 @@ func decodeRow(data []byte, pos int) (sqlengine.Row, int, error) {
 		}
 	}
 	return row, pos, nil
+}
+
+// ---------- segment framing ----------
+
+// segmentsMagic heads a segment-set frame: the /repl wire format since
+// the durable chunk store. A frame carries one or more encoded batches
+// ("segments"), each length-prefixed and CRC-checksummed. A durable
+// worker ships its on-disk segment files verbatim — no row re-encoding
+// — and the installer verifies every segment's checksum before
+// applying any, so a corrupted copy is rejected whole.
+var segmentsMagic = []byte("QSEGS1")
+
+// EncodeSegments frames a set of encoded-batch payloads for shipment.
+func EncodeSegments(segments [][]byte) []byte {
+	size := len(segmentsMagic) + binary.MaxVarintLen64
+	for _, s := range segments {
+		size += binary.MaxVarintLen64 + 4 + len(s)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, segmentsMagic...)
+	out = binary.AppendUvarint(out, uint64(len(segments)))
+	for _, s := range segments {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(s))
+		out = append(out, s...)
+	}
+	return out
+}
+
+// IsSegments reports whether data carries the segment-set framing.
+func IsSegments(data []byte) bool {
+	return len(data) >= len(segmentsMagic) && string(data[:len(segmentsMagic)]) == string(segmentsMagic)
+}
+
+// DecodeSegments parses a segment-set frame, verifying every segment's
+// CRC. The returned slices alias data.
+func DecodeSegments(data []byte) ([][]byte, error) {
+	if !IsSegments(data) {
+		return nil, fmt.Errorf("ingest: bad segment-set header")
+	}
+	pos := len(segmentsMagic)
+	count, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("ingest: truncated segment set")
+	}
+	pos += n
+	// Untrusted count: every segment costs at least its length varint
+	// plus the 4 CRC bytes.
+	if count > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("ingest: segment set claims %d segments in %d bytes", count, len(data)-pos)
+	}
+	out := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		slen, n := binary.Uvarint(data[pos:])
+		if n <= 0 || slen > uint64(len(data)) || pos+n+4+int(slen) > len(data) {
+			return nil, fmt.Errorf("ingest: segment %d of %d truncated", i, count)
+		}
+		pos += n
+		sum := binary.BigEndian.Uint32(data[pos : pos+4])
+		pos += 4
+		seg := data[pos : pos+int(slen) : pos+int(slen)]
+		pos += int(slen)
+		if crc32.ChecksumIEEE(seg) != sum {
+			return nil, fmt.Errorf("ingest: segment %d of %d fails its checksum", i, count)
+		}
+		out = append(out, seg)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("ingest: %d trailing bytes after segment set", len(data)-pos)
+	}
+	return out, nil
 }
 
 // ---------- spec codec ----------

@@ -188,3 +188,68 @@ func TestDecodeSpecRejectsBadPayloads(t *testing.T) {
 		t.Error("unknown column type accepted")
 	}
 }
+
+// ---------- segment-set framing ----------
+
+func TestSegmentsRoundTrip(t *testing.T) {
+	segs := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload")}
+	frame := EncodeSegments(segs)
+	if !IsSegments(frame) {
+		t.Fatal("frame not recognized as segments")
+	}
+	got, err := DecodeSegments(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(segs) {
+		t.Fatalf("decoded %d segments, want %d", len(got), len(segs))
+	}
+	for i := range segs {
+		if string(got[i]) != string(segs[i]) {
+			t.Fatalf("segment %d = %q, want %q", i, got[i], segs[i])
+		}
+	}
+	// An empty set is a valid frame (a table with no rows yet).
+	got, err = DecodeSegments(EncodeSegments(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty set: %v %v", got, err)
+	}
+}
+
+func TestSegmentsRejectsLegacyBatch(t *testing.T) {
+	// A bare encoded batch must NOT look like a segment set: installRepl
+	// dispatches on IsSegments to stay compatible with old payloads.
+	data, err := EncodeBatch(Batch{Rows: []sqlengine.Row{{int64(1)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsSegments(data) {
+		t.Fatal("legacy batch payload misdetected as a segment set")
+	}
+}
+
+func TestSegmentsCorruptionDetected(t *testing.T) {
+	frame := EncodeSegments([][]byte{[]byte("payload-one"), []byte("payload-two")})
+	// Flip one payload byte: the per-segment CRC must catch it.
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := DecodeSegments(bad); err == nil {
+		t.Fatal("corrupted segment payload decoded without error")
+	}
+	// Truncation anywhere inside the frame must error, never panic.
+	for cut := len(segmentsMagic); cut < len(frame); cut++ {
+		if _, err := DecodeSegments(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is rejected: a frame is the whole payload.
+	if _, err := DecodeSegments(append(append([]byte(nil), frame...), 0xEE)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A hostile segment count can't cause a huge allocation.
+	hostile := append([]byte(nil), segmentsMagic...)
+	hostile = binary.AppendUvarint(hostile, 1<<40)
+	if _, err := DecodeSegments(hostile); err == nil {
+		t.Fatal("hostile segment count accepted")
+	}
+}

@@ -121,6 +121,10 @@ type health struct {
 	misses   int
 	lastSeen time.Time
 	lastErr  error
+	// deadSince is when the worker entered StateDead; zero while not
+	// dead. The repairer reads it to hold re-homing for a grace window
+	// in which a durable worker can restart and serve its chunks again.
+	deadSince time.Time
 }
 
 // NewDetector creates a detector; call Watch to add workers and Start
@@ -230,11 +234,15 @@ func (d *Detector) Probe(ctx context.Context) {
 			h.misses, h.lastErr = 0, nil
 			h.lastSeen = time.Now()
 			h.state = StateAlive
+			h.deadSince = time.Time{}
 		} else {
 			h.misses++
 			h.lastErr = o.err
 			switch {
 			case h.misses >= d.cfg.DeadAfter:
+				if h.state != StateDead {
+					h.deadSince = time.Now()
+				}
 				h.state = StateDead
 			case h.misses >= d.cfg.SuspectAfter:
 				h.state = StateSuspect
@@ -260,6 +268,18 @@ func (d *Detector) Dead(name string) bool {
 	defer d.mu.Unlock()
 	h := d.workers[name]
 	return h != nil && h.state == StateDead
+}
+
+// DeadSince returns when a dead worker entered StateDead; ok is false
+// for workers that are not watched or not currently dead.
+func (d *Detector) DeadSince(name string) (time.Time, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h := d.workers[name]
+	if h == nil || h.state != StateDead {
+		return time.Time{}, false
+	}
+	return h.deadSince, true
 }
 
 // State returns a worker's current state; ok is false when the worker

@@ -149,7 +149,10 @@ func newRepairHarness(t *testing.T) *repairHarness {
 	}
 	h.client = xrd.NewClient(h.red)
 	for _, name := range []string{"w1", "w2", "w3"} {
-		w := worker.New(worker.DefaultConfig(name), h.reg)
+		w, err := worker.New(worker.DefaultConfig(name), h.reg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		t.Cleanup(w.Close)
 		h.workers[name] = w
 		h.names = append(h.names, name)

@@ -3,6 +3,7 @@ package member
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -34,6 +35,12 @@ type RepairConfig struct {
 	// never without a live export). from or to may be empty when a
 	// replica was only added or only dropped.
 	Rehome func(chunk partition.ChunkID, from, to string)
+	// DeadGrace holds re-homing off a freshly dead worker for this long:
+	// a durable worker that restarts within the window revives with its
+	// chunks recovered from disk, and nothing needs copying. Chunks
+	// waiting out the grace count as pending. Zero disables the window
+	// (the PR-5 behavior: the first sweep after death re-homes).
+	DeadGrace time.Duration
 }
 
 func (c RepairConfig) withDefaults() RepairConfig {
@@ -53,6 +60,11 @@ func (c RepairConfig) withDefaults() RepairConfig {
 type RepairProgress struct {
 	// ChunksRepaired counts verified chunk re-homes since startup.
 	ChunksRepaired int
+	// ChunksHealed counts in-place refills: a live holder whose
+	// inventory was missing a chunk placement assigns it (a worker that
+	// restarted hollow) had the chunk copied back without any placement
+	// change.
+	ChunksHealed int
 	// ChunksPending counts chunks the last audit left under-replicated
 	// (no live source or target yet); they are retried on the next
 	// sweep.
@@ -80,6 +92,12 @@ type Repairer struct {
 
 	mu   sync.Mutex
 	prog RepairProgress
+
+	// invCache holds per-audit /inventory answers (worker -> chunk set;
+	// a nil set means the read failed and the worker is assumed intact).
+	// Guarded by runMu: it is reset at the top of each Sweep/Drain and
+	// filled lazily as repairChunk audits holders.
+	invCache map[string]map[partition.ChunkID]bool
 
 	kick     chan struct{}
 	stop     chan struct{}
@@ -148,6 +166,7 @@ func (r *Repairer) loop() {
 func (r *Repairer) Sweep() {
 	r.runMu.Lock()
 	defer r.runMu.Unlock()
+	r.invCache = nil
 	pending := 0
 	var lastErr string
 	for _, c := range r.placement.Chunks() {
@@ -174,6 +193,7 @@ func (r *Repairer) Sweep() {
 func (r *Repairer) Drain(ctx context.Context, worker string) error {
 	r.runMu.Lock()
 	defer r.runMu.Unlock()
+	r.invCache = nil
 	for _, c := range r.placement.ChunksOn(worker) {
 		if err := ctx.Err(); err != nil {
 			return context.Cause(ctx)
@@ -188,18 +208,52 @@ func (r *Repairer) Drain(ctx context.Context, worker string) error {
 // repairChunk restores one chunk to Factor live replicas. drain names a
 // worker being decommissioned: it never counts toward the factor and is
 // never a target, but — being alive — it may serve as the copy source.
+//
+// The audit distinguishes three holder failure shapes. A holder dead
+// past DeadGrace is a victim: its replica re-homes to a fresh worker. A
+// holder dead within the grace is left alone — the chunk counts as
+// pending while a durable restart gets its chance to revive with data
+// intact. A live holder whose /inventory is missing the chunk came back
+// hollow (an in-memory restart, or a durable one whose segments failed
+// their checksums and were quarantined): it keeps its placement slot
+// and the chunk is copied back in place from an intact replica.
 func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 	holders := r.placement.Workers(c)
-	var alive, victims []string
+	var alive, hollow, victims []string
+	graceWait := false
 	for _, h := range holders {
 		switch {
 		case h == drain:
 			victims = append(victims, h)
 		case r.det != nil && r.det.Dead(h):
+			if r.cfg.DeadGrace > 0 {
+				if since, ok := r.det.DeadSince(h); ok && time.Since(since) < r.cfg.DeadGrace {
+					graceWait = true
+					continue
+				}
+			}
 			victims = append(victims, h)
-		default:
+		case r.holderHasChunk(h, c):
 			alive = append(alive, h)
+		default:
+			hollow = append(hollow, h)
 		}
+	}
+	// Refill hollow holders in place before counting replicas: the heal
+	// changes no placement, so a fully recovered restart costs zero
+	// re-homes and a hollow one costs only copies back to itself.
+	for _, h := range hollow {
+		if len(alive) == 0 {
+			return fmt.Errorf("member: chunk %d: holder %s is missing the chunk and no intact replica can refill it", c, h)
+		}
+		if err := r.copyChunk(alive[0], h, c); err != nil {
+			return err
+		}
+		r.invCache[h][c] = true
+		alive = append(alive, h)
+		r.mu.Lock()
+		r.prog.ChunksHealed++
+		r.mu.Unlock()
 	}
 	needed := r.cfg.Factor - len(alive)
 	if needed <= 0 {
@@ -211,6 +265,11 @@ func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 			}
 		}
 		return nil
+	}
+	if graceWait {
+		// Re-homing now would over-replicate the moment the worker
+		// revives; keep the chunk pending until the grace runs out.
+		return fmt.Errorf("member: chunk %d: holder dead within restart grace (%v); waiting", c, r.cfg.DeadGrace)
 	}
 	if len(alive) == 0 && drain == "" {
 		return fmt.Errorf("member: chunk %d: no surviving replica (holders %v)", c, holders)
@@ -245,6 +304,40 @@ func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 		r.mu.Unlock()
 	}
 	return nil
+}
+
+// holderHasChunk audits a live holder's actual chunk set against
+// placement's belief, via the fabric's /inventory read. Answers are
+// cached for the duration of one sweep (callers hold runMu). A failed
+// read leaves the worker assumed intact: the detector, not this audit,
+// decides deadness, and a transiently unreachable-but-alive worker must
+// not trigger spurious copies.
+func (r *Repairer) holderHasChunk(h string, c partition.ChunkID) bool {
+	if r.invCache == nil {
+		r.invCache = map[string]map[partition.ChunkID]bool{}
+	}
+	set, fetched := r.invCache[h]
+	if !fetched {
+		ctx, done := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
+		data, err := r.client.ReadFrom(ctx, h, xrd.InventoryPath)
+		done()
+		if err == nil {
+			var doc struct {
+				Chunks []int `json:"chunks"`
+			}
+			if json.Unmarshal(data, &doc) == nil {
+				set = map[partition.ChunkID]bool{}
+				for _, id := range doc.Chunks {
+					set[partition.ChunkID(id)] = true
+				}
+			}
+		}
+		r.invCache[h] = set
+	}
+	if set == nil {
+		return true
+	}
+	return set[c]
 }
 
 func (r *Repairer) rehome(c partition.ChunkID, from, to string) {

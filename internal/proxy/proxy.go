@@ -206,9 +206,9 @@ func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, han
 		if !ok {
 			return nil, nil, true, fmt.Errorf("proxy: no availability subsystem is wired (SHOW REPAIRS needs a czar with membership)")
 		}
-		cols = []string{"PlacementEpoch", "ChunksRepaired", "ChunksPending", "TablesCopied", "BytesCopied", "LastError"}
+		cols = []string{"PlacementEpoch", "ChunksRepaired", "ChunksHealed", "ChunksPending", "TablesCopied", "BytesCopied", "LastError"}
 		rows = append(rows, []sqlengine.Value{
-			st.Epoch, int64(st.Repair.ChunksRepaired), int64(st.Repair.ChunksPending),
+			st.Epoch, int64(st.Repair.ChunksRepaired), int64(st.Repair.ChunksHealed), int64(st.Repair.ChunksPending),
 			int64(st.Repair.TablesCopied), st.Repair.BytesCopied, st.Repair.LastError,
 		})
 		return cols, rows, true, nil

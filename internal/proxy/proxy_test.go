@@ -325,7 +325,7 @@ func TestShowWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Rows[0][0].(int64) != 7 || rep.Rows[0][1].(int64) != 3 || rep.Rows[0][4].(int64) != 4096 {
+	if rep.Rows[0][0].(int64) != 7 || rep.Rows[0][1].(int64) != 3 || rep.Rows[0][2].(int64) != 0 || rep.Rows[0][5].(int64) != 4096 {
 		t.Errorf("SHOW REPAIRS = %v", rep.Rows[0])
 	}
 }

@@ -233,7 +233,11 @@ func New(cfg Config, cat *datagen.Catalog) (*Cluster, error) {
 		names[i] = fmt.Sprintf("sim-%03d", i)
 		wcfg := worker.DefaultConfig(names[i])
 		wcfg.Slots = 2 // real execution concurrency; virtual queues are simulated
-		cl.workers = append(cl.workers, worker.New(wcfg, registry))
+		w, err := worker.New(wcfg, registry)
+		if err != nil {
+			return nil, err
+		}
+		cl.workers = append(cl.workers, w)
 	}
 	cl.placement, err = meta.RoundRobin(placed, names, 1)
 	if err != nil {

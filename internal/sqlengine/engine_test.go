@@ -731,3 +731,73 @@ func (s *stubSource) NextPiece() ([]Row, bool) {
 }
 
 func (s *stubSource) Close() {}
+
+// TestFloatModulo: `x % 0.5` used to truncate the divisor to an int and
+// crash the scan lane with an integer divide by zero. Fractional
+// divisors must use floating modulo; only a true zero divisor is NULL.
+func TestFloatModulo(t *testing.T) {
+	e := newTestEngine(t)
+	res := mustQuery(t, e, "SELECT objectId, ra_PS % 0.5 FROM Object WHERE objectId = 2")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if got := res.Rows[0][1].(float64); math.Abs(got) > 1e-9 {
+		t.Errorf("10.5 %% 0.5 = %v, want 0", got)
+	}
+	res = mustQuery(t, e, "SELECT ra_PS % 3.25 FROM Object WHERE objectId = 1")
+	if got := res.Rows[0][0].(float64); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("10.0 %% 3.25 = %v, want 0.25", got)
+	}
+	// A genuinely zero divisor is NULL, not a panic and not an error —
+	// and a NULL predicate excludes the row.
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE ra_PS % 0.0 > -1")
+	if len(res.Rows) != 0 {
+		t.Errorf("x %% 0 comparison matched %d rows, want 0", len(res.Rows))
+	}
+	res = mustQuery(t, e, "SELECT ra_PS % 0.25 FROM Object WHERE objectId = 5")
+	if got := res.Rows[0][0].(float64); math.Abs(got) > 1e-9 {
+		t.Errorf("180.0 %% 0.25 = %v, want 0", got)
+	}
+}
+
+// TestInListNullSemantics: SQL three-valued logic for IN lists holding
+// NULL. `x NOT IN (..., NULL)` is NULL when x matches nothing — it must
+// never become TRUE and resurrect rows.
+func TestInListNullSemantics(t *testing.T) {
+	e := newTestEngine(t)
+	// Plain IN with a NULL in the list: matches still match.
+	res := mustQuery(t, e, "SELECT objectId FROM Object WHERE objectId IN (1, NULL, 3)")
+	if len(res.Rows) != 2 {
+		t.Fatalf("IN (1, NULL, 3) matched %d rows, want 2", len(res.Rows))
+	}
+	// No match + NULL in list = UNKNOWN: the row is excluded...
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE objectId IN (99, NULL)")
+	if len(res.Rows) != 0 {
+		t.Errorf("IN (99, NULL) matched %d rows, want 0", len(res.Rows))
+	}
+	// ...and crucially NOT IN (99, NULL) is also UNKNOWN, not TRUE.
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE objectId NOT IN (99, NULL)")
+	if len(res.Rows) != 0 {
+		t.Errorf("NOT IN (99, NULL) matched %d rows, want 0 (UNKNOWN)", len(res.Rows))
+	}
+	// NOT IN with a real match is definitely FALSE for that row and the
+	// NULL never flips the others to TRUE.
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE objectId NOT IN (1, NULL)")
+	if len(res.Rows) != 0 {
+		t.Errorf("NOT IN (1, NULL) matched %d rows, want 0", len(res.Rows))
+	}
+	// Without a NULL, NOT IN behaves two-valued.
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE objectId NOT IN (1, 2)")
+	if len(res.Rows) != 4 {
+		t.Errorf("NOT IN (1, 2) matched %d rows, want 4", len(res.Rows))
+	}
+	// NULL on the left is UNKNOWN both ways.
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE zFlux_PS IN (NULL, 3e-28)")
+	if len(res.Rows) != 1 {
+		t.Errorf("flux IN: %d rows, want 1", len(res.Rows))
+	}
+	res = mustQuery(t, e, "SELECT objectId FROM Object WHERE zFlux_PS NOT IN (99.0)")
+	if len(res.Rows) != 5 {
+		t.Errorf("flux NOT IN: %d rows, want 5 (NULL row excluded)", len(res.Rows))
+	}
+}

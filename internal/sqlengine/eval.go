@@ -2,6 +2,7 @@ package sqlengine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/sqlparse"
@@ -187,15 +188,26 @@ func (env *evalEnv) Eval(e sqlparse.Expr) (Value, error) {
 			return nil, nil
 		}
 		found := false
+		sawNull := false
 		for _, item := range v.List {
 			y, err := env.Eval(item)
 			if err != nil {
 				return nil, err
 			}
+			if IsNull(y) {
+				sawNull = true
+				continue
+			}
 			if Equal(x, y) {
 				found = true
 				break
 			}
+		}
+		if !found && sawNull {
+			// SQL three-valued logic: with a NULL in the list, an
+			// unmatched x is UNKNOWN, not FALSE — `x NOT IN (1, NULL)`
+			// is NULL, never TRUE.
+			return nil, nil
 		}
 		if v.Not {
 			found = !found
@@ -340,10 +352,14 @@ func evalArith(op string, l, r Value) (Value, error) {
 		}
 		return lf / rf, nil
 	case "%":
+		// Only a true zero divisor yields NULL; fractional divisors
+		// (e.g. `x % 0.5`) must not be truncated to integers first — a
+		// divisor in (-1, 1) would truncate to 0 and panic the scan lane
+		// with an integer divide by zero.
 		if rf == 0 {
 			return nil, nil
 		}
-		return float64(int64(lf) % int64(rf)), nil
+		return math.Mod(lf, rf), nil
 	}
 	return nil, fmt.Errorf("sqlengine: unknown arithmetic operator %q", op)
 }

@@ -1,0 +1,169 @@
+package worker
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/xrd"
+)
+
+// TestDurableRestartRecovery: a worker with a DataDir that is closed
+// and reopened serves its chunk tables, overlap companions, director
+// indexes, and shared tables from disk — no re-load, no /repl copy.
+func TestDurableRestartRecovery(t *testing.T) {
+	reg := replRegistry(t)
+	dir := t.TempDir()
+	cfg := DefaultConfig("w-dur")
+	cfg.DataDir = dir
+
+	w := mustNew(t, cfg, reg)
+	objInfo, err := reg.Table("Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = partition.ChunkID(7)
+	rows := []sqlengine.Row{objectRow(1, chunk), objectRow(2, chunk)}
+	overlap := []sqlengine.Row{objectRow(9, 8)}
+	if err := w.LoadChunk(objInfo, chunk, rows, overlap); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch through the ingest path: recovery must replay
+	// segments in order and accumulate them.
+	more, err := ingest.EncodeBatch(ingest.Batch{Rows: []sqlengine.Row{objectRow(3, chunk)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.HandleWrite(xrd.LoadPath("Object", int(chunk)), more); err != nil {
+		t.Fatal(err)
+	}
+	fltInfo, err := reg.Table("Filter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadShared("Filter", fltInfo.Schema, []sqlengine.Row{{int64(0), "u"}, {int64(1), "g"}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Restart: same DataDir, same (shared, in-process) registry.
+	w2 := mustNew(t, cfg, reg)
+	defer w2.Close()
+	chunks := w2.Chunks()
+	if len(chunks) != 1 || chunks[0] != chunk {
+		t.Fatalf("recovered chunks = %v, want [%d]", chunks, chunk)
+	}
+	db, err := w2.Engine().Database(reg.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table(meta.ChunkTableName("Object", chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("chunk table has %d rows, want 3", len(tbl.Rows))
+	}
+	if !tbl.HasIndex("objectId") {
+		t.Fatal("director-key index not rebuilt on recovery")
+	}
+	ov, err := db.Table(meta.OverlapTableName("Object", chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov.Rows) != 1 {
+		t.Fatalf("overlap table has %d rows, want 1", len(ov.Rows))
+	}
+	flt, err := db.Table("Filter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flt.Rows) != 2 {
+		t.Fatalf("shared table has %d rows, want 2", len(flt.Rows))
+	}
+	// The recovered worker can serve a /repl export (the bytes the
+	// repairer would byte-compare) without any reload.
+	if _, err := w2.HandleRead(xrd.ReplPath("Object", int(chunk))); err != nil {
+		t.Fatalf("repl export after recovery: %v", err)
+	}
+}
+
+// TestDurableRecoveryQuarantine: a chunk whose on-disk bytes fail their
+// checksum is excluded from the recovered inventory (so the repairer
+// re-ships it) while intact chunks keep serving.
+func TestDurableRecoveryQuarantine(t *testing.T) {
+	reg := replRegistry(t)
+	dir := t.TempDir()
+	cfg := DefaultConfig("w-rot")
+	cfg.DataDir = dir
+
+	w := mustNew(t, cfg, reg)
+	objInfo, err := reg.Table("Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadChunk(objInfo, 7, []sqlengine.Row{objectRow(1, 7)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LoadChunk(objInfo, 9, []sqlengine.Row{objectRow(2, 9)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Rot one payload byte of chunk 7's segment, under its checksum.
+	segs, err := filepath.Glob(filepath.Join(dir, "tables", "Object@7", "seg-*.qseg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files for Object@7: %v %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := mustNew(t, cfg, reg)
+	defer w2.Close()
+	chunks := w2.Chunks()
+	if len(chunks) != 1 || chunks[0] != 9 {
+		t.Fatalf("recovered chunks = %v, want [9] (7 quarantined)", chunks)
+	}
+	// The inventory the repairer audits against must agree.
+	inv, err := w2.HandleRead(xrd.InventoryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(inv); !strings.Contains(s, "[9]") {
+		t.Fatalf("inventory = %s, want chunks [9]", s)
+	}
+}
+
+// TestInventoryEndpoint: /inventory reports the worker's chunk set.
+func TestInventoryEndpoint(t *testing.T) {
+	reg := replRegistry(t)
+	w := mustNew(t, DefaultConfig("w-inv"), reg)
+	defer w.Close()
+	objInfo, err := reg.Table("Object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []partition.ChunkID{12, 3} {
+		if err := w.LoadChunk(objInfo, c, []sqlengine.Row{objectRow(int64(c), c)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv, err := w.HandleRead(xrd.InventoryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := string(inv); !strings.Contains(s, `"worker":"w-inv"`) || !strings.Contains(s, "[3,12]") {
+		t.Fatalf("inventory = %s", s)
+	}
+}

@@ -3,6 +3,7 @@ package worker
 import (
 	"fmt"
 
+	"repro/internal/chunkstore"
 	"repro/internal/ingest"
 	"repro/internal/meta"
 	"repro/internal/partition"
@@ -29,7 +30,9 @@ func (w *Worker) handleLoad(path string, data []byte) error {
 		if err := w.registry.ApplySpec(spec); err != nil {
 			return fmt.Errorf("worker %s: %w", w.cfg.Name, err)
 		}
-		return nil
+		// The stored spec is what lets a restarted worker rebuild its
+		// chunk tables before any czar re-sends metadata.
+		return w.persistSpec(data)
 	}
 	table, chunk, shared, err := xrd.ParseLoadPath(path)
 	if err != nil {
@@ -62,7 +65,13 @@ func (w *Worker) handleLoad(path string, data []byte) error {
 		if err != nil {
 			return err
 		}
-		return t.Insert(batch.Rows...)
+		if err := t.Insert(batch.Rows...); err != nil {
+			return err
+		}
+		// Memory first, then disk: the ack a successful return implies
+		// must mean both applied and durable. The payload is persisted in
+		// wire form, so recovery replays exactly what was loaded.
+		return w.persistAppend(chunkstore.Unit{Table: info.Name, Shared: true}, data)
 	}
 
 	if !info.Partitioned {
@@ -82,6 +91,9 @@ func (w *Worker) handleLoad(path string, data []byte) error {
 	}
 	if err := ov.Insert(batch.Overlap...); err != nil {
 		return fmt.Errorf("worker %s: load %s chunk %d overlap: %w", w.cfg.Name, info.Name, chunk, err)
+	}
+	if err := w.persistAppend(chunkstore.Unit{Table: info.Name, Chunk: chunk}, data); err != nil {
+		return err
 	}
 	w.mu.Lock()
 	w.chunks[cid] = true

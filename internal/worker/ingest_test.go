@@ -44,7 +44,7 @@ func demoSpec() meta.CatalogSpec {
 // dispatched over the same fabric reads the rows back.
 func TestIngestOverTCPRoundTrip(t *testing.T) {
 	reg := sensorRegistry(t)
-	w := New(DefaultConfig("w0"), reg)
+	w := mustNew(t, DefaultConfig("w0"), reg)
 	defer w.Close()
 	srv, err := xrd.Serve("127.0.0.1:0", w)
 	if err != nil {
@@ -144,7 +144,7 @@ func TestIngestOverTCPRoundTrip(t *testing.T) {
 // tables, malformed payloads and paths, and kind/path mismatches.
 func TestIngestLoadPathErrors(t *testing.T) {
 	reg := sensorRegistry(t)
-	w := New(DefaultConfig("w0"), reg)
+	w := mustNew(t, DefaultConfig("w0"), reg)
 	defer w.Close()
 
 	if err := w.HandleWrite(xrd.LoadPath("T", 1), []byte("x")); err == nil ||

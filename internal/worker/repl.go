@@ -3,6 +3,7 @@ package worker
 import (
 	"fmt"
 
+	"repro/internal/chunkstore"
 	"repro/internal/ingest"
 	"repro/internal/meta"
 	"repro/internal/partition"
@@ -35,11 +36,15 @@ func (w *Worker) pingStatus() []byte {
 }
 
 // exportRepl serves a /repl read: the chunk table's rows plus its
-// overlap companion's (or a replicated table's full row set), encoded
-// with the ingest batch codec. Exports are deterministic — rows ship
-// in insertion order and the codec is fixed-width — so the replication
-// manager verifies a copy by re-exporting from the target and
-// comparing bytes.
+// overlap companion's (or a replicated table's full row set), framed as
+// a checksummed segment stream (ingest.EncodeSegments). A durable
+// worker ships its stored segment files verbatim — verified bytes move,
+// nothing is re-encoded from row structures — while an in-memory worker
+// encodes its rows as a single segment. Exports are deterministic
+// either way, so the replication manager verifies a copy by
+// re-exporting from the target and comparing bytes (clusters are
+// uniformly durable or uniformly in-memory, so source and target frame
+// identically).
 func (w *Worker) exportRepl(path string) ([]byte, error) {
 	table, chunk, shared, err := xrd.ParseReplPath(path)
 	if err != nil {
@@ -53,9 +58,22 @@ func (w *Worker) exportRepl(path string) ([]byte, error) {
 		return nil, fmt.Errorf("worker %s: repl export: table %s has an ingest in flight", w.cfg.Name, info.Name)
 	}
 	// loadMu excludes concurrent /load and /repl writes, so the row
-	// slices are stable while the batch encodes.
+	// slices (and stored segments) are stable while the export encodes.
 	w.loadMu.Lock()
 	defer w.loadMu.Unlock()
+
+	unit := chunkstore.Unit{Table: info.Name, Shared: shared}
+	if !shared {
+		unit.Chunk = chunk
+	}
+	if w.store != nil && w.store.Has(unit) {
+		segs, err := w.store.Segments(unit)
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: repl export %s: %w", w.cfg.Name, unit, err)
+		}
+		return ingest.EncodeSegments(segs), nil
+	}
+
 	db, err := w.engine.Database(w.registry.DB)
 	if err != nil {
 		return nil, err
@@ -82,7 +100,7 @@ func (w *Worker) exportRepl(path string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: repl export %s: %w", w.cfg.Name, info.Name, err)
 	}
-	return data, nil
+	return ingest.EncodeSegments([][]byte{data}), nil
 }
 
 // installRepl serves a /repl write: it replaces the chunk table and its
@@ -100,9 +118,23 @@ func (w *Worker) installRepl(path string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("worker %s: repl install: %w", w.cfg.Name, err)
 	}
-	batch, err := ingest.DecodeBatch(data)
-	if err != nil {
-		return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, table, err)
+	// Segment-framed payloads (the current export format) carry one or
+	// more checksummed batch payloads; a bare batch is still accepted so
+	// hand-rolled installs keep working.
+	var segs [][]byte
+	if ingest.IsSegments(data) {
+		segs, err = ingest.DecodeSegments(data)
+		if err != nil {
+			return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, table, err)
+		}
+	} else {
+		segs = [][]byte{data}
+	}
+	batches := make([]ingest.Batch, len(segs))
+	for i, seg := range segs {
+		if batches[i], err = ingest.DecodeBatch(seg); err != nil {
+			return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, table, err)
+		}
 	}
 	w.loadMu.Lock()
 	defer w.loadMu.Unlock()
@@ -119,11 +151,13 @@ func (w *Worker) installRepl(path string, data []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := t.Insert(batch.Rows...); err != nil {
-			return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, info.Name, err)
+		for _, b := range batches {
+			if err := t.Insert(b.Rows...); err != nil {
+				return fmt.Errorf("worker %s: repl install %s: %w", w.cfg.Name, info.Name, err)
+			}
 		}
 		db.Put(t)
-		return nil
+		return w.persistReplace(chunkstore.Unit{Table: info.Name, Shared: true}, segs)
 	}
 
 	if !info.Partitioned {
@@ -134,17 +168,22 @@ func (w *Worker) installRepl(path string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := t.Insert(batch.Rows...); err != nil {
-		return fmt.Errorf("worker %s: repl install %s chunk %d: %w", w.cfg.Name, info.Name, chunk, err)
-	}
 	ov := sqlengine.NewTable(meta.OverlapTableName(info.Name, cid), info.Schema)
-	if err := ov.Insert(batch.Overlap...); err != nil {
-		return fmt.Errorf("worker %s: repl install %s chunk %d overlap: %w", w.cfg.Name, info.Name, chunk, err)
+	for _, b := range batches {
+		if err := t.Insert(b.Rows...); err != nil {
+			return fmt.Errorf("worker %s: repl install %s chunk %d: %w", w.cfg.Name, info.Name, chunk, err)
+		}
+		if err := ov.Insert(b.Overlap...); err != nil {
+			return fmt.Errorf("worker %s: repl install %s chunk %d overlap: %w", w.cfg.Name, info.Name, chunk, err)
+		}
 	}
 	// Publish both tables only after both inserts succeeded, so a bad
 	// batch cannot leave a half-replaced chunk.
 	db.Put(t)
 	db.Put(ov)
+	if err := w.persistReplace(chunkstore.Unit{Table: info.Name, Chunk: chunk}, segs); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	w.chunks[cid] = true
 	w.mu.Unlock()

@@ -29,7 +29,7 @@ func objectRow(id int64, chunk partition.ChunkID) sqlengine.Row {
 }
 
 func TestPing(t *testing.T) {
-	w := New(DefaultConfig("w-ping"), replRegistry(t))
+	w := mustNew(t, DefaultConfig("w-ping"), replRegistry(t))
 	defer w.Close()
 	data, err := w.HandleRead(xrd.PingPath)
 	if err != nil {
@@ -47,9 +47,9 @@ func TestPing(t *testing.T) {
 // index is rebuilt on arrival.
 func TestReplRoundTrip(t *testing.T) {
 	reg := replRegistry(t)
-	src := New(DefaultConfig("w-src"), reg)
+	src := mustNew(t, DefaultConfig("w-src"), reg)
 	defer src.Close()
-	dst := New(DefaultConfig("w-dst"), reg)
+	dst := mustNew(t, DefaultConfig("w-dst"), reg)
 	defer dst.Close()
 
 	const chunk = partition.ChunkID(7)
@@ -67,12 +67,22 @@ func TestReplRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ingest.DecodeBatch(exported)
+	// Exports are segment-framed; an in-memory worker ships one segment.
+	segs, err := ingest.DecodeSegments(exported)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b.Rows) != len(rows) || len(b.Overlap) != len(overlap) {
-		t.Fatalf("export carried %d+%d rows, want %d+%d", len(b.Rows), len(b.Overlap), len(rows), len(overlap))
+	var nRows, nOver int
+	for _, seg := range segs {
+		b, err := ingest.DecodeBatch(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nRows += len(b.Rows)
+		nOver += len(b.Overlap)
+	}
+	if nRows != len(rows) || nOver != len(overlap) {
+		t.Fatalf("export carried %d+%d rows, want %d+%d", nRows, nOver, len(rows), len(overlap))
 	}
 
 	if err := dst.HandleWrite(xrd.ReplPath("Object", int(chunk)), exported); err != nil {
@@ -130,9 +140,9 @@ func TestReplRoundTrip(t *testing.T) {
 
 func TestReplSharedRoundTrip(t *testing.T) {
 	reg := replRegistry(t)
-	src := New(DefaultConfig("w-src"), reg)
+	src := mustNew(t, DefaultConfig("w-src"), reg)
 	defer src.Close()
-	dst := New(DefaultConfig("w-dst"), reg)
+	dst := mustNew(t, DefaultConfig("w-dst"), reg)
 	defer dst.Close()
 
 	rows := []sqlengine.Row{{int64(0), "u"}, {int64(1), "g"}}
@@ -165,7 +175,7 @@ func TestReplSharedRoundTrip(t *testing.T) {
 
 func TestReplExportErrors(t *testing.T) {
 	reg := replRegistry(t)
-	w := New(DefaultConfig("w"), reg)
+	w := mustNew(t, DefaultConfig("w"), reg)
 	defer w.Close()
 	if _, err := w.HandleRead(xrd.ReplPath("Object", 3)); err == nil {
 		t.Error("exporting a chunk the worker does not hold should fail")

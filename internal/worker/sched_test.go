@@ -27,7 +27,7 @@ func loadBigChunks(t testing.TB, cfg Config, n, rowsPerChunk int) (*Worker, []pa
 		t.Fatal(err)
 	}
 	reg := datagen.LSSTRegistry(ch)
-	w := New(cfg, reg)
+	w := mustNew(t, cfg, reg)
 	t.Cleanup(w.Close)
 	info, err := reg.Table("Object")
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chunkstore"
 	"repro/internal/core"
 	"repro/internal/dump"
 	"repro/internal/meta"
@@ -70,6 +71,12 @@ type Config struct {
 	// ResultTimeout bounds how long a result read blocks waiting for
 	// execution to finish.
 	ResultTimeout time.Duration
+	// DataDir enables the durable chunk store (internal/chunkstore):
+	// every ingest batch and /repl install is persisted under this
+	// directory, and New recovers the worker's chunk tables from it, so
+	// a restarted worker rejoins with its data intact. Empty keeps the
+	// pre-durability behavior: chunk data lives only in memory.
+	DataDir string
 }
 
 // DefaultConfig mirrors the paper's worker configuration. Shared scans
@@ -135,6 +142,11 @@ type Worker struct {
 
 	// loadMu serializes /load batch application (see ingest.go).
 	loadMu sync.Mutex
+
+	// store is the durable chunk store, nil for in-memory workers (see
+	// durable.go). Mutated only during New; loadMu serializes the
+	// writes that flow through it afterwards.
+	store *chunkstore.Store
 
 	subs *subchunkManager
 }
@@ -223,8 +235,11 @@ type resultEntry struct {
 }
 
 // New creates and starts a worker. The engine's default database is the
-// catalog database (registry.DB); chunk tables live there.
-func New(cfg Config, registry *meta.Registry) *Worker {
+// catalog database (registry.DB); chunk tables live there. With
+// cfg.DataDir set, New opens the durable chunk store, replays its
+// write-ahead log, and rebuilds the worker's chunk tables from the
+// checksum-verified segments on disk before serving.
+func New(cfg Config, registry *meta.Registry) (*Worker, error) {
 	if cfg.Slots <= 0 {
 		cfg.Slots = 1
 	}
@@ -256,6 +271,11 @@ func New(cfg Config, registry *meta.Registry) *Worker {
 		scanners:    map[string]*scanshare.Scanner{},
 	}
 	w.subs = newSubchunkManager(w)
+	if cfg.DataDir != "" {
+		if err := w.openStore(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.InteractiveSlots; i++ {
 		w.wg.Add(1)
 		go w.interactiveExecutor()
@@ -264,7 +284,7 @@ func New(cfg Config, registry *meta.Registry) *Worker {
 		w.wg.Add(1)
 		go w.scanExecutor()
 	}
-	return w
+	return w, nil
 }
 
 // Name returns the worker's cluster identity.
@@ -273,11 +293,15 @@ func (w *Worker) Name() string { return w.cfg.Name }
 // Engine exposes the local engine (loading, tests).
 func (w *Worker) Engine() *sqlengine.Engine { return w.engine }
 
-// Close stops the executors; queued jobs are abandoned.
+// Close stops the executors; queued jobs are abandoned. A durable
+// worker's store is released so a successor process can reopen it.
 func (w *Worker) Close() {
 	close(w.stop)
 	w.scanq.close()
 	w.wg.Wait()
+	if w.store != nil {
+		w.store.Close()
+	}
 }
 
 // Chunks returns the chunk IDs this worker stores.
@@ -414,6 +438,9 @@ func (w *Worker) LoadChunk(info *meta.TableInfo, chunk partition.ChunkID,
 	}
 	db.Put(ov)
 
+	if err := w.persistRows(chunkstore.Unit{Table: info.Name, Chunk: int(chunk)}, rows, overlapRows); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	w.chunks[chunk] = true
 	w.mu.Unlock()
@@ -431,7 +458,7 @@ func (w *Worker) LoadShared(name string, schema sqlengine.Schema, rows []sqlengi
 		return err
 	}
 	db.Put(t)
-	return nil
+	return w.persistRows(chunkstore.Unit{Table: name, Shared: true}, rows, nil)
 }
 
 // ---------- xrd.Handler ----------
@@ -556,6 +583,12 @@ func (w *Worker) HandleReadContext(ctx context.Context, path string) ([]byte, er
 		// The health probe answers from the handler entry, never a scan
 		// lane: a worker saturated with queued scans still reports alive.
 		return w.pingStatus(), nil
+	}
+	if path == xrd.InventoryPath {
+		// The repairer's placement-vs-reality audit: what chunks this
+		// worker actually holds (after a restart, possibly fewer than
+		// placement believes).
+		return w.inventoryStatus(), nil
 	}
 	if xrd.IsReplPath(path) {
 		return w.exportRepl(path)

@@ -17,6 +17,16 @@ import (
 	"repro/internal/xrd"
 )
 
+// mustNew builds a worker, failing the test on a store-recovery error.
+func mustNew(t testing.TB, cfg Config, reg *meta.Registry) *Worker {
+	t.Helper()
+	w, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 // testWorker builds a worker with one Object chunk containing a few
 // hand-placed rows (including overlap rows from a neighboring chunk).
 func testWorker(t testing.TB, cfg Config) (*Worker, partition.ChunkID) {
@@ -28,7 +38,7 @@ func testWorker(t testing.TB, cfg Config) (*Worker, partition.ChunkID) {
 		t.Fatal(err)
 	}
 	reg := datagen.LSSTRegistry(ch)
-	w := New(cfg, reg)
+	w := mustNew(t, cfg, reg)
 	t.Cleanup(w.Close)
 
 	info, err := reg.Table("Object")

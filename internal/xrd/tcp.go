@@ -259,6 +259,13 @@ var (
 // backoff window has not elapsed; the peer was not contacted.
 var ErrBackoff = errors.New("xrd: dial suppressed by backoff")
 
+// tcpDial establishes a lane's connection. A variable so tests can
+// substitute a dialer that blackholes the SYN (never answers) and prove
+// the transaction context still bounds the attempt.
+var tcpDial = func(ctx context.Context, addr string) (net.Conn, error) {
+	return (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+}
+
 // connLane is one serialized connection to the server.
 type connLane struct {
 	addr string
@@ -311,7 +318,7 @@ func (l *connLane) close() error {
 	return nil
 }
 
-func (l *connLane) ensureConn() error {
+func (l *connLane) ensureConn(ctx context.Context) error {
 	if l.conn != nil {
 		return nil
 	}
@@ -321,7 +328,11 @@ func (l *connLane) ensureConn() error {
 				ErrBackoff, l.addr, wait.Round(time.Millisecond), l.dialFails, l.lastDialErr)
 		}
 	}
-	conn, err := net.Dial("tcp", l.addr)
+	// The dial is bounded by the transaction context: a SYN-blackholed
+	// peer must fail this transaction within its deadline (e.g. the
+	// failure detector's HealthTimeout), not stall the lane — and every
+	// transaction queued on its mutex — for the OS dial timeout.
+	conn, err := tcpDial(ctx, l.addr)
 	if err != nil {
 		l.dialFails++
 		l.lastDialErr = err
@@ -358,7 +369,7 @@ func (l *connLane) roundTrip(ctx context.Context, op byte, path string, payload 
 		if err := ctx.Err(); err != nil {
 			return nil, context.Cause(ctx)
 		}
-		if err := l.ensureConn(); err != nil {
+		if err := l.ensureConn(ctx); err != nil {
 			return nil, err
 		}
 		data, err := l.transact(ctx, op, path, payload)

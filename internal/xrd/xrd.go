@@ -150,6 +150,13 @@ func ParseLoadPath(path string) (table string, chunk int, shared bool, err error
 // worker from a busy one.
 const PingPath = "/ping"
 
+// InventoryPath is the inventory-audit transaction: a read answered
+// with a small JSON document listing the chunk IDs the worker actually
+// holds. The replication manager compares it against placement to tell
+// a restarted worker that recovered its chunks from disk (nothing to
+// copy) from one that came back hollow (heal in place).
+const InventoryPath = "/inventory"
+
 // ReplPath builds the replication transaction path for one chunk of a
 // partitioned table. A read exports the chunk table and its overlap
 // companion as an encoded ingest batch; a write installs that batch
@@ -535,6 +542,17 @@ func NewLocalEndpoint(name string, handler Handler) *LocalEndpoint {
 // Name implements Endpoint.
 func (l *LocalEndpoint) Name() string { return l.name }
 
+// SetHandler swaps the wrapped handler. Restart simulation uses it: the
+// endpoint (the worker's network identity) survives while the process
+// behind it is replaced, so existing registrations and exports keep
+// pointing at the revived worker. Transactions already in flight finish
+// against the old handler.
+func (l *LocalEndpoint) SetHandler(h Handler) {
+	l.mu.Lock()
+	l.handler = h
+	l.mu.Unlock()
+}
+
 // SetDown toggles abrupt-failure injection at the endpoint itself
 // (distinct from the redirector's administrative flag: the redirector
 // may still believe the endpoint is alive). Bringing the endpoint down
@@ -555,14 +573,17 @@ func (l *LocalEndpoint) SetDown(down bool) {
 	}
 }
 
-// beginCall admits one transaction: it rejects a down endpoint and
-// registers a cancelable context so SetDown can sever the call.
-func (l *LocalEndpoint) beginCall(ctx context.Context) (context.Context, func(), error) {
+// beginCall admits one transaction: it rejects a down endpoint,
+// registers a cancelable context so SetDown can sever the call, and
+// snapshots the handler so a concurrent SetHandler swap cannot tear
+// the call in half.
+func (l *LocalEndpoint) beginCall(ctx context.Context) (Handler, context.Context, func(), error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down {
-		return nil, nil, fmt.Errorf("%w: %s", ErrOffline, l.name)
+		return nil, nil, nil, fmt.Errorf("%w: %s", ErrOffline, l.name)
 	}
+	h := l.handler
 	cctx, cancel := context.WithCancelCause(ctx)
 	id := l.nextCall
 	l.nextCall++
@@ -573,7 +594,7 @@ func (l *LocalEndpoint) beginCall(ctx context.Context) (context.Context, func(),
 		l.mu.Unlock()
 		cancel(nil)
 	}
-	return cctx, end, nil
+	return h, cctx, end, nil
 }
 
 // HandleWrite implements Handler with fault injection.
@@ -589,23 +610,23 @@ func (l *LocalEndpoint) HandleRead(path string) ([]byte, error) {
 // HandleWriteContext implements ContextHandler, forwarding the context
 // to the wrapped handler when it is context-aware.
 func (l *LocalEndpoint) HandleWriteContext(ctx context.Context, path string, data []byte) error {
-	cctx, end, err := l.beginCall(ctx)
+	h, cctx, end, err := l.beginCall(ctx)
 	if err != nil {
 		return err
 	}
 	defer end()
-	return writeContext(l.handler, cctx, path, data)
+	return writeContext(h, cctx, path, data)
 }
 
 // HandleReadContext implements ContextHandler, forwarding the context
 // to the wrapped handler when it is context-aware.
 func (l *LocalEndpoint) HandleReadContext(ctx context.Context, path string) ([]byte, error) {
-	cctx, end, err := l.beginCall(ctx)
+	h, cctx, end, err := l.beginCall(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer end()
-	return readContext(l.handler, cctx, path)
+	return readContext(h, cctx, path)
 }
 
 // FileStore is a trivial in-memory Handler storing whole files by path;

@@ -580,3 +580,59 @@ func TestDialBackoffGrowth(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPDialBoundedByContext: a SYN-blackholed peer (dial never
+// completes, never refuses) must fail the transaction when its context
+// expires — the OS dial timeout can be minutes, and a lane stalled in
+// dial would also stall every transaction queued on its mutex. This was
+// the bug: ensureConn dialed with net.Dial, ignoring the context.
+func TestTCPDialBoundedByContext(t *testing.T) {
+	oldDial := tcpDial
+	defer func() { tcpDial = oldDial }()
+	tcpDial = func(ctx context.Context, addr string) (net.Conn, error) {
+		<-ctx.Done() // blackhole: answer only when the caller gives up
+		return nil, ctx.Err()
+	}
+
+	ep := NewTCPEndpoint("w1", "203.0.113.1:7001") // TEST-NET, never dialed anyway
+	defer ep.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ep.HandleReadContext(ctx, PingPath)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("blackholed dial succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("transaction took %v; dial not bounded by its context", elapsed)
+	}
+	// The failed dial must have armed the backoff so follow-on
+	// transactions fail fast without re-dialing the dead peer.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if _, err := ep.HandleReadContext(ctx2, PingPath); !errors.Is(err, ErrBackoff) {
+		t.Fatalf("second transaction: %v, want ErrBackoff", err)
+	}
+}
+
+// TestLocalEndpointSetHandler: swapping the handler (a restarted
+// worker) atomically reroutes subsequent calls.
+func TestLocalEndpointSetHandler(t *testing.T) {
+	a, b := NewFileStore(), NewFileStore()
+	if err := a.HandleWrite("/f", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.HandleWrite("/f", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	ep := NewLocalEndpoint("w1", a)
+	if got, err := ep.HandleRead("/f"); err != nil || string(got) != "old" {
+		t.Fatalf("before swap: %q %v", got, err)
+	}
+	ep.SetHandler(b)
+	if got, err := ep.HandleRead("/f"); err != nil || string(got) != "new" {
+		t.Fatalf("after swap: %q %v", got, err)
+	}
+}

@@ -30,6 +30,8 @@ package qserv
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -111,6 +113,21 @@ type ClusterConfig struct {
 	// detector, no self-healing, no Status detail): the pre-PR-5
 	// behavior, where a dead worker is rediscovered by every dispatch.
 	DisableHealth bool
+	// DataDir enables durable chunk storage: each worker persists its
+	// ingested batches and /repl installs under DataDir/<worker-name>
+	// (an append-only segment store with a write-ahead log, see
+	// internal/chunkstore) and recovers them on restart, so a revived
+	// worker serves its chunks without any re-replication. Empty keeps
+	// chunk data purely in memory. The QSERV_DATADIR environment
+	// variable, when set and DataDir is empty, supplies a parent
+	// directory under which NewCluster creates a unique data directory
+	// (letting a test suite run durably without code changes).
+	DataDir string
+	// RepairGrace holds chunk re-homing off a freshly dead worker for
+	// this long, giving a durable worker time to restart with its data
+	// intact before the replication manager starts copying. Zero keeps
+	// the PR-5 behavior: repair begins at the first sweep after death.
+	RepairGrace time.Duration
 }
 
 // DefaultClusterConfig returns a laptop-scale configuration: a coarse
@@ -222,9 +239,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		ingesting:  map[string]bool{},
 		removing:   map[string]bool{},
 	}
+	if cfg.DataDir == "" {
+		if parent := os.Getenv("QSERV_DATADIR"); parent != "" {
+			dir, err := os.MkdirTemp(parent, "qserv-cluster-")
+			if err != nil {
+				return nil, fmt.Errorf("qserv: QSERV_DATADIR: %w", err)
+			}
+			cfg.DataDir = dir
+		}
+	}
+	cl.Config = cfg
 	cl.client = xrd.NewClient(cl.Redirector)
 	for i := 0; i < cfg.Workers; i++ {
-		w := worker.New(cl.workerConfig(fmt.Sprintf("worker-%03d", i)), registry)
+		w, err := worker.New(cl.workerConfig(fmt.Sprintf("worker-%03d", i)), registry)
+		if err != nil {
+			for _, prev := range cl.Workers {
+				prev.Close()
+			}
+			return nil, err
+		}
 		cl.Workers = append(cl.Workers, w)
 		cl.workers[w.Name()] = w
 		ep := xrd.NewLocalEndpoint(w.Name(), w)
@@ -253,6 +286,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				Tables:     cl.partitionedTables,
 				Candidates: cl.eligibleWorkerNames,
 				Rehome:     cl.rehome,
+				DeadGrace:  cfg.RepairGrace,
 			},
 			SelfHeal: cfg.SelfHeal,
 		}, cl.client, cl.Placement)
@@ -270,6 +304,9 @@ func (cl *Cluster) workerConfig(name string) worker.Config {
 	wcfg.Slots = cfg.WorkerSlots
 	wcfg.CacheSubChunks = cfg.CacheSubChunks
 	wcfg.SharedScans = cfg.SharedScans
+	if cfg.DataDir != "" {
+		wcfg.DataDir = filepath.Join(cfg.DataDir, name)
+	}
 	if cfg.InteractiveSlots > 0 {
 		wcfg.InteractiveSlots = cfg.InteractiveSlots
 	}

@@ -690,3 +690,26 @@ func TestRetriesReported(t *testing.T) {
 	// read time (retries counted); both must answer correctly.
 	_ = got.Retries
 }
+
+// TestFractionalModuloQuery: a fractional modulo divisor used to
+// truncate to integer zero inside evalArith and panic the worker scan
+// lane, taking the whole query (and test process) down. Through the
+// full distributed path the expression must evaluate — and match the
+// oracle — instead.
+func TestFractionalModuloQuery(t *testing.T) {
+	cl, oracle := shared(t)
+	for _, sql := range []string{
+		"SELECT objectId, ra_PS % 0.5 AS m FROM Object ORDER BY objectId LIMIT 20",
+		"SELECT COUNT(*) FROM Object WHERE decl_PS % 0.25 > 0.1",
+	} {
+		got, err := cl.Query(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		want, err := oracle.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAnswer(t, got, want, sql)
+	}
+}
