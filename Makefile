@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race verify bench bench-smoke
+.PHONY: build test vet race verify bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -27,10 +28,24 @@ bench:
 # the failover path (worker death under load: detect, mask with
 # replicas, self-heal replication, oracle-checked), and the restart
 # path (durable chunk store recovery vs re-replication, copy-free
-# restart hard-gated, oracle-checked).
+# restart hard-gated, oracle-checked), and the paging path (worker
+# memory budget far below the working set: lazy materialization +
+# LRU eviction, oracle-checked, hot-chunk slowdown gated).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
 	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
 	$(GO) run ./cmd/qserv-bench -exp ingest -objects 5
 	$(GO) run ./cmd/qserv-bench -exp failover -objects 5
 	$(GO) run ./cmd/qserv-bench -exp restart -objects 5
+	$(GO) run ./cmd/qserv-bench -exp paging -objects 5
+
+# Native Go fuzzing over the untrusted-bytes decoders: chunkstore
+# segment framing + WAL records, and the ingest batch / segment-set
+# codecs. Go allows one -fuzz pattern per invocation, hence four runs.
+# Seed corpora (including hand-written hostile frames) live under each
+# package's testdata/fuzz/ and also run as plain tests in `make test`.
+fuzz-smoke:
+	$(GO) test ./internal/chunkstore -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chunkstore -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecodeSegments$$' -fuzztime $(FUZZTIME)

@@ -133,6 +133,7 @@ func experiments() []experiment {
 		{"ingest", "A9: parallel fabric-routed ingest vs serialized shipping", runIngestBench},
 		{"failover", "A10: worker death under load — detect, fail over, self-heal replication", runFailover},
 		{"restart", "A11: durable chunk store — restart-to-serving vs re-replication", runRestart},
+		{"paging", "A12: larger-than-RAM workers — lazy materialization + eviction under a memory budget", runPaging},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -1355,6 +1356,167 @@ func runRestart(ctx *benchCtx) error {
 	default:
 		fmt.Printf("  RESULT: ok — copy-free durable restart, %.1fx faster than re-replication, answers oracle-identical\n",
 			float64(baseline.recover)/float64(durable.recover))
+	}
+	return nil
+}
+
+// runPaging measures a worker fleet operating far beyond its memory
+// budget: phase A runs an unbudgeted durable cluster and records each
+// worker's full resident footprint plus the steady-state latency of a
+// hot spatially-restricted query; phase B reruns the same workload
+// with every worker budgeted to ~1/4 of the largest phase-A footprint,
+// so chunks must page in lazily and cold chunks must evict. Hard
+// gates: every answer oracle-identical in both phases, the budget
+// must actually force evictions and re-materializations (no vacuous
+// pass), and the hot-chunk query — whose chunks the LRU should keep
+// resident — must stay within 2x of the unbudgeted latency. The
+// latency gate degrades to WARN when the unbudgeted time is too small
+// for the comparison to mean anything.
+func runPaging(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: 100 + *objectsFlag*4, MeanSourcesPerObject: 0},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 20},
+	)
+	if err != nil {
+		return err
+	}
+
+	baseCfg := qserv.DefaultClusterConfig(3)
+	baseCfg.Replication = 2
+	baseCfg.ScanPieceRows = 256
+
+	oracle, err := qserv.NewOracle(baseCfg)
+	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return err
+	}
+	battery := []string{
+		"SELECT COUNT(*) AS n FROM Object",
+		"SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId",
+		"SELECT COUNT(*) AS n FROM Object WHERE uFlux_PS > 1e-31",
+	}
+	hotSQL := "SELECT COUNT(*) AS n FROM Object WHERE qserv_areaspec_box(2, 2, 8, 8)"
+	oracleRows := map[string][]string{}
+	for _, sql := range append(append([]string{}, battery...), hotSQL) {
+		res, err := oracle.Query(sql)
+		if err != nil {
+			return err
+		}
+		oracleRows[sql] = renderRows(res.Rows, false)
+	}
+
+	// One phase: a durable cluster at the given budget runs the checked
+	// battery, then a warmed, repeated hot-chunk query.
+	type pagingResult struct {
+		maxResident      int64
+		hot              time.Duration
+		evictions        int64
+		materializations int64
+	}
+	runPhase := func(budget int64) (*pagingResult, error) {
+		dataDir, err := os.MkdirTemp("", "qserv-bench-paging-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dataDir)
+		cfg := baseCfg
+		cfg.DataDir = dataDir
+		cfg.WorkerMemoryBudget = budget
+		cl, err := qserv.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+		if err := cl.Load(cat); err != nil {
+			return nil, err
+		}
+		pr := &pagingResult{}
+		for _, sql := range battery {
+			res, err := cl.Query(sql)
+			if err != nil {
+				return nil, fmt.Errorf("paging: %q: %w", sql, err)
+			}
+			if !sameRendered(renderRows(res.Rows, false), oracleRows[sql]) {
+				return nil, fmt.Errorf("paging: %q: answer differs from the oracle", sql)
+			}
+		}
+		// The battery just touched every chunk, so the footprint peaks now.
+		for _, w := range cl.Workers {
+			if st := w.ResidencyStats(); st.ResidentBytes > pr.maxResident {
+				pr.maxResident = st.ResidentBytes
+			}
+		}
+		// Hot-chunk loop: two warm-up passes materialize the box's chunks,
+		// then the timed passes should find them still resident.
+		const iters = 15
+		times := make([]time.Duration, 0, iters)
+		for i := 0; i < iters+2; i++ {
+			t0 := time.Now()
+			res, err := cl.Query(hotSQL)
+			d := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("paging: hot query: %w", err)
+			}
+			if !sameRendered(renderRows(res.Rows, false), oracleRows[hotSQL]) {
+				return nil, fmt.Errorf("paging: hot query: answer differs from the oracle")
+			}
+			if i >= 2 {
+				times = append(times, d)
+			}
+		}
+		pr.hot = percentile(times, 50)
+		for _, w := range cl.Workers {
+			st := w.ResidencyStats()
+			pr.evictions += st.Evictions
+			pr.materializations += st.Materializations
+		}
+		return pr, nil
+	}
+
+	// Phase A — unbudgeted: everything stays resident; this measures the
+	// true working set and the no-paging hot latency.
+	full, err := runPhase(0)
+	if err != nil {
+		return err
+	}
+	if full.maxResident == 0 {
+		return fmt.Errorf("paging: unbudgeted phase reports a zero-byte working set")
+	}
+	budget := full.maxResident / 4
+
+	// Phase B — the same workload with each worker at a quarter of the
+	// working set.
+	paged, err := runPhase(budget)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("claim: a worker can serve a working set ~4x its memory budget via lazy materialization + LRU eviction, answers unchanged\n")
+	fmt.Printf("workload: 3 workers x replication 2, oracle-checked battery + %d hot-chunk iterations\n", 15)
+	fmt.Printf("  %-40s %14s %12s %10s %14s\n", "config", "max resident", "hot p50", "evicted", "materialized")
+	fmt.Printf("  %-40s %14d %12v %10d %14d\n", "unbudgeted (working set)",
+		full.maxResident, full.hot.Round(time.Microsecond), full.evictions, full.materializations)
+	fmt.Printf("  %-40s %14d %12v %10d %14d\n", fmt.Sprintf("budget %d B (~1/4 working set)", budget),
+		paged.maxResident, paged.hot.Round(time.Microsecond), paged.evictions, paged.materializations)
+	switch {
+	case paged.evictions == 0:
+		fmt.Printf("  RESULT: FAIL — the budget never forced an eviction; the comparison is vacuous\n")
+		return fmt.Errorf("paging: no evictions at budget %d", budget)
+	case paged.materializations == 0:
+		fmt.Printf("  RESULT: FAIL — nothing was re-materialized under the budget\n")
+		return fmt.Errorf("paging: no materializations at budget %d", budget)
+	case full.hot < 2*time.Millisecond:
+		fmt.Printf("  RESULT: WARN — unbudgeted hot query took %v; too fast to gate the slowdown meaningfully at this scale\n",
+			full.hot.Round(time.Microsecond))
+	case paged.hot > 2*full.hot:
+		fmt.Printf("  RESULT: FAIL — hot-chunk query %.1fx slower under the budget (limit 2x)\n",
+			float64(paged.hot)/float64(full.hot))
+		return fmt.Errorf("paging: hot-chunk latency %v exceeds 2x unbudgeted %v", paged.hot, full.hot)
+	default:
+		fmt.Printf("  RESULT: ok — paged worker oracle-identical, hot chunks stayed resident (%.2fx unbudgeted latency)\n",
+			float64(paged.hot)/float64(full.hot))
 	}
 	return nil
 }

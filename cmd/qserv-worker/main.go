@@ -36,6 +36,7 @@ var (
 	sharedScansFlag = flag.Bool("shared-scans", true, "convoy concurrent full scans over one read")
 	pieceRowsFlag   = flag.Int("scan-piece-rows", 4096, "rows per shared-scan piece")
 	dataDirFlag     = flag.String("data-dir", "", "durable chunk store directory (empty = in-memory only); a restart recovers chunk tables from it instead of re-synthesizing")
+	memBudgetFlag   = flag.Int64("mem-budget", 0, "resident chunk-table byte budget; above it cold chunks are evicted to the data dir and re-materialized on first touch (0 = unbudgeted, requires -data-dir)")
 )
 
 func main() {
@@ -62,6 +63,10 @@ func main() {
 	wcfg.SharedScans = *sharedScansFlag
 	wcfg.ScanPieceRows = *pieceRowsFlag
 	wcfg.DataDir = *dataDirFlag
+	wcfg.MemoryBudgetBytes = *memBudgetFlag
+	if *memBudgetFlag > 0 && *dataDirFlag == "" {
+		log.Fatal("-mem-budget needs -data-dir: a budget pages against the durable store")
+	}
 	w, err := worker.New(wcfg, layout.Registry)
 	if err != nil {
 		log.Fatal(err)

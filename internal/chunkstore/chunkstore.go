@@ -609,19 +609,32 @@ func readSegmentFile(path string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chunkstore: %w", err)
 	}
+	payload, err := decodeSegment(data)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: %s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// decodeSegment verifies and strips one segment's framing. Pure
+// function over untrusted bytes (the fuzz surface for the segment
+// format): the declared length must match the actual payload exactly
+// and the checksum must hold, so no length field can drive an
+// allocation beyond the input's own size.
+func decodeSegment(data []byte) ([]byte, error) {
 	head := len(segMagic) + 4 + 8
 	if len(data) < head || string(data[:len(segMagic)]) != string(segMagic) {
-		return nil, fmt.Errorf("chunkstore: %s: bad segment header", path)
+		return nil, fmt.Errorf("bad segment header")
 	}
 	sum := binary.BigEndian.Uint32(data[len(segMagic) : len(segMagic)+4])
 	plen := binary.BigEndian.Uint64(data[len(segMagic)+4 : head])
 	if plen != uint64(len(data)-head) {
-		return nil, fmt.Errorf("chunkstore: %s: segment length %d does not match file (%d payload bytes)",
-			path, plen, len(data)-head)
+		return nil, fmt.Errorf("segment length %d does not match file (%d payload bytes)",
+			plen, len(data)-head)
 	}
 	payload := data[head:]
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, fmt.Errorf("chunkstore: %s: segment fails its checksum", path)
+		return nil, fmt.Errorf("segment fails its checksum")
 	}
 	return payload, nil
 }

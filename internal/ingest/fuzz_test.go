@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sqlengine"
+)
+
+// Fuzz targets for the ingest wire formats: the binary row batch
+// (/load payloads, chunkstore segment contents) and the segment-set
+// frame (/repl transfers). Both decode bytes off the fabric, so
+// hostile input must produce an error — never a panic, and never an
+// allocation driven past the input's own size by a claimed row count,
+// column count, string length, or segment length. Hostile seeds live
+// in testdata/fuzz/<target>/.
+
+func FuzzDecodeBatch(f *testing.F) {
+	valid, err := EncodeBatch(Batch{
+		Rows:    []sqlengine.Row{{int64(1), 1.5, "str", nil}, {int64(2), 2.5, "", nil}},
+		Overlap: []sqlengine.Row{{int64(9), 0.25, "ov", nil}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("QLOAD2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		// Every decoded row costs at least one input byte; more rows
+		// than bytes means a count guard failed.
+		if len(b.Rows)+len(b.Overlap) > len(data) {
+			t.Fatalf("decoded %d rows from %d input bytes", len(b.Rows)+len(b.Overlap), len(data))
+		}
+		// Accepted batches hold only codec-supported value types, so
+		// they must re-encode and decode back to the same shape. (Byte
+		// equality is NOT required: Uvarint accepts padded varints the
+		// canonical encoder would never emit.)
+		re, err := EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		b2, err := DecodeBatch(re)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if len(b2.Rows) != len(b.Rows) || len(b2.Overlap) != len(b.Overlap) {
+			t.Fatalf("round trip changed shape: %d+%d -> %d+%d",
+				len(b.Rows), len(b.Overlap), len(b2.Rows), len(b2.Overlap))
+		}
+	})
+}
+
+func FuzzDecodeSegments(f *testing.F) {
+	f.Add(EncodeSegments([][]byte{[]byte("one"), {}, []byte("three")}))
+	f.Add(EncodeSegments(nil))
+	f.Add([]byte("QSEGS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		segs, err := DecodeSegments(data)
+		if err != nil {
+			return
+		}
+		total := 0
+		for _, s := range segs {
+			total += len(s)
+		}
+		if total > len(data) {
+			t.Fatalf("decoded %d segment bytes from %d input bytes", total, len(data))
+		}
+		again, err := DecodeSegments(EncodeSegments(segs))
+		if err != nil {
+			t.Fatalf("re-encoded segment set does not decode: %v", err)
+		}
+		if len(again) != len(segs) {
+			t.Fatalf("round trip changed count: %d -> %d", len(segs), len(again))
+		}
+		for i := range again {
+			if !bytes.Equal(again[i], segs[i]) {
+				t.Fatalf("segment %d round-trip mismatch", i)
+			}
+		}
+	})
+}

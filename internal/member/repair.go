@@ -69,6 +69,13 @@ type RepairProgress struct {
 	// (no live source or target yet); they are retried on the next
 	// sweep.
 	ChunksPending int
+	// ColdHolds counts audit observations of a held-but-not-resident
+	// chunk: the holder's inventory lists it but its tables are evicted
+	// to the holder's chunk store. Cold is healthy — the worker is
+	// paging under a memory budget, and the chunk materializes on first
+	// touch — so these are never healed or re-homed; the counter exists
+	// to make that visible.
+	ColdHolds int
 	// TablesCopied / BytesCopied meter the copy traffic.
 	TablesCopied int
 	BytesCopied  int64
@@ -93,11 +100,11 @@ type Repairer struct {
 	mu   sync.Mutex
 	prog RepairProgress
 
-	// invCache holds per-audit /inventory answers (worker -> chunk set;
-	// a nil set means the read failed and the worker is assumed intact).
-	// Guarded by runMu: it is reset at the top of each Sweep/Drain and
-	// filled lazily as repairChunk audits holders.
-	invCache map[string]map[partition.ChunkID]bool
+	// invCache holds per-audit /inventory answers (a nil entry means the
+	// read failed and the worker is assumed intact). Guarded by runMu:
+	// it is reset at the top of each Sweep/Drain and filled lazily as
+	// repairChunk audits holders.
+	invCache map[string]*inventoryAudit
 
 	kick     chan struct{}
 	stop     chan struct{}
@@ -249,7 +256,7 @@ func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 		if err := r.copyChunk(alive[0], h, c); err != nil {
 			return err
 		}
-		r.invCache[h][c] = true
+		r.invCache[h].chunks[c] = true
 		alive = append(alive, h)
 		r.mu.Lock()
 		r.prog.ChunksHealed++
@@ -306,38 +313,70 @@ func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 	return nil
 }
 
+// inventoryAudit is one worker's parsed /inventory answer for the
+// duration of a sweep.
+type inventoryAudit struct {
+	// chunks is what the worker holds — on disk or in memory. This is
+	// the set placement is audited against.
+	chunks map[partition.ChunkID]bool
+	// resident is the materialized subset, nil when the worker omitted
+	// it (an in-memory worker, or a pre-residency one).
+	resident map[partition.ChunkID]bool
+}
+
 // holderHasChunk audits a live holder's actual chunk set against
 // placement's belief, via the fabric's /inventory read. Answers are
 // cached for the duration of one sweep (callers hold runMu). A failed
 // read leaves the worker assumed intact: the detector, not this audit,
 // decides deadness, and a transiently unreachable-but-alive worker must
 // not trigger spurious copies.
+//
+// The audit decision is made on the holder's inventory, NOT on
+// residency: a chunk evicted to the holder's store under a memory
+// budget is still held — healing it in place would re-materialize every
+// cold chunk each sweep and defeat the paging. Cold observations are
+// only counted (Progress().ColdHolds).
 func (r *Repairer) holderHasChunk(h string, c partition.ChunkID) bool {
 	if r.invCache == nil {
-		r.invCache = map[string]map[partition.ChunkID]bool{}
+		r.invCache = map[string]*inventoryAudit{}
 	}
-	set, fetched := r.invCache[h]
+	inv, fetched := r.invCache[h]
 	if !fetched {
 		ctx, done := context.WithTimeout(context.Background(), r.cfg.OpTimeout)
 		data, err := r.client.ReadFrom(ctx, h, xrd.InventoryPath)
 		done()
 		if err == nil {
 			var doc struct {
-				Chunks []int `json:"chunks"`
+				Chunks   []int `json:"chunks"`
+				Resident []int `json:"resident"`
 			}
 			if json.Unmarshal(data, &doc) == nil {
-				set = map[partition.ChunkID]bool{}
+				inv = &inventoryAudit{chunks: map[partition.ChunkID]bool{}}
 				for _, id := range doc.Chunks {
-					set[partition.ChunkID(id)] = true
+					inv.chunks[partition.ChunkID(id)] = true
+				}
+				if doc.Resident != nil {
+					inv.resident = map[partition.ChunkID]bool{}
+					for _, id := range doc.Resident {
+						inv.resident[partition.ChunkID(id)] = true
+					}
 				}
 			}
 		}
-		r.invCache[h] = set
+		r.invCache[h] = inv
 	}
-	if set == nil {
+	if inv == nil {
 		return true
 	}
-	return set[c]
+	if inv.chunks[c] {
+		if inv.resident != nil && !inv.resident[c] {
+			r.mu.Lock()
+			r.prog.ColdHolds++
+			r.mu.Unlock()
+		}
+		return true
+	}
+	return false
 }
 
 func (r *Repairer) rehome(c partition.ChunkID, from, to string) {

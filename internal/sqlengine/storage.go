@@ -140,6 +140,20 @@ func (t *Table) ByteSize() int64 {
 	return int64(len(t.Rows)) * int64(t.Schema.RowWidth())
 }
 
+// indexEntryBytes is the accounted cost of one hash-index posting: the
+// bucket key reference plus the row position.
+const indexEntryBytes = 16
+
+// ResidentBytes estimates the table's in-memory footprint: the row heap
+// plus every hash index's postings. This is the quantity a worker's
+// residency manager charges against its memory budget, so it must grow
+// with inserts and index creation (both only add entries).
+func (t *Table) ResidentBytes() int64 {
+	b := t.ByteSize()
+	b += int64(len(t.indexes)) * int64(len(t.Rows)) * indexEntryBytes
+	return b
+}
+
 // Database is a named collection of tables (e.g. "LSST" on workers).
 type Database struct {
 	Name   string
@@ -192,6 +206,23 @@ func (d *Database) Drop(name string, ifExists bool) error {
 	}
 	delete(d.tables, key)
 	return nil
+}
+
+// Detach removes the named table from the database and returns it,
+// reporting whether it was present. Unlike Drop it hands the table
+// object back: in-flight readers holding the pointer stay valid (tables
+// are append-only, never mutated in place), while new lookups miss —
+// the primitive a worker's residency manager evicts cold chunk tables
+// with.
+func (d *Database) Detach(name string) (*Table, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := d.tables[key]
+	if ok {
+		delete(d.tables, key)
+	}
+	return t, ok
 }
 
 // TableNames returns the sorted names of all tables.

@@ -13,32 +13,40 @@ import (
 )
 
 // This file is the worker side of durability: opening the chunk store,
-// rebuilding the engine's tables from recovered segments at startup,
-// mirroring every applied mutation into the store, and answering the
-// repairer's /inventory audit. An in-memory worker (no DataDir) has a
-// nil store and every persist call is a no-op.
+// recovering its inventory at startup, mirroring every applied
+// mutation into the store, and answering the repairer's /inventory
+// audit. An in-memory worker (no DataDir) has a nil store and every
+// persist call is a no-op.
 
 // openStore opens the worker's durable chunk store (replaying its WAL)
-// and rebuilds the in-memory chunk tables from what survived on disk.
-// Called from New, before the executors start.
+// and recovers the inventory from what survived on disk. Called from
+// New, before the executors start.
 func (w *Worker) openStore() error {
 	st, rec, err := chunkstore.Open(w.cfg.DataDir)
 	if err != nil {
 		return fmt.Errorf("worker %s: open chunk store: %w", w.cfg.Name, err)
 	}
+	// The residency manager needs the store for first-touch
+	// materialization, so it is wired before recovery registers units.
+	w.store = st
 	if err := w.recoverFromStore(st, rec); err != nil {
+		w.store = nil
 		st.Close()
 		return fmt.Errorf("worker %s: recover chunk store: %w", w.cfg.Name, err)
 	}
-	w.store = st
 	return nil
 }
 
-// recoverFromStore installs every recovered unit into the engine.
-// Quarantined units (checksum failures) taint their chunk: the chunk
-// is not reported in the worker's inventory, so the repairer re-ships
-// it whole from a live replica — recovery serves what verified,
-// repair replaces what did not.
+// recoverFromStore recovers inventory only: the catalog spec is
+// re-declared and every verified unit is registered with the residency
+// manager as on-disk, but no engine tables are built — first touch
+// (query, /load append, /repl export, repair heal) pays
+// materialization. That keeps restart-to-serving independent of the
+// data volume and never wastes table builds on units about to be
+// quarantined or re-homed. Quarantined units (checksum failures) taint
+// their chunk: the chunk is not reported in the worker's inventory, so
+// the repairer re-ships it whole from a live replica — recovery serves
+// what verified, repair replaces what did not.
 func (w *Worker) recoverFromStore(st *chunkstore.Store, rec *chunkstore.Recovery) error {
 	if data, ok := st.Spec(); ok {
 		spec, err := ingest.DecodeSpec(data)
@@ -68,18 +76,14 @@ func (w *Worker) recoverFromStore(st *chunkstore.Store, rec *chunkstore.Recovery
 			tainted[partition.ChunkID(u.Chunk)] = true
 		}
 	}
-	db, err := w.engine.Database(w.registry.DB)
-	if err != nil {
-		return err
-	}
 	for _, ru := range rec.Units {
-		info, err := w.registry.Table(ru.Unit.Table)
-		if err != nil {
+		// The registry lookup keeps recovery's failure surface: a unit
+		// whose table the catalog no longer declares fails startup here,
+		// not on some later query.
+		if _, err := w.registry.Table(ru.Unit.Table); err != nil {
 			return fmt.Errorf("recovered unit %s: %w", ru.Unit, err)
 		}
-		if err := w.installUnit(db, info, ru.Unit, ru.Segments); err != nil {
-			return fmt.Errorf("recovered unit %s: %w", ru.Unit, err)
-		}
+		w.res.trackOnDisk(ru.Unit)
 		if !ru.Unit.Shared && !tainted[partition.ChunkID(ru.Unit.Chunk)] {
 			w.mu.Lock()
 			w.chunks[partition.ChunkID(ru.Unit.Chunk)] = true
@@ -189,7 +193,11 @@ func (w *Worker) persistSpec(data []byte) error {
 }
 
 // inventoryStatus renders the /inventory response: the chunks this
-// worker actually holds, sorted, as a small JSON document.
+// worker actually holds, sorted, as a small JSON document. Holding and
+// residency are distinct: `chunks` is the inventory (on disk or in
+// memory — what the repairer audits placement against, so a cold chunk
+// is never spuriously healed), while `resident` lists the subset whose
+// tables are currently materialized in the engine.
 func (w *Worker) inventoryStatus() []byte {
 	w.mu.Lock()
 	chunks := make([]int, 0, len(w.chunks))
@@ -199,9 +207,34 @@ func (w *Worker) inventoryStatus() []byte {
 	w.mu.Unlock()
 	sort.Ints(chunks)
 	doc := struct {
-		Worker string `json:"worker"`
-		Chunks []int  `json:"chunks"`
-	}{Worker: w.cfg.Name, Chunks: chunks}
+		Worker   string `json:"worker"`
+		Chunks   []int  `json:"chunks"`
+		Resident []int  `json:"resident,omitempty"`
+	}{Worker: w.cfg.Name, Chunks: chunks, Resident: w.residentChunks()}
 	out, _ := json.Marshal(doc)
+	return out
+}
+
+// residentChunks lists the chunk IDs with at least one resident unit,
+// sorted; nil for an in-memory worker (everything it holds is resident
+// by construction, and the inventory document stays byte-compatible
+// with pre-residency readers).
+func (w *Worker) residentChunks() []int {
+	if w.res == nil {
+		return nil
+	}
+	w.res.mu.Lock()
+	set := map[int]bool{}
+	for _, st := range w.res.units {
+		if !st.unit.Shared && (st.state == unitResident || st.state == unitMaterializing) {
+			set[st.unit.Chunk] = true
+		}
+	}
+	w.res.mu.Unlock()
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
 	return out
 }

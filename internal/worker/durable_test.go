@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chunkstore"
 	"repro/internal/ingest"
 	"repro/internal/meta"
 	"repro/internal/partition"
@@ -14,8 +15,11 @@ import (
 )
 
 // TestDurableRestartRecovery: a worker with a DataDir that is closed
-// and reopened serves its chunk tables, overlap companions, director
-// indexes, and shared tables from disk — no re-load, no /repl copy.
+// and reopened recovers its inventory immediately but materializes
+// lazily — a /repl export streams stored segments without building
+// tables, and the first pin rebuilds chunk tables, overlap companions,
+// director indexes, and shared tables from disk — no re-load, no /repl
+// copy.
 func TestDurableRestartRecovery(t *testing.T) {
 	reg := replRegistry(t)
 	dir := t.TempDir()
@@ -62,6 +66,32 @@ func TestDurableRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Recovery stops at the inventory: nothing is resident yet, and a
+	// /repl export (the bytes the repairer would byte-compare) streams
+	// straight from the stored segments without materializing.
+	objUnit := chunkstore.Unit{Table: "Object", Chunk: int(chunk)}
+	if w2.res.isResident(objUnit) {
+		t.Fatal("chunk unit resident right after recovery; want lazy")
+	}
+	if db.HasTable(meta.ChunkTableName("Object", chunk)) {
+		t.Fatal("chunk table materialized at startup; want first-touch")
+	}
+	if _, err := w2.HandleRead(xrd.ReplPath("Object", int(chunk))); err != nil {
+		t.Fatalf("repl export before materialization: %v", err)
+	}
+	if w2.res.isResident(objUnit) {
+		t.Fatal("repl export materialized the unit; want a disk-only stream")
+	}
+	if st := w2.ResidencyStats(); st.Units != 2 || st.Resident != 0 {
+		t.Fatalf("residency after recovery = %+v, want 2 units, 0 resident", st)
+	}
+
+	// First touch: pin the units and check every recovered structure.
+	release, err := w2.pinUnits([]chunkstore.Unit{objUnit, {Table: "Filter", Shared: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
 	tbl, err := db.Table(meta.ChunkTableName("Object", chunk))
 	if err != nil {
 		t.Fatal(err)
@@ -86,10 +116,8 @@ func TestDurableRestartRecovery(t *testing.T) {
 	if len(flt.Rows) != 2 {
 		t.Fatalf("shared table has %d rows, want 2", len(flt.Rows))
 	}
-	// The recovered worker can serve a /repl export (the bytes the
-	// repairer would byte-compare) without any reload.
-	if _, err := w2.HandleRead(xrd.ReplPath("Object", int(chunk))); err != nil {
-		t.Fatalf("repl export after recovery: %v", err)
+	if st := w2.ResidencyStats(); st.Resident != 2 || st.Materializations != 2 || st.ResidentBytes <= 0 {
+		t.Fatalf("residency after first touch = %+v, want 2 resident units with bytes charged", st)
 	}
 }
 

@@ -61,6 +61,17 @@ func (w *Worker) handleLoad(path string, data []byte) error {
 		if info.Partitioned {
 			return fmt.Errorf("worker %s: table %s is partitioned; load it by chunk", w.cfg.Name, info.Name)
 		}
+		u := chunkstore.Unit{Table: info.Name, Shared: true}
+		// Write-pin before touching the engine: appending to an evicted
+		// unit must materialize the stored rows first, or ingestTable's
+		// create-on-miss would silently fork the table — the new batch
+		// resident, the evicted rows only on disk.
+		if w.res != nil {
+			if _, err := w.res.pinWrite(u); err != nil {
+				return fmt.Errorf("worker %s: load %s: %w", w.cfg.Name, info.Name, err)
+			}
+			defer w.res.unpin(u)
+		}
 		t, err := w.ingestTable(db, info.Name, info)
 		if err != nil {
 			return err
@@ -71,13 +82,26 @@ func (w *Worker) handleLoad(path string, data []byte) error {
 		// Memory first, then disk: the ack a successful return implies
 		// must mean both applied and durable. The payload is persisted in
 		// wire form, so recovery replays exactly what was loaded.
-		return w.persistAppend(chunkstore.Unit{Table: info.Name, Shared: true}, data)
+		if err := w.persistAppend(u, data); err != nil {
+			return err
+		}
+		if w.res != nil {
+			w.res.noteBytes(u, w.unitResidentBytes(db, u))
+		}
+		return nil
 	}
 
 	if !info.Partitioned {
 		return fmt.Errorf("worker %s: table %s is not partitioned; use the shared load path", w.cfg.Name, info.Name)
 	}
 	cid := partition.ChunkID(chunk)
+	u := chunkstore.Unit{Table: info.Name, Chunk: chunk}
+	if w.res != nil {
+		if _, err := w.res.pinWrite(u); err != nil {
+			return fmt.Errorf("worker %s: load %s chunk %d: %w", w.cfg.Name, info.Name, chunk, err)
+		}
+		defer w.res.unpin(u)
+	}
 	t, err := w.ingestTable(db, meta.ChunkTableName(info.Name, cid), info)
 	if err != nil {
 		return err
@@ -92,8 +116,11 @@ func (w *Worker) handleLoad(path string, data []byte) error {
 	if err := ov.Insert(batch.Overlap...); err != nil {
 		return fmt.Errorf("worker %s: load %s chunk %d overlap: %w", w.cfg.Name, info.Name, chunk, err)
 	}
-	if err := w.persistAppend(chunkstore.Unit{Table: info.Name, Chunk: chunk}, data); err != nil {
+	if err := w.persistAppend(u, data); err != nil {
 		return err
+	}
+	if w.res != nil {
+		w.res.noteBytes(u, w.unitResidentBytes(db, u))
 	}
 	w.mu.Lock()
 	w.chunks[cid] = true

@@ -31,8 +31,9 @@ func (w *Worker) pingStatus() []byte {
 	chunks := len(w.chunks)
 	w.mu.Unlock()
 	iq, sq := w.QueueLens()
-	return []byte(fmt.Sprintf(`{"worker":%q,"active":%d,"queued":%d,"chunks":%d}`,
-		w.cfg.Name, active, iq+sq, chunks))
+	rs := w.ResidencyStats()
+	return []byte(fmt.Sprintf(`{"worker":%q,"active":%d,"queued":%d,"chunks":%d,"resident":%d}`,
+		w.cfg.Name, active, iq+sq, chunks, rs.Resident))
 }
 
 // exportRepl serves a /repl read: the chunk table's rows plus its
@@ -147,6 +148,13 @@ func (w *Worker) installRepl(path string, data []byte) error {
 		if info.Partitioned {
 			return fmt.Errorf("worker %s: repl install: table %s is partitioned; install it by chunk", w.cfg.Name, info.Name)
 		}
+		u := chunkstore.Unit{Table: info.Name, Shared: true}
+		if w.res != nil {
+			// Latch against the evictor for the install; the deferred
+			// settle charges the fresh tables' bytes.
+			w.res.lockReplace(u)
+			defer func() { w.res.finishReplace(u, w.unitResidentBytes(db, u)) }()
+		}
 		t, err := info.NewIngestTable(info.Name)
 		if err != nil {
 			return err
@@ -157,13 +165,18 @@ func (w *Worker) installRepl(path string, data []byte) error {
 			}
 		}
 		db.Put(t)
-		return w.persistReplace(chunkstore.Unit{Table: info.Name, Shared: true}, segs)
+		return w.persistReplace(u, segs)
 	}
 
 	if !info.Partitioned {
 		return fmt.Errorf("worker %s: repl install: table %s is not partitioned; use the shared path", w.cfg.Name, info.Name)
 	}
 	cid := partition.ChunkID(chunk)
+	u := chunkstore.Unit{Table: info.Name, Chunk: chunk}
+	if w.res != nil {
+		w.res.lockReplace(u)
+		defer func() { w.res.finishReplace(u, w.unitResidentBytes(db, u)) }()
+	}
 	t, err := info.NewIngestTable(meta.ChunkTableName(info.Name, cid))
 	if err != nil {
 		return err
@@ -181,7 +194,7 @@ func (w *Worker) installRepl(path string, data []byte) error {
 	// batch cannot leave a half-replaced chunk.
 	db.Put(t)
 	db.Put(ov)
-	if err := w.persistReplace(chunkstore.Unit{Table: info.Name, Chunk: chunk}, segs); err != nil {
+	if err := w.persistReplace(u, segs); err != nil {
 		return err
 	}
 	w.mu.Lock()

@@ -1,0 +1,506 @@
+package worker
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/chunkstore"
+	"repro/internal/meta"
+	"repro/internal/partition"
+	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
+)
+
+// This file makes chunk residency a managed resource (ROADMAP item 1:
+// larger-than-RAM workers). A durable worker no longer materializes
+// recovered units into engine tables at startup: recovery stops at the
+// chunkstore inventory (spec + unit index), and a unit's tables are
+// built from its segment files on first touch — a query, a /load
+// append, or a repair heal. Under a memory budget, cold units are
+// evicted back to their (already durable) segment files by detaching
+// their engine tables, in LRU order over per-unit resident-byte
+// accounting.
+//
+// The state machine per unit:
+//
+//	on-disk --acquire--> materializing --built--> resident
+//	resident --evictor, pins==0--> evicting --detached--> on-disk
+//
+// Pins make eviction safe against the live read path: every executing
+// chunk query pins the units its statements reference before touching
+// the engine (covering shared-scan convoys, whose consumers only exist
+// while a pinned job runs, and subchunk generation, which scans the
+// pinned base tables), and the evictor only picks fully unpinned
+// resident units. A job popped while its unit is on disk blocks in
+// acquire — materialize-on-miss inside the scheduler — rather than
+// erroring. Writers (/load appends) pin too; replace-installs (/repl,
+// direct loads) latch the unit in the materializing state so the
+// evictor cannot detach tables mid-install.
+//
+// An in-memory worker (no DataDir) has a nil residency manager and
+// every call below no-ops through the Worker wrappers.
+
+// Unit residency states.
+const (
+	unitOnDisk        = iota
+	unitMaterializing // being built from segments, or latched by a replace-install
+	unitResident
+	unitEvicting
+)
+
+// unitState is one unit's residency record, guarded by residency.mu.
+type unitState struct {
+	unit      chunkstore.Unit
+	state     int
+	pins      int
+	bytes     int64  // engine bytes charged while resident
+	lastTouch uint64 // logical clock of the last pin (LRU victim order)
+}
+
+// residency is a worker's chunk-residency manager.
+type residency struct {
+	w      *Worker
+	budget int64 // resident-byte target; 0 = never evict (lazy-only)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	units    map[string]*unitState // keyed by Unit.String()
+	resident int64                 // total bytes charged by resident units
+	clock    uint64
+
+	materializations int64
+	evictions        int64
+
+	// kick wakes the evictor; buffered so producers never block.
+	kick chan struct{}
+}
+
+func newResidency(w *Worker, budget int64) *residency {
+	r := &residency{w: w, budget: budget, units: map[string]*unitState{}, kick: make(chan struct{}, 1)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// trackOnDisk registers a recovered unit as present but not resident.
+func (r *residency) trackOnDisk(u chunkstore.Unit) {
+	r.mu.Lock()
+	if _, ok := r.units[u.String()]; !ok {
+		r.units[u.String()] = &unitState{unit: u, state: unitOnDisk}
+	}
+	r.mu.Unlock()
+}
+
+// pin marks a unit in use, materializing it from the store first if it
+// is not resident. It blocks while another goroutine is materializing
+// or evicting the same unit (a query arriving during an eviction waits
+// out the detach, then exactly one waiter rebuilds the tables). The
+// returned bool reports whether a pin was taken: units this manager
+// does not track (never stored here) are ignored and the engine lookup
+// fails or succeeds on its own terms.
+func (r *residency) pin(u chunkstore.Unit) (bool, error) {
+	key := u.String()
+	r.mu.Lock()
+	for {
+		st, ok := r.units[key]
+		if !ok {
+			r.mu.Unlock()
+			return false, nil
+		}
+		switch st.state {
+		case unitResident:
+			st.pins++
+			r.touchLocked(st)
+			r.mu.Unlock()
+			return true, nil
+		case unitMaterializing, unitEvicting:
+			r.cond.Wait()
+		case unitOnDisk:
+			st.state = unitMaterializing
+			r.mu.Unlock()
+			bytes, err := r.w.materializeUnit(u)
+			r.mu.Lock()
+			if err != nil {
+				st.state = unitOnDisk
+				r.cond.Broadcast()
+				r.mu.Unlock()
+				return false, err
+			}
+			r.materializations++
+			st.state = unitResident
+			st.bytes = bytes
+			r.resident += bytes
+			st.pins++
+			r.touchLocked(st)
+			r.cond.Broadcast()
+			over := r.overBudgetLocked()
+			r.mu.Unlock()
+			if over {
+				r.kickEvictor()
+			}
+			return true, nil
+		}
+	}
+}
+
+// pinWrite is pin for the append path: like pin, but an untracked unit
+// is registered resident on the spot (the first /load batch of a fresh
+// unit creates its tables right after this call). The pin keeps the
+// evictor away while the caller inserts; noteBytes settles accounting.
+func (r *residency) pinWrite(u chunkstore.Unit) (bool, error) {
+	r.mu.Lock()
+	if _, ok := r.units[u.String()]; !ok {
+		st := &unitState{unit: u, state: unitResident, pins: 1}
+		r.touchLocked(st)
+		r.units[u.String()] = st
+		r.mu.Unlock()
+		return true, nil
+	}
+	r.mu.Unlock()
+	return r.pin(u)
+}
+
+// unpin releases one pin; a fully released unit becomes evictable.
+func (r *residency) unpin(u chunkstore.Unit) {
+	r.mu.Lock()
+	if st, ok := r.units[u.String()]; ok && st.pins > 0 {
+		st.pins--
+	}
+	over := r.overBudgetLocked()
+	r.mu.Unlock()
+	if over {
+		r.kickEvictor()
+	}
+}
+
+// noteBytes re-settles a resident unit's byte accounting after its
+// tables changed under a write pin (an append grew them).
+func (r *residency) noteBytes(u chunkstore.Unit, bytes int64) {
+	r.mu.Lock()
+	if st, ok := r.units[u.String()]; ok && st.state == unitResident {
+		r.resident += bytes - st.bytes
+		st.bytes = bytes
+	}
+	over := r.overBudgetLocked()
+	r.mu.Unlock()
+	if over {
+		r.kickEvictor()
+	}
+}
+
+// lockReplace latches a unit for a replace-install: any in-flight
+// materialization or eviction is waited out, the unit's resident bytes
+// are uncharged, and the state is parked at materializing so the
+// evictor cannot detach the tables the caller is about to Put. The
+// caller must follow with finishReplace.
+func (r *residency) lockReplace(u chunkstore.Unit) {
+	key := u.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.units[key]
+	if !ok {
+		r.units[key] = &unitState{unit: u, state: unitMaterializing}
+		return
+	}
+	for st.state == unitMaterializing || st.state == unitEvicting {
+		r.cond.Wait()
+	}
+	if st.state == unitResident {
+		r.resident -= st.bytes
+		st.bytes = 0
+	}
+	st.state = unitMaterializing
+}
+
+// finishReplace completes a replace-install: the unit is resident with
+// the freshly installed tables' bytes.
+func (r *residency) finishReplace(u chunkstore.Unit, bytes int64) {
+	r.mu.Lock()
+	st := r.units[u.String()]
+	st.state = unitResident
+	st.bytes = bytes
+	r.resident += bytes
+	r.touchLocked(st)
+	r.cond.Broadcast()
+	over := r.overBudgetLocked()
+	r.mu.Unlock()
+	if over {
+		r.kickEvictor()
+	}
+}
+
+// isResident reports a unit's state (tests, /repl export assertions).
+func (r *residency) isResident(u chunkstore.Unit) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.units[u.String()]
+	return ok && (st.state == unitResident || st.state == unitMaterializing)
+}
+
+func (r *residency) touchLocked(st *unitState) {
+	r.clock++
+	st.lastTouch = r.clock
+}
+
+func (r *residency) overBudgetLocked() bool {
+	return r.budget > 0 && r.resident > r.budget
+}
+
+func (r *residency) kickEvictor() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// evictLoop detaches cold units until the worker is back under budget
+// or nothing evictable remains (everything resident is pinned — the
+// next unpin re-kicks). Victims leave in LRU order of their last pin.
+func (r *residency) evictLoop() {
+	for {
+		r.mu.Lock()
+		if !r.overBudgetLocked() {
+			r.mu.Unlock()
+			return
+		}
+		var victim *unitState
+		for _, st := range r.units {
+			if st.state != unitResident || st.pins != 0 {
+				continue
+			}
+			if victim == nil || st.lastTouch < victim.lastTouch {
+				victim = st
+			}
+		}
+		if victim == nil {
+			r.mu.Unlock()
+			return
+		}
+		victim.state = unitEvicting
+		bytes := victim.bytes
+		u := victim.unit
+		r.mu.Unlock()
+
+		// The detach runs outside r.mu: it takes the engine database and
+		// scanner locks, and waiters for this unit block on the evicting
+		// state, not on the mutex.
+		r.w.detachUnit(u)
+
+		r.mu.Lock()
+		victim.state = unitOnDisk
+		victim.bytes = 0
+		r.resident -= bytes
+		r.evictions++
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// evictor is the worker goroutine draining eviction kicks.
+func (w *Worker) evictor() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.res.kick:
+			w.res.evictLoop()
+		}
+	}
+}
+
+// ---------- Worker integration ----------
+
+// ResidencyStats reports a worker's chunk-residency accounting. For an
+// in-memory worker every field is zero.
+type ResidencyStats struct {
+	// Units is the number of storage units in inventory (resident or
+	// on disk); Resident of them currently have engine tables.
+	Units    int
+	Resident int
+	// ResidentBytes is the accounted engine footprint of the resident
+	// units; Budget is the configured target (0 = unbounded).
+	ResidentBytes int64
+	Budget        int64
+	// Materializations and Evictions count residency transitions since
+	// startup.
+	Materializations int64
+	Evictions        int64
+}
+
+// ResidencyStats returns the worker's residency accounting.
+func (w *Worker) ResidencyStats() ResidencyStats {
+	if w.res == nil {
+		return ResidencyStats{}
+	}
+	r := w.res
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := ResidencyStats{
+		Units:            len(r.units),
+		ResidentBytes:    r.resident,
+		Budget:           r.budget,
+		Materializations: r.materializations,
+		Evictions:        r.evictions,
+	}
+	for _, u := range r.units {
+		if u.state == unitResident || u.state == unitMaterializing {
+			st.Resident++
+		}
+	}
+	return st
+}
+
+// materializeUnit rebuilds one unit's engine tables from its stored
+// segments and returns the bytes to charge. Called with the unit
+// latched in the materializing state, never under residency.mu.
+func (w *Worker) materializeUnit(u chunkstore.Unit) (int64, error) {
+	segs, err := w.store.Segments(u)
+	if err != nil {
+		return 0, fmt.Errorf("worker %s: materialize %s: %w", w.cfg.Name, u, err)
+	}
+	info, err := w.registry.Table(u.Table)
+	if err != nil {
+		return 0, fmt.Errorf("worker %s: materialize %s: %w", w.cfg.Name, u, err)
+	}
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.installUnit(db, info, u, segs); err != nil {
+		return 0, fmt.Errorf("worker %s: materialize %s: %w", w.cfg.Name, u, err)
+	}
+	return w.unitResidentBytes(db, u), nil
+}
+
+// detachUnit removes a unit's engine tables (the table objects stay
+// valid for any in-flight reader holding a pointer; new lookups miss
+// until a re-materialization), retires its convoy scanners so their
+// cumulative counters survive in ScanStats, and drops any cached
+// subchunk tables derived from it.
+func (w *Worker) detachUnit(u chunkstore.Unit) {
+	db, err := w.engine.Database(w.registry.DB)
+	if err != nil {
+		return
+	}
+	names := w.unitTableNames(u)
+	for _, n := range names {
+		db.Detach(n)
+	}
+	w.retireScanners(names...)
+	if !u.Shared {
+		w.subs.evictChunk(u.Table, partition.ChunkID(u.Chunk))
+	}
+}
+
+// unitTableNames lists the engine tables backing a unit: the table
+// itself for a shared unit, the chunk table plus its overlap companion
+// for a chunk unit.
+func (w *Worker) unitTableNames(u chunkstore.Unit) []string {
+	if u.Shared {
+		return []string{u.Table}
+	}
+	cid := partition.ChunkID(u.Chunk)
+	return []string{meta.ChunkTableName(u.Table, cid), meta.OverlapTableName(u.Table, cid)}
+}
+
+// unitResidentBytes sums the resident footprint of a unit's tables.
+func (w *Worker) unitResidentBytes(db *sqlengine.Database, u chunkstore.Unit) int64 {
+	var b int64
+	for _, n := range w.unitTableNames(u) {
+		if t, err := db.Table(n); err == nil {
+			b += t.ResidentBytes()
+		}
+	}
+	return b
+}
+
+// pinUnits pins every unit in order, materializing misses, and returns
+// a release closure. On error the units already pinned are released.
+func (w *Worker) pinUnits(units []chunkstore.Unit) (func(), error) {
+	if w.res == nil || len(units) == 0 {
+		return func() {}, nil
+	}
+	pinned := make([]chunkstore.Unit, 0, len(units))
+	release := func() {
+		for _, u := range pinned {
+			w.res.unpin(u)
+		}
+	}
+	for _, u := range units {
+		ok, err := w.res.pin(u)
+		if err != nil {
+			release()
+			return nil, err
+		}
+		if ok {
+			pinned = append(pinned, u)
+		}
+	}
+	return release, nil
+}
+
+// unitsForStmts collects the storage units a chunk query's statements
+// touch, deduplicated, so runChunkQuery can pin them all before any
+// engine access.
+func (w *Worker) unitsForStmts(stmts []sqlparse.Statement) []chunkstore.Unit {
+	if w.res == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []chunkstore.Unit
+	for _, st := range stmts {
+		sel, ok := st.(*sqlparse.Select)
+		if !ok {
+			continue
+		}
+		for _, ref := range sel.From {
+			u, ok := w.unitOfTable(ref.Table)
+			if !ok || seen[u.String()] {
+				continue
+			}
+			seen[u.String()] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// unitOfTable maps a chunk-query table reference to the storage unit
+// backing it: Base_CC and BaseFullOverlap_CC map to (Base, CC);
+// subchunk tables Base_CC_SS (and their FullOverlap forms) map to the
+// base chunk unit they are generated from; a bare non-partitioned
+// table name maps to its shared unit. References that resolve to no
+// catalog table are not units (result-cache names, typos) — the engine
+// reports those on its own.
+func (w *Worker) unitOfTable(name string) (chunkstore.Unit, bool) {
+	parts := strings.Split(name, "_")
+	numeric := 0
+	for numeric < 2 && len(parts)-numeric > 1 && isDigits(parts[len(parts)-1-numeric]) {
+		numeric++
+	}
+	if numeric == 0 {
+		info, err := w.registry.Table(name)
+		if err != nil || info.Partitioned {
+			return chunkstore.Unit{}, false
+		}
+		return chunkstore.Unit{Table: info.Name, Shared: true}, true
+	}
+	base := strings.Join(parts[:len(parts)-numeric], "_")
+	base = strings.TrimSuffix(base, "FullOverlap")
+	info, err := w.registry.Table(base)
+	if err != nil || !info.Partitioned {
+		// The whole name (digits and all) may itself be a replicated
+		// table.
+		if info, err := w.registry.Table(name); err == nil && !info.Partitioned {
+			return chunkstore.Unit{Table: info.Name, Shared: true}, true
+		}
+		return chunkstore.Unit{}, false
+	}
+	chunk, err := strconv.Atoi(parts[len(parts)-numeric])
+	if err != nil {
+		return chunkstore.Unit{}, false
+	}
+	return chunkstore.Unit{Table: info.Name, Chunk: chunk}, true
+}

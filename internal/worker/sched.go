@@ -173,6 +173,29 @@ func (w *Worker) scannerFor(t *sqlengine.Table) *scanshare.Scanner {
 	return sc
 }
 
+// retireScanners drops the convoy scanners over the named tables,
+// folding their cumulative counters into the worker's retired totals
+// first (an evicted chunk must not erase the savings it produced while
+// hot). Callers evict only fully unpinned units, so no convoy is
+// mid-flight over these tables; a stale scanner kept here would pin
+// the detached table's rows in memory, defeating the eviction.
+func (w *Worker) retireScanners(tables ...string) {
+	w.scanMu.Lock()
+	defer w.scanMu.Unlock()
+	for _, name := range tables {
+		key := strings.ToLower(name)
+		sc, ok := w.scanners[key]
+		if !ok {
+			continue
+		}
+		w.retired.Convoys++
+		w.retired.BytesRead += sc.BytesRead()
+		w.retired.PiecesRead += sc.PiecesRead()
+		w.retired.ScansSaved += sc.ScansSaved()
+		delete(w.scanners, key)
+	}
+}
+
 // ConvoyScanner returns the live convoy scanner for a table name, or
 // nil when none has been created; exposed for tests and experiments.
 func (w *Worker) ConvoyScanner(table string) *scanshare.Scanner {
@@ -198,15 +221,18 @@ type ScanStats struct {
 	ScansSaved int64
 }
 
-// ScanStats returns the worker's aggregate shared-scan counters.
+// ScanStats returns the worker's aggregate shared-scan counters,
+// including those of scanners retired by chunk eviction.
 func (w *Worker) ScanStats() ScanStats {
 	w.scanMu.Lock()
 	scanners := make([]*scanshare.Scanner, 0, len(w.scanners))
 	for _, sc := range w.scanners {
 		scanners = append(scanners, sc)
 	}
+	retired := w.retired
 	w.scanMu.Unlock()
-	st := ScanStats{Convoys: len(scanners)}
+	st := retired
+	st.Convoys += len(scanners)
 	for _, sc := range scanners {
 		st.BytesRead += sc.BytesRead()
 		st.PiecesRead += sc.PiecesRead()

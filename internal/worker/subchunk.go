@@ -2,6 +2,7 @@ package worker
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/meta"
@@ -226,6 +227,33 @@ func pointOf(row sqlengine.Row, raCol, declCol int) sphgeom.Point {
 	ra, _ := sqlengine.AsFloat(row[raCol])
 	decl, _ := sqlengine.AsFloat(row[declCol])
 	return sphgeom.NewPoint(ra, decl)
+}
+
+// evictChunk drops the cached (refs==0) subchunk materializations
+// derived from one chunk of a base table, releasing their tables along
+// with the evicted base. Entries with live refs cannot exist when this
+// runs — a referencing job holds a pin on the base unit, and pinned
+// units are never evicted — but are skipped defensively rather than
+// yanked from under a reader.
+func (m *subchunkManager) evictChunk(base string, chunk partition.ChunkID) {
+	prefix := fmt.Sprintf("%s/%d/", base, chunk)
+	m.mu.Lock()
+	var toDrop []partition.SubChunkID
+	for key, e := range m.entries {
+		if e.refs != 0 || !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		var sub int
+		if _, err := fmt.Sscanf(key[len(prefix):], "%d", &sub); err != nil {
+			continue
+		}
+		delete(m.entries, key)
+		toDrop = append(toDrop, partition.SubChunkID(sub))
+	}
+	m.mu.Unlock()
+	for _, sub := range toDrop {
+		m.dropTables(base, chunk, sub)
+	}
 }
 
 func (m *subchunkManager) dropTables(base string, chunk partition.ChunkID, sub partition.SubChunkID) {

@@ -73,10 +73,21 @@ type Config struct {
 	ResultTimeout time.Duration
 	// DataDir enables the durable chunk store (internal/chunkstore):
 	// every ingest batch and /repl install is persisted under this
-	// directory, and New recovers the worker's chunk tables from it, so
-	// a restarted worker rejoins with its data intact. Empty keeps the
-	// pre-durability behavior: chunk data lives only in memory.
+	// directory, and New recovers the worker's inventory from it, so a
+	// restarted worker rejoins serving its chunks with zero copies.
+	// Chunk tables are materialized lazily from the stored segments on
+	// first touch. Empty keeps the pre-durability behavior: chunk data
+	// lives only in memory.
 	DataDir string
+	// MemoryBudgetBytes bounds the resident engine footprint of the
+	// worker's stored units (chunk tables, overlap companions, and
+	// replicated tables, hash indexes included). Above the budget, cold
+	// units are evicted back to their segment files in LRU order and
+	// re-materialized on the next touch, so the worker serves working
+	// sets larger than its memory. 0 means materialize lazily but never
+	// evict. Requires DataDir (an in-memory worker has nowhere to evict
+	// to; the budget is ignored without a store).
+	MemoryBudgetBytes int64
 }
 
 // DefaultConfig mirrors the paper's worker configuration. Shared scans
@@ -139,6 +150,9 @@ type Worker struct {
 
 	scanMu   sync.Mutex
 	scanners map[string]*scanshare.Scanner
+	// retired accumulates the counters of scanners dropped by eviction,
+	// so ScanStats stays cumulative across residency churn.
+	retired ScanStats
 
 	// loadMu serializes /load batch application (see ingest.go).
 	loadMu sync.Mutex
@@ -147,6 +161,12 @@ type Worker struct {
 	// durable.go). Mutated only during New; loadMu serializes the
 	// writes that flow through it afterwards.
 	store *chunkstore.Store
+
+	// res manages chunk residency over the store (see residency.go):
+	// lazy materialization on first touch, pinning against the live
+	// read path, LRU eviction under MemoryBudgetBytes. Nil without a
+	// store.
+	res *residency
 
 	subs *subchunkManager
 }
@@ -272,9 +292,12 @@ func New(cfg Config, registry *meta.Registry) (*Worker, error) {
 	}
 	w.subs = newSubchunkManager(w)
 	if cfg.DataDir != "" {
+		w.res = newResidency(w, cfg.MemoryBudgetBytes)
 		if err := w.openStore(); err != nil {
 			return nil, err
 		}
+		w.wg.Add(1)
+		go w.evictor()
 	}
 	for i := 0; i < cfg.InteractiveSlots; i++ {
 		w.wg.Add(1)
@@ -421,6 +444,13 @@ func (w *Worker) LoadChunk(info *meta.TableInfo, chunk partition.ChunkID,
 	if err != nil {
 		return err
 	}
+	u := chunkstore.Unit{Table: info.Name, Chunk: int(chunk)}
+	if w.res != nil {
+		// Latch the unit so the evictor cannot detach the tables being
+		// installed; the deferred settle also re-charges the unit's bytes.
+		w.res.lockReplace(u)
+		defer func() { w.res.finishReplace(u, w.unitResidentBytes(db, u)) }()
+	}
 	t := sqlengine.NewTable(meta.ChunkTableName(info.Name, chunk), info.Schema)
 	if err := t.Insert(rows...); err != nil {
 		return err
@@ -438,7 +468,7 @@ func (w *Worker) LoadChunk(info *meta.TableInfo, chunk partition.ChunkID,
 	}
 	db.Put(ov)
 
-	if err := w.persistRows(chunkstore.Unit{Table: info.Name, Chunk: int(chunk)}, rows, overlapRows); err != nil {
+	if err := w.persistRows(u, rows, overlapRows); err != nil {
 		return err
 	}
 	w.mu.Lock()
@@ -453,12 +483,17 @@ func (w *Worker) LoadShared(name string, schema sqlengine.Schema, rows []sqlengi
 	if err != nil {
 		return err
 	}
+	u := chunkstore.Unit{Table: name, Shared: true}
+	if w.res != nil {
+		w.res.lockReplace(u)
+		defer func() { w.res.finishReplace(u, w.unitResidentBytes(db, u)) }()
+	}
 	t := sqlengine.NewTable(name, schema)
 	if err := t.Insert(rows...); err != nil {
 		return err
 	}
 	db.Put(t)
-	return w.persistRows(chunkstore.Unit{Table: name, Shared: true}, rows, nil)
+	return w.persistRows(u, rows, nil)
 }
 
 // ---------- xrd.Handler ----------
@@ -747,6 +782,16 @@ func (w *Worker) runChunkQuery(j *job) ([]byte, sqlengine.ExecStats, error) {
 	if len(stmts) == 0 {
 		return nil, agg, fmt.Errorf("worker %s: empty chunk query", w.cfg.Name)
 	}
+
+	// Pin the storage units the statements reference before any engine
+	// access: a unit evicted to disk is re-materialized here (the job
+	// blocks instead of erroring), and a pinned unit cannot be detached
+	// under the convoys or subchunk scans that follow.
+	releaseUnits, err := w.pinUnits(w.unitsForStmts(stmts))
+	if err != nil {
+		return nil, agg, fmt.Errorf("worker %s chunk %d: %w", w.cfg.Name, j.chunk, err)
+	}
+	defer releaseUnits()
 
 	// Materialize subchunk tables named by the statements.
 	if hasSubs {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -128,6 +129,18 @@ type ClusterConfig struct {
 	// intact before the replication manager starts copying. Zero keeps
 	// the PR-5 behavior: repair begins at the first sweep after death.
 	RepairGrace time.Duration
+	// WorkerMemoryBudget caps each worker's resident chunk-table
+	// footprint in bytes: above it, cold chunks are evicted back to the
+	// worker's durable store (LRU) and re-materialized on first touch,
+	// so workers serve catalogs larger than their memory. 0 means
+	// unbudgeted (everything stays resident). A budget needs a durable
+	// store to page against: when set with no DataDir (and no
+	// QSERV_DATADIR), NewCluster creates a private temporary data
+	// directory and removes it on Close. The QSERV_MEMBUDGET environment
+	// variable, when set and this field is 0, supplies the budget
+	// (letting a test suite run memory-constrained without code
+	// changes).
+	WorkerMemoryBudget int64
 }
 
 // DefaultClusterConfig returns a laptop-scale configuration: a coarse
@@ -209,6 +222,10 @@ type Cluster struct {
 	memberMu  sync.Mutex
 	removing  map[string]bool
 	removalMu sync.Mutex
+
+	// ownsDataDir is the temporary data directory NewCluster created for
+	// a memory budget with no configured DataDir; Close removes it.
+	ownsDataDir string
 }
 
 // NewCluster builds the cluster skeleton with an empty catalog; call
@@ -247,6 +264,25 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 			cfg.DataDir = dir
 		}
+	}
+	if cfg.WorkerMemoryBudget == 0 {
+		if env := os.Getenv("QSERV_MEMBUDGET"); env != "" {
+			b, err := strconv.ParseInt(env, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("qserv: QSERV_MEMBUDGET: %w", err)
+			}
+			cfg.WorkerMemoryBudget = b
+		}
+	}
+	if cfg.WorkerMemoryBudget > 0 && cfg.DataDir == "" {
+		// A memory budget pages against a durable store; give the cluster
+		// a private one when the caller did not.
+		dir, err := os.MkdirTemp("", "qserv-mem-")
+		if err != nil {
+			return nil, fmt.Errorf("qserv: memory-budget data dir: %w", err)
+		}
+		cfg.DataDir = dir
+		cl.ownsDataDir = dir
 	}
 	cl.Config = cfg
 	cl.client = xrd.NewClient(cl.Redirector)
@@ -307,6 +343,7 @@ func (cl *Cluster) workerConfig(name string) worker.Config {
 	if cfg.DataDir != "" {
 		wcfg.DataDir = filepath.Join(cfg.DataDir, name)
 	}
+	wcfg.MemoryBudgetBytes = cfg.WorkerMemoryBudget
 	if cfg.InteractiveSlots > 0 {
 		wcfg.InteractiveSlots = cfg.InteractiveSlots
 	}
@@ -337,6 +374,9 @@ func (cl *Cluster) Close() {
 		cl.memberMu.Unlock()
 		for _, w := range workers {
 			w.Close()
+		}
+		if cl.ownsDataDir != "" {
+			os.RemoveAll(cl.ownsDataDir)
 		}
 	})
 }

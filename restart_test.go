@@ -156,8 +156,11 @@ func TestDurableRestartKeepsData(t *testing.T) {
 // re-homing, placement intact.
 func TestInMemoryRestartHealsInPlace(t *testing.T) {
 	// This test is ABOUT the store-less path: suppress the QSERV_DATADIR
-	// override that makes every cluster durable in the CI durability run.
+	// override that makes every cluster durable in the CI durability
+	// run, and the QSERV_MEMBUDGET override that would auto-create a
+	// private store for the budget to page against.
 	t.Setenv("QSERV_DATADIR", "")
+	t.Setenv("QSERV_MEMBUDGET", "")
 	cl, oracle := restartCluster(t, "", 10*time.Second)
 	victim := cl.Workers[0].Name()
 	held := len(cl.Placement.ChunksOn(victim))
