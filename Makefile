@@ -30,7 +30,10 @@ bench:
 # path (durable chunk store recovery vs re-replication, copy-free
 # restart hard-gated, oracle-checked), and the paging path (worker
 # memory budget far below the working set: lazy materialization +
-# LRU eviction, oracle-checked, hot-chunk slowdown gated).
+# LRU eviction, oracle-checked, hot-chunk slowdown gated), and the
+# connection-scale frontend (streaming v2 first-row-before-scan-done
+# hard-gated, a 1000-connection oracle-checked storm, admission
+# shedding with fast busy errors).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
 	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
@@ -38,14 +41,23 @@ bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp failover -objects 5
 	$(GO) run ./cmd/qserv-bench -exp restart -objects 5
 	$(GO) run ./cmd/qserv-bench -exp paging -objects 5
+	$(GO) run ./cmd/qserv-bench -exp frontend -objects 5
 
 # Native Go fuzzing over the untrusted-bytes decoders: chunkstore
-# segment framing + WAL records, and the ingest batch / segment-set
-# codecs. Go allows one -fuzz pattern per invocation, hence four runs.
-# Seed corpora (including hand-written hostile frames) live under each
-# package's testdata/fuzz/ and also run as plain tests in `make test`.
+# segment framing + WAL records, the ingest batch / segment-set codecs,
+# and the frontend wire-protocol codec (frame reader, v2 handshake,
+# value / column-header / row decoders — everything a hostile client
+# controls). Go allows one -fuzz pattern per invocation, hence one run
+# per target. Seed corpora (including hand-written hostile frames) live
+# under each package's testdata/fuzz/ and also run as plain tests in
+# `make test`.
 fuzz-smoke:
 	$(GO) test ./internal/chunkstore -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chunkstore -run '^$$' -fuzz '^FuzzWALDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -run '^$$' -fuzz '^FuzzDecodeSegments$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzFrameRead$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzValueDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzHandshake$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzColsDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzRowDecode$$' -fuzztime $(FUZZTIME)

@@ -130,6 +130,7 @@ func experiments() []experiment {
 		{"ablate-scanshare-live", "A4b: shared scans + two-class scheduler on the live worker path", runAblateScanshareLive},
 		{"merge-pipeline", "A6: streaming parallel merge + top-K pushdown at the czar", runMergePipeline},
 		{"kill-latency", "A8: Cancel() to worker-slot reclamation on the live path", runKillLatency},
+		{"frontend", "A13: connection-scale frontend — streaming v2, 1k-conn storm, admission shedding", runFrontendBench},
 		{"ingest", "A9: parallel fabric-routed ingest vs serialized shipping", runIngestBench},
 		{"failover", "A10: worker death under load — detect, fail over, self-heal replication", runFailover},
 		{"restart", "A11: durable chunk store — restart-to-serving vs re-replication", runRestart},

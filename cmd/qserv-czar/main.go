@@ -17,21 +17,24 @@ import (
 
 	"repro/internal/czar"
 	"repro/internal/deploy"
+	"repro/internal/frontend"
 	"repro/internal/member"
 	"repro/internal/partition"
-	"repro/internal/proxy"
 	"repro/internal/xrd"
 )
 
 var (
-	workersFlag = flag.String("workers", "w0=127.0.0.1:7001", "name=addr list of workers")
-	peersFlag   = flag.String("peers", "", "comma-separated worker names (default: from -workers)")
-	listenFlag  = flag.String("listen", "127.0.0.1:7000", "proxy listen address")
-	seedFlag    = flag.Int64("seed", 1, "catalog seed")
-	objectsFlag = flag.Int("objects", 400, "objects per patch")
-	sourcesFlag = flag.Float64("sources", 3, "mean sources per object")
-	bandsFlag   = flag.Int("bands", 2, "declination bands to duplicate")
-	copiesFlag  = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
+	workersFlag  = flag.String("workers", "w0=127.0.0.1:7001", "name=addr list of workers")
+	peersFlag    = flag.String("peers", "", "comma-separated worker names (default: from -workers)")
+	listenFlag   = flag.String("listen", "127.0.0.1:7000", "frontend listen address")
+	maxSessFlag  = flag.Int("max-sessions", 256, "global concurrent session quota (0 = unlimited)")
+	userSessFlag = flag.Int("user-sessions", 64, "per-user concurrent session quota (0 = unlimited)")
+	queueFlag    = flag.Int("session-queue", 128, "waiting-session queue depth (full queue sheds with busy)")
+	seedFlag     = flag.Int64("seed", 1, "catalog seed")
+	objectsFlag  = flag.Int("objects", 400, "objects per patch")
+	sourcesFlag  = flag.Float64("sources", 3, "mean sources per object")
+	bandsFlag    = flag.Int("bands", 2, "declination bands to duplicate")
+	copiesFlag   = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
 )
 
 func main() {
@@ -110,16 +113,23 @@ func main() {
 	mgr.Start()
 	defer mgr.Close()
 
-	srv, err := proxy.Serve(*listenFlag, cz)
+	// The frontend serves both wire protocols on one listener — legacy
+	// v1 and streaming v2 — with admission control bounding the session
+	// load any connection storm can put on this czar.
+	srv, err := frontend.Serve(*listenFlag, frontend.Config{
+		MaxSessions:       *maxSessFlag,
+		PerUserSessions:   *userSessFlag,
+		SessionQueueDepth: *queueFlag,
+	}, cz)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("czar ready: %d workers, %d chunks; SQL proxy on %s\n",
+	fmt.Printf("czar ready: %d workers, %d chunks; SQL frontend on %s (protocols v1+v2)\n",
 		len(addrs), len(layout.Placement.Chunks()), srv.Addr())
-	fmt.Printf("connect with: qserv-sql -addr %s\n", srv.Addr())
+	fmt.Printf("connect with: qserv-sql -addr %s  (or database/sql DSN qserv://user@%s/LSST)\n", srv.Addr(), srv.Addr())
 	fmt.Printf("manage queries with: SHOW PROCESSLIST; KILL <id>;\n")
-	fmt.Printf("watch the cluster with: SHOW WORKERS; SHOW REPAIRS;\n")
+	fmt.Printf("watch the cluster with: SHOW WORKERS; SHOW REPAIRS; SHOW FRONTEND;\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,54 +1,82 @@
 // Command qserv-sql is the interactive SQL client for a qserv-czar
-// proxy (the role any MySQL-compatible client plays in the paper):
+// frontend (the role any MySQL-compatible client plays in the paper):
 //
 //	qserv-sql -addr 127.0.0.1:7000                      # REPL
 //	qserv-sql -addr 127.0.0.1:7000 -e "SELECT COUNT(*) FROM Object"
 //
-// Besides SQL, the proxy answers the query-management commands of the
-// paper's section 5: `SHOW PROCESSLIST;` lists in-flight queries (id,
-// czar, scheduling class, age, chunk progress) and `KILL <id>;` cancels
-// one — the kill propagates down to the workers' scan lanes. The
-// availability subsystem is observable the same way: `SHOW WORKERS;`
-// lists per-worker health (alive / suspect / dead, consecutive misses,
-// chunk counts) and `SHOW REPAIRS;` the replication manager's progress
-// and the placement epoch.
+// It speaks the streaming protocol v2: rows print as the czar's merge
+// pipeline produces them — the first rows of a multi-hour scan appear
+// immediately — and every statement reports first-row latency
+// separately from total latency. Ctrl-C during a statement kills the
+// in-flight query server-side (worker scan slots free) without ending
+// the session. -v1 falls back to the legacy buffered protocol.
+//
+// Besides SQL, the frontend answers the query-management commands of
+// the paper's section 5: `SHOW PROCESSLIST;` lists in-flight queries
+// (id, czar, scheduling class, age, chunk progress) and `KILL <id>;`
+// cancels one — the kill propagates down to the workers' scan lanes.
+// The availability subsystem is observable the same way: `SHOW
+// WORKERS;` lists per-worker health (alive / suspect / dead,
+// consecutive misses, chunk counts) and `SHOW REPAIRS;` the
+// replication manager's progress and the placement epoch; `SHOW
+// FRONTEND;` reports admission-control pressure (active/queued/shed
+// sessions).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/frontend"
 	"repro/internal/proxy"
 	"repro/internal/sqlengine"
 )
 
 var (
-	addrFlag  = flag.String("addr", "127.0.0.1:7000", "proxy address")
+	addrFlag  = flag.String("addr", "127.0.0.1:7000", "frontend address")
 	queryFlag = flag.String("e", "", "execute one statement and exit")
+	userFlag  = flag.String("user", "anonymous", "user identity for admission control")
+	dbFlag    = flag.String("db", "LSST", "database name")
+	v1Flag    = flag.Bool("v1", false, "use the legacy buffered v1 protocol")
 )
 
 func main() {
 	flag.Parse()
 	log.SetPrefix("qserv-sql: ")
-	client, err := proxy.Dial(*addrFlag)
-	if err != nil {
-		log.Fatal(err)
+
+	var run func(sql string)
+	if *v1Flag {
+		client, err := proxy.Dial(*addrFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		run = func(sql string) { runV1(client, sql) }
+	} else {
+		client, err := frontend.Dial(*addrFlag, *userFlag, *dbFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		run = func(sql string) { runV2(client, sql) }
 	}
-	defer client.Close()
 
 	if *queryFlag != "" {
-		run(client, *queryFlag)
+		run(*queryFlag)
 		return
 	}
 
 	fmt.Println("qserv-sql — type SQL statements terminated by ';', or 'quit'")
 	fmt.Println("           (SHOW PROCESSLIST; lists running queries, KILL <id>; cancels one,")
-	fmt.Println("            SHOW WORKERS; lists worker health, SHOW REPAIRS; repair progress)")
+	fmt.Println("            SHOW WORKERS; worker health, SHOW REPAIRS; repair progress,")
+	fmt.Println("            SHOW FRONTEND; admission-control pressure)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -65,7 +93,7 @@ func main() {
 			sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
 			buf.Reset()
 			if sql != "" {
-				run(client, sql)
+				run(sql)
 			}
 			fmt.Print("qserv> ")
 			continue
@@ -74,7 +102,62 @@ func main() {
 	}
 }
 
-func run(client *proxy.Client, sql string) {
+// runV2 streams one statement: rows print as they arrive, Ctrl-C kills
+// the in-flight query (not the session), and the summary separates
+// first-row latency from total latency.
+func runV2(client *frontend.Client, sql string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	st, err := client.Query(ctx, sql)
+	if err != nil {
+		fmt.Printf("ERROR: %v\n", err)
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, strings.Join(st.Cols(), "\t"))
+	fmt.Fprintln(w, strings.Repeat("-", 8*len(st.Cols())))
+
+	var rows int64
+	var firstRow time.Duration
+	cells := make([]string, len(st.Cols()))
+	for {
+		row, ok := st.Next()
+		if !ok {
+			break
+		}
+		if rows == 0 {
+			firstRow = time.Since(start)
+		}
+		rows++
+		for i, v := range row {
+			cells[i] = sqlengine.FormatValue(v)
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+		if rows%1024 == 0 {
+			w.Flush() // keep the terminal live on long streams
+		}
+	}
+	w.Flush()
+	total := time.Since(start)
+	if err := st.Err(); err != nil {
+		fmt.Printf("ERROR after %d row(s): %v\n", rows, err)
+		return
+	}
+	if rows == 0 {
+		fmt.Printf("0 row(s) in %v\n", total.Round(time.Millisecond))
+		return
+	}
+	fmt.Printf("%d row(s); first row in %v, total %v\n",
+		rows, firstRow.Round(time.Millisecond), total.Round(time.Millisecond))
+}
+
+// runV1 is the legacy buffered path: the full result must arrive
+// before anything prints (no first-row latency to report — it equals
+// the total by construction).
+func runV1(client *proxy.Client, sql string) {
 	start := time.Now()
 	res, err := client.Query(sql)
 	if err != nil {

@@ -91,6 +91,16 @@ type Query struct {
 	rowsMerged  atomic.Int64
 	bytesRead   atomic.Int64
 
+	// cols are the result column names, published through colsReady as
+	// soon as they are known: at plan time for distributed queries (the
+	// planner derives ResultColumns before any chunk is dispatched), at
+	// completion for czar-local ones. The frontend's streaming wire
+	// protocol sends its column header from here, long before the query
+	// finishes.
+	cols      []string
+	colsOnce  sync.Once
+	colsReady chan struct{}
+
 	stream *rowStream
 
 	done chan struct{}
@@ -160,7 +170,12 @@ func (q *Query) Rows() *RowIter { return &RowIter{q: q} }
 // one.
 func (q *Query) finish(res *QueryResult, err error) {
 	q.res, q.err = res, err
-	if err == nil && !q.stream.streamed() {
+	if err == nil && res != nil && res.Result != nil {
+		// Local queries (and fed handles) learn their columns only here;
+		// distributed ones already published them at plan time (no-op).
+		q.setColumns(res.Cols)
+	}
+	if err == nil && res != nil && res.Result != nil && !q.stream.streamed() {
 		q.stream.push(res.Rows)
 	}
 	close(q.done)
@@ -224,11 +239,23 @@ func (s *rowStream) next(pos int) (sqlengine.Row, bool) {
 	return nil, false
 }
 
+// ready reports whether next(pos) would return without blocking.
+func (s *rowStream) ready(pos int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return pos < len(s.rows) || s.done
+}
+
 // RowIter iterates a query's streamed result rows.
 type RowIter struct {
 	q   *Query
 	pos int
 }
+
+// Ready reports whether Next would return without blocking — a row is
+// already buffered, or the stream has ended. Streaming writers use it
+// to flush buffered output before parking on a slow producer.
+func (it *RowIter) Ready() bool { return it.q.stream.ready(it.pos) }
 
 // Next returns the next result row, blocking until one arrives; ok is
 // false once the query finished (or failed) and every streamed row has
@@ -312,16 +339,18 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 	qctx, cancel := context.WithCancelCause(qctx)
 
 	q := &Query{
-		sql:     sql,
-		started: time.Now(),
-		ctx:     qctx,
-		cancel:  cancel,
-		stream:  newRowStream(),
-		done:    make(chan struct{}),
+		sql:       sql,
+		started:   time.Now(),
+		ctx:       qctx,
+		cancel:    cancel,
+		stream:    newRowStream(),
+		done:      make(chan struct{}),
+		colsReady: make(chan struct{}),
 	}
 	if !local {
 		q.class = plan.Class
 		q.chunksTotal = len(plan.Chunks)
+		q.setColumns(plan.ResultColumns)
 	}
 
 	c.qmu.Lock()

@@ -1,0 +1,179 @@
+package frontend
+
+import (
+	"fmt"
+	"sync"
+)
+
+// admission is the controller that keeps a connection storm from
+// becoming a czar OOM. Each query session must acquire a slot before
+// it reaches Submit:
+//
+//   - Per-user quota (PerUserSessions) is checked first and sheds
+//     immediately — a user over quota gets "busy: ..." without ever
+//     occupying queue space, so one greedy user cannot starve others.
+//   - The global quota (MaxSessions) admits up to that many concurrent
+//     sessions; beyond it, sessions wait in a FIFO queue bounded by
+//     SessionQueueDepth. A full queue sheds immediately.
+//
+// Shedding is an ordinary protocol error frame ("busy:" prefix), so a
+// rejected query costs one round trip and the connection survives.
+type admission struct {
+	maxSessions int
+	perUser     int
+	queueDepth  int
+
+	mu      sync.Mutex
+	active  int
+	byUser  map[string]int
+	waiters []*waiter
+
+	// lifetime counters for SHOW FRONTEND
+	admitted int64
+	queued   int64
+	shed     int64
+}
+
+type waiter struct {
+	user  string
+	ready chan struct{} // closed when a slot is granted
+	gone  bool          // abandoned (client disconnected while queued)
+}
+
+func newAdmission(maxSessions, perUser, queueDepth int) *admission {
+	return &admission{
+		maxSessions: maxSessions,
+		perUser:     perUser,
+		queueDepth:  queueDepth,
+		byUser:      make(map[string]int),
+	}
+}
+
+// errBusy marks shed errors; clients detect shedding by the prefix.
+func errBusy(format string, args ...any) error {
+	return fmt.Errorf("busy: "+format, args...)
+}
+
+// acquire reserves a session slot for user, blocking in the bounded
+// FIFO queue if the global quota is saturated. done aborts the wait
+// (client disconnected or query context canceled). On success the
+// caller must release().
+func (a *admission) acquire(user string, done <-chan struct{}) error {
+	a.mu.Lock()
+	if a.perUser > 0 && a.byUser[user] >= a.perUser {
+		a.shed++
+		a.mu.Unlock()
+		return errBusy("user %q at session quota (%d)", user, a.perUser)
+	}
+	if a.maxSessions <= 0 || a.active < a.maxSessions {
+		a.grantLocked(user)
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.queueDepth {
+		a.shed++
+		a.mu.Unlock()
+		return errBusy("frontend at capacity (%d sessions, %d queued)", a.maxSessions, len(a.waiters))
+	}
+	// The per-user reservation is taken at enqueue time, not at grant
+	// time: a user over quota must shed fast even when the contention
+	// is global, and the queue must not hold more of one user's
+	// sessions than the user may ever run.
+	w := &waiter{user: user, ready: make(chan struct{})}
+	a.byUser[user]++
+	a.waiters = append(a.waiters, w)
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-done:
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Raced: the slot was granted as we gave up. Hand it on.
+			a.releaseLocked(w.user)
+			a.mu.Unlock()
+			return errBusy("session abandoned while queued")
+		default:
+		}
+		w.gone = true
+		a.byUser[w.user]--
+		if a.byUser[w.user] == 0 {
+			delete(a.byUser, w.user)
+		}
+		a.mu.Unlock()
+		return errBusy("session abandoned while queued")
+	}
+}
+
+// grantLocked admits user to a slot. Caller holds a.mu.
+func (a *admission) grantLocked(user string) {
+	a.active++
+	a.byUser[user]++
+	a.admitted++
+}
+
+// release returns a slot and promotes the next live waiter, if any.
+func (a *admission) release(user string) {
+	a.mu.Lock()
+	a.releaseLocked(user)
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked(user string) {
+	a.active--
+	a.byUser[user]--
+	if a.byUser[user] == 0 {
+		delete(a.byUser, user)
+	}
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		if w.gone {
+			continue
+		}
+		// The waiter's per-user count was reserved at enqueue; only the
+		// global slot transfers.
+		a.active++
+		a.admitted++
+		close(w.ready)
+		return
+	}
+}
+
+// Stats is a point-in-time admission snapshot, served by SHOW FRONTEND.
+type Stats struct {
+	Active      int   // sessions currently admitted
+	Queued      int   // sessions waiting for a slot
+	Users       int   // distinct users with admitted or queued sessions
+	MaxSessions int   // global quota (0 = unlimited)
+	PerUser     int   // per-user quota (0 = unlimited)
+	QueueDepth  int   // waiter queue bound
+	Admitted    int64 // lifetime sessions admitted
+	EverQueued  int64 // lifetime sessions that had to queue
+	Shed        int64 // lifetime sessions rejected with busy
+}
+
+func (a *admission) stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	live := 0
+	for _, w := range a.waiters {
+		if !w.gone {
+			live++
+		}
+	}
+	return Stats{
+		Active:      a.active,
+		Queued:      live,
+		Users:       len(a.byUser),
+		MaxSessions: a.maxSessions,
+		PerUser:     a.perUser,
+		QueueDepth:  a.queueDepth,
+		Admitted:    a.admitted,
+		EverQueued:  a.queued,
+		Shed:        a.shed,
+	}
+}

@@ -1,0 +1,574 @@
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/czar"
+	"repro/internal/member"
+	"repro/internal/sqlengine"
+)
+
+// fakeBackend is a Backend whose query sessions are driven by a
+// per-query handler through czar.QueryFeed — the seam that lets these
+// tests control exactly when columns appear, rows stream, and errors
+// strike, without a cluster underneath.
+type fakeBackend struct {
+	handler func(sql string, feed *czar.QueryFeed)
+
+	mu      sync.Mutex
+	nextID  int64
+	running map[int64]*czar.Query
+}
+
+func newFakeBackend(handler func(sql string, feed *czar.QueryFeed)) *fakeBackend {
+	return &fakeBackend{handler: handler, running: map[int64]*czar.Query{}}
+}
+
+func (f *fakeBackend) Submit(ctx context.Context, sql string, opts czar.Options) (*czar.Query, error) {
+	f.mu.Lock()
+	f.nextID++
+	id := f.nextID
+	f.mu.Unlock()
+	q, feed := czar.NewQueryHandle(id, sql, core.Interactive)
+	f.mu.Lock()
+	f.running[id] = q
+	f.mu.Unlock()
+	// Bridge the submission context into the handle, as a real czar's
+	// Submit does: canceling ctx kills the session.
+	go func() {
+		select {
+		case <-ctx.Done():
+			q.Cancel()
+		case <-feed.Context().Done():
+		}
+	}()
+	go func() {
+		defer func() {
+			f.mu.Lock()
+			delete(f.running, id)
+			f.mu.Unlock()
+		}()
+		f.handler(sql, feed)
+	}()
+	return q, nil
+}
+
+func (f *fakeBackend) Running() []czar.QueryInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]czar.QueryInfo, 0, len(f.running))
+	for _, q := range f.running {
+		out = append(out, czar.QueryInfo{ID: q.ID(), SQL: q.SQL(), Class: q.Class(), Started: q.Started()})
+	}
+	return out
+}
+
+func (f *fakeBackend) Kill(id int64) bool {
+	f.mu.Lock()
+	q := f.running[id]
+	f.mu.Unlock()
+	if q == nil {
+		return false
+	}
+	q.Cancel()
+	return true
+}
+
+func (f *fakeBackend) ClusterStatus() (member.Status, bool) { return member.Status{}, false }
+
+// echoHandler answers every query with a fixed two-column result.
+func echoHandler(sql string, feed *czar.QueryFeed) {
+	feed.SetColumns("id", "name")
+	feed.Push(sqlengine.Row{int64(1), "a"}, sqlengine.Row{int64(2), "b"})
+	feed.Finish(&sqlengine.Result{Cols: []string{"id", "name"}}, nil)
+}
+
+func serve(t *testing.T, cfg Config, b Backend) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", cfg, b)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dial(t *testing.T, s *Server, user string) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr(), user, "lsst")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	s := serve(t, Config{}, newFakeBackend(echoHandler))
+	c := dial(t, s, "alice")
+	for i := 0; i < 3; i++ { // connection is reusable across queries
+		st, err := c.Query(context.Background(), "SELECT * FROM Object")
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if got := strings.Join(st.Cols(), ","); got != "id,name" {
+			t.Fatalf("cols = %q", got)
+		}
+		var rows [][]sqlengine.Value
+		for {
+			row, ok := st.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, row)
+		}
+		if st.Err() != nil {
+			t.Fatalf("stream error: %v", st.Err())
+		}
+		if len(rows) != 2 || st.RowCount() != 2 {
+			t.Fatalf("rows = %v (count %d)", rows, st.RowCount())
+		}
+		if rows[0][0] != int64(1) || rows[1][1] != "b" {
+			t.Fatalf("row values = %v", rows)
+		}
+	}
+}
+
+// TestV2StreamsBeforeCompletion is the protocol's reason to exist: the
+// client must see the column header and the first row while the server
+// side query is still running.
+func TestV2StreamsBeforeCompletion(t *testing.T) {
+	release := make(chan struct{})
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		feed.Push(sqlengine.Row{int64(42)})
+		<-release // query is "still running" until the test releases it
+		feed.Push(sqlengine.Row{int64(43)})
+		feed.Finish(&sqlengine.Result{Cols: []string{"x"}}, nil)
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+
+	st, err := c.Query(context.Background(), "SELECT x FROM Object")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	row, ok := st.Next()
+	if !ok || row[0] != int64(42) {
+		t.Fatalf("first row = %v, %v", row, ok)
+	}
+	// First row observed while the producer is parked: streaming, not
+	// buffering.
+	close(release)
+	if row, ok = st.Next(); !ok || row[0] != int64(43) {
+		t.Fatalf("second row = %v, %v", row, ok)
+	}
+	if _, ok = st.Next(); ok || st.Err() != nil {
+		t.Fatalf("expected clean end of stream, err=%v", st.Err())
+	}
+}
+
+// TestV2MidStreamError pins the defining fix over v1: a failure after
+// rows have already been streamed arrives as an in-band error frame,
+// not a silent truncation.
+func TestV2MidStreamError(t *testing.T) {
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		feed.Push(sqlengine.Row{int64(1)}, sqlengine.Row{int64(2)})
+		feed.Finish(nil, fmt.Errorf("worker w3 died mid-scan"))
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+
+	st, err := c.Query(context.Background(), "SELECT x FROM Object")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var n int
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("rows before error = %d, want 2", n)
+	}
+	if st.Err() == nil || !strings.Contains(st.Err().Error(), "worker w3 died mid-scan") {
+		t.Fatalf("stream error = %v, want the mid-scan failure", st.Err())
+	}
+	// The connection survives an in-band error.
+	st2, err := c.Query(context.Background(), "SELECT x FROM Object")
+	if err != nil {
+		t.Fatalf("second query: %v", err)
+	}
+	for {
+		if _, ok := st2.Next(); !ok {
+			break
+		}
+	}
+	if st2.Err() == nil || !strings.Contains(st2.Err().Error(), "worker w3 died mid-scan") {
+		t.Fatalf("second stream error = %v", st2.Err())
+	}
+}
+
+// TestV2ImmediateError covers a failure before any column is known
+// (plan error, admission): the header slot carries the error frame.
+func TestV2ImmediateError(t *testing.T) {
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.Finish(nil, fmt.Errorf("parse error near FROM"))
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+	if _, err := c.Query(context.Background(), "SELEC"); err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Fatalf("err = %v, want parse error", err)
+	}
+	if err := c.Ping(); err != nil { // connection still healthy
+		t.Fatalf("Ping after error: %v", err)
+	}
+}
+
+func TestV2KillFrame(t *testing.T) {
+	started := make(chan struct{})
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		close(started)
+		<-feed.Context().Done() // run until killed
+		feed.Finish(nil, nil)   // cancellation cause wins in Finish
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+
+	st, err := c.Query(context.Background(), "SELECT x FROM Object")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	<-started
+	if err := c.Kill(); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	if _, ok := st.Next(); ok {
+		t.Fatalf("expected killed stream to end")
+	}
+	if st.Err() == nil || !strings.Contains(st.Err().Error(), "context canceled") {
+		t.Fatalf("stream error = %v, want context canceled", st.Err())
+	}
+}
+
+// TestV2ContextCancel proves the client-side ctx watcher kills the
+// in-flight query server-side.
+func TestV2ContextCancel(t *testing.T) {
+	started := make(chan struct{})
+	killed := make(chan struct{})
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		close(started)
+		<-feed.Context().Done()
+		close(killed)
+		feed.Finish(nil, nil)
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := c.Query(ctx, "SELECT x FROM Object")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	<-started
+	cancel()
+	select {
+	case <-killed:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("backend query not killed after ctx cancel")
+	}
+	if _, ok := st.Next(); ok || st.Err() == nil {
+		t.Fatalf("expected canceled stream to fail, err=%v", st.Err())
+	}
+}
+
+// TestV2DisconnectKillsQuery: dropping the socket mid-query cancels the
+// backend session through the per-connection context.
+func TestV2DisconnectKillsQuery(t *testing.T) {
+	started := make(chan struct{})
+	killed := make(chan struct{})
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		close(started)
+		<-feed.Context().Done()
+		close(killed)
+		feed.Finish(nil, nil)
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+
+	if _, err := c.Query(context.Background(), "SELECT x FROM Object"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	<-started
+	c.Close() // client vanishes mid-stream
+	select {
+	case <-killed:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("backend query not killed after client disconnect")
+	}
+}
+
+func TestAdmissionPerUserQuota(t *testing.T) {
+	block := make(chan struct{})
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		<-block
+		feed.Finish(&sqlengine.Result{Cols: []string{"x"}}, nil)
+	})
+	defer close(block)
+	s := serve(t, Config{MaxSessions: 10, PerUserSessions: 2, SessionQueueDepth: 10}, b)
+
+	// Two sessions for alice occupy her quota.
+	for i := 0; i < 2; i++ {
+		c := dial(t, s, "alice")
+		if _, err := c.Query(context.Background(), "SELECT x FROM Object"); err != nil {
+			t.Fatalf("Query %d: %v", i, err)
+		}
+	}
+	// Her third sheds fast, even though global capacity remains.
+	c3 := dial(t, s, "alice")
+	start := time.Now()
+	_, err := c3.Query(context.Background(), "SELECT x FROM Object")
+	if !IsBusy(err) {
+		t.Fatalf("third alice query: err = %v, want busy", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shed took %v, want fast rejection", d)
+	}
+	// Another user is unaffected.
+	cb := dial(t, s, "bob")
+	if _, err := cb.Query(context.Background(), "SELECT x FROM Object"); err != nil {
+		t.Fatalf("bob query: %v", err)
+	}
+	st := s.Stats()
+	if st.Shed != 1 || st.Active != 3 {
+		t.Fatalf("stats = %+v, want 1 shed / 3 active", st)
+	}
+}
+
+func TestAdmissionGlobalQuotaQueuesThenSheds(t *testing.T) {
+	block := make(chan struct{})
+	var startedN atomic.Int64
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		startedN.Add(1)
+		feed.SetColumns("x")
+		<-block
+		feed.Finish(&sqlengine.Result{Cols: []string{"x"}}, nil)
+	})
+	s := serve(t, Config{MaxSessions: 1, SessionQueueDepth: 1}, b)
+
+	// First session holds the only slot.
+	c1 := dial(t, s, "u1")
+	if _, err := c1.Query(context.Background(), "SELECT x FROM Object"); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+
+	// Second queues (no header until the slot frees).
+	c2 := dial(t, s, "u2")
+	type qres struct {
+		st  *Stream
+		err error
+	}
+	res2 := make(chan qres, 1)
+	go func() {
+		st, err := c2.Query(context.Background(), "SELECT x FROM Object")
+		res2 <- qres{st, err}
+	}()
+
+	// Wait until the waiter is actually enqueued, then overflow the
+	// queue: the third session sheds immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second session never queued: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c3 := dial(t, s, "u3")
+	start := time.Now()
+	_, err := c3.Query(context.Background(), "SELECT x FROM Object")
+	if !IsBusy(err) {
+		t.Fatalf("third query: err = %v, want busy", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("shed took %v, want fast rejection", d)
+	}
+
+	// Releasing the first session promotes the queued one.
+	close(block)
+	r2 := <-res2
+	if r2.err != nil {
+		t.Fatalf("queued query: %v", r2.err)
+	}
+	for {
+		if _, ok := r2.st.Next(); !ok {
+			break
+		}
+	}
+	if r2.st.Err() != nil {
+		t.Fatalf("queued query stream: %v", r2.st.Err())
+	}
+	if n := startedN.Load(); n != 2 {
+		t.Fatalf("backend saw %d sessions, want 2 (third was shed)", n)
+	}
+	st := s.Stats()
+	if st.Shed != 1 || st.EverQueued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAdmissionQueuedWaiterAbandoned: a client that disconnects while
+// queued must not hold its queue slot or user reservation.
+func TestAdmissionQueuedWaiterAbandoned(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		<-block
+		feed.Finish(&sqlengine.Result{Cols: []string{"x"}}, nil)
+	})
+	s := serve(t, Config{MaxSessions: 1, PerUserSessions: 1, SessionQueueDepth: 4}, b)
+
+	c1 := dial(t, s, "u1")
+	if _, err := c1.Query(context.Background(), "SELECT x FROM Object"); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	c2 := dial(t, s, "u2")
+	go c2.Query(context.Background(), "SELECT x FROM Object")
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second session never queued: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c2.Close()
+	// u2's reservation drains, so a fresh u2 session can queue again.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Queued == 0 && st.Users == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned waiter still reserved: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestV2AdminCommands(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		select {
+		case <-block:
+		case <-feed.Context().Done():
+		}
+		feed.Finish(&sqlengine.Result{Cols: []string{"x"}}, nil)
+	})
+	s := serve(t, Config{MaxSessions: 8}, b)
+	c := dial(t, s, "alice")
+	if _, err := c.Query(context.Background(), "SELECT x FROM Object"); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+
+	admin := dial(t, s, "op")
+	st, err := admin.Query(context.Background(), "SHOW FRONTEND")
+	if err != nil {
+		t.Fatalf("SHOW FRONTEND: %v", err)
+	}
+	row, ok := st.Next()
+	if !ok || len(row) != 9 {
+		t.Fatalf("SHOW FRONTEND row = %v", row)
+	}
+	if row[0] != int64(8) || row[3] != int64(1) { // MaxSessions, Active
+		t.Fatalf("SHOW FRONTEND row = %v, want MaxSessions=8 Active=1", row)
+	}
+	st.Close()
+
+	st, err = admin.Query(context.Background(), "SHOW PROCESSLIST")
+	if err != nil {
+		t.Fatalf("SHOW PROCESSLIST: %v", err)
+	}
+	var n int
+	var id int64
+	for {
+		row, ok := st.Next()
+		if !ok {
+			break
+		}
+		id = row[0].(int64)
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("PROCESSLIST rows = %d, want 1", n)
+	}
+
+	st, err = admin.Query(context.Background(), fmt.Sprintf("KILL %d", id))
+	if err != nil {
+		t.Fatalf("KILL: %v", err)
+	}
+	st.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(b.Running()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("killed query still running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestV2BadHandshake(t *testing.T) {
+	s := serve(t, Config{}, newFakeBackend(echoHandler))
+	if _, err := Dial(s.Addr(), "alice\x00evil", "db"); err == nil {
+		t.Fatalf("expected handshake with embedded NUL in db to fail")
+	}
+}
+
+func TestStreamCloseMidFlight(t *testing.T) {
+	b := newFakeBackend(func(sql string, feed *czar.QueryFeed) {
+		feed.SetColumns("x")
+		for i := 0; ; i++ {
+			select {
+			case <-feed.Context().Done():
+				feed.Finish(nil, nil)
+				return
+			default:
+			}
+			feed.Push(sqlengine.Row{int64(i)})
+			time.Sleep(time.Millisecond)
+		}
+	})
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "alice")
+
+	st, err := c.Query(context.Background(), "SELECT x FROM Object")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if _, ok := st.Next(); !ok {
+		t.Fatalf("expected at least one row")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The connection is reusable after an abandoned stream.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after Close: %v", err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package frontend is the connection-scale SQL frontend of the system:
+// the tier between "any client" and the czar's session API (the role
+// the MySQL Proxy plays in paper section 5.4, rebuilt for streaming and
+// admission control). It serves two wire protocols over one listener:
+//
+// Protocol v1 (legacy, kept for back-compat): the client's first frame
+// is already a query; the server buffers the entire result and answers
+// "OK <ncols> <nrows>", ncols column frames, then ncols x nrows value
+// frames. The row count in the header is v1's defining flaw: the
+// server cannot emit a single byte before the final row exists, so
+// first-row latency equals completion latency — and once the header is
+// out there is no in-band way to report an error.
+//
+// Protocol v2 (streaming): the client's first frame is a handshake
+// (version byte 0x02 + magic + user + database); every subsequent
+// exchange is row-count-free:
+//
+//	client:  Q <sql>                     (also K = kill in-flight, P = ping)
+//	server:  C <ncols> <name>...         column header — sent at plan time
+//	         R <value>...                one frame per row, as rows merge
+//	         ...
+//	         D <nrows>    on success, or
+//	         E <message>  on failure — legal INSTEAD OF C, or mid-stream
+//	                      after any number of R frames
+//
+// Because the header carries columns only, the first row leaves the
+// server as soon as the first chunk merges — hours before a long scan
+// finishes — and a worker failure after the first byte is still
+// reportable. Admission shedding rides the same E frame ("busy: ...")
+// without costing the connection.
+//
+// This file is the codec: framing, the handshake, and the value/row/
+// column encodings. Every decoder treats its input as hostile (the
+// fuzz targets in fuzz_test.go hold them to that).
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sqlengine"
+)
+
+// maxFrame bounds one frame (64 MiB), read and written.
+const maxFrame = 64 << 20
+
+// Frame tags. Client-to-server: tagQuery, tagKill, tagPing. Server-to-
+// client: tagCols, tagRow, tagDone, tagErr, tagPing (pong).
+const (
+	tagQuery = 'Q'
+	tagKill  = 'K'
+	tagPing  = 'P'
+	tagCols  = 'C'
+	tagRow   = 'R'
+	tagDone  = 'D'
+	tagErr   = 'E'
+)
+
+// hsVersion2 is the version byte opening a v2 handshake frame. A v1
+// client's first frame is SQL text, which never begins with a 0x02
+// control byte — that single byte is what keeps v1 reachable on the
+// same port.
+const hsVersion2 = 0x02
+
+// hsMagic follows the version byte, guarding against a binary client
+// of some other protocol that happens to lead with 0x02.
+var hsMagic = []byte("QSV2")
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w *bufio.Writer, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("frontend: frame of %d bytes exceeds limit", len(data))
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(data))); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting hostile lengths
+// before allocating.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("frontend: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encodeHandshake renders the v2 client hello: version byte, magic,
+// then NUL-separated user and database.
+func encodeHandshake(user, db string) []byte {
+	b := make([]byte, 0, 1+len(hsMagic)+2+len(user)+len(db))
+	b = append(b, hsVersion2)
+	b = append(b, hsMagic...)
+	b = append(b, 0)
+	b = append(b, user...)
+	b = append(b, 0)
+	b = append(b, db...)
+	return b
+}
+
+// parseHandshake classifies a connection's first frame. v2 is false
+// when the frame does not open with the version byte — the frame is a
+// v1 query and must be served as such. err is non-nil only for a frame
+// that claims v2 and is malformed (bad magic, missing separators);
+// such a client gets an error and the connection closes.
+func parseHandshake(b []byte) (user, db string, v2 bool, err error) {
+	if len(b) == 0 || b[0] != hsVersion2 {
+		return "", "", false, nil
+	}
+	rest := b[1:]
+	if len(rest) < len(hsMagic)+2 || !bytes.Equal(rest[:len(hsMagic)], hsMagic) {
+		return "", "", true, fmt.Errorf("frontend: malformed v2 handshake")
+	}
+	rest = rest[len(hsMagic):]
+	if rest[0] != 0 {
+		return "", "", true, fmt.Errorf("frontend: malformed v2 handshake")
+	}
+	userBytes, dbBytes, ok := bytes.Cut(rest[1:], []byte{0})
+	if !ok {
+		return "", "", true, fmt.Errorf("frontend: malformed v2 handshake")
+	}
+	if bytes.IndexByte(dbBytes, 0) >= 0 {
+		return "", "", true, fmt.Errorf("frontend: malformed v2 handshake")
+	}
+	return string(userBytes), string(dbBytes), true, nil
+}
+
+// encodeValue renders one SQL value: a single 0x00 byte for NULL, or a
+// type tag ('i'nt, 'f'loat, 's'tring) followed by the textual form.
+// Shared verbatim with protocol v1 (it predates v2).
+func encodeValue(v sqlengine.Value) []byte {
+	if sqlengine.IsNull(v) {
+		return []byte{0}
+	}
+	switch x := v.(type) {
+	case int64:
+		return []byte("i" + strconv.FormatInt(x, 10))
+	case float64:
+		return []byte("f" + strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		return []byte("s" + x)
+	default:
+		return []byte("s" + sqlengine.FormatValue(v))
+	}
+}
+
+// decodeValue parses one encoded value.
+func decodeValue(b []byte) (sqlengine.Value, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return nil, nil
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("frontend: empty value frame")
+	}
+	body := string(b[1:])
+	switch b[0] {
+	case 'i':
+		return strconv.ParseInt(body, 10, 64)
+	case 'f':
+		return strconv.ParseFloat(body, 64)
+	case 's':
+		return body, nil
+	default:
+		return nil, fmt.Errorf("frontend: bad value tag %q", b[0])
+	}
+}
+
+// encodeCols renders the v2 column-header frame: tag, column count,
+// then each name length-prefixed.
+func encodeCols(cols []string) []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, tagCols)
+	b = binary.AppendUvarint(b, uint64(len(cols)))
+	for _, c := range cols {
+		b = binary.AppendUvarint(b, uint64(len(c)))
+		b = append(b, c...)
+	}
+	return b
+}
+
+// decodeCols parses a column-header frame body (tag already stripped).
+// Counts and lengths are untrusted: every claim is checked against the
+// bytes actually present before anything is allocated from it.
+func decodeCols(b []byte) ([]string, error) {
+	n, taken := binary.Uvarint(b)
+	if taken <= 0 {
+		return nil, fmt.Errorf("frontend: bad column count")
+	}
+	b = b[taken:]
+	if n > uint64(len(b)) { // each column costs >= 1 byte of length
+		return nil, fmt.Errorf("frontend: column count %d exceeds frame", n)
+	}
+	cols := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, taken := binary.Uvarint(b)
+		if taken <= 0 || l > uint64(len(b)-taken) {
+			return nil, fmt.Errorf("frontend: bad column length")
+		}
+		b = b[taken:]
+		cols = append(cols, string(b[:l]))
+		b = b[l:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("frontend: %d trailing bytes after columns", len(b))
+	}
+	return cols, nil
+}
+
+// encodeRow renders one row frame: tag, then each value length-prefixed
+// in the encodeValue encoding.
+func encodeRow(row []sqlengine.Value) []byte {
+	b := make([]byte, 0, 16+8*len(row))
+	b = append(b, tagRow)
+	for _, v := range row {
+		ev := encodeValue(v)
+		b = binary.AppendUvarint(b, uint64(len(ev)))
+		b = append(b, ev...)
+	}
+	return b
+}
+
+// decodeRow parses a row frame body (tag already stripped) into ncols
+// values; ncols comes from the preceding column header, so a row frame
+// of the wrong width is an error, not a short row.
+func decodeRow(b []byte, ncols int) ([]sqlengine.Value, error) {
+	row := make([]sqlengine.Value, 0, ncols)
+	for len(b) > 0 {
+		l, taken := binary.Uvarint(b)
+		if taken <= 0 || l > uint64(len(b)-taken) {
+			return nil, fmt.Errorf("frontend: bad value length")
+		}
+		b = b[taken:]
+		v, err := decodeValue(b[:l])
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		b = b[l:]
+	}
+	if len(row) != ncols {
+		return nil, fmt.Errorf("frontend: row of %d values, header declared %d", len(row), ncols)
+	}
+	return row, nil
+}
+
+// encodeDone renders the success trailer with the streamed row count.
+func encodeDone(rows int64) []byte {
+	b := make([]byte, 0, 10)
+	b = append(b, tagDone)
+	return binary.AppendUvarint(b, uint64(rows))
+}
+
+// decodeDone parses a trailer frame body (tag already stripped).
+func decodeDone(b []byte) (int64, error) {
+	n, taken := binary.Uvarint(b)
+	if taken <= 0 || taken != len(b) {
+		return 0, fmt.Errorf("frontend: bad done trailer")
+	}
+	return int64(n), nil
+}

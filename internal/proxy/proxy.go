@@ -1,15 +1,19 @@
-// Package proxy stands in for the MySQL Proxy frontend of paper section
-// 5.4: it lets any client submit SQL text to a czar over TCP and get a
-// tabular result back. The wire protocol is a simple framed protocol
-// rather than the MySQL protocol (the proxy's role in the paper is only
-// client compatibility, which a plain protocol preserves). It also
-// supports load-balancing across multiple czars — the first of the two
-// distributed-management strategies discussed in section 7.6.
+// Package proxy is the legacy v1 face of the SQL frontend (the MySQL
+// Proxy role of paper section 5.4). The serving machinery moved to
+// package frontend, which speaks both protocols on one listener; proxy
+// remains as the v1-compatible API surface — Serve starts a frontend
+// with no admission limits (v1's historical behavior), and Client is
+// the frozen v1 wire client.
 //
-// Protocol: the client sends one query as a length-prefixed UTF-8
+// Protocol v1: the client sends one query as a length-prefixed UTF-8
 // string; the server replies with a header frame "OK <ncols> <nrows>"
-// or "ERR <message>", then ncols column-name frames, then ncols x nrows
-// value frames (NULL encoded as a one-byte 0x00 frame).
+// or "ERR <message>", then ncols column-name frames, then ncols x
+// nrows value frames (NULL encoded as a one-byte 0x00 frame). The row
+// count in the header means the server buffers the entire result
+// before the first byte, and a backend failure after the header has no
+// in-band error channel — the reasons protocol v2 exists (see package
+// frontend). The v1 codec below is frozen: it must keep decoding what
+// historical servers wrote.
 package proxy
 
 import (
@@ -21,329 +25,33 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
-	"time"
 
-	"repro/internal/czar"
-	"repro/internal/member"
+	"repro/internal/frontend"
 	"repro/internal/sqlengine"
 )
 
 // maxFrame bounds one frame (64 MiB).
 const maxFrame = 64 << 20
 
-// Backend answers SQL queries and exposes the czar's query-management
-// interface (paper section 5); *czar.Czar implements it.
-type Backend interface {
-	Query(sql string) (*czar.QueryResult, error)
-	// Running lists the backend's in-flight queries.
-	Running() []czar.QueryInfo
-	// Kill cancels an in-flight query by id.
-	Kill(id int64) bool
-	// ClusterStatus reports cluster availability (worker health, chunk
-	// counts, repair progress); ok is false when the backend has no
-	// membership subsystem wired.
-	ClusterStatus() (member.Status, bool)
-}
+// Backend is the frontend's Submit-shaped streaming backend;
+// *czar.Czar implements it. (The old blocking Query backend is gone:
+// the v1 protocol is now served by buffering a streaming session.)
+type Backend = frontend.Backend
 
-// Server serves SQL over TCP, round-robining across backends.
-type Server struct {
-	backends []Backend
-	next     atomic.Int64
-	ln       net.Listener
-	mu       sync.Mutex
-	closed   bool
-	conns    map[net.Conn]bool
-	wg       sync.WaitGroup
-}
+// Server is the shared two-protocol frontend server.
+type Server = frontend.Server
 
-// Serve starts a proxy on addr over one or more backends.
+// Serve starts a frontend on addr with no admission limits — the v1
+// package's historical contract. Use frontend.Serve to bound sessions.
 func Serve(addr string, backends ...Backend) (*Server, error) {
-	if len(backends) == 0 {
-		return nil, fmt.Errorf("proxy: no backends")
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("proxy: listen: %w", err)
-	}
-	s := &Server{backends: backends, ln: ln, conns: map[net.Conn]bool{}}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
+	return frontend.Serve(addr, frontend.Config{}, backends...)
 }
 
-// Addr returns the bound address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// ---------- the frozen v1 client ----------
 
-// Close stops the server.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = true
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
-		}()
-	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
-	for {
-		sqlBytes, err := readFrame(r)
-		if err != nil {
-			return
-		}
-		sql := string(sqlBytes)
-		var cols []string
-		var rows [][]sqlengine.Value
-		var qerr error
-		if acols, arows, handled, aerr := s.admin(sql); handled {
-			cols, rows, qerr = acols, arows, aerr
-		} else {
-			// Round-robin across czars (section 7.6's multi-master
-			// load-balancing).
-			idx := int(s.next.Add(1)-1) % len(s.backends)
-			var res *czar.QueryResult
-			res, qerr = s.backends[idx].Query(sql)
-			if qerr == nil {
-				cols = res.Cols
-				rows = make([][]sqlengine.Value, len(res.Rows))
-				for i, row := range res.Rows {
-					rows[i] = row
-				}
-			}
-		}
-		if qerr != nil {
-			writeFrame(w, []byte("ERR "+qerr.Error()))
-			w.Flush()
-			continue
-		}
-		header := fmt.Sprintf("OK %d %d", len(cols), len(rows))
-		if err := writeFrame(w, []byte(header)); err != nil {
-			return
-		}
-		for _, c := range cols {
-			if err := writeFrame(w, []byte(c)); err != nil {
-				return
-			}
-		}
-		for _, row := range rows {
-			for _, v := range row {
-				if err := writeFrame(w, encodeValue(v)); err != nil {
-					return
-				}
-			}
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-// admin intercepts the query-management commands — `SHOW PROCESSLIST`,
-// `SHOW WORKERS`, `SHOW REPAIRS`, and `KILL <id>` — before backend
-// dispatch, since they address every czar behind the proxy, not
-// whichever the round-robin lands on. handled is false for ordinary
-// SQL.
-func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, handled bool, err error) {
-	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
-	switch {
-	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "WORKERS"):
-		// Worker health comes from whichever backend has the
-		// availability subsystem wired; backends share one cluster, so
-		// the first wired view is the view.
-		st, ok := s.clusterStatus()
-		if !ok {
-			return nil, nil, true, fmt.Errorf("proxy: no availability subsystem is wired (SHOW WORKERS needs a czar with membership)")
-		}
-		cols = []string{"Worker", "State", "Chunks", "Misses", "LastSeen", "LastError"}
-		for _, w := range st.Workers {
-			lastSeen := "never"
-			if !w.LastSeen.IsZero() {
-				lastSeen = time.Since(w.LastSeen).Round(time.Millisecond).String() + " ago"
-			}
-			rows = append(rows, []sqlengine.Value{
-				w.Name, w.State.String(), int64(w.Chunks), int64(w.Misses), lastSeen, w.LastErr,
-			})
-		}
-		return cols, rows, true, nil
-	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "REPAIRS"):
-		st, ok := s.clusterStatus()
-		if !ok {
-			return nil, nil, true, fmt.Errorf("proxy: no availability subsystem is wired (SHOW REPAIRS needs a czar with membership)")
-		}
-		cols = []string{"PlacementEpoch", "ChunksRepaired", "ChunksHealed", "ChunksPending", "TablesCopied", "BytesCopied", "LastError"}
-		rows = append(rows, []sqlengine.Value{
-			st.Epoch, int64(st.Repair.ChunksRepaired), int64(st.Repair.ChunksHealed), int64(st.Repair.ChunksPending),
-			int64(st.Repair.TablesCopied), st.Repair.BytesCopied, st.Repair.LastError,
-		})
-		return cols, rows, true, nil
-	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "PROCESSLIST"):
-		cols = []string{"Id", "Czar", "Class", "Time", "Chunks", "Rows", "Info"}
-		for bi, b := range s.backends {
-			for _, qi := range b.Running() {
-				rows = append(rows, []sqlengine.Value{
-					qi.ID,
-					int64(bi),
-					qi.Class.String(),
-					time.Since(qi.Started).Round(time.Millisecond).String(),
-					fmt.Sprintf("%d/%d", qi.ChunksCompleted, qi.ChunksTotal),
-					qi.RowsMerged,
-					qi.SQL,
-				})
-			}
-		}
-		return cols, rows, true, nil
-	case len(fields) == 2 && strings.EqualFold(fields[0], "KILL"):
-		// Czar-local query ids can collide across backends; an
-		// explicit `KILL <czar>:<id>` targets one backend, and a bare
-		// id is honored only when exactly one backend runs it.
-		if czarStr, idStr, qualified := strings.Cut(fields[1], ":"); qualified {
-			bi, berr := strconv.Atoi(czarStr)
-			id, perr := strconv.ParseInt(idStr, 10, 64)
-			if berr != nil || perr != nil || bi < 0 || bi >= len(s.backends) {
-				return nil, nil, true, fmt.Errorf("proxy: bad KILL target %q", fields[1])
-			}
-			if !s.backends[bi].Kill(id) {
-				return nil, nil, true, fmt.Errorf("proxy: no query %d on czar %d", id, bi)
-			}
-			return []string{"killed"}, [][]sqlengine.Value{{id}}, true, nil
-		}
-		id, perr := strconv.ParseInt(fields[1], 10, 64)
-		if perr != nil {
-			return nil, nil, true, fmt.Errorf("proxy: bad KILL id %q", fields[1])
-		}
-		var owners []int
-		for bi, b := range s.backends {
-			for _, qi := range b.Running() {
-				if qi.ID == id {
-					owners = append(owners, bi)
-					break
-				}
-			}
-		}
-		switch len(owners) {
-		case 0:
-			return nil, nil, true, fmt.Errorf("proxy: no such query %d", id)
-		case 1:
-			if !s.backends[owners[0]].Kill(id) {
-				return nil, nil, true, fmt.Errorf("proxy: no such query %d", id)
-			}
-			return []string{"killed"}, [][]sqlengine.Value{{id}}, true, nil
-		default:
-			return nil, nil, true, fmt.Errorf(
-				"proxy: query id %d is running on %d czars; use KILL <czar>:%d (czar column of SHOW PROCESSLIST)",
-				id, len(owners), id)
-		}
-	}
-	return nil, nil, false, nil
-}
-
-// clusterStatus returns the first backend's availability view.
-func (s *Server) clusterStatus() (member.Status, bool) {
-	for _, b := range s.backends {
-		if st, ok := b.ClusterStatus(); ok {
-			return st, true
-		}
-	}
-	return member.Status{}, false
-}
-
-func encodeValue(v sqlengine.Value) []byte {
-	if sqlengine.IsNull(v) {
-		return []byte{0}
-	}
-	switch x := v.(type) {
-	case int64:
-		return []byte("i" + strconv.FormatInt(x, 10))
-	case float64:
-		return []byte("f" + strconv.FormatFloat(x, 'g', -1, 64))
-	case string:
-		return []byte("s" + x)
-	default:
-		return []byte("s" + sqlengine.FormatValue(v))
-	}
-}
-
-func decodeValue(b []byte) (sqlengine.Value, error) {
-	if len(b) == 1 && b[0] == 0 {
-		return nil, nil
-	}
-	if len(b) == 0 {
-		return nil, fmt.Errorf("proxy: empty value frame")
-	}
-	body := string(b[1:])
-	switch b[0] {
-	case 'i':
-		return strconv.ParseInt(body, 10, 64)
-	case 'f':
-		return strconv.ParseFloat(body, 64)
-	case 's':
-		return body, nil
-	default:
-		return nil, fmt.Errorf("proxy: bad value tag %q", b[0])
-	}
-}
-
-func writeFrame(w *bufio.Writer, data []byte) error {
-	if err := binary.Write(w, binary.BigEndian, uint32(len(data))); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
-	return err
-}
-
-func readFrame(r *bufio.Reader) ([]byte, error) {
-	var n uint32
-	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
-		return nil, err
-	}
-	if n > maxFrame {
-		return nil, fmt.Errorf("proxy: frame of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
-}
-
-// Client is a proxy client ("any MySQL-compatible client" in the
-// paper's architecture).
+// Client is a v1 proxy client ("any MySQL-compatible client" in the
+// paper's architecture). It buffers: Query returns only after the full
+// result arrived.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -415,4 +123,47 @@ func (c *Client) Query(sql string) (*Result, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+func decodeValue(b []byte) (sqlengine.Value, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return nil, nil
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("proxy: empty value frame")
+	}
+	body := string(b[1:])
+	switch b[0] {
+	case 'i':
+		return strconv.ParseInt(body, 10, 64)
+	case 'f':
+		return strconv.ParseFloat(body, 64)
+	case 's':
+		return body, nil
+	default:
+		return nil, fmt.Errorf("proxy: bad value tag %q", b[0])
+	}
+}
+
+func writeFrame(w *bufio.Writer, data []byte) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(data))); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("proxy: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,18 +9,28 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/czar"
+	"repro/internal/frontend"
 	"repro/internal/member"
 	"repro/internal/sqlengine"
 )
 
-// fakeBackend answers from a local engine, recording call counts.
+// fakeBackend answers from a local engine through the Submit-shaped
+// session API, recording call counts.
 type fakeBackend struct {
-	engine  *sqlengine.Engine
-	calls   atomic.Int64
-	killed  atomic.Int64
+	engine *sqlengine.Engine
+	calls  atomic.Int64
+	killed atomic.Int64
+	seq    atomic.Int64
+
 	running []czar.QueryInfo
 	status  *member.Status
+
+	// midStreamFail, when set, makes every session stream its rows and
+	// then fail with this error instead of completing — the shape of a
+	// worker dying partway through a scan.
+	midStreamFail error
 }
 
 func newFakeBackend(t *testing.T) *fakeBackend {
@@ -34,13 +45,24 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 	return &fakeBackend{engine: e}
 }
 
-func (f *fakeBackend) Query(sql string) (*czar.QueryResult, error) {
+func (f *fakeBackend) Submit(ctx context.Context, sql string, opts czar.Options) (*czar.Query, error) {
 	f.calls.Add(1)
-	res, err := f.engine.Query(sql)
-	if err != nil {
-		return nil, err
-	}
-	return &czar.QueryResult{Result: res}, nil
+	q, feed := czar.NewQueryHandle(f.seq.Add(1), sql, core.Interactive)
+	go func() {
+		res, err := f.engine.Query(sql)
+		if err != nil {
+			feed.Finish(nil, err)
+			return
+		}
+		if f.midStreamFail != nil {
+			feed.SetColumns(res.Cols...)
+			feed.Push(res.Rows...)
+			feed.Finish(nil, f.midStreamFail)
+			return
+		}
+		feed.Finish(res, nil)
+	}()
+	return q, nil
 }
 
 func (f *fakeBackend) Running() []czar.QueryInfo { return f.running }
@@ -107,6 +129,73 @@ func TestErrorPropagation(t *testing.T) {
 	res, err := c.Query("SELECT COUNT(*) FROM Object")
 	if err != nil || res.Rows[0][0].(int64) != 3 {
 		t.Fatalf("connection dead after error: %v %v", res, err)
+	}
+}
+
+// TestV1ErrorAfterHeaderPinned pins the v1 protocol's answer to a
+// backend failing after rows have already streamed: because the "OK
+// <ncols> <nrows>" header requires the row count, v1 buffers the whole
+// session first — so a mid-stream failure becomes a clean ERR frame
+// and the already-streamed rows are discarded. v1 can never deliver a
+// partial result, and equally can never deliver an early one; protocol
+// v2 (TestV2MidStreamError in package frontend) delivers the rows and
+// then an in-band mid-stream error frame.
+func TestV1ErrorAfterHeaderPinned(t *testing.T) {
+	b := newFakeBackend(t)
+	b.midStreamFail = fmt.Errorf("worker w2 died mid-scan")
+	_, c := startProxy(t, b)
+
+	res, err := c.Query("SELECT objectId FROM Object")
+	if err == nil || !strings.Contains(err.Error(), "worker w2 died mid-scan") {
+		t.Fatalf("err = %v, want the mid-scan failure as a clean ERR", err)
+	}
+	if res != nil {
+		t.Fatalf("v1 must not deliver a partial result, got %v", res)
+	}
+	// The connection survives: the error consumed exactly one reply.
+	b.midStreamFail = nil
+	res, err = c.Query("SELECT COUNT(*) FROM Object")
+	if err != nil || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("connection dead after mid-stream error: %v %v", res, err)
+	}
+}
+
+// TestV1AndV2ShareOneListener: the handshake version byte routes each
+// connection; legacy v1 clients and streaming v2 clients coexist on
+// the same port.
+func TestV1AndV2ShareOneListener(t *testing.T) {
+	srv, v1 := startProxy(t, newFakeBackend(t))
+
+	res, err := v1.Query("SELECT COUNT(*) FROM Object")
+	if err != nil || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("v1 query: %v %v", res, err)
+	}
+
+	v2, err := frontend.Dial(srv.Addr(), "alice", "LSST")
+	if err != nil {
+		t.Fatalf("v2 dial on the v1 listener: %v", err)
+	}
+	defer v2.Close()
+	st, err := v2.Query(context.Background(), "SELECT COUNT(*) FROM Object")
+	if err != nil {
+		t.Fatalf("v2 query: %v", err)
+	}
+	row, ok := st.Next()
+	if !ok || row[0].(int64) != 3 {
+		t.Fatalf("v2 row = %v, %v", row, ok)
+	}
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	if st.Err() != nil {
+		t.Fatalf("v2 stream: %v", st.Err())
+	}
+
+	// And v1 still works after v2 traffic.
+	if res, err := v1.Query("SELECT COUNT(*) FROM Object"); err != nil || res.Rows[0][0].(int64) != 3 {
+		t.Fatalf("v1 after v2: %v %v", res, err)
 	}
 }
 
@@ -182,22 +271,26 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
-func TestValueCodec(t *testing.T) {
-	vals := []sqlengine.Value{nil, int64(-5), float64(2.5e-28), "hello", ""}
-	for _, v := range vals {
-		enc := encodeValue(v)
-		dec, err := decodeValue(enc)
+// TestValueDecodeFrozen pins the v1 value encoding byte-for-byte: the
+// decoder must keep reading what historical servers wrote.
+func TestValueDecodeFrozen(t *testing.T) {
+	cases := []struct {
+		enc  string
+		want sqlengine.Value
+	}{
+		{"\x00", nil},
+		{"i-5", int64(-5)},
+		{"f2.5e-28", float64(2.5e-28)},
+		{"shello", "hello"},
+		{"s", ""},
+	}
+	for _, tc := range cases {
+		dec, err := decodeValue([]byte(tc.enc))
 		if err != nil {
-			t.Fatalf("decode(%v): %v", v, err)
+			t.Fatalf("decode(%q): %v", tc.enc, err)
 		}
-		if v == nil {
-			if dec != nil {
-				t.Errorf("nil round trip: %v", dec)
-			}
-			continue
-		}
-		if dec != v {
-			t.Errorf("round trip %v -> %v", v, dec)
+		if dec != tc.want {
+			t.Errorf("decode(%q) = %v, want %v", tc.enc, dec, tc.want)
 		}
 	}
 	if _, err := decodeValue([]byte{}); err == nil {
