@@ -33,7 +33,10 @@ bench:
 # LRU eviction, oracle-checked, hot-chunk slowdown gated), and the
 # connection-scale frontend (streaming v2 first-row-before-scan-done
 # hard-gated, a 1000-connection oracle-checked storm, admission
-# shedding with fast busy errors).
+# shedding with fast busy errors), and the point-query fast path
+# (index dives hard-gated to <= replication-factor chunk jobs, dive
+# p99 vs full fan-out, czar result-cache hits, cache invalidation
+# across an ingest, zero wrong answers hard-gated).
 bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
 	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
@@ -42,6 +45,7 @@ bench-smoke:
 	$(GO) run ./cmd/qserv-bench -exp restart -objects 5
 	$(GO) run ./cmd/qserv-bench -exp paging -objects 5
 	$(GO) run ./cmd/qserv-bench -exp frontend -objects 5
+	$(GO) run ./cmd/qserv-bench -exp pointquery -objects 5
 
 # Native Go fuzzing over the untrusted-bytes decoders: chunkstore
 # segment framing + WAL records, the ingest batch / segment-set codecs,

@@ -87,22 +87,58 @@ type RepairProgress struct {
 	LastError string
 }
 
+// CacheStats snapshots the czar result cache. Enabled is false when
+// the cluster runs without one (ResultCacheBytes 0).
+type CacheStats struct {
+	Enabled bool
+	// Hits and Misses count lookups; a stamp-mismatch lookup counts as
+	// both a miss and an invalidation.
+	Hits, Misses int64
+	// Evictions counts entries dropped for space; Invalidations counts
+	// entries dropped because the placement epoch or a referenced
+	// table's ingest generation moved on.
+	Evictions, Invalidations int64
+	// Entries and Bytes describe occupancy against the MaxBytes budget.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	// Epoch is the newest placement epoch the cache has validated
+	// entries against.
+	Epoch int64
+}
+
 // ClusterStatus is a point-in-time snapshot of cluster availability:
-// per-worker health and chunk counts, repair progress, and the
-// placement epoch (a counter bumped by every placement mutation).
+// per-worker health and chunk counts, repair progress, result-cache
+// counters, and the placement epoch (a counter bumped by every
+// placement mutation).
 type ClusterStatus struct {
 	PlacementEpoch int64
 	Workers        []WorkerStatus
 	Repair         RepairProgress
+	Cache          CacheStats
 }
 
 // Status snapshots the cluster's availability. With DisableHealth set
 // it degrades to a placement-only view (every worker UNKNOWN).
 func (cl *Cluster) Status() ClusterStatus {
+	cacheStats := func() CacheStats {
+		cs, ok := cl.Czar.CacheStats()
+		if !ok {
+			return CacheStats{}
+		}
+		return CacheStats{
+			Enabled: true,
+			Hits:    cs.Hits, Misses: cs.Misses,
+			Evictions: cs.Evictions, Invalidations: cs.Invalidations,
+			Entries: cs.Entries, Bytes: cs.Bytes, MaxBytes: cs.MaxBytes,
+			Epoch: cs.Epoch,
+		}
+	}
 	if cl.member != nil {
 		ms := cl.member.Status()
 		out := ClusterStatus{
 			PlacementEpoch: ms.Epoch,
+			Cache:          cacheStats(),
 			Repair: RepairProgress{
 				ChunksRepaired: ms.Repair.ChunksRepaired,
 				ChunksHealed:   ms.Repair.ChunksHealed,
@@ -124,7 +160,7 @@ func (cl *Cluster) Status() ClusterStatus {
 		}
 		return out
 	}
-	out := ClusterStatus{PlacementEpoch: cl.Placement.Epoch()}
+	out := ClusterStatus{PlacementEpoch: cl.Placement.Epoch(), Cache: cacheStats()}
 	for _, name := range cl.WorkerNames() {
 		out.Workers = append(out.Workers, WorkerStatus{
 			Name:   name,

@@ -135,6 +135,7 @@ func experiments() []experiment {
 		{"failover", "A10: worker death under load — detect, fail over, self-heal replication", runFailover},
 		{"restart", "A11: durable chunk store — restart-to-serving vs re-replication", runRestart},
 		{"paging", "A12: larger-than-RAM workers — lazy materialization + eviction under a memory budget", runPaging},
+		{"pointquery", "A14: point-query fast path — index dives, result cache, ingest invalidation", runPointQuery},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -1670,4 +1671,200 @@ func mean(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// runPointQuery measures the ISSUE-9 point-query fast path on the live
+// cluster: secondary-index dives vs a full fan-out baseline, czar
+// result-cache hit latency, and cache invalidation across an ingest.
+// Wrong answers and dives wider than the replication factor are hard
+// failures.
+func runPointQuery(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: 100 + *objectsFlag*4, MeanSourcesPerObject: 1},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 20},
+	)
+	if err != nil {
+		return err
+	}
+	cfg := qserv.DefaultClusterConfig(4)
+	cfg.Replication = 2
+	cl, err := qserv.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	// Tables are declared up front but ingested after the first probe,
+	// so the invalidation phase below can cache a pre-ingest answer.
+	if err := cl.CreateTables(qserv.LSSTSpec()); err != nil {
+		return err
+	}
+	oracle, err := qserv.NewOracle(cfg)
+	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return err
+	}
+
+	// Phase 1: cache a pre-ingest Source answer (empty tables, zero
+	// chunks placed), then ingest and make sure the stale empty answer
+	// is never served again.
+	preSQL := "SELECT COUNT(*) AS n FROM Source"
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Query(preSQL); err != nil {
+			return err
+		}
+	}
+	objRows := make([]qserv.Row, 0, len(cat.Objects))
+	for _, o := range cat.Objects {
+		objRows = append(objRows, qserv.Row(datagen.ObjectUserRow(o)))
+	}
+	if _, err := cl.Ingest("Object", qserv.RowsOf(objRows)); err != nil {
+		return err
+	}
+	srcRows := make([]qserv.Row, 0, len(cat.Sources))
+	for _, s := range cat.Sources {
+		srcRows = append(srcRows, qserv.Row(datagen.SourceUserRow(s)))
+	}
+	if _, err := cl.Ingest("Source", qserv.RowsOf(srcRows)); err != nil {
+		return err
+	}
+	post, err := cl.Query(preSQL)
+	if err != nil {
+		return err
+	}
+	staleServed := post.CacheHit || len(post.Rows) != 1 ||
+		fmt.Sprint(post.Rows[0][0]) != fmt.Sprint(int64(len(srcRows)))
+
+	// Pick the dive targets.
+	const probes = 40
+	idRes, err := oracle.Query(fmt.Sprintf("SELECT objectId FROM Object ORDER BY objectId LIMIT %d", probes))
+	if err != nil {
+		return err
+	}
+	var ids []int64
+	for _, r := range idRes.Rows {
+		ids = append(ids, r[0].(int64))
+	}
+
+	check := func(sql string, got *qserv.Result) (bool, error) {
+		want, err := oracle.Query(sql)
+		if err != nil {
+			return false, err
+		}
+		return sameRendered(renderRows(got.Rows, false), renderRows(want.Rows, false)), nil
+	}
+
+	// Phase 2: index dives — one statement per objectId, each checked
+	// against the oracle, each gated to at most Replication chunk jobs.
+	var diveLat []time.Duration
+	wrong, maxJobs := 0, 0
+	for _, id := range ids {
+		sql := fmt.Sprintf("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = %d", id)
+		t0 := time.Now()
+		res, err := cl.Query(sql)
+		if err != nil {
+			return err
+		}
+		diveLat = append(diveLat, time.Since(t0))
+		if res.ChunksDispatched > maxJobs {
+			maxJobs = res.ChunksDispatched
+		}
+		ok, err := check(sql, res)
+		if err != nil {
+			return err
+		}
+		if !ok || len(res.Rows) == 0 {
+			wrong++
+		}
+	}
+
+	// Phase 3: full fan-out baseline. The duplicated-disjunct predicate
+	// is semantically identical to the dive but hides the objectId from
+	// the planner's conjunct extraction, so every placed chunk runs.
+	var fanLat []time.Duration
+	fanJobs := 0
+	for _, id := range ids {
+		sql := fmt.Sprintf("SELECT objectId, ra_PS, decl_PS FROM Object WHERE (objectId = %d OR objectId = %d)", id, id)
+		t0 := time.Now()
+		res, err := cl.Query(sql)
+		if err != nil {
+			return err
+		}
+		fanLat = append(fanLat, time.Since(t0))
+		if res.ChunksDispatched > fanJobs {
+			fanJobs = res.ChunksDispatched
+		}
+		if ok, err := check(sql, res); err != nil {
+			return err
+		} else if !ok {
+			wrong++
+		}
+	}
+
+	// Phase 4: cache hits — the dive statements again, now answered at
+	// the czar without any chunk job.
+	var hitLat []time.Duration
+	coldHits := 0
+	for _, id := range ids {
+		sql := fmt.Sprintf("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = %d", id)
+		t0 := time.Now()
+		res, err := cl.Query(sql)
+		if err != nil {
+			return err
+		}
+		hitLat = append(hitLat, time.Since(t0))
+		if !res.CacheHit || res.ChunksDispatched != 0 {
+			coldHits++
+		}
+		if ok, err := check(sql, res); err != nil {
+			return err
+		} else if !ok {
+			wrong++
+		}
+	}
+
+	diveP50, diveP99 := percentile(diveLat, 50), percentile(diveLat, 99)
+	fanP50, fanP99 := percentile(fanLat, 50), percentile(fanLat, 99)
+	hitP50, hitP99 := percentile(hitLat, 50), percentile(hitLat, 99)
+	st := cl.Status().Cache
+
+	fmt.Printf("claim: index dives dispatch O(1) chunk jobs instead of a fan-out, and repeats are czar-cache hits\n")
+	fmt.Printf("workload: %d point queries x {dive, fan-out baseline, cached repeat}, 4 workers x replication %d, %d chunks placed\n",
+		len(ids), cfg.Replication, len(cl.Placement.Chunks()))
+	fmt.Printf("  index dive:        p50 %10v  p99 %10v  (max %d chunk jobs/query)\n", diveP50, diveP99, maxJobs)
+	fmt.Printf("  fan-out baseline:  p50 %10v  p99 %10v  (%d chunk jobs/query)\n", fanP50, fanP99, fanJobs)
+	fmt.Printf("  czar cache hit:    p50 %10v  p99 %10v  (0 chunk jobs/query)\n", hitP50, hitP99)
+	fmt.Printf("  cache: %d hits, %d misses, %d entries, %d bytes, %d invalidations\n",
+		st.Hits, st.Misses, st.Entries, st.Bytes, st.Invalidations)
+	fmt.Printf("  ingest invalidation: post-ingest Source count served fresh: %v\n", !staleServed)
+
+	speedup := 0.0
+	if diveP99 > 0 {
+		speedup = float64(fanP99) / float64(diveP99)
+	}
+	switch {
+	case wrong > 0:
+		fmt.Printf("  RESULT: FAIL — %d answers differ from the oracle\n", wrong)
+		return fmt.Errorf("pointquery: %d wrong answers", wrong)
+	case staleServed:
+		fmt.Printf("  RESULT: FAIL — a pre-ingest cache entry survived the ingest\n")
+		return fmt.Errorf("pointquery: stale cached answer after ingest")
+	case maxJobs > cfg.Replication:
+		fmt.Printf("  RESULT: FAIL — a dive dispatched %d chunk jobs (> replication factor %d)\n", maxJobs, cfg.Replication)
+		return fmt.Errorf("pointquery: dive dispatched %d jobs", maxJobs)
+	case coldHits > 0:
+		fmt.Printf("  RESULT: FAIL — %d repeats were not served from the result cache\n", coldHits)
+		return fmt.Errorf("pointquery: %d cache misses on repeats", coldHits)
+	case fanP99 >= 2*time.Millisecond && speedup < 10:
+		fmt.Printf("  RESULT: FAIL — dive p99 only %.1fx under the fan-out baseline (want >= 10x)\n", speedup)
+		return fmt.Errorf("pointquery: dive speedup %.1fx", speedup)
+	default:
+		if fanP99 < 2*time.Millisecond && speedup < 10 {
+			fmt.Printf("  RESULT: ok (speedup %.1fx unscored: fan-out p99 %v is below the 2ms timing floor)\n", speedup, fanP99)
+		} else {
+			fmt.Printf("  RESULT: ok — dives %.1fx faster at p99, zero wrong answers, repeats cache-served\n", speedup)
+		}
+		return nil
+	}
 }

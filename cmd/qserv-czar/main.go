@@ -20,6 +20,8 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/member"
 	"repro/internal/partition"
+	"repro/internal/planopt"
+	"repro/internal/qcache"
 	"repro/internal/xrd"
 )
 
@@ -35,6 +37,8 @@ var (
 	sourcesFlag  = flag.Float64("sources", 3, "mean sources per object")
 	bandsFlag    = flag.Int("bands", 2, "declination bands to duplicate")
 	copiesFlag   = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
+	cacheFlag    = flag.Int64("cache-bytes", 64<<20, "czar result cache budget in bytes (0 disables)")
+	pruneFlag    = flag.Bool("chunk-pruning", true, "prune chunks by derived spatial predicates")
 )
 
 func main() {
@@ -74,6 +78,14 @@ func main() {
 	}
 
 	cz := czar.New(czar.DefaultConfig("czar-0"), layout.Registry, layout.Index, layout.Placement, red)
+	// The routing tier (index dives, spatial covers) and the epoch/
+	// ingest-invalidated result cache. The deploy layout synthesizes
+	// its catalog worker-side, so there are no per-chunk ingest stats
+	// here — stats pruning stays dormant (nil ChunkStats).
+	cz.SetRouter(planopt.New(layout.Registry, layout.Index, nil, planopt.Config{Pruning: *pruneFlag}))
+	if *cacheFlag > 0 {
+		cz.SetResultCache(qcache.New(*cacheFlag))
+	}
 	// Close cancels and drains in-flight queries, so workers' scan
 	// slots are released before the proxy stops answering.
 	defer cz.Close()

@@ -20,7 +20,8 @@
 // consecutive misses, chunk counts) and `SHOW REPAIRS;` the
 // replication manager's progress and the placement epoch; `SHOW
 // FRONTEND;` reports admission-control pressure (active/queued/shed
-// sessions).
+// sessions); `SHOW CACHE;` the czar result cache's counters (hits,
+// misses, bytes, evictions, stamp invalidations).
 package main
 
 import (
@@ -76,7 +77,7 @@ func main() {
 	fmt.Println("qserv-sql — type SQL statements terminated by ';', or 'quit'")
 	fmt.Println("           (SHOW PROCESSLIST; lists running queries, KILL <id>; cancels one,")
 	fmt.Println("            SHOW WORKERS; worker health, SHOW REPAIRS; repair progress,")
-	fmt.Println("            SHOW FRONTEND; admission-control pressure)")
+	fmt.Println("            SHOW FRONTEND; admission-control pressure, SHOW CACHE; result cache)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

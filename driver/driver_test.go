@@ -14,6 +14,7 @@ import (
 	"repro/internal/czar"
 	"repro/internal/frontend"
 	"repro/internal/member"
+	"repro/internal/qcache"
 	"repro/internal/sqlengine"
 )
 
@@ -92,6 +93,8 @@ func (b *engineBackend) Kill(id int64) bool {
 }
 
 func (b *engineBackend) ClusterStatus() (member.Status, bool) { return member.Status{}, false }
+
+func (b *engineBackend) CacheStats() (qcache.Stats, bool) { return qcache.Stats{}, false }
 
 func openDB(t *testing.T, cfg frontend.Config, b frontend.Backend) *sql.DB {
 	t.Helper()

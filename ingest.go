@@ -12,6 +12,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
 	"repro/internal/sqlengine"
+	"repro/internal/sqlparse"
 	"repro/internal/worker"
 	"repro/internal/xrd"
 )
@@ -214,6 +215,38 @@ func (cl *Cluster) ingestPartitioned(ctx context.Context, info *meta.TableInfo, 
 		return p
 	}
 	isPlaced := func(c partition.ChunkID) bool { return len(cl.Placement.Workers(c)) > 0 }
+
+	// Per-chunk min/max column statistics for the routing tier's
+	// cost-based pruning (internal/planopt), accumulated over the rows
+	// each chunk actually stores (own rows; overlap copies live in
+	// overlap tables the statistics deliberately ignore) and installed
+	// atomically on success — before the ingest gate lifts, so no query
+	// ever sees a half-accumulated table.
+	type numCol struct {
+		idx  int
+		name string
+	}
+	var numCols []numCol
+	for i, col := range info.UserColumns() {
+		if col.Type == sqlparse.TypeInt || col.Type == sqlparse.TypeFloat {
+			numCols = append(numCols, numCol{idx: i, name: col.Name})
+		}
+	}
+	acc := map[partition.ChunkID]map[string]meta.ColStats{}
+	observe := func(c partition.ChunkID, full sqlengine.Row) {
+		cols := acc[c]
+		if cols == nil {
+			cols = map[string]meta.ColStats{}
+			acc[c] = cols
+		}
+		for _, nc := range numCols {
+			v, ok := asFloat(full[nc.idx])
+			if !ok {
+				continue // NULL (or unconvertible) values stay unobserved
+			}
+			cols[nc.name] = foldStat(cols[nc.name], v)
+		}
+	}
 	shipped := map[partition.ChunkID]bool{}
 	ship := func(c partition.ChunkID, b ingest.Batch) error {
 		shipped[c] = true
@@ -260,6 +293,7 @@ func (cl *Cluster) ingestPartitioned(ctx context.Context, info *meta.TableInfo, 
 		}
 		p := pend(c)
 		p.rows = append(p.rows, full)
+		observe(c, full)
 		stats.Rows++
 		if info.Overlap && hasPt {
 			for _, oc := range cl.Chunker.OverlapChunks(pt) {
@@ -322,7 +356,39 @@ func (cl *Cluster) ingestPartitioned(ctx context.Context, info *meta.TableInfo, 
 		}
 	}
 	stats.Chunks = len(seen)
-	return sh.close()
+	err = sh.close()
+	if err == nil {
+		cl.Stats.SetTable(info.Name, acc)
+	}
+	return err
+}
+
+// foldStat folds one observed value into a column summary.
+func foldStat(cs meta.ColStats, v float64) meta.ColStats {
+	if cs.Rows == 0 {
+		return meta.ColStats{Min: v, Max: v, Rows: 1}
+	}
+	if v < cs.Min {
+		cs.Min = v
+	}
+	if v > cs.Max {
+		cs.Max = v
+	}
+	cs.Rows++
+	return cs
+}
+
+// asFloat widens a stored numeric value for statistics accumulation.
+func asFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	}
+	return 0, false
 }
 
 // ingestReplicated ships the full row set to every worker's lane and

@@ -67,9 +67,38 @@ type Analysis struct {
 	// HasAggregates reports aggregate functions in the select list or
 	// ORDER BY.
 	HasAggregates bool
+	// Ranges are numeric range restrictions on partitioned-table
+	// columns, extracted from top-level conjuncts. The routing tier
+	// prunes chunks whose recorded min/max statistics are disjoint from
+	// a range; the predicates themselves stay in WHERE.
+	Ranges []ColRange
 
-	// coords accumulates RA/decl BETWEEN bounds during analysis.
+	// coords accumulates RA/decl bounds during analysis.
 	coords *coordRange
+	// cone is a detected literal-point qserv_angSep restriction,
+	// promoted to Region when no areaspec set one.
+	cone *coneSpec
+}
+
+// ColRange is a numeric range restriction on one column of a
+// partitioned table, extracted from a top-level conjunct: a BETWEEN, a
+// comparison against a literal, or an equality. Either bound may be
+// absent (one-sided comparisons). Open bounds (< and >) are recorded
+// as closed — a superset, which pruning may only ever widen.
+type ColRange struct {
+	// Table is the resolved catalog table name (not the alias).
+	Table string
+	// Column is the restricted column.
+	Column string
+	// Lo and Hi bound the range when HasLo / HasHi are set.
+	Lo, Hi       float64
+	HasLo, HasHi bool
+}
+
+// coneSpec is a literal-point cone: qserv_angSep(raCol, declCol, ra,
+// decl) < radius on the first partitioned reference's position columns.
+type coneSpec struct {
+	ra, decl, radius float64
 }
 
 // Analyze inspects a user SELECT against the registry.
@@ -177,12 +206,16 @@ func (a *Analysis) analyzeWhere(reg *meta.Registry) error {
 			a.ObjectIDs = append(a.ObjectIDs, ids...)
 		}
 
-		// Coordinate-range restriction: ra BETWEEN a AND b / decl
-		// BETWEEN c AND d on the director table's position columns
-		// also restrict the chunk set (the paper's LV3 uses exactly
-		// this form). The predicate stays in WHERE — workers still
-		// need it to filter rows.
+		// Coordinate-range restriction: ra BETWEEN a AND b / decl >= c
+		// on the director table's position columns also restrict the
+		// chunk set (the paper's LV3 uses exactly this form). The
+		// predicate stays in WHERE — workers still need it to filter
+		// rows.
 		a.noteCoordRange(c)
+
+		// Generic numeric range restriction on any partitioned table's
+		// column, recorded for statistics-based chunk pruning.
+		a.noteColRange(c)
 
 		// Near-neighbor predicate: qserv_angSep(x1, y1, x2, y2) < r
 		// across two references to the same partitioned table.
@@ -190,6 +223,11 @@ func (a *Analysis) analyzeWhere(reg *meta.Registry) error {
 			if a.NearNeighbor == nil {
 				a.NearNeighbor = nn
 			}
+		} else {
+			// A literal-point cone — qserv_angSep(ra, decl, <lit>,
+			// <lit>) < r — restricts the chunk set like a circular
+			// areaspec would.
+			a.noteCone(c)
 		}
 
 		kept = append(kept, c)
@@ -200,64 +238,256 @@ func (a *Analysis) analyzeWhere(reg *meta.Registry) error {
 	return nil
 }
 
-// coordRange accumulates BETWEEN bounds on the first partitioned
-// table's RA/decl columns during WHERE analysis.
-type coordRange struct {
-	raLo, raHi     float64
-	declLo, declHi float64
-	hasRA, hasDecl bool
+// boundedRange is one conjunct reduced to `col ∈ [lo, hi]` (either
+// side optional): a BETWEEN, an equality, or a comparison against a
+// numeric literal. Open bounds are widened to closed ones.
+type boundedRange struct {
+	col          *sqlparse.ColumnRef
+	lo, hi       float64
+	hasLo, hasHi bool
 }
 
-// noteCoordRange records `<col> BETWEEN <lo> AND <hi>` when col is the
-// first partitioned reference's RA or declination column.
+// rangeOf reduces a top-level conjunct to a column range, when it has
+// that shape.
+func rangeOf(c sqlparse.Expr) (boundedRange, bool) {
+	switch e := c.(type) {
+	case *sqlparse.BetweenExpr:
+		if e.Not {
+			return boundedRange{}, false
+		}
+		cr, ok := e.X.(*sqlparse.ColumnRef)
+		if !ok {
+			return boundedRange{}, false
+		}
+		lo, okLo := numericLiteral(e.Lo)
+		hi, okHi := numericLiteral(e.Hi)
+		if !okLo || !okHi {
+			return boundedRange{}, false
+		}
+		return boundedRange{col: cr, lo: lo, hi: hi, hasLo: true, hasHi: true}, true
+	case *sqlparse.BinaryExpr:
+		op := e.Op
+		cr, ok := e.L.(*sqlparse.ColumnRef)
+		v, okV := numericLiteral(e.R)
+		if !ok || !okV {
+			// Literal-on-the-left spelling: flip the comparison.
+			cr, ok = e.R.(*sqlparse.ColumnRef)
+			v, okV = numericLiteral(e.L)
+			if !ok || !okV {
+				return boundedRange{}, false
+			}
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+		switch op {
+		case "=":
+			return boundedRange{col: cr, lo: v, hi: v, hasLo: true, hasHi: true}, true
+		case "<", "<=":
+			return boundedRange{col: cr, hi: v, hasHi: true}, true
+		case ">", ">=":
+			return boundedRange{col: cr, lo: v, hasLo: true}, true
+		}
+	}
+	return boundedRange{}, false
+}
+
+// coordRange accumulates position bounds on the first partitioned
+// table's RA/decl columns during WHERE analysis. Conjuncts intersect:
+// `ra_PS >= 10 AND ra_PS <= 20` tightens both sides.
+type coordRange struct {
+	raLo, raHi, declLo, declHi             float64
+	hasRaLo, hasRaHi, hasDeclLo, hasDeclHi bool
+}
+
+func (cr *coordRange) tighten(lo, hi *float64, hasLo, hasHi *bool, r boundedRange) {
+	if r.hasLo && (!*hasLo || r.lo > *lo) {
+		*lo, *hasLo = r.lo, true
+	}
+	if r.hasHi && (!*hasHi || r.hi < *hi) {
+		*hi, *hasHi = r.hi, true
+	}
+}
+
+// noteCoordRange records a range restriction on the first partitioned
+// reference's RA or declination column: BETWEEN, equality, or a
+// one-sided comparison (the missing side defaults to the coordinate
+// domain edge when the region is built).
 func (a *Analysis) noteCoordRange(c sqlparse.Expr) {
 	if len(a.PartRefs) == 0 {
 		return
 	}
-	be, ok := c.(*sqlparse.BetweenExpr)
-	if ok && !be.Not {
-		cr, ok := be.X.(*sqlparse.ColumnRef)
-		if !ok {
-			return
-		}
-		pr := a.PartRefs[0]
-		if cr.Table != "" && !strings.EqualFold(cr.Table, pr.Ref.Name()) {
-			return
-		}
-		lo, okLo := numericLiteral(be.Lo)
-		hi, okHi := numericLiteral(be.Hi)
-		if !okLo || !okHi {
-			return
-		}
-		if a.coords == nil {
-			a.coords = &coordRange{}
-		}
-		switch {
-		case strings.EqualFold(cr.Column, pr.Info.RAColumn):
-			a.coords.raLo, a.coords.raHi, a.coords.hasRA = lo, hi, true
-		case strings.EqualFold(cr.Column, pr.Info.DeclColumn):
-			a.coords.declLo, a.coords.declHi, a.coords.hasDecl = lo, hi, true
-		}
+	r, ok := rangeOf(c)
+	if !ok {
+		return
+	}
+	pr := a.PartRefs[0]
+	if r.col.Table != "" && !strings.EqualFold(r.col.Table, pr.Ref.Name()) {
+		return
+	}
+	if a.coords == nil {
+		a.coords = &coordRange{}
+	}
+	switch {
+	case strings.EqualFold(r.col.Column, pr.Info.RAColumn):
+		a.coords.tighten(&a.coords.raLo, &a.coords.raHi, &a.coords.hasRaLo, &a.coords.hasRaHi, r)
+	case strings.EqualFold(r.col.Column, pr.Info.DeclColumn):
+		a.coords.tighten(&a.coords.declLo, &a.coords.declHi, &a.coords.hasDeclLo, &a.coords.hasDeclHi, r)
 	}
 }
 
-// finishCoordRange converts accumulated coordinate bounds into a Region
-// when no explicit areaspec already set one.
+// noteColRange records a numeric range restriction for statistics-based
+// chunk pruning. The column must resolve to exactly one partitioned
+// catalog table: qualified references resolve through their alias,
+// unqualified ones only when a single partitioned table carries the
+// column (joins reading one chunk per dispatch make any reference of
+// that table in the chunk a valid pruning witness).
+func (a *Analysis) noteColRange(c sqlparse.Expr) {
+	r, ok := rangeOf(c)
+	if !ok {
+		return
+	}
+	table := ""
+	if r.col.Table != "" {
+		for _, pr := range a.PartRefs {
+			if strings.EqualFold(r.col.Table, pr.Ref.Name()) {
+				if pr.Info.Schema.ColIndex(r.col.Column) >= 0 {
+					table = pr.Info.Name
+				}
+				break
+			}
+		}
+	} else {
+		for _, pr := range a.PartRefs {
+			if pr.Info.Schema.ColIndex(r.col.Column) < 0 {
+				continue
+			}
+			if table != "" && !strings.EqualFold(table, pr.Info.Name) {
+				return // ambiguous across distinct tables
+			}
+			table = pr.Info.Name
+		}
+	}
+	if table == "" {
+		return
+	}
+	// Intersect with any prior range on the same (table, column).
+	for i := range a.Ranges {
+		cr := &a.Ranges[i]
+		if strings.EqualFold(cr.Table, table) && strings.EqualFold(cr.Column, r.col.Column) {
+			if r.hasLo && (!cr.HasLo || r.lo > cr.Lo) {
+				cr.Lo, cr.HasLo = r.lo, true
+			}
+			if r.hasHi && (!cr.HasHi || r.hi < cr.Hi) {
+				cr.Hi, cr.HasHi = r.hi, true
+			}
+			return
+		}
+	}
+	a.Ranges = append(a.Ranges, ColRange{
+		Table: table, Column: r.col.Column,
+		Lo: r.lo, Hi: r.hi, HasLo: r.hasLo, HasHi: r.hasHi,
+	})
+}
+
+// noteCone records qserv_angSep(raCol, declCol, <ra>, <decl>) < r on
+// the first partitioned reference's position columns — a cone search
+// around a literal point, the paper's small-cone interactive query.
+// (Two-table angSep calls are the near-neighbor join, handled
+// separately.)
+func (a *Analysis) noteCone(c sqlparse.Expr) {
+	if a.cone != nil || len(a.PartRefs) == 0 {
+		return
+	}
+	be, ok := c.(*sqlparse.BinaryExpr)
+	if !ok {
+		return
+	}
+	var call *sqlparse.FuncCall
+	var radiusExpr sqlparse.Expr
+	switch {
+	case be.Op == "<" || be.Op == "<=":
+		if fc, ok := be.L.(*sqlparse.FuncCall); ok {
+			call, radiusExpr = fc, be.R
+		}
+	case be.Op == ">" || be.Op == ">=":
+		if fc, ok := be.R.(*sqlparse.FuncCall); ok {
+			call, radiusExpr = fc, be.L
+		}
+	}
+	if call == nil || len(call.Args) != 4 {
+		return
+	}
+	if !strings.EqualFold(call.Name, angSepFunc) && !strings.EqualFold(call.Name, "scisql_angSep") {
+		return
+	}
+	radius, ok := numericLiteral(radiusExpr)
+	if !ok || radius < 0 {
+		return
+	}
+	pr := a.PartRefs[0]
+	matches := func(e sqlparse.Expr, col string) bool {
+		cr, ok := e.(*sqlparse.ColumnRef)
+		if !ok || col == "" || !strings.EqualFold(cr.Column, col) {
+			return false
+		}
+		return cr.Table == "" || strings.EqualFold(cr.Table, pr.Ref.Name())
+	}
+	if !matches(call.Args[0], pr.Info.RAColumn) || !matches(call.Args[1], pr.Info.DeclColumn) {
+		return
+	}
+	ra, ok1 := numericLiteral(call.Args[2])
+	decl, ok2 := numericLiteral(call.Args[3])
+	if !ok1 || !ok2 {
+		return
+	}
+	a.cone = &coneSpec{ra: ra, decl: decl, radius: radius}
+}
+
+// finishCoordRange converts accumulated coordinate bounds (or a
+// detected cone) into a Region when no explicit areaspec already set
+// one. An explicit areaspec wins over a cone, which wins over box
+// bounds. Contradictory bounds (lo > hi) produce no region — the
+// predicates in WHERE already guarantee an empty answer, and an
+// inverted box is not a meaningful spatial cover.
 func (a *Analysis) finishCoordRange() {
-	if a.Region != nil || a.coords == nil {
+	if a.Region != nil {
+		return
+	}
+	if a.cone != nil {
+		a.Region = sphgeom.NewCircle(sphgeom.NewPoint(a.cone.ra, a.cone.decl), a.cone.radius)
 		return
 	}
 	cr := a.coords
-	if !cr.hasRA && !cr.hasDecl {
+	if cr == nil {
+		return
+	}
+	if !cr.hasRaLo && !cr.hasRaHi && !cr.hasDeclLo && !cr.hasDeclHi {
 		return
 	}
 	raLo, raHi := 0.0, 360.0
-	if cr.hasRA {
-		raLo, raHi = cr.raLo, cr.raHi
+	if cr.hasRaLo {
+		raLo = cr.raLo
+	}
+	if cr.hasRaHi {
+		raHi = cr.raHi
 	}
 	declLo, declHi := -90.0, 90.0
-	if cr.hasDecl {
-		declLo, declHi = cr.declLo, cr.declHi
+	if cr.hasDeclLo {
+		declLo = cr.declLo
+	}
+	if cr.hasDeclHi {
+		declHi = cr.declHi
+	}
+	if raLo > raHi || declLo > declHi {
+		return
 	}
 	a.Region = sphgeom.NewBox(raLo, raHi, declLo, declHi)
 }

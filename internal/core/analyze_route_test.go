@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sphgeom"
+	"repro/internal/sqlparse"
+)
+
+// These tests cover the predicate-extraction layer the routing tier
+// (internal/planopt) feeds on: coordinate ranges promoted to spatial
+// regions, literal-point cones, and generic column ranges recorded for
+// statistics pruning.
+
+func mustAnalyze(t *testing.T, sql string) *Analysis {
+	t.Helper()
+	reg, _, _ := testSetup(t)
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	a, err := Analyze(sel, reg)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", sql, err)
+	}
+	return a
+}
+
+func TestCoordRangesPromoteToBoxRegion(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE ra_PS BETWEEN 10 AND 20 AND decl_PS >= -5 AND decl_PS <= 5")
+	box, ok := a.Region.(sphgeom.Box)
+	if !ok {
+		t.Fatalf("region = %#v", a.Region)
+	}
+	if box.RAMin != 10 || box.RAMax != 20 || box.DeclMin != -5 || box.DeclMax != 5 {
+		t.Errorf("box = %+v", box)
+	}
+}
+
+func TestOneSidedCoordRangeWidensToDomainEdge(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE decl_PS < -60")
+	box, ok := a.Region.(sphgeom.Box)
+	if !ok {
+		t.Fatalf("region = %#v", a.Region)
+	}
+	if box.RAMin != 0 || box.RAMax != 360 || box.DeclMin != -90 || box.DeclMax != -60 {
+		t.Errorf("box = %+v", box)
+	}
+}
+
+func TestLiteralOnLeftComparisonFlips(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE 40 > decl_PS AND 30 <= decl_PS")
+	box, ok := a.Region.(sphgeom.Box)
+	if !ok {
+		t.Fatalf("region = %#v", a.Region)
+	}
+	if box.DeclMin != 30 || box.DeclMax != 40 {
+		t.Errorf("box = %+v", box)
+	}
+}
+
+func TestContradictoryCoordBoundsYieldNoRegion(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE decl_PS > 10 AND decl_PS < 5")
+	if a.Region != nil {
+		t.Fatalf("contradictory bounds produced region %#v", a.Region)
+	}
+}
+
+func TestSelfJoinSecondAliasCoordsDoNotRestrict(t *testing.T) {
+	// o2's position predicates must never restrict the chunk/subchunk
+	// cover — near-neighbor pairs reach o2 rows through overlap tables.
+	a := mustAnalyze(t,
+		"SELECT COUNT(*) FROM Object o1, Object o2 WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.1 AND o2.decl_PS < 10")
+	if a.Region != nil {
+		t.Fatalf("o2 coordinate predicate produced region %#v", a.Region)
+	}
+}
+
+func TestConePredicateBecomesCircleRegion(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE scisql_angSep(ra_PS, decl_PS, 100.0, -30.0) < 1.5")
+	c, ok := a.Region.(sphgeom.Circle)
+	if !ok {
+		t.Fatalf("region = %#v", a.Region)
+	}
+	if c.Center.RA != 100 || c.Center.Decl != -30 || c.Radius != 1.5 {
+		t.Errorf("circle = %+v", c)
+	}
+	// Flipped orientation parses too.
+	a2 := mustAnalyze(t, "SELECT * FROM Object WHERE 1.5 > qserv_angSep(ra_PS, decl_PS, 100.0, -30.0)")
+	if _, ok := a2.Region.(sphgeom.Circle); !ok {
+		t.Fatalf("flipped cone region = %#v", a2.Region)
+	}
+}
+
+func TestAreaspecWinsOverDerivedBounds(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE qserv_areaspec_box(0, 0, 10, 10) AND decl_PS < 5")
+	box, ok := a.Region.(sphgeom.Box)
+	if !ok {
+		t.Fatalf("region = %#v", a.Region)
+	}
+	if box.DeclMax != 10 {
+		t.Errorf("derived bound overrode areaspec: %+v", box)
+	}
+}
+
+func TestColRangesRecordedForStatsPruning(t *testing.T) {
+	a := mustAnalyze(t, "SELECT * FROM Object WHERE uFlux_PS > 1.0 AND uFlux_PS < 3.0 AND rFlux_PS <= 2.0")
+	if len(a.Ranges) != 2 {
+		t.Fatalf("ranges = %+v, want merged uFlux_PS + rFlux_PS", a.Ranges)
+	}
+	find := func(col string) *ColRange {
+		for i := range a.Ranges {
+			if a.Ranges[i].Column == col {
+				return &a.Ranges[i]
+			}
+		}
+		return nil
+	}
+	u := find("uFlux_PS")
+	if u == nil || !u.HasLo || !u.HasHi || u.Lo != 1.0 || u.Hi != 3.0 || u.Table != "Object" {
+		t.Fatalf("uFlux_PS range = %+v", u)
+	}
+	r := find("rFlux_PS")
+	if r == nil || r.HasLo || !r.HasHi || r.Hi != 2.0 {
+		t.Fatalf("rFlux_PS range = %+v", r)
+	}
+}
+
+func TestUnqualifiedColumnResolution(t *testing.T) {
+	// objectId lives on both Object and Source: an unqualified range on
+	// it is ambiguous and must not be attributed to either table.
+	a := mustAnalyze(t, "SELECT COUNT(*) FROM Object o, Source s WHERE o.objectId = s.objectId AND objectId < 5")
+	for _, r := range a.Ranges {
+		if r.Column == "objectId" {
+			t.Fatalf("ambiguous unqualified objectId attributed to %s", r.Table)
+		}
+	}
+	// psfFlux lives only on Source: attributable even unqualified, and a
+	// qualified reference resolves through its alias.
+	a2 := mustAnalyze(t, "SELECT COUNT(*) FROM Object o, Source s WHERE o.objectId = s.objectId AND psfFlux > 0 AND o.uFlux_PS < 1")
+	want := map[string]string{"psfFlux": "Source", "uFlux_PS": "Object"}
+	for col, table := range want {
+		found := false
+		for _, r := range a2.Ranges {
+			if r.Column == col {
+				found = true
+				if r.Table != table {
+					t.Fatalf("%s attributed to %s, want %s", col, r.Table, table)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s range not recorded (ranges: %+v)", col, a2.Ranges)
+		}
+	}
+}
+
+func TestBuiltinRouteKinds(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	cases := []struct {
+		sql  string
+		kind RouteKind
+	}{
+		{"SELECT * FROM Object WHERE objectId = 3", RouteIndexDive},
+		{"SELECT * FROM Object WHERE qserv_areaspec_box(0, 0, 10, 10)", RouteSpatial},
+		{"SELECT COUNT(*) FROM Object", RouteFanOut},
+	}
+	for _, tc := range cases {
+		p := mustPlan(t, pl, placed, tc.sql)
+		if p.Route.Kind != tc.kind {
+			t.Errorf("%s: route kind %v, want %v", tc.sql, p.Route.Kind, tc.kind)
+		}
+		if len(p.Chunks) != len(p.Route.Chunks) {
+			t.Errorf("%s: Chunks diverged from Route.Chunks", tc.sql)
+		}
+		if tc.kind != RouteFanOut && p.Route.Pruned == 0 {
+			t.Errorf("%s: restricted route pruned nothing", tc.sql)
+		}
+	}
+}
+
+func TestCacheKeyDistinguishesStatements(t *testing.T) {
+	_, pl, placed := testSetup(t)
+	p1 := mustPlan(t, pl, placed, "SELECT * FROM Object WHERE objectId = 3")
+	p2 := mustPlan(t, pl, placed, "SELECT * FROM Object WHERE objectId = 4")
+	p3 := mustPlan(t, pl, placed, "SELECT * FROM Object WHERE objectId = 3")
+	if p1.CacheKey() == p2.CacheKey() {
+		t.Fatal("distinct statements share a cache key")
+	}
+	if p1.CacheKey() != p3.CacheKey() {
+		t.Fatal("identical statements produce different cache keys")
+	}
+}

@@ -50,12 +50,65 @@ func ParseQueryClass(s string) (QueryClass, bool) {
 	return FullScan, false
 }
 
+// RouteKind labels the mechanism that produced a plan's chunk set.
+type RouteKind int
+
+// The routing mechanisms, in decreasing selectivity.
+const (
+	// RouteFanOut dispatches to every placed chunk (no restriction).
+	RouteFanOut RouteKind = iota
+	// RouteIndexDive resolved director-key predicates through the
+	// secondary index to the owning chunk(s).
+	RouteIndexDive
+	// RouteSpatial intersected a WHERE-derived (or areaspec) region
+	// with the placed chunk set.
+	RouteSpatial
+	// RouteStats eliminated chunks whose recorded min/max column
+	// statistics are disjoint from range predicates.
+	RouteStats
+)
+
+// String renders the route kind for observability surfaces.
+func (k RouteKind) String() string {
+	switch k {
+	case RouteIndexDive:
+		return "INDEX_DIVE"
+	case RouteSpatial:
+		return "SPATIAL"
+	case RouteStats:
+		return "STATS"
+	}
+	return "FANOUT"
+}
+
+// Route is one routing decision: the chunk set to dispatch and an
+// accounting of how it was narrowed.
+type Route struct {
+	// Kind is the dominant mechanism that produced Chunks.
+	Kind RouteKind
+	// Chunks is the chunk set to dispatch, ascending.
+	Chunks []partition.ChunkID
+	// Pruned counts placed chunks the route eliminated.
+	Pruned int
+}
+
+// Router chooses the chunk set for an analyzed query. The planner's
+// built-in selection (index dive / spatial cover / full fan-out) is
+// used when no Router is installed; internal/planopt implements the
+// full routing tier (adds statistics-based pruning) on top of it.
+type Router interface {
+	Route(a *Analysis, placed []partition.ChunkID) Route
+}
+
 // Planner turns analyzed user queries into executable plans. It needs
 // the catalog registry for table metadata and, optionally, the objectId
 // secondary index for point-query chunk elimination.
 type Planner struct {
 	Registry *meta.Registry
 	Index    *meta.ObjectIndex // may be nil
+	// Router, when installed, overrides the planner's built-in chunk
+	// selection (the czar installs the planopt routing tier here).
+	Router Router
 	// TopK enables ORDER BY + LIMIT pushdown for pass-through queries:
 	// each chunk statement carries the full top-K (ORDER BY + LIMIT) so
 	// workers ship at most K rows per statement instead of every match,
@@ -74,6 +127,8 @@ type Plan struct {
 	Class QueryClass
 	// Chunks to dispatch to, ascending.
 	Chunks []partition.ChunkID
+	// Route records how Chunks was chosen (mechanism + pruning count).
+	Route Route
 	// SubChunksByChunk lists the subchunks each chunk query must cover;
 	// nil when the plan does not use subchunks.
 	SubChunksByChunk map[partition.ChunkID][]partition.SubChunkID
@@ -259,26 +314,16 @@ func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan
 
 	// Chunk set selection (paper section 5.5): secondary index for
 	// director-key restrictions, spatial cover for region restrictions,
-	// all placed chunks otherwise.
-	indexDive := false
-	switch {
-	case len(a.ObjectIDs) > 0 && pl.Index != nil:
-		indexDive = true
-		seen := map[partition.ChunkID]bool{}
-		for _, id := range a.ObjectIDs {
-			if loc, ok := pl.Index.Lookup(id); ok && !seen[loc.Chunk] {
-				seen[loc.Chunk] = true
-				p.Chunks = append(p.Chunks, loc.Chunk)
-			}
-		}
-		sortChunks(p.Chunks)
-	case a.Region != nil:
-		cover := pl.Registry.Chunker.ChunksIn(a.Region)
-		p.Chunks = intersectChunks(cover, placed)
-	default:
-		p.Chunks = append(p.Chunks, placed...)
-		sortChunks(p.Chunks)
+	// all placed chunks otherwise. An installed Router (the planopt
+	// tier) takes over the whole decision and adds statistics-based
+	// pruning.
+	if pl.Router != nil {
+		p.Route = pl.Router.Route(a, placed)
+	} else {
+		p.Route = pl.builtinRoute(a, placed)
 	}
+	p.Chunks = p.Route.Chunks
+	indexDive := p.Route.Kind == RouteIndexDive
 
 	// Scheduling class (paper section 4.3): secondary-index dives and
 	// spatially-restricted single-chunk point queries are interactive;
@@ -323,6 +368,46 @@ func (pl *Planner) Plan(sel *sqlparse.Select, placed []partition.ChunkID) (*Plan
 	return p, nil
 }
 
+// builtinRoute is the planner's chunk selection when no Router is
+// installed: the pre-planopt behavior, kept as the routing baseline
+// (and what internal/planopt builds its extra pruning on top of).
+func (pl *Planner) builtinRoute(a *Analysis, placed []partition.ChunkID) Route {
+	rt := Route{Kind: RouteFanOut}
+	switch {
+	case len(a.ObjectIDs) > 0 && pl.Index != nil:
+		rt.Kind = RouteIndexDive
+		rt.Chunks = DiveChunks(pl.Index, a.ObjectIDs)
+	case a.Region != nil:
+		rt.Kind = RouteSpatial
+		rt.Chunks = intersectChunks(pl.Registry.Chunker.ChunksIn(a.Region), placed)
+	default:
+		rt.Chunks = append(rt.Chunks, placed...)
+		sortChunks(rt.Chunks)
+	}
+	if rt.Pruned = len(placed) - len(rt.Chunks); rt.Pruned < 0 {
+		rt.Pruned = 0
+	}
+	return rt
+}
+
+// DiveChunks resolves director-key ids through the secondary index to
+// the distinct owning chunks, ascending. Ids absent from the index
+// resolve to no chunk at all — the index is total over ingested
+// director rows, so such a point query has an empty answer and
+// dispatches nothing.
+func DiveChunks(index *meta.ObjectIndex, ids []int64) []partition.ChunkID {
+	seen := map[partition.ChunkID]bool{}
+	var out []partition.ChunkID
+	for _, id := range ids {
+		if loc, ok := index.Lookup(id); ok && !seen[loc.Chunk] {
+			seen[loc.Chunk] = true
+			out = append(out, loc.Chunk)
+		}
+	}
+	sortChunks(out)
+	return out
+}
+
 func sortChunks(cs []partition.ChunkID) {
 	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 }
@@ -340,6 +425,25 @@ func intersectChunks(a, b []partition.ChunkID) []partition.ChunkID {
 	}
 	sortChunks(out)
 	return out
+}
+
+// CacheKey is the plan's content address for the czar result cache:
+// default database, the canonical deparse of the analyzed statement
+// (areaspec already rewritten, every other conjunct kept verbatim),
+// and the routed chunk set. Two plans with equal keys compute the same
+// answer against the same cluster state; the cache pairs the key with
+// placement-epoch + ingest-generation stamps so "same cluster state"
+// is checked at lookup time, not encoded here.
+func (p *Plan) CacheKey() string {
+	var sb strings.Builder
+	sb.WriteString(p.registry.DB)
+	sb.WriteByte('\x00')
+	sb.WriteString(p.Analysis.Stmt.SQL())
+	sb.WriteByte('\x00')
+	for _, c := range p.Chunks {
+		fmt.Fprintf(&sb, "%d,", c)
+	}
+	return sb.String()
 }
 
 // ResultType returns the storage type of result column i, defaulting

@@ -22,6 +22,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/member"
 	"repro/internal/meta"
 	"repro/internal/partition"
+	"repro/internal/qcache"
 	"repro/internal/sqlengine"
 	"repro/internal/xrd"
 )
@@ -85,6 +88,10 @@ type Czar struct {
 	// known-dead workers, and the proxy's SHOW WORKERS reads Status.
 	// Without one (nil), dispatch behaves exactly as before.
 	membership Membership
+
+	// cache, when installed, answers repeat queries without dispatching
+	// a single chunk job (see internal/qcache). nil disables caching.
+	cache *qcache.Cache
 
 	seq atomic.Int64
 
@@ -152,6 +159,25 @@ func (c *Czar) ClusterStatus() (member.Status, bool) {
 	return c.membership.Status(), true
 }
 
+// SetRouter installs a chunk-routing tier (internal/planopt) on the
+// czar's planner, replacing the built-in index-dive/spatial/fan-out
+// selection. Call it at assembly time, before the czar serves queries.
+func (c *Czar) SetRouter(r core.Router) { c.planner.Router = r }
+
+// SetResultCache installs the czar-level result cache. Call it at
+// assembly time, before the czar serves queries; nil (the default)
+// disables caching.
+func (c *Czar) SetResultCache(cache *qcache.Cache) { c.cache = cache }
+
+// CacheStats snapshots the result cache's counters; ok is false when no
+// cache is installed.
+func (c *Czar) CacheStats() (qcache.Stats, bool) {
+	if c.cache == nil {
+		return qcache.Stats{}, false
+	}
+	return c.cache.Stats(), true
+}
+
 // QueryResult is a final answer plus execution accounting.
 type QueryResult struct {
 	*sqlengine.Result
@@ -160,8 +186,14 @@ type QueryResult struct {
 	// Class is the scheduling class the planner assigned; it rides
 	// every chunk-query payload so workers lane the job correctly.
 	Class core.QueryClass
-	// ChunksDispatched counts chunk queries sent.
+	// ChunksDispatched counts chunk queries sent; 0 for a cache hit.
 	ChunksDispatched int
+	// ChunksPruned counts placed chunks the routing tier eliminated
+	// (index dive, spatial cover, or statistics pruning).
+	ChunksPruned int
+	// CacheHit is true when the answer came from the czar result cache
+	// and no worker was touched.
+	CacheHit bool
 	// ResultBytes counts dump-stream bytes collected from workers.
 	ResultBytes int64
 	// Elapsed is the wall-clock time of the whole query.
@@ -186,7 +218,8 @@ func (c *Czar) Query(sql string) (*QueryResult, error) {
 // it and the progress counters observers read.
 func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, error) {
 	ctx := q.ctx
-	qr := &QueryResult{Class: plan.Class, ChunksDispatched: len(plan.Chunks)}
+	qr := &QueryResult{Class: plan.Class, ChunksDispatched: len(plan.Chunks),
+		ChunksPruned: plan.Route.Pruned}
 	resultTable := fmt.Sprintf("result_%d", c.seq.Add(1))
 	qualified := resultDB + "." + resultTable
 	defer func() {
@@ -282,6 +315,77 @@ func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, e
 	}
 	qr.Result = final
 	return qr, nil
+}
+
+// cacheLookup consults the czar result cache at submit time: a hit
+// returns a completed QueryResult (cached rows, zero dispatch) and the
+// session never plans any chunk work — its progress reads 0/0 chunks,
+// which is the truth. nil means no cache or no valid entry.
+func (c *Czar) cacheLookup(plan *core.Plan) *QueryResult {
+	if c.cache == nil {
+		return nil
+	}
+	epoch, gens := c.cacheStamp(plan)
+	res, ok := c.cache.Get(plan.CacheKey(), epoch, gens)
+	if !ok {
+		return nil
+	}
+	return &QueryResult{
+		Result: &sqlengine.Result{Cols: res.Cols, Types: res.Types, Rows: res.Rows},
+		Class:  plan.Class, CacheHit: true, ChunksPruned: plan.Route.Pruned,
+	}
+}
+
+// executeWithCache runs execute and fills the result cache on success.
+// The validity stamp — placement epoch plus the ingest generation of
+// every referenced table — is captured before execution and re-verified
+// before the fill, so a repair, membership change, or ingest that lands
+// mid-query can never install rows computed against the old cluster
+// state under the new state's stamp. (A kill that raced completion also
+// never fills: a canceled query's rows may be partial.)
+func (c *Czar) executeWithCache(q *Query, plan *core.Plan, opts Options) (*QueryResult, error) {
+	if c.cache == nil {
+		return c.execute(q, plan, opts)
+	}
+	epoch, gens := c.cacheStamp(plan)
+	qr, err := c.execute(q, plan, opts)
+	if err == nil && q.ctx.Err() == nil {
+		if e, g := c.cacheStamp(plan); e == epoch && g == gens {
+			c.cache.Put(plan.CacheKey(), epoch, gens,
+				qcache.Result{Cols: qr.Cols, Types: qr.Types, Rows: qr.Rows})
+		}
+	}
+	return qr, err
+}
+
+// cacheStamp captures the cluster state a plan's answer depends on: the
+// placement epoch (bumped by every assign/replace/remove, i.e. repair
+// and elastic membership) and the ingest generation of every table the
+// statement references, joined in sorted order. Chunk-set changes are
+// covered transitively — placed chunks only change via ingest or
+// placement mutation, and both bump their half of the stamp.
+func (c *Czar) cacheStamp(plan *core.Plan) (int64, string) {
+	seen := map[string]bool{}
+	var names []string
+	note := func(name string) {
+		n := strings.ToLower(name)
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, pr := range plan.Analysis.PartRefs {
+		note(pr.Info.Name)
+	}
+	for _, ref := range plan.Analysis.NonPartRefs {
+		note(ref.Table)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s=%d;", n, c.registry.IngestGen(n))
+	}
+	return c.placement.Epoch(), sb.String()
 }
 
 // mergeStripes sizes a session's stripe set from the merge gate width:

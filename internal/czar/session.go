@@ -347,9 +347,16 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 		done:      make(chan struct{}),
 		colsReady: make(chan struct{}),
 	}
+	var cached *QueryResult
 	if !local {
+		// The result cache is consulted at submit time: a hit completes
+		// the session without planning any chunk work, so its progress
+		// honestly reports zero chunks rather than a fan-out it skipped.
+		cached = c.cacheLookup(plan)
 		q.class = plan.Class
-		q.chunksTotal = len(plan.Chunks)
+		if cached == nil {
+			q.chunksTotal = len(plan.Chunks)
+		}
 		q.setColumns(plan.ResultColumns)
 	}
 
@@ -381,10 +388,13 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 		}()
 		var res *QueryResult
 		var err error
-		if local {
+		switch {
+		case local:
 			res, err = c.runLocal(q, sel)
-		} else {
-			res, err = c.execute(q, plan, opts)
+		case cached != nil:
+			res = cached
+		default:
+			res, err = c.executeWithCache(q, plan, opts)
 		}
 		if q.ctx.Err() != nil {
 			// The query was killed (Cancel, KILL, deadline, Close, or a

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/czar"
 	"repro/internal/member"
+	"repro/internal/qcache"
 	"repro/internal/sqlengine"
 )
 
@@ -31,6 +32,9 @@ type Backend interface {
 	// ClusterStatus reports cluster availability; ok is false when the
 	// backend has no membership subsystem wired.
 	ClusterStatus() (member.Status, bool)
+	// CacheStats reports the backend's result-cache counters; ok is
+	// false when no result cache is installed.
+	CacheStats() (qcache.Stats, bool)
 }
 
 // Config bounds the frontend's concurrency (see admission).
@@ -438,6 +442,28 @@ func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, han
 			int64(st.Active), int64(st.Queued), int64(st.Users),
 			st.Admitted, st.EverQueued, st.Shed,
 		})
+		return cols, rows, true, nil
+	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "CACHE"):
+		// One row per cache-enabled backend: each czar owns a private
+		// result cache, so counters are per-czar, not cluster-global.
+		cols = []string{"Czar", "Hits", "Misses", "HitRate", "Entries", "Bytes", "MaxBytes", "Evictions", "Invalidations", "Epoch"}
+		for bi, b := range s.backends {
+			cs, ok := b.CacheStats()
+			if !ok {
+				continue
+			}
+			rate := "0%"
+			if lookups := cs.Hits + cs.Misses; lookups > 0 {
+				rate = fmt.Sprintf("%.1f%%", 100*float64(cs.Hits)/float64(lookups))
+			}
+			rows = append(rows, []sqlengine.Value{
+				int64(bi), cs.Hits, cs.Misses, rate, int64(cs.Entries),
+				cs.Bytes, cs.MaxBytes, cs.Evictions, cs.Invalidations, cs.Epoch,
+			})
+		}
+		if len(rows) == 0 {
+			return nil, nil, true, fmt.Errorf("frontend: no result cache is enabled (SHOW CACHE needs a czar with ResultCacheBytes > 0)")
+		}
 		return cols, rows, true, nil
 	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "PROCESSLIST"):
 		cols = []string{"Id", "Czar", "Class", "Time", "Chunks", "Rows", "Info"}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/czar"
 	"repro/internal/member"
+	"repro/internal/qcache"
 	"repro/internal/sqlengine"
 )
 
@@ -82,6 +83,8 @@ func (f *fakeBackend) Kill(id int64) bool {
 }
 
 func (f *fakeBackend) ClusterStatus() (member.Status, bool) { return member.Status{}, false }
+
+func (f *fakeBackend) CacheStats() (qcache.Stats, bool) { return qcache.Stats{}, false }
 
 // echoHandler answers every query with a fixed two-column result.
 func echoHandler(sql string, feed *czar.QueryFeed) {

@@ -90,25 +90,41 @@ type Registry struct {
 	mu        sync.RWMutex
 	tables    map[string]*TableInfo
 	ingesting map[string]bool
+	gens      map[string]int64
 }
 
 // NewRegistry creates a registry for a database partitioned by chunker.
 func NewRegistry(db string, chunker *partition.Chunker) *Registry {
-	return &Registry{DB: db, Chunker: chunker, tables: map[string]*TableInfo{}, ingesting: map[string]bool{}}
+	return &Registry{DB: db, Chunker: chunker, tables: map[string]*TableInfo{},
+		ingesting: map[string]bool{}, gens: map[string]int64{}}
 }
 
 // SetIngesting marks a table as having an ingest in flight. While set,
 // the czar rejects queries referencing the table: worker-side chunk
 // tables grow batch by batch during ingest, so reading them
 // mid-stream would race with inserts and return partial rows.
+//
+// Each edge also advances the table's ingest generation, the
+// per-table half of the result cache's validity stamp: any result
+// computed (and cached) before an ingest carries an older generation
+// and can never be served once the table's contents changed.
 func (r *Registry) SetIngesting(name string, on bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gens[strings.ToLower(name)]++
 	if on {
 		r.ingesting[strings.ToLower(name)] = true
 	} else {
 		delete(r.ingesting, strings.ToLower(name))
 	}
+}
+
+// IngestGen returns a table's ingest generation: 0 before any ingest
+// activity, advancing on every SetIngesting edge.
+func (r *Registry) IngestGen(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gens[strings.ToLower(name)]
 }
 
 // Ingesting reports whether a table has an ingest in flight.

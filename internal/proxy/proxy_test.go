@@ -13,6 +13,7 @@ import (
 	"repro/internal/czar"
 	"repro/internal/frontend"
 	"repro/internal/member"
+	"repro/internal/qcache"
 	"repro/internal/sqlengine"
 )
 
@@ -73,6 +74,8 @@ func (f *fakeBackend) ClusterStatus() (member.Status, bool) {
 	}
 	return *f.status, true
 }
+
+func (f *fakeBackend) CacheStats() (qcache.Stats, bool) { return qcache.Stats{}, false }
 
 func (f *fakeBackend) Kill(id int64) bool {
 	for _, qi := range f.running {

@@ -41,6 +41,8 @@ import (
 	"repro/internal/member"
 	"repro/internal/meta"
 	"repro/internal/partition"
+	"repro/internal/planopt"
+	"repro/internal/qcache"
 	"repro/internal/worker"
 	"repro/internal/xrd"
 )
@@ -129,6 +131,19 @@ type ClusterConfig struct {
 	// intact before the replication manager starts copying. Zero keeps
 	// the PR-5 behavior: repair begins at the first sweep after death.
 	RepairGrace time.Duration
+	// ChunkPruning enables statistics-based chunk pruning in the czar's
+	// routing tier (internal/planopt): per-chunk min/max column
+	// statistics recorded at ingest eliminate chunks whose value ranges
+	// are disjoint from the query's range predicates. Index dives and
+	// spatial pruning are always on — they derive from the query alone.
+	// DefaultClusterConfig turns it on.
+	ChunkPruning bool
+	// ResultCacheBytes budgets the czar-level result cache
+	// (internal/qcache): repeat queries are answered from cached rows,
+	// invalidated automatically by placement-epoch or ingest-generation
+	// changes, without dispatching a single chunk job. 0 disables the
+	// cache. DefaultClusterConfig sets 64 MiB.
+	ResultCacheBytes int64
 	// WorkerMemoryBudget caps each worker's resident chunk-table
 	// footprint in bytes: above it, cold chunks are evicted back to the
 	// worker's durable store (LRU) and re-materialized on first touch,
@@ -166,6 +181,8 @@ func DefaultClusterConfig(workers int) ClusterConfig {
 		IngestBatchRows:  2048,
 		HealthInterval:   200 * time.Millisecond,
 		SelfHeal:         true,
+		ChunkPruning:     true,
+		ResultCacheBytes: 64 << 20,
 	}
 }
 
@@ -191,6 +208,9 @@ type Cluster struct {
 	Redirector *xrd.Redirector
 	Placement  *meta.Placement
 	Index      *meta.ObjectIndex
+	// Stats holds the per-chunk min/max column statistics ingest
+	// records for the routing tier's cost-based pruning.
+	Stats *meta.ChunkStats
 	// Workers is the current worker set. It is mutated by AddWorker and
 	// RemoveWorker under memberMu; direct iteration is only safe while
 	// no membership change is concurrent (use WorkerNames otherwise).
@@ -250,6 +270,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Redirector: xrd.NewRedirector(),
 		Placement:  meta.NewPlacement(),
 		Index:      meta.NewObjectIndex(),
+		Stats:      meta.NewChunkStats(),
 		endpoints:  map[string]*xrd.LocalEndpoint{},
 		workers:    map[string]*worker.Worker{},
 		ingested:   map[string]bool{},
@@ -304,6 +325,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	ccfg.MergeParallelism = cfg.MergeParallelism
 	ccfg.TopKPushdown = cfg.TopKPushdown
 	cl.Czar = czar.New(ccfg, registry, cl.Index, cl.Placement, cl.Redirector)
+	// The routing tier: index dives and spatial pruning always;
+	// statistics pruning behind the knob. The result cache rides above
+	// it when budgeted.
+	cl.Czar.SetRouter(planopt.New(registry, cl.Index, cl.Stats,
+		planopt.Config{Pruning: cfg.ChunkPruning}))
+	if cfg.ResultCacheBytes > 0 {
+		cl.Czar.SetResultCache(qcache.New(cfg.ResultCacheBytes))
+	}
 
 	// The availability subsystem: a failure detector polling every
 	// worker over /ping, and (with SelfHeal) a replication manager that

@@ -222,7 +222,13 @@ func TestHV1Count(t *testing.T) {
 		t.Fatal(err)
 	}
 	sameAnswer(t, got, want, "HV1")
-	if got.ChunksDispatched != len(cl.Placement.Chunks()) {
+	// The shared cluster caches results: an earlier test may have run
+	// this exact statement, in which case zero dispatch is the point.
+	if got.CacheHit {
+		if got.ChunksDispatched != 0 {
+			t.Errorf("HV1 cache hit dispatched %d chunks", got.ChunksDispatched)
+		}
+	} else if got.ChunksDispatched != len(cl.Placement.Chunks()) {
 		t.Errorf("HV1 dispatched %d of %d chunks", got.ChunksDispatched, len(cl.Placement.Chunks()))
 	}
 }

@@ -56,8 +56,15 @@ type Result struct {
 	ID int64
 	// Class is the scheduling class the planner assigned.
 	Class QueryClass
-	// ChunksDispatched counts chunk queries sent to workers.
+	// ChunksDispatched counts chunk queries sent to workers; 0 when the
+	// answer came from the czar result cache.
 	ChunksDispatched int
+	// ChunksPruned counts placed chunks the routing tier eliminated
+	// before dispatch (index dive, spatial cover, statistics pruning).
+	ChunksPruned int
+	// CacheHit is true when the czar result cache answered the query
+	// without touching a worker.
+	CacheHit bool
 	// ResultBytes counts dump-stream bytes collected from workers.
 	ResultBytes int64
 	// Elapsed is the wall-clock time of the whole query.
@@ -74,6 +81,8 @@ func resultFromCzar(qr *czar.QueryResult) *Result {
 		ID:               qr.ID,
 		Class:            classFromCore(qr.Class),
 		ChunksDispatched: qr.ChunksDispatched,
+		ChunksPruned:     qr.ChunksPruned,
+		CacheHit:         qr.CacheHit,
 		ResultBytes:      qr.ResultBytes,
 		Elapsed:          qr.Elapsed,
 		Retries:          qr.Retries,
