@@ -36,16 +36,21 @@ bench:
 # shedding with fast busy errors), and the point-query fast path
 # (index dives hard-gated to <= replication-factor chunk jobs, dive
 # p99 vs full fan-out, czar result-cache hits, cache invalidation
-# across an ingest, zero wrong answers hard-gated).
+# across an ingest, zero wrong answers hard-gated), and the telemetry
+# spine (tracing overhead gated against the telemetry-off baseline,
+# EXPLAIN ANALYZE span-tree completeness, /metrics exposition across
+# >= 6 subsystems, oracle-checked). Each run appends its machine-
+# readable record to BENCH_smoke.json for CI artifact upload.
 bench-smoke:
-	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5
-	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5
-	$(GO) run ./cmd/qserv-bench -exp ingest -objects 5
-	$(GO) run ./cmd/qserv-bench -exp failover -objects 5
-	$(GO) run ./cmd/qserv-bench -exp restart -objects 5
-	$(GO) run ./cmd/qserv-bench -exp paging -objects 5
-	$(GO) run ./cmd/qserv-bench -exp frontend -objects 5
-	$(GO) run ./cmd/qserv-bench -exp pointquery -objects 5
+	$(GO) run ./cmd/qserv-bench -exp merge-pipeline -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp kill-latency -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp ingest -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp failover -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp restart -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp paging -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp frontend -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp pointquery -objects 5 -json BENCH_smoke.json
+	$(GO) run ./cmd/qserv-bench -exp telemetry -objects 5 -json BENCH_smoke.json
 
 # Native Go fuzzing over the untrusted-bytes decoders: chunkstore
 # segment framing + WAL records, the ingest batch / segment-set codecs,

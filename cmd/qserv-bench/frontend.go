@@ -379,10 +379,18 @@ func runShedPhase(cl *qserv.Cluster, scanSQL string) (verdict string, maxShed ti
 			default:
 			}
 			t0 := time.Now()
-			_, qerr := prober.Query(context.Background(), "SELECT COUNT(*) FROM Object")
+			st, qerr := prober.Query(context.Background(), "SELECT COUNT(*) FROM Object")
 			d := time.Since(t0)
 			if qerr == nil {
-				continue // admitted: the hold wasn't running; re-check done
+				// Admitted: the hold wasn't running (or lost the slot
+				// race). Drain the stream — it holds the connection
+				// until its Done frame — then re-check done.
+				for {
+					if _, ok := st.Next(); !ok {
+						break
+					}
+				}
+				continue
 			}
 			if !frontend.IsBusy(qerr) {
 				return "", 0, 0, fmt.Errorf("over-quota query failed with %v, want busy", qerr)

@@ -16,10 +16,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strings"
@@ -37,6 +42,7 @@ import (
 	"repro/internal/sphgeom"
 	"repro/internal/sqlengine"
 	"repro/internal/sqlparse"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -44,6 +50,7 @@ var (
 	listFlag    = flag.Bool("list", false, "list experiment ids")
 	objectsFlag = flag.Int("objects", 60, "synthetic objects per PT1.1 patch")
 	seedFlag    = flag.Int64("seed", 1, "data generation seed")
+	jsonFlag    = flag.String("json", "", "write machine-readable benchmark records to this JSON path")
 )
 
 type experiment struct {
@@ -51,12 +58,54 @@ type experiment struct {
 	run       func(ctx *benchCtx) error
 }
 
+// benchGate is one hard-gate verdict inside an experiment's JSON record.
+type benchGate struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// benchRecord is one experiment's machine-readable outcome (-json).
+type benchRecord struct {
+	Experiment string             `json:"experiment"`
+	Title      string             `json:"title"`
+	OK         bool               `json:"ok"`
+	Error      string             `json:"error,omitempty"`
+	Seconds    float64            `json:"seconds"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Gates      []benchGate        `json:"gates,omitempty"`
+}
+
 // benchCtx lazily shares the expensive simulated cluster between
-// experiments.
+// experiments, and carries the JSON record of the experiment currently
+// running (nil without -json).
 type benchCtx struct {
 	once sync.Once
 	cl   *simcluster.Cluster
 	err  error
+
+	cur *benchRecord
+}
+
+// metric records one named measurement into the running experiment's
+// JSON record; a no-op without -json.
+func (c *benchCtx) metric(name string, v float64) {
+	if c.cur == nil {
+		return
+	}
+	if c.cur.Metrics == nil {
+		c.cur.Metrics = map[string]float64{}
+	}
+	c.cur.Metrics[name] = v
+}
+
+// gate records one hard-gate verdict into the running experiment's
+// JSON record; a no-op without -json.
+func (c *benchCtx) gate(name string, pass bool, detail string) {
+	if c.cur == nil {
+		return
+	}
+	c.cur.Gates = append(c.cur.Gates, benchGate{Name: name, Pass: pass, Detail: detail})
 }
 
 func (c *benchCtx) cluster() (*simcluster.Cluster, error) {
@@ -89,6 +138,7 @@ func main() {
 		return
 	}
 	ctx := &benchCtx{}
+	var records []benchRecord
 	ran := false
 	for _, e := range exps {
 		if *expFlag != "all" && e.id != *expFlag {
@@ -96,7 +146,23 @@ func main() {
 		}
 		ran = true
 		fmt.Printf("==== %s — %s ====\n", e.id, e.title)
-		if err := e.run(ctx); err != nil {
+		rec := benchRecord{Experiment: e.id, Title: e.title}
+		if *jsonFlag != "" {
+			ctx.cur = &rec
+		}
+		t0 := time.Now()
+		err := e.run(ctx)
+		rec.Seconds = time.Since(t0).Seconds()
+		rec.OK = err == nil
+		ctx.cur = nil
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		records = append(records, rec)
+		if err != nil {
+			// Hard-gate failure: flush the records gathered so far so CI
+			// artifacts still show what ran, then fail the process.
+			writeJSON(records)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 			os.Exit(1)
 		}
@@ -106,6 +172,62 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expFlag)
 		os.Exit(1)
 	}
+	writeJSON(records)
+}
+
+// benchEnvelope is the -json file format: the generation parameters
+// pinned alongside the records so a record is comparable across runs.
+type benchEnvelope struct {
+	Schema    int           `json:"schema"`
+	Generated string        `json:"generated"`
+	Objects   int           `json:"objects"`
+	Seed      int64         `json:"seed"`
+	Records   []benchRecord `json:"records"`
+}
+
+// writeJSON renders the run's records to -json; a no-op without the
+// flag. An existing file with the same schema is merged into — records
+// from earlier invocations survive, same-experiment records are
+// replaced — so `make bench-smoke` can accrete one artifact across
+// its per-experiment runs.
+func writeJSON(records []benchRecord) {
+	if *jsonFlag == "" {
+		return
+	}
+	if prev, err := os.ReadFile(*jsonFlag); err == nil {
+		var old benchEnvelope
+		if json.Unmarshal(prev, &old) == nil && old.Schema == 1 {
+			fresh := make(map[string]bool, len(records))
+			for _, r := range records {
+				fresh[r.Experiment] = true
+			}
+			var kept []benchRecord
+			for _, r := range old.Records {
+				if !fresh[r.Experiment] {
+					kept = append(kept, r)
+				}
+			}
+			records = append(kept, records...)
+		}
+	}
+	out := benchEnvelope{
+		Schema:    1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Objects:   *objectsFlag,
+		Seed:      *seedFlag,
+		Records:   records,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal -json records: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *jsonFlag, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# wrote %d record(s) to %s\n", len(records), *jsonFlag)
 }
 
 func experiments() []experiment {
@@ -136,6 +258,7 @@ func experiments() []experiment {
 		{"restart", "A11: durable chunk store — restart-to-serving vs re-replication", runRestart},
 		{"paging", "A12: larger-than-RAM workers — lazy materialization + eviction under a memory budget", runPaging},
 		{"pointquery", "A14: point-query fast path — index dives, result cache, ingest invalidation", runPointQuery},
+		{"telemetry", "A15: cluster-wide telemetry — tracing overhead, EXPLAIN ANALYZE, /metrics exposition", runTelemetry},
 		{"ablate-index", "A5: objectId index vs full scan for point queries", runAblateIndex},
 		{"ablate-htm", "A7: HTM vs RA/decl box partition area variation", runAblateHTM},
 	}
@@ -1865,6 +1988,225 @@ func runPointQuery(ctx *benchCtx) error {
 		} else {
 			fmt.Printf("  RESULT: ok — dives %.1fx faster at p99, zero wrong answers, repeats cache-served\n", speedup)
 		}
+		return nil
+	}
+}
+
+// runTelemetry measures the observability layer itself on the live
+// cluster. Three hard gates: (a) the telemetry-on point-query p50 is
+// within 5% of telemetry-off (or inside a 500µs absolute timing floor —
+// at this scale a dive is sub-millisecond and a relative gate alone
+// would score scheduler noise), (b) EXPLAIN ANALYZE of a fan-out scan
+// returns a span tree carrying the czar merge and at least one
+// worker-exec span with non-zero durations, and (c) the admin
+// listener's /metrics serves a valid Prometheus exposition with series
+// from at least 6 subsystems. Wrong answers anywhere are hard failures.
+func runTelemetry(ctx *benchCtx) error {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: *seedFlag, ObjectsPerPatch: 60 + *objectsFlag*2, MeanSourcesPerObject: 1},
+		datagen.DuplicateConfig{DeclBands: 3, MaxCopies: 12},
+	)
+	if err != nil {
+		return err
+	}
+	dataRoot, err := os.MkdirTemp("", "qserv-bench-telemetry-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataRoot)
+
+	// Both clusters get a durable store so the measured execution paths
+	// are identical; the store is also what registers the chunkstore
+	// series gate (c) counts.
+	mk := func(disable bool, dir string) (*qserv.Cluster, error) {
+		cfg := qserv.DefaultClusterConfig(4)
+		cfg.Replication = 2
+		cfg.DisableTelemetry = disable
+		cfg.DataDir = filepath.Join(dataRoot, dir)
+		if !disable {
+			cfg.AdminAddr = "127.0.0.1:0"
+		}
+		cl, err := qserv.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.Load(cat); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		return cl, nil
+	}
+	offCl, err := mk(true, "off")
+	if err != nil {
+		return err
+	}
+	defer offCl.Close()
+	onCl, err := mk(false, "on")
+	if err != nil {
+		return err
+	}
+	defer onCl.Close()
+
+	oracle, err := qserv.NewOracle(qserv.DefaultClusterConfig(4))
+	if err != nil {
+		return err
+	}
+	if err := oracle.Load(cat); err != nil {
+		return err
+	}
+
+	const probes = 50
+	idRes, err := oracle.Query(fmt.Sprintf("SELECT objectId FROM Object ORDER BY objectId LIMIT %d", probes))
+	if err != nil {
+		return err
+	}
+	var ids []int64
+	for _, r := range idRes.Rows {
+		ids = append(ids, r[0].(int64))
+	}
+	if len(ids) < probes/2 {
+		return fmt.Errorf("telemetry: only %d probe ids", len(ids))
+	}
+
+	wrong := 0
+	check := func(sql string, got *qserv.Result) error {
+		want, err := oracle.Query(sql)
+		if err != nil {
+			return err
+		}
+		if !sameRendered(renderRows(got.Rows, false), renderRows(want.Rows, false)) {
+			wrong++
+		}
+		return nil
+	}
+
+	// The measured workload: one uncached index dive per probe id.
+	// Warmup exercises planner, fabric lanes, and the merge pipeline on
+	// a statement the probes never reuse, so neither cluster pays
+	// first-touch costs inside the timed loop.
+	measure := func(cl *qserv.Cluster) ([]time.Duration, error) {
+		for i := 0; i < 3; i++ {
+			if _, err := cl.Query("SELECT COUNT(*) AS n FROM Source"); err != nil {
+				return nil, err
+			}
+		}
+		var lat []time.Duration
+		for _, id := range ids {
+			sql := fmt.Sprintf("SELECT objectId, ra_PS, decl_PS FROM Object WHERE objectId = %d", id)
+			t0 := time.Now()
+			res, err := cl.Query(sql)
+			if err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+			if err := check(sql, res); err != nil {
+				return nil, err
+			}
+		}
+		return lat, nil
+	}
+	offLat, err := measure(offCl)
+	if err != nil {
+		return err
+	}
+	onLat, err := measure(onCl)
+	if err != nil {
+		return err
+	}
+	offP50, offP99 := percentile(offLat, 50), percentile(offLat, 99)
+	onP50, onP99 := percentile(onLat, 50), percentile(onLat, 99)
+	delta := onP50 - offP50
+	overheadOK := onP50 <= offP50+offP50/20 || delta <= 500*time.Microsecond
+
+	// Gate (b): EXPLAIN ANALYZE of a fan-out aggregate nothing has
+	// cached yet on the on-cluster, so every chunk dispatches and ships
+	// its worker subtree back.
+	ea, err := onCl.Query("EXPLAIN ANALYZE SELECT COUNT(*) AS n FROM Object")
+	if err != nil {
+		return err
+	}
+	spanRe := regexp.MustCompile(`^\s*(czar merge|worker exec)\s+(\S+)`)
+	var mergeSpan, execSpan bool
+	for _, row := range ea.Rows {
+		line, _ := row[0].(string)
+		m := spanRe.FindStringSubmatch(line)
+		if m == nil || m[2] == "0s" {
+			continue
+		}
+		if m[1] == "czar merge" {
+			mergeSpan = true
+		} else {
+			execSpan = true
+		}
+	}
+	// EXPLAIN ANALYZE ran the statement for real (and cached its rows);
+	// the plain statement must agree with the oracle.
+	plain, err := onCl.Query("SELECT COUNT(*) AS n FROM Object")
+	if err != nil {
+		return err
+	}
+	if err := check("SELECT COUNT(*) AS n FROM Object", plain); err != nil {
+		return err
+	}
+
+	// Gate (c): scrape the admin listener like Prometheus would.
+	resp, err := http.Get("http://" + onCl.AdminAddr() + "/metrics")
+	if err != nil {
+		return fmt.Errorf("telemetry: scrape /metrics: %w", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("telemetry: read /metrics: %w", err)
+	}
+	expoErr := telemetry.ValidateExposition(body)
+	subsystems := 0
+	var present []string
+	for _, p := range []string{"qserv_czar_", "qserv_qcache_", "qserv_worker_", "qserv_scanshare_",
+		"qserv_member_", "qserv_chunkstore_", "qserv_xrd_", "qserv_frontend_"} {
+		if strings.Contains(string(body), "\n"+p) || strings.HasPrefix(string(body), p) {
+			subsystems++
+			present = append(present, strings.TrimSuffix(strings.TrimPrefix(p, "qserv_"), "_"))
+		}
+	}
+
+	fmt.Printf("claim: telemetry rides the hot path within noise, EXPLAIN ANALYZE renders the span tree, /metrics spans the cluster\n")
+	fmt.Printf("workload: %d uncached point dives x {telemetry off, telemetry on}, 4 workers x replication 2\n", len(ids))
+	fmt.Printf("  telemetry off: p50 %10v  p99 %10v\n", offP50, offP99)
+	fmt.Printf("  telemetry on:  p50 %10v  p99 %10v  (p50 delta %v)\n", onP50, onP99, delta)
+	fmt.Printf("  EXPLAIN ANALYZE: %d tree lines; czar merge span timed: %v; worker exec span timed: %v\n",
+		len(ea.Rows), mergeSpan, execSpan)
+	fmt.Printf("  /metrics: %d bytes, exposition valid: %v, %d subsystems: %s\n",
+		len(body), expoErr == nil, subsystems, strings.Join(present, " "))
+
+	ctx.metric("off_p50_us", float64(offP50.Microseconds()))
+	ctx.metric("on_p50_us", float64(onP50.Microseconds()))
+	ctx.metric("p50_delta_us", float64(delta.Microseconds()))
+	ctx.metric("explain_tree_lines", float64(len(ea.Rows)))
+	ctx.metric("metrics_subsystems", float64(subsystems))
+	ctx.gate("overhead_p50", overheadOK, fmt.Sprintf("on %v vs off %v", onP50, offP50))
+	ctx.gate("explain_spans", mergeSpan && execSpan, fmt.Sprintf("merge=%v exec=%v", mergeSpan, execSpan))
+	ctx.gate("metrics_exposition", expoErr == nil && subsystems >= 6, fmt.Sprintf("%d subsystems", subsystems))
+	ctx.gate("oracle", wrong == 0, fmt.Sprintf("%d wrong answers", wrong))
+
+	switch {
+	case wrong > 0:
+		fmt.Printf("  RESULT: FAIL — %d answers differ from the oracle\n", wrong)
+		return fmt.Errorf("telemetry: %d wrong answers", wrong)
+	case !mergeSpan || !execSpan:
+		fmt.Printf("  RESULT: FAIL — EXPLAIN ANALYZE tree lacks a timed span (czar merge: %v, worker exec: %v)\n", mergeSpan, execSpan)
+		return fmt.Errorf("telemetry: incomplete span tree (merge=%v exec=%v)", mergeSpan, execSpan)
+	case expoErr != nil:
+		fmt.Printf("  RESULT: FAIL — /metrics exposition invalid: %v\n", expoErr)
+		return fmt.Errorf("telemetry: invalid exposition: %w", expoErr)
+	case subsystems < 6:
+		fmt.Printf("  RESULT: FAIL — /metrics covers only %d subsystems (want >= 6)\n", subsystems)
+		return fmt.Errorf("telemetry: %d subsystems exported", subsystems)
+	case !overheadOK:
+		fmt.Printf("  RESULT: FAIL — telemetry-on p50 %v vs off %v exceeds 5%% and the 500µs floor\n", onP50, offP50)
+		return fmt.Errorf("telemetry: overhead p50 %v vs %v", onP50, offP50)
+	default:
+		fmt.Printf("  RESULT: ok — overhead within gate, span tree complete, exposition valid across %d subsystems\n", subsystems)
 		return nil
 	}
 }

@@ -10,7 +10,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +21,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/planopt"
 	"repro/internal/qcache"
+	"repro/internal/telemetry"
 	"repro/internal/xrd"
 )
 
@@ -39,15 +39,25 @@ var (
 	copiesFlag   = flag.Int("copies", 30, "max patch copies (0 = unlimited)")
 	cacheFlag    = flag.Int64("cache-bytes", 64<<20, "czar result cache budget in bytes (0 disables)")
 	pruneFlag    = flag.Bool("chunk-pruning", true, "prune chunks by derived spatial predicates")
+	adminFlag    = flag.String("admin-addr", "", "admin HTTP listen address serving /metrics and /debug/pprof/ (empty = disabled)")
+	slowFlag     = flag.Duration("slow-query", 0, "log queries at least this slow with their span summary (0 = disabled)")
 )
+
+// logger emits the daemon's lifecycle events; fatal startup failures go
+// through fatal() so they render in the same structured format.
+var logger = telemetry.NewLogger("qserv-czar")
+
+func fatal(event string, err error) {
+	logger.Error(event, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	flag.Parse()
-	log.SetPrefix("qserv-czar: ")
 
 	names, addrs, err := deploy.ParseWorkerList(*workersFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal("config.workers", err)
 	}
 	peerNames := names
 	if *peersFlag != "" {
@@ -60,11 +70,11 @@ func main() {
 	}
 	cat, err := spec.Build()
 	if err != nil {
-		log.Fatal(err)
+		fatal("catalog.build", err)
 	}
 	layout, err := deploy.ComputeLayout(cat, peerNames)
 	if err != nil {
-		log.Fatal(err)
+		fatal("layout.compute", err)
 	}
 
 	red := xrd.NewRedirector()
@@ -77,7 +87,27 @@ func main() {
 		red.Register(ep, exports...)
 	}
 
+	// The telemetry spine: one registry every subsystem exports into,
+	// per-query tracing retained for SHOW PROFILE, and (with -slow-query)
+	// the slow-query log.
+	reg := telemetry.NewRegistry()
+	xrdVal := func(pick func(xrd.LaneCounters) int64) func() int64 {
+		return func() int64 { return pick(xrd.Counters()) }
+	}
+	reg.CounterFunc("qserv_xrd_dials_total", "fabric endpoint dials attempted",
+		xrdVal(func(c xrd.LaneCounters) int64 { return c.Dials }))
+	reg.CounterFunc("qserv_xrd_dial_failures_total", "fabric endpoint dials that failed",
+		xrdVal(func(c xrd.LaneCounters) int64 { return c.DialFailures }))
+	reg.CounterFunc("qserv_xrd_backoff_suppressed_total", "fabric dials fast-failed by backoff",
+		xrdVal(func(c xrd.LaneCounters) int64 { return c.BackoffSuppressed }))
+
 	cz := czar.New(czar.DefaultConfig("czar-0"), layout.Registry, layout.Index, layout.Placement, red)
+	cz.SetTelemetry(czar.Telemetry{
+		Metrics:            reg,
+		Trace:              true,
+		Ring:               telemetry.NewTraceRing(128),
+		SlowQueryThreshold: *slowFlag,
+	})
 	// The routing tier (index dives, spatial covers) and the epoch/
 	// ingest-invalidated result cache. The deploy layout synthesizes
 	// its catalog worker-side, so there are no per-chunk ingest stats
@@ -122,8 +152,18 @@ func main() {
 	}, xrd.NewClient(red), layout.Placement)
 	mgr.Watch(names...)
 	cz.SetMembership(mgr)
+	mgr.RegisterMetrics(reg)
 	mgr.Start()
 	defer mgr.Close()
+
+	if *adminFlag != "" {
+		admin, err := telemetry.ServeAdmin(*adminFlag, reg)
+		if err != nil {
+			fatal("admin.listen", err)
+		}
+		defer admin.Close()
+		fmt.Printf("admin HTTP on http://%s (/metrics, /debug/pprof/)\n", admin.Addr())
+	}
 
 	// The frontend serves both wire protocols on one listener — legacy
 	// v1 and streaming v2 — with admission control bounding the session
@@ -132,16 +172,20 @@ func main() {
 		MaxSessions:       *maxSessFlag,
 		PerUserSessions:   *userSessFlag,
 		SessionQueueDepth: *queueFlag,
+		Metrics:           reg,
 	}, cz)
 	if err != nil {
-		log.Fatal(err)
+		fatal("frontend.listen", err)
 	}
 	defer srv.Close()
 	fmt.Printf("czar ready: %d workers, %d chunks; SQL frontend on %s (protocols v1+v2)\n",
 		len(addrs), len(layout.Placement.Chunks()), srv.Addr())
 	fmt.Printf("connect with: qserv-sql -addr %s  (or database/sql DSN qserv://user@%s/LSST)\n", srv.Addr(), srv.Addr())
 	fmt.Printf("manage queries with: SHOW PROCESSLIST; KILL <id>;\n")
-	fmt.Printf("watch the cluster with: SHOW WORKERS; SHOW REPAIRS; SHOW FRONTEND;\n")
+	fmt.Printf("watch the cluster with: SHOW WORKERS; SHOW REPAIRS; SHOW FRONTEND; SHOW METRICS; SHOW PROFILE;\n")
+	fmt.Printf("profile a query with: EXPLAIN ANALYZE <stmt>;\n")
+	logger.Info("czar.ready", "workers", len(addrs),
+		"chunks", len(layout.Placement.Chunks()), "listen", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -13,13 +13,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	qserv "repro"
 	"repro/internal/datagen"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -33,13 +33,20 @@ var (
 	specFlag    = flag.Bool("spec", false, "print the catalog's CatalogSpec as JSON and exit")
 )
 
+// logger emits the tool's structured failures.
+var logger = telemetry.NewLogger("qserv-datagen")
+
+func fatal(event string, err error) {
+	logger.Error(event, "err", err)
+	os.Exit(1)
+}
+
 func main() {
 	flag.Parse()
-	log.SetPrefix("qserv-datagen: ")
 	if *specFlag {
 		out, err := json.MarshalIndent(qserv.LSSTSpec(), "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			fatal("spec.marshal", err)
 		}
 		fmt.Println(string(out))
 		return
@@ -49,16 +56,16 @@ func main() {
 		datagen.DuplicateConfig{DeclBands: *bandsFlag, SourceDeclLimit: *clipFlag, MaxCopies: *copiesFlag},
 	)
 	if err != nil {
-		log.Fatal(err)
+		fatal("catalog.generate", err)
 	}
 	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
-		log.Fatal(err)
+		fatal("out.mkdir", err)
 	}
 	if err := writeObjects(filepath.Join(*outFlag, "object.csv"), cat); err != nil {
-		log.Fatal(err)
+		fatal("objects.write", err)
 	}
 	if err := writeSources(filepath.Join(*outFlag, "source.csv"), cat); err != nil {
-		log.Fatal(err)
+		fatal("sources.write", err)
 	}
 	fmt.Printf("wrote %d objects and %d sources to %s\n", len(cat.Objects), len(cat.Sources), *outFlag)
 }

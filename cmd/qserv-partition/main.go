@@ -13,14 +13,22 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"repro/internal/partition"
 	"repro/internal/sphgeom"
+	"repro/internal/telemetry"
 )
+
+// logger emits the tool's structured failures.
+var logger = telemetry.NewLogger("qserv-partition")
+
+func fatal(event string, err error) {
+	logger.Error(event, "err", err)
+	os.Exit(1)
+}
 
 var (
 	inFlag      = flag.String("in", "", "input CSV (with header)")
@@ -34,9 +42,8 @@ var (
 
 func main() {
 	flag.Parse()
-	log.SetPrefix("qserv-partition: ")
 	if *inFlag == "" {
-		log.Fatal("-in is required")
+		fatal("config.in", fmt.Errorf("-in is required"))
 	}
 	chunker, err := partition.NewChunker(partition.Config{
 		NumStripes:             *stripesFlag,
@@ -44,21 +51,21 @@ func main() {
 		Overlap:                *overlapFlag,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("chunker.new", err)
 	}
 	in, err := os.Open(*inFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal("in.open", err)
 	}
 	defer in.Close()
 	if err := os.MkdirAll(*outFlag, 0o755); err != nil {
-		log.Fatal(err)
+		fatal("out.mkdir", err)
 	}
 
 	r := csv.NewReader(in)
 	header, err := r.Read()
 	if err != nil {
-		log.Fatalf("read header: %v", err)
+		fatal("header.read", err)
 	}
 	raCol, declCol := -1, -1
 	for i, h := range header {
@@ -70,7 +77,7 @@ func main() {
 		}
 	}
 	if raCol < 0 || declCol < 0 {
-		log.Fatalf("columns %q/%q not in header %v", *raFlag, *declFlag, header)
+		fatal("header.columns", fmt.Errorf("columns %q/%q not in header %v", *raFlag, *declFlag, header))
 	}
 
 	writers := map[string]*csv.Writer{}
@@ -100,15 +107,15 @@ func main() {
 			break
 		}
 		if err != nil {
-			log.Fatal(err)
+			fatal("row.read", err)
 		}
 		ra, err := strconv.ParseFloat(rec[raCol], 64)
 		if err != nil {
-			log.Fatalf("bad RA %q: %v", rec[raCol], err)
+			fatal("row.ra", fmt.Errorf("bad RA %q: %w", rec[raCol], err))
 		}
 		decl, err := strconv.ParseFloat(rec[declCol], 64)
 		if err != nil {
-			log.Fatalf("bad decl %q: %v", rec[declCol], err)
+			fatal("row.decl", fmt.Errorf("bad decl %q: %w", rec[declCol], err))
 		}
 		p := sphgeom.NewPoint(ra, decl)
 		chunk, sub := chunker.Locate(p)
@@ -116,10 +123,10 @@ func main() {
 			strconv.Itoa(int(chunk)), strconv.Itoa(int(sub)))
 		w, err := get(fmt.Sprintf("chunk_%d.csv", chunk))
 		if err != nil {
-			log.Fatal(err)
+			fatal("chunk.create", err)
 		}
 		if err := w.Write(out); err != nil {
-			log.Fatal(err)
+			fatal("chunk.write", err)
 		}
 		rows++
 		// Overlap membership for neighboring chunks.
@@ -135,10 +142,10 @@ func main() {
 			}
 			w, err := get(fmt.Sprintf("overlap_%d.csv", c))
 			if err != nil {
-				log.Fatal(err)
+				fatal("overlap.create", err)
 			}
 			if err := w.Write(out); err != nil {
-				log.Fatal(err)
+				fatal("overlap.write", err)
 			}
 			overlaps++
 		}
@@ -146,7 +153,7 @@ func main() {
 	for _, w := range writers {
 		w.Flush()
 		if err := w.Error(); err != nil {
-			log.Fatal(err)
+			fatal("out.flush", err)
 		}
 	}
 	for _, f := range files {

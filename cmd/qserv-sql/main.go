@@ -29,7 +29,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +37,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/proxy"
 	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
 )
 
 var (
@@ -48,22 +48,26 @@ var (
 	v1Flag    = flag.Bool("v1", false, "use the legacy buffered v1 protocol")
 )
 
+// logger emits the client's structured failures (dial errors).
+var logger = telemetry.NewLogger("qserv-sql")
+
 func main() {
 	flag.Parse()
-	log.SetPrefix("qserv-sql: ")
 
 	var run func(sql string)
 	if *v1Flag {
 		client, err := proxy.Dial(*addrFlag)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("dial", "addr", *addrFlag, "err", err)
+			os.Exit(1)
 		}
 		defer client.Close()
 		run = func(sql string) { runV1(client, sql) }
 	} else {
 		client, err := frontend.Dial(*addrFlag, *userFlag, *dbFlag)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("dial", "addr", *addrFlag, "err", err)
+			os.Exit(1)
 		}
 		defer client.Close()
 		run = func(sql string) { runV2(client, sql) }
@@ -77,7 +81,9 @@ func main() {
 	fmt.Println("qserv-sql — type SQL statements terminated by ';', or 'quit'")
 	fmt.Println("           (SHOW PROCESSLIST; lists running queries, KILL <id>; cancels one,")
 	fmt.Println("            SHOW WORKERS; worker health, SHOW REPAIRS; repair progress,")
-	fmt.Println("            SHOW FRONTEND; admission-control pressure, SHOW CACHE; result cache)")
+	fmt.Println("            SHOW FRONTEND; admission-control pressure, SHOW CACHE; result cache,")
+	fmt.Println("            SHOW METRICS; Prometheus exposition, SHOW PROFILE [<id>]; retained traces,")
+	fmt.Println("            EXPLAIN ANALYZE <stmt>; runs the statement and prints its span tree)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -148,11 +154,36 @@ func runV2(client *frontend.Client, sql string) {
 		return
 	}
 	if rows == 0 {
-		fmt.Printf("0 row(s) in %v\n", total.Round(time.Millisecond))
+		fmt.Printf("0 row(s) in %v%s\n", total.Round(time.Millisecond), statsFooter(st.Stats()))
 		return
 	}
-	fmt.Printf("%d row(s); first row in %v, total %v\n",
-		rows, firstRow.Round(time.Millisecond), total.Round(time.Millisecond))
+	fmt.Printf("%d row(s); first row in %v, total %v%s\n",
+		rows, firstRow.Round(time.Millisecond), total.Round(time.Millisecond), statsFooter(st.Stats()))
+}
+
+// statsFooter renders the per-statement accounting the Done frame
+// carries (empty against servers that predate the trailer stats, and
+// for admin commands, which never touch a worker).
+func statsFooter(st frontend.DoneStats) string {
+	if st.ElapsedNS == 0 && st.Chunks == 0 && st.BytesMerged == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (czar %v, %d chunk(s), %s merged)",
+		time.Duration(st.ElapsedNS).Round(time.Microsecond), st.Chunks, formatBytes(st.BytesMerged))
+}
+
+// formatBytes renders a byte count with a binary-unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // runV1 is the legacy buffered path: the full result must arrive

@@ -12,12 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
 
 	"repro/internal/deploy"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 	"repro/internal/xrd"
 )
@@ -37,11 +37,20 @@ var (
 	pieceRowsFlag   = flag.Int("scan-piece-rows", 4096, "rows per shared-scan piece")
 	dataDirFlag     = flag.String("data-dir", "", "durable chunk store directory (empty = in-memory only); a restart recovers chunk tables from it instead of re-synthesizing")
 	memBudgetFlag   = flag.Int64("mem-budget", 0, "resident chunk-table byte budget; above it cold chunks are evicted to the data dir and re-materialized on first touch (0 = unbudgeted, requires -data-dir)")
+	adminFlag       = flag.String("admin-addr", "", "admin HTTP listen address serving /metrics and /debug/pprof/ (empty = disabled)")
 )
+
+// logger emits the daemon's lifecycle events; fatal startup failures go
+// through fatal() so they render in the same structured format.
+var logger = telemetry.NewLogger("qserv-worker")
+
+func fatal(event string, err error) {
+	logger.Error(event, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	flag.Parse()
-	log.SetPrefix("qserv-worker: ")
 
 	spec := deploy.CatalogSpec{
 		Seed: *seedFlag, Objects: *objectsFlag, Sources: *sourcesFlag,
@@ -49,14 +58,15 @@ func main() {
 	}
 	cat, err := spec.Build()
 	if err != nil {
-		log.Fatal(err)
+		fatal("catalog.build", err)
 	}
 	names := strings.Split(*peersFlag, ",")
 	layout, err := deploy.ComputeLayout(cat, names)
 	if err != nil {
-		log.Fatal(err)
+		fatal("layout.compute", err)
 	}
 
+	reg := telemetry.NewRegistry()
 	wcfg := worker.DefaultConfig(*nameFlag)
 	wcfg.Slots = *slotsFlag
 	wcfg.InteractiveSlots = *interactiveFlag
@@ -64,22 +74,24 @@ func main() {
 	wcfg.ScanPieceRows = *pieceRowsFlag
 	wcfg.DataDir = *dataDirFlag
 	wcfg.MemoryBudgetBytes = *memBudgetFlag
+	wcfg.Metrics = reg
+	wcfg.Trace = true
 	if *memBudgetFlag > 0 && *dataDirFlag == "" {
-		log.Fatal("-mem-budget needs -data-dir: a budget pages against the durable store")
+		fatal("config.mem_budget", fmt.Errorf("-mem-budget needs -data-dir: a budget pages against the durable store"))
 	}
 	w, err := worker.New(wcfg, layout.Registry)
 	if err != nil {
-		log.Fatal(err)
+		fatal("worker.new", err)
 	}
 	defer w.Close()
 
 	objInfo, err := layout.Registry.Table("Object")
 	if err != nil {
-		log.Fatal(err)
+		fatal("catalog.table", err)
 	}
 	srcInfo, err := layout.Registry.Table("Source")
 	if err != nil {
-		log.Fatal(err)
+		fatal("catalog.table", err)
 	}
 	// Chunks recovered from the durable store skip the synthesize-and-load
 	// pass: that is the restart speedup the store exists for.
@@ -89,7 +101,7 @@ func main() {
 	}
 	mine := layout.Placement.ChunksOn(*nameFlag)
 	if len(mine) == 0 {
-		log.Fatalf("no chunks assigned to %q; is -name in -peers?", *nameFlag)
+		fatal("config.name", fmt.Errorf("no chunks assigned to %q; is -name in -peers?", *nameFlag))
 	}
 	loaded := 0
 	for _, c := range mine {
@@ -97,10 +109,10 @@ func main() {
 			continue
 		}
 		if err := w.LoadChunk(objInfo, c, layout.ObjRows[c], layout.ObjOverlap[c]); err != nil {
-			log.Fatal(err)
+			fatal("chunk.load", err)
 		}
 		if err := w.LoadChunk(srcInfo, c, layout.SrcRows[c], layout.SrcOverlap[c]); err != nil {
-			log.Fatal(err)
+			fatal("chunk.load", err)
 		}
 		loaded++
 	}
@@ -108,12 +120,22 @@ func main() {
 		fmt.Printf("worker %s recovered %d chunks from %s\n", *nameFlag, n, *dataDirFlag)
 	}
 
+	if *adminFlag != "" {
+		admin, err := telemetry.ServeAdmin(*adminFlag, reg)
+		if err != nil {
+			fatal("admin.listen", err)
+		}
+		defer admin.Close()
+		fmt.Printf("admin HTTP on http://%s (/metrics, /debug/pprof/)\n", admin.Addr())
+	}
+
 	srv, err := xrd.Serve(*addrFlag, w)
 	if err != nil {
-		log.Fatal(err)
+		fatal("xrd.listen", err)
 	}
 	defer srv.Close()
 	fmt.Printf("worker %s serving %d chunks on %s\n", *nameFlag, len(mine), srv.Addr())
+	logger.Info("worker.ready", "name", *nameFlag, "chunks", len(mine), "addr", srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -96,6 +96,12 @@ func (b *engineBackend) ClusterStatus() (member.Status, bool) { return member.St
 
 func (b *engineBackend) CacheStats() (qcache.Stats, bool) { return qcache.Stats{}, false }
 
+func (b *engineBackend) MetricsText() (string, bool) { return "", false }
+
+func (b *engineBackend) Profile(id int64) (string, bool) { return "", false }
+
+func (b *engineBackend) Profiles(n int) []string { return nil }
+
 func openDB(t *testing.T, cfg frontend.Config, b frontend.Backend) *sql.DB {
 	t.Helper()
 	srv, err := frontend.Serve("127.0.0.1:0", cfg, b)

@@ -37,7 +37,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
+
+// logger emits the store's structured events (quarantines, replay);
+// quiet by default, QSERV_LOG=info|debug raises verbosity.
+var logger = telemetry.NewLogger("chunkstore")
 
 // Unit identifies one storage unit: a partitioned table's chunk or a
 // replicated table's full row set.
@@ -127,6 +134,31 @@ type Store struct {
 	seq    map[string]uint64 // unit name -> highest segment seq on disk
 	units  map[string]Unit   // units present
 	closed bool
+
+	counters Counters // commit-protocol accounting (atomic fields)
+}
+
+// Counters is a store's durability accounting: the telemetry layer
+// exports these per worker, and operators watching fsync rates see
+// exactly what the commit protocol is paying. Fields are read with
+// atomic loads via (*Store).Counters; within Store they are updated
+// under the atomic package directly so the WAL hot path stays
+// lock-free beyond s.mu it already holds.
+type Counters struct {
+	WALAppends  int64 // records appended to the write-ahead log
+	WALFsyncs   int64 // fsyncs issued by the commit protocol
+	SegWrites   int64 // segment files written (appends + replaces)
+	Quarantines int64 // units renamed aside for failing verification
+}
+
+// Counters snapshots the store's durability counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		WALAppends:  atomic.LoadInt64(&s.counters.WALAppends),
+		WALFsyncs:   atomic.LoadInt64(&s.counters.WALFsyncs),
+		SegWrites:   atomic.LoadInt64(&s.counters.SegWrites),
+		Quarantines: atomic.LoadInt64(&s.counters.Quarantines),
+	}
 }
 
 const (
@@ -416,9 +448,12 @@ func (s *Store) logAndApply(r walRecord) error {
 	if _, err := s.wal.Write(rec); err != nil {
 		return fmt.Errorf("chunkstore: wal append: %w", err)
 	}
+	atomic.AddInt64(&s.counters.WALAppends, 1)
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("chunkstore: wal sync: %w", err)
 	}
+	atomic.AddInt64(&s.counters.WALFsyncs, 1)
+	atomic.AddInt64(&s.counters.SegWrites, int64(len(r.segs)))
 	if err := s.applyRecord(r); err != nil {
 		return err
 	}
@@ -484,6 +519,9 @@ func (s *Store) replayWAL(rec *Recovery) error {
 		}
 		rec.WALReplayed++
 	}
+	if rec.WALReplayed > 0 {
+		logger.Info("wal.replayed", "dir", s.dir, "records", rec.WALReplayed)
+	}
 	return nil
 }
 
@@ -508,6 +546,8 @@ func (s *Store) scan(rec *Recovery) error {
 			if err := quarantineDir(dir); err != nil {
 				return err
 			}
+			atomic.AddInt64(&s.counters.Quarantines, 1)
+			logger.Warn("unit.quarantined", "dir", e.Name(), "reason", perr)
 			continue
 		}
 		maxSeq, segs, verr := readUnitDir(dir)
@@ -515,6 +555,8 @@ func (s *Store) scan(rec *Recovery) error {
 			if err := quarantineDir(dir); err != nil {
 				return err
 			}
+			atomic.AddInt64(&s.counters.Quarantines, 1)
+			logger.Warn("unit.quarantined", "unit", u.String(), "reason", verr)
 			rec.Quarantined = append(rec.Quarantined, u)
 			continue
 		}

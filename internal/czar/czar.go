@@ -34,6 +34,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/qcache"
 	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
 	"repro/internal/xrd"
 )
 
@@ -92,6 +93,13 @@ type Czar struct {
 	// cache, when installed, answers repeat queries without dispatching
 	// a single chunk job (see internal/qcache). nil disables caching.
 	cache *qcache.Cache
+
+	// tel configures observability (SetTelemetry): metrics registry,
+	// per-query tracing + retention ring, slow-query log. metrics holds
+	// the czar's owned series; all handles are nil-safe, so a czar
+	// without telemetry pays one branch per instrumentation point.
+	tel     Telemetry
+	metrics czarMetrics
 
 	seq atomic.Int64
 
@@ -194,12 +202,24 @@ type QueryResult struct {
 	// CacheHit is true when the answer came from the czar result cache
 	// and no worker was touched.
 	CacheHit bool
-	// ResultBytes counts dump-stream bytes collected from workers.
+	// ResultBytes counts bytes collected from workers over the fabric
+	// (trace trailers included — it is the wire transfer truth).
 	ResultBytes int64
+	// BytesMerged counts dump-stream bytes folded into the merge
+	// pipeline (trace trailers stripped); 0 for a cache hit.
+	BytesMerged int64
 	// Elapsed is the wall-clock time of the whole query.
 	Elapsed time.Duration
 	// Retries counts replica failovers that occurred.
 	Retries int
+	// Trace is the query's stitched span tree when tracing was on (the
+	// czar's Telemetry.Trace, or an EXPLAIN ANALYZE run); nil otherwise.
+	Trace *telemetry.Span
+	// Explain is true when the query ran as EXPLAIN ANALYZE: Rows hold
+	// the rendered trace, and Underlying preserves the statement's real
+	// result (the oracle-equivalence seam).
+	Explain    bool
+	Underlying *sqlengine.Result
 }
 
 // Query runs one user SQL statement to completion: the synchronous
@@ -247,10 +267,14 @@ func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, e
 		stripes = mergeStripes(opts.MergeParallelism)
 	}
 	session := newMergeSession(plan, stripes)
-	streamable := plan.Streamable()
+	// An EXPLAIN ANALYZE run suppresses row streaming: its visible rows
+	// are the rendered trace, built after the real rows merged.
+	streamable := plan.Streamable() && !q.explain
+	c.metrics.chunks.Add(int64(len(plan.Chunks)))
 	type chunkOutcome struct {
 		chunk   partition.ChunkID
-		bytes   int64
+		bytes   int64 // dump-stream bytes folded (trailer stripped)
+		raw     int64 // wire bytes read from the worker
 		retries int
 		err     error
 	}
@@ -258,6 +282,12 @@ func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, e
 	sem := make(chan struct{}, c.cfg.MaxParallelDispatch)
 	for _, chunk := range plan.Chunks {
 		go func(chunk partition.ChunkID) {
+			// The chunk span covers the whole per-chunk pipeline: the
+			// dispatch-window wait, the fabric transactions (with the
+			// worker's shipped subtree grafted beneath), and the merge
+			// fold. A nil root makes every span call a no-op.
+			cs := q.root.Child(fmt.Sprintf("chunk %d", chunk))
+			defer cs.Finish()
 			// A canceled query's queued dispatches never start: they
 			// drain immediately instead of burning the dispatch window.
 			select {
@@ -268,20 +298,23 @@ func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, e
 			}
 			defer func() { <-sem }()
 			q.dispatched.Add(1)
-			data, retries, err := c.runChunk(ctx, q, plan, chunk)
+			data, raw, retries, err := c.runChunk(ctx, q, plan, chunk, cs)
 			if err == nil {
 				mergeSem <- struct{}{}
+				ms := cs.Child("merge fold")
 				var rows []sqlengine.Row
 				rows, err = session.absorb(data)
+				ms.Finish()
 				<-mergeSem
 				if err == nil {
+					ms.SetAttr("rows", len(rows))
 					q.rowsMerged.Add(int64(len(rows)))
 					if streamable {
 						q.stream.push(rows)
 					}
 				}
 			}
-			results <- chunkOutcome{chunk: chunk, bytes: int64(len(data)), retries: retries, err: err}
+			results <- chunkOutcome{chunk: chunk, bytes: int64(len(data)), raw: int64(raw), retries: retries, err: err}
 		}(chunk)
 	}
 	// Drain every outcome even after a failure — the error path cancels
@@ -298,21 +331,28 @@ func (c *Czar) execute(q *Query, plan *core.Plan, opts Options) (*QueryResult, e
 			continue
 		}
 		qr.Retries += co.retries
-		qr.ResultBytes += co.bytes
+		qr.ResultBytes += co.raw
+		qr.BytesMerged += co.bytes
 		q.completed.Add(1)
-		q.bytesRead.Add(co.bytes)
+		q.bytesRead.Add(co.raw)
 	}
+	c.metrics.retries.Add(int64(qr.Retries))
 	if firstErr != nil {
 		return nil, firstErr
 	}
 
 	// Install the session result table (typed from the plan when no
 	// chunk was dispatched) and run the merge statement over it.
+	mg := q.root.Child("czar merge")
+	mergeStart := time.Now()
 	resDB.Put(session.finish(resultTable))
 	final, err := c.engine.Query(plan.MergeSQL(qualified))
+	c.metrics.mergeNS.Observe(time.Since(mergeStart).Nanoseconds())
+	mg.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("czar %s: merge: %w", c.cfg.Name, err)
 	}
+	mg.SetAttr("rows", len(final.Rows))
 	qr.Result = final
 	return qr, nil
 }
@@ -330,6 +370,7 @@ func (c *Czar) cacheLookup(plan *core.Plan) *QueryResult {
 	if !ok {
 		return nil
 	}
+	c.metrics.cacheHits.Inc()
 	return &QueryResult{
 		Result: &sqlengine.Result{Cols: res.Cols, Types: res.Types, Rows: res.Rows},
 		Class:  plan.Class, CacheHit: true, ChunksPruned: plan.Route.Pruned,
@@ -351,8 +392,10 @@ func (c *Czar) executeWithCache(q *Query, plan *core.Plan, opts Options) (*Query
 	qr, err := c.execute(q, plan, opts)
 	if err == nil && q.ctx.Err() == nil {
 		if e, g := c.cacheStamp(plan); e == epoch && g == gens {
+			st := q.root.Child("cache store")
 			c.cache.Put(plan.CacheKey(), epoch, gens,
 				qcache.Result{Cols: qr.Cols, Types: qr.Types, Rows: qr.Rows})
+			st.Finish()
 		}
 	}
 	return qr, err
@@ -417,7 +460,12 @@ const cancelTxTimeout = 2 * time.Second
 // dequeued or aborted and the scan slot reclaimed. Both dispatch and
 // cancel carry the query's out-of-band identity (xrd.WithQID) so a
 // cancel can only detach the interest this query registered.
-func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk partition.ChunkID) ([]byte, int, error) {
+// Worker-shipped trace trailers are stripped from the result bytes
+// here — unconditionally, because a worker with tracing on must not
+// leak trailer bytes into the merge regardless of this czar's own
+// telemetry state — and grafted under cs when this query is traced.
+// Returns the stripped data plus the raw wire byte count.
+func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk partition.ChunkID, cs *telemetry.Span) ([]byte, int, int, error) {
 	payload := plan.QueryFor(chunk).Payload()
 	qid := c.qidOf(q)
 	queryPath := xrd.QueryPath(int(chunk))
@@ -445,10 +493,13 @@ func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk pa
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxRetriesPerChunk; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return nil, attempt, context.Cause(ctx)
+			return nil, 0, attempt, context.Cause(ctx)
 		}
+		tx := cs.Child("fabric txn")
 		endpoint, err := c.client.WriteAvoiding(ctx, writePath, payload, avoid)
 		if err != nil {
+			tx.SetAttr("err", err)
+			tx.Finish()
 			if len(skippedDead) > 0 && errors.Is(err, xrd.ErrNoServer) && ctx.Err() == nil {
 				for _, name := range skippedDead {
 					delete(avoid, name)
@@ -475,14 +526,21 @@ func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk pa
 				cctx, done := context.WithTimeout(context.Background(), cancelTxTimeout)
 				c.client.WriteEverywhere(cctx, queryPath, cancelPath, nil)
 				done()
-				return nil, attempt, context.Cause(ctx)
+				return nil, 0, attempt, context.Cause(ctx)
 			}
-			return nil, attempt, err
+			return nil, 0, attempt, err
 		}
+		tx.SetAttr("worker", endpoint)
 		data, err := c.client.ReadFrom(ctx, endpoint, resultPath)
 		if err == nil {
-			return data, attempt, nil
+			tx.Finish()
+			raw := len(data)
+			data, shipped := telemetry.ExtractTrailer(data)
+			cs.Graft(shipped...)
+			return data, raw, attempt, nil
 		}
+		tx.SetAttr("err", err)
+		tx.Finish()
 		if ctx.Err() != nil {
 			// The query was killed while the worker held (or ran) the
 			// chunk query; tell it to stop. The kill rides a fresh,
@@ -491,12 +549,12 @@ func (c *Czar) runChunk(ctx context.Context, q *Query, plan *core.Plan, chunk pa
 			cctx, done := context.WithTimeout(context.Background(), cancelTxTimeout)
 			_ = c.client.WriteTo(cctx, endpoint, cancelPath, nil)
 			done()
-			return nil, attempt, context.Cause(ctx)
+			return nil, 0, attempt, context.Cause(ctx)
 		}
 		lastErr = err
 		avoid[endpoint] = true
 	}
-	return nil, c.cfg.MaxRetriesPerChunk, fmt.Errorf(
+	return nil, 0, c.cfg.MaxRetriesPerChunk, fmt.Errorf(
 		"czar %s: chunk %d failed after %d attempts: %w",
 		c.cfg.Name, chunk, c.cfg.MaxRetriesPerChunk, lastErr)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sqlengine"
 	"repro/internal/sqlparse"
+	"repro/internal/telemetry"
 )
 
 // This file is the czar's query-management layer (paper section 5: the
@@ -102,6 +103,12 @@ type Query struct {
 	colsReady chan struct{}
 
 	stream *rowStream
+
+	// root is the query's trace span tree (nil when untraced); explain
+	// marks an EXPLAIN ANALYZE run (tracing forced, row streaming
+	// suppressed, visible rows are the rendered tree).
+	root    *telemetry.Span
+	explain bool
 
 	done chan struct{}
 	res  *QueryResult
@@ -290,9 +297,22 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	sel, err := sqlparse.ParseSelect(sql)
+	// EXPLAIN ANALYZE <stmt> runs the statement for real — tracing
+	// forced on even when czar-wide telemetry is off — and answers with
+	// the rendered span tree instead of the rows.
+	stmt, explain := stripExplainAnalyze(sql)
+	sel, err := sqlparse.ParseSelect(stmt)
 	if err != nil {
 		return nil, err
+	}
+
+	// The trace root opens before planning so the plan stage is itself
+	// a span. A nil root (telemetry off, not an EXPLAIN) makes every
+	// span call below a no-op.
+	var root *telemetry.Span
+	if c.tel.Trace || explain {
+		root = telemetry.StartSpan("query")
+		root.SetAttr("stmt", stmt)
 	}
 
 	// Plan synchronously so the registry always knows the class and
@@ -304,6 +324,7 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 		planner = &pl
 	}
 	local := false
+	ps := root.Child("plan")
 	plan, err := planner.Plan(sel, c.placement.Chunks())
 	switch {
 	case errors.Is(err, core.ErrNoPartitionedTable):
@@ -330,6 +351,16 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 			plan.Class = *opts.Class
 		}
 	}
+	if local {
+		ps.SetAttr("route", "local")
+	} else {
+		ps.SetAttr("class", plan.Class)
+		ps.SetAttr("chunks", len(plan.Chunks))
+		if plan.Route.Pruned > 0 {
+			ps.SetAttr("pruned", plan.Route.Pruned)
+		}
+	}
+	ps.Finish()
 
 	qctx := ctx
 	var stopTimer context.CancelFunc
@@ -346,18 +377,31 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 		stream:    newRowStream(),
 		done:      make(chan struct{}),
 		colsReady: make(chan struct{}),
+		root:      root,
+		explain:   explain,
 	}
 	var cached *QueryResult
 	if !local {
 		// The result cache is consulted at submit time: a hit completes
 		// the session without planning any chunk work, so its progress
 		// honestly reports zero chunks rather than a fan-out it skipped.
-		cached = c.cacheLookup(plan)
+		if c.cache != nil {
+			cl := root.Child("cache lookup")
+			cached = c.cacheLookup(plan)
+			cl.SetAttr("hit", cached != nil)
+			cl.Finish()
+		}
 		q.class = plan.Class
 		if cached == nil {
 			q.chunksTotal = len(plan.Chunks)
 		}
-		q.setColumns(plan.ResultColumns)
+		if explain {
+			// The visible columns of an EXPLAIN ANALYZE are the rendered
+			// trace, not the statement's.
+			q.setColumns(explainColumns)
+		} else {
+			q.setColumns(plan.ResultColumns)
+		}
 	}
 
 	c.qmu.Lock()
@@ -390,7 +434,9 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 		var err error
 		switch {
 		case local:
+			ls := q.root.Child("local exec")
 			res, err = c.runLocal(q, sel)
+			ls.Finish()
 		case cached != nil:
 			res = cached
 		default:
@@ -410,6 +456,32 @@ func (c *Czar) Submit(ctx context.Context, sql string, opts Options) (*Query, er
 		} else {
 			res.ID = q.id
 			res.Elapsed = time.Since(q.started)
+		}
+		c.metrics.queries.Inc()
+		if err != nil {
+			c.metrics.errors.Inc()
+		}
+		c.metrics.latencyNS.Observe(time.Since(q.started).Nanoseconds())
+		if q.root != nil {
+			if res != nil {
+				res.Trace = q.root
+			}
+			// Settle the trace (ring retention, slow-query log) before an
+			// EXPLAIN ANALYZE swaps the rendered tree in as the rows, so
+			// both render the fully annotated root.
+			c.traceFinish(q, res, err)
+			if err == nil && q.explain {
+				res = explainResult(q, res)
+			}
+		} else if t := c.tel.SlowQueryThreshold; t > 0 && time.Since(q.started) >= t {
+			// Untraced slow queries still log — with the accounting, just
+			// no span summary.
+			kv := []any{"id", q.id, "elapsed", time.Since(q.started).Round(time.Microsecond),
+				"threshold", t, "sql", q.sql}
+			if err != nil {
+				kv = append(kv, "err", err)
+			}
+			logger.Warn("query.slow", kv...)
 		}
 		q.finish(res, err)
 	}()

@@ -1,0 +1,231 @@
+package czar
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
+)
+
+// logger emits the czar's structured events (slow queries).
+var logger = telemetry.NewLogger("czar")
+
+// Telemetry configures the czar's observability: the metrics registry
+// it exports into, per-query span tracing with a bounded retention
+// ring (SHOW PROFILE), and the slow-query log. The zero value disables
+// everything — every handle below is nil-safe.
+type Telemetry struct {
+	// Metrics is the registry czar series are registered into.
+	Metrics *telemetry.Registry
+	// Trace builds a span tree for every query and retains it in Ring.
+	// EXPLAIN ANALYZE forces tracing for its own query regardless.
+	Trace bool
+	// Ring retains finished query traces for SHOW PROFILE; nil keeps
+	// traces only for the duration of their query.
+	Ring *telemetry.TraceRing
+	// SlowQueryThreshold emits one structured warn line (with the span
+	// summary) for every query at least this slow; 0 disables.
+	SlowQueryThreshold time.Duration
+}
+
+// czarMetrics are the czar's owned hot-path series.
+type czarMetrics struct {
+	queries   *telemetry.Counter
+	errors    *telemetry.Counter
+	cacheHits *telemetry.Counter
+	latencyNS *telemetry.Histogram
+	mergeNS   *telemetry.Histogram
+	chunks    *telemetry.Counter
+	retries   *telemetry.Counter
+}
+
+// SetTelemetry installs the czar's observability configuration. Call
+// at assembly time, before the czar serves queries.
+func (c *Czar) SetTelemetry(t Telemetry) {
+	c.tel = t
+	reg := t.Metrics
+	if reg == nil {
+		return
+	}
+	c.metrics = czarMetrics{
+		queries:   reg.Counter("qserv_czar_queries_total", "user queries submitted"),
+		errors:    reg.Counter("qserv_czar_query_errors_total", "user queries that failed or were killed"),
+		cacheHits: reg.Counter("qserv_czar_cache_hit_queries_total", "queries answered from the result cache"),
+		latencyNS: reg.Histogram("qserv_czar_query_latency_ns", "end-to-end user query latency"),
+		mergeNS:   reg.Histogram("qserv_czar_merge_ns", "final czar-merge statement time"),
+		chunks:    reg.Counter("qserv_czar_chunks_dispatched_total", "chunk queries dispatched"),
+		retries:   reg.Counter("qserv_czar_retries_total", "chunk replica failovers"),
+	}
+	reg.GaugeFunc("qserv_czar_inflight_queries", "registered in-flight user queries", func() int64 {
+		c.qmu.Lock()
+		defer c.qmu.Unlock()
+		return int64(len(c.queries))
+	})
+	// The result cache exports through sampling funcs over its own
+	// counters; the nil guard re-checks per scrape because the cache is
+	// installed by a separate assembly call.
+	cacheVal := func(pick func(st cacheStatsView) int64) func() int64 {
+		return func() int64 {
+			if c.cache == nil {
+				return 0
+			}
+			st := c.cache.Stats()
+			return pick(cacheStatsView{Hits: st.Hits, Misses: st.Misses,
+				Evictions: st.Evictions, Invalidations: st.Invalidations,
+				Entries: int64(st.Entries), Bytes: st.Bytes})
+		}
+	}
+	reg.CounterFunc("qserv_qcache_hits_total", "result cache hits", cacheVal(func(s cacheStatsView) int64 { return s.Hits }))
+	reg.CounterFunc("qserv_qcache_misses_total", "result cache misses", cacheVal(func(s cacheStatsView) int64 { return s.Misses }))
+	reg.CounterFunc("qserv_qcache_evictions_total", "result cache evictions", cacheVal(func(s cacheStatsView) int64 { return s.Evictions }))
+	reg.CounterFunc("qserv_qcache_invalidations_total", "result cache invalidations", cacheVal(func(s cacheStatsView) int64 { return s.Invalidations }))
+	reg.GaugeFunc("qserv_qcache_entries", "result cache entries", cacheVal(func(s cacheStatsView) int64 { return s.Entries }))
+	reg.GaugeFunc("qserv_qcache_bytes", "result cache resident bytes", cacheVal(func(s cacheStatsView) int64 { return s.Bytes }))
+}
+
+// cacheStatsView decouples the sampling funcs from qcache.Stats field
+// types.
+type cacheStatsView struct {
+	Hits, Misses, Evictions, Invalidations, Entries, Bytes int64
+}
+
+// MetricsText renders the installed registry in Prometheus text
+// exposition format; ok is false when the czar has no registry (the
+// frontend's SHOW METRICS reports "telemetry disabled").
+func (c *Czar) MetricsText() (string, bool) {
+	if c.tel.Metrics == nil {
+		return "", false
+	}
+	return string(c.tel.Metrics.Exposition()), true
+}
+
+// Profile renders the retained trace of a finished (or in-flight)
+// query; ok is false when the id was never traced or has been evicted
+// from the ring.
+func (c *Czar) Profile(id int64) (string, bool) {
+	e := c.tel.Ring.Get(id)
+	if e == nil {
+		return "", false
+	}
+	return renderProfile(e), true
+}
+
+// Profiles lists the retained trace ids, newest first: one line per
+// query with its statement, for SHOW PROFILE without an argument.
+func (c *Czar) Profiles(n int) []string {
+	var out []string
+	for _, e := range c.tel.Ring.Recent(n) {
+		status := "ok"
+		if e.Err != "" {
+			status = "error"
+		}
+		out = append(out, fmt.Sprintf("%d  %s  %s  %s",
+			e.ID, e.Root.Duration().Round(time.Microsecond), status, e.SQL))
+	}
+	return out
+}
+
+// renderProfile renders one retained trace: a header line, then the
+// span tree.
+func renderProfile(e *telemetry.TraceEntry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "query %d (%s)\n", e.ID, e.QID)
+	fmt.Fprintf(&sb, "statement: %s\n", e.SQL)
+	if e.Err != "" {
+		fmt.Fprintf(&sb, "error: %s\n", e.Err)
+	}
+	sb.WriteString(e.Root.Render())
+	return sb.String()
+}
+
+// stripExplainAnalyze detects an EXPLAIN ANALYZE prefix
+// (case-insensitive) and returns the underlying statement. EXPLAIN
+// ANALYZE runs the statement for real — with tracing forced on — and
+// returns the rendered span tree instead of the rows.
+func stripExplainAnalyze(sql string) (string, bool) {
+	rest := strings.TrimSpace(sql)
+	for _, kw := range []string{"EXPLAIN", "ANALYZE"} {
+		if len(rest) < len(kw) || !strings.EqualFold(rest[:len(kw)], kw) {
+			return sql, false
+		}
+		rest = rest[len(kw):]
+		if rest == "" || (rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n') {
+			return sql, false
+		}
+		rest = strings.TrimSpace(rest)
+	}
+	if rest == "" {
+		return sql, false
+	}
+	return rest, true
+}
+
+// explainColumns is the single-column header of an EXPLAIN ANALYZE
+// result: one rendered trace line per row.
+var explainColumns = []string{"EXPLAIN ANALYZE"}
+
+// explainResult wraps a finished query's accounting into the EXPLAIN
+// ANALYZE answer: the rendered span tree as rows, the real result
+// preserved in Underlying for oracle checks.
+func explainResult(q *Query, res *QueryResult) *QueryResult {
+	root := q.root
+	var sb strings.Builder
+	sb.WriteString(root.Render())
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	rows := make([]sqlengine.Row, 0, len(lines)+4)
+	for _, ln := range lines {
+		rows = append(rows, sqlengine.Row{ln})
+	}
+	out := *res
+	out.Underlying = res.Result
+	out.Result = &sqlengine.Result{Cols: explainColumns, Rows: rows}
+	out.Explain = true
+	return &out
+}
+
+// traceFinish settles a finished query's trace: close the root span,
+// annotate it with the terminal accounting, retain it in the ring, and
+// emit the slow-query line when the threshold is crossed. It runs for
+// every traced query, success or failure.
+func (c *Czar) traceFinish(q *Query, res *QueryResult, err error) {
+	root := q.root
+	if root == nil {
+		return
+	}
+	root.Finish()
+	if res != nil {
+		root.SetAttr("chunks", res.ChunksDispatched)
+		if res.ChunksPruned > 0 {
+			root.SetAttr("pruned", res.ChunksPruned)
+		}
+		if res.CacheHit {
+			root.SetAttr("cache", "hit")
+		}
+		if res.Retries > 0 {
+			root.SetAttr("retries", res.Retries)
+		}
+		root.SetAttr("rows", len(res.Rows))
+	}
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+		root.SetAttr("err", errText)
+	}
+	c.tel.Ring.Put(&telemetry.TraceEntry{
+		ID: q.id, QID: c.qidOf(q), SQL: q.sql, Root: root, Err: errText, Explain: q.explain,
+	})
+	if t := c.tel.SlowQueryThreshold; t > 0 && root.Duration() >= t {
+		kv := []any{"id", q.id, "elapsed", root.Duration().Round(time.Microsecond),
+			"threshold", t, "sql", q.sql}
+		if res != nil {
+			kv = append(kv, "chunks", res.ChunksDispatched, "rows", len(res.Rows),
+				"bytes", res.ResultBytes, "cache_hit", res.CacheHit)
+		}
+		if errText != "" {
+			kv = append(kv, "err", errText)
+		}
+		logger.Warn("query.slow", kv...)
+	}
+}

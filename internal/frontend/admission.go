@@ -3,7 +3,12 @@ package frontend
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
+
+// logger emits the frontend's structured events (admission shed).
+var logger = telemetry.NewLogger("frontend")
 
 // admission is the controller that keeps a connection storm from
 // becoming a czar OOM. Each query session must acquire a slot before
@@ -63,6 +68,7 @@ func (a *admission) acquire(user string, done <-chan struct{}) error {
 	if a.perUser > 0 && a.byUser[user] >= a.perUser {
 		a.shed++
 		a.mu.Unlock()
+		logger.Warn("admission.shed", "user", user, "reason", "user_quota", "per_user", a.perUser)
 		return errBusy("user %q at session quota (%d)", user, a.perUser)
 	}
 	if a.maxSessions <= 0 || a.active < a.maxSessions {
@@ -72,8 +78,11 @@ func (a *admission) acquire(user string, done <-chan struct{}) error {
 	}
 	if len(a.waiters) >= a.queueDepth {
 		a.shed++
+		queued := len(a.waiters)
 		a.mu.Unlock()
-		return errBusy("frontend at capacity (%d sessions, %d queued)", a.maxSessions, len(a.waiters))
+		logger.Warn("admission.shed", "user", user, "reason", "capacity",
+			"max_sessions", a.maxSessions, "queued", queued)
+		return errBusy("frontend at capacity (%d sessions, %d queued)", a.maxSessions, queued)
 	}
 	// The per-user reservation is taken at enqueue time, not at grant
 	// time: a user over quota must shed fast even when the contention

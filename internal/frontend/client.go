@@ -156,6 +156,7 @@ type Stream struct {
 
 	done  bool
 	nrows int64
+	stats DoneStats
 	err   error
 }
 
@@ -212,12 +213,13 @@ func (s *Stream) Next() (row []sqlengine.Value, ok bool) {
 		}
 		return r, true
 	case tagDone:
-		n, err := decodeDone(f[1:])
+		n, st, err := decodeDone(f[1:])
 		if err != nil {
 			s.finish(err)
 			return nil, false
 		}
 		s.nrows = n
+		s.stats = st
 		s.finish(nil)
 		return nil, false
 	case tagErr:
@@ -240,6 +242,10 @@ func (s *Stream) Err() error { return s.err }
 // RowCount returns the server-reported row count after a clean end of
 // stream.
 func (s *Stream) RowCount() int64 { return s.nrows }
+
+// Stats returns the server-reported per-query accounting after a clean
+// end of stream; zero against servers that predate the trailer stats.
+func (s *Stream) Stats() DoneStats { return s.stats }
 
 // Close abandons the stream: if rows are still in flight it kills the
 // query and drains the remaining frames so the connection is reusable.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/member"
 	"repro/internal/qcache"
 	"repro/internal/sqlengine"
+	"repro/internal/telemetry"
 )
 
 // Backend is the Submit-shaped streaming entry point the frontend
@@ -35,6 +36,14 @@ type Backend interface {
 	// CacheStats reports the backend's result-cache counters; ok is
 	// false when no result cache is installed.
 	CacheStats() (qcache.Stats, bool)
+	// MetricsText renders the backend's metrics registry in Prometheus
+	// text exposition format; ok is false when telemetry is disabled.
+	MetricsText() (string, bool)
+	// Profile renders a finished query's retained span trace; ok is
+	// false when the id was never traced or has been evicted.
+	Profile(id int64) (string, bool)
+	// Profiles lists retained trace summaries, newest first, up to n.
+	Profiles(n int) []string
 }
 
 // Config bounds the frontend's concurrency (see admission).
@@ -49,6 +58,9 @@ type Config struct {
 	// global slot; a full queue sheds with "busy". 0 means no queue:
 	// anything over MaxSessions sheds immediately.
 	SessionQueueDepth int
+	// Metrics, when set, exports the frontend's admission series
+	// (qserv_frontend_*) into the registry.
+	Metrics *telemetry.Registry
 }
 
 // Server serves protocols v1 and v2 over one TCP listener,
@@ -80,9 +92,33 @@ func Serve(addr string, cfg Config, backends ...Backend) (*Server, error) {
 		ln:       ln,
 		conns:    map[net.Conn]bool{},
 	}
+	s.registerMetrics(cfg.Metrics)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// registerMetrics exports the admission controller into the registry;
+// every series samples the same stats snapshot at scrape time.
+func (s *Server) registerMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	admVal := func(pick func(st Stats) int64) func() int64 {
+		return func() int64 { return pick(s.adm.stats()) }
+	}
+	reg.GaugeFunc("qserv_frontend_active_sessions", "query sessions currently admitted",
+		admVal(func(st Stats) int64 { return int64(st.Active) }))
+	reg.GaugeFunc("qserv_frontend_queued_sessions", "query sessions waiting for a slot",
+		admVal(func(st Stats) int64 { return int64(st.Queued) }))
+	reg.GaugeFunc("qserv_frontend_session_users", "distinct users with admitted or queued sessions",
+		admVal(func(st Stats) int64 { return int64(st.Users) }))
+	reg.CounterFunc("qserv_frontend_admissions_total", "lifetime sessions admitted",
+		admVal(func(st Stats) int64 { return st.Admitted }))
+	reg.CounterFunc("qserv_frontend_queued_total", "lifetime sessions that had to queue",
+		admVal(func(st Stats) int64 { return st.EverQueued }))
+	reg.CounterFunc("qserv_frontend_shed_total", "lifetime sessions rejected with busy",
+		admVal(func(st Stats) int64 { return st.Shed }))
 }
 
 // Addr returns the bound address.
@@ -268,7 +304,7 @@ func (s *Server) runV2Query(connCtx context.Context, w *bufio.Writer, user, sql 
 				return false
 			}
 		}
-		return writeFrame(w, encodeDone(int64(len(rows)))) == nil && w.Flush() == nil
+		return writeFrame(w, encodeDone(int64(len(rows)), DoneStats{})) == nil && w.Flush() == nil
 	}
 
 	if err := s.adm.acquire(user, connCtx.Done()); err != nil {
@@ -311,13 +347,19 @@ func (s *Server) runV2Query(connCtx context.Context, w *bufio.Writer, user, sql 
 		}
 		rows++
 	}
-	if _, err := q.Wait(context.Background()); err != nil {
+	res, err := q.Wait(context.Background())
+	if err != nil {
 		// Mid-stream failure (worker died, query killed, client quota
 		// deadline): the error frame is legal after any number of row
 		// frames — the defining fix over v1's silent truncation.
 		return sendErr(err)
 	}
-	return writeFrame(w, encodeDone(rows)) == nil && w.Flush() == nil
+	st := DoneStats{
+		ElapsedNS:   res.Elapsed.Nanoseconds(),
+		Chunks:      int64(res.ChunksDispatched),
+		BytesMerged: res.BytesMerged,
+	}
+	return writeFrame(w, encodeDone(rows, st)) == nil && w.Flush() == nil
 }
 
 // ---------- protocol v1 (legacy) ----------
@@ -391,10 +433,10 @@ func (s *Server) runV1Query(w *bufio.Writer, sql string) bool {
 // ---------- admin commands ----------
 
 // admin intercepts the query-management commands — `SHOW PROCESSLIST`,
-// `SHOW WORKERS`, `SHOW REPAIRS`, `SHOW FRONTEND`, and `KILL <id>` —
-// before backend dispatch, since they address every czar behind the
-// frontend, not whichever the round-robin lands on. handled is false
-// for ordinary SQL.
+// `SHOW WORKERS`, `SHOW REPAIRS`, `SHOW FRONTEND`, `SHOW METRICS`,
+// `SHOW PROFILE [<id>]`, and `KILL <id>` — before backend dispatch,
+// since they address every czar behind the frontend, not whichever the
+// round-robin lands on. handled is false for ordinary SQL.
 func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, handled bool, err error) {
 	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
 	switch {
@@ -465,6 +507,52 @@ func (s *Server) admin(sql string) (cols []string, rows [][]sqlengine.Value, han
 			return nil, nil, true, fmt.Errorf("frontend: no result cache is enabled (SHOW CACHE needs a czar with ResultCacheBytes > 0)")
 		}
 		return cols, rows, true, nil
+	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "METRICS"):
+		// One row per exposition line; backends typically share one
+		// cluster-wide registry, so the first wired backend's view is
+		// the view.
+		for _, b := range s.backends {
+			text, ok := b.MetricsText()
+			if !ok {
+				continue
+			}
+			cols = []string{"Metric"}
+			for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+				rows = append(rows, []sqlengine.Value{line})
+			}
+			return cols, rows, true, nil
+		}
+		return nil, nil, true, fmt.Errorf("frontend: telemetry is disabled (SHOW METRICS needs a czar with a metrics registry)")
+	case (len(fields) == 2 || len(fields) == 3) && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "PROFILE"):
+		if len(fields) == 2 {
+			// Without an id: list the retained traces, newest first.
+			cols = []string{"RecentQueries"}
+			for _, b := range s.backends {
+				for _, line := range b.Profiles(32) {
+					rows = append(rows, []sqlengine.Value{line})
+				}
+			}
+			if len(rows) == 0 {
+				return nil, nil, true, fmt.Errorf("frontend: no retained traces (SHOW PROFILE needs tracing enabled and at least one finished query)")
+			}
+			return cols, rows, true, nil
+		}
+		id, perr := strconv.ParseInt(fields[2], 10, 64)
+		if perr != nil {
+			return nil, nil, true, fmt.Errorf("frontend: bad SHOW PROFILE id %q", fields[2])
+		}
+		for _, b := range s.backends {
+			text, ok := b.Profile(id)
+			if !ok {
+				continue
+			}
+			cols = []string{"Profile"}
+			for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+				rows = append(rows, []sqlengine.Value{line})
+			}
+			return cols, rows, true, nil
+		}
+		return nil, nil, true, fmt.Errorf("frontend: no retained trace for query %d (evicted, never traced, or telemetry disabled)", id)
 	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "PROCESSLIST"):
 		cols = []string{"Id", "Czar", "Class", "Time", "Chunks", "Rows", "Info"}
 		for bi, b := range s.backends {

@@ -86,6 +86,12 @@ func (f *fakeBackend) ClusterStatus() (member.Status, bool) { return member.Stat
 
 func (f *fakeBackend) CacheStats() (qcache.Stats, bool) { return qcache.Stats{}, false }
 
+func (f *fakeBackend) MetricsText() (string, bool) { return "", false }
+
+func (f *fakeBackend) Profile(id int64) (string, bool) { return "", false }
+
+func (f *fakeBackend) Profiles(n int) []string { return nil }
+
 // echoHandler answers every query with a fixed two-column result.
 func echoHandler(sql string, feed *czar.QueryFeed) {
 	feed.SetColumns("id", "name")
@@ -573,5 +579,173 @@ func TestStreamCloseMidFlight(t *testing.T) {
 	// The connection is reusable after an abandoned stream.
 	if err := c.Ping(); err != nil {
 		t.Fatalf("Ping after Close: %v", err)
+	}
+}
+
+// TestDoneFrameStatsRoundTrip pins the Done trailer's wire contract:
+// the appended stats uvarints survive a round trip, a stats-free
+// trailer from an old server decodes to zero stats, extra whole
+// uvarints from a future server are skipped, and a truncated uvarint
+// is rejected as hostile rather than read as a short value.
+func TestDoneFrameStatsRoundTrip(t *testing.T) {
+	want := DoneStats{ElapsedNS: 123456789, Chunks: 7, BytesMerged: 1 << 20}
+	body := encodeDone(42, want)
+	if body[0] != tagDone {
+		t.Fatalf("tag = %#x", body[0])
+	}
+	rows, st, err := decodeDone(body[1:])
+	if err != nil || rows != 42 || st != want {
+		t.Fatalf("decodeDone = (%d, %+v, %v), want (42, %+v, nil)", rows, st, err, want)
+	}
+
+	// Old server: row count only.
+	rows, st, err = decodeDone([]byte{42})
+	if err != nil || rows != 42 || st != (DoneStats{}) {
+		t.Fatalf("legacy decodeDone = (%d, %+v, %v)", rows, st, err)
+	}
+
+	// Future server: one extra whole uvarint after the known stats.
+	future := append(append([]byte{}, body[1:]...), 0x05)
+	rows, st, err = decodeDone(future)
+	if err != nil || rows != 42 || st != want {
+		t.Fatalf("forward-compat decodeDone = (%d, %+v, %v)", rows, st, err)
+	}
+
+	// Hostile: a truncated multi-byte uvarint must error, not silently
+	// under-read.
+	if _, _, err := decodeDone([]byte{42, 0x80}); err == nil {
+		t.Fatalf("truncated trailer decoded without error")
+	}
+	if _, _, err := decodeDone(nil); err == nil {
+		t.Fatalf("empty trailer decoded without error")
+	}
+}
+
+// TestV2DoneStatsOnStream checks the stats ride the wire end to end:
+// a finished query's Stream.Stats reports the czar-side elapsed time,
+// and an admin command (which never touches a worker) reports zeros.
+func TestV2DoneStatsOnStream(t *testing.T) {
+	s := serve(t, Config{MaxSessions: 4}, newFakeBackend(echoHandler))
+	c := dial(t, s, "alice")
+
+	st, err := c.Query(context.Background(), "SELECT * FROM Object")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	if st.Err() != nil {
+		t.Fatalf("stream error: %v", st.Err())
+	}
+	if got := st.Stats(); got.ElapsedNS <= 0 {
+		t.Fatalf("Stats().ElapsedNS = %d, want > 0", got.ElapsedNS)
+	}
+
+	st, err = c.Query(context.Background(), "SHOW FRONTEND")
+	if err != nil {
+		t.Fatalf("SHOW FRONTEND: %v", err)
+	}
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	if got := st.Stats(); got != (DoneStats{}) {
+		t.Fatalf("admin Stats() = %+v, want zeros", got)
+	}
+}
+
+// telemetryBackend is a fakeBackend with a metrics registry and
+// retained traces wired, for the SHOW METRICS / SHOW PROFILE paths.
+type telemetryBackend struct {
+	*fakeBackend
+	metrics  string
+	profiles map[int64]string
+}
+
+func (b *telemetryBackend) MetricsText() (string, bool) { return b.metrics, b.metrics != "" }
+
+func (b *telemetryBackend) Profile(id int64) (string, bool) {
+	text, ok := b.profiles[id]
+	return text, ok
+}
+
+func (b *telemetryBackend) Profiles(n int) []string {
+	var out []string
+	for id := range b.profiles {
+		out = append(out, fmt.Sprintf("#%d trace", id))
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+func TestShowMetricsAndProfile(t *testing.T) {
+	b := &telemetryBackend{
+		fakeBackend: newFakeBackend(echoHandler),
+		metrics:     "# TYPE qserv_czar_queries_total counter\nqserv_czar_queries_total 5\n",
+		profiles:    map[int64]string{7: "q7 SELECT ...\n  czar merge  1ms"},
+	}
+	s := serve(t, Config{}, b)
+	c := dial(t, s, "op")
+
+	collect := func(sql string) ([]string, error) {
+		st, err := c.Query(context.Background(), sql)
+		if err != nil {
+			return nil, err
+		}
+		var lines []string
+		for {
+			row, ok := st.Next()
+			if !ok {
+				break
+			}
+			lines = append(lines, row[0].(string))
+		}
+		return lines, st.Err()
+	}
+
+	lines, err := collect("SHOW METRICS")
+	if err != nil {
+		t.Fatalf("SHOW METRICS: %v", err)
+	}
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "# TYPE qserv_czar_queries_total") {
+		t.Fatalf("SHOW METRICS rows = %q", lines)
+	}
+
+	lines, err = collect("SHOW PROFILE")
+	if err != nil {
+		t.Fatalf("SHOW PROFILE: %v", err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "#7") {
+		t.Fatalf("SHOW PROFILE rows = %q", lines)
+	}
+
+	lines, err = collect("SHOW PROFILE 7")
+	if err != nil {
+		t.Fatalf("SHOW PROFILE 7: %v", err)
+	}
+	if len(lines) != 2 || !strings.Contains(lines[1], "czar merge") {
+		t.Fatalf("SHOW PROFILE 7 rows = %q", lines)
+	}
+
+	if _, err := collect("SHOW PROFILE 99"); err == nil {
+		t.Fatalf("SHOW PROFILE 99: expected no-retained-trace error")
+	}
+	if _, err := collect("SHOW PROFILE abc"); err == nil {
+		t.Fatalf("SHOW PROFILE abc: expected bad-id error")
+	}
+
+	// A backend without telemetry wired refuses with a pointed error.
+	s2 := serve(t, Config{}, newFakeBackend(echoHandler))
+	c2 := dial(t, s2, "op")
+	st, err := c2.Query(context.Background(), "SHOW METRICS")
+	if err == nil {
+		st.Close()
+		t.Fatalf("SHOW METRICS without telemetry: expected error")
 	}
 }

@@ -257,18 +257,53 @@ func decodeRow(b []byte, ncols int) ([]sqlengine.Value, error) {
 	return row, nil
 }
 
-// encodeDone renders the success trailer with the streamed row count.
-func encodeDone(rows int64) []byte {
-	b := make([]byte, 0, 10)
-	b = append(b, tagDone)
-	return binary.AppendUvarint(b, uint64(rows))
+// DoneStats are the per-query accounting figures riding the success
+// trailer: appended as optional uvarints after the row count, so an
+// old client reading only the count still interoperates, and a new
+// client reading an old server sees zeros.
+type DoneStats struct {
+	ElapsedNS   int64 // end-to-end query time on the czar
+	Chunks      int64 // chunk queries dispatched
+	BytesMerged int64 // result bytes folded into the czar merge
 }
 
-// decodeDone parses a trailer frame body (tag already stripped).
-func decodeDone(b []byte) (int64, error) {
+// encodeDone renders the success trailer: the streamed row count, then
+// the optional accounting uvarints.
+func encodeDone(rows int64, st DoneStats) []byte {
+	b := make([]byte, 0, 10)
+	b = append(b, tagDone)
+	b = binary.AppendUvarint(b, uint64(rows))
+	b = binary.AppendUvarint(b, uint64(st.ElapsedNS))
+	b = binary.AppendUvarint(b, uint64(st.Chunks))
+	return binary.AppendUvarint(b, uint64(st.BytesMerged))
+}
+
+// decodeDone parses a trailer frame body (tag already stripped). Only
+// the row count is mandatory; any further bytes must decode as whole
+// uvarints, filling DoneStats fields in order — unknown trailing
+// uvarints from a future server are skipped, truncated ones are an
+// error (hostile input, not forward compatibility).
+func decodeDone(b []byte) (int64, DoneStats, error) {
 	n, taken := binary.Uvarint(b)
-	if taken <= 0 || taken != len(b) {
-		return 0, fmt.Errorf("frontend: bad done trailer")
+	if taken <= 0 {
+		return 0, DoneStats{}, fmt.Errorf("frontend: bad done trailer")
 	}
-	return int64(n), nil
+	b = b[taken:]
+	var st DoneStats
+	for i := 0; len(b) > 0; i++ {
+		v, taken := binary.Uvarint(b)
+		if taken <= 0 {
+			return 0, DoneStats{}, fmt.Errorf("frontend: bad done trailer")
+		}
+		b = b[taken:]
+		switch i {
+		case 0:
+			st.ElapsedNS = int64(v)
+		case 1:
+			st.Chunks = int64(v)
+		case 2:
+			st.BytesMerged = int64(v)
+		}
+	}
+	return int64(n), st, nil
 }

@@ -6,8 +6,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/xrd"
 )
+
+// logger emits the availability subsystem's structured events: health
+// transitions, repair actions. Quiet by default (QSERV_LOG raises it).
+var logger = telemetry.NewLogger("member")
 
 // State is a worker's health as the failure detector sees it.
 type State int
@@ -255,6 +260,14 @@ func (d *Detector) Probe(ctx context.Context) {
 		}
 	}
 	for _, tr := range fired {
+		// Health transitions are the availability subsystem's headline
+		// events: a worker leaving alive is always worth a log line, a
+		// recovery is informational.
+		if tr.to == StateAlive {
+			logger.Info("worker.state", "worker", tr.name, "from", tr.from, "to", tr.to)
+		} else {
+			logger.Warn("worker.state", "worker", tr.name, "from", tr.from, "to", tr.to)
+		}
 		for _, fn := range subs {
 			fn(tr.name, tr.from, tr.to)
 		}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"repro/internal/meta"
+	"repro/internal/telemetry"
 	"repro/internal/xrd"
 )
 
@@ -145,6 +146,46 @@ func (m *Manager) Drain(ctx context.Context, worker string) error {
 		return fmt.Errorf("member: cannot drain %s: self-healing is disabled and the worker still holds chunks", worker)
 	}
 	return m.rep.Drain(ctx, worker)
+}
+
+// RegisterMetrics exports the availability subsystem into a telemetry
+// registry: a live transition counter (hooked into the detector) plus
+// health/repair series sampled from Status at scrape time. Call once
+// at assembly; a nil registry is a no-op.
+func (m *Manager) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	transitions := reg.Counter("qserv_member_transitions_total",
+		"worker health state transitions observed by the failure detector")
+	m.det.OnTransition(func(string, State, State) { transitions.Inc() })
+	countState := func(s State) func() int64 {
+		return func() int64 {
+			var n int64
+			for _, w := range m.det.Snapshot() {
+				if w.State == s {
+					n++
+				}
+			}
+			return n
+		}
+	}
+	reg.GaugeFunc("qserv_member_workers", "watched workers by health state",
+		countState(StateAlive), "state", "alive")
+	reg.GaugeFunc("qserv_member_workers", "watched workers by health state",
+		countState(StateSuspect), "state", "suspect")
+	reg.GaugeFunc("qserv_member_workers", "watched workers by health state",
+		countState(StateDead), "state", "dead")
+	reg.GaugeFunc("qserv_member_placement_epoch", "placement epoch (bumped by every placement mutation)",
+		func() int64 { return m.placement.Epoch() })
+	if m.rep != nil {
+		reg.CounterFunc("qserv_member_repairs_total", "verified chunk re-homes since startup",
+			func() int64 { return int64(m.rep.Progress().ChunksRepaired) })
+		reg.CounterFunc("qserv_member_heals_total", "chunks copied back in place to hollow holders",
+			func() int64 { return int64(m.rep.Progress().ChunksHealed) })
+		reg.GaugeFunc("qserv_member_repairs_pending", "chunks currently under-replicated",
+			func() int64 { return int64(m.rep.Progress().ChunksPending) })
+	}
 }
 
 // Status snapshots per-worker health, chunk counts, repair progress,

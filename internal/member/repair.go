@@ -253,9 +253,12 @@ func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 		if len(alive) == 0 {
 			return fmt.Errorf("member: chunk %d: holder %s is missing the chunk and no intact replica can refill it", c, h)
 		}
+		logger.Info("repair.start", "chunk", int(c), "kind", "heal", "source", alive[0], "target", h)
 		if err := r.copyChunk(alive[0], h, c); err != nil {
+			logger.Warn("repair.failed", "chunk", int(c), "kind", "heal", "target", h, "err", err)
 			return err
 		}
+		logger.Info("repair.done", "chunk", int(c), "kind", "heal", "target", h)
 		r.invCache[h].chunks[c] = true
 		alive = append(alive, h)
 		r.mu.Lock()
@@ -290,9 +293,12 @@ func (r *Repairer) repairChunk(c partition.ChunkID, drain string) error {
 		if target == "" {
 			return fmt.Errorf("member: chunk %d: no live worker available as a repair target", c)
 		}
+		logger.Info("repair.start", "chunk", int(c), "kind", "rehome", "source", source, "target", target)
 		if err := r.copyChunk(source, target, c); err != nil {
+			logger.Warn("repair.failed", "chunk", int(c), "kind", "rehome", "target", target, "err", err)
 			return err
 		}
+		logger.Info("repair.done", "chunk", int(c), "kind", "rehome", "source", source, "target", target)
 		// The copy is verified: re-home the replica. Placement first
 		// (atomic per chunk, epoch bump), then the fabric export via the
 		// hook — surviving replicas keep serving throughout, so queries

@@ -77,6 +77,12 @@ func (f *fakeBackend) ClusterStatus() (member.Status, bool) {
 
 func (f *fakeBackend) CacheStats() (qcache.Stats, bool) { return qcache.Stats{}, false }
 
+func (f *fakeBackend) MetricsText() (string, bool) { return "", false }
+
+func (f *fakeBackend) Profile(id int64) (string, bool) { return "", false }
+
+func (f *fakeBackend) Profiles(n int) []string { return nil }
+
 func (f *fakeBackend) Kill(id int64) bool {
 	for _, qi := range f.running {
 		if qi.ID == id {

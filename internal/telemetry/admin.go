@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminServer is the observability HTTP listener a daemon (or an
+// embedded Cluster with AdminAddr set) exposes: Prometheus-text
+// /metrics plus the full net/http/pprof surface for CPU/heap/goroutine
+// profiling. It is deliberately separate from the SQL frontend port —
+// monitoring must keep answering while the query path is saturated.
+type AdminServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin starts the admin listener on addr (":0" for an ephemeral
+// port), scraping reg for /metrics.
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	// net/http/pprof registers on http.DefaultServeMux; this server uses
+	// its own mux (the default one may carry unrelated handlers), so the
+	// pprof handlers are wired explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "qserv admin: /metrics /debug/pprof/\n")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	a := &AdminServer{srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the listener's bound address (host:port).
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the listener and drops open scrape connections.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	return a.srv.Close()
+}

@@ -1,0 +1,62 @@
+// Command lint-metrics validates a Prometheus text exposition read
+// from stdin: the format must parse (every sample line typed by a
+// preceding # TYPE, finite values, sorted-unique series) and, with
+// -require, every listed metric-name prefix must appear. CI pipes
+// `curl /metrics` through it so a malformed or hollowed-out exposition
+// fails the build rather than the scraper.
+//
+//	curl -fs http://host:port/metrics | lint-metrics -require qserv_czar_,qserv_worker_
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+var requireFlag = flag.String("require", "", "comma-separated metric-name prefixes that must each match at least one series")
+
+func main() {
+	flag.Parse()
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint-metrics: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(body) == 0 {
+		fmt.Fprintln(os.Stderr, "lint-metrics: empty exposition")
+		os.Exit(1)
+	}
+	if err := telemetry.ValidateExposition(body); err != nil {
+		fmt.Fprintf(os.Stderr, "lint-metrics: malformed exposition: %v\n", err)
+		os.Exit(1)
+	}
+	if *requireFlag != "" {
+		var missing []string
+		for _, prefix := range strings.Split(*requireFlag, ",") {
+			prefix = strings.TrimSpace(prefix)
+			if prefix == "" {
+				continue
+			}
+			found := false
+			for _, line := range strings.Split(string(body), "\n") {
+				if strings.HasPrefix(line, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing = append(missing, prefix)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "lint-metrics: exposition missing required prefixes: %s\n", strings.Join(missing, " "))
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("lint-metrics: ok (%d bytes)\n", len(body))
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a QSERV_LOG value to a Level; ok is false for
+// unknown text.
+func ParseLevel(s string) (Level, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return LevelWarn, false
+}
+
+// The process-wide log state. The default level is Warn — libraries are
+// quiet unless something is actually wrong — and QSERV_LOG=debug|info
+// raises verbosity without a code change, matching the repo's other
+// env-tunable knobs (QSERV_DATADIR, QSERV_MEMBUDGET).
+var (
+	logLevel atomic.Int32
+	logMu    sync.Mutex
+	logOut   io.Writer = os.Stderr
+)
+
+func init() {
+	lvl := LevelWarn
+	if env, ok := ParseLevel(os.Getenv("QSERV_LOG")); ok {
+		lvl = env
+	}
+	logLevel.Store(int32(lvl))
+}
+
+// SetLevel sets the process-wide log level.
+func SetLevel(l Level) { logLevel.Store(int32(l)) }
+
+// LogLevel returns the process-wide log level.
+func LogLevel() Level { return Level(logLevel.Load()) }
+
+// SetLogOutput redirects all loggers' output (tests capture events
+// here); it returns the previous writer.
+func SetLogOutput(w io.Writer) io.Writer {
+	logMu.Lock()
+	defer logMu.Unlock()
+	prev := logOut
+	logOut = w
+	return prev
+}
+
+// Logger emits leveled, structured, single-line events:
+//
+//	ts=2026-08-07T12:00:00.000Z level=info comp=member event=repair.done chunk=17 to=worker-2
+//
+// One logger per component; all share the process-wide level and
+// output. A nil *Logger drops everything, so subsystems hold a plain
+// field and log unconditionally.
+type Logger struct{ comp string }
+
+// NewLogger returns a logger stamping events with component comp.
+func NewLogger(comp string) *Logger { return &Logger{comp: comp} }
+
+// Debug emits at debug level (suppressed unless QSERV_LOG=debug).
+func (l *Logger) Debug(event string, kv ...any) { l.emit(LevelDebug, event, kv) }
+
+// Info emits at info level.
+func (l *Logger) Info(event string, kv ...any) { l.emit(LevelInfo, event, kv) }
+
+// Warn emits at warn level (the default threshold — always visible).
+func (l *Logger) Warn(event string, kv ...any) { l.emit(LevelWarn, event, kv) }
+
+// Error emits at error level.
+func (l *Logger) Error(event string, kv ...any) { l.emit(LevelError, event, kv) }
+
+// Enabled reports whether events at level l would be emitted; guards
+// callers that pay to build kv values.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= LogLevel()
+}
+
+func (l *Logger) emit(level Level, event string, kv []any) {
+	if l == nil || level < LogLevel() {
+		return
+	}
+	var sb strings.Builder
+	sb.Grow(128)
+	sb.WriteString("ts=")
+	sb.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	sb.WriteString(" level=")
+	sb.WriteString(level.String())
+	if l.comp != "" {
+		sb.WriteString(" comp=")
+		sb.WriteString(l.comp)
+	}
+	sb.WriteString(" event=")
+	sb.WriteString(event)
+	for i := 0; i+1 < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		fmt.Fprintf(&sb, "%v", kv[i])
+		sb.WriteByte('=')
+		writeLogValue(&sb, kv[i+1])
+	}
+	sb.WriteByte('\n')
+	logMu.Lock()
+	_, _ = io.WriteString(logOut, sb.String())
+	logMu.Unlock()
+}
+
+// writeLogValue renders one value, quoting anything that would break
+// the k=v grammar (spaces, quotes, equals).
+func writeLogValue(sb *strings.Builder, v any) {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		fmt.Fprintf(sb, "%q", s)
+		return
+	}
+	sb.WriteString(s)
+}

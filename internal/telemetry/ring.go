@@ -1,0 +1,92 @@
+package telemetry
+
+import "sync"
+
+// TraceEntry is one retained query trace: identity, statement, and the
+// stitched span tree, plus the summary numbers SHOW PROFILE leads with.
+type TraceEntry struct {
+	ID      int64  // czar-assigned query id (the KILL / SHOW PROFILE handle)
+	QID     string // fabric-wide identity (czarName-id)
+	SQL     string
+	Root    *Span
+	Err     string // terminal error text; "" on success
+	Explain bool   // true when the query ran as EXPLAIN ANALYZE
+}
+
+// TraceRing retains the most recent query traces in a bounded ring so
+// SHOW PROFILE <id> can answer for queries that already finished
+// without the czar's memory growing with query count. A nil *TraceRing
+// drops everything.
+type TraceRing struct {
+	mu      sync.Mutex
+	entries []*TraceEntry // circular, entries[next] is the oldest once full
+	next    int
+	byID    map[int64]*TraceEntry
+}
+
+// NewTraceRing returns a ring retaining the last n traces (n<=0 picks a
+// default of 128).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 128
+	}
+	return &TraceRing{entries: make([]*TraceEntry, 0, n), byID: map[int64]*TraceEntry{}}
+}
+
+// Put retains e, evicting the oldest entry once the ring is full.
+func (r *TraceRing) Put(e *TraceEntry) {
+	if r == nil || e == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) < cap(r.entries) {
+		r.entries = append(r.entries, e)
+	} else {
+		old := r.entries[r.next]
+		delete(r.byID, old.ID)
+		r.entries[r.next] = e
+		r.next = (r.next + 1) % cap(r.entries)
+	}
+	r.byID[e.ID] = e
+}
+
+// Get returns the retained trace for query id; nil when it was never
+// traced or has been evicted.
+func (r *TraceRing) Get(id int64) *TraceEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Recent returns up to n retained traces, newest first.
+func (r *TraceRing) Recent(n int) []*TraceEntry {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceEntry, 0, n)
+	for i := 0; i < len(r.entries) && len(out) < n; i++ {
+		// Walk backwards from the newest slot.
+		idx := (r.next - 1 - i + 2*len(r.entries)) % len(r.entries)
+		if len(r.entries) < cap(r.entries) {
+			idx = len(r.entries) - 1 - i
+		}
+		out = append(out, r.entries[idx])
+	}
+	return out
+}
+
+// Len reports how many traces are retained.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -1,0 +1,389 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("qserv_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create returns the same handle.
+	if again := r.Counter("qserv_test_total", "a counter"); again.Value() != 5 {
+		t.Fatalf("re-registration did not share the series")
+	}
+	g := r.Gauge("qserv_test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	if v, ok := r.Value("qserv_test_depth"); !ok || v != 5 {
+		t.Fatalf("Value lookup = %d,%v", v, ok)
+	}
+	if _, ok := r.Value("absent"); ok {
+		t.Fatalf("absent series reported present")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "").Observe(1)
+	r.CounterFunc("x", "", func() int64 { return 1 })
+	r.GaugeFunc("x", "", func() int64 { return 1 })
+	if err := r.WriteProm(io.Discard); err != nil {
+		t.Fatalf("nil WriteProm: %v", err)
+	}
+	if len(r.Exposition()) != 0 {
+		t.Fatalf("nil registry exposition not empty")
+	}
+	var s *Span
+	s.Child("a").SetAttr("k", "v")
+	s.Finish()
+	s.Graft(&Span{Name: "x"})
+	if s.Render() != "(no trace)" {
+		t.Fatalf("nil span render = %q", s.Render())
+	}
+	var ring *TraceRing
+	ring.Put(&TraceEntry{ID: 1})
+	if ring.Get(1) != nil || ring.Len() != 0 {
+		t.Fatalf("nil ring retained an entry")
+	}
+	var l *Logger
+	l.Warn("nothing", "k", "v") // must not panic
+}
+
+// TestHistogramBucketBoundaries pins the power-of-two bucketing: value
+// v lands in the first bucket with upper bound 2^i >= v.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11}, {math.MaxInt64, histBuckets - 1}, {-5, 0},
+	}
+	for _, tc := range cases {
+		h := &Histogram{}
+		h.Observe(tc.v)
+		got := -1
+		for i := range h.buckets {
+			if h.buckets[i].Load() == 1 {
+				got = i
+				break
+			}
+		}
+		if got != tc.want {
+			t.Errorf("Observe(%d) landed in bucket %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	h := &Histogram{}
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Sum() != 1000*1001/2 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	// The p50 upper bound of uniform 1..1000 is the bucket holding 500:
+	// 2^9 = 512.
+	if q := h.Quantile(0.5); q != 512 {
+		t.Fatalf("p50 bound = %d, want 512", q)
+	}
+	if q := h.Quantile(1.0); q != 1024 {
+		t.Fatalf("p100 bound = %d, want 1024", q)
+	}
+}
+
+// TestRegistryConcurrency hammers registration and updates from many
+// goroutines; run under -race this is the registry's thread-safety
+// proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("qserv_conc_total", "shared").Inc()
+				r.Counter("qserv_conc_labeled_total", "per-worker", "worker", fmt.Sprintf("w%d", g%4)).Inc()
+				r.Gauge("qserv_conc_depth", "shared").Add(1)
+				r.Histogram("qserv_conc_lat_ns", "shared").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Exposition()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("qserv_conc_total", "").Value(); got != 8*500 {
+		t.Fatalf("shared counter = %d, want %d", got, 8*500)
+	}
+	var labeled int64
+	for g := 0; g < 4; g++ {
+		labeled += r.Counter("qserv_conc_labeled_total", "", "worker", fmt.Sprintf("w%d", g)).Value()
+	}
+	if labeled != 8*500 {
+		t.Fatalf("labeled counters sum = %d, want %d", labeled, 8*500)
+	}
+	if err := ValidateExposition(r.Exposition()); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qserv_a_total", "counts a").Add(3)
+	r.Gauge("qserv_b_depth", "depth of b", "worker", "w-0").Set(2)
+	r.CounterFunc("qserv_c_total", "sampled", func() int64 { return 9 })
+	r.Histogram("qserv_d_lat_ns", "latency", "lane", "scan").Observe(3)
+	text := string(r.Exposition())
+
+	for _, want := range []string{
+		"# HELP qserv_a_total counts a\n# TYPE qserv_a_total counter\nqserv_a_total 3\n",
+		"# TYPE qserv_b_depth gauge\nqserv_b_depth{worker=\"w-0\"} 2\n",
+		"qserv_c_total 9\n",
+		"# TYPE qserv_d_lat_ns histogram\n",
+		`qserv_d_lat_ns_bucket{lane="scan",le="4"} 1`,
+		`qserv_d_lat_ns_bucket{lane="scan",le="+Inf"} 1`,
+		`qserv_d_lat_ns_sum{lane="scan"} 3`,
+		`qserv_d_lat_ns_count{lane="scan"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := ValidateExposition([]byte(text)); err != nil {
+		t.Fatalf("ValidateExposition: %v\n%s", err, text)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	bad := []string{
+		"no_newline_at_end 1",
+		"# TYPE x bogus\nx 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\nx{l=\"v} 1\n",
+		"# TYPE x counter\nx{l=unquoted} 1\n",
+		"untyped_sample 1\n",
+		"# TYPE x counter\nx 1\nx 2\n",
+		"# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"# TYPE 0bad counter\n0bad 1\n",
+	}
+	for _, text := range bad {
+		if err := ValidateExposition([]byte(text)); err == nil {
+			t.Errorf("ValidateExposition accepted %q", text)
+		}
+	}
+	if err := ValidateExposition(nil); err != nil {
+		t.Errorf("empty exposition rejected: %v", err)
+	}
+}
+
+func TestSpanTreeAndRender(t *testing.T) {
+	root := StartSpan("query")
+	root.SetAttr("stmt", "SELECT 1")
+	plan := root.Child("plan")
+	plan.Finish()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.Child(fmt.Sprintf("chunk-%d", i))
+			c.Child("dispatch").Finish()
+			c.Finish()
+		}(i)
+	}
+	wg.Wait()
+	root.Finish()
+	if len(root.Children) != 5 {
+		t.Fatalf("children = %d, want 5", len(root.Children))
+	}
+	out := root.Render()
+	if !strings.Contains(out, "query") || !strings.Contains(out, "plan") ||
+		!strings.Contains(out, "chunk-2") || !strings.Contains(out, "stmt=SELECT") {
+		t.Fatalf("render missing stages:\n%s", out)
+	}
+	if root.Find("dispatch") == nil || root.Find("absent") != nil {
+		t.Fatalf("Find misbehaved")
+	}
+	n := 0
+	root.Walk(func(*Span) { n++ })
+	if n != 10 { // root + plan + 4*(chunk+dispatch)
+		t.Fatalf("walk visited %d spans, want 10", n)
+	}
+}
+
+// TestTrailerRoundTrip pins the piggyback wire format, including the
+// partial-trace contract: data without (or with a corrupted) trailer
+// comes back untouched with nil spans.
+func TestTrailerRoundTrip(t *testing.T) {
+	data := []byte("dump-stream-bytes\x00with\x01binary")
+	spans := []*Span{{Name: "exec", StartNS: 10, EndNS: 30,
+		Children: []*Span{{Name: "queue-wait", StartNS: 10, EndNS: 12}}}}
+	framed := AppendTrailer(data, spans)
+	got, back := ExtractTrailer(framed)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("payload corrupted by round trip")
+	}
+	if len(back) != 1 || back[0].Name != "exec" || len(back[0].Children) != 1 ||
+		back[0].Children[0].Name != "queue-wait" {
+		t.Fatalf("spans corrupted: %+v", back)
+	}
+
+	// No trailer: unchanged, nil spans.
+	if d, s := ExtractTrailer(data); !bytes.Equal(d, data) || s != nil {
+		t.Fatalf("bare data mangled")
+	}
+	// A tail that merely ends with the magic but frames garbage.
+	fake := append([]byte("xxxx"), []byte("\x00\x00\x00\x00\x00\x00\x00\x00"+trailerMagic)...)
+	if d, s := ExtractTrailer(fake); !bytes.Equal(d, fake) || s != nil {
+		t.Fatalf("garbage trailer was parsed")
+	}
+	// Truncated frame.
+	if d, s := ExtractTrailer(framed[:len(framed)-3]); s != nil || len(d) != len(framed)-3 {
+		t.Fatalf("truncated trailer was parsed")
+	}
+	// Empty span list appends nothing.
+	if out := AppendTrailer(data, nil); !bytes.Equal(out, data) {
+		t.Fatalf("empty trailer appended bytes")
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := int64(1); i <= 5; i++ {
+		r.Put(&TraceEntry{ID: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	for _, id := range []int64{1, 2} {
+		if r.Get(id) != nil {
+			t.Fatalf("evicted trace %d still present", id)
+		}
+	}
+	for _, id := range []int64{3, 4, 5} {
+		if r.Get(id) == nil {
+			t.Fatalf("trace %d missing", id)
+		}
+	}
+	recent := r.Recent(2)
+	if len(recent) != 2 || recent[0].ID != 5 || recent[1].ID != 4 {
+		t.Fatalf("recent = %+v", recent)
+	}
+}
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	prev := SetLogOutput(&buf)
+	defer SetLogOutput(prev)
+	oldLevel := LogLevel()
+	defer SetLevel(oldLevel)
+
+	SetLevel(LevelWarn)
+	l := NewLogger("member")
+	l.Info("suppressed")
+	l.Warn("worker.state", "worker", "w-0", "from", "alive", "to", "suspect")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Fatalf("info leaked at warn level: %s", out)
+	}
+	for _, want := range []string{"level=warn", "comp=member", "event=worker.state", "worker=w-0", "to=suspect", "ts="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log line missing %q: %s", want, out)
+		}
+	}
+
+	buf.Reset()
+	SetLevel(LevelDebug)
+	l.Debug("verbose", "msg", "two words need quoting")
+	if !strings.Contains(buf.String(), `msg="two words need quoting"`) {
+		t.Fatalf("quoting broken: %s", buf.String())
+	}
+	if !l.Enabled(LevelDebug) {
+		t.Fatalf("Enabled(debug) false at debug level")
+	}
+
+	if lvl, ok := ParseLevel("INFO"); !ok || lvl != LevelInfo {
+		t.Fatalf("ParseLevel(INFO) = %v,%v", lvl, ok)
+	}
+	if _, ok := ParseLevel("noise"); ok {
+		t.Fatalf("ParseLevel accepted garbage")
+	}
+}
+
+func TestAdminServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qserv_admin_total", "hits").Add(2)
+	a, err := ServeAdmin("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatalf("ServeAdmin: %v", err)
+	}
+	defer a.Close()
+
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + a.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "qserv_admin_total 2") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("scraped exposition invalid: %v", err)
+	}
+
+	resp, err = cli.Get("http://" + a.Addr() + "/debug/pprof/cmdline")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint: %v (%v)", err, resp)
+	}
+	resp.Body.Close()
+}
+
+// TestPartialTraceRenders pins the dropped-worker-report contract: a
+// chunk whose worker never shipped spans still renders as a chunk span
+// with no exec subtree, alongside stitched siblings.
+func TestPartialTraceRenders(t *testing.T) {
+	root := StartSpan("query")
+	c0 := root.Child("chunk 0")
+	workerSpans := []*Span{{Name: "worker exec", StartNS: root.StartNS, EndNS: root.StartNS + 1000}}
+	payload := AppendTrailer([]byte("rows"), workerSpans)
+	_, shipped := ExtractTrailer(payload)
+	c0.Graft(shipped...)
+	c0.Finish()
+
+	c1 := root.Child("chunk 1")
+	_, dropped := ExtractTrailer([]byte("rows-no-trailer")) // report lost
+	c1.Graft(dropped...)
+	c1.Finish()
+	root.Finish()
+
+	out := root.Render()
+	if !strings.Contains(out, "worker exec") {
+		t.Fatalf("stitched span missing:\n%s", out)
+	}
+	if !strings.Contains(out, "chunk 1") {
+		t.Fatalf("unstitched chunk missing:\n%s", out)
+	}
+	if root.Find("worker exec") == nil {
+		t.Fatalf("Find failed on grafted span")
+	}
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a query's execution. Spans form a tree
+// rooted at the czar session; worker-side subtrees are built on the
+// worker, shipped back piggybacked on the result bytes (AppendTrailer),
+// and grafted under the dispatching chunk span, stitched by the query's
+// out-of-band ?qid= identity.
+//
+// A nil *Span is a valid "tracing off" span: every method no-ops and
+// Child returns nil, so instrumented code calls through unconditionally.
+// The exported fields are JSON-tagged for the wire trailer; mutate them
+// only through the methods (Child/Graft lock around the child list so
+// parallel chunk goroutines can grow one parent concurrently).
+type Span struct {
+	Name     string  `json:"name"`
+	StartNS  int64   `json:"start"` // unix nanoseconds
+	EndNS    int64   `json:"end"`   // unix nanoseconds; 0 while open
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	mu sync.Mutex
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// StartSpan opens a new root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, StartNS: time.Now().UnixNano()}
+}
+
+// Child opens a sub-span under s; nil when s is nil (tracing off
+// propagates down the tree for free).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, StartNS: time.Now().UnixNano()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Graft attaches pre-built spans (a worker's shipped subtree) under s.
+func (s *Span) Graft(children ...*Span) {
+	if s == nil || len(children) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, c := range children {
+		if c != nil {
+			s.Children = append(s.Children, c)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Finish closes the span now; closing twice keeps the first end time.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.EndNS == 0 {
+		s.EndNS = time.Now().UnixNano()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span; values render with %v.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: fmt.Sprintf("%v", value)})
+	s.mu.Unlock()
+}
+
+// Duration returns the span's elapsed time; an open span measures to
+// now, a nil span is 0.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.StartNS == 0 {
+		return 0
+	}
+	end := s.EndNS
+	if end == 0 {
+		end = time.Now().UnixNano()
+	}
+	return time.Duration(end - s.StartNS)
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// tree rooted at s (s itself included); nil when absent.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Walk visits every span in the tree rooted at s, depth first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		c.Walk(fn)
+	}
+}
+
+// Render draws the span tree as indented text, one line per span:
+// name, duration, +offset from the root start, and attributes. Children
+// sort by start time so parallel chunk spans read chronologically.
+// This is the body of EXPLAIN ANALYZE and SHOW PROFILE.
+func (s *Span) Render() string {
+	if s == nil {
+		return "(no trace)"
+	}
+	var sb strings.Builder
+	s.render(&sb, 0, s.StartNS)
+	return sb.String()
+}
+
+func (s *Span) render(sb *strings.Builder, depth int, rootStart int64) {
+	s.mu.Lock()
+	name, start, attrs := s.Name, s.StartNS, append([]Attr(nil), s.Attrs...)
+	kids := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s%s  %s", indent, name, fmtDur(s.Duration()))
+	if depth > 0 {
+		fmt.Fprintf(sb, "  +%s", fmtDur(time.Duration(start-rootStart)))
+	}
+	for _, a := range attrs {
+		fmt.Fprintf(sb, "  %s=%s", a.Key, a.Value)
+	}
+	sb.WriteByte('\n')
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].StartNS < kids[j].StartNS })
+	for _, c := range kids {
+		c.render(sb, depth+1, rootStart)
+	}
+}
+
+// fmtDur renders durations at trace-friendly precision (microsecond
+// floors vanish at time.Duration's default ns noise level).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < 0:
+		return "0s"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// ---------- wire trailer ----------
+
+// The worker ships its spans to the czar piggybacked on the result
+// bytes of the existing /result transaction — no new fabric path, and
+// content-addressed dedup still works (identical queries produce
+// identical trailers modulo timings, and the czar strips the trailer
+// before merging either way). Framing is end-anchored: payload JSON,
+// then an 8-byte little-endian payload length, then an 8-byte magic.
+// The magic starts with a NUL so SQL-ish dump text can't collide, and a
+// tail that merely looks like a trailer fails JSON decoding and is
+// returned untouched.
+
+const trailerMagic = "\x00QTRACE1"
+
+// AppendTrailer returns data with spans appended as a trace trailer.
+// Unmarshalable spans (impossible for well-formed trees) or an empty
+// span list return data unchanged.
+func AppendTrailer(data []byte, spans []*Span) []byte {
+	if len(spans) == 0 {
+		return data
+	}
+	payload, err := json.Marshal(spans)
+	if err != nil {
+		return data
+	}
+	out := make([]byte, 0, len(data)+len(payload)+16)
+	out = append(out, data...)
+	out = append(out, payload...)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(payload)))
+	out = append(out, lenBuf[:]...)
+	out = append(out, trailerMagic...)
+	return out
+}
+
+// ExtractTrailer splits a trace trailer off data, returning the
+// original payload and the shipped spans. Data without a well-formed
+// trailer is returned unchanged with nil spans — a worker with tracing
+// off (or an old worker) yields a partial trace, never an error.
+func ExtractTrailer(data []byte) ([]byte, []*Span) {
+	const frame = 16 // length + magic
+	if len(data) < frame || string(data[len(data)-8:]) != trailerMagic {
+		return data, nil
+	}
+	plen := binary.LittleEndian.Uint64(data[len(data)-frame : len(data)-8])
+	if plen == 0 || plen > uint64(len(data)-frame) {
+		return data, nil
+	}
+	start := len(data) - frame - int(plen)
+	var spans []*Span
+	if err := json.Unmarshal(data[start:len(data)-frame], &spans); err != nil {
+		return data, nil
+	}
+	return data[:start], spans
+}

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks b against the Prometheus text exposition
+// format (version 0.0.4): well-formed comment lines, metric names,
+// label blocks with quoted values, parseable sample values, TYPE
+// declared before (and only once for) each metric family, no duplicate
+// series, and a trailing newline. CI scrapes /metrics and fails the
+// build on the first violation; the bench's telemetry experiment runs
+// the same check.
+func ValidateExposition(b []byte) error {
+	text := string(b)
+	if len(text) == 0 {
+		return nil
+	}
+	if !strings.HasSuffix(text, "\n") {
+		return fmt.Errorf("exposition does not end with a newline")
+	}
+	typed := map[string]string{} // family -> type
+	seen := map[string]bool{}    // full series key
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, typed); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: unparseable sample value %q", lineNo, value)
+		}
+		if err := validateLabels(labels); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family := sampleFamily(name)
+		if _, ok := typed[family]; !ok && !strings.HasPrefix(name, "__") {
+			// Untyped samples are legal in the format, but this
+			// registry always declares types; an undeclared family
+			// means the writer and validator disagree.
+			if _, ok := typed[name]; !ok {
+				return fmt.Errorf("line %d: sample %q precedes its # TYPE declaration", lineNo, name)
+			}
+		}
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// validateComment checks a # HELP / # TYPE line and records TYPE
+// declarations. Other comments are passed through (the format allows
+// arbitrary comments).
+func validateComment(line string, typed map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare "#" comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if _, dup := typed[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		typed[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// splitSample splits a sample line into name, rendered label block
+// (possibly ""), and value text. Timestamps (a second number field) are
+// legal in the format but never produced by this registry, so a
+// trailing field is rejected.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i:j+1], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", "", fmt.Errorf("malformed sample line %q", line)
+		}
+		return fields[0], "", fields[1], nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// validateLabels checks a rendered {k="v",...} block.
+func validateLabels(block string) error {
+	if block == "" {
+		return nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", block)
+		}
+		key := inner[:eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", block)
+		}
+		// Scan the quoted value, honoring backslash escapes.
+		i := 1
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", block)
+		}
+		inner = rest[i+1:]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+			if inner == "" {
+				return fmt.Errorf("trailing comma in %q", block)
+			}
+		} else if inner != "" {
+			return fmt.Errorf("missing comma between labels in %q", block)
+		}
+	}
+	return nil
+}
+
+// sampleFamily maps a sample name to its declared family: histogram
+// component series (_bucket/_sum/_count) belong to the base name.
+func sampleFamily(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			return base
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" {
+		return s == "le" // le is valid (histogram buckets)
+	}
+	for i, r := range s {
+		letter := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

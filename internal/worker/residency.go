@@ -258,11 +258,17 @@ func (r *residency) kickEvictor() {
 // or nothing evictable remains (everything resident is pinned — the
 // next unpin re-kicks). Victims leave in LRU order of their last pin.
 func (r *residency) evictLoop() {
+	logged := false
 	for {
 		r.mu.Lock()
 		if !r.overBudgetLocked() {
 			r.mu.Unlock()
 			return
+		}
+		if !logged {
+			logged = true
+			logger.Info("residency.pressure", "worker", r.w.cfg.Name,
+				"resident", r.resident, "budget", r.budget)
 		}
 		var victim *unitState
 		for _, st := range r.units {
@@ -292,8 +298,11 @@ func (r *residency) evictLoop() {
 		victim.bytes = 0
 		r.resident -= bytes
 		r.evictions++
+		resident, budget := r.resident, r.budget
 		r.cond.Broadcast()
 		r.mu.Unlock()
+		logger.Debug("residency.evict", "worker", r.w.cfg.Name, "unit", u.String(),
+			"bytes", bytes, "resident", resident, "budget", budget)
 	}
 }
 

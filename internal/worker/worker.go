@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chunkstore"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/scanshare"
 	"repro/internal/sqlengine"
 	"repro/internal/sqlparse"
+	"repro/internal/telemetry"
 	"repro/internal/xrd"
 )
 
@@ -88,6 +90,15 @@ type Config struct {
 	// evict. Requires DataDir (an in-memory worker has nowhere to evict
 	// to; the budget is ignored without a store).
 	MemoryBudgetBytes int64
+	// Metrics, when set, is the telemetry registry this worker exports
+	// into; every series carries a worker=<Name> label so an in-process
+	// cluster's workers share one registry. Nil disables worker
+	// metrics (all handles stay nil-safe no-ops).
+	Metrics *telemetry.Registry
+	// Trace ships per-job span subtrees (queue wait, exec) back to the
+	// czar piggybacked on the result bytes of the existing /result
+	// transaction, for stitching into the query's distributed trace.
+	Trace bool
 }
 
 // DefaultConfig mirrors the paper's worker configuration. Shared scans
@@ -169,6 +180,11 @@ type Worker struct {
 	res *residency
 
 	subs *subchunkManager
+
+	// metrics holds the worker's owned telemetry series (nil-safe
+	// handles); traceOn gates span-trailer shipping.
+	metrics workerMetrics
+	traceOn atomic.Bool
 }
 
 // job states, guarded by Worker.mu.
@@ -291,6 +307,7 @@ func New(cfg Config, registry *meta.Registry) (*Worker, error) {
 		scanners:    map[string]*scanshare.Scanner{},
 	}
 	w.subs = newSubchunkManager(w)
+	w.traceOn.Store(cfg.Trace)
 	if cfg.DataDir != "" {
 		w.res = newResidency(w, cfg.MemoryBudgetBytes)
 		if err := w.openStore(); err != nil {
@@ -299,6 +316,9 @@ func New(cfg Config, registry *meta.Registry) (*Worker, error) {
 		w.wg.Add(1)
 		go w.evictor()
 	}
+	// Register after the store/residency exist so their sampled series
+	// are included.
+	w.registerMetrics(cfg.Metrics)
 	for i := 0; i < cfg.InteractiveSlots; i++ {
 		w.wg.Add(1)
 		go w.interactiveExecutor()
@@ -738,6 +758,15 @@ func (w *Worker) execute(j *job, started time.Time) {
 		data = nil
 	}
 	finished := time.Now()
+	resultLen := len(data)
+	w.metrics.observeJob(j.queuedAt, started, finished, err)
+	if err == nil && w.traceEnabled() {
+		// Ship this job's span subtree piggybacked on the result bytes;
+		// the czar strips the trailer before merging. Shipping rides the
+		// success path only — an errored job has no result transaction
+		// to carry it (the czar renders a partial trace).
+		data = telemetry.AppendTrailer(data, jobSpans(w, j, started, finished, resultLen))
+	}
 
 	w.mu.Lock()
 	if err != nil && j.canceled() {
@@ -758,7 +787,7 @@ func (w *Worker) execute(j *job, started time.Time) {
 		Stats:       stats,
 		ConvoyJoins: j.convoyJoins,
 		ScansShared: j.scansShared,
-		ResultLen:   len(data),
+		ResultLen:   resultLen,
 		Err:         err,
 	})
 	w.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -259,6 +260,26 @@ var (
 // backoff window has not elapsed; the peer was not contacted.
 var ErrBackoff = errors.New("xrd: dial suppressed by backoff")
 
+// LaneCounters is the fabric's process-wide connection accounting: TCP
+// lane dials, dial failures, and transactions failed fast by the
+// re-dial backoff. The telemetry registry samples these at scrape time.
+type LaneCounters struct {
+	Dials             int64
+	DialFailures      int64
+	BackoffSuppressed int64
+}
+
+var laneCounters LaneCounters
+
+// Counters snapshots the process-wide lane counters.
+func Counters() LaneCounters {
+	return LaneCounters{
+		Dials:             atomic.LoadInt64(&laneCounters.Dials),
+		DialFailures:      atomic.LoadInt64(&laneCounters.DialFailures),
+		BackoffSuppressed: atomic.LoadInt64(&laneCounters.BackoffSuppressed),
+	}
+}
+
 // tcpDial establishes a lane's connection. A variable so tests can
 // substitute a dialer that blackholes the SYN (never answers) and prove
 // the transaction context still bounds the attempt.
@@ -324,6 +345,7 @@ func (l *connLane) ensureConn(ctx context.Context) error {
 	}
 	if l.dialFails > 0 {
 		if wait := time.Until(l.nextDial); wait > 0 {
+			atomic.AddInt64(&laneCounters.BackoffSuppressed, 1)
 			return fmt.Errorf("%w: %s for %v after %d failed dials: %v",
 				ErrBackoff, l.addr, wait.Round(time.Millisecond), l.dialFails, l.lastDialErr)
 		}
@@ -333,7 +355,9 @@ func (l *connLane) ensureConn(ctx context.Context) error {
 	// failure detector's HealthTimeout), not stall the lane — and every
 	// transaction queued on its mutex — for the OS dial timeout.
 	conn, err := tcpDial(ctx, l.addr)
+	atomic.AddInt64(&laneCounters.Dials, 1)
 	if err != nil {
+		atomic.AddInt64(&laneCounters.DialFailures, 1)
 		l.dialFails++
 		l.lastDialErr = err
 		l.nextDial = time.Now().Add(dialBackoff(l.dialFails))

@@ -43,6 +43,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/planopt"
 	"repro/internal/qcache"
+	"repro/internal/telemetry"
 	"repro/internal/worker"
 	"repro/internal/xrd"
 )
@@ -156,6 +157,21 @@ type ClusterConfig struct {
 	// (letting a test suite run memory-constrained without code
 	// changes).
 	WorkerMemoryBudget int64
+	// DisableTelemetry turns the observability subsystem off: no metrics
+	// registry, no per-query span tracing, no trace retention. The
+	// telemetry hot paths are nil-safe no-ops when disabled, so this
+	// exists for overhead measurement (`qserv-bench -exp telemetry`
+	// gates the on-vs-off delta), not for recovering capacity.
+	DisableTelemetry bool
+	// AdminAddr, when non-empty, serves the admin HTTP listener on that
+	// address: Prometheus text exposition at /metrics and the standard
+	// net/http/pprof profiling endpoints at /debug/pprof/. Use
+	// "127.0.0.1:0" to bind an ephemeral port (see Cluster.AdminAddr).
+	AdminAddr string
+	// SlowQueryThreshold emits one structured warn line (with the span
+	// summary when tracing is on) for every query at least this slow;
+	// 0 disables the slow-query log.
+	SlowQueryThreshold time.Duration
 }
 
 // DefaultClusterConfig returns a laptop-scale configuration: a coarse
@@ -246,6 +262,12 @@ type Cluster struct {
 	// ownsDataDir is the temporary data directory NewCluster created for
 	// a memory budget with no configured DataDir; Close removes it.
 	ownsDataDir string
+
+	// metrics is the cluster-wide registry every subsystem exports into;
+	// nil with DisableTelemetry. admin is the HTTP listener serving it
+	// (nil unless AdminAddr is set).
+	metrics *telemetry.Registry
+	admin   *telemetry.AdminServer
 }
 
 // NewCluster builds the cluster skeleton with an empty catalog; call
@@ -307,6 +329,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cl.Config = cfg
 	cl.client = xrd.NewClient(cl.Redirector)
+	if !cfg.DisableTelemetry {
+		// One registry for the whole in-process cluster: czar, workers,
+		// membership, cache, fabric, and frontend all export into it, so
+		// one /metrics scrape sees every subsystem.
+		cl.metrics = telemetry.NewRegistry()
+		xrdCounters := func(pick func(xrd.LaneCounters) int64) func() int64 {
+			return func() int64 { return pick(xrd.Counters()) }
+		}
+		cl.metrics.CounterFunc("qserv_xrd_dials_total", "fabric endpoint dials attempted",
+			xrdCounters(func(c xrd.LaneCounters) int64 { return c.Dials }))
+		cl.metrics.CounterFunc("qserv_xrd_dial_failures_total", "fabric endpoint dials that failed",
+			xrdCounters(func(c xrd.LaneCounters) int64 { return c.DialFailures }))
+		cl.metrics.CounterFunc("qserv_xrd_backoff_suppressed_total", "fabric dials fast-failed by backoff",
+			xrdCounters(func(c xrd.LaneCounters) int64 { return c.BackoffSuppressed }))
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := worker.New(cl.workerConfig(fmt.Sprintf("worker-%03d", i)), registry)
 		if err != nil {
@@ -325,6 +362,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	ccfg.MergeParallelism = cfg.MergeParallelism
 	ccfg.TopKPushdown = cfg.TopKPushdown
 	cl.Czar = czar.New(ccfg, registry, cl.Index, cl.Placement, cl.Redirector)
+	if !cfg.DisableTelemetry {
+		cl.Czar.SetTelemetry(czar.Telemetry{
+			Metrics:            cl.metrics,
+			Trace:              true,
+			Ring:               telemetry.NewTraceRing(128),
+			SlowQueryThreshold: cfg.SlowQueryThreshold,
+		})
+	}
 	// The routing tier: index dives and spatial pruning always;
 	// statistics pruning behind the knob. The result cache rides above
 	// it when budgeted.
@@ -357,9 +402,33 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}, cl.client, cl.Placement)
 		cl.member.Watch(cl.WorkerNames()...)
 		cl.Czar.SetMembership(cl.member)
+		cl.member.RegisterMetrics(cl.metrics)
 		cl.member.Start()
 	}
+	if cfg.AdminAddr != "" {
+		admin, err := telemetry.ServeAdmin(cfg.AdminAddr, cl.metrics)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("qserv: admin listener: %w", err)
+		}
+		cl.admin = admin
+	}
 	return cl, nil
+}
+
+// Metrics returns the cluster-wide telemetry registry, or nil with
+// DisableTelemetry. Callers may register their own series into it; it
+// is what /metrics on the admin listener serves.
+func (cl *Cluster) Metrics() *telemetry.Registry { return cl.metrics }
+
+// AdminAddr returns the bound address of the admin HTTP listener
+// (/metrics + /debug/pprof/), or "" when ClusterConfig.AdminAddr was
+// empty.
+func (cl *Cluster) AdminAddr() string {
+	if cl.admin == nil {
+		return ""
+	}
+	return cl.admin.Addr()
 }
 
 // workerConfig derives one worker's configuration from the cluster's.
@@ -382,6 +451,8 @@ func (cl *Cluster) workerConfig(name string) worker.Config {
 	if cfg.ResultTimeout > 0 {
 		wcfg.ResultTimeout = cfg.ResultTimeout
 	}
+	wcfg.Metrics = cl.metrics
+	wcfg.Trace = cl.metrics != nil
 	return wcfg
 }
 
@@ -392,6 +463,9 @@ func (cl *Cluster) workerConfig(name string) worker.Config {
 // idempotent; concurrent and repeated calls are safe.
 func (cl *Cluster) Close() {
 	cl.closeOnce.Do(func() {
+		if cl.admin != nil {
+			cl.admin.Close()
+		}
 		if cl.member != nil {
 			cl.member.Close()
 		}

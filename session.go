@@ -65,8 +65,13 @@ type Result struct {
 	// CacheHit is true when the czar result cache answered the query
 	// without touching a worker.
 	CacheHit bool
-	// ResultBytes counts dump-stream bytes collected from workers.
+	// ResultBytes counts dump-stream bytes collected from workers —
+	// wire truth, including any telemetry trailers.
 	ResultBytes int64
+	// BytesMerged counts result bytes folded into the czar merge (the
+	// dump streams after telemetry trailers are stripped); equal to
+	// ResultBytes when tracing is off.
+	BytesMerged int64
 	// Elapsed is the wall-clock time of the whole query.
 	Elapsed time.Duration
 	// Retries counts replica failovers that occurred.
@@ -84,6 +89,7 @@ func resultFromCzar(qr *czar.QueryResult) *Result {
 		ChunksPruned:     qr.ChunksPruned,
 		CacheHit:         qr.CacheHit,
 		ResultBytes:      qr.ResultBytes,
+		BytesMerged:      qr.BytesMerged,
 		Elapsed:          qr.Elapsed,
 		Retries:          qr.Retries,
 	}

@@ -1,0 +1,143 @@
+package qserv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/telemetry"
+)
+
+// TestAdminEndpointExposesClusterMetrics boots a small cluster with
+// the admin HTTP listener on, runs a fan-out query plus a repeat (so
+// cache series move), and scrapes /metrics: the exposition must parse
+// and carry series from the telemetry spine's in-cluster subsystems.
+func TestAdminEndpointExposesClusterMetrics(t *testing.T) {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: 7, ObjectsPerPatch: 120, MeanSourcesPerObject: 2},
+		datagen.DuplicateConfig{DeclBands: 2, SourceDeclLimit: 54, MaxCopies: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClusterConfig(4)
+	cfg.AdminAddr = "127.0.0.1:0"
+	cfg.DataDir = t.TempDir()
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Load(cat); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Metrics() == nil {
+		t.Fatal("Metrics() = nil with telemetry enabled")
+	}
+	if cl.AdminAddr() == "" {
+		t.Fatal("AdminAddr() empty with AdminAddr configured")
+	}
+
+	if _, err := cl.Query("SELECT COUNT(*) FROM Object"); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if _, err := cl.Query("SELECT COUNT(*) FROM Object"); err != nil {
+		t.Fatalf("repeat query: %v", err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", cl.AdminAddr()))
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := telemetry.ValidateExposition(body); err != nil {
+		t.Fatalf("malformed exposition: %v", err)
+	}
+	text := string(body)
+	subsystems := []string{
+		"qserv_czar_", "qserv_qcache_", "qserv_worker_", "qserv_scanshare_",
+		"qserv_member_", "qserv_chunkstore_", "qserv_xrd_",
+	}
+	var present int
+	for _, prefix := range subsystems {
+		if strings.Contains(text, "\n"+prefix) || strings.HasPrefix(text, prefix) {
+			present++
+		} else {
+			t.Logf("subsystem %s absent from exposition", prefix)
+		}
+	}
+	if present < 6 {
+		t.Fatalf("exposition spans %d subsystems, want >= 6", present)
+	}
+	// The fan-out actually moved the hot-path counters.
+	if !strings.Contains(text, "qserv_czar_queries_total 2") {
+		t.Errorf("czar query counter did not advance:\n%s", grepLines(text, "qserv_czar_queries_total"))
+	}
+
+	// pprof rides the same listener.
+	pp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", cl.AdminAddr()))
+	if err != nil {
+		t.Fatalf("pprof: %v", err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", pp.StatusCode)
+	}
+}
+
+// TestDisableTelemetry pins the off switch: no registry, no admin
+// listener, queries still answer.
+func TestDisableTelemetry(t *testing.T) {
+	cat, err := datagen.Generate(
+		datagen.Config{Seed: 7, ObjectsPerPatch: 60, MeanSourcesPerObject: 2},
+		datagen.DuplicateConfig{DeclBands: 1, SourceDeclLimit: 54, MaxCopies: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultClusterConfig(2)
+	cfg.DisableTelemetry = true
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Load(cat); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Metrics() != nil {
+		t.Fatal("Metrics() non-nil with DisableTelemetry")
+	}
+	if cl.AdminAddr() != "" {
+		t.Fatal("AdminAddr() non-empty without AdminAddr configured")
+	}
+	res, err := cl.Query("SELECT COUNT(*) FROM Object")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query with telemetry off: %v, %v", res, err)
+	}
+	if res.ResultBytes != res.BytesMerged {
+		t.Fatalf("ResultBytes %d != BytesMerged %d with tracing off", res.ResultBytes, res.BytesMerged)
+	}
+}
+
+// grepLines returns the exposition lines containing substr, for
+// failure messages.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
